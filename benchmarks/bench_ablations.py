@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not in the paper — these isolate *why* the reconstruction's design
+points are where they are:
+
+1. ratio-metric decoding vs. the board's ±5 % capacitor tolerance,
+2. identification reliability vs. peripheral resistor tolerance,
+3. bytecode-encoding features vs. Table 3 image sizes.
+"""
+
+import pytest
+
+from repro.analysis.ablation import (
+    decode_monte_carlo,
+    encoding_ablation,
+    render_ablations,
+    tolerance_sweep,
+)
+
+
+def test_ablation_ratiometric_decoding(benchmark):
+    result = benchmark.pedantic(
+        decode_monte_carlo, kwargs=dict(ratiometric=False, trials=300),
+        iterations=1, rounds=1,
+    )
+    good = decode_monte_carlo(ratiometric=True, trials=300)
+    print(f"\nratio-metric: {good.failure_rate:.1%} failures; "
+          f"naive reference: {result.failure_rate:.1%} failures "
+          f"({result.silent_failure_rate:.1%} silently wrong)")
+    assert good.failure_rate == 0.0
+    assert result.failure_rate > 0.5
+
+
+def test_ablation_resistor_tolerance(benchmark):
+    sweep = benchmark.pedantic(tolerance_sweep, iterations=1, rounds=1)
+    print()
+    for tolerance, result in sweep:
+        print(f"  tolerance {tolerance:6.2%}: {result.failure_rate:6.1%} failures "
+              f"({result.silent_failure_rate:.1%} silent)")
+    by_tolerance = dict(sweep)
+    assert by_tolerance[0.005].failure_rate == 0.0   # the design point
+    assert by_tolerance[0.02].failure_rate > 0.5     # past the guard band
+    rates = [result.failure_rate for _, result in sweep]
+    assert rates == sorted(rates)                    # monotone degradation
+
+
+def test_ablation_encoding_features(benchmark):
+    ablation = benchmark(encoding_ablation)
+    print()
+    for variant, sizes in ablation.items():
+        print(f"  {variant:22s}: total {sum(sizes.values()):5d} B  {sizes}")
+    totals = {variant: sum(sizes.values()) for variant, sizes in ablation.items()}
+    assert totals["full"] < totals["no compact registers"]
+    assert totals["full"] < totals["no short jumps"]
+    assert totals["full"] <= totals["no immediate index"]
+    assert totals["full"] < totals["plain encoding"]
+    # The combined features are worth >= 8% on the Table 3 corpus.
+    assert totals["full"] / totals["plain encoding"] < 0.92
+
+
+def test_render_ablations_smoke(benchmark):
+    text = benchmark.pedantic(render_ablations, iterations=1, rounds=1)
+    print()
+    print(text)
+    assert "Ablation 1" in text and "Ablation 3" in text
+
+
+def test_ablation_6lowpan_compression(benchmark):
+    """Header compression's contribution to the Table 4 install path:
+    with compression off, the driver upload needs more/larger fragments
+    and the request/install rows stretch."""
+    from repro.analysis.network import run_table4
+    from repro.net.lowpan import LowpanModel
+
+    uncompressed = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(trials=5, lowpan=LowpanModel(compression=False)),
+        iterations=1, rounds=1,
+    )
+    compressed = run_table4(trials=5)
+    row = "Request driver"
+    print(f"\n{row}: compressed {compressed.rows[row].mean * 1e3:.2f} ms, "
+          f"uncompressed {uncompressed.rows[row].mean * 1e3:.2f} ms")
+    assert uncompressed.rows[row].mean > compressed.rows[row].mean
+    assert uncompressed.total_mean_ms() > compressed.total_mean_ms()
+
+
+def test_ablation_congestion(benchmark):
+    """§6.4 measures an *uncongested* one-hop network; this sweep shows
+    how the pipeline's network rows degrade as the medium gets busy
+    (802.15.4 binary-exponential backoff under load)."""
+    from repro.analysis.network import run_table4
+    from repro.net.link import LinkModel
+
+    def sweep():
+        results = {}
+        for busy in (0.0, 0.3, 0.6, 0.9):
+            results[busy] = run_table4(
+                trials=4, link=LinkModel(busy_probability=busy)
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    request_means = []
+    for busy, result in results.items():
+        mean_ms = result.rows["Request driver"].mean * 1e3
+        request_means.append(mean_ms)
+        print(f"  channel busy {busy:3.0%}: request driver "
+              f"{mean_ms:7.2f} ms, total {result.total_mean_ms():7.2f} ms")
+    assert request_means == sorted(request_means)          # monotone in load
+    assert request_means[-1] > request_means[0] * 1.05     # visible effect

@@ -1,0 +1,90 @@
+"""Extension bench: multi-hop multicast performance (§9 future work).
+
+"We are deploying a large network of µPnP devices across multiple
+geographic locations in order to test the performance of multicast
+service discovery in heterogeneous and multi-hop network environments."
+— the paper left this to future work; the simulation substrate runs it.
+"""
+
+import pytest
+
+from repro.analysis.multihop import (
+    latency_vs_hops,
+    loss_sensitivity,
+    render_multihop_study,
+    transmissions_vs_subscribers,
+)
+
+
+def test_ext_latency_vs_hops(benchmark):
+    trials = benchmark.pedantic(
+        latency_vs_hops, kwargs=dict(hop_counts=(1, 2, 3, 4, 5)),
+        iterations=1, rounds=1,
+    )
+    print()
+    for trial in trials:
+        print(f"  {trial.hops} hops: RTT {trial.latency_s * 1e3:7.1f} ms, "
+              f"{trial.multicast_transmissions} multicast transmissions")
+    assert all(t.found for t in trials)
+    latencies = [t.latency_s for t in trials]
+    assert latencies == sorted(latencies)            # monotone in hops
+    # Roughly linear: per-hop increments within 2x of each other.
+    increments = [b - a for a, b in zip(latencies, latencies[1:])]
+    assert max(increments) / min(increments) < 2.0
+    # Discovery multicast costs one transmission per hop (+1 downlink).
+    assert [t.multicast_transmissions for t in trials] == [2, 3, 4, 5, 6]
+
+
+def test_ext_loss_sensitivity(benchmark):
+    results = benchmark.pedantic(loss_sensitivity, iterations=1, rounds=1)
+    print()
+    for loss, rate in results:
+        print(f"  frame loss {loss:4.0%}: discovery success {rate:4.0%}")
+    by_loss = dict(results)
+    assert by_loss[0.0] == 1.0
+    assert by_loss[0.4] < 0.5  # no retransmissions: fragile, as expected
+
+
+def test_ext_smrf_fanout_cost(benchmark):
+    results = benchmark.pedantic(transmissions_vs_subscribers,
+                                 iterations=1, rounds=1)
+    print()
+    for count, transmissions in results:
+        print(f"  {count} subscribed clients: {transmissions} transmissions")
+    # SMRF pays one uplink + one transmission per member-bearing link:
+    # star of 2-hop arms -> 2n + 1.
+    assert [tx for _, tx in results] == [2 * n + 1 for n, _ in results]
+
+
+def test_ext_render_study(benchmark):
+    text = benchmark.pedantic(render_multihop_study, iterations=1, rounds=1)
+    print()
+    print(text)
+    assert "Extension" in text
+
+
+def test_ext_concurrent_plug_pipelines(benchmark):
+    """Three peripherals plugged in the same instant: identification is
+    one shared round, network phases pipeline through the router."""
+    from tests.integration.conftest import build_world
+    from repro.drivers.catalog import make_peripheral_board
+
+    def scenario():
+        world = build_world(seed=61)
+        for key in ("tmp36", "bmp180", "id20la"):
+            world.thing.plug(
+                make_peripheral_board(key, rng=world.rng.stream(key))
+            )
+        world.run(6.0)
+        activated = world.thing.events_of("driver-activated")
+        rounds = world.thing.controller.rounds_run
+        return activated, rounds
+
+    activated, rounds = benchmark.pedantic(scenario, iterations=1, rounds=1)
+    assert len(activated) == 3
+    # Interrupts during the first round coalesce: at most 2 rounds total.
+    assert rounds <= 2
+    last_ms = max(e.time_s for e in activated) * 1e3
+    print(f"\n3 concurrent plugs: all activated by {last_ms:.1f} ms "
+          f"({rounds} identification rounds)")
+    assert last_ms < 1500

@@ -1,0 +1,54 @@
+"""Figure 12 — one-year energy: USB host vs µPnP+{ADC, I2C, UART}.
+
+Regenerates the paper's log-log energy plot as a data table and checks
+its shape: USB flat at ~1e6 J; µPnP orders of magnitude lower, scaling
+linearly with the rate of peripheral change; the three interconnect
+curves diverging at low change rates where the communication floor
+dominates (§6.1).
+"""
+
+import pytest
+
+from repro.analysis.energy import (
+    DEFAULT_CHANGE_INTERVALS_MIN,
+    Figure12Model,
+    render_figure12,
+)
+from repro.hw.connector import BusKind
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Figure12Model()
+
+
+def test_fig12_regenerate(benchmark, model):
+    series = benchmark(model.all_series, DEFAULT_CHANGE_INTERVALS_MIN)
+    print()
+    print(render_figure12(model))
+    print()
+    from repro.analysis.plot import figure12_ascii
+
+    print(figure12_ascii(model))
+    print()
+    advantage = model.advantage_at(60.0)
+    print(f"USB/uPnP energy ratio at hourly changes: {advantage:.3g}x "
+          f"(paper: 'over four orders of magnitude')")
+
+    usb = [p.mean_joules for p in series["USB host"]]
+    adc = [p.mean_joules for p in series["uPnP+ADC"]]
+    uart = [p.mean_joules for p in series["uPnP+UART"]]
+    assert all(u > 5e5 for u in usb)                 # USB ~1e6 J, flat
+    assert adc == sorted(adc, reverse=True)          # linear in change rate
+    assert advantage > 1e4                           # the headline claim
+    assert uart[-1] > adc[-1] * 10                   # divergence at the floor
+
+
+def test_fig12_identification_energy_distribution(benchmark):
+    from repro.analysis.energy import identification_energy_samples
+
+    samples = benchmark(identification_energy_samples, trials=25)
+    lo, hi = min(samples), max(samples)
+    print(f"\nper-identification energy: {lo * 1e3:.2f} .. {hi * 1e3:.2f} mJ "
+          f"(paper: 2.48 .. 6.756 mJ)")
+    assert 1e-3 < lo < hi < 10e-3

@@ -1,0 +1,46 @@
+"""§6.1 — hardware identification duration and energy.
+
+The paper: one identification process takes 220-300 ms and costs
+2.48-6.756 mJ; variance comes from the resistor values on the
+peripheral boards.
+"""
+
+import pytest
+
+from repro.analysis.identification import render_study, run_study
+
+
+def test_sec61_identification(benchmark):
+    study = benchmark.pedantic(run_study, kwargs=dict(repeats=3),
+                               iterations=1, rounds=3)
+    print()
+    print(render_study(study))
+
+    assert study.decode_failures == 0
+    # Measured band overlaps the paper's 220-300 ms window.
+    assert study.duration_s.minimum < 0.300
+    assert study.duration_s.maximum > 0.220
+    # Energy band overlaps 2.48-6.756 mJ.
+    assert study.energy_j.minimum < 6.756e-3
+    assert study.energy_j.maximum > 2.48e-3
+
+
+def test_sec61_single_round_cost(benchmark):
+    """Micro-view: the electrical cost of one fully-populated round."""
+    import random
+
+    from repro.drivers.catalog import make_peripheral_board
+    from repro.hw.control_board import ControlBoard
+
+    def one_round():
+        rng = random.Random(3)
+        board = ControlBoard(3, rng=rng)
+        for key in ("tmp36", "bmp180", "id20la"):
+            board.connect(make_peripheral_board(key, rng=rng))
+        return board.run_identification()
+
+    report = benchmark(one_round)
+    print(f"\nfull board: {report.total_seconds * 1e3:.1f} ms, "
+          f"{report.energy_joules * 1e3:.2f} mJ, "
+          f"{len(report.identified())} identified")
+    assert len(report.identified()) == 3

@@ -1,0 +1,56 @@
+"""Engineering bench: throughput of the simulation substrate itself.
+
+Not a paper result — establishes that the DES kernel and the event
+router sustain the event rates the experiment harnesses need.
+"""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.vm.cost import DEFAULT_COST
+from repro.vm.machine import DriverInstance, VirtualMachine
+from repro.vm.router import CallbackDelivery, EventRouter
+
+
+def test_kernel_event_throughput(benchmark):
+    def drain(n=20_000):
+        sim = Simulator()
+        for i in range(n):
+            sim.schedule(i, lambda: None)
+        return sim.run()
+
+    executed = benchmark(drain)
+    assert executed == 20_000
+
+
+def test_router_dispatch_throughput(benchmark):
+    def drain(n=2_000):
+        sim = Simulator()
+        router = EventRouter(sim, queue_limit=n + 1)
+        for _ in range(n):
+            router.post(CallbackDelivery(lambda: None, cycles=100))
+        sim.run()
+        return router.stats.dispatched
+
+    dispatched = benchmark(drain)
+    assert dispatched == 2_000
+
+
+def test_vm_interpretation_throughput(benchmark):
+    """Host instructions/second interpreting the BMP180 hot path."""
+    from repro.dsl.bytecode import HANDLER_KIND_EVENT
+    from repro.drivers.catalog import CATALOG
+    from repro.dsl.symbols import well_known_id
+
+    image = CATALOG["bmp180"].compile()
+    instance = DriverInstance(image)
+    vm = VirtualMachine()
+    handler = image.find_handler(HANDLER_KIND_EVENT,
+                                 well_known_id("init"))
+    sink = lambda *a: None  # noqa: E731
+
+    result = benchmark(
+        lambda: vm.execute(instance, handler, (),
+                           signal_sink=sink, return_sink=sink)
+    )
+    assert result.steps > 0

@@ -1,0 +1,27 @@
+"""Table 2 — memory footprint of the µPnP software stack.
+
+Prints the structural model's breakdown next to the paper's
+measurements; asserts every row within 5% and the totals within 1%.
+"""
+
+import pytest
+
+from repro.analysis.footprint import PAPER_TABLE2, render_table2
+from repro.mcu.footprint import DEFAULT_FOOTPRINT
+
+
+def test_table2_regenerate(benchmark):
+    rows = benchmark(DEFAULT_FOOTPRINT.breakdown)
+    print()
+    print(render_table2())
+
+    for row in rows:
+        flash, ram = PAPER_TABLE2[row.name]
+        assert row.flash_bytes == pytest.approx(flash, rel=0.05)
+        assert row.ram_bytes == pytest.approx(ram, rel=0.05)
+    totals = DEFAULT_FOOTPRINT.totals()
+    assert totals.flash_bytes == pytest.approx(14231, rel=0.01)
+    assert totals.ram_bytes == pytest.approx(1518, rel=0.01)
+    # §6.2's framing: ~10.8% of flash, ~9.2% of RAM on the ATMega128RFA1.
+    assert DEFAULT_FOOTPRINT.mcu.flash_fraction(totals.flash_bytes) < 0.12
+    assert DEFAULT_FOOTPRINT.mcu.ram_fraction(totals.ram_bytes) < 0.10

@@ -1,0 +1,55 @@
+"""Table 4 — peripheral announcement and driver installation timing.
+
+Ten independent plug-in trials on an uncongested one-hop network, phase
+boundaries taken from the Thing's event log (§6.4).
+"""
+
+import pytest
+
+from repro.analysis.network import (
+    PAPER_TABLE4,
+    ROW_ORDER,
+    render_table4,
+    run_table4,
+)
+
+
+def test_table4_regenerate(benchmark):
+    result = benchmark.pedantic(
+        run_table4, kwargs=dict(trials=10), iterations=1, rounds=1
+    )
+    print()
+    print(render_table4(result))
+
+    for name in ROW_ORDER:
+        paper_mean, _ = PAPER_TABLE4[name]
+        assert result.rows[name].mean * 1e3 == pytest.approx(
+            paper_mean, rel=0.10
+        ), name
+    # The network phase completes well under a second (§8 quotes 488 ms
+    # for hardware identification + this pipeline combined).
+    assert result.total_mean_ms() < 400
+
+
+def test_table4_jitter_sources(benchmark):
+    """Std-dev structure: tiny for local ops, large for the install row."""
+    result = benchmark.pedantic(
+        run_table4, kwargs=dict(trials=8, base_seed=500),
+        iterations=1, rounds=1,
+    )
+    assert result.rows["Generate Multicast Address"].stdev < 0.2e-3
+    assert result.rows["Join Multicast Group"].stdev < 0.1e-3
+    assert result.rows["Install Driver"].stdev > 2e-3
+
+
+def test_full_plug_to_advertise_pipeline(benchmark):
+    """End-to-end (§8): identification + network pipeline < 1 s."""
+    from repro.analysis.network import run_trial
+
+    timings = benchmark.pedantic(
+        run_trial, kwargs=dict(seed=900), iterations=1, rounds=3
+    )
+    total_ms = timings.total_s * 1e3
+    print(f"\nnetwork pipeline total: {total_ms:.1f} ms "
+          f"(paper rows sum to 166.8 ms; §8 quotes 488.5 ms incl. hardware)")
+    assert total_ms < 400

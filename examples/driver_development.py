@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Driver development workflow: from datasheet to over-the-air deployment.
+
+The third-party-developer story of §3.3 and §4:
+
+1. request a *provisional* address in the global µPnP address space;
+2. the online tool emits the resistor set that encodes the new id;
+3. write a driver in the µPnP DSL and upload it — validation promotes
+   the address to *permanent*;
+4. manufacture a peripheral board with those resistors; plug it into a
+   stock Thing: it identifies, fetches the brand-new driver over the
+   air, and serves reads — no Thing-side code was touched.
+
+The example peripheral is a soil-moisture probe (an analog device we
+invent, as a third party would).
+
+Run:  python examples/driver_development.py
+"""
+
+from dataclasses import dataclass
+
+from repro import (
+    BusKind,
+    Client,
+    Manager,
+    Network,
+    PeripheralBoard,
+    Registry,
+    RngRegistry,
+    Simulator,
+    Thing,
+)
+from repro.dsl import disassemble
+from repro.sim.kernel import ns_from_s
+
+SOIL_DRIVER = """\
+# uPnP driver: capacitive soil moisture probe (ADC)
+# Returns volumetric water content in tenths of a percent.
+import adc;
+
+bool busy;
+
+event init():
+    signal adc.init(ADC_RES_10BIT, ADC_REF_VDD);
+    busy = false;
+
+event destroy():
+    signal adc.reset();
+
+event read():
+    if !busy:
+        busy = true;
+        signal adc.read();
+
+event data(uint16_t counts):
+    busy = false;
+    # dry ~ 2.8 V, saturated ~ 1.2 V: vwc% = (2800 - mV) / 16
+    return (2800 - counts * 3300 / 1023) * 10 / 16;
+
+error invalidConfiguration():
+    signal this.destroy();
+
+error timeOut():
+    busy = false;
+"""
+
+
+@dataclass
+class SoilProbe:
+    """Behavioural model of the invented probe (dry->wet: 2.8V->1.2V)."""
+
+    moisture_vwc: float = 35.0  # percent volumetric water content
+
+    def voltage_v(self) -> float:
+        return max(1.2, min(2.8, 2.8 - self.moisture_vwc * 0.016))
+
+
+def main() -> None:
+    sim = Simulator()
+    network = Network(sim)
+    rng = RngRegistry(seed=1234)
+    registry = Registry()
+
+    # --- 1. request a provisional address --------------------------------
+    record = registry.request_address(
+        name="SoilSense SM-200",
+        organization="Example Sensing Co.",
+        email="dev@example-sensing.test",
+        url="https://example-sensing.test/sm200",
+        bus=BusKind.ADC,
+        label="SM-200 soil moisture",
+    )
+    print(f"allocated provisional address: {record.device_id} "
+          f"({record.status.value})")
+
+    # --- 2. the online tool: id -> resistor set ---------------------------
+    resistors = registry.resistor_set_for(record.device_id)
+    print("resistor set from the online tool (E96, 0.5%):")
+    for index, ohms in enumerate(resistors, start=1):
+        print(f"  R{index} = {ohms / 1000:.2f} kOhm")
+
+    # --- 3. upload the driver; the address becomes permanent --------------
+    image = registry.upload_driver(record.device_id, SOIL_DRIVER)
+    record = registry.record(record.device_id)
+    print(f"\ndriver validated and stored ({image.image_size} bytes); "
+          f"address is now {record.status.value}")
+    print("\ncompiled driver (excerpt):")
+    print("\n".join(disassemble(image).splitlines()[:12]))
+
+    # --- 4. plug the new peripheral into a stock Thing ---------------------
+    thing = Thing(sim, network, 0, rng=rng.fork("thing"))
+    client = Client(sim, network, 1)
+    manager = Manager(sim, network, 2, registry)
+    for a, b in ((0, 1), (0, 2), (1, 2)):
+        network.connect(a, b)
+    network.build_dodag(root=2)
+
+    probe = SoilProbe(moisture_vwc=41.5)
+    board = PeripheralBoard.manufacture(
+        record.device_id, BusKind.ADC, device=probe,
+        label="SM-200", rng=rng.stream("mfg"),
+    )
+    thing.plug(board)
+    sim.run_for(ns_from_s(3.0))
+    installed = [e for e in thing.events if e.kind == "driver-installed"]
+    assert installed, "OTA installation did not happen"
+    print(f"\nThing fetched the driver over the air "
+          f"({installed[0].detail}) and activated it")
+
+    readings = []
+    found = []
+    client.discover(record.device_id, lambda res: found.extend(res))
+    sim.run_for(ns_from_s(2.0))
+    client.read(found[0].thing, record.device_id,
+                lambda r: readings.append(r))
+    sim.run_for(ns_from_s(2.0))
+    print(f"client read soil moisture: {readings[0].value / 10:.1f} %VWC "
+          f"(true {probe.moisture_vwc} %VWC)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Warehouse zones: location-aware discovery + an SPI thermocouple.
+
+Demonstrates two §9 future-work extensions this reproduction implements:
+
+* **location-aware multicast groups** — Things are assigned physical
+  zones; a client can discover "temperature sensors *in the cold
+  store*" with a single zone-scoped multicast, without touching the
+  Things in other zones;
+* **structured vendor ids** — the thermocouple's address comes from the
+  PCI/USB-style vendor+class+product namespace.
+
+The cold-store probe is a MAX6675 K-type thermocouple on SPI — the
+fourth interconnect of Table 1.
+
+Run:  python examples/warehouse_zones.py
+"""
+
+from repro import (
+    BusKind,
+    Client,
+    Manager,
+    Network,
+    PeripheralBoard,
+    Registry,
+    RngRegistry,
+    Simulator,
+    Thing,
+    make_peripheral_board,
+    populate_registry,
+)
+from repro.core.namespace import DeviceClass, VendorRegistry
+from repro.drivers import CATALOG, MAX6675_ID, TMP36_ID
+from repro.peripherals import Environment
+from repro.sim.kernel import ns_from_s
+
+ZONE_COLD_STORE = 1
+ZONE_LOADING_DOCK = 2
+
+
+def main() -> None:
+    sim = Simulator()
+    network = Network(sim)
+    rng = RngRegistry(seed=77)
+    registry = Registry()
+    populate_registry(registry)
+
+    # Two zones, one Thing each; the manager is the border router.
+    cold_store = Thing(sim, network, 0, rng=rng.fork("cold"),
+                       zone=ZONE_COLD_STORE, label="cold-store")
+    loading_dock = Thing(sim, network, 1, rng=rng.fork("dock"),
+                         zone=ZONE_LOADING_DOCK, label="loading-dock")
+    client = Client(sim, network, 2)
+    manager = Manager(sim, network, 3, registry)
+    for a in range(4):
+        for b in range(a + 1, 4):
+            network.connect(a, b)
+    network.build_dodag(root=3)
+
+    # Structured namespace: show where the thermocouple's id comes from.
+    vendors = VendorRegistry()
+    vendor = vendors.register_vendor("Maxim Integrated")
+    print(f"thermocouple catalogue id {MAX6675_ID} "
+          f"(vendor registry would mint e.g. "
+          f"{vendors.allocate_product(vendor, DeviceClass.TEMPERATURE)})")
+
+    cold_env = Environment(temperature_c=-18.5 + 20)  # MAX6675 reads >= 0 C
+    dock_env = Environment(temperature_c=24.0)
+    cold_store.plug(make_peripheral_board("max6675", cold_env,
+                                          rng=rng.stream("m1")))
+    cold_store.plug(make_peripheral_board("tmp36", cold_env,
+                                          rng=rng.stream("m2")))
+    loading_dock.plug(make_peripheral_board("tmp36", dock_env,
+                                            rng=rng.stream("m3")))
+    sim.run_for(ns_from_s(5.0))
+
+    # --- zone-scoped discovery ---------------------------------------------
+    print("\ndiscovering TMP36 sensors per zone:")
+    per_zone = {}
+
+    def report(zone, results):
+        per_zone[zone] = [str(r.thing) for r in results]
+        print(f"  zone {zone}: {per_zone[zone]}")
+
+    client.discover(TMP36_ID, lambda r: report(ZONE_COLD_STORE, r),
+                    zone=ZONE_COLD_STORE)
+    sim.run_for(ns_from_s(2.0))
+    client.discover(TMP36_ID, lambda r: report(ZONE_LOADING_DOCK, r),
+                    zone=ZONE_LOADING_DOCK)
+    sim.run_for(ns_from_s(2.0))
+    assert per_zone[ZONE_COLD_STORE] == [str(cold_store.address)]
+    assert per_zone[ZONE_LOADING_DOCK] == [str(loading_dock.address)]
+
+    # --- read the cold-store thermocouple over SPI ---------------------------
+    readings = []
+    client.read(cold_store.address, MAX6675_ID, readings.append)
+    sim.run_for(ns_from_s(2.0))
+    print(f"\ncold-store thermocouple: {readings[0].value / 10:.1f} degC "
+          f"(true {cold_env.temperature_c} degC)")
+    assert abs(readings[0].value / 10 - cold_env.temperature_c) < 0.3
+
+    # Zone with no sensors stays silent.
+    empty = []
+    client.discover(TMP36_ID, empty.extend, zone=42)
+    sim.run_for(ns_from_s(2.0))
+    assert empty == []
+    print("zone 42 (no sensors): no responses, as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "uPnP: plug-and-play peripherals for the Internet of Things "
+        "(EuroSys'15) - full-system reproduction"
+    ),
+    author="uPnP reproduction authors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.drivers": ["upnp/*.udrv", "c/*.c"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "numpy"],
+    },
+)

@@ -1,0 +1,57 @@
+"""µPnP: Plug and Play Peripherals for the Internet of Things.
+
+A full-system reproduction of Yang et al., EuroSys 2015, on top of a
+discrete-event simulation substrate.  The public API re-exports the
+pieces a downstream user composes:
+
+* :class:`Simulator` / :class:`RngRegistry` — the simulation substrate;
+* :class:`Network`, :class:`Thing`, :class:`Client`, :class:`Manager`,
+  :class:`Registry` — the µPnP system entities (§5);
+* the driver toolchain (:func:`compile_source`, :func:`disassemble`);
+* the peripheral catalogue (:data:`CATALOG`, :func:`make_peripheral_board`);
+* behavioural peripheral models and the physical :class:`Environment`.
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+from repro.core import (
+    Client,
+    DiscoveredPeripheral,
+    Manager,
+    ReadResult,
+    Registry,
+    StreamHandle,
+    Thing,
+)
+from repro.drivers import CATALOG, make_peripheral_board, populate_registry
+from repro.dsl import compile_source, disassemble
+from repro.hw import BusKind, DeviceId, PeripheralBoard
+from repro.net import Ipv6Address, Network
+from repro.peripherals import Environment
+from repro.sim import RngRegistry, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Client",
+    "DiscoveredPeripheral",
+    "Manager",
+    "ReadResult",
+    "Registry",
+    "StreamHandle",
+    "Thing",
+    "CATALOG",
+    "make_peripheral_board",
+    "populate_registry",
+    "compile_source",
+    "disassemble",
+    "BusKind",
+    "DeviceId",
+    "PeripheralBoard",
+    "Ipv6Address",
+    "Network",
+    "Environment",
+    "RngRegistry",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Experiment harnesses regenerating every table and figure of the paper,
+plus ablations and the §9 future-work extension studies."""
+
+from repro.analysis.ablation import (
+    decode_monte_carlo,
+    encoding_ablation,
+    render_ablations,
+    tolerance_sweep,
+)
+from repro.analysis.multihop import (
+    latency_vs_hops,
+    loss_sensitivity,
+    render_multihop_study,
+    transmissions_vs_subscribers,
+)
+
+from repro.analysis.drivers import render_table3, summarize_table3, table3
+from repro.analysis.energy import Figure12Model, render_figure12
+from repro.analysis.footprint import PAPER_TABLE2, render_table2
+from repro.analysis.identification import render_study, run_study
+from repro.analysis.network import render_table4, run_table4
+from repro.analysis.plot import ascii_plot, figure12_ascii
+from repro.analysis.report import render_table
+from repro.analysis.vmperf import measure, render_report, router_scaling_series
+
+__all__ = [
+    "decode_monte_carlo",
+    "encoding_ablation",
+    "render_ablations",
+    "tolerance_sweep",
+    "latency_vs_hops",
+    "loss_sensitivity",
+    "render_multihop_study",
+    "transmissions_vs_subscribers",
+    "render_table3",
+    "summarize_table3",
+    "table3",
+    "Figure12Model",
+    "render_figure12",
+    "PAPER_TABLE2",
+    "render_table2",
+    "render_study",
+    "run_study",
+    "render_table4",
+    "run_table4",
+    "render_table",
+    "ascii_plot",
+    "figure12_ascii",
+    "measure",
+    "render_report",
+    "router_scaling_series",
+]

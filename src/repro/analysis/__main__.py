@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate every table/figure in one run.
+
+    python -m repro.analysis [--fast]
+
+Prints the paper-style renderings of §6.1, Figure 12, Table 2, Table 3,
+§6.2, Table 4, plus the ablation and multi-hop extension studies.
+``--fast`` trims trial counts for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the uPnP paper's evaluation results.",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer trials (quick smoke run)")
+    parser.add_argument("--skip-extensions", action="store_true",
+                        help="only the paper's own tables/figures")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.drivers import render_table3
+    from repro.analysis.energy import Figure12Model, render_figure12
+    from repro.analysis.footprint import render_table2
+    from repro.analysis.identification import render_study, run_study
+    from repro.analysis.network import render_table4, run_table4
+    from repro.analysis.vmperf import measure, render_report
+
+    repeats = 2 if args.fast else 5
+    trials = 3 if args.fast else 10
+    vm_repeats = 50 if args.fast else 500
+
+    sections = [
+        render_study(run_study(repeats=repeats)),
+        render_figure12(Figure12Model(
+            identification_trials=8 if args.fast else 25)),
+        render_table2(),
+        render_table3(),
+        render_report(measure(repeats=vm_repeats)),
+        render_table4(run_table4(trials=trials)),
+    ]
+    if not args.skip_extensions:
+        from repro.analysis.ablation import render_ablations
+        from repro.analysis.multihop import render_multihop_study
+
+        sections.append(render_ablations())
+        sections.append(render_multihop_study())
+
+    print(("\n\n" + "-" * 72 + "\n\n").join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Three studies, each isolating one reconstruction decision:
+
+1. **Ratio-metric decoding** (DESIGN.md §4.1): decode against a measured
+   calibration pulse vs. against the nominal reference.  Without the
+   calibration pulse the ±5 % board-capacitor tolerance lands pulses
+   whole bins away and identification collapses.
+2. **Resistor tolerance budget**: identification failure rate as the
+   peripheral resistor tolerance grows past the guard band — why the
+   design point uses 0.5 % parts on a ~2.4 % (E96) bin grid.
+3. **Bytecode encoding features** (DESIGN.md §4.4): contribution of the
+   compact register forms, short jumps and immediate-index loads to the
+   Table 3 image sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dsl.compiler import CompilerOptions, compile_source
+from repro.drivers.catalog import CATALOG, TABLE3_DRIVERS
+from repro.hw.components import Capacitor, Resistor
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import (
+    CodecParams,
+    DEFAULT_CODEC,
+    IdentificationError,
+    PulseDecoder,
+)
+
+
+# --------------------------------------------------------------- codec studies
+@dataclass(frozen=True)
+class DecodeTrialResult:
+    """Failure statistics of one Monte-Carlo decoding configuration."""
+
+    trials: int
+    wrong_id: int        # decoded without error but to the wrong id
+    rejected: int        # guard band violated (detected failure)
+
+    @property
+    def failure_rate(self) -> float:
+        return (self.wrong_id + self.rejected) / self.trials
+
+    @property
+    def silent_failure_rate(self) -> float:
+        return self.wrong_id / self.trials
+
+
+def decode_monte_carlo(
+    *,
+    params: CodecParams = DEFAULT_CODEC,
+    ratiometric: bool = True,
+    trials: int = 300,
+    seed: int = 21,
+) -> DecodeTrialResult:
+    """Sample manufacture + decode *trials* times.
+
+    ``ratiometric=False`` models a naive design without the on-board
+    calibration pulse: the decoder divides by the *nominal* reference
+    pulse, so capacitor tolerance and multivibrator-constant error leak
+    into the measurement.
+    """
+    rng = random.Random(seed)
+    decoder = PulseDecoder(params)
+    wrong = rejected = 0
+    nominal_reference = params.nominal_pulse_seconds(0)
+    for _ in range(trials):
+        device = DeviceId(rng.getrandbits(32))
+        capacitor = Capacitor.manufacture(
+            params.capacitor_farads, params.capacitor_tolerance, rng
+        )
+        if ratiometric:
+            reference_part = Resistor.manufacture(
+                params.base_resistance_ohms,
+                params.reference_resistor_tolerance, rng,
+            )
+            reference = (
+                params.multivibrator_k
+                * reference_part.actual_ohms
+                * capacitor.actual_farads
+            )
+        else:
+            reference = nominal_reference
+        pulses = []
+        for byte in device.to_bytes():
+            part = Resistor.manufacture(
+                params.resistance_for_byte(byte),
+                params.peripheral_resistor_tolerance, rng,
+            )
+            jitter = 1 + rng.uniform(-params.trigger_jitter_rel,
+                                     params.trigger_jitter_rel)
+            pulses.append(
+                params.multivibrator_k * part.actual_ohms
+                * capacitor.actual_farads * jitter
+            )
+        try:
+            decoded = decoder.decode_id(pulses, [reference] * 4)
+        except IdentificationError:
+            rejected += 1
+            continue
+        if decoded != device:
+            wrong += 1
+    return DecodeTrialResult(trials, wrong, rejected)
+
+
+def tolerance_sweep(
+    tolerances: Sequence[float] = (0.001, 0.0025, 0.005, 0.01, 0.02, 0.05),
+    *,
+    trials: int = 200,
+    seed: int = 22,
+) -> List[Tuple[float, DecodeTrialResult]]:
+    """Failure rate vs. peripheral resistor tolerance (ratio-metric)."""
+    results = []
+    for tolerance in tolerances:
+        params = replace(DEFAULT_CODEC, peripheral_resistor_tolerance=tolerance)
+        results.append(
+            (tolerance, decode_monte_carlo(params=params, trials=trials,
+                                           seed=seed))
+        )
+    return results
+
+
+# ----------------------------------------------------------- encoding ablation
+#: Named option sets for the encoding ablation, cumulative removals.
+ENCODING_VARIANTS: Dict[str, CompilerOptions] = {
+    "full": CompilerOptions(),
+    "no compact registers": CompilerOptions(compact_registers=False),
+    "no short jumps": CompilerOptions(short_jumps=False),
+    "no immediate index": CompilerOptions(immediate_index=False),
+    "plain encoding": CompilerOptions(False, False, False),
+}
+
+
+def encoding_ablation(
+    keys: Sequence[str] = TABLE3_DRIVERS,
+) -> Dict[str, Dict[str, int]]:
+    """Driver image sizes per encoding variant: variant -> driver -> bytes."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, options in ENCODING_VARIANTS.items():
+        sizes = {}
+        for key in keys:
+            spec = CATALOG[key]
+            image = compile_source(spec.dsl_source(), spec.device_id.value,
+                                   options)
+            sizes[key] = image.image_size
+        out[name] = sizes
+    return out
+
+
+def render_ablations() -> str:
+    from repro.analysis.report import render_table
+
+    sections = []
+
+    ratio = decode_monte_carlo(ratiometric=True)
+    naive = decode_monte_carlo(ratiometric=False)
+    sections.append(render_table(
+        ["decoder", "failure rate", "silent wrong-id rate"],
+        [
+            ["ratio-metric (calibration pulse)",
+             f"{ratio.failure_rate:.1%}", f"{ratio.silent_failure_rate:.1%}"],
+            ["naive (nominal reference)",
+             f"{naive.failure_rate:.1%}", f"{naive.silent_failure_rate:.1%}"],
+        ],
+        title="Ablation 1 - ratio-metric decoding vs +/-5% capacitor tolerance",
+    ))
+
+    sweep_rows = [
+        [f"{tolerance:.2%}", f"{result.failure_rate:.1%}",
+         f"{result.silent_failure_rate:.1%}"]
+        for tolerance, result in tolerance_sweep()
+    ]
+    sections.append(render_table(
+        ["resistor tolerance", "failure rate", "silent wrong-id rate"],
+        sweep_rows,
+        title="Ablation 2 - identification vs peripheral resistor tolerance",
+    ))
+
+    ablation = encoding_ablation()
+    headers = ["variant"] + list(TABLE3_DRIVERS) + ["total"]
+    rows = []
+    for name, sizes in ablation.items():
+        rows.append([name] + [sizes[k] for k in TABLE3_DRIVERS]
+                    + [sum(sizes.values())])
+    sections.append(render_table(
+        headers, rows,
+        title="Ablation 3 - bytecode encoding features (image bytes)",
+    ))
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "DecodeTrialResult",
+    "decode_monte_carlo",
+    "tolerance_sweep",
+    "ENCODING_VARIANTS",
+    "encoding_ablation",
+    "render_ablations",
+]

@@ -1,0 +1,134 @@
+"""Table 3: development effort and memory footprint of device drivers.
+
+Compiles the shipped µPnP DSL drivers, counts SLoC on both the DSL and
+native C sources, and models native compiled sizes (see
+:mod:`repro.drivers.native_model`).  The paper's headline: µPnP drivers
+average ~52% fewer source lines and a ~94% smaller footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.drivers.catalog import CATALOG, TABLE3_DRIVERS, DriverSpec
+
+#: Paper's Table 3, for side-by-side comparison in reports.
+PAPER_TABLE3 = {
+    "tmp36": (15, 30, 64, 2956),
+    "hih4030": (19, 55, 65, 3304),
+    "id20la": (43, 150, 89, 592),
+    "bmp180": (122, 234, 193, 652),
+}
+
+
+@dataclass(frozen=True)
+class DriverComparison:
+    """One Table 3 row: µPnP DSL vs native C."""
+
+    key: str
+    name: str
+    dsl_sloc: int
+    dsl_bytes: int
+    native_sloc: Optional[int]
+    native_bytes: Optional[int]
+
+    @property
+    def sloc_saving(self) -> Optional[float]:
+        if not self.native_sloc:
+            return None
+        return 1.0 - self.dsl_sloc / self.native_sloc
+
+    @property
+    def bytes_saving(self) -> Optional[float]:
+        if not self.native_bytes:
+            return None
+        return 1.0 - self.dsl_bytes / self.native_bytes
+
+
+def compare_driver(key: str) -> DriverComparison:
+    spec: DriverSpec = CATALOG[key]
+    image = spec.compile()
+    estimate = spec.native_estimate()
+    return DriverComparison(
+        key=key,
+        name=spec.name,
+        dsl_sloc=spec.dsl_sloc(),
+        dsl_bytes=image.image_size,
+        native_sloc=spec.c_sloc(),
+        native_bytes=None if estimate is None else estimate.flash_bytes,
+    )
+
+
+def table3(keys: Sequence[str] = TABLE3_DRIVERS) -> List[DriverComparison]:
+    return [compare_driver(key) for key in keys]
+
+
+@dataclass(frozen=True)
+class Table3Summary:
+    rows: List[DriverComparison]
+
+    @property
+    def average_sloc_saving(self) -> float:
+        savings = [r.sloc_saving for r in self.rows if r.sloc_saving is not None]
+        return sum(savings) / len(savings)
+
+    @property
+    def average_bytes_saving(self) -> float:
+        """1 - (avg DSL bytes / avg native bytes), the paper's framing."""
+        dsl = [r.dsl_bytes for r in self.rows if r.native_bytes]
+        native = [r.native_bytes for r in self.rows if r.native_bytes]
+        return 1.0 - (sum(dsl) / len(dsl)) / (sum(native) / len(native))
+
+
+def summarize_table3(keys: Sequence[str] = TABLE3_DRIVERS) -> Table3Summary:
+    return Table3Summary(table3(keys))
+
+
+def render_table3(keys: Sequence[str] = TABLE3_DRIVERS) -> str:
+    from repro.analysis.report import render_table
+
+    summary = summarize_table3(keys)
+    rows = []
+    for row in summary.rows:
+        paper = PAPER_TABLE3.get(row.key)
+        rows.append([
+            row.name,
+            row.dsl_sloc,
+            row.dsl_bytes,
+            row.native_sloc or "-",
+            row.native_bytes or "-",
+            f"{paper[0]}/{paper[1]}" if paper else "-",
+            f"{paper[2]}/{paper[3]}" if paper else "-",
+        ])
+    rows.append([
+        "Average",
+        round(sum(r.dsl_sloc for r in summary.rows) / len(summary.rows)),
+        round(sum(r.dsl_bytes for r in summary.rows) / len(summary.rows)),
+        round(sum(r.native_sloc or 0 for r in summary.rows) / len(summary.rows)),
+        round(sum(r.native_bytes or 0 for r in summary.rows) / len(summary.rows)),
+        "50/117",
+        "103/1876",
+    ])
+    table = render_table(
+        ["Driver", "DSL SLoC", "DSL bytes", "C SLoC", "C bytes",
+         "paper DSL", "paper C"],
+        rows,
+        title="Table 3 - driver development effort and footprint",
+    )
+    return (
+        f"{table}\n"
+        f"average SLoC saving: {summary.average_sloc_saving:.0%} (paper: 52%)\n"
+        f"average footprint saving: {summary.average_bytes_saving:.0%} (paper: 94%)"
+    )
+
+
+__all__ = [
+    "DriverComparison",
+    "Table3Summary",
+    "PAPER_TABLE3",
+    "compare_driver",
+    "table3",
+    "summarize_table3",
+    "render_table3",
+]

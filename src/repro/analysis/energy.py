@@ -1,0 +1,218 @@
+"""Figure 12: one-year energy, USB host vs µPnP (+ADC/I2C/UART).
+
+Reproduces §6.1's simulation: peripherals communicate once every ten
+seconds; the peripheral itself is ideal (draws nothing beyond its
+interconnect transactions — the worst case for µPnP, whose overhead
+then dominates); the horizontal axis sweeps the rate at which
+peripherals are connected/disconnected from 1 minute to 1,000,000
+minutes, log-log.
+
+µPnP's yearly energy = (identification energy per change) × changes +
+(interconnect transaction energy) × samples.  The identification energy
+varies with the resistor values on the peripheral board (§3), which is
+what the error bars capture; transaction energy differs per
+interconnect, which is why the three µPnP curves diverge once changes
+become rare and the communication floor dominates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hw.connector import BusKind
+from repro.hw.control_board import ControlBoard
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import CodecParams, DEFAULT_CODEC
+from repro.hw.peripheral_board import PeripheralBoard
+from repro.hw.usb_baseline import SECONDS_PER_YEAR, UsbHostModel
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.i2c import I2cBus
+from repro.interconnect.uart import UartBus, UartConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Summary, summarize
+
+#: Figure 12's x axis (minutes between peripheral changes), log-spaced.
+DEFAULT_CHANGE_INTERVALS_MIN: Tuple[float, ...] = (
+    1, 10, 100, 1_000, 10_000, 100_000, 1_000_000
+)
+
+#: Peripherals communicate once every ten seconds (§6.1).
+SAMPLE_PERIOD_S = 10.0
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One (x, y) of Figure 12 with its error bar."""
+
+    change_interval_min: float
+    mean_joules: float
+    std_joules: float
+    min_joules: float
+    max_joules: float
+
+
+def identification_energy_samples(
+    *,
+    trials: int = 25,
+    seed: int = 7,
+    codec: CodecParams = DEFAULT_CODEC,
+    channels: int = 3,
+) -> List[float]:
+    """Energy (J) of one identification round, over random resistor sets.
+
+    Each trial manufactures a board for a uniformly random device id —
+    the paper attributes the Figure 12 error bars "primarily [to] the
+    resistor values selection on the peripheral board".
+    """
+    rng = random.Random(seed)
+    samples: List[float] = []
+    for _ in range(trials):
+        board = ControlBoard(channels, params=codec, rng=rng)
+        device_id = DeviceId(rng.getrandbits(32))
+        board.connect(
+            PeripheralBoard.manufacture(device_id, BusKind.ADC, rng=rng)
+        )
+        report = board.run_identification()
+        samples.append(report.energy_joules)
+    return samples
+
+
+def transaction_energy_joules(bus: BusKind, *, seed: int = 3) -> float:
+    """Energy of one peripheral communication on *bus* (MCU side).
+
+    ADC: one conversion.  I2C: a BMP180-style register read (pointer
+    write + 3-byte read).  UART: one 16-byte ID-20LA frame at 9600 baud.
+    """
+    if bus is BusKind.ADC:
+        adc = AdcBus(rng=random.Random(seed))
+        adc.attach(_ConstantVoltage())
+        return adc.sample().energy_j
+    if bus is BusKind.I2C:
+        i2c = I2cBus()
+        i2c.attach(_DummyI2cSlave())
+        write = i2c.write(0x77, bytes([0xF6]))
+        read = i2c.read(0x77, 3)
+        return write.energy_j + read.energy_j
+    if bus is BusKind.UART:
+        sim = Simulator()
+        uart = UartBus(sim, config=UartConfig(baud=9600))
+        # A 16-byte reader frame arriving costs 16 byte-times of line
+        # activity on the receiving MCU.
+        duration = 16 * uart.config.byte_seconds
+        return uart._active_draw.energy_joules(duration)
+    raise ValueError(f"no transaction model for bus {bus}")
+
+
+class _ConstantVoltage:
+    def voltage_v(self) -> float:
+        return 1.0
+
+
+class _DummyI2cSlave:
+    i2c_address = 0x77
+
+    def handle_write(self, data: bytes) -> None:
+        del data
+
+    def handle_read(self, count: int) -> bytes:
+        return bytes(count)
+
+
+@dataclass
+class Figure12Model:
+    """Computes all four Figure 12 series."""
+
+    usb: UsbHostModel = field(default_factory=UsbHostModel)
+    codec: CodecParams = DEFAULT_CODEC
+    sample_period_s: float = SAMPLE_PERIOD_S
+    identification_trials: int = 25
+    seed: int = 7
+
+    def samples_per_year(self) -> int:
+        return int(SECONDS_PER_YEAR / self.sample_period_s)
+
+    def changes_per_year(self, change_interval_min: float) -> int:
+        return int(SECONDS_PER_YEAR / (change_interval_min * 60.0))
+
+    def upnp_series(
+        self,
+        bus: BusKind,
+        intervals_min: Sequence[float] = DEFAULT_CHANGE_INTERVALS_MIN,
+    ) -> List[EnergyPoint]:
+        """Annual µPnP energy for *bus*, one point per change interval."""
+        ident = identification_energy_samples(
+            trials=self.identification_trials, seed=self.seed, codec=self.codec
+        )
+        comm_floor = transaction_energy_joules(bus) * self.samples_per_year()
+        points: List[EnergyPoint] = []
+        for interval in intervals_min:
+            changes = self.changes_per_year(interval)
+            totals = [e * changes + comm_floor for e in ident]
+            stats = summarize(totals)
+            points.append(
+                EnergyPoint(interval, stats.mean, stats.stdev,
+                            stats.minimum, stats.maximum)
+            )
+        return points
+
+    def usb_series(
+        self, intervals_min: Sequence[float] = DEFAULT_CHANGE_INTERVALS_MIN
+    ) -> List[EnergyPoint]:
+        """Annual USB-host energy (always-on idle + enumerations)."""
+        points = []
+        for interval in intervals_min:
+            joules = self.usb.annual_energy_joules(interval)
+            points.append(EnergyPoint(interval, joules, 0.0, joules, joules))
+        return points
+
+    def all_series(
+        self, intervals_min: Sequence[float] = DEFAULT_CHANGE_INTERVALS_MIN
+    ) -> Dict[str, List[EnergyPoint]]:
+        """The four Figure 12 curves, keyed by the paper's legend."""
+        return {
+            "USB host": self.usb_series(intervals_min),
+            "uPnP+ADC": self.upnp_series(BusKind.ADC, intervals_min),
+            "uPnP+I2C": self.upnp_series(BusKind.I2C, intervals_min),
+            "uPnP+UART": self.upnp_series(BusKind.UART, intervals_min),
+        }
+
+    def advantage_at(self, interval_min: float, bus: BusKind = BusKind.ADC) -> float:
+        """USB/µPnP energy ratio at one change interval (paper: >1e4 at
+        hourly changes)."""
+        usb = self.usb.annual_energy_joules(interval_min)
+        upnp = self.upnp_series(bus, [interval_min])[0].mean_joules
+        return usb / upnp
+
+
+def render_figure12(model: Figure12Model | None = None) -> str:
+    """Text rendering of Figure 12 (series as columns, log-log data)."""
+    from repro.analysis.report import render_table
+
+    model = model or Figure12Model()
+    series = model.all_series()
+    intervals = [p.change_interval_min for p in next(iter(series.values()))]
+    headers = ["interval (min)"] + list(series)
+    rows = []
+    for index, interval in enumerate(intervals):
+        row: List[object] = [f"{interval:g}"]
+        for label in series:
+            point = series[label][index]
+            row.append(f"{point.mean_joules:.3g} J")
+        rows.append(row)
+    return render_table(
+        headers, rows,
+        title="Figure 12 - one-year energy vs rate of peripheral change",
+    )
+
+
+__all__ = [
+    "Figure12Model",
+    "EnergyPoint",
+    "identification_energy_samples",
+    "transaction_energy_joules",
+    "render_figure12",
+    "DEFAULT_CHANGE_INTERVALS_MIN",
+    "SAMPLE_PERIOD_S",
+]

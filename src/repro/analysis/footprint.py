@@ -1,0 +1,33 @@
+"""Table 2: memory footprint of the µPnP software stack.
+
+Thin harness over :mod:`repro.mcu.footprint`; see that module for the
+structural model and its calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mcu.footprint import DEFAULT_FOOTPRINT, FootprintModel
+
+#: Paper's Table 2: component -> (flash bytes, RAM bytes).
+PAPER_TABLE2 = {
+    "Peripheral Controller": (2243, 465),
+    "µPnP Virtual Machine": (7028, 450),
+    "ADC Native Library": (2034, 268),
+    "UART Native Library": (466, 15),
+    "I2C Native Library": (436, 18),
+    "µPnP Network Stack": (2024, 302),
+    "Total": (14231, 1518),
+}
+
+
+def render_table2(model: Optional[FootprintModel] = None) -> str:
+    model = model or DEFAULT_FOOTPRINT
+    lines = [model.render_table(), "", "paper Table 2:"]
+    for name, (flash, ram) in PAPER_TABLE2.items():
+        lines.append(f"  {name:28s} {flash:>6d} B flash  {ram:>5d} B RAM")
+    return "\n".join(lines)
+
+
+__all__ = ["render_table2", "PAPER_TABLE2"]

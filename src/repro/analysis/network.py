@@ -1,0 +1,206 @@
+"""Table 4: peripheral announcement and driver installation timing.
+
+Reproduces §6.4's setting: an uncongested one-hop network with low
+packet loss; a peripheral is plugged into a µPnP Thing and the phases
+of the plug-in pipeline are timed.  "All experiments were performed 10
+times and averaged results are presented."
+
+Phase boundaries come from the Thing's event log plus the client-side
+arrival of the unsolicited advertisement:
+
+* generate multicast address: ``identified`` -> ``group-generated``
+* join multicast group: ``group-generated`` -> ``group-joined``
+* request driver: ``driver-requested`` -> ``driver-upload-received``
+* install driver: ``driver-upload-received`` -> ``driver-activated``
+* advertise peripheral: ``advertised`` -> client receives it
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import CATALOG, make_peripheral_board, populate_registry
+from repro.net.network import Network
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Summary, summarize
+
+#: Paper's Table 4 rows (mean ms, std ms), for reports.
+PAPER_TABLE4 = {
+    "Generate Multicast Address": (2.59, 0.03),
+    "Join Multicast Group": (5.44, 0.01),
+    "Request driver": (53.91, 1.98),
+    "Install Driver": (59.50, 9.97),
+    "Advertise Peripheral": (45.37, 0.28),
+    "Total time": (188.53, 10.97),
+}
+
+ROW_ORDER = (
+    "Generate Multicast Address",
+    "Join Multicast Group",
+    "Request driver",
+    "Install Driver",
+    "Advertise Peripheral",
+)
+
+
+@dataclass(frozen=True)
+class TrialTimings:
+    """Per-phase durations (seconds) of one plug-in trial."""
+
+    generate_address_s: float
+    join_group_s: float
+    request_driver_s: float
+    install_driver_s: float
+    advertise_s: float
+    driver_bytes: int
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.generate_address_s
+            + self.join_group_s
+            + self.request_driver_s
+            + self.install_driver_s
+            + self.advertise_s
+        )
+
+
+def run_trial(*, seed: int, driver: str = "tmp36",
+              lowpan=None, link=None) -> TrialTimings:
+    """One plug-in on a fresh one-hop network; returns phase timings.
+
+    *lowpan* / *link* override the adaptation-layer and radio models
+    (used by the compression ablation).
+    """
+    from repro.net.link import LinkModel
+    from repro.net.lowpan import DEFAULT_LOWPAN
+
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(seed),
+                  lowpan=lowpan or DEFAULT_LOWPAN,
+                  link=link or LinkModel())
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+
+    thing = Thing(sim, net, 0, rng=rng.fork("thing"))
+    client = Client(sim, net, 1)
+    manager = Manager(sim, net, 2, registry)
+    # One-hop topology (§6.4): every node hears every other.
+    net.connect(0, 1)
+    net.connect(0, 2)
+    net.connect(1, 2)
+    net.build_dodag(2)
+
+    client_arrivals: List[float] = []
+    client.on_advertisement(
+        lambda src, entries: client_arrivals.append(sim.now_s)
+    )
+
+    board = make_peripheral_board(driver, rng=rng.stream("mfg"))
+    thing.plug(board)
+    sim.run_for(ns_from_s(5.0))
+
+    def moment(kind: str) -> float:
+        events = thing.events_of(kind)
+        if not events:
+            raise RuntimeError(f"plug-in pipeline never reached {kind!r}")
+        return events[0].time_s
+
+    identified = moment("identified")
+    generated = moment("group-generated")
+    joined = moment("group-joined")
+    requested = moment("driver-requested")
+    upload_received = moment("driver-upload-received")
+    activated = moment("driver-activated")
+    advertised = moment("advertised")
+    if not client_arrivals:
+        raise RuntimeError("client never received the advertisement")
+    driver_bytes = int(thing.events_of("driver-installed")[0].detail.split()[0])
+    return TrialTimings(
+        generate_address_s=generated - identified,
+        join_group_s=joined - generated,
+        request_driver_s=upload_received - requested,
+        install_driver_s=activated - upload_received,
+        advertise_s=client_arrivals[0] - advertised,
+        driver_bytes=driver_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Aggregated phase statistics over all trials."""
+
+    rows: Dict[str, Summary]
+    driver_bytes: int
+    trials: int
+
+    def total_mean_ms(self) -> float:
+        return sum(self.rows[name].mean for name in ROW_ORDER) * 1e3
+
+
+def run_table4(*, trials: int = 10, driver: str = "tmp36",
+               base_seed: int = 100, lowpan=None, link=None) -> Table4Result:
+    """The full Table 4 experiment: *trials* independent plug-ins."""
+    samples: Dict[str, List[float]] = {name: [] for name in ROW_ORDER}
+    driver_bytes = 0
+    for index in range(trials):
+        timings = run_trial(seed=base_seed + index, driver=driver,
+                            lowpan=lowpan, link=link)
+        samples["Generate Multicast Address"].append(timings.generate_address_s)
+        samples["Join Multicast Group"].append(timings.join_group_s)
+        samples["Request driver"].append(timings.request_driver_s)
+        samples["Install Driver"].append(timings.install_driver_s)
+        samples["Advertise Peripheral"].append(timings.advertise_s)
+        driver_bytes = timings.driver_bytes
+    rows = {name: summarize(values) for name, values in samples.items()}
+    return Table4Result(rows=rows, driver_bytes=driver_bytes, trials=trials)
+
+
+def render_table4(result: Optional[Table4Result] = None) -> str:
+    from repro.analysis.report import render_table
+
+    result = result or run_table4()
+    rows = []
+    for name in ROW_ORDER:
+        summary = result.rows[name]
+        paper_mean, paper_std = PAPER_TABLE4[name]
+        rows.append([
+            name,
+            f"{summary.mean * 1e3:.2f} ms",
+            f"{summary.stdev * 1e3:.2f} ms",
+            f"{paper_mean:.2f} ms",
+            f"{paper_std:.2f} ms",
+        ])
+    total = result.total_mean_ms()
+    paper_total = PAPER_TABLE4["Total time"]
+    rows.append([
+        "Total time", f"{total:.2f} ms", "",
+        f"{paper_total[0]:.2f} ms", f"{paper_total[1]:.2f} ms",
+    ])
+    table = render_table(
+        ["operation", "mean", "std", "paper mean", "paper std"],
+        rows,
+        title=(
+            f"Table 4 - announcement + driver installation "
+            f"({result.trials} trials, {result.driver_bytes}-byte driver)"
+        ),
+    )
+    return table
+
+
+__all__ = [
+    "TrialTimings",
+    "Table4Result",
+    "PAPER_TABLE4",
+    "ROW_ORDER",
+    "run_trial",
+    "run_table4",
+    "render_table4",
+]

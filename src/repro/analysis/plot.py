@@ -1,0 +1,142 @@
+"""ASCII chart rendering for figure reproduction in terminal output.
+
+The paper's Figure 12 is a log-log line plot; the benchmark harness
+prints the same series as both a table and an ASCII chart so the shape
+(flat USB line, linearly falling µPnP lines, divergence at the floor)
+is visible directly in the bench log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Plot markers, assigned to series in order.
+MARKERS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def _ticks(lo: float, hi: float, log: bool, count: int) -> List[float]:
+    if log:
+        lo_exp = math.floor(lo)
+        hi_exp = math.ceil(hi)
+        step = max(1, round((hi_exp - lo_exp) / max(1, count - 1)))
+        return [float(e) for e in range(int(lo_exp), int(hi_exp) + 1, step)]
+    if hi == lo:
+        return [lo]
+    step = (hi - lo) / max(1, count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _format_tick(value: float, log: bool) -> str:
+    if log:
+        return f"1e{int(value):+d}" if value != 0 else "1"
+    return f"{value:g}"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render *series* (label -> [(x, y), ...]) as an ASCII chart."""
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    xs = [_transform(x, log_x) for pts in series.values() for x, _ in pts]
+    ys = [_transform(y, log_y) for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend: List[str] = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {label}")
+        transformed = sorted(
+            (_transform(x, log_x), _transform(y, log_y)) for x, y in points
+        )
+        # Linear interpolation between consecutive points for line feel.
+        for (x0, y0), (x1, y1) in zip(transformed, transformed[1:]):
+            steps = max(
+                2, round((x1 - x0) / (x_hi - x_lo) * (width - 1)) + 1
+            )
+            for step in range(steps):
+                t = step / (steps - 1)
+                place(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, marker)
+        for x, y in transformed:
+            place(x, y, marker)
+
+    margin = 10
+    lines: List[str] = []
+    if title:
+        lines.append(" " * margin + title)
+    y_ticks = {
+        height - 1 - round((t - y_lo) / (y_hi - y_lo) * (height - 1)):
+            _format_tick(t, log_y)
+        for t in _ticks(y_lo, y_hi, log_y, 5)
+        if y_lo <= t <= y_hi
+    }
+    for row in range(height):
+        label = y_ticks.get(row, "")
+        lines.append(f"{label:>{margin - 2}} |" + "".join(grid[row]))
+    lines.append(" " * (margin - 2) + "+" + "-" * width)
+    x_tick_line = [" "] * (width + margin + 8)  # room for the last label
+    for t in _ticks(x_lo, x_hi, log_x, 5):
+        if not x_lo <= t <= x_hi:
+            continue
+        col = margin + round((t - x_lo) / (x_hi - x_lo) * (width - 1))
+        text = _format_tick(t, log_x)
+        for offset, ch in enumerate(text):
+            pos = col + offset
+            if pos < len(x_tick_line):
+                x_tick_line[pos] = ch
+    lines.append("".join(x_tick_line).rstrip())
+    if x_label:
+        lines.append(" " * margin + x_label)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def figure12_ascii(model=None) -> str:
+    """Figure 12 as an ASCII log-log chart."""
+    from repro.analysis.energy import Figure12Model
+
+    model = model or Figure12Model()
+    series = {
+        label: [(p.change_interval_min, p.mean_joules) for p in points]
+        for label, points in model.all_series().items()
+    }
+    return ascii_plot(
+        series,
+        title="Figure 12: 1-year energy vs rate of peripheral change",
+        x_label="change interval (minutes), log",
+        y_label="joules/year, log",
+    )
+
+
+__all__ = ["ascii_plot", "figure12_ascii", "MARKERS"]

@@ -1,0 +1,34 @@
+"""The assembled µPnP system: Thing, Client, Manager, global registry."""
+
+from repro.core.client import Client, DiscoveredPeripheral, ReadResult, StreamHandle
+from repro.core.manager import Manager, ManagerStats
+from repro.core.namespace import (
+    DeviceClass,
+    NamespaceError,
+    StructuredId,
+    VendorRegistry,
+    is_structured,
+)
+from repro.core.registry import AddressRecord, AddressStatus, Registry, RegistryError
+from repro.core.thing import DEFAULT_MANAGER_ANYCAST, Thing, ThingEvent
+
+__all__ = [
+    "Client",
+    "DiscoveredPeripheral",
+    "ReadResult",
+    "StreamHandle",
+    "Manager",
+    "ManagerStats",
+    "DeviceClass",
+    "NamespaceError",
+    "StructuredId",
+    "VendorRegistry",
+    "is_structured",
+    "AddressRecord",
+    "AddressStatus",
+    "Registry",
+    "RegistryError",
+    "DEFAULT_MANAGER_ANYCAST",
+    "Thing",
+    "ThingEvent",
+]

@@ -1,0 +1,312 @@
+"""The µPnP Client (§5): discovers and uses remote peripherals.
+
+Clients run "on both embedded IoT devices and standard computing
+platforms"; this implementation exposes callback-based discover / read
+/ write / stream operations over the simulated network.  Every request
+carries a sequence number matched against the reply, with timeouts for
+lost or unanswered messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import Ipv6Address
+from repro.net.multicast import all_clients_group, location_group, peripheral_group
+from repro.net.network import Network
+from repro.net.packets import UPNP_PORT, UdpDatagram
+from repro.net.stack import NetworkStack
+from repro.protocol import messages as proto
+from repro.protocol.messages import SequenceCounter, decode_message
+from repro.sim.kernel import EventHandle, Simulator, ns_from_s
+
+
+@dataclass(frozen=True)
+class DiscoveredPeripheral:
+    """One peripheral found on one Thing."""
+
+    thing: Ipv6Address
+    entry: proto.PeripheralEntry
+
+    @property
+    def device_id(self) -> DeviceId:
+        return self.entry.device_id
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Decoded reply to a read request."""
+
+    device_id: DeviceId
+    payload: bytes
+    is_array: bool
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.payload)
+
+    @property
+    def value(self) -> Optional[int]:
+        """Scalar interpretation (None for array replies or failures)."""
+        if not self.payload or self.is_array:
+            return None
+        return int.from_bytes(self.payload, "big", signed=True)
+
+
+class StreamHandle:
+    """A live stream subscription; cancel() unsubscribes."""
+
+    def __init__(self, client: "Client", thing: Ipv6Address,
+                 device_id: DeviceId, group: Ipv6Address) -> None:
+        self._client = client
+        self.thing = thing
+        self.device_id = device_id
+        self.group = group
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self._client._cancel_stream(self)
+
+
+@dataclass
+class _Pending:
+    kind: str
+    callback: Callable
+    timeout: Optional[EventHandle] = None
+    collected: List[DiscoveredPeripheral] = field(default_factory=list)
+
+
+class Client:
+    """A µPnP client endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        *,
+        default_timeout_s: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.stack = NetworkStack(network, node_id)
+        self.stack.bind(UPNP_PORT, self._on_datagram)
+        self._seq = SequenceCounter(node_id * 4099)
+        self._default_timeout_s = default_timeout_s
+        self._pending: Dict[int, _Pending] = {}
+        self._streams: Dict[int, StreamHandle] = {}          # group.value -> handle
+        self._stream_callbacks: Dict[int, Tuple[Callable, Optional[Callable]]] = {}
+        self._advertisement_listeners: List[
+            Callable[[Ipv6Address, List[proto.PeripheralEntry]], None]
+        ] = []
+        # Clients listen on the all-clients group for unsolicited
+        # advertisements (§5.2.1, Figure 10).
+        self.stack.join_group(all_clients_group(network.prefix48))
+
+    # ------------------------------------------------------------- interface
+    @property
+    def address(self) -> Ipv6Address:
+        return self.stack.address
+
+    def on_advertisement(
+        self,
+        listener: Callable[[Ipv6Address, List[proto.PeripheralEntry]], None],
+    ) -> None:
+        """Subscribe to unsolicited peripheral advertisements."""
+        self._advertisement_listeners.append(listener)
+
+    def discover(
+        self,
+        device_id: DeviceId | int,
+        callback: Callable[[List[DiscoveredPeripheral]], None],
+        *,
+        timeout_s: float = 1.0,
+        zone: Optional[int] = None,
+    ) -> None:
+        """Find Things carrying *device_id* (§5.2.1 messages 2/3).
+
+        The request multicasts to the peripheral's group; responses are
+        collected until *timeout_s* then delivered together.  With
+        *zone* set, the request targets the location-aware group (§9
+        extension) and only Things in that physical zone answer.
+        """
+        device_id = DeviceId(int(getattr(device_id, "value", device_id)))
+        seq = self._seq.next()
+        pending = _Pending("discover", callback)
+        self._pending[seq] = pending
+        if zone is None:
+            group = peripheral_group(self.stack.network.prefix48, device_id)
+        else:
+            group = location_group(self.stack.network.prefix48, device_id, zone)
+        message = proto.PeripheralDiscovery(seq, device_id)
+        self.stack.sendto(group, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self.sim.schedule(
+            ns_from_s(timeout_s),
+            lambda: self._finish_discovery(seq),
+            name="discover-timeout",
+        )
+
+    def _finish_discovery(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None:
+            pending.callback(list(pending.collected))
+
+    def read(
+        self,
+        thing: Ipv6Address,
+        device_id: DeviceId | int,
+        callback: Callable[[Optional[ReadResult]], None],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Read one value from a peripheral (§5.3.1 messages 10/11)."""
+        device_id = DeviceId(int(getattr(device_id, "value", device_id)))
+        seq = self._send_unicast(
+            thing, proto.ReadRequest, device_id, "read", callback, timeout_s
+        )
+        del seq
+
+    def write(
+        self,
+        thing: Ipv6Address,
+        device_id: DeviceId | int,
+        value: int,
+        callback: Callable[[Optional[int]], None],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Write a value to an actuator (§5.3.1 messages 16/17).
+
+        The callback receives the ack status (0 = ok), or None on timeout.
+        """
+        device_id = DeviceId(int(getattr(device_id, "value", device_id)))
+        seq = self._seq.next()
+        pending = _Pending("write", callback)
+        self._pending[seq] = pending
+        message = proto.WriteRequest(seq, device_id, value)
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self._arm_timeout(seq, timeout_s)
+
+    def stream(
+        self,
+        thing: Ipv6Address,
+        device_id: DeviceId | int,
+        on_data: Callable[[ReadResult], None],
+        *,
+        interval_ms: int = 0,
+        on_established: Optional[Callable[[StreamHandle], None]] = None,
+        on_closed: Optional[Callable[[], None]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Subscribe to a value stream (§5.3.1 messages 12-15)."""
+        device_id = DeviceId(int(getattr(device_id, "value", device_id)))
+        seq = self._seq.next()
+
+        def established(handle: Optional[StreamHandle]) -> None:
+            if handle is not None:
+                self._stream_callbacks[handle.group.value] = (on_data, on_closed)
+            if on_established is not None:
+                on_established(handle)
+
+        pending = _Pending("stream", established)
+        self._pending[seq] = pending
+        message = proto.StreamRequest(seq, device_id, interval_ms)
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self._arm_timeout(seq, timeout_s)
+
+    # --------------------------------------------------------------- plumbing
+    def _send_unicast(self, thing, msg_cls, device_id, kind, callback,
+                      timeout_s) -> int:
+        seq = self._seq.next()
+        pending = _Pending(kind, callback)
+        self._pending[seq] = pending
+        message = msg_cls(seq, device_id)
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self._arm_timeout(seq, timeout_s)
+        return seq
+
+    def _arm_timeout(self, seq: int, timeout_s: Optional[float]) -> EventHandle:
+        duration = self._default_timeout_s if timeout_s is None else timeout_s
+        return self.sim.schedule(
+            ns_from_s(duration),
+            lambda: self._fire_timeout(seq),
+            name="request-timeout",
+        )
+
+    def _fire_timeout(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None:
+            pending.callback(None)
+
+    def _cancel_stream(self, handle: StreamHandle) -> None:
+        self._stream_callbacks.pop(handle.group.value, None)
+        self._streams.pop(handle.group.value, None)
+        self.stack.leave_group(handle.group)
+        message = proto.StreamRequest(self._seq.next(), handle.device_id, 0xFFFF)
+        self.stack.sendto(
+            handle.thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT
+        )
+
+    # ---------------------------------------------------------------- receive
+    def _on_datagram(self, datagram: UdpDatagram) -> None:
+        try:
+            message = decode_message(datagram.payload)
+        except proto.ProtocolError:
+            return
+        if isinstance(message, proto.UnsolicitedAdvertisement):
+            for listener in list(self._advertisement_listeners):
+                listener(datagram.src, list(message.peripherals))
+            return
+        if isinstance(message, proto.SolicitedAdvertisement):
+            pending = self._pending.get(message.seq)
+            if pending is not None and pending.kind == "discover":
+                pending.collected.extend(
+                    DiscoveredPeripheral(datagram.src, entry)
+                    for entry in message.peripherals
+                )
+            return
+        if isinstance(message, proto.StreamData):
+            callbacks = self._stream_callbacks.get(datagram.dst.value)
+            if callbacks is not None:
+                callbacks[0](
+                    ReadResult(message.device_id, message.payload, message.is_array)
+                )
+            return
+        if isinstance(message, proto.StreamClosed):
+            callbacks = self._stream_callbacks.pop(datagram.dst.value, None)
+            handle = self._streams.pop(datagram.dst.value, None)
+            if handle is not None:
+                handle.active = False
+                self.stack.leave_group(handle.group)
+            if callbacks is not None and callbacks[1] is not None:
+                callbacks[1]()
+            return
+        # Sequence-matched unicast replies.
+        pending = self._pending.pop(message.seq, None)
+        if pending is None:
+            return
+        if pending.timeout is not None:
+            pending.timeout.cancel()
+        if isinstance(message, proto.Data) and pending.kind == "read":
+            pending.callback(
+                ReadResult(message.device_id, message.payload, message.is_array)
+            )
+        elif isinstance(message, proto.WriteAck) and pending.kind == "write":
+            pending.callback(message.status)
+        elif isinstance(message, proto.StreamEstablished) and pending.kind == "stream":
+            handle = StreamHandle(
+                self, datagram.src, message.device_id, message.group
+            )
+            self._streams[message.group.value] = handle
+            self.stack.join_group(
+                message.group, lambda: pending.callback(handle)
+            )
+        else:
+            # Unexpected reply type: treat as failure.
+            pending.callback(None)
+
+
+__all__ = ["Client", "DiscoveredPeripheral", "ReadResult", "StreamHandle"]

@@ -1,0 +1,168 @@
+"""The µPnP Manager (§5): driver deployment and remote configuration.
+
+The manager "runs on a server-class device and manages the deployment
+and remote configuration of device drivers on µPnP Things".  It serves
+driver images from the global :class:`Registry` at an *anycast* IPv6
+address, so any of several replicas can answer a Thing's install
+request (network-level redundancy, [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.registry import Registry
+from repro.core.thing import DEFAULT_MANAGER_ANYCAST
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import Ipv6Address
+from repro.net.network import Network
+from repro.net.packets import UPNP_PORT, UdpDatagram
+from repro.net.stack import NetworkStack
+from repro.protocol import messages as proto
+from repro.protocol.messages import SequenceCounter, decode_message
+from repro.sim.kernel import EventHandle, Simulator, ns_from_s
+
+
+@dataclass
+class ManagerStats:
+    install_requests: int = 0
+    uploads: int = 0
+    unknown_driver_requests: int = 0
+
+
+@dataclass
+class _Pending:
+    kind: str
+    callback: Callable
+    timeout: Optional[EventHandle] = None
+
+
+class Manager:
+    """A µPnP manager instance backed by the global registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        registry: Registry,
+        *,
+        anycast: str = DEFAULT_MANAGER_ANYCAST,
+        default_timeout_s: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.stack = NetworkStack(network, node_id)
+        self.stack.bind(UPNP_PORT, self._on_datagram)
+        self.anycast_address = Ipv6Address.parse(anycast)
+        self.stack.join_anycast(self.anycast_address)
+        self._seq = SequenceCounter(node_id * 7919)
+        self._default_timeout_s = default_timeout_s
+        self._pending: Dict[int, _Pending] = {}
+        self.stats = ManagerStats()
+        #: Last known driver inventory per Thing (from advertisements).
+        self.known_inventories: Dict[int, Tuple[DeviceId, ...]] = {}
+
+    @property
+    def address(self) -> Ipv6Address:
+        return self.stack.address
+
+    # --------------------------------------------------------------- serving
+    def _on_datagram(self, datagram: UdpDatagram) -> None:
+        try:
+            message = decode_message(datagram.payload)
+        except proto.ProtocolError:
+            return
+        if isinstance(message, proto.DriverInstallRequest):
+            self._serve_install(message, datagram)
+            return
+        if isinstance(message, proto.DriverAdvertisement):
+            self.known_inventories[datagram.src.value] = tuple(message.device_ids)
+        pending = self._pending.pop(message.seq, None)
+        if pending is None:
+            return
+        if pending.timeout is not None:
+            pending.timeout.cancel()
+        if isinstance(message, proto.DriverAdvertisement):
+            pending.callback(list(message.device_ids))
+        elif isinstance(message, proto.DriverRemovalAck):
+            pending.callback(message.status)
+        else:
+            pending.callback(None)
+
+    def _serve_install(
+        self, message: proto.DriverInstallRequest, datagram: UdpDatagram
+    ) -> None:
+        self.stats.install_requests += 1
+        image = self.registry.driver_image(message.device_id)
+        if image is None:
+            self.stats.unknown_driver_requests += 1
+            return
+        lookup = self.stack.network.timing.manager_lookup_cpu_s
+
+        def upload() -> None:
+            reply = proto.DriverUpload(message.seq, message.device_id, image.pack())
+            address, port = datagram.reply_to()
+            self.stack.sendto(address, port, reply.encode(), src_port=UPNP_PORT)
+            self.stats.uploads += 1
+
+        self.sim.schedule(ns_from_s(lookup), upload, name="manager-lookup")
+
+    # --------------------------------------------------------------------------------------------------------- management actions
+    def push_driver(self, thing: Ipv6Address, device_id: DeviceId) -> bool:
+        """Proactively deploy a driver to a Thing (unsolicited upload)."""
+        image = self.registry.driver_image(device_id)
+        if image is None:
+            return False
+        message = proto.DriverUpload(self._seq.next(), device_id, image.pack())
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        self.stats.uploads += 1
+        return True
+
+    def discover_drivers(
+        self,
+        thing: Ipv6Address,
+        callback: Callable[[Optional[List[DeviceId]]], None],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Explore a Thing's installed drivers (§5.3 messages 6/7)."""
+        seq = self._seq.next()
+        pending = _Pending("driver-discovery", callback)
+        self._pending[seq] = pending
+        message = proto.DriverDiscovery(seq)
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self._arm_timeout(seq, timeout_s)
+
+    def remove_driver(
+        self,
+        thing: Ipv6Address,
+        device_id: DeviceId,
+        callback: Callable[[Optional[int]], None],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Remove a driver from a Thing (§5.3 messages 8/9)."""
+        seq = self._seq.next()
+        pending = _Pending("driver-removal", callback)
+        self._pending[seq] = pending
+        message = proto.DriverRemovalRequest(seq, device_id)
+        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        pending.timeout = self._arm_timeout(seq, timeout_s)
+
+    def _arm_timeout(self, seq: int, timeout_s: Optional[float]) -> EventHandle:
+        duration = self._default_timeout_s if timeout_s is None else timeout_s
+        return self.sim.schedule(
+            ns_from_s(duration),
+            lambda: self._fire_timeout(seq),
+            name="manager-timeout",
+        )
+
+    def _fire_timeout(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None:
+            pending.callback(None)
+
+
+__all__ = ["Manager", "ManagerStats"]

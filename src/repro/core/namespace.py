@@ -1,0 +1,169 @@
+"""Extension: a structured µPnP name space (§9, "µPnP Name Space").
+
+The paper's future work proposes restructuring the flat 32-bit address
+space "inspired by the ID structure of PCI and USB, which includes a
+vendor ID and device ID", possibly with "hierarchical device typing".
+This module implements that proposal on top of the existing address
+space, backwards-compatibly: a structured identifier *is* a 32-bit
+µPnP device id, so all hardware encoding, multicast mapping and driver
+management work unchanged.
+
+Layout (32 bits):
+
+    | 4 bits  | 12 bits   | 6 bits | 10 bits |
+    | scheme  | vendor id | class  | product |
+
+* ``scheme`` = 0x7 marks structured ids (flat legacy ids keep the rest
+  of the space; the two reserved values can never collide since their
+  top nibble is 0x0/0xF);
+* ``vendor`` — 4096 vendors, allocated through the registry;
+* ``device class`` — hierarchical typing (temperature, humidity, ...);
+* ``product`` — 1024 products per vendor and class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hw.device_id import DeviceId
+
+STRUCTURED_SCHEME = 0x7
+
+_VENDOR_BITS = 12
+_CLASS_BITS = 6
+_PRODUCT_BITS = 10
+
+MAX_VENDOR = (1 << _VENDOR_BITS) - 1
+MAX_PRODUCT = (1 << _PRODUCT_BITS) - 1
+
+
+class DeviceClass(enum.IntEnum):
+    """Hierarchical device typing (§9)."""
+
+    GENERIC = 0
+    TEMPERATURE = 1
+    HUMIDITY = 2
+    PRESSURE = 3
+    LIGHT = 4
+    MOTION = 5
+    IDENTIFICATION = 6   # RFID, barcode, biometric readers
+    SWITCH = 16          # relays, contactors
+    DISPLAY = 17
+    AUDIO = 18
+    RADIO = 32
+
+
+class NamespaceError(ValueError):
+    """Invalid structured-identifier fields or allocations."""
+
+
+@dataclass(frozen=True)
+class StructuredId:
+    """A PCI/USB-style vendor+class+product identifier."""
+
+    vendor: int
+    device_class: DeviceClass
+    product: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vendor <= MAX_VENDOR:
+            raise NamespaceError(f"vendor id out of range: {self.vendor}")
+        if not 0 <= self.product <= MAX_PRODUCT:
+            raise NamespaceError(f"product id out of range: {self.product}")
+
+    def to_device_id(self) -> DeviceId:
+        value = (
+            (STRUCTURED_SCHEME << 28)
+            | (self.vendor << (_CLASS_BITS + _PRODUCT_BITS))
+            | (int(self.device_class) << _PRODUCT_BITS)
+            | self.product
+        )
+        return DeviceId(value)
+
+    @classmethod
+    def from_device_id(cls, device_id: DeviceId) -> "StructuredId":
+        value = device_id.value
+        if (value >> 28) != STRUCTURED_SCHEME:
+            raise NamespaceError(f"{device_id} is not a structured id")
+        vendor = (value >> (_CLASS_BITS + _PRODUCT_BITS)) & MAX_VENDOR
+        class_bits = (value >> _PRODUCT_BITS) & ((1 << _CLASS_BITS) - 1)
+        product = value & MAX_PRODUCT
+        try:
+            device_class = DeviceClass(class_bits)
+        except ValueError:
+            device_class = DeviceClass.GENERIC
+        return cls(vendor, device_class, product)
+
+    def __str__(self) -> str:
+        return (f"{self.vendor:03x}:{int(self.device_class):02x}:"
+                f"{self.product:03x}")
+
+
+def is_structured(device_id: DeviceId) -> bool:
+    return (device_id.value >> 28) == STRUCTURED_SCHEME
+
+
+class VendorRegistry:
+    """Allocates vendor ids and per-vendor product numbers.
+
+    Sits alongside :class:`repro.core.registry.Registry`: a vendor first
+    registers here, then requests concrete addresses (with the derived
+    ``preferred_id``) in the global address space as usual.
+    """
+
+    def __init__(self) -> None:
+        self._vendors: Dict[int, str] = {}
+        self._by_name: Dict[str, int] = {}
+        self._next_product: Dict[int, Dict[DeviceClass, int]] = {}
+
+    def register_vendor(self, name: str) -> int:
+        """Allocate the next vendor id for *name* (idempotent by name)."""
+        if not name:
+            raise NamespaceError("vendor name required")
+        if name in self._by_name:
+            return self._by_name[name]
+        vendor = len(self._vendors) + 1
+        if vendor > MAX_VENDOR:
+            raise NamespaceError("vendor space exhausted")
+        self._vendors[vendor] = name
+        self._by_name[name] = vendor
+        self._next_product[vendor] = {}
+        return vendor
+
+    def vendor_name(self, vendor: int) -> Optional[str]:
+        return self._vendors.get(vendor)
+
+    def allocate_product(
+        self, vendor: int, device_class: DeviceClass
+    ) -> StructuredId:
+        """Next product number for (vendor, class)."""
+        if vendor not in self._vendors:
+            raise NamespaceError(f"unknown vendor {vendor}")
+        per_class = self._next_product[vendor]
+        product = per_class.get(device_class, 0)
+        if product > MAX_PRODUCT:
+            raise NamespaceError("product space exhausted for this class")
+        per_class[device_class] = product + 1
+        return StructuredId(vendor, device_class, product)
+
+    def products_of(self, vendor: int) -> List[StructuredId]:
+        per_class = self._next_product.get(vendor, {})
+        return [
+            StructuredId(vendor, device_class, product)
+            for device_class, count in sorted(per_class.items())
+            for product in range(count)
+        ]
+
+
+__all__ = [
+    "DeviceClass",
+    "NamespaceError",
+    "StructuredId",
+    "VendorRegistry",
+    "is_structured",
+    "STRUCTURED_SCHEME",
+    "MAX_VENDOR",
+    "MAX_PRODUCT",
+]

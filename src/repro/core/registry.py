@@ -1,0 +1,242 @@
+"""The global µPnP address space (§3.3, www.micropnp.com).
+
+Any party may request a *provisional* address by supplying their name,
+organisation, email and a link describing the peripheral.  The address
+becomes *permanent* — and immutable — once a validated device driver is
+uploaded for it; drivers may be updated at any time afterwards.  The
+registry also hosts the "simple online tool" that converts an allocated
+identifier into the resistor set a peripheral must carry.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.dsl.bytecode import DriverImage
+from repro.dsl.compiler import compile_source
+from repro.dsl.lint import LintWarning, lint_source
+from repro.dsl.errors import DslError
+from repro.hw.connector import BusKind
+from repro.hw.device_id import ALL_CLIENTS, ALL_PERIPHERALS, DeviceId
+from repro.hw.idcodec import CodecParams, DEFAULT_CODEC, ResistorSet, resistor_set_for_id
+
+
+class RegistryError(Exception):
+    """Invalid address-space operations."""
+
+
+class AddressStatus(enum.Enum):
+    PROVISIONAL = "provisional"
+    PERMANENT = "permanent"
+
+
+@dataclass(frozen=True)
+class AddressRecord:
+    """One allocation in the global address space."""
+
+    device_id: DeviceId
+    name: str
+    organization: str
+    email: str
+    url: str
+    bus: BusKind
+    label: str
+    status: AddressStatus = AddressStatus.PROVISIONAL
+    driver_source: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "device_id": str(self.device_id),
+            "name": self.name,
+            "organization": self.organization,
+            "email": self.email,
+            "url": self.url,
+            "bus": self.bus.value,
+            "label": self.label,
+            "status": self.status.value,
+            "driver_source": self.driver_source,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AddressRecord":
+        return cls(
+            device_id=DeviceId.from_hex(data["device_id"]),
+            name=data["name"],
+            organization=data["organization"],
+            email=data["email"],
+            url=data["url"],
+            bus=BusKind(data["bus"]),
+            label=data["label"],
+            status=AddressStatus(data["status"]),
+            driver_source=data.get("driver_source"),
+        )
+
+
+class Registry:
+    """In-memory (optionally JSON-persisted) global address space."""
+
+    def __init__(self, codec: CodecParams = DEFAULT_CODEC) -> None:
+        self._codec = codec
+        self._records: Dict[int, AddressRecord] = {}
+        self._images: Dict[int, DriverImage] = {}
+        self._lint: Dict[int, List["LintWarning"]] = {}
+
+    # ------------------------------------------------------------ allocation
+    def request_address(
+        self,
+        name: str,
+        organization: str,
+        email: str,
+        url: str,
+        *,
+        bus: BusKind,
+        label: str = "",
+        preferred_id: Optional[DeviceId] = None,
+    ) -> AddressRecord:
+        """Allocate a provisional address (§3.3).
+
+        Deterministic: without a *preferred_id* the identifier is derived
+        from the request fields, then linearly probed past collisions
+        and the two reserved values.
+        """
+        if not (name and organization and email and url):
+            raise RegistryError(
+                "name, organization, email and url are all required"
+            )
+        if preferred_id is not None:
+            candidate = preferred_id.value
+            if self._taken(candidate):
+                raise RegistryError(f"address {preferred_id} is unavailable")
+        else:
+            digest = hashlib.sha256(
+                f"{name}|{organization}|{email}|{url}".encode()
+            ).digest()
+            candidate = int.from_bytes(digest[:4], "big")
+            while self._taken(candidate):
+                candidate = (candidate + 1) & 0xFFFFFFFF
+        record = AddressRecord(
+            device_id=DeviceId(candidate),
+            name=name,
+            organization=organization,
+            email=email,
+            url=url,
+            bus=bus,
+            label=label or name,
+        )
+        self._records[candidate] = record
+        return record
+
+    def _taken(self, value: int) -> bool:
+        return value in self._records or value in (ALL_PERIPHERALS, ALL_CLIENTS)
+
+    # ------------------------------------------------------------- the tool
+    def resistor_set_for(self, device_id: DeviceId) -> ResistorSet:
+        """The online tool: allocated address -> resistor bill of materials."""
+        if device_id.value not in self._records:
+            raise RegistryError(f"{device_id} is not allocated")
+        return resistor_set_for_id(device_id, self._codec)
+
+    # --------------------------------------------------------------- drivers
+    def upload_driver(self, device_id: DeviceId, source: str) -> DriverImage:
+        """Upload + validate a driver; promotes the address to permanent.
+
+        Validation is compilation against the DSL toolchain (§3.3's
+        "manual checking" stand-in); invalid drivers are rejected and
+        the address stays provisional.
+        """
+        record = self._records.get(device_id.value)
+        if record is None:
+            raise RegistryError(f"{device_id} is not allocated")
+        try:
+            image = compile_source(source, device_id.value)
+            warnings = lint_source(source)
+        except DslError as exc:
+            raise RegistryError(f"driver rejected: {exc}") from exc
+        self._images[device_id.value] = image
+        # §9's automated validation: advisory lint findings are kept
+        # alongside the upload for the vendor / reviewers.
+        self._lint[device_id.value] = warnings
+        self._records[device_id.value] = replace(
+            record, status=AddressStatus.PERMANENT, driver_source=source
+        )
+        return image
+
+    def driver_image(self, device_id: DeviceId | int) -> Optional[DriverImage]:
+        return self._images.get(int(getattr(device_id, "value", device_id)))
+
+    def driver_source(self, device_id: DeviceId) -> Optional[str]:
+        record = self._records.get(device_id.value)
+        return record.driver_source if record else None
+
+    def lint_report(self, device_id: DeviceId | int) -> List["LintWarning"]:
+        """Advisory findings from the last upload's automated validation."""
+        key = int(getattr(device_id, "value", device_id))
+        return list(self._lint.get(key, []))
+
+    # --------------------------------------------------------------- queries
+    def record(self, device_id: DeviceId) -> Optional[AddressRecord]:
+        return self._records.get(device_id.value)
+
+    def records(self) -> List[AddressRecord]:
+        return [self._records[k] for k in sorted(self._records)]
+
+    def permanent_ids(self) -> List[DeviceId]:
+        return [
+            r.device_id
+            for r in self.records()
+            if r.status is AddressStatus.PERMANENT
+        ]
+
+    # --------------------------------------------------------------------- GC
+    def collect_garbage(self, *, keep_newest: int = 0) -> List[AddressRecord]:
+        """Reclaim stale provisional addresses (§3.3 future work).
+
+        Permanent addresses are immutable and never collected; a
+        provisional address that never received a validated driver is
+        reclaimable.  ``keep_newest`` preserves that many of the most
+        recently allocated provisional records (a grace window for
+        in-flight driver development).  Returns the reclaimed records.
+        """
+        if keep_newest < 0:
+            raise RegistryError("keep_newest must be non-negative")
+        provisional = [
+            record for record in self._records.values()
+            if record.status is AddressStatus.PROVISIONAL
+        ]
+        # Allocation order is insertion order of the records dict.
+        ordered = [
+            record for record in self._records.values()
+            if record in provisional
+        ]
+        victims = ordered[: max(0, len(ordered) - keep_newest)]
+        for record in victims:
+            del self._records[record.device_id.value]
+            self._images.pop(record.device_id.value, None)
+            self._lint.pop(record.device_id.value, None)
+        return victims
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: Path | str) -> None:
+        data = {"records": [r.to_json() for r in self.records()]}
+        Path(path).write_text(json.dumps(data, indent=2))
+
+    @classmethod
+    def load(cls, path: Path | str, codec: CodecParams = DEFAULT_CODEC) -> "Registry":
+        registry = cls(codec)
+        data = json.loads(Path(path).read_text())
+        for item in data["records"]:
+            record = AddressRecord.from_json(item)
+            registry._records[record.device_id.value] = record
+            if record.driver_source is not None:
+                registry._images[record.device_id.value] = compile_source(
+                    record.driver_source, record.device_id.value
+                )
+        return registry
+
+
+__all__ = ["Registry", "RegistryError", "AddressRecord", "AddressStatus"]

@@ -1,0 +1,39 @@
+"""Driver catalogue: µPnP DSL drivers + native C baselines (Table 3)."""
+
+from repro.drivers.catalog import (
+    BMP180_ID,
+    CATALOG,
+    HIH4030_ID,
+    ID20LA_ID,
+    MAX6675_ID,
+    RELAY_ID,
+    TABLE3_DRIVERS,
+    TMP36_ID,
+    DriverSpec,
+    make_peripheral_board,
+    populate_registry,
+    spec_for_id,
+)
+from repro.drivers.native_model import (
+    NativeSizeEstimate,
+    estimate_native_bytes,
+    uses_float,
+)
+
+__all__ = [
+    "BMP180_ID",
+    "CATALOG",
+    "HIH4030_ID",
+    "ID20LA_ID",
+    "MAX6675_ID",
+    "RELAY_ID",
+    "TABLE3_DRIVERS",
+    "TMP36_ID",
+    "DriverSpec",
+    "make_peripheral_board",
+    "populate_registry",
+    "spec_for_id",
+    "NativeSizeEstimate",
+    "estimate_native_bytes",
+    "uses_float",
+]

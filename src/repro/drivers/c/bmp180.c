@@ -1,0 +1,205 @@
+/*
+ * Native Contiki driver: BMP180 barometric pressure sensor (I2C).
+ * Platform-specific baseline for Table 3 (ATMega128RFA1).
+ *
+ * Blocking TWI master implementation plus the datasheet's integer
+ * compensation algorithm (oss = 0).
+ */
+#include "contiki.h"
+#include <avr/io.h>
+#include <util/twi.h>
+#include <stdint.h>
+
+#define BMP180_ADDR         0x77
+#define BMP180_REG_CALIB    0xaa
+#define BMP180_REG_ID       0xd0
+#define BMP180_REG_CTRL     0xf4
+#define BMP180_REG_OUT      0xf6
+#define BMP180_CMD_TEMP     0x2e
+#define BMP180_CMD_PRESS    0x34
+#define BMP180_CHIP_ID      0x55
+
+static int16_t ac1, ac2, ac3;
+static uint16_t ac4, ac5, ac6;
+static int16_t b1, b2, mb, mc, md;
+static int32_t b5;
+static uint8_t calibrated;
+
+/* ------------------------------------------------------------ TWI master */
+
+static void
+twi_init(void)
+{
+  TWSR = 0;                              /* prescaler 1 */
+  TWBR = (uint8_t)((F_CPU / 100000UL - 16) / 2);
+  TWCR = _BV(TWEN);
+}
+
+static int
+twi_start(uint8_t address_rw)
+{
+  TWCR = _BV(TWINT) | _BV(TWSTA) | _BV(TWEN);
+  while(!(TWCR & _BV(TWINT))) {
+  }
+  TWDR = address_rw;
+  TWCR = _BV(TWINT) | _BV(TWEN);
+  while(!(TWCR & _BV(TWINT))) {
+  }
+  if(TW_STATUS != TW_MT_SLA_ACK && TW_STATUS != TW_MR_SLA_ACK) {
+    return -1;
+  }
+  return 0;
+}
+
+static void
+twi_stop(void)
+{
+  TWCR = _BV(TWINT) | _BV(TWSTO) | _BV(TWEN);
+}
+
+static void
+twi_write(uint8_t data)
+{
+  TWDR = data;
+  TWCR = _BV(TWINT) | _BV(TWEN);
+  while(!(TWCR & _BV(TWINT))) {
+  }
+}
+
+static uint8_t
+twi_read(uint8_t ack)
+{
+  TWCR = _BV(TWINT) | _BV(TWEN) | (ack ? _BV(TWEA) : 0);
+  while(!(TWCR & _BV(TWINT))) {
+  }
+  return TWDR;
+}
+
+/* ------------------------------------------------------- register access */
+
+static int
+bmp180_read_regs(uint8_t reg, uint8_t *buf, uint8_t len)
+{
+  uint8_t i;
+
+  if(twi_start((BMP180_ADDR << 1) | TW_WRITE) < 0) {
+    return -1;
+  }
+  twi_write(reg);
+  if(twi_start((BMP180_ADDR << 1) | TW_READ) < 0) {
+    return -1;
+  }
+  for(i = 0; i < len; i++) {
+    buf[i] = twi_read(i + 1 < len);
+  }
+  twi_stop();
+  return 0;
+}
+
+static int
+bmp180_write_reg(uint8_t reg, uint8_t value)
+{
+  if(twi_start((BMP180_ADDR << 1) | TW_WRITE) < 0) {
+    return -1;
+  }
+  twi_write(reg);
+  twi_write(value);
+  twi_stop();
+  return 0;
+}
+
+static void
+bmp180_wait_conversion(void)
+{
+  uint8_t ctrl;
+
+  do {
+    if(bmp180_read_regs(BMP180_REG_CTRL, &ctrl, 1) < 0) {
+      return;
+    }
+  } while(ctrl & 0x20);                 /* Sco clears when done */
+}
+
+/* ----------------------------------------------------------- public API */
+
+int
+bmp180_init(void)
+{
+  uint8_t cal[22];
+  uint8_t id;
+
+  twi_init();
+  if(bmp180_read_regs(BMP180_REG_ID, &id, 1) < 0 || id != BMP180_CHIP_ID) {
+    return -1;
+  }
+  if(bmp180_read_regs(BMP180_REG_CALIB, cal, sizeof(cal)) < 0) {
+    return -1;
+  }
+  ac1 = (int16_t)((cal[0] << 8) | cal[1]);
+  ac2 = (int16_t)((cal[2] << 8) | cal[3]);
+  ac3 = (int16_t)((cal[4] << 8) | cal[5]);
+  ac4 = (uint16_t)((cal[6] << 8) | cal[7]);
+  ac5 = (uint16_t)((cal[8] << 8) | cal[9]);
+  ac6 = (uint16_t)((cal[10] << 8) | cal[11]);
+  b1 = (int16_t)((cal[12] << 8) | cal[13]);
+  b2 = (int16_t)((cal[14] << 8) | cal[15]);
+  mb = (int16_t)((cal[16] << 8) | cal[17]);
+  mc = (int16_t)((cal[18] << 8) | cal[19]);
+  md = (int16_t)((cal[20] << 8) | cal[21]);
+  calibrated = 1;
+  return 0;
+}
+
+int16_t
+bmp180_read_temperature(void)
+{
+  uint8_t raw[2];
+  int32_t ut, x1, x2;
+
+  if(!calibrated) {
+    return 0;
+  }
+  bmp180_write_reg(BMP180_REG_CTRL, BMP180_CMD_TEMP);
+  bmp180_wait_conversion();
+  bmp180_read_regs(BMP180_REG_OUT, raw, 2);
+  ut = ((int32_t)raw[0] << 8) | raw[1];
+  x1 = ((ut - (int32_t)ac6) * (int32_t)ac5) >> 15;
+  x2 = ((int32_t)mc << 11) / (x1 + md);
+  b5 = x1 + x2;
+  return (int16_t)((b5 + 8) >> 4);      /* 0.1 degC */
+}
+
+int32_t
+bmp180_read_pressure(void)
+{
+  uint8_t raw[3];
+  int32_t up, x1, x2, x3, b3, b6, p;
+  uint32_t b4, b7;
+
+  /* Pressure compensation needs a fresh B5 from the temperature path. */
+  bmp180_read_temperature();
+  bmp180_write_reg(BMP180_REG_CTRL, BMP180_CMD_PRESS);
+  bmp180_wait_conversion();
+  bmp180_read_regs(BMP180_REG_OUT, raw, 3);
+  up = (((int32_t)raw[0] << 16) | ((int32_t)raw[1] << 8) | raw[2]) >> 8;
+
+  b6 = b5 - 4000;
+  x1 = ((int32_t)b2 * ((b6 * b6) >> 12)) >> 11;
+  x2 = ((int32_t)ac2 * b6) >> 11;
+  x3 = x1 + x2;
+  b3 = (((int32_t)ac1 * 4 + x3) + 2) / 4;
+  x1 = ((int32_t)ac3 * b6) >> 13;
+  x2 = ((int32_t)b1 * ((b6 * b6) >> 12)) >> 16;
+  x3 = ((x1 + x2) + 2) >> 2;
+  b4 = ((uint32_t)ac4 * (uint32_t)(x3 + 32768)) >> 15;
+  b7 = ((uint32_t)up - b3) * 50000UL;
+  if(b7 < 0x80000000UL) {
+    p = (b7 * 2) / b4;
+  } else {
+    p = (b7 / b4) * 2;
+  }
+  x1 = (p >> 8) * (p >> 8);
+  x1 = (x1 * 3038) >> 16;
+  x2 = (-7357 * p) >> 16;
+  return p + ((x1 + x2 + 3791) >> 4);   /* pascal */
+}

@@ -1,0 +1,76 @@
+/*
+ * Native Contiki driver: HIH-4030 analog humidity sensor.
+ * Platform-specific baseline for Table 3 (ATMega128RFA1).
+ *
+ * Uses the datasheet transfer function with floating point math and
+ * temperature compensation, pulling in the AVR soft-float library.
+ */
+#include "contiki.h"
+#include "dev/adc.h"
+#include <avr/io.h>
+#include <stdint.h>
+
+#define HIH4030_ADC_CHANNEL  1
+#define HIH4030_SUPPLY_MV    3300.0f
+#define HIH4030_SLOPE        0.0062f
+#define HIH4030_OFFSET       0.16f
+#define HIH4030_COMP_A       1.0546f
+#define HIH4030_COMP_B       0.00216f
+
+static uint8_t initialized;
+
+static void
+hih4030_arch_init(void)
+{
+  ADMUX = _BV(REFS0) | (HIH4030_ADC_CHANNEL & 0x1f);
+  ADCSRA = _BV(ADEN) | _BV(ADPS2) | _BV(ADPS1) | _BV(ADPS0);
+  initialized = 1;
+}
+
+static uint16_t
+hih4030_arch_sample(void)
+{
+  uint16_t result;
+
+  ADCSRA |= _BV(ADSC);
+  while(ADCSRA & _BV(ADSC)) {
+  }
+  result = ADCL;
+  result |= (uint16_t)ADCH << 8;
+  return result;
+}
+
+float
+hih4030_read_rh(float temperature_c)
+{
+  uint16_t counts;
+  float vout, rh_sensor, rh_true;
+
+  if(!initialized) {
+    hih4030_arch_init();
+  }
+  counts = hih4030_arch_sample();
+  vout = (float)counts * HIH4030_SUPPLY_MV / 1023.0f / 1000.0f;
+  rh_sensor = (vout / (HIH4030_SUPPLY_MV / 1000.0f) - HIH4030_OFFSET)
+              / HIH4030_SLOPE;
+  rh_true = rh_sensor / (HIH4030_COMP_A - HIH4030_COMP_B * temperature_c);
+  if(rh_true < 0.0f) {
+    rh_true = 0.0f;
+  } else if(rh_true > 100.0f) {
+    rh_true = 100.0f;
+  }
+  return rh_true;
+}
+
+uint16_t
+hih4030_read_rh_tenths(float temperature_c)
+{
+  return (uint16_t)(hih4030_read_rh(temperature_c) * 10.0f);
+}
+
+void
+hih4030_deactivate(void)
+{
+  ADCSRA &= ~_BV(ADEN);
+  initialized = 0;
+}

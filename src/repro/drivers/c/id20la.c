@@ -1,0 +1,97 @@
+/*
+ * Native Contiki driver: ID-20LA 125 kHz RFID reader (UART).
+ * Platform-specific baseline for Table 3 (ATMega128RFA1).
+ *
+ * Interrupt-driven receive on USART1; frames are parsed in the ISR and
+ * a completed card id is handed to the registered callback from the
+ * Contiki process context.
+ */
+#include "contiki.h"
+#include <avr/io.h>
+#include <avr/interrupt.h>
+#include <stdint.h>
+
+#define ID20LA_BAUD        9600UL
+#define ID20LA_UBRR        ((F_CPU / (16UL * ID20LA_BAUD)) - 1)
+#define ID20LA_STX         0x02
+#define ID20LA_ETX         0x03
+#define ID20LA_CR          0x0d
+#define ID20LA_LF          0x0a
+#define ID20LA_ID_LENGTH   12
+
+static volatile uint8_t rfid[ID20LA_ID_LENGTH];
+static volatile uint8_t idx;
+static volatile uint8_t frame_ready;
+static uint8_t busy;
+
+static void (*card_callback)(const uint8_t *id, uint8_t len);
+
+void
+id20la_init(void)
+{
+  /* 9600 8N1 on USART1, RX interrupt enabled. */
+  UBRR1H = (uint8_t)(ID20LA_UBRR >> 8);
+  UBRR1L = (uint8_t)ID20LA_UBRR;
+  UCSR1C = _BV(UCSZ11) | _BV(UCSZ10);   /* 8 data, no parity, 1 stop */
+  UCSR1B = _BV(RXEN1) | _BV(RXCIE1);
+  idx = 0;
+  frame_ready = 0;
+  busy = 0;
+}
+
+void
+id20la_deactivate(void)
+{
+  UCSR1B = 0;                           /* disable receiver + interrupt */
+  card_callback = 0;
+}
+
+void
+id20la_set_callback(void (*cb)(const uint8_t *id, uint8_t len))
+{
+  card_callback = cb;
+}
+
+int
+id20la_start_read(void)
+{
+  if(busy) {
+    return -1;
+  }
+  busy = 1;
+  idx = 0;
+  frame_ready = 0;
+  return 0;
+}
+
+ISR(USART1_RX_vect)
+{
+  uint8_t c = UDR1;
+
+  if(!busy) {
+    return;                             /* drop bytes outside of a read */
+  }
+  if(c == ID20LA_STX || c == ID20LA_ETX || c == ID20LA_CR || c == ID20LA_LF) {
+    return;                             /* framing characters */
+  }
+  if(idx < ID20LA_ID_LENGTH) {
+    rfid[idx++] = c;
+  }
+  if(idx == ID20LA_ID_LENGTH) {
+    frame_ready = 1;
+  }
+}
+
+void
+id20la_poll(void)
+{
+  /* Called from the driver process; delivers a completed frame. */
+  if(frame_ready) {
+    frame_ready = 0;
+    busy = 0;
+    idx = 0;
+    if(card_callback) {
+      card_callback((const uint8_t *)rfid, ID20LA_ID_LENGTH);
+    }
+  }
+}

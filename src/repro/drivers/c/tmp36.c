@@ -1,0 +1,69 @@
+/*
+ * Native Contiki driver: TMP36 analog temperature sensor.
+ * Platform-specific baseline for Table 3 (ATMega128RFA1).
+ *
+ * Note the floating point conversion: with no hardware FPU, linking
+ * this driver pulls in the AVR soft-float library, which dominates the
+ * compiled size.
+ */
+#include "contiki.h"
+#include "dev/adc.h"
+#include <avr/io.h>
+#include <stdint.h>
+
+#define TMP36_ADC_CHANNEL   0
+#define TMP36_VREF_MV       3300.0f
+#define TMP36_OFFSET_MV     500.0f
+#define TMP36_MV_PER_DEG    10.0f
+
+static uint8_t initialized;
+
+static void
+tmp36_arch_init(void)
+{
+  /* Select AVcc reference, right-adjusted result, channel 0. */
+  ADMUX = _BV(REFS0) | (TMP36_ADC_CHANNEL & 0x1f);
+  /* Enable ADC, prescaler 128 -> 125 kHz ADC clock at 16 MHz. */
+  ADCSRA = _BV(ADEN) | _BV(ADPS2) | _BV(ADPS1) | _BV(ADPS0);
+  initialized = 1;
+}
+
+static uint16_t
+tmp36_arch_sample(void)
+{
+  uint16_t result;
+
+  ADCSRA |= _BV(ADSC);                 /* start conversion */
+  while(ADCSRA & _BV(ADSC)) {          /* wait ~13 ADC cycles */
+  }
+  result = ADCL;
+  result |= (uint16_t)ADCH << 8;
+  return result;
+}
+
+float
+tmp36_read_celsius(void)
+{
+  uint16_t counts;
+  float millivolts;
+
+  if(!initialized) {
+    tmp36_arch_init();
+  }
+  counts = tmp36_arch_sample();
+  millivolts = (float)counts * TMP36_VREF_MV / 1023.0f;
+  return (millivolts - TMP36_OFFSET_MV) / TMP36_MV_PER_DEG;
+}
+
+int16_t
+tmp36_read_decidegrees(void)
+{
+  return (int16_t)(tmp36_read_celsius() * 10.0f);
+}
+
+void
+tmp36_deactivate(void)
+{
+  ADCSRA &= ~_BV(ADEN);                /* power the ADC back down */
+  initialized = 0;
+}

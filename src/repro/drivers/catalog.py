@@ -1,0 +1,207 @@
+"""The driver catalogue: the paper's four prototype peripherals + relay.
+
+Ties together, per peripheral type:
+
+* the global-address-space device id (we reuse the example identifiers
+  that appear in the paper's figures),
+* the hardware interconnect it uses,
+* the µPnP DSL driver source shipped in ``drivers/upnp/``,
+* the native C baseline in ``drivers/c/`` (Table 3),
+* a factory for the behavioural device model.
+
+``populate_registry`` allocates all catalogue addresses in a
+:class:`~repro.core.registry.Registry` and uploads their drivers,
+making them deployable by a µPnP manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.dsl.bytecode import DriverImage
+from repro.dsl.compiler import compile_source
+from repro.dsl.sloc import count_c_sloc, count_sloc
+from repro.drivers.native_model import NativeSizeEstimate, estimate_native_bytes
+from repro.hw.connector import BusKind
+from repro.hw.device_id import DeviceId
+from repro.peripherals.base import Environment
+from repro.peripherals.bmp180 import Bmp180
+from repro.peripherals.hih4030 import Hih4030
+from repro.peripherals.id20la import Id20La
+from repro.peripherals.max6675 import Max6675
+from repro.peripherals.relay import Relay
+from repro.peripherals.tmp36 import Tmp36
+
+_UPNP_DIR = Path(__file__).parent / "upnp"
+_C_DIR = Path(__file__).parent / "c"
+
+# Device ids taken from the paper's own figures (Figure 8, 10, 11).
+TMP36_ID = DeviceId.from_hex("0xad1cbe01")
+BMP180_ID = DeviceId.from_hex("0x0a0bbf03")
+ID20LA_ID = DeviceId.from_hex("0xbe03af0e")
+HIH4030_ID = DeviceId.from_hex("0xed3f0ac1")
+RELAY_ID = DeviceId.from_hex("0xed3fbda1")
+MAX6675_ID = DeviceId.from_hex("0x1c4e5a21")
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """One catalogue entry."""
+
+    name: str
+    device_id: DeviceId
+    bus: BusKind
+    dsl_file: str
+    c_file: Optional[str]
+    device_factory: Callable[[Environment], object]
+    #: Driver-specific constant tables in the native build (Table 3 model).
+    native_extra_data_bytes: int = 0
+
+    # ------------------------------------------------------------- sources
+    def dsl_source(self) -> str:
+        return (_UPNP_DIR / self.dsl_file).read_text()
+
+    def c_source(self) -> Optional[str]:
+        if self.c_file is None:
+            return None
+        return (_C_DIR / self.c_file).read_text()
+
+    # ------------------------------------------------------------- products
+    def compile(self) -> DriverImage:
+        return compile_source(self.dsl_source(), self.device_id.value)
+
+    def dsl_sloc(self) -> int:
+        return count_sloc(self.dsl_source())
+
+    def c_sloc(self) -> Optional[int]:
+        source = self.c_source()
+        return None if source is None else count_c_sloc(source)
+
+    def native_estimate(self) -> Optional[NativeSizeEstimate]:
+        source = self.c_source()
+        if source is None:
+            return None
+        return estimate_native_bytes(
+            source, count_c_sloc(source),
+            extra_data_bytes=self.native_extra_data_bytes,
+        )
+
+    def make_device(self, env: Optional[Environment] = None) -> object:
+        return self.device_factory(env or Environment())
+
+
+#: HIH-4030's native build carries a temperature-compensation lookup
+#: table that the integer DSL driver replaces with scaled arithmetic.
+CATALOG: Dict[str, DriverSpec] = {
+    "tmp36": DriverSpec(
+        name="TMP36 (ADC)",
+        device_id=TMP36_ID,
+        bus=BusKind.ADC,
+        dsl_file="tmp36.udrv",
+        c_file="tmp36.c",
+        device_factory=lambda env: Tmp36(env=env),
+    ),
+    "hih4030": DriverSpec(
+        name="HIH-4030 (ADC)",
+        device_id=HIH4030_ID,
+        bus=BusKind.ADC,
+        dsl_file="hih4030.udrv",
+        c_file="hih4030.c",
+        device_factory=lambda env: Hih4030(env=env),
+        native_extra_data_bytes=320,
+    ),
+    "id20la": DriverSpec(
+        name="ID-20LA RFID (UART)",
+        device_id=ID20LA_ID,
+        bus=BusKind.UART,
+        dsl_file="id20la.udrv",
+        c_file="id20la.c",
+        device_factory=lambda env: Id20La(),
+    ),
+    "bmp180": DriverSpec(
+        name="BMP180 Pressure (I2C)",
+        device_id=BMP180_ID,
+        bus=BusKind.I2C,
+        dsl_file="bmp180.udrv",
+        c_file="bmp180.c",
+        device_factory=lambda env: Bmp180(env=env),
+    ),
+    "relay": DriverSpec(
+        name="Relay (I2C)",
+        device_id=RELAY_ID,
+        bus=BusKind.I2C,
+        dsl_file="relay.udrv",
+        c_file=None,
+        device_factory=lambda env: Relay(),
+    ),
+    "max6675": DriverSpec(
+        name="MAX6675 Thermocouple (SPI)",
+        device_id=MAX6675_ID,
+        bus=BusKind.SPI,
+        dsl_file="max6675.udrv",
+        c_file=None,
+        device_factory=lambda env: Max6675(env=env),
+    ),
+}
+
+#: The four drivers evaluated in Table 3, in the paper's row order.
+TABLE3_DRIVERS: Tuple[str, ...] = ("tmp36", "hih4030", "id20la", "bmp180")
+
+
+def spec_for_id(device_id: DeviceId | int) -> Optional[DriverSpec]:
+    key = int(getattr(device_id, "value", device_id))
+    for spec in CATALOG.values():
+        if spec.device_id.value == key:
+            return spec
+    return None
+
+
+def populate_registry(registry) -> None:
+    """Allocate + upload every catalogue driver into *registry*."""
+    for spec in CATALOG.values():
+        if registry.record(spec.device_id) is None:
+            registry.request_address(
+                name=spec.name,
+                organization="iMinds-DistriNet, KU Leuven",
+                email="upnp@micropnp.example",
+                url=f"https://micropnp.example/peripherals/{spec.dsl_file}",
+                bus=spec.bus,
+                label=spec.name,
+                preferred_id=spec.device_id,
+            )
+        registry.upload_driver(spec.device_id, spec.dsl_source())
+
+
+def make_peripheral_board(key: str, env: Optional[Environment] = None,
+                          rng=None, codec=None):
+    """Manufacture a plug-ready :class:`PeripheralBoard` for *key*."""
+    from repro.hw.idcodec import DEFAULT_CODEC
+    from repro.hw.peripheral_board import PeripheralBoard
+
+    spec = CATALOG[key]
+    return PeripheralBoard.manufacture(
+        spec.device_id,
+        spec.bus,
+        device=spec.make_device(env),
+        label=spec.name,
+        params=codec or DEFAULT_CODEC,
+        rng=rng,
+    )
+
+
+__all__ = [
+    "DriverSpec",
+    "CATALOG",
+    "TABLE3_DRIVERS",
+    "TMP36_ID",
+    "MAX6675_ID",
+    "BMP180_ID",
+    "ID20LA_ID",
+    "HIH4030_ID",
+    "RELAY_ID",
+    "spec_for_id",
+    "populate_registry",
+    "make_peripheral_board",
+]

@@ -1,0 +1,78 @@
+"""Compiled-size model for native C drivers (Table 3 'Native Variant').
+
+We cannot run avr-gcc offline, so native driver flash sizes come from a
+documented linear model calibrated against the paper's measurements
+(DESIGN.md §4.5):
+
+    size = BASE + K * SLoC + SOFTFLOAT (if the source uses floats)
+                + EXTRA_DATA (driver-specific constant tables)
+
+The decisive term is SOFTFLOAT: the ATMega128RFA1 has no FPU, so "all
+floating point operations are executed in software [and] drivers
+involving floating point operations must include a software floating
+point library" (§6.3) — which is why the two tiny analog drivers
+compile to ~3 KB while the much longer BMP180 integer driver stays
+under 700 bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Fixed per-driver overhead: init/IO scaffolding, vectors, literals.
+BASE_BYTES = 540
+
+#: Marginal flash per source line of straightforward integer C.
+BYTES_PER_SLOC = 0.58
+
+#: The AVR soft-float library pulled in by any float arithmetic.
+SOFTFLOAT_BYTES = 2380
+
+_FLOAT_PATTERN = re.compile(r"\bfloat\b|\bdouble\b|\d\.\d+f?")
+_COMMENT_PATTERN = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+
+
+def uses_float(source: str) -> bool:
+    """Heuristic: does this C source perform floating point math?
+
+    Comments are stripped first so prose like "0.1 degC" doesn't count.
+    """
+    return bool(_FLOAT_PATTERN.search(_COMMENT_PATTERN.sub("", source)))
+
+
+@dataclass(frozen=True)
+class NativeSizeEstimate:
+    """Modelled flash footprint of one compiled C driver."""
+
+    sloc: int
+    float_math: bool
+    extra_data_bytes: int
+
+    @property
+    def flash_bytes(self) -> int:
+        size = BASE_BYTES + BYTES_PER_SLOC * self.sloc + self.extra_data_bytes
+        if self.float_math:
+            size += SOFTFLOAT_BYTES
+        return round(size)
+
+
+def estimate_native_bytes(
+    source: str, sloc: int, *, extra_data_bytes: int = 0
+) -> NativeSizeEstimate:
+    """Model the compiled size of *source* (already SLoC-counted)."""
+    return NativeSizeEstimate(
+        sloc=sloc,
+        float_math=uses_float(source),
+        extra_data_bytes=extra_data_bytes,
+    )
+
+
+__all__ = [
+    "estimate_native_bytes",
+    "uses_float",
+    "NativeSizeEstimate",
+    "BASE_BYTES",
+    "BYTES_PER_SLOC",
+    "SOFTFLOAT_BYTES",
+]

@@ -1,0 +1,87 @@
+"""The µPnP driver domain-specific language (Section 4 of the paper).
+
+Pipeline: :func:`tokenize` -> :func:`parse` -> :func:`check` ->
+:func:`compile_source` producing a compact :class:`DriverImage` that the
+VM in :mod:`repro.vm` executes and that is distributed over the air.
+"""
+
+from repro.dsl.bytecode import (
+    DriverImage,
+    HANDLER_KIND_ERROR,
+    HANDLER_KIND_EVENT,
+    HandlerDef,
+    Instruction,
+    Op,
+    SlotDef,
+    decode,
+)
+from repro.dsl.checker import CheckedProgram, check
+from repro.dsl.compiler import (
+    CompilerOptions,
+    DEFAULT_OPTIONS,
+    compile_checked,
+    compile_source,
+)
+from repro.dsl.disassembler import disassemble
+from repro.dsl.errors import (
+    CompileError,
+    DslError,
+    LexError,
+    ParseError,
+    SemanticError,
+)
+from repro.dsl.lexer import tokenize
+from repro.dsl.lint import LintWarning, lint, lint_source
+from repro.dsl.parser import parse
+from repro.dsl.sloc import count_c_sloc, count_sloc
+from repro.dsl.unparse import unparse, unparse_expr
+from repro.dsl.symbols import (
+    NATIVE_LIBS,
+    NATIVE_LIBS_BY_ID,
+    RUNTIME_EVENTS,
+    WELL_KNOWN_NAMES,
+    EventSig,
+    NativeLibSpec,
+    name_for_id,
+    well_known_id,
+)
+
+__all__ = [
+    "DriverImage",
+    "HANDLER_KIND_ERROR",
+    "HANDLER_KIND_EVENT",
+    "HandlerDef",
+    "Instruction",
+    "Op",
+    "SlotDef",
+    "decode",
+    "CheckedProgram",
+    "check",
+    "CompilerOptions",
+    "DEFAULT_OPTIONS",
+    "compile_checked",
+    "compile_source",
+    "disassemble",
+    "CompileError",
+    "DslError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "tokenize",
+    "LintWarning",
+    "lint",
+    "lint_source",
+    "parse",
+    "count_c_sloc",
+    "count_sloc",
+    "NATIVE_LIBS",
+    "NATIVE_LIBS_BY_ID",
+    "RUNTIME_EVENTS",
+    "WELL_KNOWN_NAMES",
+    "EventSig",
+    "NativeLibSpec",
+    "name_for_id",
+    "well_known_id",
+    "unparse",
+    "unparse_expr",
+]

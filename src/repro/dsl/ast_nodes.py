@@ -1,0 +1,186 @@
+"""Abstract syntax tree for the µPnP driver DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dsl.types import ValueType
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int
+    column: int
+
+
+# --------------------------------------------------------------- expressions
+@dataclass(frozen=True)
+class IntLiteral(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Node):
+    value: bool
+
+
+@dataclass(frozen=True)
+class NameRef(Node):
+    """A bare name: global variable, parameter, or imported constant."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IndexRef(Node):
+    """Array element access ``name[expr]``."""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    op: str  # "-", "~", "!"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    op: str  # "+", "-", ..., "==", "and", "or"
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class PostfixOp(Node):
+    """``x++`` / ``x--`` (expression value is the *old* value)."""
+
+    op: str  # "++" or "--"
+    target: "LValue"
+
+
+Expr = (IntLiteral, BoolLiteral, NameRef, IndexRef, UnaryOp, BinaryOp, PostfixOp)
+LValue = (NameRef, IndexRef)
+
+
+# ---------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Assign(Node):
+    target: "LValue"
+    op: str  # "=" or an augmented op like "+="
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class Signal(Node):
+    """``signal target.event(args);`` — target is 'this' or an import."""
+
+    target: str
+    event: str
+    args: Sequence["Expr"]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Optional["Expr"]  # None for bare `return;`
+    array_name: Optional[str] = None  # set when returning a whole array
+
+
+@dataclass(frozen=True)
+class ExprStatement(Node):
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: "Expr"
+    then_body: Sequence["Stmt"]
+    else_body: Sequence["Stmt"]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: "Expr"
+    body: Sequence["Stmt"]
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+Stmt = (Assign, Signal, Return, ExprStatement, If, While, Break, Continue)
+
+
+# ----------------------------------------------------------------- top level
+@dataclass(frozen=True)
+class Param(Node):
+    type: ValueType
+    name: str
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    """One declarator of a global declaration line."""
+
+    type: ValueType
+    name: str
+    array_length: Optional[int]  # None for scalars
+    initializer: Optional["Expr"]
+
+
+@dataclass(frozen=True)
+class Handler(Node):
+    """An ``event`` or ``error`` handler definition."""
+
+    kind: str  # "event" | "error"
+    name: str
+    params: Sequence[Param]
+    body: Sequence["Stmt"]
+
+
+@dataclass(frozen=True)
+class Import(Node):
+    library: str
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    imports: Sequence[Import]
+    globals: Sequence[VarDecl]
+    handlers: Sequence[Handler]
+
+
+__all__ = [
+    "Node",
+    "IntLiteral",
+    "BoolLiteral",
+    "NameRef",
+    "IndexRef",
+    "UnaryOp",
+    "BinaryOp",
+    "PostfixOp",
+    "Assign",
+    "Signal",
+    "Return",
+    "ExprStatement",
+    "If",
+    "While",
+    "Break",
+    "Continue",
+    "Param",
+    "VarDecl",
+    "Handler",
+    "Import",
+    "Program",
+    "Expr",
+    "LValue",
+    "Stmt",
+]

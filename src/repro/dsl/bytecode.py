@@ -1,0 +1,344 @@
+"""The µPnP bytecode instruction set and driver-image format (§4.1).
+
+Design goals from the paper: every instruction is an 8-bit opcode
+followed by zero or more operands; the machine is a single-operand-stack
+design "inspired by the Java Virtual Machine, however less extensive and
+more tailored towards the domain of IoT driver development"; images must
+be compact enough for over-the-air distribution (Table 3 measures tens
+to a couple of hundred bytes per driver).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.dsl.errors import CompileError
+from repro.dsl.types import BY_CODE, ValueType
+
+IMAGE_MAGIC = b"\xb5\x50"  # 'µP'
+IMAGE_VERSION = 1
+
+HANDLER_KIND_EVENT = 0
+HANDLER_KIND_ERROR = 1
+
+
+class Op(enum.IntEnum):
+    """VM opcodes.  Gaps leave room for ISA growth without renumbering."""
+
+    # Stack / constants
+    NOP = 0x00
+    PUSH0 = 0x01
+    PUSH1 = 0x02
+    PUSH8 = 0x03    # i8  (sign-extended)
+    PUSH16 = 0x04   # i16 (sign-extended)
+    PUSH32 = 0x05   # i32
+    DUP = 0x06
+    DROP = 0x07
+    # Variables
+    LDG = 0x10      # u8 slot         : push global scalar
+    STG = 0x11      # u8 slot         : pop -> global scalar (truncating)
+    LDE = 0x12      # u8 slot         : pop index, push array element
+    STE = 0x13      # u8 slot         : pop value, pop index, store element
+    LDP = 0x14      # u8 param        : push handler parameter
+    INCG = 0x15     # u8 slot         : push old value; global += 1
+    DECG = 0x16     # u8 slot         : push old value; global -= 1
+    LDEI = 0x17     # u8 slot, u8 idx : push array element at constant index
+    # Single-byte register forms for the eight hottest global slots; the
+    # compiler allocates slots by access frequency to exploit them.
+    LDG0 = 0x18
+    LDG1 = 0x19
+    LDG2 = 0x1A
+    LDG3 = 0x1B
+    LDG4 = 0x60
+    LDG5 = 0x61
+    LDG6 = 0x62
+    LDG7 = 0x63
+    STG0 = 0x1C
+    STG1 = 0x1D
+    STG2 = 0x1E
+    STG3 = 0x1F
+    STG4 = 0x64
+    STG5 = 0x65
+    STG6 = 0x66
+    STG7 = 0x67
+    # Arithmetic (32-bit signed, C semantics)
+    ADD = 0x20
+    SUB = 0x21
+    MUL = 0x22
+    DIV = 0x23
+    MOD = 0x24
+    NEG = 0x25
+    BAND = 0x26
+    BOR = 0x27
+    BXOR = 0x28
+    BINV = 0x29
+    SHL = 0x2A
+    SHR = 0x2B
+    # Comparison / logic (produce 0 or 1)
+    EQ = 0x30
+    NE = 0x31
+    LT = 0x32
+    LE = 0x33
+    GT = 0x34
+    GE = 0x35
+    LNOT = 0x36
+    # Control flow (relative to the byte after the operand)
+    JMP = 0x40      # i16
+    JZ = 0x41      # i16 : pop, jump when zero
+    JNZ = 0x42      # i16 : pop, jump when non-zero
+    JMPS = 0x43     # i8  : short form
+    JZS = 0x44      # i8
+    JNZS = 0x45     # i8
+    # Events
+    SIG = 0x50      # u8 target (0 = this, else lib id), u8 name id, u8 argc
+    # Completion
+    RETV = 0x58     #     : pop value, complete the pending request
+    RETA = 0x59     # u8 slot : complete pending request with whole array
+    RET = 0x5A      #     : end of handler
+
+
+#: Operand layout per opcode: struct codes ('b' i8, 'B' u8, 'h' i16, 'i' i32).
+OPERANDS: Dict[Op, str] = {
+    Op.PUSH8: "b",
+    Op.PUSH16: "h",
+    Op.PUSH32: "i",
+    Op.LDG: "B",
+    Op.STG: "B",
+    Op.LDE: "B",
+    Op.STE: "B",
+    Op.LDP: "B",
+    Op.INCG: "B",
+    Op.DECG: "B",
+    Op.JMP: "h",
+    Op.JZ: "h",
+    Op.JNZ: "h",
+    Op.JMPS: "b",
+    Op.JZS: "b",
+    Op.JNZS: "b",
+    Op.SIG: "BBB",
+    Op.RETA: "B",
+    Op.LDEI: "BB",
+}
+
+_STRUCT_SIZES = {"b": 1, "B": 1, "h": 2, "i": 4}
+
+
+def operand_size(op: Op) -> int:
+    """Total operand bytes following *op*."""
+    return sum(_STRUCT_SIZES[c] for c in OPERANDS.get(op, ""))
+
+
+def instruction_size(op: Op) -> int:
+    return 1 + operand_size(op)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction (offset is its position within the code)."""
+
+    offset: int
+    op: Op
+    args: Tuple[int, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return instruction_size(self.op)
+
+    def encode(self) -> bytes:
+        layout = OPERANDS.get(self.op, "")
+        if len(layout) != len(self.args):
+            raise CompileError(
+                f"{self.op.name} expects {len(layout)} operands, got {len(self.args)}"
+            )
+        return bytes([self.op.value]) + struct.pack("<" + layout, *self.args)
+
+
+def decode(code: bytes) -> Iterator[Instruction]:
+    """Decode a code blob into instructions; raises on malformed code."""
+    pos = 0
+    while pos < len(code):
+        try:
+            op = Op(code[pos])
+        except ValueError:
+            raise CompileError(f"invalid opcode {code[pos]:#04x} at {pos}") from None
+        layout = OPERANDS.get(op, "")
+        size = operand_size(op)
+        if pos + 1 + size > len(code):
+            raise CompileError(f"truncated operands for {op.name} at {pos}")
+        args = struct.unpack_from("<" + layout, code, pos + 1) if layout else ()
+        yield Instruction(pos, op, tuple(args))
+        pos += 1 + size
+
+
+@dataclass(frozen=True)
+class SlotDef:
+    """One global variable slot: scalar or fixed-length array."""
+
+    type: ValueType
+    length: Optional[int] = None  # None => scalar
+
+    @property
+    def is_array(self) -> bool:
+        return self.length is not None
+
+    @property
+    def ram_bytes(self) -> int:
+        """RAM the slot occupies on the target (element width × count)."""
+        width = max(1, self.type.bits // 8)
+        return width * (self.length or 1)
+
+
+@dataclass(frozen=True)
+class HandlerDef:
+    """Dispatch-table entry: where a handler's code starts."""
+
+    kind: int        # HANDLER_KIND_EVENT | HANDLER_KIND_ERROR
+    name_id: int     # well-known (0..127) or driver-local (128..255)
+    offset: int      # into the code blob
+    n_params: int
+
+
+@dataclass(frozen=True)
+class DriverImage:
+    """A compiled, installable µPnP driver."""
+
+    device_id: int
+    slots: Tuple[SlotDef, ...]
+    imports: Tuple[int, ...]          # native lib ids
+    handlers: Tuple[HandlerDef, ...]
+    code: bytes
+    #: Driver-local custom event names, for diagnostics/disassembly only
+    #: (not part of the wire image — the mote never needs the strings).
+    local_names: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------ validation
+    def __post_init__(self) -> None:
+        if not 0 <= self.device_id <= 0xFFFFFFFF:
+            raise CompileError("device id out of range")
+        if len(self.slots) > 255 or len(self.imports) > 255 or len(self.handlers) > 255:
+            raise CompileError("driver exceeds table limits")
+        if len(self.code) > 0xFFFF:
+            raise CompileError("driver code exceeds 64 KiB")
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def code_size(self) -> int:
+        return len(self.code)
+
+    @property
+    def image_size(self) -> int:
+        """Total over-the-air size in bytes (the Table 3 'Bytes' metric)."""
+        return len(self.pack())
+
+    @property
+    def ram_bytes(self) -> int:
+        """Static RAM the installed driver needs for its globals."""
+        return sum(slot.ram_bytes for slot in self.slots)
+
+    def find_handler(self, kind: int, name_id: int) -> Optional[HandlerDef]:
+        for handler in self.handlers:
+            if handler.kind == kind and handler.name_id == name_id:
+                return handler
+        return None
+
+    def instructions(self) -> List[Instruction]:
+        return list(decode(self.code))
+
+    # ---------------------------------------------------------------- wire
+    def pack(self) -> bytes:
+        """Serialise to the over-the-air image format."""
+        out = bytearray()
+        out += IMAGE_MAGIC
+        out.append(IMAGE_VERSION)
+        out += struct.pack(">I", self.device_id)
+        out.append(len(self.slots))
+        for slot in self.slots:
+            desc = slot.type.code & 0x0F
+            if slot.is_array:
+                desc |= 0x80
+            out.append(desc)
+            if slot.is_array:
+                if not 1 <= slot.length <= 255:
+                    raise CompileError("array length must fit one byte")
+                out.append(slot.length)
+        out.append(len(self.imports))
+        out += bytes(self.imports)
+        out.append(len(self.handlers))
+        for handler in self.handlers:
+            out.append(handler.kind)
+            out.append(handler.name_id)
+            out += struct.pack("<H", handler.offset)
+            out.append(handler.n_params)
+        out += struct.pack("<H", len(self.code))
+        out += self.code
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "DriverImage":
+        """Parse an over-the-air image; raises CompileError when malformed."""
+        if len(blob) < 10 or blob[:2] != IMAGE_MAGIC:
+            raise CompileError("not a µPnP driver image")
+        if blob[2] != IMAGE_VERSION:
+            raise CompileError(f"unsupported image version {blob[2]}")
+        pos = 3
+        (device_id,) = struct.unpack_from(">I", blob, pos)
+        pos += 4
+        n_slots = blob[pos]
+        pos += 1
+        slots: List[SlotDef] = []
+        for _ in range(n_slots):
+            desc = blob[pos]
+            pos += 1
+            vtype = BY_CODE.get(desc & 0x0F)
+            if vtype is None:
+                raise CompileError(f"bad slot type code {desc & 0x0F}")
+            length = None
+            if desc & 0x80:
+                length = blob[pos]
+                pos += 1
+            slots.append(SlotDef(vtype, length))
+        n_imports = blob[pos]
+        pos += 1
+        imports = tuple(blob[pos : pos + n_imports])
+        pos += n_imports
+        n_handlers = blob[pos]
+        pos += 1
+        handlers: List[HandlerDef] = []
+        for _ in range(n_handlers):
+            kind = blob[pos]
+            name_id = blob[pos + 1]
+            (offset,) = struct.unpack_from("<H", blob, pos + 2)
+            n_params = blob[pos + 4]
+            handlers.append(HandlerDef(kind, name_id, offset, n_params))
+            pos += 5
+        (code_len,) = struct.unpack_from("<H", blob, pos)
+        pos += 2
+        code = blob[pos : pos + code_len]
+        if len(code) != code_len:
+            raise CompileError("truncated code section")
+        pos += code_len
+        if pos != len(blob):
+            raise CompileError("trailing bytes after driver image")
+        image = cls(device_id, tuple(slots), imports, tuple(handlers), code)
+        list(decode(code))  # validate instruction stream
+        return image
+
+
+__all__ = [
+    "Op",
+    "OPERANDS",
+    "Instruction",
+    "decode",
+    "operand_size",
+    "instruction_size",
+    "SlotDef",
+    "HandlerDef",
+    "DriverImage",
+    "IMAGE_MAGIC",
+    "IMAGE_VERSION",
+    "HANDLER_KIND_EVENT",
+    "HANDLER_KIND_ERROR",
+]

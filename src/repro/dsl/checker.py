@@ -1,0 +1,497 @@
+"""Semantic analysis for the µPnP driver DSL.
+
+Resolves names (globals, parameters, imported-library constants),
+verifies handler and signal signatures against the native-library and
+runtime event vocabulary, folds constant initialisers, assigns global
+slots and event-name identifiers — everything code generation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.bytecode import (
+    HANDLER_KIND_ERROR,
+    HANDLER_KIND_EVENT,
+    SlotDef,
+)
+from repro.dsl.errors import SemanticError
+from repro.dsl.symbols import (
+    LOCAL_NAME_BASE,
+    NATIVE_LIBS,
+    NativeLibSpec,
+    RUNTIME_EVENTS,
+    well_known_id,
+)
+from repro.dsl.types import ValueType
+
+#: Handlers every driver must implement (§4.1: "All µPnP drivers must
+#: implement at least two event handlers: init and destroy").
+REQUIRED_HANDLERS = ("init", "destroy")
+
+MAX_SLOTS = 255
+MAX_ARRAY_LENGTH = 255
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """A resolved global variable."""
+
+    name: str
+    slot: int
+    type: ValueType
+    length: Optional[int]          # None => scalar
+    initial_value: int = 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.length is not None
+
+    def slot_def(self) -> SlotDef:
+        return SlotDef(self.type, self.length)
+
+
+@dataclass(frozen=True)
+class CheckedHandler:
+    """A handler with its resolved dispatch identity."""
+
+    node: ast.Handler
+    kind: int                       # HANDLER_KIND_EVENT / _ERROR
+    name_id: int
+    param_names: Tuple[str, ...]
+    param_types: Tuple[ValueType, ...]
+
+
+@dataclass
+class CheckedProgram:
+    """Everything the code generator needs, plus driver metadata."""
+
+    program: ast.Program
+    imports: List[NativeLibSpec]
+    globals: Dict[str, GlobalVar]
+    constants: Dict[str, int]
+    handlers: List[CheckedHandler]
+    local_names: List[str]          # custom names, id = LOCAL_NAME_BASE + idx
+    name_ids: Dict[str, int]        # every event name used -> compiled id
+
+    def handler_for(self, kind: int, name: str) -> Optional[CheckedHandler]:
+        for handler in self.handlers:
+            if handler.kind == kind and handler.node.name == name:
+                return handler
+        return None
+
+
+def check(program: ast.Program) -> CheckedProgram:
+    """Run semantic analysis; raises :class:`SemanticError` on the first
+    violation, annotated with a source position."""
+    return _Checker(program).run()
+
+
+class _Checker:
+    def __init__(self, program: ast.Program) -> None:
+        self._program = program
+        self._imports: List[NativeLibSpec] = []
+        self._globals: Dict[str, GlobalVar] = {}
+        self._constants: Dict[str, int] = {}
+        self._handlers: List[CheckedHandler] = []
+        self._local_names: List[str] = []
+        self._name_ids: Dict[str, int] = {}
+        self._params: Dict[str, int] = {}
+        self._loop_depth = 0
+
+    # ---------------------------------------------------------------- entry
+    def run(self) -> CheckedProgram:
+        self._resolve_imports()
+        self._resolve_globals()
+        self._index_handlers()
+        for handler in self._handlers:
+            self._check_handler_body(handler)
+        self._check_required_handlers()
+        self._allocate_slots_by_frequency()
+        return CheckedProgram(
+            program=self._program,
+            imports=self._imports,
+            globals=self._globals,
+            constants=self._constants,
+            handlers=self._handlers,
+            local_names=self._local_names,
+            name_ids=self._name_ids,
+        )
+
+    # -------------------------------------------------------------- imports
+    def _resolve_imports(self) -> None:
+        seen = set()
+        for node in self._program.imports:
+            if node.library in seen:
+                raise SemanticError(
+                    f"duplicate import of {node.library!r}", node.line, node.column
+                )
+            spec = NATIVE_LIBS.get(node.library)
+            if spec is None:
+                raise SemanticError(
+                    f"unknown native library {node.library!r}", node.line, node.column
+                )
+            seen.add(node.library)
+            self._imports.append(spec)
+            for const_name, value in spec.constants.items():
+                self._constants[const_name] = value
+
+    # -------------------------------------------------------------- globals
+    def _resolve_globals(self) -> None:
+        for decl in self._program.globals:
+            if decl.name in self._globals or decl.name in self._constants:
+                raise SemanticError(
+                    f"redefinition of {decl.name!r}", decl.line, decl.column
+                )
+            if len(self._globals) >= MAX_SLOTS:
+                raise SemanticError("too many global variables", decl.line, decl.column)
+            initial = 0
+            if decl.initializer is not None:
+                if decl.array_length is not None:
+                    raise SemanticError(
+                        "arrays cannot have initializers", decl.line, decl.column
+                    )
+                initial = decl.type.truncate(self._fold_constant(decl.initializer))
+            if decl.array_length is not None and decl.array_length > MAX_ARRAY_LENGTH:
+                raise SemanticError(
+                    f"array too long (max {MAX_ARRAY_LENGTH})", decl.line, decl.column
+                )
+            self._globals[decl.name] = GlobalVar(
+                name=decl.name,
+                slot=len(self._globals),
+                type=decl.type,
+                length=decl.array_length,
+                initial_value=initial,
+            )
+
+    def _allocate_slots_by_frequency(self) -> None:
+        """Re-number global slots so the most-accessed scalars get the
+        lowest indices — the code generator has single-byte load/store
+        forms for slots 0..3 (DESIGN.md §4.4)."""
+        counts: Dict[str, int] = {name: 0 for name in self._globals}
+
+        def visit_expr(expr: object) -> None:
+            if isinstance(expr, ast.NameRef):
+                if expr.name in counts and not self._globals[expr.name].is_array:
+                    counts[expr.name] += 1
+            elif isinstance(expr, ast.IndexRef):
+                visit_expr(expr.index)
+            elif isinstance(expr, ast.UnaryOp):
+                visit_expr(expr.operand)
+            elif isinstance(expr, ast.BinaryOp):
+                visit_expr(expr.left)
+                visit_expr(expr.right)
+            elif isinstance(expr, ast.PostfixOp):
+                visit_expr(expr.target)
+
+        def visit_stmt(statement: object) -> None:
+            if isinstance(statement, ast.Assign):
+                visit_expr(statement.target)
+                visit_expr(statement.value)
+            elif isinstance(statement, ast.Signal):
+                for arg in statement.args:
+                    visit_expr(arg)
+            elif isinstance(statement, ast.Return):
+                if statement.value is not None and statement.array_name is None:
+                    visit_expr(statement.value)
+            elif isinstance(statement, ast.ExprStatement):
+                visit_expr(statement.expr)
+            elif isinstance(statement, ast.If):
+                visit_expr(statement.condition)
+                for s in statement.then_body:
+                    visit_stmt(s)
+                for s in statement.else_body:
+                    visit_stmt(s)
+            elif isinstance(statement, ast.While):
+                visit_expr(statement.condition)
+                for s in statement.body:
+                    visit_stmt(s)
+
+        for handler in self._handlers:
+            for statement in handler.node.body:
+                visit_stmt(statement)
+
+        ordered = sorted(
+            self._globals.values(),
+            key=lambda v: (v.is_array, -counts[v.name], v.slot),
+        )
+        self._globals = {
+            var.name: GlobalVar(
+                name=var.name,
+                slot=index,
+                type=var.type,
+                length=var.length,
+                initial_value=var.initial_value,
+            )
+            for index, var in enumerate(ordered)
+        }
+
+    def _fold_constant(self, expr: object) -> int:
+        """Evaluate a compile-time-constant expression."""
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.BoolLiteral):
+            return 1 if expr.value else 0
+        if isinstance(expr, ast.NameRef) and expr.name in self._constants:
+            return self._constants[expr.name]
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            return -self._fold_constant(expr.operand)
+        raise SemanticError(
+            "initializer must be a compile-time constant", expr.line, expr.column
+        )
+
+    # ------------------------------------------------------------- handlers
+    def _index_handlers(self) -> None:
+        seen: set = set()
+        for node in self._program.handlers:
+            kind = HANDLER_KIND_EVENT if node.kind == "event" else HANDLER_KIND_ERROR
+            key = (kind, node.name)
+            if key in seen:
+                raise SemanticError(
+                    f"duplicate {node.kind} handler {node.name!r}",
+                    node.line, node.column,
+                )
+            seen.add(key)
+            self._validate_handler_signature(node, kind)
+            name_id = self._name_id_for(node.name)
+            param_names = tuple(p.name for p in node.params)
+            if len(set(param_names)) != len(param_names):
+                raise SemanticError(
+                    "duplicate parameter name", node.line, node.column
+                )
+            for param in node.params:
+                if param.name in self._globals or param.name in self._constants:
+                    raise SemanticError(
+                        f"parameter {param.name!r} shadows a global",
+                        param.line, param.column,
+                    )
+            self._handlers.append(
+                CheckedHandler(
+                    node=node,
+                    kind=kind,
+                    name_id=name_id,
+                    param_names=param_names,
+                    param_types=tuple(p.type for p in node.params),
+                )
+            )
+
+    def _validate_handler_signature(self, node: ast.Handler, kind: int) -> None:
+        if kind == HANDLER_KIND_ERROR:
+            if node.params:
+                raise SemanticError(
+                    "error handlers take no parameters", node.line, node.column
+                )
+            return
+        expected = None
+        if node.name in RUNTIME_EVENTS:
+            expected = RUNTIME_EVENTS[node.name]
+        else:
+            for lib in self._imports:
+                if node.name in lib.emits:
+                    expected = lib.emits[node.name]
+                    break
+        if expected is not None and len(node.params) != expected.arity:
+            raise SemanticError(
+                f"event {node.name!r} takes {expected.arity} parameter(s), "
+                f"handler declares {len(node.params)}",
+                node.line, node.column,
+            )
+
+    def _check_required_handlers(self) -> None:
+        declared = {
+            h.node.name for h in self._handlers if h.kind == HANDLER_KIND_EVENT
+        }
+        for required in REQUIRED_HANDLERS:
+            if required not in declared:
+                raise SemanticError(
+                    f"driver must implement the {required!r} event handler",
+                    self._program.line, self._program.column,
+                )
+
+    def _name_id_for(self, name: str) -> int:
+        if name in self._name_ids:
+            return self._name_ids[name]
+        known = well_known_id(name)
+        if known is not None:
+            self._name_ids[name] = known
+            return known
+        name_id = LOCAL_NAME_BASE + len(self._local_names)
+        if name_id > 255:
+            raise SemanticError(f"too many custom event names ({name!r})")
+        self._local_names.append(name)
+        self._name_ids[name] = name_id
+        return name_id
+
+    # ----------------------------------------------------------------- body
+    def _check_handler_body(self, handler: CheckedHandler) -> None:
+        self._params = {name: i for i, name in enumerate(handler.param_names)}
+        self._loop_depth = 0
+        self._check_statements(handler.node.body)
+        self._params = {}
+
+    def _check_statements(self, statements: Sequence[object]) -> None:
+        for statement in statements:
+            self._check_statement(statement)
+
+    def _check_statement(self, statement: object) -> None:
+        if isinstance(statement, ast.Assign):
+            self._check_lvalue(statement.target)
+            self._check_expr(statement.value)
+        elif isinstance(statement, ast.Signal):
+            self._check_signal(statement)
+        elif isinstance(statement, ast.Return):
+            self._check_return(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            self._check_expr(statement.expr)
+        elif isinstance(statement, ast.If):
+            self._check_expr(statement.condition)
+            self._check_statements(statement.then_body)
+            self._check_statements(statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._check_expr(statement.condition)
+            self._loop_depth += 1
+            self._check_statements(statement.body)
+            self._loop_depth -= 1
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError(
+                    "break/continue outside of a loop",
+                    statement.line, statement.column,
+                )
+        else:  # pragma: no cover - parser produces only the above
+            raise SemanticError(f"unknown statement {type(statement).__name__}")
+
+    def _check_signal(self, statement: ast.Signal) -> None:
+        argc = len(statement.args)
+        for arg in statement.args:
+            self._check_expr(arg)
+        if statement.target == "this":
+            target = None
+            for handler in self._handlers:
+                if handler.node.name == statement.event:
+                    target = handler
+                    break
+            if target is None:
+                raise SemanticError(
+                    f"signal this.{statement.event}: no such handler in driver",
+                    statement.line, statement.column,
+                )
+            if argc != len(target.param_names):
+                raise SemanticError(
+                    f"this.{statement.event} takes {len(target.param_names)} "
+                    f"argument(s), got {argc}",
+                    statement.line, statement.column,
+                )
+            return
+        lib = next((l for l in self._imports if l.name == statement.target), None)
+        if lib is None:
+            raise SemanticError(
+                f"signal target {statement.target!r} is not an imported library",
+                statement.line, statement.column,
+            )
+        command = lib.commands.get(statement.event)
+        if command is None:
+            raise SemanticError(
+                f"library {lib.name!r} has no command {statement.event!r}",
+                statement.line, statement.column,
+            )
+        if argc != command.arity:
+            raise SemanticError(
+                f"{lib.name}.{statement.event} takes {command.arity} "
+                f"argument(s), got {argc}",
+                statement.line, statement.column,
+            )
+
+    def _check_return(self, statement: ast.Return) -> None:
+        if statement.value is None:
+            return
+        value = statement.value
+        if isinstance(value, ast.NameRef):
+            var = self._globals.get(value.name)
+            if var is not None and var.is_array:
+                # Whole-array return (Listing 1 line 33: `return rfid;`).
+                object.__setattr__(statement, "array_name", value.name)
+                return
+        self._check_expr(value)
+
+    def _check_lvalue(self, target: object) -> None:
+        if isinstance(target, ast.NameRef):
+            var = self._globals.get(target.name)
+            if var is None:
+                if target.name in self._params:
+                    raise SemanticError(
+                        f"cannot assign to parameter {target.name!r}",
+                        target.line, target.column,
+                    )
+                raise SemanticError(
+                    f"assignment to undefined variable {target.name!r}",
+                    target.line, target.column,
+                )
+            if var.is_array:
+                raise SemanticError(
+                    f"cannot assign to array {target.name!r} as a whole",
+                    target.line, target.column,
+                )
+            return
+        if isinstance(target, ast.IndexRef):
+            var = self._globals.get(target.name)
+            if var is None or not var.is_array:
+                raise SemanticError(
+                    f"{target.name!r} is not an array", target.line, target.column
+                )
+            self._check_expr(target.index)
+            return
+        raise SemanticError("invalid assignment target", target.line, target.column)
+
+    def _check_expr(self, expr: object) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.BoolLiteral)):
+            return
+        if isinstance(expr, ast.NameRef):
+            if expr.name in self._params or expr.name in self._constants:
+                return
+            var = self._globals.get(expr.name)
+            if var is None:
+                raise SemanticError(
+                    f"undefined name {expr.name!r}", expr.line, expr.column
+                )
+            if var.is_array:
+                raise SemanticError(
+                    f"array {expr.name!r} used as a scalar "
+                    "(index it, or return it whole)",
+                    expr.line, expr.column,
+                )
+            return
+        if isinstance(expr, ast.IndexRef):
+            var = self._globals.get(expr.name)
+            if var is None or not var.is_array:
+                raise SemanticError(
+                    f"{expr.name!r} is not an array", expr.line, expr.column
+                )
+            self._check_expr(expr.index)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            return
+        if isinstance(expr, ast.PostfixOp):
+            if not isinstance(expr.target, ast.NameRef):
+                raise SemanticError(
+                    "++/-- applies to scalar globals only", expr.line, expr.column
+                )
+            self._check_lvalue(expr.target)
+            return
+        raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+
+__all__ = [
+    "check",
+    "CheckedProgram",
+    "CheckedHandler",
+    "GlobalVar",
+    "REQUIRED_HANDLERS",
+]

@@ -1,0 +1,516 @@
+"""Bytecode generation for the µPnP driver DSL.
+
+Translates a checked program into a :class:`DriverImage`.  Compactness
+(the Table 3 "Bytes" column) comes from the encoding rather than from
+clever optimisation:
+
+* global slots are allocated by access frequency so the four hottest
+  scalars use the single-byte LDG0..3/STG0..3 register forms;
+* constant array indices use the 3-byte LDEI form;
+* jumps start short (i8) and are relaxed to long (i16) only when the
+  displacement requires it (iterated until a fixed point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.bytecode import (
+    DriverImage,
+    HandlerDef,
+    Instruction,
+    Op,
+)
+from repro.dsl.checker import CheckedHandler, CheckedProgram, check
+from repro.dsl.errors import CompileError
+from repro.dsl.parser import parse
+from repro.dsl.symbols import NativeLibSpec
+
+_BINARY_OPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "&": Op.BAND,
+    "|": Op.BOR,
+    "^": Op.BXOR,
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+    "==": Op.EQ,
+    "!=": Op.NE,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+}
+
+_AUG_OPS = {
+    "+=": Op.ADD,
+    "-=": Op.SUB,
+    "*=": Op.MUL,
+    "/=": Op.DIV,
+    "%=": Op.MOD,
+    "&=": Op.BAND,
+    "|=": Op.BOR,
+    "^=": Op.BXOR,
+    "<<=": Op.SHL,
+    ">>=": Op.SHR,
+}
+
+#: Short/long jump opcode pairs used by the relaxation pass.
+_JUMP_FORMS = {
+    "JMP": (Op.JMPS, Op.JMP),
+    "JZ": (Op.JZS, Op.JZ),
+    "JNZ": (Op.JNZS, Op.JNZ),
+}
+
+#: Slots addressable with single-byte register forms.
+_COMPACT_LOADS = (Op.LDG0, Op.LDG1, Op.LDG2, Op.LDG3,
+                  Op.LDG4, Op.LDG5, Op.LDG6, Op.LDG7)
+_COMPACT_STORES = (Op.STG0, Op.STG1, Op.STG2, Op.STG3,
+                   Op.STG4, Op.STG5, Op.STG6, Op.STG7)
+
+SIG_TARGET_THIS = 0
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Encoding features, individually switchable for ablation studies.
+
+    The defaults are the production configuration; the Table 3 ablation
+    bench disables each to quantify its contribution to image size.
+    """
+
+    compact_registers: bool = True   # LDG0..7 / STG0..7 single-byte forms
+    short_jumps: bool = True         # i8 jumps with relaxation
+    immediate_index: bool = True     # LDEI for constant array indices
+
+
+DEFAULT_OPTIONS = CompilerOptions()
+
+
+def compile_source(
+    source: str,
+    device_id: int = 0,
+    options: CompilerOptions = DEFAULT_OPTIONS,
+) -> DriverImage:
+    """Compile DSL *source* text into an installable driver image."""
+    return compile_checked(check(parse(source)), device_id, options)
+
+
+def compile_checked(
+    checked: CheckedProgram,
+    device_id: int = 0,
+    options: CompilerOptions = DEFAULT_OPTIONS,
+) -> DriverImage:
+    """Compile an already-checked program."""
+    return _CodeGen(checked, device_id, options).generate()
+
+
+class _Label:
+    """A forward-referencable position in the abstract code stream."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self) -> None:
+        self.offset: Optional[int] = None
+
+
+@dataclass
+class _JumpItem:
+    kind: str          # "JMP" | "JZ" | "JNZ"
+    target: _Label
+    long: bool = False
+
+    @property
+    def size(self) -> int:
+        return 2 if not self.long else 3
+
+
+_Item = Union[bytes, _JumpItem, _Label]
+
+
+class _Assembler:
+    """Accumulates abstract items; relaxes jumps; emits final bytes."""
+
+    def __init__(self, short_jumps: bool = True) -> None:
+        self._items: List[_Item] = []
+        self._short_jumps = short_jumps
+
+    def emit(self, op: Op, *args: int) -> None:
+        self._items.append(Instruction(0, op, tuple(args)).encode())
+
+    def jump(self, kind: str, target: _Label) -> None:
+        if kind not in _JUMP_FORMS:
+            raise CompileError(f"unknown jump kind {kind}")
+        self._items.append(_JumpItem(kind, target, long=not self._short_jumps))
+
+    def bind(self, label: _Label) -> None:
+        self._items.append(label)
+
+    def new_label(self) -> _Label:
+        return _Label()
+
+    # ------------------------------------------------------------- assembly
+    def _layout(self) -> None:
+        offset = 0
+        for item in self._items:
+            if isinstance(item, _Label):
+                item.offset = offset
+            elif isinstance(item, _JumpItem):
+                offset += item.size
+            else:
+                offset += len(item)
+
+    def assemble(self) -> bytes:
+        # Relax: grow short jumps whose displacement does not fit i8.
+        for _ in range(len(self._items) + 1):
+            self._layout()
+            changed = False
+            offset = 0
+            for item in self._items:
+                if isinstance(item, _Label):
+                    continue
+                if isinstance(item, _JumpItem):
+                    end = offset + item.size
+                    if item.target.offset is None:
+                        raise CompileError("unbound label")  # pragma: no cover
+                    displacement = item.target.offset - end
+                    if not item.long and not -128 <= displacement <= 127:
+                        item.long = True
+                        changed = True
+                    offset = end
+                else:
+                    offset += len(item)
+            if not changed:
+                break
+        else:  # pragma: no cover - relaxation always converges
+            raise CompileError("jump relaxation did not converge")
+
+        self._layout()
+        out = bytearray()
+        for item in self._items:
+            if isinstance(item, _Label):
+                continue
+            if isinstance(item, _JumpItem):
+                end = len(out) + item.size
+                displacement = item.target.offset - end
+                short_op, long_op = _JUMP_FORMS[item.kind]
+                if item.long:
+                    if not -32768 <= displacement <= 32767:
+                        raise CompileError("jump displacement out of range")
+                    out += Instruction(0, long_op, (displacement,)).encode()
+                else:
+                    out += Instruction(0, short_op, (displacement,)).encode()
+            else:
+                out += item
+        return bytes(out)
+
+
+class _CodeGen:
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        device_id: int,
+        options: CompilerOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self._checked = checked
+        self._device_id = device_id
+        self._options = options
+        self._asm = _Assembler(short_jumps=options.short_jumps)
+        self._params: Dict[str, int] = {}
+        self._loop_stack: List[Tuple[_Label, _Label]] = []  # (continue, break)
+
+    # ----------------------------------------------------------------- main
+    def generate(self) -> DriverImage:
+        handler_labels: List[Tuple[CheckedHandler, _Label]] = []
+        for handler in self._checked.handlers:
+            label = self._asm.new_label()
+            self._asm.bind(label)
+            handler_labels.append((handler, label))
+            self._compile_handler(handler)
+        code = self._asm.assemble()
+        handler_defs = tuple(
+            HandlerDef(
+                kind=handler.kind,
+                name_id=handler.name_id,
+                offset=label.offset or 0,
+                n_params=len(handler.param_names),
+            )
+            for handler, label in handler_labels
+        )
+        slots = tuple(
+            var.slot_def()
+            for var in sorted(self._checked.globals.values(), key=lambda v: v.slot)
+        )
+        imports = tuple(lib.lib_id for lib in self._checked.imports)
+        return DriverImage(
+            device_id=self._device_id,
+            slots=slots,
+            imports=imports,
+            handlers=handler_defs,
+            code=code,
+            local_names=tuple(self._checked.local_names),
+        )
+
+    def _compile_handler(self, handler: CheckedHandler) -> None:
+        self._params = {n: i for i, n in enumerate(handler.param_names)}
+        body = handler.node.body
+        self._compile_statements(body)
+        # Skip the implicit RET when the handler already ends in a return.
+        if not (body and isinstance(body[-1], ast.Return)):
+            self._asm.emit(Op.RET)
+        self._params = {}
+
+    # --------------------------------------------------------------- helpers
+    def _load_global(self, slot: int) -> None:
+        if self._options.compact_registers and slot < len(_COMPACT_LOADS):
+            self._asm.emit(_COMPACT_LOADS[slot])
+        else:
+            self._asm.emit(Op.LDG, slot)
+
+    def _store_global(self, slot: int) -> None:
+        if self._options.compact_registers and slot < len(_COMPACT_STORES):
+            self._asm.emit(_COMPACT_STORES[slot])
+        else:
+            self._asm.emit(Op.STG, slot)
+
+    # ------------------------------------------------------------ statements
+    def _compile_statements(self, statements: Sequence[object]) -> None:
+        for statement in statements:
+            self._compile_statement(statement)
+
+    def _compile_statement(self, statement: object) -> None:
+        if isinstance(statement, ast.Assign):
+            self._compile_assign(statement)
+        elif isinstance(statement, ast.Signal):
+            self._compile_signal(statement)
+        elif isinstance(statement, ast.Return):
+            self._compile_return(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            self._compile_expr(statement.expr)
+            self._asm.emit(Op.DROP)
+        elif isinstance(statement, ast.If):
+            self._compile_if(statement)
+        elif isinstance(statement, ast.While):
+            self._compile_while(statement)
+        elif isinstance(statement, ast.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", statement.line)
+            self._asm.jump("JMP", self._loop_stack[-1][1])
+        elif isinstance(statement, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", statement.line)
+            self._asm.jump("JMP", self._loop_stack[-1][0])
+        else:  # pragma: no cover
+            raise CompileError(f"cannot compile {type(statement).__name__}")
+
+    def _compile_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.NameRef):
+            var = self._checked.globals[target.name]
+            if statement.op == "=":
+                self._compile_expr(statement.value)
+            else:
+                self._load_global(var.slot)
+                self._compile_expr(statement.value)
+                self._asm.emit(_AUG_OPS[statement.op])
+            self._store_global(var.slot)
+            return
+        # Array element target.
+        var = self._checked.globals[target.name]
+        self._compile_expr(target.index)
+        if statement.op == "=":
+            self._compile_expr(statement.value)
+        else:
+            self._asm.emit(Op.DUP)
+            self._asm.emit(Op.LDE, var.slot)
+            self._compile_expr(statement.value)
+            self._asm.emit(_AUG_OPS[statement.op])
+        self._asm.emit(Op.STE, var.slot)
+
+    def _compile_signal(self, statement: ast.Signal) -> None:
+        for arg in statement.args:
+            self._compile_expr(arg)
+        if statement.target == "this":
+            name_id = self._checked.name_ids[statement.event]
+            self._asm.emit(Op.SIG, SIG_TARGET_THIS, name_id, len(statement.args))
+            return
+        lib = next(l for l in self._checked.imports if l.name == statement.target)
+        command_index = list(lib.commands).index(statement.event)
+        self._asm.emit(Op.SIG, lib.lib_id, command_index, len(statement.args))
+
+    def _compile_return(self, statement: ast.Return) -> None:
+        if statement.array_name is not None:
+            var = self._checked.globals[statement.array_name]
+            self._asm.emit(Op.RETA, var.slot)
+        elif statement.value is not None:
+            self._compile_expr(statement.value)
+            self._asm.emit(Op.RETV)
+        self._asm.emit(Op.RET)
+
+    def _compile_if(self, statement: ast.If) -> None:
+        else_label = self._asm.new_label()
+        self._compile_condition(statement.condition, else_label, jump_when=False)
+        self._compile_statements(statement.then_body)
+        if statement.else_body:
+            end_label = self._asm.new_label()
+            self._asm.jump("JMP", end_label)
+            self._asm.bind(else_label)
+            self._compile_statements(statement.else_body)
+            self._asm.bind(end_label)
+        else:
+            self._asm.bind(else_label)
+
+    def _compile_while(self, statement: ast.While) -> None:
+        top_label = self._asm.new_label()
+        end_label = self._asm.new_label()
+        self._asm.bind(top_label)
+        self._compile_condition(statement.condition, end_label, jump_when=False)
+        self._loop_stack.append((top_label, end_label))
+        self._compile_statements(statement.body)
+        self._loop_stack.pop()
+        self._asm.jump("JMP", top_label)
+        self._asm.bind(end_label)
+
+    def _compile_condition(
+        self, condition: object, target: _Label, *, jump_when: bool
+    ) -> None:
+        """Evaluate *condition* and jump to *target* when its truth value
+        equals *jump_when*.  Short-circuits and/or without materialising
+        a boolean on the stack."""
+        if isinstance(condition, ast.BinaryOp) and condition.op in ("and", "or"):
+            if condition.op == "and" and not jump_when:
+                self._compile_condition(condition.left, target, jump_when=False)
+                self._compile_condition(condition.right, target, jump_when=False)
+                return
+            if condition.op == "or" and jump_when:
+                self._compile_condition(condition.left, target, jump_when=True)
+                self._compile_condition(condition.right, target, jump_when=True)
+                return
+            if condition.op == "and":  # jump_when=True
+                fall = self._asm.new_label()
+                self._compile_condition(condition.left, fall, jump_when=False)
+                self._compile_condition(condition.right, target, jump_when=True)
+                self._asm.bind(fall)
+                return
+            # or with jump_when=False
+            fall = self._asm.new_label()
+            self._compile_condition(condition.left, fall, jump_when=True)
+            self._compile_condition(condition.right, target, jump_when=False)
+            self._asm.bind(fall)
+            return
+        if isinstance(condition, ast.UnaryOp) and condition.op == "!":
+            self._compile_condition(condition.operand, target, jump_when=not jump_when)
+            return
+        self._compile_expr(condition)
+        self._asm.jump("JNZ" if jump_when else "JZ", target)
+
+    # ------------------------------------------------------------ expressions
+    def _compile_expr(self, expr: object) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            self._push_constant(expr.value)
+        elif isinstance(expr, ast.BoolLiteral):
+            self._asm.emit(Op.PUSH1 if expr.value else Op.PUSH0)
+        elif isinstance(expr, ast.NameRef):
+            self._compile_name(expr)
+        elif isinstance(expr, ast.IndexRef):
+            var = self._checked.globals[expr.name]
+            constant_index = (
+                self._constant_index(expr.index)
+                if self._options.immediate_index else None
+            )
+            if constant_index is not None:
+                self._asm.emit(Op.LDEI, var.slot, constant_index)
+            else:
+                self._compile_expr(expr.index)
+                self._asm.emit(Op.LDE, var.slot)
+        elif isinstance(expr, ast.UnaryOp):
+            self._compile_unary(expr)
+        elif isinstance(expr, ast.BinaryOp):
+            self._compile_binary(expr)
+        elif isinstance(expr, ast.PostfixOp):
+            self._compile_postfix(expr)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot compile expression {type(expr).__name__}")
+
+    def _constant_index(self, expr: object) -> Optional[int]:
+        if isinstance(expr, ast.IntLiteral) and 0 <= expr.value <= 255:
+            return expr.value
+        if isinstance(expr, ast.NameRef):
+            value = self._checked.constants.get(expr.name)
+            if value is not None and 0 <= value <= 255:
+                return value
+        return None
+
+    def _compile_name(self, expr: ast.NameRef) -> None:
+        if expr.name in self._params:
+            self._asm.emit(Op.LDP, self._params[expr.name])
+            return
+        if expr.name in self._checked.constants:
+            self._push_constant(self._checked.constants[expr.name])
+            return
+        var = self._checked.globals[expr.name]
+        self._load_global(var.slot)
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> None:
+        if expr.op == "-" and isinstance(expr.operand, ast.IntLiteral):
+            self._push_constant(-expr.operand.value)
+            return
+        self._compile_expr(expr.operand)
+        self._asm.emit({"-": Op.NEG, "~": Op.BINV, "!": Op.LNOT}[expr.op])
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> None:
+        if expr.op in ("and", "or"):
+            self._compile_logical(expr)
+            return
+        self._compile_expr(expr.left)
+        self._compile_expr(expr.right)
+        self._asm.emit(_BINARY_OPS[expr.op])
+
+    def _compile_logical(self, expr: ast.BinaryOp) -> None:
+        """Short-circuit ``and`` / ``or`` producing a normalised 0/1."""
+        shortcut = self._asm.new_label()
+        end = self._asm.new_label()
+        branch = "JZ" if expr.op == "and" else "JNZ"
+        for operand in (expr.left, expr.right):
+            self._compile_expr(operand)
+            self._asm.jump(branch, shortcut)
+        self._asm.emit(Op.PUSH1 if expr.op == "and" else Op.PUSH0)
+        self._asm.jump("JMP", end)
+        self._asm.bind(shortcut)
+        self._asm.emit(Op.PUSH0 if expr.op == "and" else Op.PUSH1)
+        self._asm.bind(end)
+
+    def _compile_postfix(self, expr: ast.PostfixOp) -> None:
+        target = expr.target
+        if not isinstance(target, ast.NameRef):
+            raise CompileError(
+                "postfix ++/-- supports scalar globals only",
+                expr.line, expr.column,
+            )
+        var = self._checked.globals[target.name]
+        self._asm.emit(Op.INCG if expr.op == "++" else Op.DECG, var.slot)
+
+    def _push_constant(self, value: int) -> None:
+        if value == 0:
+            self._asm.emit(Op.PUSH0)
+        elif value == 1:
+            self._asm.emit(Op.PUSH1)
+        elif -128 <= value <= 127:
+            self._asm.emit(Op.PUSH8, value)
+        elif -32768 <= value <= 32767:
+            self._asm.emit(Op.PUSH16, value)
+        else:
+            if value > 0x7FFFFFFF:       # large unsigned literals wrap (C-style)
+                value -= 1 << 32
+            if not -(1 << 31) <= value < (1 << 31):
+                raise CompileError(f"constant out of 32-bit range: {value}")
+            self._asm.emit(Op.PUSH32, value)
+
+
+__all__ = ["compile_source", "compile_checked", "CompilerOptions",
+           "DEFAULT_OPTIONS", "SIG_TARGET_THIS"]

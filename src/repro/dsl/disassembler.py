@@ -1,0 +1,64 @@
+"""Human-readable listings of compiled µPnP driver images."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl.bytecode import (
+    DriverImage,
+    HANDLER_KIND_ERROR,
+    Op,
+)
+from repro.dsl.compiler import SIG_TARGET_THIS
+from repro.dsl.symbols import NATIVE_LIBS_BY_ID, name_for_id
+
+
+def disassemble(image: DriverImage) -> str:
+    """Render *image* as an annotated assembly listing."""
+    lines: List[str] = []
+    lines.append(f"; driver for device {image.device_id:#010x}")
+    lines.append(
+        f"; image {image.image_size} B, code {image.code_size} B, "
+        f"ram {image.ram_bytes} B"
+    )
+    for index, slot in enumerate(image.slots):
+        suffix = f"[{slot.length}]" if slot.is_array else ""
+        lines.append(f"; slot {index}: {slot.type.name}{suffix}")
+    for lib_id in image.imports:
+        spec = NATIVE_LIBS_BY_ID.get(lib_id)
+        lines.append(f"; import {spec.name if spec else lib_id}")
+
+    handler_starts = {
+        h.offset: h for h in sorted(image.handlers, key=lambda h: h.offset)
+    }
+    for instruction in image.instructions():
+        handler = handler_starts.get(instruction.offset)
+        if handler is not None:
+            kind = "error" if handler.kind == HANDLER_KIND_ERROR else "event"
+            name = name_for_id(handler.name_id, image.local_names)
+            lines.append(f"{kind} {name}({handler.n_params} params):")
+        lines.append(f"  {instruction.offset:04x}  {_render(image, instruction)}")
+    return "\n".join(lines)
+
+
+def _render(image: DriverImage, instruction) -> str:
+    op = instruction.op
+    args = instruction.args
+    if op == Op.SIG:
+        target, symbol, argc = args
+        if target == SIG_TARGET_THIS:
+            return f"SIG this.{name_for_id(symbol, image.local_names)} argc={argc}"
+        spec = NATIVE_LIBS_BY_ID.get(target)
+        if spec is not None and symbol < len(spec.commands):
+            command = list(spec.commands)[symbol]
+            return f"SIG {spec.name}.{command} argc={argc}"
+        return f"SIG lib{target}.cmd{symbol} argc={argc}"
+    if op in (Op.JMP, Op.JZ, Op.JNZ, Op.JMPS, Op.JZS, Op.JNZS):
+        destination = instruction.offset + instruction.size + args[0]
+        return f"{op.name} -> {destination:04x}"
+    if args:
+        return f"{op.name} " + ", ".join(str(a) for a in args)
+    return op.name
+
+
+__all__ = ["disassemble"]

@@ -1,0 +1,36 @@
+"""Diagnostics for the µPnP driver language toolchain."""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """Base class for all driver-language diagnostics.
+
+    Carries source position so tooling can point at the offending line.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        where = f" (line {line}, col {column})" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(DslError):
+    """Tokenisation failure (bad character, inconsistent indentation)."""
+
+
+class ParseError(DslError):
+    """Grammar violation."""
+
+
+class SemanticError(DslError):
+    """Name/type/signature errors found by the checker."""
+
+
+class CompileError(DslError):
+    """Code-generation limits exceeded (too many globals, jumps, ...)."""
+
+
+__all__ = ["DslError", "LexError", "ParseError", "SemanticError", "CompileError"]

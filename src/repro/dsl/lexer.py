@@ -1,0 +1,141 @@
+"""Indentation-aware lexer for the µPnP driver DSL."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dsl.errors import LexError
+from repro.dsl.tokens import KEYWORDS, OPERATORS, TYPE_NAMES, Token, TokenType
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise *source* into a flat token list ending with EOF.
+
+    Blank lines and comment-only lines produce no tokens; indentation
+    changes produce INDENT/DEDENT pairs exactly like Python.  Tabs count
+    as 8 columns (mixing tabs and spaces inconsistently is an error in
+    spirit, but resolved deterministically here).
+    """
+    return list(_Lexer(source).run())
+
+
+class _Lexer:
+    TAB_WIDTH = 8
+
+    def __init__(self, source: str) -> None:
+        self._lines = source.splitlines()
+        self._indents = [0]
+        self._depth = 0  # bracket depth; >0 enables implicit line joining
+
+    def run(self) -> Iterator[Token]:
+        last_line_no = len(self._lines)
+        for line_no, raw in enumerate(self._lines, start=1):
+            stripped = self._strip_comment(raw)
+            if not stripped.strip():
+                continue  # blank / comment-only lines are invisible
+            if self._depth == 0:
+                indent = self._measure_indent(raw)
+                yield from self._emit_indentation(indent, line_no)
+            yield from self._lex_code(stripped, line_no, indent_cols=0)
+            if self._depth == 0:
+                yield Token(TokenType.NEWLINE, "\n", line_no, len(raw) + 1)
+        if self._depth != 0:
+            raise LexError("unbalanced brackets at end of file", last_line_no, 1)
+        # Close any open blocks at EOF.
+        while len(self._indents) > 1:
+            self._indents.pop()
+            yield Token(TokenType.DEDENT, "", last_line_no + 1, 1)
+        yield Token(TokenType.EOF, "", last_line_no + 1, 1)
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        index = line.find("#")
+        return line if index < 0 else line[:index]
+
+    def _measure_indent(self, line: str) -> int:
+        columns = 0
+        for ch in line:
+            if ch == " ":
+                columns += 1
+            elif ch == "\t":
+                columns += self.TAB_WIDTH - (columns % self.TAB_WIDTH)
+            else:
+                break
+        return columns
+
+    def _emit_indentation(self, indent: int, line_no: int) -> Iterator[Token]:
+        current = self._indents[-1]
+        if indent > current:
+            self._indents.append(indent)
+            yield Token(TokenType.INDENT, "", line_no, 1)
+            return
+        while indent < self._indents[-1]:
+            self._indents.pop()
+            yield Token(TokenType.DEDENT, "", line_no, 1)
+        if indent != self._indents[-1]:
+            raise LexError("inconsistent dedent", line_no, 1)
+
+    def _lex_code(self, text: str, line_no: int, indent_cols: int) -> Iterator[Token]:
+        pos = 0
+        length = len(text)
+        while pos < length:
+            ch = text[pos]
+            if ch in " \t":
+                pos += 1
+                continue
+            column = pos + 1
+            if ch.isdigit():
+                token, pos = self._lex_number(text, pos, line_no)
+                yield token
+                continue
+            if ch.isalpha() or ch == "_":
+                token, pos = self._lex_name(text, pos, line_no)
+                yield token
+                continue
+            matched = False
+            for literal, token_type in OPERATORS:
+                if text.startswith(literal, pos):
+                    if token_type in (TokenType.LPAREN, TokenType.LBRACKET):
+                        self._depth += 1
+                    elif token_type in (TokenType.RPAREN, TokenType.RBRACKET):
+                        if self._depth == 0:
+                            raise LexError("unbalanced closing bracket", line_no, column)
+                        self._depth -= 1
+                    yield Token(token_type, literal, line_no, column)
+                    pos += len(literal)
+                    matched = True
+                    break
+            if not matched:
+                raise LexError(f"unexpected character {ch!r}", line_no, column)
+
+    @staticmethod
+    def _lex_number(text: str, pos: int, line_no: int) -> tuple[Token, int]:
+        start = pos
+        if text.startswith(("0x", "0X"), pos):
+            pos += 2
+            while pos < len(text) and text[pos] in "0123456789abcdefABCDEF":
+                pos += 1
+            if pos == start + 2:
+                raise LexError("malformed hex literal", line_no, start + 1)
+        else:
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+        return Token(TokenType.INT, text[start:pos], line_no, start + 1), pos
+
+    @staticmethod
+    def _lex_name(text: str, pos: int, line_no: int) -> tuple[Token, int]:
+        start = pos
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        word = text[start:pos]
+        if word in KEYWORDS:
+            token_type = KEYWORDS[word]
+        elif word in TYPE_NAMES:
+            token_type = TokenType.TYPE
+        else:
+            token_type = TokenType.NAME
+        return Token(token_type, word, line_no, start + 1), pos
+
+
+__all__ = ["tokenize"]

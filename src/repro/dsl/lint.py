@@ -1,0 +1,228 @@
+"""Automated driver validation (§9: "automated approaches to validating
+third-party driver software").
+
+The checker rejects programs that cannot work at all; the linter finds
+drivers that compile but will misbehave in the field.  The global
+address space runs it on upload (warnings are advisory — the paper's
+"manual checking" replaced by automation), and driver developers can
+run it standalone.
+
+Rules:
+
+``missing-completion-handler``
+    The driver invokes a split-phase library command whose completion
+    event has no handler (e.g. ``signal adc.read()`` without a ``data``
+    handler) — the read will never finish.
+``unhandled-error``
+    An imported library can raise an error event the driver does not
+    handle; the event is silently dropped and driver state (busy flags)
+    can wedge.
+``unused-variable``
+    A global is declared but never read — wasted mote RAM.
+``read-never-returns``
+    The driver exposes ``read`` but no handler ever executes ``return``,
+    so remote read requests can never complete.
+``missing-busy-guard``
+    ``read`` re-issues a split-phase command without any state guard;
+    concurrent requests will interleave I/O (Listing 1 guards with
+    ``busy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.bytecode import HANDLER_KIND_ERROR, HANDLER_KIND_EVENT
+from repro.dsl.checker import CheckedProgram, check
+from repro.dsl.parser import parse
+
+#: Completion events a library posts in response to each command.
+_COMPLETIONS = {
+    ("uart", "read"): ("newdata",),
+    ("uart", "write"): ("writeDone",),
+    ("adc", "read"): ("data",),
+    ("i2c", "read"): ("newdata", "readDone"),
+    ("i2c", "write1"): ("writeDone",),
+    ("i2c", "write2"): ("writeDone",),
+    ("spi", "transfer"): ("data",),
+}
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One advisory finding."""
+
+    rule: str
+    message: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        where = f" (line {self.line})" if self.line else ""
+        return f"[{self.rule}] {self.message}{where}"
+
+
+def lint_source(source: str) -> List[LintWarning]:
+    """Parse + check + lint *source*; checker errors propagate."""
+    return lint(check(parse(source)))
+
+
+def lint(checked: CheckedProgram) -> List[LintWarning]:
+    """Run all rules over a checked program."""
+    warnings: List[LintWarning] = []
+    warnings.extend(_missing_completion_handlers(checked))
+    warnings.extend(_unhandled_errors(checked))
+    warnings.extend(_unused_variables(checked))
+    warnings.extend(_read_never_returns(checked))
+    warnings.extend(_missing_busy_guard(checked))
+    return warnings
+
+
+# ----------------------------------------------------------------- traversal
+def _walk_statements(statements) -> List[object]:
+    out: List[object] = []
+    for statement in statements:
+        out.append(statement)
+        if isinstance(statement, ast.If):
+            out.extend(_walk_statements(statement.then_body))
+            out.extend(_walk_statements(statement.else_body))
+        elif isinstance(statement, ast.While):
+            out.extend(_walk_statements(statement.body))
+    return out
+
+
+def _all_statements(checked: CheckedProgram) -> List[object]:
+    out: List[object] = []
+    for handler in checked.handlers:
+        out.extend(_walk_statements(handler.node.body))
+    return out
+
+
+def _signals(checked: CheckedProgram) -> List[ast.Signal]:
+    return [s for s in _all_statements(checked) if isinstance(s, ast.Signal)]
+
+
+def _event_handler_names(checked: CheckedProgram) -> Set[str]:
+    return {h.node.name for h in checked.handlers
+            if h.kind == HANDLER_KIND_EVENT}
+
+
+# --------------------------------------------------------------------- rules
+def _missing_completion_handlers(checked: CheckedProgram) -> List[LintWarning]:
+    handlers = _event_handler_names(checked)
+    warnings = []
+    seen: Set[tuple] = set()
+    for signal in _signals(checked):
+        key = (signal.target, signal.event)
+        if key in seen or key not in _COMPLETIONS:
+            continue
+        seen.add(key)
+        for completion in _COMPLETIONS[key]:
+            if completion not in handlers:
+                warnings.append(LintWarning(
+                    "missing-completion-handler",
+                    f"signal {signal.target}.{signal.event}() has no "
+                    f"'{completion}' handler: the operation never completes",
+                    signal.line,
+                ))
+    return warnings
+
+
+def _unhandled_errors(checked: CheckedProgram) -> List[LintWarning]:
+    handled = {h.node.name for h in checked.handlers
+               if h.kind == HANDLER_KIND_ERROR}
+    warnings = []
+    for lib in checked.imports:
+        for error in lib.errors:
+            if error not in handled:
+                warnings.append(LintWarning(
+                    "unhandled-error",
+                    f"library '{lib.name}' can raise '{error}' but the "
+                    f"driver has no handler; state may wedge",
+                ))
+    return warnings
+
+
+def _unused_variables(checked: CheckedProgram) -> List[LintWarning]:
+    read_names: Set[str] = set()
+
+    def visit(expr) -> None:
+        if isinstance(expr, ast.NameRef):
+            read_names.add(expr.name)
+        elif isinstance(expr, ast.IndexRef):
+            read_names.add(expr.name)
+            visit(expr.index)
+        elif isinstance(expr, ast.UnaryOp):
+            visit(expr.operand)
+        elif isinstance(expr, ast.BinaryOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, ast.PostfixOp):
+            visit(expr.target)
+
+    for statement in _all_statements(checked):
+        if isinstance(statement, ast.Assign):
+            visit(statement.value)
+            if isinstance(statement.target, ast.IndexRef):
+                visit(statement.target.index)
+            if statement.op != "=":  # augmented assignment also reads
+                read_names.add(statement.target.name)
+        elif isinstance(statement, ast.Signal):
+            for arg in statement.args:
+                visit(arg)
+        elif isinstance(statement, ast.Return):
+            if statement.array_name is not None:
+                read_names.add(statement.array_name)
+            elif statement.value is not None:
+                visit(statement.value)
+        elif isinstance(statement, ast.ExprStatement):
+            visit(statement.expr)
+        elif isinstance(statement, (ast.If, ast.While)):
+            visit(statement.condition)
+    return [
+        LintWarning("unused-variable",
+                    f"global '{name}' is written but never read")
+        for name in sorted(checked.globals)
+        if name not in read_names
+    ]
+
+
+def _read_never_returns(checked: CheckedProgram) -> List[LintWarning]:
+    if "read" not in _event_handler_names(checked):
+        return []
+    for statement in _all_statements(checked):
+        if isinstance(statement, ast.Return) and (
+            statement.value is not None or statement.array_name is not None
+        ):
+            return []
+    return [LintWarning(
+        "read-never-returns",
+        "the driver exposes 'read' but never executes 'return <value>': "
+        "remote reads cannot complete",
+    )]
+
+
+def _missing_busy_guard(checked: CheckedProgram) -> List[LintWarning]:
+    read = checked.handler_for(HANDLER_KIND_EVENT, "read")
+    if read is None:
+        return []
+    statements = _walk_statements(read.node.body)
+    issues_io = any(
+        isinstance(s, ast.Signal) and (s.target, s.event) in _COMPLETIONS
+        for s in statements
+    )
+    if not issues_io:
+        return []
+    guarded = any(isinstance(s, ast.If) for s in read.node.body)
+    if guarded:
+        return []
+    return [LintWarning(
+        "missing-busy-guard",
+        "'read' starts split-phase I/O without a state guard: concurrent "
+        "requests will interleave bus operations",
+        read.node.line,
+    )]
+
+
+__all__ = ["LintWarning", "lint", "lint_source"]

@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the µPnP driver DSL.
+
+Grammar (reconstructed from Listing 1; see DESIGN.md §4.3):
+
+    program    := (import | global_decl | handler)*
+    import     := "import" NAME ";" NEWLINE
+    global_decl:= TYPE declarator ("," declarator)* ";" NEWLINE
+    declarator := NAME ("[" INT "]")? ("=" expr)?
+    handler    := ("event"|"error") NAME "(" params? ")" ":" block
+    params     := TYPE NAME ("," TYPE NAME)*
+    block      := NEWLINE INDENT stmt+ DEDENT
+    stmt       := simple ";" NEWLINE | if | while
+    simple     := signal | return | assign | expr | break | continue
+
+Operator precedence follows C, with Python's ``and``/``or``/``not``
+accepted as synonyms for the logical operators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.errors import ParseError
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import AUG_ASSIGN_BASE, Token, TokenType
+from repro.dsl.types import type_named
+
+_COMPARISONS = {
+    TokenType.EQ: "==",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+_BINARY_LEVELS: Sequence[Sequence[tuple[TokenType, str]]] = (
+    ((TokenType.KW_OR, "or"),),
+    ((TokenType.KW_AND, "and"),),
+    (tuple(_COMPARISONS.items())),
+    ((TokenType.PIPE, "|"),),
+    ((TokenType.CARET, "^"),),
+    ((TokenType.AMP, "&"),),
+    ((TokenType.LSHIFT, "<<"), (TokenType.RSHIFT, ">>")),
+    ((TokenType.PLUS, "+"), (TokenType.MINUS, "-")),
+    ((TokenType.STAR, "*"), (TokenType.SLASH, "/"), (TokenType.PERCENT, "%")),
+)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL *source* text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, token_type: TokenType) -> Optional[Token]:
+        if self._check(token_type):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str = "") -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            expected = what or token_type.value
+            raise ParseError(
+                f"expected {expected}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------ top level
+    def parse_program(self) -> ast.Program:
+        imports: List[ast.Import] = []
+        global_decls: List[ast.VarDecl] = []
+        handlers: List[ast.Handler] = []
+        first = self._peek()
+        while not self._check(TokenType.EOF):
+            token = self._peek()
+            if token.type is TokenType.KW_IMPORT:
+                imports.append(self._parse_import())
+            elif token.type is TokenType.TYPE:
+                global_decls.extend(self._parse_global_decl())
+            elif token.type in (TokenType.KW_EVENT, TokenType.KW_ERROR):
+                handlers.append(self._parse_handler())
+            else:
+                raise ParseError(
+                    f"expected import, declaration or handler, found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        return ast.Program(first.line, first.column, imports, global_decls, handlers)
+
+    def _parse_import(self) -> ast.Import:
+        keyword = self._expect(TokenType.KW_IMPORT)
+        name = self._expect(TokenType.NAME, "library name")
+        self._expect(TokenType.SEMICOLON)
+        self._expect(TokenType.NEWLINE)
+        return ast.Import(keyword.line, keyword.column, name.value)
+
+    def _parse_global_decl(self) -> List[ast.VarDecl]:
+        type_token = self._expect(TokenType.TYPE)
+        var_type = type_named(type_token.value)
+        decls: List[ast.VarDecl] = []
+        while True:
+            name = self._expect(TokenType.NAME, "variable name")
+            array_length: Optional[int] = None
+            initializer: Optional[object] = None
+            if self._match(TokenType.LBRACKET):
+                size = self._expect(TokenType.INT, "array length")
+                array_length = _int_value(size)
+                if array_length < 1:
+                    raise ParseError("array length must be >= 1", size.line, size.column)
+                self._expect(TokenType.RBRACKET)
+            elif self._match(TokenType.ASSIGN):
+                initializer = self._parse_expr()
+            decls.append(
+                ast.VarDecl(
+                    name.line, name.column, var_type, name.value,
+                    array_length, initializer,
+                )
+            )
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.SEMICOLON)
+        self._expect(TokenType.NEWLINE)
+        return decls
+
+    def _parse_handler(self) -> ast.Handler:
+        keyword = self._advance()  # event | error
+        kind = "event" if keyword.type is TokenType.KW_EVENT else "error"
+        name = self._expect(TokenType.NAME, "handler name")
+        self._expect(TokenType.LPAREN)
+        params: List[ast.Param] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                ptype = self._expect(TokenType.TYPE, "parameter type")
+                pname = self._expect(TokenType.NAME, "parameter name")
+                params.append(
+                    ast.Param(pname.line, pname.column, type_named(ptype.value), pname.value)
+                )
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.COLON)
+        body = self._parse_block()
+        return ast.Handler(keyword.line, keyword.column, kind, name.value, params, body)
+
+    # ------------------------------------------------------------ statements
+    def _parse_block(self) -> List[object]:
+        self._expect(TokenType.NEWLINE)
+        self._expect(TokenType.INDENT, "an indented block")
+        statements: List[object] = []
+        while not self._check(TokenType.DEDENT):
+            statements.append(self._parse_statement())
+        self._expect(TokenType.DEDENT)
+        return statements
+
+    def _parse_statement(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.KW_IF:
+            return self._parse_if()
+        if token.type is TokenType.KW_WHILE:
+            return self._parse_while()
+        statement = self._parse_simple_statement()
+        self._expect(TokenType.SEMICOLON)
+        self._expect(TokenType.NEWLINE)
+        return statement
+
+    def _parse_if(self) -> ast.If:
+        keyword = self._expect(TokenType.KW_IF)
+        condition = self._parse_expr()
+        self._expect(TokenType.COLON)
+        then_body = self._parse_block()
+        else_body: List[object] = []
+        if self._check(TokenType.KW_ELIF):
+            # Desugar: elif chain becomes a nested If in the else branch.
+            else_body = [self._parse_elif()]
+        elif self._match(TokenType.KW_ELSE):
+            self._expect(TokenType.COLON)
+            else_body = self._parse_block()
+        return ast.If(keyword.line, keyword.column, condition, then_body, else_body)
+
+    def _parse_elif(self) -> ast.If:
+        keyword = self._expect(TokenType.KW_ELIF)
+        condition = self._parse_expr()
+        self._expect(TokenType.COLON)
+        then_body = self._parse_block()
+        else_body: List[object] = []
+        if self._check(TokenType.KW_ELIF):
+            else_body = [self._parse_elif()]
+        elif self._match(TokenType.KW_ELSE):
+            self._expect(TokenType.COLON)
+            else_body = self._parse_block()
+        return ast.If(keyword.line, keyword.column, condition, then_body, else_body)
+
+    def _parse_while(self) -> ast.While:
+        keyword = self._expect(TokenType.KW_WHILE)
+        condition = self._parse_expr()
+        self._expect(TokenType.COLON)
+        body = self._parse_block()
+        return ast.While(keyword.line, keyword.column, condition, body)
+
+    def _parse_simple_statement(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.KW_SIGNAL:
+            return self._parse_signal()
+        if token.type is TokenType.KW_RETURN:
+            return self._parse_return()
+        if token.type is TokenType.KW_BREAK:
+            self._advance()
+            return ast.Break(token.line, token.column)
+        if token.type is TokenType.KW_CONTINUE:
+            self._advance()
+            return ast.Continue(token.line, token.column)
+        return self._parse_assign_or_expr()
+
+    def _parse_signal(self) -> ast.Signal:
+        keyword = self._expect(TokenType.KW_SIGNAL)
+        if self._check(TokenType.KW_THIS):
+            target = self._advance().value
+        else:
+            target = self._expect(TokenType.NAME, "signal target").value
+        self._expect(TokenType.DOT)
+        event = self._expect(TokenType.NAME, "event name").value
+        self._expect(TokenType.LPAREN)
+        args: List[object] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                args.append(self._parse_expr())
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN)
+        return ast.Signal(keyword.line, keyword.column, target, event, args)
+
+    def _parse_return(self) -> ast.Return:
+        keyword = self._expect(TokenType.KW_RETURN)
+        if self._check(TokenType.SEMICOLON):
+            return ast.Return(keyword.line, keyword.column, None)
+        value = self._parse_expr()
+        return ast.Return(keyword.line, keyword.column, value)
+
+    def _parse_assign_or_expr(self) -> object:
+        start = self._pos
+        expr = self._parse_expr()
+        token = self._peek()
+        if token.type is TokenType.ASSIGN or token.type in AUG_ASSIGN_BASE:
+            if not isinstance(expr, ast.LValue):
+                raise ParseError("cannot assign to this expression", token.line, token.column)
+            self._advance()
+            value = self._parse_expr()
+            op = "=" if token.type is TokenType.ASSIGN else token.value
+            return ast.Assign(expr.line, expr.column, expr, op, value)
+        del start
+        return ast.ExprStatement(expr.line, expr.column, expr)
+
+    # ----------------------------------------------------------- expressions
+    def _parse_expr(self, level: int = 0) -> object:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_expr(level + 1)
+        ops = dict(_BINARY_LEVELS[level])
+        while self._peek().type in ops:
+            token = self._advance()
+            right = self._parse_expr(level + 1)
+            left = ast.BinaryOp(token.line, token.column, ops[token.type], left, right)
+        return left
+
+    def _parse_unary(self) -> object:
+        token = self._peek()
+        if token.type in (TokenType.MINUS, TokenType.TILDE, TokenType.BANG,
+                          TokenType.KW_NOT):
+            self._advance()
+            operand = self._parse_unary()
+            op = {"-": "-", "~": "~", "!": "!", "not": "!"}[token.value]
+            return ast.UnaryOp(token.line, token.column, op, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> object:
+        expr = self._parse_primary()
+        token = self._peek()
+        if token.type in (TokenType.PLUSPLUS, TokenType.MINUSMINUS):
+            if not isinstance(expr, ast.LValue):
+                raise ParseError(
+                    f"{token.value} needs a variable or array element",
+                    token.line, token.column,
+                )
+            self._advance()
+            return ast.PostfixOp(token.line, token.column, token.value, expr)
+        return expr
+
+    def _parse_primary(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return ast.IntLiteral(token.line, token.column, _int_value(token))
+        if token.type is TokenType.KW_TRUE:
+            self._advance()
+            return ast.BoolLiteral(token.line, token.column, True)
+        if token.type is TokenType.KW_FALSE:
+            self._advance()
+            return ast.BoolLiteral(token.line, token.column, False)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.NAME:
+            self._advance()
+            if self._match(TokenType.LBRACKET):
+                index = self._parse_expr()
+                self._expect(TokenType.RBRACKET)
+                return ast.IndexRef(token.line, token.column, token.value, index)
+            return ast.NameRef(token.line, token.column, token.value)
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
+
+
+def _int_value(token: Token) -> int:
+    return int(token.value, 0)
+
+
+__all__ = ["parse"]

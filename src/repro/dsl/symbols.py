@@ -1,0 +1,218 @@
+"""Native interconnect library interfaces and the event-name registry.
+
+The µPnP runtime exposes each hardware interconnect to drivers as a
+*native library* (§4.2) with three faces:
+
+* **commands** — handlers a driver may invoke via ``signal lib.cmd(...)``;
+* **emits** — events the library posts back to the driver (split-phase
+  completions such as ``newdata``);
+* **errors** — prioritized error events (§4.1) the library can raise.
+
+The same specifications drive both the DSL checker (signature and
+constant resolution at compile time) and the VM's native bindings at
+run time, so they cannot drift apart.
+
+Event *names* are compiled to one-byte identifiers.  Identifiers
+0..127 are the platform-wide well-known vocabulary below; 128..255 are
+driver-local names allocated by the compiler for custom events (e.g.
+``readDone`` handlers a driver signals on itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.dsl.types import (
+    CHAR,
+    UINT8,
+    UINT16,
+    UINT32,
+    ValueType,
+)
+
+
+@dataclass(frozen=True)
+class EventSig:
+    """Signature of an event handler: ordered parameter types."""
+
+    name: str
+    params: Tuple[ValueType, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass(frozen=True)
+class NativeLibSpec:
+    """Compile-time interface of one native interconnect library."""
+
+    name: str
+    lib_id: int
+    commands: Mapping[str, EventSig]
+    emits: Mapping[str, EventSig]
+    errors: Tuple[str, ...]
+    constants: Mapping[str, int]
+
+
+def _sigs(*sigs: EventSig) -> Dict[str, EventSig]:
+    return {s.name: s for s in sigs}
+
+
+UART_LIB = NativeLibSpec(
+    name="uart",
+    lib_id=1,
+    commands=_sigs(
+        EventSig("init", (UINT32, UINT8, UINT8, UINT8)),
+        EventSig("reset"),
+        EventSig("read"),
+        EventSig("stop"),
+        EventSig("write", (UINT8,)),
+    ),
+    emits=_sigs(EventSig("newdata", (CHAR,)), EventSig("writeDone")),
+    errors=("invalidConfiguration", "uartInUse", "timeOut"),
+    constants={
+        "USART_PARITY_NONE": 0,
+        "USART_PARITY_EVEN": 1,
+        "USART_PARITY_ODD": 2,
+        "USART_STOP_BITS_1": 1,
+        "USART_STOP_BITS_2": 2,
+        "USART_DATA_BITS_7": 7,
+        "USART_DATA_BITS_8": 8,
+    },
+)
+
+ADC_LIB = NativeLibSpec(
+    name="adc",
+    lib_id=2,
+    commands=_sigs(
+        EventSig("init", (UINT8, UINT16)),
+        EventSig("reset"),
+        EventSig("read"),
+    ),
+    emits=_sigs(EventSig("data", (UINT16,))),
+    errors=("invalidConfiguration", "busInUse", "timeOut"),
+    constants={
+        "ADC_RES_8BIT": 8,
+        "ADC_RES_10BIT": 10,
+        "ADC_REF_VDD": 3300,
+        "ADC_REF_2V56": 2560,
+        "ADC_REF_1V1": 1100,
+    },
+)
+
+I2C_LIB = NativeLibSpec(
+    name="i2c",
+    lib_id=3,
+    commands=_sigs(
+        EventSig("init", (UINT32,)),
+        EventSig("reset"),
+        EventSig("write1", (UINT8, UINT8)),
+        EventSig("write2", (UINT8, UINT8, UINT8)),
+        EventSig("read", (UINT8, UINT8)),
+    ),
+    emits=_sigs(
+        EventSig("newdata", (CHAR,)),
+        EventSig("readDone"),
+        EventSig("writeDone"),
+    ),
+    errors=("invalidConfiguration", "busInUse", "timeOut", "nack"),
+    constants={
+        "I2C_STANDARD": 100_000,
+        "I2C_FAST": 400_000,
+    },
+)
+
+SPI_LIB = NativeLibSpec(
+    name="spi",
+    lib_id=4,
+    commands=_sigs(
+        EventSig("init", (UINT32, UINT8)),
+        EventSig("reset"),
+        EventSig("transfer", (UINT8,)),
+    ),
+    emits=_sigs(EventSig("data", (UINT8,))),
+    errors=("invalidConfiguration", "busInUse"),
+    constants={
+        "SPI_MODE0": 0,
+        "SPI_MODE1": 1,
+        "SPI_MODE2": 2,
+        "SPI_MODE3": 3,
+    },
+)
+
+#: All native libraries, by import name.
+NATIVE_LIBS: Mapping[str, NativeLibSpec] = {
+    lib.name: lib for lib in (UART_LIB, ADC_LIB, I2C_LIB, SPI_LIB)
+}
+
+#: Native libraries by wire identifier (used in driver images).
+NATIVE_LIBS_BY_ID: Mapping[int, NativeLibSpec] = {
+    lib.lib_id: lib for lib in NATIVE_LIBS.values()
+}
+
+#: Events the µPnP runtime itself delivers to every driver (§4.1, §5.3.1).
+RUNTIME_EVENTS = _sigs(
+    EventSig("init"),
+    EventSig("destroy"),
+    EventSig("read"),
+    EventSig("write", (UINT32,)),  # value type follows the VM compute width
+    EventSig("stream"),
+)
+
+#: Stable platform-wide event-name vocabulary (ids 0..127).
+WELL_KNOWN_NAMES: Tuple[str, ...] = (
+    "init",          # 0
+    "destroy",       # 1
+    "read",          # 2
+    "write",         # 3
+    "stream",        # 4
+    "newdata",       # 5
+    "data",          # 6
+    "readDone",      # 7
+    "writeDone",     # 8
+    "transferDone",  # 9
+    "invalidConfiguration",  # 10
+    "uartInUse",     # 11
+    "busInUse",      # 12
+    "timeOut",       # 13
+    "nack",          # 14
+)
+
+_WELL_KNOWN_IDS: Dict[str, int] = {n: i for i, n in enumerate(WELL_KNOWN_NAMES)}
+
+#: First identifier available for driver-local custom event names.
+LOCAL_NAME_BASE = 128
+
+
+def well_known_id(name: str) -> Optional[int]:
+    """Platform-wide id for *name*, or None if it is driver-local."""
+    return _WELL_KNOWN_IDS.get(name)
+
+
+def name_for_id(name_id: int, local_names: Sequence[str] = ()) -> str:
+    """Human-readable name for a compiled name id (for disassembly)."""
+    if 0 <= name_id < len(WELL_KNOWN_NAMES):
+        return WELL_KNOWN_NAMES[name_id]
+    local_index = name_id - LOCAL_NAME_BASE
+    if 0 <= local_index < len(local_names):
+        return local_names[local_index]
+    return f"name_{name_id}"
+
+
+__all__ = [
+    "EventSig",
+    "NativeLibSpec",
+    "NATIVE_LIBS",
+    "NATIVE_LIBS_BY_ID",
+    "UART_LIB",
+    "ADC_LIB",
+    "I2C_LIB",
+    "SPI_LIB",
+    "RUNTIME_EVENTS",
+    "WELL_KNOWN_NAMES",
+    "LOCAL_NAME_BASE",
+    "well_known_id",
+    "name_for_id",
+]

@@ -1,0 +1,196 @@
+"""Token definitions for the µPnP driver DSL (§4.1).
+
+The surface syntax is "inspired by the simplicity and generality of the
+Python programming language": indentation delimits blocks, ``#`` starts
+a comment — but simple statements are ``;``-terminated and variables
+carry C-style fixed-width types, as seen in Listing 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    # Structure
+    NEWLINE = "NEWLINE"
+    INDENT = "INDENT"
+    DEDENT = "DEDENT"
+    EOF = "EOF"
+    # Atoms
+    NAME = "NAME"
+    INT = "INT"
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    SEMICOLON = ";"
+    # Operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUSPLUS = "++"
+    MINUSMINUS = "--"
+    PLUSASSIGN = "+="
+    MINUSASSIGN = "-="
+    STARASSIGN = "*="
+    SLASHASSIGN = "/="
+    PERCENTASSIGN = "%="
+    AMPASSIGN = "&="
+    PIPEASSIGN = "|="
+    CARETASSIGN = "^="
+    LSHIFTASSIGN = "<<="
+    RSHIFTASSIGN = ">>="
+    # Keywords
+    KW_IMPORT = "import"
+    KW_EVENT = "event"
+    KW_ERROR = "error"
+    KW_SIGNAL = "signal"
+    KW_RETURN = "return"
+    KW_IF = "if"
+    KW_ELIF = "elif"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_AND = "and"
+    KW_OR = "or"
+    KW_NOT = "not"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_THIS = "this"
+    # Type names
+    TYPE = "TYPE"
+
+
+KEYWORDS = {
+    "import": TokenType.KW_IMPORT,
+    "event": TokenType.KW_EVENT,
+    "error": TokenType.KW_ERROR,
+    "signal": TokenType.KW_SIGNAL,
+    "return": TokenType.KW_RETURN,
+    "if": TokenType.KW_IF,
+    "elif": TokenType.KW_ELIF,
+    "else": TokenType.KW_ELSE,
+    "while": TokenType.KW_WHILE,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+    "and": TokenType.KW_AND,
+    "or": TokenType.KW_OR,
+    "not": TokenType.KW_NOT,
+    "true": TokenType.KW_TRUE,
+    "false": TokenType.KW_FALSE,
+    "this": TokenType.KW_THIS,
+}
+
+TYPE_NAMES = (
+    "uint8_t",
+    "int8_t",
+    "uint16_t",
+    "int16_t",
+    "uint32_t",
+    "int32_t",
+    "bool",
+    "char",
+)
+
+#: Multi-character operators, longest first so the lexer is greedy.
+OPERATORS = [
+    ("<<=", TokenType.LSHIFTASSIGN),
+    (">>=", TokenType.RSHIFTASSIGN),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NE),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("<<", TokenType.LSHIFT),
+    (">>", TokenType.RSHIFT),
+    ("++", TokenType.PLUSPLUS),
+    ("--", TokenType.MINUSMINUS),
+    ("+=", TokenType.PLUSASSIGN),
+    ("-=", TokenType.MINUSASSIGN),
+    ("*=", TokenType.STARASSIGN),
+    ("/=", TokenType.SLASHASSIGN),
+    ("%=", TokenType.PERCENTASSIGN),
+    ("&=", TokenType.AMPASSIGN),
+    ("|=", TokenType.PIPEASSIGN),
+    ("^=", TokenType.CARETASSIGN),
+    ("(", TokenType.LPAREN),
+    (")", TokenType.RPAREN),
+    ("[", TokenType.LBRACKET),
+    ("]", TokenType.RBRACKET),
+    (",", TokenType.COMMA),
+    (".", TokenType.DOT),
+    (":", TokenType.COLON),
+    (";", TokenType.SEMICOLON),
+    ("=", TokenType.ASSIGN),
+    ("+", TokenType.PLUS),
+    ("-", TokenType.MINUS),
+    ("*", TokenType.STAR),
+    ("/", TokenType.SLASH),
+    ("%", TokenType.PERCENT),
+    ("&", TokenType.AMP),
+    ("|", TokenType.PIPE),
+    ("^", TokenType.CARET),
+    ("~", TokenType.TILDE),
+    ("!", TokenType.BANG),
+    ("<", TokenType.LT),
+    (">", TokenType.GT),
+]
+
+#: Compound-assignment token -> underlying binary operator token.
+AUG_ASSIGN_BASE = {
+    TokenType.PLUSASSIGN: TokenType.PLUS,
+    TokenType.MINUSASSIGN: TokenType.MINUS,
+    TokenType.STARASSIGN: TokenType.STAR,
+    TokenType.SLASHASSIGN: TokenType.SLASH,
+    TokenType.PERCENTASSIGN: TokenType.PERCENT,
+    TokenType.AMPASSIGN: TokenType.AMP,
+    TokenType.PIPEASSIGN: TokenType.PIPE,
+    TokenType.CARETASSIGN: TokenType.CARET,
+    TokenType.LSHIFTASSIGN: TokenType.LSHIFT,
+    TokenType.RSHIFTASSIGN: TokenType.RSHIFT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "KEYWORDS",
+    "TYPE_NAMES",
+    "OPERATORS",
+    "AUG_ASSIGN_BASE",
+]

@@ -1,0 +1,90 @@
+"""The DSL's value types and their C-like storage semantics.
+
+The VM computes in 32-bit signed arithmetic (like promoted C int on the
+compiler's 32-bit virtual machine); declared variable types only matter
+when a value is *stored*, at which point it is truncated/wrapped to the
+declared width and signedness — matching C assignment semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+UINT32_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ValueType:
+    """A scalar DSL type."""
+
+    name: str
+    bits: int
+    signed: bool
+    code: int  # 4-bit encoding used in driver images
+
+    def truncate(self, value: int) -> int:
+        """C-style store: wrap *value* into this type's representable range."""
+        mask = (1 << self.bits) - 1
+        wrapped = value & mask
+        if self.signed and wrapped >= (1 << (self.bits - 1)):
+            wrapped -= 1 << self.bits
+        return wrapped
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+
+UINT8 = ValueType("uint8_t", 8, False, 0)
+INT8 = ValueType("int8_t", 8, True, 1)
+UINT16 = ValueType("uint16_t", 16, False, 2)
+INT16 = ValueType("int16_t", 16, True, 3)
+UINT32 = ValueType("uint32_t", 32, False, 4)
+INT32 = ValueType("int32_t", 32, True, 5)
+BOOL = ValueType("bool", 8, False, 6)
+CHAR = ValueType("char", 8, False, 7)
+
+BY_NAME = {
+    t.name: t for t in (UINT8, INT8, UINT16, INT16, UINT32, INT32, BOOL, CHAR)
+}
+BY_CODE = {t.code: t for t in BY_NAME.values()}
+
+
+def type_named(name: str) -> ValueType:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown DSL type: {name!r}") from None
+
+
+def wrap32(value: int) -> int:
+    """Wrap an arbitrary int into the VM's 32-bit signed compute domain."""
+    value &= UINT32_MASK
+    if value > INT32_MAX:
+        value -= 1 << 32
+    return value
+
+
+__all__ = [
+    "ValueType",
+    "UINT8",
+    "INT8",
+    "UINT16",
+    "INT16",
+    "UINT32",
+    "INT32",
+    "BOOL",
+    "CHAR",
+    "BY_NAME",
+    "BY_CODE",
+    "type_named",
+    "wrap32",
+    "INT32_MIN",
+    "INT32_MAX",
+]

@@ -1,0 +1,147 @@
+"""AST -> canonical µPnP DSL source (the toolchain's pretty-printer).
+
+Useful for driver tooling (normalising uploaded sources, diffing driver
+versions) and as a strong toolchain invariant: re-parsing the unparsed
+source must compile to the identical driver image
+(``tests/property/test_prop_unparse.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl import ast_nodes as ast
+
+_INDENT = "    "
+
+#: Binary operator precedence, matching the parser's climb order.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "<<": 7, ">>": 7,
+    "+": 8, "-": 8,
+    "*": 9, "/": 9, "%": 9,
+}
+_UNARY_LEVEL = 10
+
+
+def unparse(program: ast.Program) -> str:
+    """Render *program* back to canonical source text."""
+    chunks: List[str] = []
+    for imp in program.imports:
+        chunks.append(f"import {imp.library};")
+    if program.imports:
+        chunks.append("")
+    for decl in program.globals:
+        chunks.append(_declaration(decl))
+    if program.globals:
+        chunks.append("")
+    for handler in program.handlers:
+        chunks.extend(_handler(handler))
+        chunks.append("")
+    while chunks and not chunks[-1]:
+        chunks.pop()
+    return "\n".join(chunks) + "\n"
+
+
+def _declaration(decl: ast.VarDecl) -> str:
+    suffix = ""
+    if decl.array_length is not None:
+        suffix = f"[{decl.array_length}]"
+    elif decl.initializer is not None:
+        suffix = f" = {unparse_expr(decl.initializer)}"
+    return f"{decl.type.name} {decl.name}{suffix};"
+
+
+def _handler(handler: ast.Handler) -> List[str]:
+    params = ", ".join(f"{p.type.name} {p.name}" for p in handler.params)
+    lines = [f"{handler.kind} {handler.name}({params}):"]
+    lines.extend(_block(handler.body, 1))
+    return lines
+
+
+def _block(statements, depth: int) -> List[str]:
+    lines: List[str] = []
+    pad = _INDENT * depth
+    for statement in statements:
+        lines.extend(pad + line for line in _statement(statement, depth))
+    return lines
+
+
+def _statement(statement, depth: int) -> List[str]:
+    if isinstance(statement, ast.Assign):
+        return [f"{unparse_expr(statement.target)} {statement.op} "
+                f"{unparse_expr(statement.value)};"]
+    if isinstance(statement, ast.Signal):
+        args = ", ".join(unparse_expr(a) for a in statement.args)
+        return [f"signal {statement.target}.{statement.event}({args});"]
+    if isinstance(statement, ast.Return):
+        if statement.array_name is not None:
+            return [f"return {statement.array_name};"]
+        if statement.value is None:
+            return ["return;"]
+        return [f"return {unparse_expr(statement.value)};"]
+    if isinstance(statement, ast.ExprStatement):
+        return [f"{unparse_expr(statement.expr)};"]
+    if isinstance(statement, ast.If):
+        lines = [f"if {unparse_expr(statement.condition)}:"]
+        lines.extend(_relative_block(statement.then_body, depth))
+        if statement.else_body:
+            lines.append("else:")
+            lines.extend(_relative_block(statement.else_body, depth))
+        return lines
+    if isinstance(statement, ast.While):
+        lines = [f"while {unparse_expr(statement.condition)}:"]
+        lines.extend(_relative_block(statement.body, depth))
+        return lines
+    if isinstance(statement, ast.Break):
+        return ["break;"]
+    if isinstance(statement, ast.Continue):
+        return ["continue;"]
+    raise TypeError(f"cannot unparse {type(statement).__name__}")
+
+
+def _relative_block(statements, depth: int) -> List[str]:
+    return [_INDENT + line
+            for statement in statements
+            for line in _statement(statement, depth + 1)]
+
+
+def unparse_expr(expr, parent_level: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, ast.IntLiteral):
+        # Negative literals are parenthesised in operand position:
+        # `a - -3` would lex as the `--` operator.
+        if expr.value < 0 and parent_level > 0:
+            return f"({expr.value})"
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NameRef):
+        return expr.name
+    if isinstance(expr, ast.IndexRef):
+        return f"{expr.name}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.PostfixOp):
+        return f"{unparse_expr(expr.target)}{expr.op}"
+    if isinstance(expr, ast.UnaryOp):
+        inner = unparse_expr(expr.operand, _UNARY_LEVEL)
+        text = f"{expr.op}{inner}"
+        # Parenthesised whenever nested in an operand position: `- -x`
+        # and `a - -x` are lexical hazards (`--`), and it reads better.
+        return f"({text})" if parent_level > 0 else text
+    if isinstance(expr, ast.BinaryOp):
+        level = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, level)
+        # Right operand parenthesised at equal level: the grammar is
+        # left-associative, so `a - (b - c)` must keep its parentheses.
+        right = unparse_expr(expr.right, level + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_level > level else text
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+__all__ = ["unparse", "unparse_expr"]

@@ -1,0 +1,60 @@
+"""Hardware identification substrate (Section 3 of the paper).
+
+E-series passive components, the monostable multivibrator chain, the
+pulse<->byte identification codec, peripheral and control boards, power
+accounting, and the USB host-controller baseline used by Figure 12.
+"""
+
+from repro.hw.components import Capacitor, ComponentError, Resistor
+from repro.hw.connector import BusKind, PinMap, bus_wire_count, pin_map_for
+from repro.hw.control_board import (
+    ChannelError,
+    ChannelResult,
+    ControlBoard,
+    IdentificationReport,
+    IdentificationTiming,
+)
+from repro.hw.device_id import ALL_CLIENTS, ALL_PERIPHERALS, DeviceId
+from repro.hw.idcodec import (
+    CodecParams,
+    DEFAULT_CODEC,
+    IdentificationError,
+    PulseDecoder,
+    ResistorSet,
+    resistor_set_for_id,
+)
+from repro.hw.multivibrator import Multivibrator, MultivibratorChain
+from repro.hw.peripheral_board import PeripheralBoard
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.hw.usb_baseline import SECONDS_PER_YEAR, UsbHostModel
+
+__all__ = [
+    "Capacitor",
+    "ComponentError",
+    "Resistor",
+    "BusKind",
+    "PinMap",
+    "bus_wire_count",
+    "pin_map_for",
+    "ChannelError",
+    "ChannelResult",
+    "ControlBoard",
+    "IdentificationReport",
+    "IdentificationTiming",
+    "ALL_CLIENTS",
+    "ALL_PERIPHERALS",
+    "DeviceId",
+    "CodecParams",
+    "DEFAULT_CODEC",
+    "IdentificationError",
+    "PulseDecoder",
+    "ResistorSet",
+    "resistor_set_for_id",
+    "Multivibrator",
+    "MultivibratorChain",
+    "PeripheralBoard",
+    "EnergyMeter",
+    "PowerDraw",
+    "SECONDS_PER_YEAR",
+    "UsbHostModel",
+]

@@ -1,0 +1,118 @@
+"""Passive component models with manufacturing tolerance.
+
+µPnP identifies peripherals from the *actual* (not nominal) values of
+resistors and capacitors, so the simulation distinguishes a component's
+nominal value from the sample drawn at "manufacture" time.  Tolerance is
+modelled as a uniform distribution over ±tol (the conservative,
+worst-case-friendly assumption; real parts cluster tighter).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hw import eseries
+
+
+class ComponentError(ValueError):
+    """Raised for physically meaningless component parameters."""
+
+
+def _check(value: float, tolerance: float) -> None:
+    if value <= 0:
+        raise ComponentError(f"component value must be positive, got {value}")
+    if not 0 <= tolerance < 1:
+        raise ComponentError(f"tolerance must be in [0, 1), got {tolerance}")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A resistor with nominal value (ohms) and relative tolerance.
+
+    ``actual`` is the sampled true resistance of this physical part.
+    """
+
+    nominal_ohms: float
+    tolerance: float = 0.01
+    actual_ohms: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        _check(self.nominal_ohms, self.tolerance)
+        if self.actual_ohms <= 0:
+            object.__setattr__(self, "actual_ohms", self.nominal_ohms)
+        lo, hi = self.bounds()
+        if not lo <= self.actual_ohms <= hi:
+            raise ComponentError(
+                f"actual value {self.actual_ohms} outside tolerance band "
+                f"[{lo}, {hi}] of nominal {self.nominal_ohms}"
+            )
+
+    def bounds(self) -> tuple[float, float]:
+        """(min, max) true value permitted by the tolerance band."""
+        return (
+            self.nominal_ohms * (1 - self.tolerance),
+            self.nominal_ohms * (1 + self.tolerance),
+        )
+
+    @classmethod
+    def manufacture(
+        cls, nominal_ohms: float, tolerance: float = 0.01, rng: random.Random | None = None
+    ) -> "Resistor":
+        """Sample a physical part uniformly within the tolerance band."""
+        _check(nominal_ohms, tolerance)
+        rng = rng or random
+        actual = nominal_ohms * (1 + rng.uniform(-tolerance, tolerance))
+        return cls(nominal_ohms, tolerance, actual)
+
+    @classmethod
+    def preferred(
+        cls,
+        target_ohms: float,
+        series: str = "E96",
+        tolerance: float | None = None,
+        rng: random.Random | None = None,
+    ) -> "Resistor":
+        """Manufacture the nearest preferred-series part to *target_ohms*."""
+        nominal = eseries.nearest_value(target_ohms, series)
+        tol = eseries.SERIES_TOLERANCE[series] if tolerance is None else tolerance
+        return cls.manufacture(nominal, tol, rng)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A capacitor with nominal value (farads) and relative tolerance."""
+
+    nominal_farads: float
+    tolerance: float = 0.05
+    actual_farads: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        _check(self.nominal_farads, self.tolerance)
+        if self.actual_farads <= 0:
+            object.__setattr__(self, "actual_farads", self.nominal_farads)
+        lo, hi = self.bounds()
+        if not lo <= self.actual_farads <= hi:
+            raise ComponentError(
+                f"actual value {self.actual_farads} outside tolerance band "
+                f"[{lo}, {hi}] of nominal {self.nominal_farads}"
+            )
+
+    def bounds(self) -> tuple[float, float]:
+        return (
+            self.nominal_farads * (1 - self.tolerance),
+            self.nominal_farads * (1 + self.tolerance),
+        )
+
+    @classmethod
+    def manufacture(
+        cls, nominal_farads: float, tolerance: float = 0.05, rng: random.Random | None = None
+    ) -> "Capacitor":
+        """Sample a physical part uniformly within the tolerance band."""
+        _check(nominal_farads, tolerance)
+        rng = rng or random
+        actual = nominal_farads * (1 + rng.uniform(-tolerance, tolerance))
+        return cls(nominal_farads, tolerance, actual)
+
+
+__all__ = ["Resistor", "Capacitor", "ComponentError"]

@@ -1,0 +1,84 @@
+"""The µPnP connector and bus multiplexing (§3.1, Table 1).
+
+The prototype uses a 19-pin mini-HDMI connector: pins 1–8 carry the
+identification circuit, pins 10–12 carry the (multiplexed) peripheral
+interconnect, selected according to the identified device type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+#: Pins dedicated to the resistor identification circuit (§3.1).
+IDENTIFICATION_PINS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Pins multiplexed onto the selected communication bus (§3.1).
+COMMUNICATION_PINS: Tuple[int, ...] = (10, 11, 12)
+
+#: Supply pin in the prototype schematic (Figure 4).
+VDD_PIN = 13
+
+NOT_CONNECTED = "N/C"
+
+
+class BusKind(enum.Enum):
+    """Hardware interconnects encapsulated by the µPnP bus (§1, §3.1)."""
+
+    ADC = "ADC"
+    I2C = "I2C"
+    SPI = "SPI"
+    UART = "UART"
+
+
+#: Table 1 — pinout for different communication bus interfaces.
+PIN_ASSIGNMENTS: Mapping[BusKind, Mapping[int, str]] = {
+    BusKind.ADC: {10: "Analog Signal", 11: NOT_CONNECTED, 12: NOT_CONNECTED},
+    BusKind.I2C: {10: "SDA", 11: "SCL", 12: NOT_CONNECTED},
+    BusKind.SPI: {10: "MOSI", 11: "MISO", 12: "SCK"},
+    BusKind.UART: {10: "TX", 11: "RX", 12: NOT_CONNECTED},
+}
+
+
+@dataclass(frozen=True)
+class PinMap:
+    """Resolved pin functions for a connector in a given bus mode."""
+
+    bus: BusKind
+    functions: Mapping[int, str]
+
+    def signal_on(self, pin: int) -> str:
+        """Function of *pin*, or ``"N/C"`` when unused in this mode."""
+        if pin not in COMMUNICATION_PINS:
+            raise ValueError(f"pin {pin} is not a communication pin")
+        return self.functions[pin]
+
+    @property
+    def connected_pins(self) -> Tuple[int, ...]:
+        return tuple(
+            p for p in COMMUNICATION_PINS if self.functions[p] != NOT_CONNECTED
+        )
+
+
+def pin_map_for(bus: BusKind) -> PinMap:
+    """The Table 1 pin assignment for *bus*."""
+    return PinMap(bus, dict(PIN_ASSIGNMENTS[bus]))
+
+
+def bus_wire_count(bus: BusKind) -> int:
+    """Number of live communication wires for *bus* (1..3)."""
+    return len(pin_map_for(bus).connected_pins)
+
+
+__all__ = [
+    "BusKind",
+    "PinMap",
+    "pin_map_for",
+    "bus_wire_count",
+    "IDENTIFICATION_PINS",
+    "COMMUNICATION_PINS",
+    "VDD_PIN",
+    "NOT_CONNECTED",
+    "PIN_ASSIGNMENTS",
+]

@@ -1,0 +1,252 @@
+"""The µPnP control board (§3.2, Figures 5–7).
+
+The control board sits between the MCU and the peripherals.  It owns a
+single 4-stage multivibrator chain shared by all channels; the control
+logic enables one channel per time-slot, so all channel ID bursts are
+daisy-chained onto one output signal and only three MCU I/O pins are
+needed (start / output / interrupt).
+
+Power behaviour follows §3.2: the board is normally unpowered; a
+connect/disconnect interrupt powers it up for the duration of one
+identification round (the prototype draws an average of 7 mA at 3.3 V
+while active), after which it is powered down again.  Average power
+therefore scales linearly with the rate of peripheral change — the key
+property behind Figure 12.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.hw.components import Resistor
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import (
+    CodecParams,
+    DEFAULT_CODEC,
+    IdentificationError,
+    PulseDecoder,
+)
+from repro.hw.multivibrator import MultivibratorChain
+from repro.hw.peripheral_board import PeripheralBoard
+from repro.hw.power import EnergyMeter, PowerDraw
+
+
+class ChannelError(Exception):
+    """Raised on invalid channel operations (occupied / out of range)."""
+
+
+@dataclass(frozen=True)
+class IdentificationTiming:
+    """Fixed control-logic overheads of one identification round."""
+
+    powerup_s: float = 1.0e-3          # interrupt -> board supply stable
+    channel_settle_s: float = 0.5e-3   # mux switch + line settle per channel
+    inter_pulse_s: float = 20.0e-6     # re-trigger gap between stages
+
+
+@dataclass(frozen=True)
+class ChannelResult:
+    """Outcome of identifying a single channel."""
+
+    channel: int
+    device_id: Optional[DeviceId]
+    pulses_s: Sequence[float]
+    duration_s: float
+    error: Optional[str] = None
+
+    @property
+    def occupied(self) -> bool:
+        return bool(self.pulses_s)
+
+
+@dataclass(frozen=True)
+class IdentificationReport:
+    """Outcome of one full identification round over all channels."""
+
+    channels: Sequence[ChannelResult]
+    reference_pulses_s: Sequence[float]
+    total_seconds: float
+    energy_joules: float
+
+    def identified(self) -> dict[int, DeviceId]:
+        """Mapping channel -> device id for successfully decoded channels."""
+        return {
+            c.channel: c.device_id
+            for c in self.channels
+            if c.device_id is not None
+        }
+
+    def errors(self) -> dict[int, str]:
+        return {c.channel: c.error for c in self.channels if c.error}
+
+
+class ControlBoard:
+    """A µPnP control board with ``num_channels`` peripheral ports."""
+
+    def __init__(
+        self,
+        num_channels: int = 3,
+        *,
+        params: CodecParams = DEFAULT_CODEC,
+        timing: IdentificationTiming = IdentificationTiming(),
+        active_draw: PowerDraw = PowerDraw(current_a=7e-3, voltage_v=3.3),
+        rng: Optional[random.Random] = None,
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        if num_channels < 1:
+            raise ChannelError("control board needs at least one channel")
+        self._params = params
+        self._timing = timing
+        self._active_draw = active_draw
+        self._rng = rng or random.Random(0)
+        self._meter = meter if meter is not None else EnergyMeter()
+        self._chain = MultivibratorChain.build(
+            params.capacitor_farads,
+            params.capacitor_tolerance,
+            jitter_rel=params.trigger_jitter_rel,
+            rng=self._rng,
+        )
+        # On-board precision reference resistors, one per stage (§ DESIGN 4.1).
+        self._references = [
+            Resistor.manufacture(
+                params.base_resistance_ohms,
+                params.reference_resistor_tolerance,
+                self._rng,
+            )
+            for _ in range(MultivibratorChain.STAGES)
+        ]
+        self._decoder = PulseDecoder(params)
+        self._channels: List[Optional[PeripheralBoard]] = [None] * num_channels
+        self._interrupt_handlers: List[Callable[[int, bool], None]] = []
+
+    # --------------------------------------------------------------- wiring
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    @property
+    def params(self) -> CodecParams:
+        return self._params
+
+    @property
+    def meter(self) -> EnergyMeter:
+        return self._meter
+
+    @property
+    def active_draw(self) -> PowerDraw:
+        return self._active_draw
+
+    def board_at(self, channel: int) -> Optional[PeripheralBoard]:
+        self._check_channel(channel)
+        return self._channels[channel]
+
+    def occupied_channels(self) -> List[int]:
+        return [i for i, b in enumerate(self._channels) if b is not None]
+
+    def free_channel(self) -> Optional[int]:
+        """Lowest unoccupied channel index, or None when full."""
+        for i, board in enumerate(self._channels):
+            if board is None:
+                return i
+        return None
+
+    def on_interrupt(self, handler: Callable[[int, bool], None]) -> None:
+        """Register a handler called (channel, connected) on plug events.
+
+        This models the dedicated interrupt line to the MCU (§3.2).
+        """
+        self._interrupt_handlers.append(handler)
+
+    def connect(self, board: PeripheralBoard, channel: Optional[int] = None) -> int:
+        """Plug *board* into *channel* (or the first free one)."""
+        if channel is None:
+            channel = self.free_channel()
+            if channel is None:
+                raise ChannelError("all channels occupied")
+        self._check_channel(channel)
+        if self._channels[channel] is not None:
+            raise ChannelError(f"channel {channel} already occupied")
+        self._channels[channel] = board
+        self._fire_interrupt(channel, True)
+        return channel
+
+    def disconnect(self, channel: int) -> PeripheralBoard:
+        """Unplug the board in *channel* and fire the interrupt."""
+        self._check_channel(channel)
+        board = self._channels[channel]
+        if board is None:
+            raise ChannelError(f"channel {channel} is empty")
+        self._channels[channel] = None
+        self._fire_interrupt(channel, False)
+        return board
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < len(self._channels):
+            raise ChannelError(f"channel {channel} out of range")
+
+    def _fire_interrupt(self, channel: int, connected: bool) -> None:
+        for handler in list(self._interrupt_handlers):
+            handler(channel, connected)
+
+    # --------------------------------------------------------- identification
+    def run_identification(self) -> IdentificationReport:
+        """Run one complete identification round over every channel.
+
+        Returns a report including the electrical duration of the round
+        and the energy drawn by the board while powered.  The caller
+        (typically :class:`repro.vm.peripheral_controller.
+        PeripheralController`) is responsible for scheduling this
+        duration on the simulator and powering the MCU meanwhile.
+        """
+        timing = self._timing
+        total = timing.powerup_s
+
+        # Calibration burst through the reference resistors (one per stage).
+        references: List[float] = []
+        for stage, ref in zip(self._chain.stages, self._references):
+            pulse = stage.pulse_seconds(ref, self._rng)
+            references.append(pulse)
+            total += pulse + timing.inter_pulse_s
+
+        results: List[ChannelResult] = []
+        for index, board in enumerate(self._channels):
+            total += timing.channel_settle_s
+            if board is None:
+                duration = self._params.empty_channel_timeout_seconds
+                total += duration
+                results.append(
+                    ChannelResult(index, None, (), duration)
+                )
+                continue
+            pulses = self._chain.burst_seconds(board.resistors, self._rng)
+            duration = sum(pulses) + 4 * timing.inter_pulse_s
+            total += duration
+            try:
+                device_id = self._decoder.decode_id(pulses, references)
+                results.append(
+                    ChannelResult(index, device_id, tuple(pulses), duration)
+                )
+            except IdentificationError as exc:
+                results.append(
+                    ChannelResult(index, None, tuple(pulses), duration, str(exc))
+                )
+
+        energy = self._active_draw.energy_joules(total)
+        self._meter.add("identification", energy)
+        return IdentificationReport(
+            channels=tuple(results),
+            reference_pulses_s=tuple(references),
+            total_seconds=total,
+            energy_joules=energy,
+        )
+
+
+__all__ = [
+    "ChannelError",
+    "ChannelResult",
+    "ControlBoard",
+    "IdentificationReport",
+    "IdentificationTiming",
+]

@@ -1,0 +1,73 @@
+"""32-bit µPnP device-type identifiers.
+
+Each peripheral type is identified by a 32-bit value (§3): four bytes,
+one per multivibrator pulse.  Two values are reserved by the network
+architecture (§5.1): ``0x00000000`` ("all peripherals") and
+``0xffffffff`` ("all µPnP clients").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+ALL_PERIPHERALS = 0x00000000
+ALL_CLIENTS = 0xFFFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class DeviceId:
+    """A µPnP device-type identifier (a value in the global address space)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"device id out of 32-bit range: {self.value:#x}")
+
+    # ------------------------------------------------------------ converters
+    @classmethod
+    def from_bytes(cls, parts: Iterable[int]) -> "DeviceId":
+        """Build from the four pulse bytes (T1..T4, big-endian)."""
+        parts = tuple(parts)
+        if len(parts) != 4:
+            raise ValueError(f"device id needs exactly 4 bytes, got {len(parts)}")
+        for b in parts:
+            if not 0 <= b <= 0xFF:
+                raise ValueError(f"byte out of range: {b}")
+        return cls((parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3])
+
+    @classmethod
+    def from_hex(cls, text: str) -> "DeviceId":
+        """Parse ``"0xad1cbe01"`` or ``"ad1cbe01"``."""
+        return cls(int(text, 16))
+
+    def to_bytes(self) -> Tuple[int, int, int, int]:
+        """The four pulse bytes, most significant first (T1..T4)."""
+        v = self.value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def packed(self) -> bytes:
+        """Big-endian 4-byte wire encoding."""
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DeviceId":
+        if len(data) != 4:
+            raise ValueError("device id wire form is exactly 4 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    # ------------------------------------------------------------ properties
+    @property
+    def is_reserved(self) -> bool:
+        """True for the two addresses reserved by §5.1."""
+        return self.value in (ALL_PERIPHERALS, ALL_CLIENTS)
+
+    def __str__(self) -> str:
+        return f"0x{self.value:08x}"
+
+    def __repr__(self) -> str:
+        return f"DeviceId({self})"
+
+
+__all__ = ["DeviceId", "ALL_PERIPHERALS", "ALL_CLIENTS"]

@@ -1,0 +1,150 @@
+"""IEC 60063 preferred number series for resistors and capacitors.
+
+The paper (§3, [21]) grounds its identification scheme in the fact that
+passive components come in standard "E-series" values with bounded
+tolerance.  The µPnP byte code exploits a convenient property of the E96
+series: adjacent values are spaced by a near-constant ratio of
+``10**(1/96) ≈ 1.0243``, so consecutive E96 values form a natural
+geometric code alphabet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence
+
+# Mantissas (×100) of each series, covering one decade [1.0, 10.0).
+E12: Sequence[int] = (100, 120, 150, 180, 220, 270, 330, 390, 470, 560, 680, 820)
+
+E24: Sequence[int] = (
+    100, 110, 120, 130, 150, 160, 180, 200, 220, 240, 270, 300,
+    330, 360, 390, 430, 470, 510, 560, 620, 680, 750, 820, 910,
+)
+
+E96: Sequence[int] = (
+    100, 102, 105, 107, 110, 113, 115, 118, 121, 124, 127, 130,
+    133, 137, 140, 143, 147, 150, 154, 158, 162, 165, 169, 174,
+    178, 182, 187, 191, 196, 200, 205, 210, 215, 221, 226, 232,
+    237, 243, 249, 255, 261, 267, 274, 280, 287, 294, 301, 309,
+    316, 324, 332, 340, 348, 357, 365, 374, 383, 392, 402, 412,
+    422, 432, 442, 453, 464, 475, 487, 499, 511, 523, 536, 549,
+    562, 576, 590, 604, 619, 634, 649, 665, 681, 698, 715, 732,
+    750, 768, 787, 806, 825, 845, 866, 887, 909, 931, 953, 976,
+)
+
+SERIES = {"E12": E12, "E24": E24, "E96": E96}
+
+#: Nominal tolerance conventionally associated with each series.
+SERIES_TOLERANCE = {"E12": 0.10, "E24": 0.05, "E96": 0.01}
+
+#: Geometric step between adjacent E96 values (exact for an ideal series).
+E96_STEP_RATIO = 10.0 ** (1.0 / 96.0)
+
+
+def series_values(name: str) -> Sequence[int]:
+    """Return the mantissa table (×100) for series *name* ("E12"/"E24"/"E96")."""
+    try:
+        return SERIES[name]
+    except KeyError:
+        raise ValueError(f"unknown E-series: {name!r}") from None
+
+
+def value_at_index(global_index: int, series: str = "E96") -> float:
+    """Map a global series index to an absolute component value.
+
+    Index 0 is 1.00 (i.e. 1 Ω / 1 F depending on interpretation); each
+    full series length advances one decade.  Negative indices reach into
+    sub-unit decades.
+    """
+    table = series_values(series)
+    n = len(table)
+    decade, pos = divmod(global_index, n)
+    return table[pos] / 100.0 * (10.0 ** decade)
+
+
+def index_of_value(value: float, series: str = "E96") -> int:
+    """Inverse of :func:`value_at_index`: nearest global index for *value*."""
+    if value <= 0:
+        raise ValueError("component value must be positive")
+    table = series_values(series)
+    n = len(table)
+    decade = math.floor(math.log10(value))
+    mantissa = value / (10.0 ** decade) * 100.0  # in [100, 1000)
+    # Candidate positions in this decade and its neighbours.
+    best_index = 0
+    best_err = math.inf
+    for d in (decade - 1, decade, decade + 1):
+        for pos, m in enumerate(table):
+            candidate = m / 100.0 * (10.0 ** d)
+            err = abs(math.log(candidate / value))
+            if err < best_err:
+                best_err = err
+                best_index = d * n + pos
+    del mantissa
+    return best_index
+
+
+def nearest_value(value: float, series: str = "E96") -> float:
+    """Snap *value* to the nearest preferred value of *series*.
+
+    >>> nearest_value(9100.0, "E96")
+    9090.0
+    """
+    return value_at_index(index_of_value(value, series), series)
+
+
+def values_in_range(lo: float, hi: float, series: str = "E96") -> List[float]:
+    """All preferred values v with lo <= v <= hi, ascending."""
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    out: List[float] = []
+    idx = index_of_value(lo, series)
+    # Back up until strictly below lo, then walk forward.
+    while value_at_index(idx, series) >= lo:
+        idx -= 1
+    idx += 1
+    while True:
+        v = value_at_index(idx, series)
+        if v > hi * (1 + 1e-12):
+            break
+        out.append(v)
+        idx += 1
+    return out
+
+
+def worst_rounding_error(series: str = "E96") -> float:
+    """Largest relative |log| gap/2 between adjacent values in the series.
+
+    This bounds how far a requested value can be from its nearest
+    preferred value, which the ID codec must budget for.
+    """
+    table = series_values(series)
+    ratios = []
+    extended = list(table) + [table[0] * 10]
+    for a, b in zip(extended, extended[1:]):
+        ratios.append(math.log(b / a))
+    return max(ratios) / 2.0
+
+
+def is_preferred_value(value: float, series: str = "E96", rel_tol: float = 1e-9) -> bool:
+    """True when *value* is (numerically) a member of *series*."""
+    nearest = nearest_value(value, series)
+    return math.isclose(nearest, value, rel_tol=rel_tol)
+
+
+__all__ = [
+    "E12",
+    "E24",
+    "E96",
+    "E96_STEP_RATIO",
+    "SERIES",
+    "SERIES_TOLERANCE",
+    "series_values",
+    "value_at_index",
+    "index_of_value",
+    "nearest_value",
+    "values_in_range",
+    "worst_rounding_error",
+    "is_preferred_value",
+]

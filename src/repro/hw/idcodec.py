@@ -1,0 +1,228 @@
+"""The µPnP pulse <-> byte codec and the resistor-set generator tool.
+
+§3 of the paper maps each of the four ID bytes onto the length of a
+monostable-multivibrator pulse ``T = k * R * C``, where the resistor
+``R`` lives on the peripheral and the capacitor ``C`` on the control
+board.  The paper notes that (a) passive parts are imprecise and (b)
+naive linear category coding blows up the worst-case pulse length, which
+is why a *series of four short pulses* is used.
+
+The paper does not give the concrete byte code; we reconstruct one with
+the required properties (DESIGN.md §4.1):
+
+* **Geometric alphabet.**  Byte ``b`` maps to the preferred E96 resistor
+  ``b`` steps above a base value.  Adjacent E96 values are spaced by the
+  near-constant ratio ``10**(1/96) ≈ 1.0243``, so bins are separated in
+  log space and a fixed *relative* tolerance consumes a fixed fraction
+  of a bin at every byte value.
+* **Ratio-metric decoding.**  Each identification round first fires a
+  calibration pulse through an on-board precision reference resistor.
+  Decoding divides the peripheral pulse by the calibration pulse, which
+  cancels the multivibrator constant ``k`` and the (loose, ±5 %)
+  capacitor tolerance entirely.  Only peripheral resistor tolerance,
+  E96 rounding, reference tolerance and trigger jitter remain — all
+  bounded well inside half a bin for 0.5 % parts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List, Sequence, Tuple
+
+from repro.hw import eseries
+from repro.hw.device_id import DeviceId
+
+
+class IdentificationError(Exception):
+    """A pulse could not be decoded to a byte within the guard band."""
+
+
+@dataclass(frozen=True)
+class CodecParams:
+    """Electrical parameters of the identification scheme.
+
+    Defaults put the shortest pulse at ~220 µs and the longest at
+    ~100 ms, reproducing the paper's "four short pulses" design point
+    and its 220-300 ms identification window for typical boards.
+    """
+
+    series: str = "E96"
+    base_resistance_ohms: float = 9090.0     # encodes byte 0
+    capacitor_farads: float = 22e-9          # board-side, fixed value
+    capacitor_tolerance: float = 0.05
+    multivibrator_k: float = 1.1             # 555-style monostable constant
+    trigger_jitter_rel: float = 0.001        # pulse-shaping noise (rel.)
+    peripheral_resistor_tolerance: float = 0.005   # 0.5 % precision parts
+    reference_resistor_tolerance: float = 0.001    # 0.1 % on-board reference
+    guard_fraction: float = 0.5              # accepted |error| in bins
+
+    def __post_init__(self) -> None:
+        if self.base_resistance_ohms <= 0 or self.capacitor_farads <= 0:
+            raise ValueError("base resistance and capacitance must be positive")
+        if not 0 < self.guard_fraction <= 0.5:
+            raise ValueError("guard_fraction must be in (0, 0.5]")
+
+    # ------------------------------------------------------------- geometry
+    @cached_property
+    def base_index(self) -> int:
+        """Global E-series index of the byte-0 resistor."""
+        return eseries.index_of_value(self.base_resistance_ohms, self.series)
+
+    def resistance_for_byte(self, byte: int) -> float:
+        """Nominal preferred resistance encoding *byte* (0..255)."""
+        if not 0 <= byte <= 255:
+            raise ValueError(f"byte out of range: {byte}")
+        return eseries.value_at_index(self.base_index + byte, self.series)
+
+    @cached_property
+    def log_offsets(self) -> Tuple[float, ...]:
+        """``ln(R(b) / R(0))`` for every byte value, ascending."""
+        r0 = self.resistance_for_byte(0)
+        return tuple(
+            math.log(self.resistance_for_byte(b) / r0) for b in range(256)
+        )
+
+    @cached_property
+    def min_bin_gap(self) -> float:
+        """Smallest log-space distance between adjacent byte bins."""
+        offs = self.log_offsets
+        return min(b - a for a, b in zip(offs, offs[1:]))
+
+    # --------------------------------------------------------------- pulses
+    def nominal_pulse_seconds(self, byte: int) -> float:
+        """Pulse length for *byte* with ideal (nominal) components."""
+        return (
+            self.multivibrator_k
+            * self.resistance_for_byte(byte)
+            * self.capacitor_farads
+        )
+
+    @property
+    def min_pulse_seconds(self) -> float:
+        return self.nominal_pulse_seconds(0)
+
+    @property
+    def max_pulse_seconds(self) -> float:
+        return self.nominal_pulse_seconds(255)
+
+    @property
+    def empty_channel_timeout_seconds(self) -> float:
+        """How long the board waits before declaring a channel empty.
+
+        Must exceed the worst tolerance-stretched byte-255 pulse.
+        """
+        stretch = (1 + self.capacitor_tolerance) * (
+            1 + self.peripheral_resistor_tolerance
+        ) * (1 + self.trigger_jitter_rel)
+        return self.max_pulse_seconds * stretch * 1.05
+
+    def worst_case_id_seconds(self) -> float:
+        """Worst-case duration of one 4-pulse identification burst."""
+        return 4 * self.max_pulse_seconds * (1 + self.capacitor_tolerance)
+
+    # ------------------------------------------------------------- analysis
+    def error_budget_fraction_of_bin(self) -> float:
+        """Worst-case decode error as a fraction of one bin width.
+
+        Must stay below :attr:`guard_fraction` for identification to be
+        reliable; the property tests assert this.
+        """
+        worst_log_error = (
+            math.log(1 + self.peripheral_resistor_tolerance)
+            + math.log(1 + self.reference_resistor_tolerance)
+            + math.log(1 + self.trigger_jitter_rel) * 2  # both pulses jitter
+            + eseries.worst_rounding_error(self.series) * 0.0
+        )
+        return worst_log_error / self.min_bin_gap
+
+
+DEFAULT_CODEC = CodecParams()
+
+
+@dataclass(frozen=True)
+class ResistorSet:
+    """The four nominal resistances a peripheral must carry for an ID.
+
+    This is the output of the paper's "simple online tool" (§3.3) that
+    converts an allocated address into a bill of materials.
+    """
+
+    device_id: DeviceId
+    nominal_ohms: Tuple[float, float, float, float]
+    tolerance: float
+
+    def __iter__(self):
+        return iter(self.nominal_ohms)
+
+
+def resistor_set_for_id(
+    device_id: DeviceId, params: CodecParams = DEFAULT_CODEC
+) -> ResistorSet:
+    """The online tool: device id -> four resistor values (§3.3)."""
+    values = tuple(params.resistance_for_byte(b) for b in device_id.to_bytes())
+    return ResistorSet(device_id, values, params.peripheral_resistor_tolerance)
+
+
+class PulseDecoder:
+    """Ratio-metric pulse decoder used by the peripheral controller.
+
+    Decoding is done against the *exact* E96 log-offset table rather
+    than an idealised constant ratio, so series rounding does not eat
+    into the guard band.
+    """
+
+    def __init__(self, params: CodecParams = DEFAULT_CODEC) -> None:
+        self._params = params
+        self._offsets = params.log_offsets
+        self._guard = params.guard_fraction * params.min_bin_gap
+
+    @property
+    def params(self) -> CodecParams:
+        return self._params
+
+    def decode_byte(self, pulse_s: float, reference_s: float) -> int:
+        """Decode one pulse length into a byte, given the calibration pulse."""
+        if pulse_s <= 0 or reference_s <= 0:
+            raise IdentificationError("non-positive pulse length")
+        x = math.log(pulse_s / reference_s)
+        # Binary search over the monotonically increasing offset table.
+        lo, hi = 0, 255
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._offsets[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        candidates = [lo] if lo == 0 else [lo - 1, lo]
+        best = min(candidates, key=lambda b: abs(self._offsets[b] - x))
+        err = abs(self._offsets[best] - x)
+        if err > self._guard:
+            raise IdentificationError(
+                f"pulse {pulse_s * 1e6:.2f}us is {err / self._params.min_bin_gap:.2f} "
+                f"bins away from nearest byte {best} (guard "
+                f"{self._params.guard_fraction:.2f})"
+            )
+        return best
+
+    def decode_id(
+        self, pulses_s: Sequence[float], references_s: Sequence[float]
+    ) -> DeviceId:
+        """Decode the 4-pulse burst of one channel into a device id."""
+        if len(pulses_s) != 4 or len(references_s) != 4:
+            raise IdentificationError("identification needs 4 pulses + 4 references")
+        parts = [
+            self.decode_byte(p, r) for p, r in zip(pulses_s, references_s)
+        ]
+        return DeviceId.from_bytes(parts)
+
+
+__all__ = [
+    "CodecParams",
+    "DEFAULT_CODEC",
+    "IdentificationError",
+    "PulseDecoder",
+    "ResistorSet",
+    "resistor_set_for_id",
+]

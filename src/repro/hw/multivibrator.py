@@ -1,0 +1,92 @@
+"""Monostable multivibrator model (§3, Figure 2).
+
+A monostable multivibrator, once triggered by a falling edge, emits a
+single pulse whose length is ``T = k * R * C`` (Equation 1).  The µPnP
+control board chains four of them so each stage's falling edge triggers
+the next (Figure 3), producing the 4-pulse identification burst.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hw.components import Capacitor, Resistor
+
+
+@dataclass
+class Multivibrator:
+    """One monostable stage with its board-side timing capacitor."""
+
+    capacitor: Capacitor
+    k: float = 1.1
+    jitter_rel: float = 0.002
+
+    def pulse_seconds(
+        self, resistor: Resistor, rng: Optional[random.Random] = None
+    ) -> float:
+        """Length of the pulse produced with *resistor* switched in.
+
+        Jitter models trigger-threshold noise as a uniform relative
+        perturbation of the ideal RC time.
+        """
+        base = self.k * resistor.actual_ohms * self.capacitor.actual_farads
+        if self.jitter_rel <= 0:
+            return base
+        rng = rng or random
+        return base * (1 + rng.uniform(-self.jitter_rel, self.jitter_rel))
+
+
+class MultivibratorChain:
+    """Four serially-triggered stages (Figure 3 / Figure 6).
+
+    The same chain is shared by all channels; the control logic enables
+    one channel at a time (Figure 5) so only one peripheral's resistors
+    are connected to the chain during a burst.
+    """
+
+    STAGES = 4
+
+    def __init__(self, stages: Sequence[Multivibrator]) -> None:
+        if len(stages) != self.STAGES:
+            raise ValueError(f"chain needs exactly {self.STAGES} stages")
+        self._stages = list(stages)
+
+    @classmethod
+    def build(
+        cls,
+        capacitor_farads: float,
+        capacitor_tolerance: float = 0.05,
+        k: float = 1.1,
+        jitter_rel: float = 0.002,
+        rng: Optional[random.Random] = None,
+    ) -> "MultivibratorChain":
+        """Manufacture a chain with independently-sampled capacitors."""
+        stages = [
+            Multivibrator(
+                Capacitor.manufacture(capacitor_farads, capacitor_tolerance, rng),
+                k=k,
+                jitter_rel=jitter_rel,
+            )
+            for _ in range(cls.STAGES)
+        ]
+        return cls(stages)
+
+    @property
+    def stages(self) -> List[Multivibrator]:
+        return list(self._stages)
+
+    def burst_seconds(
+        self, resistors: Sequence[Resistor], rng: Optional[random.Random] = None
+    ) -> List[float]:
+        """Pulse lengths (T1..T4) with the given peripheral resistors."""
+        if len(resistors) != self.STAGES:
+            raise ValueError("a burst requires one resistor per stage")
+        return [
+            stage.pulse_seconds(res, rng)
+            for stage, res in zip(self._stages, resistors)
+        ]
+
+
+__all__ = ["Multivibrator", "MultivibratorChain"]

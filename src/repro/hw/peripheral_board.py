@@ -1,0 +1,65 @@
+"""µPnP peripheral boards (§3.1, Figure 4).
+
+A peripheral board repackages an existing sensor/actuator as a µPnP
+device: it carries the four ID-encoding resistors plus the part's
+native interconnect wired to the connector's communication pins.  The
+board is deliberately trivial — "anyone with a basic knowledge of
+electronics can begin building their own µPnP peripherals".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.hw.components import Resistor
+from repro.hw.connector import BusKind
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import CodecParams, DEFAULT_CODEC, resistor_set_for_id
+
+
+@dataclass
+class PeripheralBoard:
+    """A physical µPnP peripheral: ID resistors + the underlying part.
+
+    ``device`` is the behavioural model of the actual sensor/actuator
+    (see :mod:`repro.peripherals`); it is what the interconnect talks to
+    once the board has been identified and the bus multiplexed.
+    """
+
+    device_id: DeviceId
+    bus: BusKind
+    resistors: Tuple[Resistor, Resistor, Resistor, Resistor]
+    label: str = ""
+    device: Any = None
+
+    def __post_init__(self) -> None:
+        if len(self.resistors) != 4:
+            raise ValueError("a peripheral board carries exactly 4 ID resistors")
+
+    @classmethod
+    def manufacture(
+        cls,
+        device_id: DeviceId,
+        bus: BusKind,
+        *,
+        device: Any = None,
+        label: str = "",
+        params: CodecParams = DEFAULT_CODEC,
+        rng: Optional[random.Random] = None,
+    ) -> "PeripheralBoard":
+        """Build a board for *device_id* using the resistor-set tool.
+
+        Resistor true values are sampled within the codec's peripheral
+        tolerance, exactly as parts picked from a reel would be.
+        """
+        nominal = resistor_set_for_id(device_id, params)
+        parts = tuple(
+            Resistor.manufacture(ohms, params.peripheral_resistor_tolerance, rng)
+            for ohms in nominal
+        )
+        return cls(device_id, bus, parts, label=label or str(device_id), device=device)
+
+
+__all__ = ["PeripheralBoard"]

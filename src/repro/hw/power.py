@@ -1,0 +1,61 @@
+"""Energy bookkeeping for the hardware and radio models.
+
+All models report energy through an :class:`EnergyMeter`, categorised so
+the experiment harnesses (e.g. Figure 12) can decompose totals by
+source (identification, interconnect traffic, radio, baseline draw).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerDraw:
+    """A constant current draw at a supply voltage."""
+
+    current_a: float
+    voltage_v: float = 3.3
+
+    @property
+    def watts(self) -> float:
+        return self.current_a * self.voltage_v
+
+    def energy_joules(self, duration_s: float) -> float:
+        """Energy dissipated over *duration_s* seconds."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return self.watts * duration_s
+
+
+class EnergyMeter:
+    """Accumulates energy per named category (joules)."""
+
+    def __init__(self) -> None:
+        self._by_category: Dict[str, float] = defaultdict(float)
+
+    def add(self, category: str, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("energy contributions must be non-negative")
+        self._by_category[category] += joules
+
+    def add_draw(self, category: str, draw: PowerDraw, duration_s: float) -> None:
+        """Account a constant *draw* sustained for *duration_s*."""
+        self.add(category, draw.energy_joules(duration_s))
+
+    def total(self) -> float:
+        return sum(self._by_category.values())
+
+    def by_category(self) -> Dict[str, float]:
+        return dict(self._by_category)
+
+    def get(self, category: str) -> float:
+        return self._by_category.get(category, 0.0)
+
+    def reset(self) -> None:
+        self._by_category.clear()
+
+
+__all__ = ["PowerDraw", "EnergyMeter"]

@@ -1,0 +1,56 @@
+"""USB host controller energy baseline (§6.1, Figure 12).
+
+The paper compares µPnP against an Arduino USB host shield built around
+the MAX3421E USB host controller [28].  The comparison uses the *minimum
+idle* power of the USB host — i.e. the most favourable case for USB —
+because a USB host must stay powered continuously to detect attach and
+detach events, whereas the µPnP board only powers up on an interrupt.
+
+Model:
+
+* idle draw sustained 24/7 (dominates everything);
+* an additional enumeration burst per connect/disconnect event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.power import PowerDraw
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class UsbHostModel:
+    """Energy model of an always-on embedded USB host controller."""
+
+    #: Minimum idle draw of the host controller + shield regulator.
+    idle_draw: PowerDraw = PowerDraw(current_a=10.0e-3, voltage_v=3.3)
+    #: Extra draw while enumerating a newly attached device.
+    enumerate_draw: PowerDraw = PowerDraw(current_a=25.0e-3, voltage_v=3.3)
+    #: Worst-case USB enumeration time (attach debounce + descriptors).
+    enumerate_seconds: float = 0.5
+
+    def enumeration_energy_joules(self) -> float:
+        """Energy of a single plug event's enumeration burst."""
+        return self.enumerate_draw.energy_joules(self.enumerate_seconds)
+
+    def energy_joules(self, duration_s: float, change_events: int = 0) -> float:
+        """Total energy over *duration_s* with *change_events* plug events."""
+        if duration_s < 0 or change_events < 0:
+            raise ValueError("duration and change_events must be non-negative")
+        return (
+            self.idle_draw.energy_joules(duration_s)
+            + change_events * self.enumeration_energy_joules()
+        )
+
+    def annual_energy_joules(self, change_interval_minutes: float) -> float:
+        """One-year energy when peripherals change every N minutes."""
+        if change_interval_minutes <= 0:
+            raise ValueError("change interval must be positive")
+        events = int(SECONDS_PER_YEAR / (change_interval_minutes * 60.0))
+        return self.energy_joules(SECONDS_PER_YEAR, events)
+
+
+__all__ = ["UsbHostModel", "SECONDS_PER_YEAR"]

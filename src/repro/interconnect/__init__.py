@@ -1,0 +1,39 @@
+"""Simulated hardware interconnects: ADC, I2C, SPI and UART buses."""
+
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.base import (
+    BusBusyError,
+    BusError,
+    BusTimeoutError,
+    Interconnect,
+    InvalidConfigurationError,
+    NackError,
+    Transaction,
+)
+from repro.interconnect.i2c import I2cBus
+from repro.interconnect.spi import SpiBus
+from repro.interconnect.uart import (
+    PARITY_EVEN,
+    PARITY_NONE,
+    PARITY_ODD,
+    UartBus,
+    UartConfig,
+)
+
+__all__ = [
+    "AdcBus",
+    "BusBusyError",
+    "BusError",
+    "BusTimeoutError",
+    "Interconnect",
+    "InvalidConfigurationError",
+    "NackError",
+    "Transaction",
+    "I2cBus",
+    "SpiBus",
+    "PARITY_EVEN",
+    "PARITY_NONE",
+    "PARITY_ODD",
+    "UartBus",
+    "UartConfig",
+]

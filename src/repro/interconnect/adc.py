@@ -1,0 +1,102 @@
+"""Analog-to-digital converter model.
+
+Models a successive-approximation ADC in the style of the AVR's: a
+conversion takes 13 ADC-clock cycles, the result is the input voltage
+quantised against a reference, and electrical noise contributes up to
+±1 LSB.  The attached device must expose ``voltage_v() -> float``
+(see :class:`repro.peripherals.base.AnalogDevice`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.hw.connector import BusKind
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.interconnect.base import (
+    Interconnect,
+    InvalidConfigurationError,
+    Transaction,
+)
+
+#: Reference-voltage selections supported by the native ADC library.
+SUPPORTED_REFERENCES_V = (1.1, 2.56, 3.3)
+
+#: Resolutions the runtime exposes (the AVR muxes down from 10 bits).
+SUPPORTED_RESOLUTIONS = (8, 10)
+
+
+class AdcBus(Interconnect):
+    """A single-ended ADC channel behind the µPnP connector."""
+
+    kind = BusKind.ADC
+
+    def __init__(
+        self,
+        *,
+        resolution_bits: int = 10,
+        vref_v: float = 3.3,
+        adc_clock_hz: float = 125_000.0,
+        conversion_cycles: int = 13,
+        noise_lsb: float = 1.0,
+        active_draw: PowerDraw = PowerDraw(current_a=0.3e-3, voltage_v=3.3),
+        meter: Optional[EnergyMeter] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(active_draw=active_draw, meter=meter)
+        self._rng = rng or random.Random(0)
+        self._adc_clock_hz = adc_clock_hz
+        self._conversion_cycles = conversion_cycles
+        self._noise_lsb = noise_lsb
+        self._resolution_bits = 0
+        self._vref_v = 0.0
+        self.configure(resolution_bits, vref_v)
+
+    # ---------------------------------------------------------------- config
+    def configure(self, resolution_bits: int, vref_v: float) -> None:
+        """Select resolution and reference; validates like the native lib."""
+        if resolution_bits not in SUPPORTED_RESOLUTIONS:
+            raise InvalidConfigurationError(
+                f"unsupported ADC resolution: {resolution_bits}"
+            )
+        if vref_v not in SUPPORTED_REFERENCES_V:
+            raise InvalidConfigurationError(f"unsupported ADC reference: {vref_v}")
+        self._resolution_bits = resolution_bits
+        self._vref_v = vref_v
+
+    @property
+    def resolution_bits(self) -> int:
+        return self._resolution_bits
+
+    @property
+    def vref_v(self) -> float:
+        return self._vref_v
+
+    @property
+    def max_count(self) -> int:
+        return (1 << self._resolution_bits) - 1
+
+    @property
+    def conversion_seconds(self) -> float:
+        return self._conversion_cycles / self._adc_clock_hz
+
+    # ------------------------------------------------------------------ I/O
+    def sample(self) -> Transaction[int]:
+        """One conversion of the attached device's output voltage."""
+        device = self._require_device()
+        voltage = float(device.voltage_v())
+        counts = voltage / self._vref_v * self.max_count
+        counts += self._rng.uniform(-self._noise_lsb, self._noise_lsb)
+        clamped = max(0, min(self.max_count, round(counts)))
+        duration = self.conversion_seconds
+        return Transaction(clamped, duration, self._account(duration))
+
+    def counts_to_millivolts(self, counts: int) -> int:
+        """Integer helper mirroring what drivers do on the MCU."""
+        if not 0 <= counts <= self.max_count:
+            raise ValueError(f"counts out of range: {counts}")
+        return round(counts * self._vref_v * 1000.0 / self.max_count)
+
+
+__all__ = ["AdcBus", "SUPPORTED_REFERENCES_V", "SUPPORTED_RESOLUTIONS"]

@@ -1,0 +1,106 @@
+"""Common machinery for the simulated hardware interconnects.
+
+Each bus model answers a *transaction* synchronously with the data the
+attached peripheral produced plus the electrical duration and energy of
+the transaction; the caller (a native interconnect library in the µPnP
+runtime) is responsible for scheduling the completion on the simulator,
+mirroring the split-phase style of the real drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Optional, TypeVar
+
+from repro.hw.connector import BusKind
+from repro.hw.power import EnergyMeter, PowerDraw
+
+
+class BusError(Exception):
+    """Base class for interconnect failures."""
+
+
+class BusBusyError(BusError):
+    """A transaction was attempted while another is in flight."""
+
+
+class BusTimeoutError(BusError):
+    """The addressed device did not answer in time."""
+
+
+class InvalidConfigurationError(BusError):
+    """The requested bus configuration is not supported."""
+
+
+class NackError(BusError):
+    """An I2C-style addressed transfer was not acknowledged."""
+
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Transaction(Generic[T]):
+    """Result of a bus transaction: payload + electrical cost."""
+
+    value: T
+    duration_s: float
+    energy_j: float
+
+
+class Interconnect:
+    """Base class: owns the energy meter and the attached device slot."""
+
+    kind: BusKind
+
+    def __init__(
+        self,
+        *,
+        active_draw: PowerDraw,
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        self._active_draw = active_draw
+        self._meter = meter if meter is not None else EnergyMeter()
+        self._device: Any = None
+
+    @property
+    def meter(self) -> EnergyMeter:
+        return self._meter
+
+    @property
+    def device(self) -> Any:
+        return self._device
+
+    def attach(self, device: Any) -> None:
+        """Connect a peripheral model to this bus (mux switched in)."""
+        if self._device is not None:
+            raise BusBusyError(f"{self.kind.value} bus already has a device attached")
+        self._device = device
+
+    def detach(self) -> Any:
+        """Disconnect the peripheral (unplug / mux switched away)."""
+        device = self._device
+        self._device = None
+        return device
+
+    def _account(self, duration_s: float) -> float:
+        """Meter the energy of a *duration_s* transaction; return joules."""
+        joules = self._active_draw.energy_joules(duration_s)
+        self._meter.add(f"bus:{self.kind.value}", joules)
+        return joules
+
+    def _require_device(self) -> Any:
+        if self._device is None:
+            raise BusTimeoutError(f"no device attached to {self.kind.value} bus")
+        return self._device
+
+
+__all__ = [
+    "BusError",
+    "BusBusyError",
+    "BusTimeoutError",
+    "InvalidConfigurationError",
+    "NackError",
+    "Transaction",
+    "Interconnect",
+]

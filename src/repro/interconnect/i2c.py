@@ -1,0 +1,136 @@
+"""I2C (two-wire) bus model.
+
+Timing follows the wire protocol: every byte costs 9 bit-times (8 data
++ ACK), plus a start and stop condition.  Devices are addressed with
+7-bit addresses; addressing an absent device raises :class:`NackError`,
+which the native library surfaces to drivers as an error event.
+
+Attached devices implement the protocol of
+:class:`repro.peripherals.base.I2CDevice`:
+``i2c_address``, ``handle_write(data)``, ``handle_read(count)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hw.connector import BusKind
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.interconnect.base import (
+    Interconnect,
+    InvalidConfigurationError,
+    NackError,
+    Transaction,
+)
+
+SUPPORTED_FREQUENCIES_HZ = (100_000, 400_000)
+
+_START_BITS = 1.0
+_STOP_BITS = 1.0
+_ADDRESS_BITS = 9.0  # 7-bit address + R/W + ACK
+_BITS_PER_BYTE = 9.0  # 8 data + ACK
+
+
+class I2cBus(Interconnect):
+    """An I2C master with (up to) several attached slave devices.
+
+    Unlike point-to-point buses, I2C daisy-chains; the µPnP connector
+    exposes a single peripheral per channel, but the model supports
+    multiple slaves so bus-conflict tests can exercise NACK behaviour.
+    """
+
+    kind = BusKind.I2C
+
+    def __init__(
+        self,
+        *,
+        frequency_hz: int = 100_000,
+        active_draw: PowerDraw = PowerDraw(current_a=0.5e-3, voltage_v=3.3),
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        super().__init__(active_draw=active_draw, meter=meter)
+        self._slaves: Dict[int, object] = {}
+        self._frequency_hz = 0
+        self.configure(frequency_hz)
+
+    # ---------------------------------------------------------------- config
+    def configure(self, frequency_hz: int) -> None:
+        if frequency_hz not in SUPPORTED_FREQUENCIES_HZ:
+            raise InvalidConfigurationError(
+                f"unsupported I2C frequency: {frequency_hz}"
+            )
+        self._frequency_hz = frequency_hz
+
+    @property
+    def frequency_hz(self) -> int:
+        return self._frequency_hz
+
+    # ---------------------------------------------------------------- wiring
+    def attach(self, device: object) -> None:
+        """Attach a slave; the device must expose ``i2c_address``."""
+        address = getattr(device, "i2c_address", None)
+        if address is None:
+            raise InvalidConfigurationError("device has no i2c_address")
+        if address in self._slaves:
+            raise InvalidConfigurationError(
+                f"address {address:#04x} already present on the bus"
+            )
+        self._slaves[address] = device
+        self._device = device  # keep Interconnect bookkeeping coherent
+
+    def detach(self, address: Optional[int] = None) -> object:
+        if address is None:
+            if len(self._slaves) != 1:
+                raise InvalidConfigurationError(
+                    "ambiguous detach: specify the slave address"
+                )
+            address = next(iter(self._slaves))
+        device = self._slaves.pop(address)
+        self._device = next(iter(self._slaves.values()), None)
+        return device
+
+    def _slave(self, address: int) -> object:
+        if not 0 <= address <= 0x7F:
+            raise InvalidConfigurationError(f"invalid 7-bit address: {address:#x}")
+        device = self._slaves.get(address)
+        if device is None:
+            raise NackError(f"no device acknowledged address {address:#04x}")
+        return device
+
+    # ------------------------------------------------------------------ time
+    def _transfer_seconds(self, payload_bytes: int) -> float:
+        bits = _START_BITS + _ADDRESS_BITS + payload_bytes * _BITS_PER_BYTE + _STOP_BITS
+        return bits / self._frequency_hz
+
+    # ------------------------------------------------------------------- I/O
+    def write(self, address: int, data: bytes) -> Transaction[None]:
+        """Master write of *data* to the slave at *address*."""
+        device = self._slave(address)
+        device.handle_write(bytes(data))
+        duration = self._transfer_seconds(len(data))
+        return Transaction(None, duration, self._account(duration))
+
+    def read(self, address: int, count: int) -> Transaction[bytes]:
+        """Master read of *count* bytes from the slave at *address*."""
+        if count < 1:
+            raise InvalidConfigurationError("read count must be >= 1")
+        device = self._slave(address)
+        data = bytes(device.handle_read(count))
+        if len(data) != count:
+            raise NackError(
+                f"slave {address:#04x} returned {len(data)} of {count} bytes"
+            )
+        duration = self._transfer_seconds(count)
+        return Transaction(data, duration, self._account(duration))
+
+    def write_read(
+        self, address: int, data: bytes, count: int
+    ) -> Transaction[bytes]:
+        """Combined write-then-read with a repeated start."""
+        wr = self.write(address, data)
+        rd = self.read(address, count)
+        return Transaction(rd.value, wr.duration_s + rd.duration_s,
+                           wr.energy_j + rd.energy_j)
+
+
+__all__ = ["I2cBus", "SUPPORTED_FREQUENCIES_HZ"]

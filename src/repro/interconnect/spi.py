@@ -1,0 +1,71 @@
+"""SPI bus model.
+
+SPI is a full-duplex point-to-point interconnect: every transfer clocks
+the same number of bytes in both directions.  Attached devices implement
+``spi_transfer(mosi: bytes) -> bytes`` (see
+:class:`repro.peripherals.base.SpiDevice`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.connector import BusKind
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.interconnect.base import (
+    Interconnect,
+    InvalidConfigurationError,
+    Transaction,
+)
+
+SUPPORTED_MODES = (0, 1, 2, 3)
+MAX_CLOCK_HZ = 8_000_000
+
+
+class SpiBus(Interconnect):
+    """An SPI master (MOSI / MISO / SCK on connector pins 10–12)."""
+
+    kind = BusKind.SPI
+
+    def __init__(
+        self,
+        *,
+        clock_hz: int = 1_000_000,
+        mode: int = 0,
+        active_draw: PowerDraw = PowerDraw(current_a=0.8e-3, voltage_v=3.3),
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        super().__init__(active_draw=active_draw, meter=meter)
+        self._clock_hz = 0
+        self._mode = 0
+        self.configure(clock_hz, mode)
+
+    def configure(self, clock_hz: int, mode: int = 0) -> None:
+        if not 0 < clock_hz <= MAX_CLOCK_HZ:
+            raise InvalidConfigurationError(f"unsupported SPI clock: {clock_hz}")
+        if mode not in SUPPORTED_MODES:
+            raise InvalidConfigurationError(f"invalid SPI mode: {mode}")
+        self._clock_hz = clock_hz
+        self._mode = mode
+
+    @property
+    def clock_hz(self) -> int:
+        return self._clock_hz
+
+    @property
+    def mode(self) -> int:
+        return self._mode
+
+    def transfer(self, mosi: bytes) -> Transaction[bytes]:
+        """Full-duplex transfer; returns the MISO bytes."""
+        device = self._require_device()
+        miso = bytes(device.spi_transfer(bytes(mosi)))
+        if len(miso) != len(mosi):
+            raise InvalidConfigurationError(
+                f"SPI slave answered {len(miso)} bytes for {len(mosi)} clocked"
+            )
+        duration = len(mosi) * 8.0 / self._clock_hz
+        return Transaction(miso, duration, self._account(duration))
+
+
+__all__ = ["SpiBus", "SUPPORTED_MODES", "MAX_CLOCK_HZ"]

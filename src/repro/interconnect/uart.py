@@ -1,0 +1,168 @@
+"""UART model.
+
+The UART is the one inherently asynchronous interconnect: the peripheral
+can start transmitting on its own (e.g. the ID-20LA RFID reader emits a
+frame when a card is presented), so this model is wired to the
+simulator and delivers bytes one frame-time apart.  Received bytes go
+to the registered RX handler (the native UART library) or, when no
+reader is armed, into a small hardware-style FIFO that overflows by
+dropping — the overflow counter makes driver bugs observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.hw.connector import BusKind
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.interconnect.base import (
+    Interconnect,
+    InvalidConfigurationError,
+    Transaction,
+)
+from repro.sim.kernel import Simulator, ns_from_s
+
+SUPPORTED_BAUDS = (1200, 2400, 4800, 9600, 19200, 38400, 57600, 115200)
+PARITY_NONE = "N"
+PARITY_EVEN = "E"
+PARITY_ODD = "O"
+SUPPORTED_PARITIES = (PARITY_NONE, PARITY_EVEN, PARITY_ODD)
+
+
+@dataclass(frozen=True)
+class UartConfig:
+    """Line configuration, as set by ``uart.init`` in driver code."""
+
+    baud: int = 9600
+    parity: str = PARITY_NONE
+    stop_bits: int = 1
+    data_bits: int = 8
+
+    def validate(self) -> None:
+        if self.baud not in SUPPORTED_BAUDS:
+            raise InvalidConfigurationError(f"unsupported baud rate: {self.baud}")
+        if self.parity not in SUPPORTED_PARITIES:
+            raise InvalidConfigurationError(f"unsupported parity: {self.parity!r}")
+        if self.stop_bits not in (1, 2):
+            raise InvalidConfigurationError(f"invalid stop bits: {self.stop_bits}")
+        if self.data_bits not in (7, 8):
+            raise InvalidConfigurationError(f"invalid data bits: {self.data_bits}")
+
+    @property
+    def bits_per_frame(self) -> int:
+        """Start bit + data + optional parity + stop bits."""
+        return 1 + self.data_bits + (0 if self.parity == PARITY_NONE else 1) + self.stop_bits
+
+    @property
+    def byte_seconds(self) -> float:
+        return self.bits_per_frame / self.baud
+
+
+class UartBus(Interconnect):
+    """Point-to-point UART between the MCU and one peripheral."""
+
+    kind = BusKind.UART
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        config: UartConfig = UartConfig(),
+        rx_fifo_size: int = 16,
+        active_draw: PowerDraw = PowerDraw(current_a=0.3e-3, voltage_v=3.3),
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        super().__init__(active_draw=active_draw, meter=meter)
+        config.validate()
+        self._sim = sim
+        self._default_config = config
+        self._config = config
+        self._rx_fifo: Deque[int] = deque(maxlen=rx_fifo_size)
+        self._rx_handler: Optional[Callable[[int], None]] = None
+        self._overflow_count = 0
+
+    # ---------------------------------------------------------------- config
+    @property
+    def config(self) -> UartConfig:
+        return self._config
+
+    @property
+    def overflow_count(self) -> int:
+        return self._overflow_count
+
+    def configure(self, config: UartConfig) -> None:
+        config.validate()
+        self._config = config
+
+    def reset(self) -> None:
+        """Restore platform defaults (``uart.reset`` in driver code)."""
+        self._config = self._default_config
+        self._rx_fifo.clear()
+        self._rx_handler = None
+
+    # ------------------------------------------------------------------- RX
+    def set_rx_handler(self, handler: Optional[Callable[[int], None]]) -> None:
+        """Arm (or disarm with None) the per-byte receive callback.
+
+        Arming drains any bytes parked in the FIFO, preserving order.
+        """
+        self._rx_handler = handler
+        if handler is not None:
+            while self._rx_fifo:
+                handler(self._rx_fifo.popleft())
+
+    def device_transmit(self, data: bytes) -> float:
+        """Called by the peripheral model to send *data* to the MCU.
+
+        Bytes arrive one frame-time apart on the simulator.  Returns the
+        total line time so device models can sequence their output.
+        """
+        if not data:
+            return 0.0
+        byte_time = self._config.byte_seconds
+        for index, byte in enumerate(bytes(data)):
+            self._sim.schedule(
+                ns_from_s((index + 1) * byte_time),
+                lambda b=byte: self._deliver(b),
+                name="uart-rx-byte",
+            )
+        duration = len(data) * byte_time
+        self._account(duration)
+        return duration
+
+    def _deliver(self, byte: int) -> None:
+        if self._rx_handler is not None:
+            self._rx_handler(byte)
+        elif self._rx_fifo.maxlen and len(self._rx_fifo) == self._rx_fifo.maxlen:
+            self._overflow_count += 1
+        else:
+            self._rx_fifo.append(byte)
+
+    # ------------------------------------------------------------------- TX
+    def host_write(self, data: bytes) -> Transaction[None]:
+        """MCU -> peripheral transmission.
+
+        The attached device's ``on_host_write`` is invoked after the full
+        line time has elapsed (scheduled on the simulator).
+        """
+        device = self._require_device()
+        duration = len(data) * self._config.byte_seconds
+        self._sim.schedule(
+            ns_from_s(duration),
+            lambda d=bytes(data): device.on_host_write(d),
+            name="uart-tx-done",
+        )
+        return Transaction(None, duration, self._account(duration))
+
+
+__all__ = [
+    "UartBus",
+    "UartConfig",
+    "SUPPORTED_BAUDS",
+    "SUPPORTED_PARITIES",
+    "PARITY_NONE",
+    "PARITY_EVEN",
+    "PARITY_ODD",
+]

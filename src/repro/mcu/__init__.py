@@ -1,0 +1,16 @@
+"""Microcontroller resource model and footprint ledger."""
+
+from repro.mcu.footprint import (
+    DEFAULT_FOOTPRINT,
+    ComponentFootprint,
+    FootprintModel,
+)
+from repro.mcu.spec import ATMEGA128RFA1, McuSpec
+
+__all__ = [
+    "DEFAULT_FOOTPRINT",
+    "ComponentFootprint",
+    "FootprintModel",
+    "ATMEGA128RFA1",
+    "McuSpec",
+]

@@ -1,0 +1,69 @@
+"""Microcontroller resource model.
+
+The paper's evaluation platform is the ATMega128RFA1 inside a Zigduino:
+a 16 MHz 8-bit AVR core with 16 KB RAM, 128 KB flash and an on-die
+802.15.4 radio (§1, §6).  All timing in the reproduction derives from
+cycle counts at this clock, and all memory-footprint percentages are
+relative to this budget, so swapping in a different spec re-scales every
+derived number consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.power import PowerDraw
+
+
+@dataclass(frozen=True)
+class McuSpec:
+    """Static resources of a microcontroller platform."""
+
+    name: str
+    clock_hz: float
+    flash_bytes: int
+    ram_bytes: int
+    #: CPU active at full clock.
+    active_draw: PowerDraw
+    #: Deep sleep with RAM retention.
+    sleep_draw: PowerDraw
+    #: Radio listening (RX) — dominates idle-listening budgets.
+    radio_rx_draw: PowerDraw
+    #: Radio transmitting at nominal output power.
+    radio_tx_draw: PowerDraw
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Wall time of *cycles* CPU cycles."""
+        if cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """CPU cycles elapsing in *seconds* (rounded)."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        return round(seconds * self.clock_hz)
+
+    def flash_fraction(self, size_bytes: int) -> float:
+        """Fraction of flash used by *size_bytes*."""
+        return size_bytes / self.flash_bytes
+
+    def ram_fraction(self, size_bytes: int) -> float:
+        """Fraction of RAM used by *size_bytes*."""
+        return size_bytes / self.ram_bytes
+
+
+#: The paper's evaluation platform (§6; datasheet values [6]).
+ATMEGA128RFA1 = McuSpec(
+    name="ATMega128RFA1",
+    clock_hz=16_000_000.0,
+    flash_bytes=128 * 1024,
+    ram_bytes=16 * 1024,
+    active_draw=PowerDraw(current_a=4.1e-3, voltage_v=3.3),
+    sleep_draw=PowerDraw(current_a=250e-9, voltage_v=3.3),
+    radio_rx_draw=PowerDraw(current_a=12.5e-3, voltage_v=3.3),
+    radio_tx_draw=PowerDraw(current_a=14.5e-3, voltage_v=3.3),
+)
+
+
+__all__ = ["McuSpec", "ATMEGA128RFA1"]

@@ -1,0 +1,55 @@
+"""The µPnP network architecture substrate (Section 5 of the paper)."""
+
+from repro.net.ipv6 import AddressError, Ipv6Address, network_prefix48
+from repro.net.link import LinkModel, MAC_PAYLOAD_LIMIT
+from repro.net.lowpan import DEFAULT_LOWPAN, LowpanModel
+from repro.net.multicast import (
+    GroupInfo,
+    all_clients_group,
+    all_peripherals_group,
+    location_group,
+    parse_group,
+    parse_location_group,
+    peripheral_group,
+    stream_group,
+)
+from repro.net.network import Network, NetworkError, NetworkStats
+from repro.net.packets import UPNP_PORT, UdpDatagram
+from repro.net.profile import DEFAULT_NET_TIMING, NetTimingProfile
+from repro.net.rpl import Dodag, RplError
+from repro.net.smrf import ForwardingPlan, plan
+from repro.net.stack import NetworkStack, StackError
+from repro.net.topology import Topology, TopologyError
+
+__all__ = [
+    "AddressError",
+    "Ipv6Address",
+    "network_prefix48",
+    "LinkModel",
+    "MAC_PAYLOAD_LIMIT",
+    "DEFAULT_LOWPAN",
+    "LowpanModel",
+    "GroupInfo",
+    "all_clients_group",
+    "all_peripherals_group",
+    "location_group",
+    "parse_group",
+    "parse_location_group",
+    "peripheral_group",
+    "stream_group",
+    "Network",
+    "NetworkError",
+    "NetworkStats",
+    "UPNP_PORT",
+    "UdpDatagram",
+    "DEFAULT_NET_TIMING",
+    "NetTimingProfile",
+    "Dodag",
+    "RplError",
+    "ForwardingPlan",
+    "plan",
+    "NetworkStack",
+    "StackError",
+    "Topology",
+    "TopologyError",
+]

@@ -1,0 +1,165 @@
+"""IPv6 addresses: parsing, RFC 5952 text form, prefixes.
+
+The paper interconnects all µPnP entities at the network layer with
+IPv6 (§5) and renders addresses using the RFC 5952 representation rules
+[22] — lowercase hex, zero-run compression with ``::`` (longest run,
+leftmost on ties, never for a single group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import List, Tuple
+
+_MAX = (1 << 128) - 1
+
+
+class AddressError(ValueError):
+    """Malformed IPv6 text or out-of-range numeric value."""
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ipv6Address:
+    """An immutable 128-bit IPv6 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX:
+            raise AddressError(f"address out of range: {self.value:#x}")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def parse(cls, text: str) -> "Ipv6Address":
+        """Parse any RFC 4291 text form (with or without ``::``)."""
+        text = text.strip().lower()
+        if text.count("::") > 1:
+            raise AddressError(f"multiple '::' in {text!r}")
+        if "::" in text:
+            head, _, tail = text.partition("::")
+            head_groups = head.split(":") if head else []
+            tail_groups = tail.split(":") if tail else []
+            missing = 8 - len(head_groups) - len(tail_groups)
+            if missing < 1:
+                raise AddressError(f"'::' expands to nothing in {text!r}")
+            groups = head_groups + ["0"] * missing + tail_groups
+        else:
+            groups = text.split(":")
+        if len(groups) != 8:
+            raise AddressError(f"need 8 groups, got {len(groups)} in {text!r}")
+        value = 0
+        for group in groups:
+            if not group or len(group) > 4:
+                raise AddressError(f"bad group {group!r} in {text!r}")
+            try:
+                number = int(group, 16)
+            except ValueError:
+                raise AddressError(f"bad group {group!r} in {text!r}") from None
+            value = (value << 16) | number
+        return cls(value)
+
+    @classmethod
+    def from_groups(cls, groups: Tuple[int, ...]) -> "Ipv6Address":
+        if len(groups) != 8:
+            raise AddressError("need exactly 8 groups")
+        value = 0
+        for group in groups:
+            if not 0 <= group <= 0xFFFF:
+                raise AddressError(f"group out of range: {group:#x}")
+            value = (value << 16) | group
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv6Address":
+        if len(data) != 16:
+            raise AddressError("an IPv6 address is exactly 16 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    # ------------------------------------------------------------ accessors
+    def groups(self) -> Tuple[int, ...]:
+        return tuple((self.value >> (112 - 16 * i)) & 0xFFFF for i in range(8))
+
+    def packed(self) -> bytes:
+        return self.value.to_bytes(16, "big")
+
+    @property
+    def is_multicast(self) -> bool:
+        """ff00::/8"""
+        return (self.value >> 120) == 0xFF
+
+    @property
+    def is_unspecified(self) -> bool:
+        return self.value == 0
+
+    @property
+    def is_link_local(self) -> bool:
+        """fe80::/10"""
+        return (self.value >> 118) == 0x3FA
+
+    def high64(self) -> int:
+        return self.value >> 64
+
+    def low64(self) -> int:
+        return self.value & ((1 << 64) - 1)
+
+    # -------------------------------------------------------------- prefixes
+    def prefix_bits(self, length: int) -> int:
+        """The top *length* bits as an integer."""
+        if not 0 <= length <= 128:
+            raise AddressError("prefix length must be 0..128")
+        if length == 0:
+            return 0
+        return self.value >> (128 - length)
+
+    def matches_prefix(self, prefix: "Ipv6Address", length: int) -> bool:
+        return self.prefix_bits(length) == prefix.prefix_bits(length)
+
+    def with_interface_id(self, iid: int) -> "Ipv6Address":
+        """Replace the low 64 bits (the interface identifier)."""
+        if not 0 <= iid < (1 << 64):
+            raise AddressError("interface id must fit 64 bits")
+        return Ipv6Address((self.value & ~((1 << 64) - 1)) | iid)
+
+    # ------------------------------------------------------------ formatting
+    def __str__(self) -> str:
+        """RFC 5952 canonical text form."""
+        groups = self.groups()
+        # Find the longest run of zero groups (length >= 2), leftmost wins.
+        best_start, best_len = -1, 0
+        run_start, run_len = -1, 0
+        for index, group in enumerate(groups):
+            if group == 0:
+                if run_start < 0:
+                    run_start, run_len = index, 1
+                else:
+                    run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start, run_len = -1, 0
+        if best_len < 2:
+            return ":".join(f"{g:x}" for g in groups)
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+        return f"{head}::{tail}"
+
+    def __repr__(self) -> str:
+        return f"Ipv6Address('{self}')"
+
+    def __lt__(self, other: "Ipv6Address") -> bool:
+        return self.value < other.value
+
+
+def network_prefix48(text_or_addr: "Ipv6Address | str") -> int:
+    """The 48-bit network prefix of an address (as an int)."""
+    address = (
+        text_or_addr
+        if isinstance(text_or_addr, Ipv6Address)
+        else Ipv6Address.parse(text_or_addr)
+    )
+    return address.prefix_bits(48)
+
+
+__all__ = ["Ipv6Address", "AddressError", "network_prefix48"]

@@ -1,0 +1,93 @@
+"""IEEE 802.15.4 link model.
+
+The evaluation platform's radio is the ATMega128RFA1's on-die 802.15.4
+transceiver: 250 kbit/s in the 2.4 GHz band, 127-byte PHY frames.  The
+model accounts frame airtime exactly and adds unslotted CSMA/CA backoff
+as a uniform random delay — the main source of the standard deviations
+reported in Table 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: PHY payload limit (aMaxPHYPacketSize).
+MAX_PHY_PAYLOAD = 127
+
+#: Synchronisation header + PHR transmitted before the payload (bytes).
+PHY_OVERHEAD_BYTES = 6
+
+#: MAC header + FCS for the addressing mode 6LoWPAN uses (bytes).
+MAC_OVERHEAD_BYTES = 21
+
+#: Link-layer payload available to the adaptation layer per frame.
+MAC_PAYLOAD_LIMIT = MAX_PHY_PAYLOAD - MAC_OVERHEAD_BYTES
+
+BITRATE_BPS = 250_000.0
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Timing and reliability of one 802.15.4 hop."""
+
+    bitrate_bps: float = BITRATE_BPS
+    #: Uniform CSMA/CA backoff window (seconds).
+    csma_min_s: float = 0.4e-3
+    csma_max_s: float = 2.4e-3
+    #: RX/TX turnaround + ACK wait per frame.
+    turnaround_s: float = 0.6e-3
+    #: Independent per-frame loss probability.
+    loss_probability: float = 0.0
+    #: Probability that a clear-channel assessment finds the medium busy
+    #: (background traffic).  Each busy CCA doubles the backoff window,
+    #: up to ``max_backoffs`` attempts — unslotted CSMA/CA's BE ramp.
+    busy_probability: float = 0.0
+    max_backoffs: int = 5
+
+    def airtime_s(self, mac_payload_bytes: int) -> float:
+        """Time on air for one frame carrying *mac_payload_bytes*."""
+        if not 0 <= mac_payload_bytes <= MAC_PAYLOAD_LIMIT:
+            raise ValueError(
+                f"frame payload {mac_payload_bytes} exceeds the "
+                f"{MAC_PAYLOAD_LIMIT}-byte 802.15.4 limit"
+            )
+        total = PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES + mac_payload_bytes
+        return total * 8.0 / self.bitrate_bps
+
+    def csma_delay_s(self, rng: random.Random) -> float:
+        """One sample of the CSMA/CA backoff delay.
+
+        Under congestion (``busy_probability > 0``) each busy channel
+        assessment doubles the backoff window, modelling the 802.15.4
+        BE ramp; delay therefore grows super-linearly with load.
+        """
+        delay = rng.uniform(self.csma_min_s, self.csma_max_s)
+        window = self.csma_max_s
+        for _ in range(self.max_backoffs):
+            if self.busy_probability <= 0 or rng.random() >= self.busy_probability:
+                break
+            window *= 2.0
+            delay += rng.uniform(self.csma_min_s, window)
+        return delay
+
+    def frame_delay_s(self, mac_payload_bytes: int, rng: random.Random) -> float:
+        """Total per-hop delay for one frame: backoff + air + turnaround."""
+        return (
+            self.csma_delay_s(rng)
+            + self.airtime_s(mac_payload_bytes)
+            + self.turnaround_s
+        )
+
+    def frame_lost(self, rng: random.Random) -> bool:
+        return self.loss_probability > 0 and rng.random() < self.loss_probability
+
+
+__all__ = [
+    "LinkModel",
+    "MAX_PHY_PAYLOAD",
+    "MAC_PAYLOAD_LIMIT",
+    "PHY_OVERHEAD_BYTES",
+    "MAC_OVERHEAD_BYTES",
+    "BITRATE_BPS",
+]

@@ -1,0 +1,86 @@
+"""6LoWPAN adaptation layer model (RFC 4944 / RFC 6282) [36].
+
+µPnP realises IPv6 over 802.15.4 through 6LoWPAN (§6).  For the
+simulation we model the two properties that matter to timing and
+energy: *header compression* (an IPv6+UDP header pair compresses to a
+few bytes when both addresses are on-link) and *fragmentation* (UDP
+payloads that do not fit one frame are split with FRAG1/FRAGN headers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.net.link import MAC_PAYLOAD_LIMIT
+
+#: Compressed IPHC (IPv6) + NHC (UDP) header bytes in the common on-link
+#: case: dispatch + IPHC(2) + CID/context + compressed ports/checksum.
+COMPRESSED_HEADERS_BYTES = 10
+
+#: Uncompressed IPv6 (40) + UDP (8) headers, for reference/compression-off.
+UNCOMPRESSED_HEADERS_BYTES = 48
+
+#: FRAG1 / FRAGN header sizes (RFC 4944 §5.3).
+FRAG1_HEADER_BYTES = 4
+FRAGN_HEADER_BYTES = 5
+
+
+@dataclass(frozen=True)
+class LowpanModel:
+    """Computes frame payload layouts for UDP datagrams."""
+
+    compression: bool = True
+    mac_payload_limit: int = MAC_PAYLOAD_LIMIT
+
+    @property
+    def header_bytes(self) -> int:
+        return (
+            COMPRESSED_HEADERS_BYTES
+            if self.compression
+            else UNCOMPRESSED_HEADERS_BYTES
+        )
+
+    def frame_payload_sizes(self, udp_payload_bytes: int) -> List[int]:
+        """MAC payload sizes of the frame(s) carrying one UDP datagram.
+
+        Returns one entry per frame, in transmission order.
+        """
+        if udp_payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        datagram = self.header_bytes + udp_payload_bytes
+        if datagram <= self.mac_payload_limit:
+            return [datagram]
+        # Fragmented: FRAG1 then FRAGN frames; fragment payloads must be
+        # multiples of 8 bytes except the last (RFC 4944).
+        sizes: List[int] = []
+        remaining = datagram
+        first_capacity = (self.mac_payload_limit - FRAG1_HEADER_BYTES) // 8 * 8
+        take = min(first_capacity, remaining)
+        sizes.append(take + FRAG1_HEADER_BYTES)
+        remaining -= take
+        next_capacity = (self.mac_payload_limit - FRAGN_HEADER_BYTES) // 8 * 8
+        while remaining > 0:
+            take = min(next_capacity, remaining)
+            sizes.append(take + FRAGN_HEADER_BYTES)
+            remaining -= take
+        return sizes
+
+    def frame_count(self, udp_payload_bytes: int) -> int:
+        return len(self.frame_payload_sizes(udp_payload_bytes))
+
+    def total_link_bytes(self, udp_payload_bytes: int) -> int:
+        """Total MAC payload bytes across all fragments."""
+        return sum(self.frame_payload_sizes(udp_payload_bytes))
+
+
+DEFAULT_LOWPAN = LowpanModel()
+
+__all__ = [
+    "LowpanModel",
+    "DEFAULT_LOWPAN",
+    "COMPRESSED_HEADERS_BYTES",
+    "UNCOMPRESSED_HEADERS_BYTES",
+    "FRAG1_HEADER_BYTES",
+    "FRAGN_HEADER_BYTES",
+]

@@ -1,0 +1,134 @@
+"""The µPnP multicast addressing schema (§5.1, Figure 9).
+
+Unicast-prefix-based IPv6 multicast addresses (RFC 3306 [15]):
+
+    | 32 bits    | 48 bits          | 16 bits | 32 bits          |
+    | ff3e:0030  | <network prefix> | 0       | <peripheral id>  |
+
+The first 32 bits are the fixed µPnP prefix ``0xff3e0030``; the next 48
+carry the unicast network prefix so the schema works in a global or
+local scope; the last 32 bits are the peripheral type identifier from
+the hardware identification (§3).  Two groups are reserved:
+``0x00000000`` = all peripherals, ``0xffffffff`` = all µPnP clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.device_id import ALL_CLIENTS, ALL_PERIPHERALS, DeviceId
+from repro.net.ipv6 import AddressError, Ipv6Address
+
+#: The fixed first 32 bits of every µPnP multicast address.
+UPNP_MULTICAST_PREFIX32 = 0xFF3E0030
+
+
+def peripheral_group(network_prefix48: int, device_id: DeviceId | int) -> Ipv6Address:
+    """Multicast group for all Things carrying *device_id* in the network."""
+    if not 0 <= network_prefix48 < (1 << 48):
+        raise AddressError("network prefix must fit 48 bits")
+    peripheral = int(getattr(device_id, "value", device_id)) & 0xFFFFFFFF
+    value = (
+        (UPNP_MULTICAST_PREFIX32 << 96)
+        | (network_prefix48 << 48)
+        | (0 << 32)
+        | peripheral
+    )
+    return Ipv6Address(value)
+
+
+def all_peripherals_group(network_prefix48: int) -> Ipv6Address:
+    """The reserved group representing every peripheral (0x00000000)."""
+    return peripheral_group(network_prefix48, ALL_PERIPHERALS)
+
+
+def all_clients_group(network_prefix48: int) -> Ipv6Address:
+    """The reserved group representing every µPnP client (0xffffffff)."""
+    return peripheral_group(network_prefix48, ALL_CLIENTS)
+
+
+def stream_group(network_prefix48: int, device_id: DeviceId | int) -> Ipv6Address:
+    """Group carrying a peripheral's value stream (§5.3.1 messages 13/14).
+
+    Distinguished from the discovery group by setting the otherwise-zero
+    16-bit pad field to 1, so stream traffic never collides with the
+    Things listening on the peripheral's discovery group.
+    """
+    base = peripheral_group(network_prefix48, device_id)
+    return Ipv6Address(base.value | (1 << 32))
+
+
+#: Pad-field flag marking location-scoped groups (§9 extension).
+LOCATION_FLAG = 0x4
+MAX_ZONE = 0x0FFF
+
+
+def location_group(
+    network_prefix48: int, device_id: DeviceId | int, zone: int
+) -> Ipv6Address:
+    """Location-aware group (§9 future work): one peripheral type in one
+    physical zone.
+
+    Encoded in the 16-bit pad field as ``0x4zzz`` (flag nibble + 12-bit
+    zone), so it coexists with discovery (pad 0) and stream (pad 1)
+    groups for the same peripheral type.
+    """
+    if not 0 <= zone <= MAX_ZONE:
+        raise AddressError(f"zone out of 12-bit range: {zone}")
+    base = peripheral_group(network_prefix48, device_id)
+    pad = (LOCATION_FLAG << 12) | zone
+    return Ipv6Address(base.value | (pad << 32))
+
+
+def parse_location_group(address: Ipv6Address):
+    """(GroupInfo, zone) for a location group, else None."""
+    if (address.value >> 96) != UPNP_MULTICAST_PREFIX32:
+        return None
+    pad = (address.value >> 32) & 0xFFFF
+    if (pad >> 12) != LOCATION_FLAG:
+        return None
+    prefix = (address.value >> 48) & ((1 << 48) - 1)
+    peripheral = address.value & 0xFFFFFFFF
+    return GroupInfo(prefix, peripheral), pad & MAX_ZONE
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """Decomposition of a µPnP multicast address."""
+
+    network_prefix48: int
+    peripheral_id: int
+
+    @property
+    def device_id(self) -> DeviceId:
+        return DeviceId(self.peripheral_id)
+
+    @property
+    def is_all_peripherals(self) -> bool:
+        return self.peripheral_id == ALL_PERIPHERALS
+
+    @property
+    def is_all_clients(self) -> bool:
+        return self.peripheral_id == ALL_CLIENTS
+
+
+def parse_group(address: Ipv6Address) -> Optional[GroupInfo]:
+    """Decompose *address*; None when it is not a µPnP multicast group."""
+    if (address.value >> 96) != UPNP_MULTICAST_PREFIX32:
+        return None
+    if (address.value >> 32) & 0xFFFF:
+        return None  # the 16 padding bits must be zero
+    prefix = (address.value >> 48) & ((1 << 48) - 1)
+    peripheral = address.value & 0xFFFFFFFF
+    return GroupInfo(prefix, peripheral)
+
+
+__all__ = [
+    "UPNP_MULTICAST_PREFIX32",
+    "peripheral_group",
+    "all_peripherals_group",
+    "all_clients_group",
+    "parse_group",
+    "GroupInfo",
+]

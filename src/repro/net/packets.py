@@ -1,0 +1,37 @@
+"""UDP datagrams — the unit the µPnP protocol exchanges (§5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.ipv6 import Ipv6Address
+
+#: "All messages are sent as UDP packets to port 6030."
+UPNP_PORT = 6030
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """One UDP datagram in flight."""
+
+    src: Ipv6Address
+    src_port: int
+    dst: Ipv6Address
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 < port <= 0xFFFF:
+                raise ValueError(f"invalid UDP port {port}")
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def reply_to(self) -> tuple[Ipv6Address, int]:
+        """Where a response to this datagram should go."""
+        return self.src, self.src_port
+
+
+__all__ = ["UdpDatagram", "UPNP_PORT"]

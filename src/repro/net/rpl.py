@@ -1,0 +1,121 @@
+"""RPL (RFC 6550) [43] — simplified DODAG construction and routing.
+
+RPL organises the network into a Destination-Oriented DAG rooted at the
+border router.  This model captures the converged state rather than the
+control traffic: preferred parents are chosen by hop-count rank (BFS
+from the root, deterministic lowest-id tie-break), giving every node an
+upward default route and the root a complete view of downward routes
+(storing mode).  SMRF (see :mod:`repro.net.smrf`) forwards multicast
+along exactly this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.net.topology import Topology, TopologyError
+
+#: Rank increment per hop (RPL MinHopRankIncrease default is 256).
+MIN_HOP_RANK_INCREASE = 256
+ROOT_RANK = 256
+
+
+class RplError(Exception):
+    """DODAG construction/routing failures."""
+
+
+@dataclass
+class Dodag:
+    """A converged RPL DODAG over a topology."""
+
+    root: int
+    parent: Dict[int, Optional[int]] = field(default_factory=dict)
+    rank: Dict[int, int] = field(default_factory=dict)
+    children: Dict[int, Set[int]] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- building
+    @classmethod
+    def build(cls, topology: Topology, root: int) -> "Dodag":
+        """Converge the DODAG: BFS by hop count from the root."""
+        if root not in topology.nodes():
+            raise RplError(f"root {root} is not in the topology")
+        dodag = cls(root=root)
+        dodag.parent[root] = None
+        dodag.rank[root] = ROOT_RANK
+        dodag.children[root] = set()
+        frontier = [root]
+        while frontier:
+            nxt: List[int] = []
+            for node in frontier:
+                for neighbor in sorted(topology.neighbors(node)):
+                    if neighbor in dodag.rank:
+                        continue
+                    dodag.parent[neighbor] = node
+                    dodag.rank[neighbor] = dodag.rank[node] + MIN_HOP_RANK_INCREASE
+                    dodag.children.setdefault(node, set()).add(neighbor)
+                    dodag.children.setdefault(neighbor, set())
+                    nxt.append(neighbor)
+            frontier = nxt
+        return dodag
+
+    # --------------------------------------------------------------- queries
+    def joined(self, node: int) -> bool:
+        return node in self.rank
+
+    def members(self) -> List[int]:
+        return sorted(self.rank)
+
+    def path_to_root(self, node: int) -> List[int]:
+        """[node, parent, ..., root]."""
+        if not self.joined(node):
+            raise RplError(f"node {node} is not in the DODAG")
+        path = [node]
+        seen = {node}
+        while self.parent[path[-1]] is not None:
+            nxt = self.parent[path[-1]]
+            if nxt in seen:  # pragma: no cover - defensive
+                raise RplError("parent loop detected")
+            path.append(nxt)
+            seen.add(nxt)
+        return path
+
+    def depth(self, node: int) -> int:
+        """Hops from *node* up to the root."""
+        return len(self.path_to_root(node)) - 1
+
+    def subtree(self, node: int) -> Set[int]:
+        """All nodes in the subtree rooted at *node* (inclusive)."""
+        out = {node}
+        stack = [node]
+        while stack:
+            for child in self.children.get(stack.pop(), ()):
+                if child not in out:
+                    out.add(child)
+                    stack.append(child)
+        return out
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Storing-mode unicast route: up to the common ancestor, then down.
+
+        Returns the node sequence [src, ..., dst].
+        """
+        if not (self.joined(src) and self.joined(dst)):
+            raise RplError("endpoint not in DODAG")
+        up = self.path_to_root(src)
+        down = self.path_to_root(dst)
+        up_set = {node: i for i, node in enumerate(up)}
+        # First node on dst's root-path that also lies on src's root-path
+        # is the common ancestor.
+        for j, node in enumerate(down):
+            if node in up_set:
+                ascent = up[: up_set[node] + 1]
+                descent = list(reversed(down[:j]))
+                return ascent + descent
+        raise RplError("no common ancestor (disconnected DODAG)")
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst)) - 1
+
+
+__all__ = ["Dodag", "RplError", "MIN_HOP_RANK_INCREASE", "ROOT_RANK"]

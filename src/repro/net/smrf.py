@@ -1,0 +1,78 @@
+"""SMRF — Stateless Multicast RPL Forwarding [32].
+
+SMRF forwards multicast datagrams *down* the RPL DODAG only: a node
+accepts a multicast frame solely from its preferred parent and
+re-forwards it towards children whose subtrees contain group members
+(group membership is propagated up the tree by RPL's group management,
+modelled here as an oracle over the current membership sets).  A sender
+that is not the root first passes the datagram to the root along its
+default route, after which the downward flood begins.
+
+The model computes the *forwarding plan* — which links carry the packet
+and in what order — so the network layer can charge airtime and CPU per
+transmission and deliver to each member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.net.rpl import Dodag
+
+
+@dataclass(frozen=True)
+class ForwardingPlan:
+    """How one multicast datagram traverses the network.
+
+    ``uplink`` is the node path from the sender up to the root (empty
+    when the sender is the root); ``downlinks`` are (from, to) tree
+    edges carrying the downward flood in BFS order; ``receivers`` are
+    the group members that ultimately accept the datagram.
+    """
+
+    uplink: Tuple[int, ...]
+    downlinks: Tuple[Tuple[int, int], ...]
+    receivers: Tuple[int, ...]
+
+    @property
+    def transmissions(self) -> int:
+        """Number of link transmissions the datagram costs."""
+        return max(0, len(self.uplink) - 1) + len(self.downlinks)
+
+
+def plan(dodag: Dodag, sender: int, members: Set[int]) -> ForwardingPlan:
+    """Compute the SMRF forwarding plan for one multicast datagram."""
+    members = {m for m in members if dodag.joined(m)}
+
+    # Phase 1: the sender unicasts the datagram to the DODAG root.
+    uplink: Tuple[int, ...] = ()
+    if sender != dodag.root:
+        uplink = tuple(dodag.path_to_root(sender))
+
+    # Phase 2: flood down every subtree that contains at least one member.
+    downlinks: List[Tuple[int, int]] = []
+    receivers: List[int] = []
+    if dodag.root in members:
+        receivers.append(dodag.root)
+    frontier = [dodag.root]
+    while frontier:
+        nxt: List[int] = []
+        for node in frontier:
+            for child in sorted(dodag.children.get(node, ())):
+                subtree = dodag.subtree(child)
+                if subtree & members:
+                    downlinks.append((node, child))
+                    if child in members:
+                        receivers.append(child)
+                    nxt.append(child)
+        frontier = nxt
+    return ForwardingPlan(uplink, tuple(downlinks), tuple(receivers))
+
+
+def duplicate_suppression_delay_s(rng, spread_s: float = 1.0e-3) -> float:
+    """SMRF's random forwarding delay (avoids synchronized collisions)."""
+    return rng.uniform(0.0, spread_s)
+
+
+__all__ = ["ForwardingPlan", "plan", "duplicate_suppression_delay_s"]

@@ -1,0 +1,127 @@
+"""Network topology: which nodes hear which (the connectivity graph)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class TopologyError(Exception):
+    """Invalid topology operations (unknown nodes, self-links)."""
+
+
+class Topology:
+    """An undirected connectivity graph over integer node ids."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[int, Set[int]] = {}
+
+    # --------------------------------------------------------------- editing
+    def add_node(self, node_id: int) -> None:
+        self._adjacency.setdefault(node_id, set())
+
+    def connect(self, a: int, b: int) -> None:
+        if a == b:
+            raise TopologyError("no self-links")
+        self.add_node(a)
+        self.add_node(b)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def disconnect(self, a: int, b: int) -> None:
+        self._adjacency.get(a, set()).discard(b)
+        self._adjacency.get(b, set()).discard(a)
+
+    # --------------------------------------------------------------- queries
+    def nodes(self) -> List[int]:
+        return sorted(self._adjacency)
+
+    def neighbors(self, node_id: int) -> Set[int]:
+        try:
+            return set(self._adjacency[node_id])
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        return b in self._adjacency.get(a, set())
+
+    def shortest_path(self, src: int, dst: int) -> Optional[List[int]]:
+        """BFS hop-count path [src, ..., dst]; None when unreachable."""
+        if src not in self._adjacency or dst not in self._adjacency:
+            raise TopologyError("unknown endpoint")
+        if src == dst:
+            return [src]
+        parent: Dict[int, int] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: List[int] = []
+            for node in frontier:
+                for neighbor in sorted(self._adjacency[node]):
+                    if neighbor not in parent:
+                        parent[neighbor] = node
+                        if neighbor == dst:
+                            path = [dst]
+                            while path[-1] != src:
+                                path.append(parent[path[-1]])
+                            return list(reversed(path))
+                        nxt.append(neighbor)
+            frontier = nxt
+        return None
+
+    def hop_distance(self, src: int, dst: int) -> Optional[int]:
+        path = self.shortest_path(src, dst)
+        return None if path is None else len(path) - 1
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def full_mesh(cls, node_ids: Iterable[int]) -> "Topology":
+        """Every node hears every other (the 'one-hop' setting of §6.4)."""
+        topo = cls()
+        ids = list(node_ids)
+        for node in ids:
+            topo.add_node(node)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                topo.connect(a, b)
+        return topo
+
+    @classmethod
+    def star(cls, center: int, leaves: Iterable[int]) -> "Topology":
+        topo = cls()
+        topo.add_node(center)
+        for leaf in leaves:
+            topo.connect(center, leaf)
+        return topo
+
+    @classmethod
+    def line(cls, node_ids: Iterable[int]) -> "Topology":
+        topo = cls()
+        ids = list(node_ids)
+        for node in ids:
+            topo.add_node(node)
+        for a, b in zip(ids, ids[1:]):
+            topo.connect(a, b)
+        return topo
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: Dict[int, Tuple[float, float]],
+        radio_range: float,
+    ) -> "Topology":
+        """Unit-disk connectivity from 2-D coordinates."""
+        topo = cls()
+        ids = sorted(positions)
+        for node in ids:
+            topo.add_node(node)
+        for i, a in enumerate(ids):
+            ax, ay = positions[a]
+            for b in ids[i + 1 :]:
+                bx, by = positions[b]
+                if math.hypot(ax - bx, ay - by) <= radio_range:
+                    topo.connect(a, b)
+        return topo
+
+
+__all__ = ["Topology", "TopologyError"]

@@ -1,0 +1,30 @@
+"""Behavioural models of the paper's prototype peripherals (Section 6)."""
+
+from repro.peripherals.base import (
+    AnalogDevice,
+    Environment,
+    I2CDevice,
+    SpiDevice,
+    UartDevice,
+)
+from repro.peripherals.bmp180 import Bmp180, Calibration
+from repro.peripherals.hih4030 import Hih4030
+from repro.peripherals.id20la import Id20La
+from repro.peripherals.max6675 import Max6675
+from repro.peripherals.relay import Relay
+from repro.peripherals.tmp36 import Tmp36
+
+__all__ = [
+    "AnalogDevice",
+    "Environment",
+    "I2CDevice",
+    "SpiDevice",
+    "UartDevice",
+    "Bmp180",
+    "Calibration",
+    "Hih4030",
+    "Id20La",
+    "Max6675",
+    "Relay",
+    "Tmp36",
+]

@@ -1,0 +1,110 @@
+"""Peripheral device-model protocols and the shared physical environment.
+
+Device models implement the *electrical* protocol of the real part
+(analog transfer function, I2C register map, UART framing), so the µPnP
+drivers exercise exactly the transactions a real driver would.  The
+:class:`Environment` holds the ground-truth physical quantities the
+sensors observe — experiments set it, drivers must recover it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+@dataclass
+class Environment:
+    """Ground-truth physical state observed by all sensors.
+
+    Optional sinusoidal diurnal drift makes long simulations (e.g. the
+    Figure 12 year-long energy sweep) produce non-constant readings.
+    """
+
+    temperature_c: float = 21.0
+    humidity_rh: float = 45.0
+    pressure_pa: float = 101_325.0
+    #: Amplitude of the diurnal temperature swing (°C); 0 disables drift.
+    diurnal_temp_amplitude_c: float = 0.0
+    #: Callable returning the current simulation time in seconds.
+    clock: Callable[[], float] = field(default=lambda: 0.0)
+
+    SECONDS_PER_DAY = 86_400.0
+
+    def current_temperature_c(self) -> float:
+        if self.diurnal_temp_amplitude_c == 0.0:
+            return self.temperature_c
+        phase = 2.0 * math.pi * (self.clock() % self.SECONDS_PER_DAY) / self.SECONDS_PER_DAY
+        return self.temperature_c + self.diurnal_temp_amplitude_c * math.sin(phase)
+
+    def current_humidity_rh(self) -> float:
+        return min(100.0, max(0.0, self.humidity_rh))
+
+    def current_pressure_pa(self) -> float:
+        return self.pressure_pa
+
+
+@runtime_checkable
+class AnalogDevice(Protocol):
+    """A sensor producing a single-ended analog voltage."""
+
+    def voltage_v(self) -> float: ...
+
+
+@runtime_checkable
+class I2CDevice(Protocol):
+    """An I2C slave with a 7-bit address."""
+
+    i2c_address: int
+
+    def handle_write(self, data: bytes) -> None: ...
+
+    def handle_read(self, count: int) -> bytes: ...
+
+
+@runtime_checkable
+class SpiDevice(Protocol):
+    """A full-duplex SPI slave."""
+
+    def spi_transfer(self, mosi: bytes) -> bytes: ...
+
+
+class UartDevice:
+    """Base for UART peripherals; binds to a :class:`UartBus` at plug time.
+
+    Subclasses call :meth:`transmit` to push bytes toward the MCU and
+    override :meth:`on_host_write` to react to MCU output.
+    """
+
+    def __init__(self) -> None:
+        self._bus = None
+
+    def bind(self, bus) -> None:
+        """Wire this device to its bus (done when the mux switches in)."""
+        self._bus = bus
+
+    def unbind(self) -> None:
+        self._bus = None
+
+    @property
+    def bound(self) -> bool:
+        return self._bus is not None
+
+    def transmit(self, data: bytes) -> float:
+        """Send *data* to the MCU; returns the line time consumed."""
+        if self._bus is None:
+            raise RuntimeError("UART device is not bound to a bus")
+        return self._bus.device_transmit(data)
+
+    def on_host_write(self, data: bytes) -> None:
+        """MCU wrote *data* to the device; default devices ignore it."""
+
+
+__all__ = [
+    "Environment",
+    "AnalogDevice",
+    "I2CDevice",
+    "SpiDevice",
+    "UartDevice",
+]

@@ -1,0 +1,307 @@
+"""BMP180 digital barometric pressure sensor (Bosch) [9].
+
+A complete behavioural model of the part's I2C interface:
+
+* calibration EEPROM at 0xAA..0xBF (11 signed/unsigned 16-bit words),
+* chip-id register (0xD0 == 0x55), soft reset (0xE0),
+* control register 0xF4 starting temperature (0x2E) or pressure
+  (0x34 | oss << 6) conversions with datasheet conversion times,
+* 3-byte result registers 0xF6..0xF8.
+
+The model computes the *uncompensated* values UT/UP by numerically
+inverting the datasheet compensation algorithm against the ground-truth
+environment, so a driver that implements the (integer) compensation
+correctly recovers the environment temperature and pressure.  The
+forward algorithm here follows the datasheet reference code with
+consistent floor-division semantics; the shipped µPnP DSL driver and
+the C reference driver implement the identical arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.peripherals.base import Environment
+
+I2C_ADDRESS = 0x77
+CHIP_ID = 0x55
+
+REG_CALIB_START = 0xAA
+REG_CHIP_ID = 0xD0
+REG_SOFT_RESET = 0xE0
+REG_CTRL_MEAS = 0xF4
+REG_OUT_MSB = 0xF6
+REG_OUT_LSB = 0xF7
+REG_OUT_XLSB = 0xF8
+
+CMD_TEMPERATURE = 0x2E
+CMD_PRESSURE_BASE = 0x34
+SOFT_RESET_MAGIC = 0xB6
+
+#: Datasheet conversion times per oversampling setting (seconds).
+TEMP_CONVERSION_S = 4.5e-3
+PRESSURE_CONVERSION_S = {0: 4.5e-3, 1: 7.5e-3, 2: 13.5e-3, 3: 25.5e-3}
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """The 11 calibration coefficients stored in the part's EEPROM."""
+
+    ac1: int = 408
+    ac2: int = -72
+    ac3: int = -14383
+    ac4: int = 32741
+    ac5: int = 32757
+    ac6: int = 23153
+    b1: int = 6190
+    b2: int = 4
+    mb: int = -32768
+    mc: int = -8711
+    md: int = 2868
+
+    def to_eeprom(self) -> bytes:
+        """22-byte big-endian EEPROM image (registers 0xAA..0xBF)."""
+        out = bytearray()
+        for name in ("ac1", "ac2", "ac3", "ac4", "ac5", "ac6",
+                     "b1", "b2", "mb", "mc", "md"):
+            value = getattr(self, name)
+            signed = name not in ("ac4", "ac5", "ac6")
+            out += value.to_bytes(2, "big", signed=signed)
+        return bytes(out)
+
+    @classmethod
+    def from_eeprom(cls, data: bytes) -> "Calibration":
+        """Parse a 22-byte EEPROM image back into coefficients."""
+        if len(data) != 22:
+            raise ValueError("BMP180 EEPROM image is exactly 22 bytes")
+        names = ("ac1", "ac2", "ac3", "ac4", "ac5", "ac6",
+                 "b1", "b2", "mb", "mc", "md")
+        values = {}
+        for i, name in enumerate(names):
+            signed = name not in ("ac4", "ac5", "ac6")
+            values[name] = int.from_bytes(data[2 * i : 2 * i + 2], "big", signed=signed)
+        return cls(**values)
+
+
+def _cdiv(a: int, b: int) -> int:
+    """C-style division (truncate toward zero) — matches the VM's DIV."""
+    if b == 0:
+        raise ValueError("compensation singularity: UT outside the part's "
+                         "operating range (x1 + MD == 0)")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def min_valid_ut(cal: "Calibration") -> int:
+    """Smallest UT on the physical (monotonic) branch of the datasheet
+    temperature formula.
+
+    The compensation divides by ``x1 + MD``; the pole sits far below the
+    part's rated -40 °C, so real conversions always land on the branch
+    where ``x1 + MD >= 1``.  Numeric inversion must stay on that branch.
+    """
+    # x1 = ((ut - ac6) * ac5) >> 15  >=  1 - md
+    needed = 1 - cal.md
+    ut = cal.ac6 + ((needed << 15) + cal.ac5 - 1) // cal.ac5
+    return min(0xFFFF, max(0, ut + 16))  # margin away from the pole
+
+
+def compensate_temperature(ut: int, cal: Calibration) -> Tuple[int, int]:
+    """Datasheet temperature compensation.
+
+    Returns ``(temperature_decidegrees, b5)`` — B5 feeds the pressure
+    path.  Arithmetic semantics match the C reference code (and the
+    µPnP VM): ``>>`` is an arithmetic (floor) shift, ``/`` truncates
+    toward zero.
+    """
+    x1 = ((ut - cal.ac6) * cal.ac5) >> 15
+    x2 = _cdiv(cal.mc * 2048, x1 + cal.md)
+    b5 = x1 + x2
+    temperature = (b5 + 8) >> 4
+    return temperature, b5
+
+
+def compensate_pressure(up: int, b5: int, oss: int, cal: Calibration) -> int:
+    """Datasheet pressure compensation; returns pascals."""
+    if oss not in PRESSURE_CONVERSION_S:
+        raise ValueError(f"invalid oversampling setting: {oss}")
+    b6 = b5 - 4000
+    x1 = (cal.b2 * ((b6 * b6) >> 12)) >> 11
+    x2 = (cal.ac2 * b6) >> 11
+    x3 = x1 + x2
+    b3 = _cdiv(((cal.ac1 * 4 + x3) << oss) + 2, 4)
+    x1 = (cal.ac3 * b6) >> 13
+    x2 = (cal.b1 * ((b6 * b6) >> 12)) >> 16
+    x3 = ((x1 + x2) + 2) >> 2
+    b4 = (cal.ac4 * (x3 + 32768)) >> 15
+    b7 = (up - b3) * (50000 >> oss)
+    if b7 < 0x80000000:
+        pressure = _cdiv(b7 * 2, b4)
+    else:
+        pressure = _cdiv(b7, b4) * 2
+    x1 = (pressure >> 8) * (pressure >> 8)
+    x1 = (x1 * 3038) >> 16
+    x2 = (-7357 * pressure) >> 16
+    return pressure + ((x1 + x2 + 3791) >> 4)
+
+
+def _bisect_int(lo: int, hi: int, predicate: Callable[[int], bool]) -> int:
+    """Smallest x in [lo, hi] with predicate(x) true (predicate monotone)."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if predicate(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def uncompensated_temperature(temp_c: float, cal: Calibration) -> int:
+    """Invert the temperature compensation: °C -> UT (16-bit).
+
+    Searches only the physical branch of the formula (see
+    :func:`min_valid_ut`) where temperature is monotone in UT.
+    """
+    target = round(temp_c * 10.0)
+    lo = min_valid_ut(cal)
+    ut = _bisect_int(lo, 0xFFFF,
+                     lambda u: compensate_temperature(u, cal)[0] >= target)
+    return max(lo, min(0xFFFF, ut))
+
+
+def uncompensated_pressure(pressure_pa: float, b5: int, oss: int,
+                           cal: Calibration) -> int:
+    """Invert the pressure compensation: Pa -> UP for a given B5/oss."""
+    target = round(pressure_pa)
+    hi = (1 << (16 + oss)) - 1
+    up = _bisect_int(0, hi, lambda u: compensate_pressure(u, b5, oss, cal) >= target)
+    return max(0, min(hi, up))
+
+
+@dataclass
+class Bmp180:
+    """Behavioural BMP180 I2C slave."""
+
+    env: Environment = field(default_factory=Environment)
+    cal: Calibration = field(default_factory=Calibration)
+    i2c_address: int = I2C_ADDRESS
+    #: Returns current simulation time (seconds); wired at plug time.
+    clock: Callable[[], float] = field(default=lambda: 0.0)
+
+    def __post_init__(self) -> None:
+        self._regs: Dict[int, int] = {REG_CHIP_ID: CHIP_ID}
+        eeprom = self.cal.to_eeprom()
+        for offset, byte in enumerate(eeprom):
+            self._regs[REG_CALIB_START + offset] = byte
+        self._reg_pointer = 0
+        self._conversion_ready_at = 0.0
+        self._pending: Optional[int] = None
+        self._last_b5 = 0
+        self._set_output(0)
+
+    # ------------------------------------------------------------ I2C slave
+    def handle_write(self, data: bytes) -> None:
+        """Register-pointer write, optionally followed by register data."""
+        if not data:
+            return
+        self._reg_pointer = data[0]
+        for offset, value in enumerate(data[1:]):
+            self._write_register(self._reg_pointer + offset, value)
+
+    def handle_read(self, count: int) -> bytes:
+        """Sequential read from the current register pointer."""
+        self._finish_conversion_if_due()
+        out = bytearray()
+        for i in range(count):
+            register = self._reg_pointer + i
+            value = self._regs.get(register, 0x00)
+            if register == REG_CTRL_MEAS:
+                # Sco (start-of-conversion) bit reads 1 while converting;
+                # drivers poll it instead of needing a delay primitive.
+                if self.conversion_pending:
+                    value |= 0x20
+                else:
+                    value &= ~0x20
+            out.append(value)
+        return bytes(out)
+
+    # ------------------------------------------------------------ behaviour
+    def _write_register(self, register: int, value: int) -> None:
+        if register == REG_SOFT_RESET and value == SOFT_RESET_MAGIC:
+            self._pending = None
+            self._set_output(0)
+            return
+        if register == REG_CTRL_MEAS:
+            self._start_conversion(value)
+            return
+        self._regs[register] = value & 0xFF
+
+    def _start_conversion(self, command: int) -> None:
+        self._regs[REG_CTRL_MEAS] = command & 0xFF
+        if command == CMD_TEMPERATURE:
+            duration = TEMP_CONVERSION_S
+        elif command & 0x3F == CMD_PRESSURE_BASE:
+            oss = (command >> 6) & 0x03
+            duration = PRESSURE_CONVERSION_S[oss]
+        else:
+            return  # undefined command: no conversion starts
+        self._pending = command & 0xFF
+        self._conversion_ready_at = self.clock() + duration
+
+    def _finish_conversion_if_due(self) -> None:
+        if self._pending is None or self.clock() < self._conversion_ready_at:
+            return
+        command = self._pending
+        self._pending = None
+        if command == CMD_TEMPERATURE:
+            ut = uncompensated_temperature(self.env.current_temperature_c(), self.cal)
+            self._last_b5 = compensate_temperature(ut, self.cal)[1]
+            self._set_output(ut << 8)  # UT occupies MSB/LSB; XLSB zero
+        else:
+            oss = (command >> 6) & 0x03
+            up = uncompensated_pressure(
+                self.env.current_pressure_pa(), self._last_b5, oss, self.cal
+            )
+            self._set_output(up << (8 - oss))
+
+    def _set_output(self, raw24: int) -> None:
+        raw24 &= 0xFFFFFF
+        self._regs[REG_OUT_MSB] = (raw24 >> 16) & 0xFF
+        self._regs[REG_OUT_LSB] = (raw24 >> 8) & 0xFF
+        self._regs[REG_OUT_XLSB] = raw24 & 0xFF
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def conversion_pending(self) -> bool:
+        return self._pending is not None and self.clock() < self._conversion_ready_at
+
+    def conversion_time_s(self, command: int) -> float:
+        """Datasheet conversion time for a 0xF4 command byte."""
+        if command == CMD_TEMPERATURE:
+            return TEMP_CONVERSION_S
+        if command & 0x3F == CMD_PRESSURE_BASE:
+            return PRESSURE_CONVERSION_S[(command >> 6) & 0x03]
+        raise ValueError(f"not a conversion command: {command:#04x}")
+
+
+__all__ = [
+    "Bmp180",
+    "Calibration",
+    "min_valid_ut",
+    "compensate_temperature",
+    "compensate_pressure",
+    "uncompensated_temperature",
+    "uncompensated_pressure",
+    "I2C_ADDRESS",
+    "CHIP_ID",
+    "REG_CALIB_START",
+    "REG_CHIP_ID",
+    "REG_CTRL_MEAS",
+    "REG_OUT_MSB",
+    "REG_SOFT_RESET",
+    "CMD_TEMPERATURE",
+    "CMD_PRESSURE_BASE",
+    "TEMP_CONVERSION_S",
+    "PRESSURE_CONVERSION_S",
+]

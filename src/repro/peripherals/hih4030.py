@@ -1,0 +1,66 @@
+"""HIH-4030 analog humidity sensor (Honeywell) [18].
+
+Datasheet transfer function (at the nominal 5 V supply):
+
+    Vout = Vsupply * (0.0062 * RH + 0.16)
+
+with a temperature-compensation term for true RH:
+
+    RH_true = RH_sensor / (1.0546 - 0.00216 * T)
+
+The Grove module used in the paper runs the part ratiometrically from
+the 3.3 V rail, so the model takes the supply as a parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.peripherals.base import Environment
+
+SLOPE = 0.0062
+OFFSET = 0.16
+TEMP_COMP_A = 1.0546
+TEMP_COMP_B = 0.00216
+
+
+@dataclass
+class Hih4030:
+    """Behavioural HIH-4030: environment humidity -> output voltage."""
+
+    env: Environment = field(default_factory=Environment)
+    supply_v: float = 3.3
+
+    def voltage_v(self) -> float:
+        """Output voltage for the current humidity and temperature.
+
+        The physical sensor element reads *sensor RH*, which differs
+        from true RH by the temperature-dependent factor; the model
+        applies the forward direction so drivers must compensate.
+        """
+        rh_true = self.env.current_humidity_rh()
+        t = self.env.current_temperature_c()
+        rh_sensor = rh_true * (TEMP_COMP_A - TEMP_COMP_B * t)
+        voltage = self.supply_v * (SLOPE * rh_sensor + OFFSET)
+        return max(0.0, min(self.supply_v, voltage))
+
+    @staticmethod
+    def millivolts_to_rh_tenths(millivolts: int, supply_mv: int = 3300,
+                                temperature_decidegrees: int = 250) -> int:
+        """Fixed-point conversion as performed by an integer driver.
+
+        Returns tenths of %RH.  Mirrors the arithmetic of the µPnP DSL
+        driver: sensor RH from the ratiometric output, then temperature
+        compensation, all in scaled integers.
+
+        ``rh_sensor_tenths = (mv*10000/supply - 1600) * 10 / 62``
+        ``rh_true_tenths   = rh_sensor_tenths * 10000 /
+        (10546 - 216 * T_decidegrees / 100)``
+        """
+        ratio = millivolts * 10_000 // supply_mv           # V/Vs * 1e4
+        rh_sensor_tenths = (ratio - 1_600) * 10 // 62
+        comp = 10_546 - 216 * temperature_decidegrees // 100
+        return max(0, min(1000, rh_sensor_tenths * 10_000 // comp))
+
+
+__all__ = ["Hih4030", "SLOPE", "OFFSET", "TEMP_COMP_A", "TEMP_COMP_B"]

@@ -1,0 +1,92 @@
+"""ID-20LA 125 kHz RFID card reader (ID Innovations) [19].
+
+The reader is a transmit-only UART peripheral at 9600-8-N-1.  When a
+card enters the field it emits one ASCII frame:
+
+    STX(0x02) | 10 hex data chars | 2 hex checksum chars | CR LF | ETX(0x03)
+
+The checksum is the XOR of the five data bytes.  The µPnP driver
+(Listing 1 of the paper) ignores STX/ETX/CR/LF and collects the 12
+hex characters (data + checksum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.peripherals.base import UartDevice
+
+STX = 0x02
+ETX = 0x03
+CR = 0x0D
+LF = 0x0A
+
+FRAME_DATA_CHARS = 10
+FRAME_CHECKSUM_CHARS = 2
+
+
+def checksum(card_hex: str) -> int:
+    """XOR of the five data bytes of a 10-hex-char card id."""
+    if len(card_hex) != FRAME_DATA_CHARS:
+        raise ValueError("card id must be exactly 10 hex characters")
+    value = 0
+    for i in range(0, FRAME_DATA_CHARS, 2):
+        value ^= int(card_hex[i : i + 2], 16)
+    return value
+
+
+def build_frame(card_hex: str) -> bytes:
+    """The 16-byte ASCII frame the reader emits for *card_hex*."""
+    card_hex = card_hex.upper()
+    int(card_hex, 16)  # validates hex
+    csum = checksum(card_hex)
+    body = card_hex + f"{csum:02X}"
+    return bytes([STX]) + body.encode("ascii") + bytes([CR, LF, ETX])
+
+
+def verify_frame_payload(payload: str) -> bool:
+    """Check the 12-char payload (10 data + 2 checksum) for consistency."""
+    if len(payload) != FRAME_DATA_CHARS + FRAME_CHECKSUM_CHARS:
+        return False
+    try:
+        return checksum(payload[:FRAME_DATA_CHARS]) == int(payload[FRAME_DATA_CHARS:], 16)
+    except ValueError:
+        return False
+
+
+@dataclass
+class Id20La(UartDevice):
+    """Behavioural ID-20LA: presents cards; emits frames over UART."""
+
+    #: Frames transmitted so far (diagnostics).
+    frames_sent: int = 0
+    #: History of card ids presented (diagnostics).
+    history: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        UartDevice.__init__(self)
+
+    def present_card(self, card_hex: str) -> float:
+        """Wave a card over the reader; returns UART line time consumed.
+
+        Raises if the device is not plugged in (not bound to a bus) —
+        physically, an unplugged reader has no field to read the card.
+        """
+        frame = build_frame(card_hex)
+        duration = self.transmit(frame)
+        self.frames_sent += 1
+        self.history.append(card_hex.upper())
+        return duration
+
+
+__all__ = [
+    "Id20La",
+    "build_frame",
+    "checksum",
+    "verify_frame_payload",
+    "STX",
+    "ETX",
+    "CR",
+    "LF",
+]

@@ -1,0 +1,89 @@
+"""MAX6675 K-type thermocouple converter (Maxim) — SPI peripheral.
+
+The paper's prototypes cover ADC, I2C and UART; µPnP's bus also
+encapsulates SPI (§3.1, Table 1), so the catalogue carries this SPI
+part to exercise that path end-to-end.
+
+Wire protocol (datasheet): a 16-bit read-only frame, MSB first:
+
+    D15    dummy sign bit (always 0)
+    D14..3 12-bit temperature, 0.25 °C per LSB (0 .. 1023.75 °C)
+    D2     thermocouple-open fault (1 = no probe attached)
+    D1     device id (always 0)
+    D0     tri-state
+
+A conversion takes ~220 ms; reads in between return the last value —
+modelled with the same clock-callable pattern as the BMP180.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.peripherals.base import Environment
+
+#: Datasheet max conversion time.
+CONVERSION_S = 0.22
+
+LSB_PER_DEGREE = 4  # 0.25 degC per LSB
+MAX_CODE = 0xFFF
+
+
+def encode_frame(temp_c: float, *, open_circuit: bool = False) -> int:
+    """Build the 16-bit wire frame for *temp_c*."""
+    code = max(0, min(MAX_CODE, round(temp_c * LSB_PER_DEGREE)))
+    frame = code << 3
+    if open_circuit:
+        frame |= 0x4
+    return frame
+
+
+def decode_frame(frame: int) -> tuple[float, bool]:
+    """(temperature °C, open-circuit flag) from a 16-bit frame."""
+    return ((frame >> 3) & MAX_CODE) / LSB_PER_DEGREE, bool(frame & 0x4)
+
+
+@dataclass
+class Max6675:
+    """Behavioural MAX6675: shifts the frame out over SPI."""
+
+    env: Environment = field(default_factory=Environment)
+    #: True when no thermocouple probe is attached.
+    open_circuit: bool = False
+    #: Simulation clock (seconds); wired at plug time.
+    clock: Callable[[], float] = field(default=lambda: 0.0)
+
+    def __post_init__(self) -> None:
+        self._latched_frame = encode_frame(
+            self.env.current_temperature_c(), open_circuit=self.open_circuit
+        )
+        self._last_read_at = float("-inf")
+        self._shift_index = 0
+
+    def spi_transfer(self, mosi: bytes) -> bytes:
+        """Clock out frame bytes; MOSI content is ignored (read-only part).
+
+        A read completed more than one conversion period after the last
+        one latches a fresh conversion; earlier reads re-shift the
+        previous frame, like the real part's output register.
+        """
+        now = self.clock()
+        out = bytearray()
+        for _ in mosi:
+            if self._shift_index == 0:
+                if now - self._last_read_at >= CONVERSION_S:
+                    self._latched_frame = encode_frame(
+                        self.env.current_temperature_c(),
+                        open_circuit=self.open_circuit,
+                    )
+                    self._last_read_at = now
+                out.append((self._latched_frame >> 8) & 0xFF)
+                self._shift_index = 1
+            else:
+                out.append(self._latched_frame & 0xFF)
+                self._shift_index = 0
+        return bytes(out)
+
+
+__all__ = ["Max6675", "encode_frame", "decode_frame", "CONVERSION_S"]

@@ -1,0 +1,50 @@
+"""A simple I2C relay actuator board.
+
+The paper motivates actuators (relay switches, §2) as first-class µPnP
+peripherals; the access-control example uses this relay as a door lock.
+Protocol: write ``[0x00, state]`` to set the relay, read one byte to get
+the current state.  Any nonzero state value energises the coil.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+I2C_ADDRESS = 0x20
+
+REG_STATE = 0x00
+
+
+@dataclass
+class Relay:
+    """Behavioural single-channel relay with switch-count diagnostics."""
+
+    i2c_address: int = I2C_ADDRESS
+    state: bool = False
+    switch_count: int = 0
+    history: List[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._reg_pointer = REG_STATE
+
+    def handle_write(self, data: bytes) -> None:
+        if not data:
+            return
+        self._reg_pointer = data[0]
+        if len(data) > 1 and self._reg_pointer == REG_STATE:
+            new_state = bool(data[1])
+            if new_state != self.state:
+                self.switch_count += 1
+            self.state = new_state
+            self.history.append(new_state)
+
+    def handle_read(self, count: int) -> bytes:
+        if self._reg_pointer == REG_STATE:
+            payload = bytes([1 if self.state else 0])
+        else:
+            payload = b"\x00"
+        return (payload * count)[:count]
+
+
+__all__ = ["Relay", "I2C_ADDRESS", "REG_STATE"]

@@ -1,0 +1,44 @@
+"""TMP36 analog temperature sensor (Analog Devices) [4].
+
+Transfer function from the datasheet: 750 mV at 25 °C with a 10 mV/°C
+slope, i.e. ``V = 0.5 + 0.01 * T`` — a 0 V..2 V swing over the rated
+-40 °C..+125 °C range.  The part needs no configuration at all, which
+is why its µPnP driver is the smallest in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.peripherals.base import Environment
+
+RANGE_C = (-40.0, 125.0)
+OFFSET_V = 0.5
+SLOPE_V_PER_C = 0.010
+
+
+@dataclass
+class Tmp36:
+    """Behavioural TMP36: environment temperature -> output voltage."""
+
+    env: Environment = field(default_factory=Environment)
+    #: Datasheet accuracy: ±1 °C typical at 25 °C, modelled as fixed offset.
+    offset_error_c: float = 0.0
+
+    def voltage_v(self) -> float:
+        """Output voltage for the current environment temperature."""
+        t = self.env.current_temperature_c() + self.offset_error_c
+        t = max(RANGE_C[0], min(RANGE_C[1], t))
+        return OFFSET_V + SLOPE_V_PER_C * t
+
+    @staticmethod
+    def millivolts_to_decidegrees(millivolts: int) -> int:
+        """The integer conversion a fixed-point driver performs.
+
+        Returns tenths of a degree Celsius: ``(mV - 500)``, since
+        1 mV = 0.1 °C for this part.
+        """
+        return millivolts - 500
+
+
+__all__ = ["Tmp36", "RANGE_C", "OFFSET_V", "SLOPE_V_PER_C"]

@@ -1,0 +1,494 @@
+"""The µPnP interaction protocol messages (§5.2, §5.3, Figures 10/11).
+
+All messages travel as UDP payloads to port 6030.  Every message starts
+with a 1-byte type and a 16-bit sequence number "used to associate
+request and reply messages"; the body layout is message-specific and
+deliberately compact.  The seventeen message types follow the paper's
+numbering exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Tuple, Type
+
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import Ipv6Address
+from repro.protocol.tlv import Tlv, decode_tlvs, encode_tlvs
+
+
+class ProtocolError(ValueError):
+    """Malformed µPnP message."""
+
+
+class MsgType(enum.IntEnum):
+    """Paper message numbering ((1)..(17) in Figures 10 and 11)."""
+
+    UNSOLICITED_ADVERTISEMENT = 1
+    PERIPHERAL_DISCOVERY = 2
+    SOLICITED_ADVERTISEMENT = 3
+    DRIVER_INSTALL_REQUEST = 4
+    DRIVER_UPLOAD = 5
+    DRIVER_DISCOVERY = 6
+    DRIVER_ADVERTISEMENT = 7
+    DRIVER_REMOVAL_REQUEST = 8
+    DRIVER_REMOVAL_ACK = 9
+    READ_REQUEST = 10
+    DATA = 11
+    STREAM_REQUEST = 12
+    STREAM_ESTABLISHED = 13
+    STREAM_DATA = 14
+    STREAM_CLOSED = 15
+    WRITE_REQUEST = 16
+    WRITE_ACK = 17
+
+
+_HEADER = struct.Struct(">BH")  # type, sequence
+
+
+def _pack_id(device_id: DeviceId | int) -> bytes:
+    return int(getattr(device_id, "value", device_id)).to_bytes(4, "big")
+
+
+def _unpack_id(data: bytes, offset: int) -> Tuple[DeviceId, int]:
+    if offset + 4 > len(data):
+        raise ProtocolError("truncated device id")
+    return DeviceId(int.from_bytes(data[offset : offset + 4], "big")), offset + 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base: every message has a type and a sequence number."""
+
+    seq: int
+
+    TYPE: ClassVar[MsgType]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seq <= 0xFFFF:
+            raise ProtocolError(f"sequence number out of range: {self.seq}")
+
+    # -------------------------------------------------------------- encoding
+    def encode(self) -> bytes:
+        return _HEADER.pack(self.TYPE.value, self.seq) + self._body()
+
+    def _body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        if body:
+            raise ProtocolError(f"{cls.__name__} carries no body")
+        return cls(seq)
+
+
+@dataclass(frozen=True)
+class PeripheralEntry:
+    """One advertised peripheral: id + TLV metadata (§5.2.1)."""
+
+    device_id: DeviceId
+    tlvs: Tuple[Tlv, ...] = ()
+
+    def encode(self) -> bytes:
+        return _pack_id(self.device_id) + encode_tlvs(list(self.tlvs))
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["PeripheralEntry", int]:
+        device_id, offset = _unpack_id(data, offset)
+        tlvs, offset = decode_tlvs(data, offset)
+        return cls(device_id, tuple(tlvs)), offset
+
+
+@dataclass(frozen=True)
+class _AdvertisementBase(Message):
+    """Shared layout of solicited/unsolicited advertisements."""
+
+    peripherals: Tuple[PeripheralEntry, ...] = ()
+
+    def _body(self) -> bytes:
+        if len(self.peripherals) > 0xFF:
+            raise ProtocolError("too many peripherals in advertisement")
+        out = bytearray([len(self.peripherals)])
+        for entry in self.peripherals:
+            out += entry.encode()
+        return bytes(out)
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        if not body:
+            raise ProtocolError("advertisement missing count")
+        count = body[0]
+        offset = 1
+        entries: List[PeripheralEntry] = []
+        for _ in range(count):
+            entry, offset = PeripheralEntry.decode(body, offset)
+            entries.append(entry)
+        if offset != len(body):
+            raise ProtocolError("trailing bytes in advertisement")
+        return cls(seq, tuple(entries))
+
+    def device_ids(self) -> List[DeviceId]:
+        return [entry.device_id for entry in self.peripherals]
+
+
+@dataclass(frozen=True)
+class UnsolicitedAdvertisement(_AdvertisementBase):
+    """(1) Sent to the all-clients group on every peripheral change."""
+
+    TYPE = MsgType.UNSOLICITED_ADVERTISEMENT
+
+
+@dataclass(frozen=True)
+class SolicitedAdvertisement(_AdvertisementBase):
+    """(3) Unicast response to a peripheral discovery."""
+
+    TYPE = MsgType.SOLICITED_ADVERTISEMENT
+
+
+@dataclass(frozen=True)
+class PeripheralDiscovery(Message):
+    """(2) Client -> multicast group of Things with the wanted peripheral."""
+
+    TYPE = MsgType.PERIPHERAL_DISCOVERY
+    device_id: DeviceId = DeviceId(0)
+    tlvs: Tuple[Tlv, ...] = ()
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + encode_tlvs(list(self.tlvs))
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        tlvs, offset = decode_tlvs(body, offset)
+        if offset != len(body):
+            raise ProtocolError("trailing bytes in discovery")
+        return cls(seq, device_id, tuple(tlvs))
+
+
+@dataclass(frozen=True)
+class _IdOnlyMessage(Message):
+    """Shared layout: body is exactly one device id."""
+
+    device_id: DeviceId = DeviceId(0)
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id)
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset != len(body):
+            raise ProtocolError(f"trailing bytes in {cls.__name__}")
+        return cls(seq, device_id)
+
+
+@dataclass(frozen=True)
+class DriverInstallRequest(_IdOnlyMessage):
+    """(4) Thing -> manager anycast: need a driver for this peripheral."""
+
+    TYPE = MsgType.DRIVER_INSTALL_REQUEST
+
+
+@dataclass(frozen=True)
+class DriverUpload(Message):
+    """(5) Manager -> Thing: the compiled driver image."""
+
+    TYPE = MsgType.DRIVER_UPLOAD
+    device_id: DeviceId = DeviceId(0)
+    image: bytes = b""
+
+    def _body(self) -> bytes:
+        if len(self.image) > 0xFFFF:
+            raise ProtocolError("driver image too large")
+        return _pack_id(self.device_id) + struct.pack(">H", len(self.image)) + self.image
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 2 > len(body):
+            raise ProtocolError("truncated driver length")
+        (length,) = struct.unpack_from(">H", body, offset)
+        offset += 2
+        image = body[offset : offset + length]
+        if len(image) != length or offset + length != len(body):
+            raise ProtocolError("truncated driver image")
+        return cls(seq, device_id, bytes(image))
+
+
+@dataclass(frozen=True)
+class DriverDiscovery(Message):
+    """(6) Manager -> Thing: which drivers do you have installed?"""
+
+    TYPE = MsgType.DRIVER_DISCOVERY
+
+
+@dataclass(frozen=True)
+class DriverAdvertisement(Message):
+    """(7) Thing -> manager: the set of locally installed drivers."""
+
+    TYPE = MsgType.DRIVER_ADVERTISEMENT
+    device_ids: Tuple[DeviceId, ...] = ()
+
+    def _body(self) -> bytes:
+        if len(self.device_ids) > 0xFF:
+            raise ProtocolError("too many drivers")
+        out = bytearray([len(self.device_ids)])
+        for device_id in self.device_ids:
+            out += _pack_id(device_id)
+        return bytes(out)
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        if not body:
+            raise ProtocolError("driver advertisement missing count")
+        count = body[0]
+        offset = 1
+        ids: List[DeviceId] = []
+        for _ in range(count):
+            device_id, offset = _unpack_id(body, offset)
+            ids.append(device_id)
+        if offset != len(body):
+            raise ProtocolError("trailing bytes in driver advertisement")
+        return cls(seq, tuple(ids))
+
+
+@dataclass(frozen=True)
+class DriverRemovalRequest(_IdOnlyMessage):
+    """(8) Manager -> Thing: remove the driver for this peripheral."""
+
+    TYPE = MsgType.DRIVER_REMOVAL_REQUEST
+
+
+@dataclass(frozen=True)
+class DriverRemovalAck(Message):
+    """(9) Thing -> manager: removal done (status 0) or failed."""
+
+    TYPE = MsgType.DRIVER_REMOVAL_ACK
+    device_id: DeviceId = DeviceId(0)
+    status: int = 0
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + bytes([self.status & 0xFF])
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 1 != len(body):
+            raise ProtocolError("bad removal ack body")
+        return cls(seq, device_id, body[offset])
+
+
+@dataclass(frozen=True)
+class ReadRequest(_IdOnlyMessage):
+    """(10) Client -> Thing unicast: read one value."""
+
+    TYPE = MsgType.READ_REQUEST
+
+
+@dataclass(frozen=True)
+class _DataMessage(Message):
+    """Shared layout for (11) data and (14) stream data."""
+
+    device_id: DeviceId = DeviceId(0)
+    payload: bytes = b""
+    is_array: bool = False
+
+    def _body(self) -> bytes:
+        if len(self.payload) > 0xFF:
+            raise ProtocolError("data payload too large")
+        flags = 0x01 if self.is_array else 0x00
+        return (
+            _pack_id(self.device_id)
+            + bytes([flags, len(self.payload)])
+            + self.payload
+        )
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 2 > len(body):
+            raise ProtocolError("truncated data header")
+        flags = body[offset]
+        length = body[offset + 1]
+        offset += 2
+        payload = body[offset : offset + length]
+        if len(payload) != length or offset + length != len(body):
+            raise ProtocolError("truncated data payload")
+        return cls(seq, device_id, bytes(payload), bool(flags & 0x01))
+
+    def scalar_value(self) -> int:
+        """Interpret the payload as the VM's 32-bit signed scalar."""
+        return int.from_bytes(self.payload, "big", signed=True)
+
+
+@dataclass(frozen=True)
+class Data(_DataMessage):
+    """(11) Thing -> client: reply to a read request."""
+
+    TYPE = MsgType.DATA
+
+
+@dataclass(frozen=True)
+class StreamRequest(Message):
+    """(12) Client -> Thing: subscribe to a continuous value stream."""
+
+    TYPE = MsgType.STREAM_REQUEST
+    device_id: DeviceId = DeviceId(0)
+    interval_ms: int = 0  # 0 = Thing's default sampling interval
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + struct.pack(">H", self.interval_ms)
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 2 != len(body):
+            raise ProtocolError("bad stream request body")
+        (interval_ms,) = struct.unpack_from(">H", body, offset)
+        return cls(seq, device_id, interval_ms)
+
+
+@dataclass(frozen=True)
+class StreamEstablished(Message):
+    """(13) Thing -> client: join this group to receive the stream."""
+
+    TYPE = MsgType.STREAM_ESTABLISHED
+    device_id: DeviceId = DeviceId(0)
+    group: Ipv6Address = Ipv6Address(0)
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + self.group.packed()
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 16 != len(body):
+            raise ProtocolError("bad stream established body")
+        return cls(seq, device_id, Ipv6Address.from_bytes(body[offset:]))
+
+
+@dataclass(frozen=True)
+class StreamData(_DataMessage):
+    """(14) Thing -> stream group: one sampled value."""
+
+    TYPE = MsgType.STREAM_DATA
+
+
+@dataclass(frozen=True)
+class StreamClosed(_IdOnlyMessage):
+    """(15) Thing -> stream group: the stream has ended."""
+
+    TYPE = MsgType.STREAM_CLOSED
+
+
+@dataclass(frozen=True)
+class WriteRequest(Message):
+    """(16) Client -> Thing: write a value to an actuator."""
+
+    TYPE = MsgType.WRITE_REQUEST
+    device_id: DeviceId = DeviceId(0)
+    value: int = 0
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + struct.pack(">i", self.value)
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 4 != len(body):
+            raise ProtocolError("bad write request body")
+        (value,) = struct.unpack_from(">i", body, offset)
+        return cls(seq, device_id, value)
+
+
+@dataclass(frozen=True)
+class WriteAck(Message):
+    """(17) Thing -> client: the new value is established."""
+
+    TYPE = MsgType.WRITE_ACK
+    device_id: DeviceId = DeviceId(0)
+    status: int = 0
+
+    def _body(self) -> bytes:
+        return _pack_id(self.device_id) + bytes([self.status & 0xFF])
+
+    @classmethod
+    def _parse(cls, seq: int, body: bytes) -> "Message":
+        device_id, offset = _unpack_id(body, 0)
+        if offset + 1 != len(body):
+            raise ProtocolError("bad write ack body")
+        return cls(seq, device_id, body[offset])
+
+
+_MESSAGE_CLASSES: Dict[MsgType, Type[Message]] = {
+    MsgType.UNSOLICITED_ADVERTISEMENT: UnsolicitedAdvertisement,
+    MsgType.PERIPHERAL_DISCOVERY: PeripheralDiscovery,
+    MsgType.SOLICITED_ADVERTISEMENT: SolicitedAdvertisement,
+    MsgType.DRIVER_INSTALL_REQUEST: DriverInstallRequest,
+    MsgType.DRIVER_UPLOAD: DriverUpload,
+    MsgType.DRIVER_DISCOVERY: DriverDiscovery,
+    MsgType.DRIVER_ADVERTISEMENT: DriverAdvertisement,
+    MsgType.DRIVER_REMOVAL_REQUEST: DriverRemovalRequest,
+    MsgType.DRIVER_REMOVAL_ACK: DriverRemovalAck,
+    MsgType.READ_REQUEST: ReadRequest,
+    MsgType.DATA: Data,
+    MsgType.STREAM_REQUEST: StreamRequest,
+    MsgType.STREAM_ESTABLISHED: StreamEstablished,
+    MsgType.STREAM_DATA: StreamData,
+    MsgType.STREAM_CLOSED: StreamClosed,
+    MsgType.WRITE_REQUEST: WriteRequest,
+    MsgType.WRITE_ACK: WriteAck,
+}
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a µPnP protocol message from a UDP payload."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError("message shorter than header")
+    type_value, seq = _HEADER.unpack_from(data)
+    try:
+        msg_type = MsgType(type_value)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {type_value}") from None
+    return _MESSAGE_CLASSES[msg_type]._parse(seq, data[_HEADER.size :])
+
+
+class SequenceCounter:
+    """Wrapping 16-bit sequence number source (one per entity)."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start & 0xFFFF
+
+    def next(self) -> int:
+        value = self._next
+        self._next = (self._next + 1) & 0xFFFF
+        return value
+
+
+__all__ = [
+    "MsgType",
+    "Message",
+    "ProtocolError",
+    "PeripheralEntry",
+    "UnsolicitedAdvertisement",
+    "SolicitedAdvertisement",
+    "PeripheralDiscovery",
+    "DriverInstallRequest",
+    "DriverUpload",
+    "DriverDiscovery",
+    "DriverAdvertisement",
+    "DriverRemovalRequest",
+    "DriverRemovalAck",
+    "ReadRequest",
+    "Data",
+    "StreamRequest",
+    "StreamEstablished",
+    "StreamData",
+    "StreamClosed",
+    "WriteRequest",
+    "WriteAck",
+    "decode_message",
+    "SequenceCounter",
+]

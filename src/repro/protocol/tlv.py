@@ -1,0 +1,101 @@
+"""Type-Length-Value tuples used by the µPnP protocol (§5.2.1).
+
+Advertisements and discovery messages carry "a set of type-length-value
+(TLV) encoded tuples containing extra information about each
+peripheral".  Encoding: 1-byte type, 1-byte length, value bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class TlvError(ValueError):
+    """Malformed TLV stream."""
+
+
+class TlvType(enum.IntEnum):
+    """Well-known TLV types for peripheral metadata."""
+
+    LABEL = 0x01          # UTF-8 human-readable peripheral name
+    BUS = 0x02            # 1 byte: interconnect (BusKind ordinal)
+    CHANNEL = 0x03        # 1 byte: hardware channel on the Thing
+    UNITS = 0x04          # UTF-8 measurement units
+    DRIVER_VERSION = 0x05  # 1 byte
+    VENDOR = 0x06         # UTF-8
+
+
+@dataclass(frozen=True)
+class Tlv:
+    """One type-length-value tuple."""
+
+    type: int
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.type <= 0xFF:
+            raise TlvError(f"TLV type out of range: {self.type}")
+        if len(self.value) > 0xFF:
+            raise TlvError(f"TLV value too long: {len(self.value)} bytes")
+
+    def encode(self) -> bytes:
+        return bytes([self.type, len(self.value)]) + self.value
+
+    @classmethod
+    def text(cls, tlv_type: int, text: str) -> "Tlv":
+        return cls(tlv_type, text.encode("utf-8"))
+
+    @classmethod
+    def byte(cls, tlv_type: int, value: int) -> "Tlv":
+        return cls(tlv_type, bytes([value & 0xFF]))
+
+    def as_text(self) -> str:
+        return self.value.decode("utf-8")
+
+    def as_byte(self) -> int:
+        if len(self.value) != 1:
+            raise TlvError("TLV value is not a single byte")
+        return self.value[0]
+
+
+def encode_tlvs(tlvs: Tuple[Tlv, ...] | List[Tlv]) -> bytes:
+    """Count byte followed by each tuple."""
+    if len(tlvs) > 0xFF:
+        raise TlvError("too many TLVs")
+    out = bytearray([len(tlvs)])
+    for tlv in tlvs:
+        out += tlv.encode()
+    return bytes(out)
+
+
+def decode_tlvs(data: bytes, offset: int = 0) -> Tuple[List[Tlv], int]:
+    """Parse a counted TLV block; returns (tlvs, next offset)."""
+    if offset >= len(data):
+        raise TlvError("missing TLV count")
+    count = data[offset]
+    offset += 1
+    tlvs: List[Tlv] = []
+    for _ in range(count):
+        if offset + 2 > len(data):
+            raise TlvError("truncated TLV header")
+        tlv_type = data[offset]
+        length = data[offset + 1]
+        offset += 2
+        if offset + length > len(data):
+            raise TlvError("truncated TLV value")
+        tlvs.append(Tlv(tlv_type, bytes(data[offset : offset + length])))
+        offset += length
+    return tlvs, offset
+
+
+def find(tlvs: List[Tlv], tlv_type: int) -> Tlv | None:
+    """First TLV of *tlv_type*, or None."""
+    for tlv in tlvs:
+        if tlv.type == tlv_type:
+            return tlv
+    return None
+
+
+__all__ = ["Tlv", "TlvType", "TlvError", "encode_tlvs", "decode_tlvs", "find"]

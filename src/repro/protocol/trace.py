@@ -1,0 +1,123 @@
+"""Protocol flow tracing: regenerate Figures 10 and 11 from live runs.
+
+Attaches to a :class:`~repro.net.network.Network` and records every
+µPnP message entering the network with the paper's message numbering,
+addressing kind (unicast / multicast / anycast) and timing — the
+machine-checkable form of the sequence diagrams in Figures 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.ipv6 import Ipv6Address
+from repro.net.multicast import parse_group, parse_location_group
+from repro.net.network import Network
+from repro.net.packets import UdpDatagram
+from repro.protocol.messages import Message, MsgType, ProtocolError, decode_message
+
+#: Figure 10/11 captions for each message number.
+CAPTIONS = {
+    MsgType.UNSOLICITED_ADVERTISEMENT: "Unsolicited peripheral advertisement",
+    MsgType.PERIPHERAL_DISCOVERY: "Peripheral discovery",
+    MsgType.SOLICITED_ADVERTISEMENT: "Solicited peripheral advertisement",
+    MsgType.DRIVER_INSTALL_REQUEST: "Driver installation request",
+    MsgType.DRIVER_UPLOAD: "Driver upload",
+    MsgType.DRIVER_DISCOVERY: "Driver discovery",
+    MsgType.DRIVER_ADVERTISEMENT: "Driver advertisement",
+    MsgType.DRIVER_REMOVAL_REQUEST: "Driver removal request",
+    MsgType.DRIVER_REMOVAL_ACK: "Driver removal ack",
+    MsgType.READ_REQUEST: "Read",
+    MsgType.DATA: "Data",
+    MsgType.STREAM_REQUEST: "Stream",
+    MsgType.STREAM_ESTABLISHED: "Established",
+    MsgType.STREAM_DATA: "Data (stream)",
+    MsgType.STREAM_CLOSED: "Closed",
+    MsgType.WRITE_REQUEST: "Write",
+    MsgType.WRITE_ACK: "Ack",
+}
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    """One protocol message observed on the network."""
+
+    time_s: float
+    src: Ipv6Address
+    dst: Ipv6Address
+    message: Message
+
+    @property
+    def msg_type(self) -> MsgType:
+        return self.message.TYPE
+
+    @property
+    def number(self) -> int:
+        """The paper's (1)..(17) numbering."""
+        return int(self.message.TYPE)
+
+    @property
+    def addressing(self) -> str:
+        if self.dst.is_multicast:
+            if parse_location_group(self.dst) is not None:
+                return "multicast/zone"
+            info = parse_group(self.dst)
+            if info is not None and info.is_all_clients:
+                return "multicast/all-clients"
+            if info is not None:
+                return "multicast/peripheral"
+            return "multicast"
+        return "unicast"
+
+    def render(self) -> str:
+        caption = CAPTIONS.get(self.msg_type, self.msg_type.name)
+        return (f"[{self.time_s * 1e3:9.2f} ms] ({self.number:>2}) "
+                f"{caption:36s} {self.src} -> {self.dst} "
+                f"[{self.addressing}] seq={self.message.seq}")
+
+
+class ProtocolTracer:
+    """Records the µPnP message flow on a network."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self.messages: List[TracedMessage] = []
+        network.add_monitor(self._observe)
+
+    def _observe(self, src_id: int, datagram: UdpDatagram) -> None:
+        del src_id
+        try:
+            message = decode_message(datagram.payload)
+        except ProtocolError:
+            return  # non-µPnP traffic stays out of the trace
+        self.messages.append(
+            TracedMessage(
+                time_s=self._network.sim.now_s,
+                src=datagram.src,
+                dst=datagram.dst,
+                message=message,
+            )
+        )
+
+    # ---------------------------------------------------------------- queries
+    def numbers(self) -> List[int]:
+        """The observed message-number sequence, e.g. [1, 2, 3, ...]."""
+        return [traced.number for traced in self.messages]
+
+    def of_type(self, msg_type: MsgType) -> List[TracedMessage]:
+        return [t for t in self.messages if t.msg_type is msg_type]
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+    def render(self, *, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+            lines.append("=" * len(title))
+        lines.extend(traced.render() for traced in self.messages)
+        return "\n".join(lines) if lines else "(no messages)"
+
+
+__all__ = ["ProtocolTracer", "TracedMessage", "CAPTIONS"]

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (kernel, RNG streams, statistics)."""
+
+from repro.sim.kernel import (
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    EventHandle,
+    SimulationError,
+    Simulator,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Summary, percentile, summarize
+
+__all__ = [
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "ns_from_ms",
+    "ns_from_s",
+    "ns_from_us",
+    "RngRegistry",
+    "Summary",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,208 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every timed subsystem in the reproduction (hardware identification pulses,
+VM instruction retirement, radio frames, protocol timers) runs on top of
+this kernel.  Time is kept in integer nanoseconds so that runs are exactly
+reproducible: two events scheduled for the same instant fire in the order
+they were scheduled (FIFO tie-break via a monotonically increasing
+sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+class SimulationError(Exception):
+    """Raised on kernel misuse (negative delays, running a finished sim)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ns: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time_ns(self) -> int:
+        return self._event.time_ns
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5 * NS_PER_MS, lambda: fired.append(sim.now_ns))
+    >>> sim.run()
+    >>> fired == [5 * NS_PER_MS]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+        self._seq = 0
+        self._queue: list[_ScheduledEvent] = []
+        self._running = False
+        self._trace_hooks: list[Callable[[int, str], None]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_us(self) -> float:
+        return self._now_ns / NS_PER_US
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ns / NS_PER_MS
+
+    @property
+    def now_s(self) -> float:
+        return self._now_ns / NS_PER_S
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay_ns: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule *callback* to run ``delay_ns`` nanoseconds from now."""
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.schedule_at(self._now_ns + delay_ns, callback, name=name)
+
+    def schedule_at(
+        self,
+        time_ns: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule *callback* at absolute simulation time ``time_ns``."""
+        time_ns = int(time_ns)
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule in the past: {time_ns} < {self._now_ns}"
+            )
+        event = _ScheduledEvent(time_ns, self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None], *, name: str = "") -> EventHandle:
+        """Schedule *callback* at the current instant (after pending events
+        already scheduled for this instant)."""
+        return self.schedule(0, callback, name=name)
+
+    # ---------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            for hook in self._trace_hooks:
+                hook(event.time_ns, event.name)
+            event.callback()
+            return True
+        return False
+
+    def run(self, *, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains.  Returns events executed."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def run_until(self, time_ns: int, *, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps <= ``time_ns``; advance clock to it.
+
+        Events scheduled exactly at ``time_ns`` do fire.
+        """
+        time_ns = int(time_ns)
+        if time_ns < self._now_ns:
+            raise SimulationError("run_until target is in the past")
+        count = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time_ns > time_ns:
+                break
+            self.step()
+            count += 1
+            if max_events is not None and count >= max_events:
+                return count
+        self._now_ns = max(self._now_ns, time_ns)
+        return count
+
+    def run_for(self, duration_ns: int, *, max_events: Optional[int] = None) -> int:
+        """Run for ``duration_ns`` of simulated time from now."""
+        return self.run_until(self._now_ns + int(duration_ns), max_events=max_events)
+
+    # ----------------------------------------------------------------- extras
+    def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Register a hook called (time_ns, event_name) before each event."""
+        self._trace_hooks.append(hook)
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def drain(self, names: Iterable[str] = ()) -> None:
+        """Cancel every queued event (optionally only those matching *names*)."""
+        names = set(names)
+        for event in self._queue:
+            if not names or event.name in names:
+                event.cancelled = True
+
+
+def ns_from_us(us: float) -> int:
+    """Convert microseconds (float) to integer nanoseconds."""
+    return int(round(us * NS_PER_US))
+
+
+def ns_from_ms(ms: float) -> int:
+    """Convert milliseconds (float) to integer nanoseconds."""
+    return int(round(ms * NS_PER_MS))
+
+
+def ns_from_s(s: float) -> int:
+    """Convert seconds (float) to integer nanoseconds."""
+    return int(round(s * NS_PER_S))

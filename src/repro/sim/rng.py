@@ -1,0 +1,49 @@
+"""Named, independently-seeded random streams.
+
+Every stochastic model in the reproduction (component tolerances, CSMA
+backoff, sensor noise, packet loss) draws from its own named stream so
+that changing one model never perturbs the randomness seen by another —
+a prerequisite for meaningful A/B experiments on a simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """Factory for deterministic per-purpose :class:`random.Random` streams.
+
+    >>> reg = RngRegistry(seed=42)
+    >>> a1 = reg.stream("csma").random()
+    >>> b1 = reg.stream("noise").random()
+    >>> reg2 = RngRegistry(seed=42)
+    >>> reg2.stream("csma").random() == a1
+    True
+    >>> reg2.stream("noise").random() == b1
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. one per simulated node)."""
+        digest = hashlib.sha256(f"{self._seed}/fork:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,54 @@
+"""Small statistics helpers used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / standard deviation / extrema of a sample."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"n={self.n} mean={self.mean:.4g} sd={self.stdev:.4g}"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; sample (n-1) standard deviation."""
+    data = list(values)
+    if not data:
+        raise ValueError("summarize() requires at least one value")
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in data) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(n=n, mean=mean, stdev=math.sqrt(var),
+                   minimum=min(data), maximum=max(data))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile() requires at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac

@@ -1,0 +1,39 @@
+"""The µPnP execution environment (Section 4.2 of the paper).
+
+Virtual machine, event router, native interconnect bindings, driver
+manager and peripheral controller.
+"""
+
+from repro.vm.cost import DEFAULT_COST, VmCostProfile
+from repro.vm.driver_manager import DriverManager, DriverManagerError
+from repro.vm.machine import (
+    DriverInstance,
+    ExecutionResult,
+    ReturnValue,
+    VirtualMachine,
+    VmTrap,
+)
+from repro.vm.peripheral_controller import (
+    IdentificationOutcome,
+    PeripheralController,
+)
+from repro.vm.router import CallbackDelivery, EventRouter, RouterStats
+from repro.vm.runtime import DriverRuntime
+
+__all__ = [
+    "DEFAULT_COST",
+    "VmCostProfile",
+    "DriverManager",
+    "DriverManagerError",
+    "DriverInstance",
+    "ExecutionResult",
+    "ReturnValue",
+    "VirtualMachine",
+    "VmTrap",
+    "IdentificationOutcome",
+    "PeripheralController",
+    "CallbackDelivery",
+    "EventRouter",
+    "RouterStats",
+    "DriverRuntime",
+]

@@ -1,0 +1,153 @@
+"""Cycle-cost model of the µPnP virtual machine (§6.2 calibration).
+
+The paper measures, on the 16 MHz ATMega128RFA1:
+
+* average bytecode instruction execution: **39.7 µs** (= 635 cycles),
+* ``push()`` stack operation: **11.1 µs** (= 178 cycles),
+* ``pop()`` stack operation: **8.9 µs** (= 142 cycles),
+* event-router dispatch: **77.79 µs** per event (= 1245 cycles).
+
+Those magnitudes are what an interpreted 32-bit stack machine costs on
+an 8-bit AVR: every stack cell is 4 bytes moved one byte at a time, and
+arithmetic is a library call.  The per-opcode table below embeds the
+measured push/pop costs in the stack opcodes and distributes the rest
+so the *unweighted ISA average* matches the paper's 39.7 µs figure —
+``tests/unit/test_vm_cost.py`` pins this calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.dsl.bytecode import Op
+from repro.mcu.spec import ATMEGA128RFA1, McuSpec
+
+#: Cycles to push one 32-bit value onto the operand stack (11.1 µs).
+PUSH_CYCLES = 178
+#: Cycles to pop one 32-bit value off the operand stack (8.9 µs).
+POP_CYCLES = 142
+#: Cycles for the event router to dispatch one event (77.79 µs).
+ROUTER_DISPATCH_CYCLES = 1245
+
+#: Fetch/decode overhead common to every instruction.
+DISPATCH_CYCLES = 197
+
+_DEFAULT_TABLE: Dict[Op, int] = {
+    # Constants / stack: dominated by the push cost.
+    Op.NOP: DISPATCH_CYCLES,
+    Op.PUSH0: DISPATCH_CYCLES + PUSH_CYCLES,
+    Op.PUSH1: DISPATCH_CYCLES + PUSH_CYCLES,
+    Op.PUSH8: DISPATCH_CYCLES + PUSH_CYCLES + 12,
+    Op.PUSH16: DISPATCH_CYCLES + PUSH_CYCLES + 20,
+    Op.PUSH32: DISPATCH_CYCLES + PUSH_CYCLES + 36,
+    Op.DUP: DISPATCH_CYCLES + POP_CYCLES + 2 * PUSH_CYCLES,
+    Op.DROP: DISPATCH_CYCLES + POP_CYCLES,
+    # Variable access: push/pop plus RAM addressing.
+    Op.LDG: DISPATCH_CYCLES + PUSH_CYCLES + 40,
+    Op.STG: DISPATCH_CYCLES + POP_CYCLES + 56,
+    Op.LDE: DISPATCH_CYCLES + POP_CYCLES + PUSH_CYCLES + 90,
+    Op.STE: DISPATCH_CYCLES + 2 * POP_CYCLES + 100,
+    Op.LDP: DISPATCH_CYCLES + PUSH_CYCLES + 30,
+    Op.INCG: DISPATCH_CYCLES + PUSH_CYCLES + 110,
+    Op.DECG: DISPATCH_CYCLES + PUSH_CYCLES + 110,
+    Op.LDEI: DISPATCH_CYCLES + PUSH_CYCLES + 70,
+    Op.LDG0: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG1: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG2: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG3: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG4: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG5: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG6: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.LDG7: DISPATCH_CYCLES + PUSH_CYCLES + 16,
+    Op.STG0: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG1: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG2: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG3: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG4: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG5: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG6: DISPATCH_CYCLES + POP_CYCLES + 24,
+    Op.STG7: DISPATCH_CYCLES + POP_CYCLES + 24,
+    # 32-bit arithmetic in software on an 8-bit core.
+    Op.ADD: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 60,
+    Op.SUB: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 60,
+    Op.MUL: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 920,
+    Op.DIV: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 2700,
+    Op.MOD: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 2700,
+    Op.NEG: DISPATCH_CYCLES + POP_CYCLES + PUSH_CYCLES + 40,
+    Op.BAND: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 32,
+    Op.BOR: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 32,
+    Op.BXOR: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 32,
+    Op.BINV: DISPATCH_CYCLES + POP_CYCLES + PUSH_CYCLES + 24,
+    Op.SHL: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 560,
+    Op.SHR: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 560,
+    # Comparisons.
+    Op.EQ: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 48,
+    Op.NE: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 48,
+    Op.LT: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 56,
+    Op.LE: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 56,
+    Op.GT: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 56,
+    Op.GE: DISPATCH_CYCLES + 2 * POP_CYCLES + PUSH_CYCLES + 56,
+    Op.LNOT: DISPATCH_CYCLES + POP_CYCLES + PUSH_CYCLES + 24,
+    # Control flow.
+    Op.JMP: DISPATCH_CYCLES + 60,
+    Op.JZ: DISPATCH_CYCLES + POP_CYCLES + 70,
+    Op.JNZ: DISPATCH_CYCLES + POP_CYCLES + 70,
+    Op.JMPS: DISPATCH_CYCLES + 52,
+    Op.JZS: DISPATCH_CYCLES + POP_CYCLES + 62,
+    Op.JNZS: DISPATCH_CYCLES + POP_CYCLES + 62,
+    # Events and completion.
+    Op.SIG: DISPATCH_CYCLES + ROUTER_DISPATCH_CYCLES,
+    Op.RETV: DISPATCH_CYCLES + POP_CYCLES + 380,
+    Op.RETA: DISPATCH_CYCLES + 870,
+    Op.RET: DISPATCH_CYCLES + 30,
+}
+
+
+@dataclass(frozen=True)
+class VmCostProfile:
+    """Per-opcode cycle costs plus derived timing helpers."""
+
+    mcu: McuSpec = ATMEGA128RFA1
+    table: Mapping[Op, int] = field(default_factory=lambda: dict(_DEFAULT_TABLE))
+    router_dispatch_cycles: int = ROUTER_DISPATCH_CYCLES
+
+    def cycles(self, op: Op) -> int:
+        try:
+            return self.table[op]
+        except KeyError:
+            raise KeyError(f"no cost defined for opcode {op.name}") from None
+
+    def seconds(self, op: Op) -> float:
+        return self.mcu.cycles_to_seconds(self.cycles(op))
+
+    def average_instruction_cycles(self) -> float:
+        """Unweighted mean over the whole ISA (the paper's §6.2 metric)."""
+        return sum(self.table[op] for op in Op) / len(Op)
+
+    def average_instruction_seconds(self) -> float:
+        return self.mcu.cycles_to_seconds(self.average_instruction_cycles())
+
+    @property
+    def push_seconds(self) -> float:
+        return self.mcu.cycles_to_seconds(PUSH_CYCLES)
+
+    @property
+    def pop_seconds(self) -> float:
+        return self.mcu.cycles_to_seconds(POP_CYCLES)
+
+    @property
+    def router_dispatch_seconds(self) -> float:
+        return self.mcu.cycles_to_seconds(self.router_dispatch_cycles)
+
+
+DEFAULT_COST = VmCostProfile()
+
+__all__ = [
+    "VmCostProfile",
+    "DEFAULT_COST",
+    "PUSH_CYCLES",
+    "POP_CYCLES",
+    "ROUTER_DISPATCH_CYCLES",
+    "DISPATCH_CYCLES",
+]

@@ -1,0 +1,157 @@
+"""The µPnP driver manager (§4.2).
+
+Keeps track of which driver images are installed on the Thing (the
+local driver repository), which drivers are *active* on which channel,
+and brokers read/write requests from the network stack to the matching
+driver runtime.  Remote deployment/removal (§5.3) goes through
+:meth:`install` / :meth:`remove`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dsl.bytecode import DriverImage
+from repro.hw.device_id import DeviceId
+from repro.sim.kernel import Simulator
+from repro.vm.machine import VirtualMachine
+from repro.vm.native.bindings import binding_for
+from repro.vm.router import EventRouter
+from repro.vm.runtime import DriverRuntime, RequestCallback
+
+
+class DriverManagerError(Exception):
+    """Raised for invalid install/activate/remove operations."""
+
+
+@dataclass
+class ManagerStats:
+    installs: int = 0
+    removals: int = 0
+    activations: int = 0
+    deactivations: int = 0
+    failed_requests: int = 0
+
+
+class DriverManager:
+    """Driver repository + active-driver registry for one µPnP Thing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: EventRouter,
+        vm: Optional[VirtualMachine] = None,
+    ) -> None:
+        self._sim = sim
+        self._router = router
+        self._vm = vm or VirtualMachine(router.profile)
+        self._repo: Dict[int, DriverImage] = {}
+        self._active: Dict[int, DriverRuntime] = {}  # channel -> runtime
+        self.stats = ManagerStats()
+
+    # ------------------------------------------------------------ repository
+    def install(self, image: DriverImage) -> None:
+        """Add (or update) a driver image in the local repository."""
+        self._repo[image.device_id] = image
+        self.stats.installs += 1
+
+    def remove(self, device_id: DeviceId | int) -> bool:
+        """Drop a driver from the repository; deactivates it first."""
+        key = int(getattr(device_id, "value", device_id))
+        for channel, runtime in list(self._active.items()):
+            if runtime.instance.image.device_id == key:
+                self.deactivate(channel)
+        if key in self._repo:
+            del self._repo[key]
+            self.stats.removals += 1
+            return True
+        return False
+
+    def has_driver(self, device_id: DeviceId | int) -> bool:
+        key = int(getattr(device_id, "value", device_id))
+        return key in self._repo
+
+    def image_for(self, device_id: DeviceId | int) -> Optional[DriverImage]:
+        key = int(getattr(device_id, "value", device_id))
+        return self._repo.get(key)
+
+    def installed_ids(self) -> List[int]:
+        """Device ids with locally available drivers (driver advertisement)."""
+        return sorted(self._repo)
+
+    # ------------------------------------------------------------ activation
+    def activate(self, channel: int, device_id: DeviceId | int, bus) -> DriverRuntime:
+        """Instantiate and start the driver for *device_id* on *channel*.
+
+        *bus* is the channel's multiplexed interconnect; bindings are
+        created for each library the driver imports that matches it.
+        """
+        key = int(getattr(device_id, "value", device_id))
+        image = self._repo.get(key)
+        if image is None:
+            raise DriverManagerError(f"no driver installed for {key:#010x}")
+        if channel in self._active:
+            raise DriverManagerError(f"channel {channel} already has an active driver")
+        bindings = {}
+        for lib_id in image.imports:
+            binding = binding_for(lib_id, self._sim, bus)
+            if binding is not None:
+                bindings[lib_id] = binding
+        runtime = DriverRuntime(
+            image, bindings, self._router, self._vm,
+            label=f"ch{channel}:{key:08x}",
+        )
+        self._active[channel] = runtime
+        runtime.activate()
+        self.stats.activations += 1
+        return runtime
+
+    def deactivate(self, channel: int) -> bool:
+        """Stop the driver on *channel* (fires ``destroy``)."""
+        runtime = self._active.pop(channel, None)
+        if runtime is None:
+            return False
+        runtime.deactivate()
+        self.stats.deactivations += 1
+        return True
+
+    # -------------------------------------------------------------- queries
+    def runtime_at(self, channel: int) -> Optional[DriverRuntime]:
+        return self._active.get(channel)
+
+    def runtime_for(self, device_id: DeviceId | int) -> Optional[DriverRuntime]:
+        key = int(getattr(device_id, "value", device_id))
+        for runtime in self._active.values():
+            if runtime.instance.image.device_id == key:
+                return runtime
+        return None
+
+    def active_channels(self) -> Dict[int, int]:
+        """channel -> device id for every active driver."""
+        return {
+            channel: runtime.instance.image.device_id
+            for channel, runtime in self._active.items()
+        }
+
+    # -------------------------------------------------------------- requests
+    def read(self, device_id: DeviceId | int, callback: RequestCallback) -> bool:
+        """Read one value from the peripheral driven for *device_id*."""
+        runtime = self.runtime_for(device_id)
+        if runtime is None or not runtime.request_read(callback):
+            self.stats.failed_requests += 1
+            return False
+        return True
+
+    def write(
+        self, device_id: DeviceId | int, value: int, callback: RequestCallback
+    ) -> bool:
+        """Write *value* to the peripheral driven for *device_id*."""
+        runtime = self.runtime_for(device_id)
+        if runtime is None or not runtime.request_write(value, callback):
+            self.stats.failed_requests += 1
+            return False
+        return True
+
+
+__all__ = ["DriverManager", "DriverManagerError", "ManagerStats"]

@@ -1,0 +1,19 @@
+"""Native interconnect library bindings for the µPnP runtime."""
+
+from repro.vm.native.bindings import (
+    AdcBinding,
+    I2cBinding,
+    NativeBinding,
+    SpiBinding,
+    UartBinding,
+    binding_for,
+)
+
+__all__ = [
+    "AdcBinding",
+    "I2cBinding",
+    "NativeBinding",
+    "SpiBinding",
+    "UartBinding",
+    "binding_for",
+]

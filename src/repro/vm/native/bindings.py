@@ -1,0 +1,323 @@
+"""Native interconnect library bindings (§4.2).
+
+Each binding implements one native library's commands against the
+simulated bus of the channel the driver is plugged into, and posts the
+library's completion/error events back to the owning driver through the
+event router — the split-phase pattern of §4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dsl.symbols import (
+    ADC_LIB,
+    I2C_LIB,
+    NativeLibSpec,
+    SPI_LIB,
+    UART_LIB,
+)
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.base import (
+    BusError,
+    InvalidConfigurationError,
+    NackError,
+)
+from repro.interconnect.i2c import I2cBus
+from repro.interconnect.spi import SpiBus
+from repro.interconnect.uart import (
+    PARITY_EVEN,
+    PARITY_NONE,
+    PARITY_ODD,
+    UartBus,
+    UartConfig,
+)
+from repro.sim.kernel import Simulator, ns_from_s
+
+#: Approximate cycles for a native command body (register pokes + setup).
+COMMAND_CYCLES = 500
+
+
+class NativeBinding:
+    """Base class: command dispatch by index + event emission."""
+
+    spec: NativeLibSpec
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._owner = None  # DriverRuntime once claimed
+
+    # ---------------------------------------------------------------- wiring
+    def claim(self, runtime) -> None:
+        self._owner = runtime
+
+    def release(self) -> None:
+        self._on_release()
+        self._owner = None
+
+    def _on_release(self) -> None:
+        """Subclasses restore bus defaults here."""
+
+    # -------------------------------------------------------------- dispatch
+    def invoke(self, command_index: int, args: Tuple[int, ...]) -> int:
+        """Run command *command_index* (order of spec.commands)."""
+        names = list(self.spec.commands)
+        if not 0 <= command_index < len(names):
+            self.emit_error("invalidConfiguration")
+            return COMMAND_CYCLES
+        handler = getattr(self, f"_cmd_{names[command_index]}")
+        handler(*args)
+        return COMMAND_CYCLES
+
+    # -------------------------------------------------------------- emission
+    def emit(self, name: str, args: Tuple[int, ...] = (), *, delay_s: float = 0.0) -> None:
+        """Post event *name* to the owning driver, optionally later."""
+        owner = self._owner
+        if owner is None:
+            return
+
+        def _post() -> None:
+            if self._owner is owner:  # driver may have been unplugged meanwhile
+                owner.post_event(name, args)
+
+        if delay_s > 0:
+            self._sim.schedule(ns_from_s(delay_s), _post, name=f"{self.spec.name}-emit")
+        else:
+            _post()
+
+    def emit_error(self, name: str, *, delay_s: float = 0.0) -> None:
+        owner = self._owner
+        if owner is None:
+            return
+
+        def _post() -> None:
+            if self._owner is owner:
+                owner.post_event(name, error=True)
+
+        if delay_s > 0:
+            self._sim.schedule(ns_from_s(delay_s), _post, name=f"{self.spec.name}-err")
+        else:
+            _post()
+
+
+class UartBinding(NativeBinding):
+    """``import uart;`` — asynchronous serial."""
+
+    spec = UART_LIB
+    _PARITIES = {0: PARITY_NONE, 1: PARITY_EVEN, 2: PARITY_ODD}
+
+    def __init__(self, sim: Simulator, bus: UartBus) -> None:
+        super().__init__(sim)
+        self._bus = bus
+        self._reading = False
+
+    def _on_release(self) -> None:
+        self._bus.set_rx_handler(None)
+        self._reading = False
+        self._bus.reset()
+
+    def _cmd_init(self, baud: int, parity: int, stop: int, data: int) -> None:
+        parity_code = self._PARITIES.get(parity)
+        if parity_code is None:
+            self.emit_error("invalidConfiguration")
+            return
+        try:
+            self._bus.configure(UartConfig(baud, parity_code, stop, data))
+        except InvalidConfigurationError:
+            self.emit_error("invalidConfiguration")
+
+    def _cmd_reset(self) -> None:
+        self._on_release()
+
+    def _cmd_read(self) -> None:
+        if self._reading:
+            return  # re-arming is idempotent (Listing 1 never stops reading)
+        try:
+            self._bus.set_rx_handler(lambda byte: self.emit("newdata", (byte,)))
+        except BusError:
+            self.emit_error("uartInUse")
+            return
+        self._reading = True
+
+    def _cmd_stop(self) -> None:
+        self._bus.set_rx_handler(None)
+        self._reading = False
+
+    def _cmd_write(self, byte: int) -> None:
+        try:
+            transaction = self._bus.host_write(bytes([byte & 0xFF]))
+        except BusError:
+            self.emit_error("timeOut")
+            return
+        self.emit("writeDone", delay_s=transaction.duration_s)
+
+
+class AdcBinding(NativeBinding):
+    """``import adc;`` — single-ended analog sampling."""
+
+    spec = ADC_LIB
+
+    def __init__(self, sim: Simulator, bus: AdcBus) -> None:
+        super().__init__(sim)
+        self._bus = bus
+        self._busy = False
+
+    def _on_release(self) -> None:
+        self._busy = False
+
+    def _cmd_init(self, resolution: int, vref_mv: int) -> None:
+        try:
+            self._bus.configure(resolution, vref_mv / 1000.0)
+        except InvalidConfigurationError:
+            self.emit_error("invalidConfiguration")
+
+    def _cmd_reset(self) -> None:
+        self._busy = False
+
+    def _cmd_read(self) -> None:
+        if self._busy:
+            self.emit_error("busInUse")
+            return
+        try:
+            transaction = self._bus.sample()
+        except BusError:
+            self.emit_error("timeOut")
+            return
+        self._busy = True
+
+        def _complete() -> None:
+            self._busy = False
+            self.emit("data", (transaction.value,))
+
+        self._sim.schedule(ns_from_s(transaction.duration_s), _complete, name="adc-done")
+
+
+class I2cBinding(NativeBinding):
+    """``import i2c;`` — two-wire master transfers."""
+
+    spec = I2C_LIB
+
+    def __init__(self, sim: Simulator, bus: I2cBus) -> None:
+        super().__init__(sim)
+        self._bus = bus
+        self._busy = False
+
+    def _on_release(self) -> None:
+        self._busy = False
+
+    def _cmd_init(self, frequency: int) -> None:
+        try:
+            self._bus.configure(frequency)
+        except InvalidConfigurationError:
+            self.emit_error("invalidConfiguration")
+
+    def _cmd_reset(self) -> None:
+        self._busy = False
+
+    def _begin(self) -> bool:
+        if self._busy:
+            self.emit_error("busInUse")
+            return False
+        self._busy = True
+        return True
+
+    def _finish(self, delay_s: float, action) -> None:
+        def _complete() -> None:
+            self._busy = False
+            action()
+
+        self._sim.schedule(ns_from_s(delay_s), _complete, name="i2c-done")
+
+    def _cmd_write1(self, address: int, b0: int) -> None:
+        self._write(address, bytes([b0 & 0xFF]))
+
+    def _cmd_write2(self, address: int, b0: int, b1: int) -> None:
+        self._write(address, bytes([b0 & 0xFF, b1 & 0xFF]))
+
+    def _write(self, address: int, payload: bytes) -> None:
+        if not self._begin():
+            return
+        try:
+            transaction = self._bus.write(address & 0x7F, payload)
+        except NackError:
+            self._busy = False
+            self.emit_error("nack")
+            return
+        except BusError:
+            self._busy = False
+            self.emit_error("timeOut")
+            return
+        self._finish(transaction.duration_s, lambda: self.emit("writeDone"))
+
+    def _cmd_read(self, address: int, count: int) -> None:
+        if not self._begin():
+            return
+        try:
+            transaction = self._bus.read(address & 0x7F, count)
+        except NackError:
+            self._busy = False
+            self.emit_error("nack")
+            return
+        except BusError:
+            self._busy = False
+            self.emit_error("timeOut")
+            return
+        data = transaction.value
+
+        def _deliver() -> None:
+            for byte in data:
+                self.emit("newdata", (byte,))
+            self.emit("readDone")
+
+        self._finish(transaction.duration_s, _deliver)
+
+
+class SpiBinding(NativeBinding):
+    """``import spi;`` — full-duplex byte transfers."""
+
+    spec = SPI_LIB
+
+    def __init__(self, sim: Simulator, bus: SpiBus) -> None:
+        super().__init__(sim)
+        self._bus = bus
+
+    def _cmd_init(self, clock: int, mode: int) -> None:
+        try:
+            self._bus.configure(clock, mode)
+        except InvalidConfigurationError:
+            self.emit_error("invalidConfiguration")
+
+    def _cmd_reset(self) -> None:
+        pass
+
+    def _cmd_transfer(self, byte: int) -> None:
+        try:
+            transaction = self._bus.transfer(bytes([byte & 0xFF]))
+        except BusError:
+            self.emit_error("busInUse")
+            return
+        self.emit("data", (transaction.value[0],), delay_s=transaction.duration_s)
+
+
+def binding_for(lib_id: int, sim: Simulator, bus) -> Optional[NativeBinding]:
+    """Construct the binding for *lib_id* over *bus* (None if mismatched)."""
+    if lib_id == UART_LIB.lib_id and isinstance(bus, UartBus):
+        return UartBinding(sim, bus)
+    if lib_id == ADC_LIB.lib_id and isinstance(bus, AdcBus):
+        return AdcBinding(sim, bus)
+    if lib_id == I2C_LIB.lib_id and isinstance(bus, I2cBus):
+        return I2cBinding(sim, bus)
+    if lib_id == SPI_LIB.lib_id and isinstance(bus, SpiBus):
+        return SpiBinding(sim, bus)
+    return None
+
+
+__all__ = [
+    "NativeBinding",
+    "UartBinding",
+    "AdcBinding",
+    "I2cBinding",
+    "SpiBinding",
+    "binding_for",
+    "COMMAND_CYCLES",
+]

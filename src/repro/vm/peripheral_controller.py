@@ -1,0 +1,126 @@
+"""The peripheral controller (§4.2): identification software routine.
+
+Interfaces with the µPnP control board.  A connect/disconnect interrupt
+powers the board and starts an identification round; when the round's
+electrical duration has elapsed on the simulator, the decoded channel
+map is diffed against the previous state and the outcome (peripherals
+added/removed) is reported to the Thing.  Interrupts arriving while a
+round is in flight coalesce into one follow-up round — exactly the
+debouncing a real implementation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hw.control_board import ControlBoard, IdentificationReport
+from repro.hw.device_id import DeviceId
+from repro.hw.power import EnergyMeter
+from repro.mcu.spec import ATMEGA128RFA1, McuSpec
+from repro.sim.kernel import Simulator, ns_from_s
+
+
+@dataclass(frozen=True)
+class IdentificationOutcome:
+    """Result of one identification round, as seen by the Thing."""
+
+    report: IdentificationReport
+    connected: Dict[int, DeviceId]           # current channel -> id map
+    added: Dict[int, DeviceId]               # newly appeared
+    removed: Dict[int, DeviceId]             # newly gone
+    completed_at_s: float
+
+
+ChangeListener = Callable[[IdentificationOutcome], None]
+
+
+class PeripheralController:
+    """Runs the hardware identification algorithm on plug interrupts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        board: ControlBoard,
+        *,
+        mcu: McuSpec = ATMEGA128RFA1,
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        self._sim = sim
+        self._board = board
+        self._mcu = mcu
+        self._meter = meter
+        self._known: Dict[int, DeviceId] = {}
+        self._listeners: List[ChangeListener] = []
+        self._identifying = False
+        self._rerun_needed = False
+        self.rounds_run = 0
+        board.on_interrupt(self._on_interrupt)
+
+    @property
+    def board(self) -> ControlBoard:
+        return self._board
+
+    def known_peripherals(self) -> Dict[int, DeviceId]:
+        """Last identified channel -> device id map."""
+        return dict(self._known)
+
+    def on_change(self, listener: ChangeListener) -> None:
+        """Register for identification outcomes (the Thing subscribes)."""
+        self._listeners.append(listener)
+
+    # -------------------------------------------------------------- interrupt
+    def _on_interrupt(self, channel: int, connected: bool) -> None:
+        del channel, connected  # the round re-scans every channel anyway
+        if self._identifying:
+            self._rerun_needed = True
+            return
+        self._start_round()
+
+    def trigger(self) -> None:
+        """Force an identification round (e.g. at boot)."""
+        if self._identifying:
+            self._rerun_needed = True
+        else:
+            self._start_round()
+
+    def _start_round(self) -> None:
+        self._identifying = True
+        report = self._board.run_identification()
+        self.rounds_run += 1
+        if self._meter is not None:
+            # The MCU busy-waits on the identification GPIOs for the round.
+            self._meter.add_draw("mcu", self._mcu.active_draw, report.total_seconds)
+        self._sim.schedule(
+            ns_from_s(report.total_seconds),
+            lambda: self._finish_round(report),
+            name="identification-done",
+        )
+
+    def _finish_round(self, report: IdentificationReport) -> None:
+        current = report.identified()
+        added = {
+            ch: dev for ch, dev in current.items()
+            if self._known.get(ch) != dev
+        }
+        removed = {
+            ch: dev for ch, dev in self._known.items()
+            if current.get(ch) != dev
+        }
+        self._known = current
+        outcome = IdentificationOutcome(
+            report=report,
+            connected=dict(current),
+            added=added,
+            removed=removed,
+            completed_at_s=self._sim.now_s,
+        )
+        for listener in list(self._listeners):
+            listener(outcome)
+        self._identifying = False
+        if self._rerun_needed:
+            self._rerun_needed = False
+            self._start_round()
+
+
+__all__ = ["PeripheralController", "IdentificationOutcome", "ChangeListener"]

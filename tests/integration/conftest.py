@@ -1,0 +1,54 @@
+"""Shared fixtures: a one-hop µPnP world with Thing, Client and Manager."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import populate_registry
+from repro.net.network import Network
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class World:
+    sim: Simulator
+    network: Network
+    registry: Registry
+    thing: Thing
+    client: Client
+    manager: Manager
+    rng: RngRegistry
+
+    def run(self, seconds: float) -> None:
+        self.sim.run_for(ns_from_s(seconds))
+
+
+def build_world(seed: int = 42, extra_things: int = 0) -> World:
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    thing = Thing(sim, network, 0, rng=rng.fork("thing0"))
+    client = Client(sim, network, 1)
+    manager = Manager(sim, network, 2, registry)
+    nodes = [0, 1, 2]
+    for index in range(extra_things):
+        node_id = 3 + index
+        Thing(sim, network, node_id, rng=rng.fork(f"thing{node_id}"))
+        nodes.append(node_id)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            network.connect(a, b)
+    network.build_dodag(2)
+    return World(sim, network, registry, thing, client, manager, rng)
+
+
+@pytest.fixture
+def world() -> World:
+    return build_world()

@@ -1,0 +1,79 @@
+"""Integration: manager-driven driver discovery, removal, proactive push."""
+
+import pytest
+
+from repro.drivers.catalog import BMP180_ID, TMP36_ID, make_peripheral_board
+
+
+def test_manager_discovers_installed_drivers(world):
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    inventories = []
+    world.manager.discover_drivers(world.thing.address, inventories.append)
+    world.run(2.0)
+    assert inventories == [[TMP36_ID]]
+    assert world.manager.known_inventories[world.thing.address.value] == (TMP36_ID,)
+
+
+def test_manager_removes_driver_remotely(world):
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    statuses = []
+    world.manager.remove_driver(world.thing.address, TMP36_ID, statuses.append)
+    world.run(2.0)
+    assert statuses == [0]
+    assert not world.thing.drivers.has_driver(TMP36_ID)
+    assert world.thing.drivers.active_channels() == {}
+
+
+def test_removing_absent_driver_reports_failure(world):
+    world.run(0.5)
+    statuses = []
+    world.manager.remove_driver(world.thing.address, BMP180_ID, statuses.append)
+    world.run(2.0)
+    assert statuses == [1]
+
+
+def test_proactive_push_preinstalls_driver(world):
+    assert world.manager.push_driver(world.thing.address, TMP36_ID)
+    world.run(2.0)
+    assert world.thing.drivers.has_driver(TMP36_ID)
+    # A later plug then needs no install request at all.
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    assert world.manager.stats.install_requests == 0
+    assert world.thing.drivers.active_channels() != {}
+
+
+def test_push_unknown_driver_fails(world):
+    from repro.hw.device_id import DeviceId
+
+    assert not world.manager.push_driver(world.thing.address, DeviceId(0x999))
+
+
+def test_discover_drivers_timeout_for_dead_thing(world):
+    from repro.net.ipv6 import Ipv6Address
+
+    results = []
+    world.manager.discover_drivers(Ipv6Address.parse("2001:db8::99"),
+                                   results.append, timeout_s=0.5)
+    world.run(2.0)
+    assert results == [None]
+
+
+def test_anycast_reaches_nearest_manager_replica():
+    """Two manager replicas on one anycast address (§5, [3])."""
+    from tests.integration.conftest import build_world
+    from repro.core.manager import Manager
+
+    world = build_world(seed=5)
+    # Second replica, farther from the Thing (behind the client).
+    replica = Manager(world.sim, world.network, 9, world.registry)
+    world.network.connect(1, 9)
+    world.network.build_dodag(2)
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    # Only the nearest replica (node 2, one hop) serves the request.
+    assert world.manager.stats.install_requests == 1
+    assert replica.stats.install_requests == 0
+    assert world.thing.drivers.has_driver(TMP36_ID)

@@ -1,0 +1,131 @@
+"""Integration: the prioritized error-event path end to end (§4.1).
+
+Error events from native libraries must reach the driver's ``error``
+handlers ahead of queued regular events, and a driver responding to an
+error with ``signal this.destroy()`` must end up cleanly deconfigured.
+"""
+
+import pytest
+
+from repro.dsl.compiler import compile_source
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.uart import UartBus
+from repro.sim.kernel import Simulator
+from repro.vm.driver_manager import DriverManager
+from repro.vm.router import EventRouter
+
+BAD_CONFIG_DRIVER = """\
+import adc;
+
+int32_t state;
+
+event init():
+    state = 1;
+    # 12-bit resolution is not supported: the native library raises
+    # invalidConfiguration as a prioritized error event.
+    signal adc.init(12, ADC_REF_VDD);
+
+event destroy():
+    state = 0;
+    signal adc.reset();
+
+event read():
+    signal adc.read();
+
+event data(uint16_t counts):
+    return counts;
+
+error invalidConfiguration():
+    signal this.destroy();
+"""
+
+ERROR_PRIORITY_DRIVER = """\
+import adc;
+
+uint8_t log[8];
+uint8_t idx;
+
+event init():
+    idx = 0;
+
+event destroy():
+    idx = 0;
+
+event tick():
+    log[idx++] = 1;
+
+error invalidConfiguration():
+    log[idx++] = 9;
+"""
+
+
+class Volts:
+    def voltage_v(self):
+        return 1.0
+
+
+def runtime_for(source, bus=None):
+    sim = Simulator()
+    router = EventRouter(sim)
+    manager = DriverManager(sim, router)
+    image = compile_source(source, device_id=0x42)
+    manager.install(image)
+    if bus is None:
+        bus = AdcBus()
+        bus.attach(Volts())
+    runtime = manager.activate(0, 0x42, bus)
+    return sim, router, manager, runtime
+
+
+def test_invalid_configuration_triggers_destroy_chain():
+    sim, router, manager, runtime = runtime_for(BAD_CONFIG_DRIVER)
+    sim.run()
+    # init set state=1, the error handler signalled destroy -> state=0.
+    assert runtime.instance.scalar(0) == 0
+    assert router.stats.errors_dispatched == 1
+    assert not router.stats.traps
+
+
+def test_error_events_overtake_queued_regular_events():
+    sim, router, manager, runtime = runtime_for(ERROR_PRIORITY_DRIVER)
+    sim.run()
+    # Queue three regular ticks, then an error, before draining.
+    for _ in range(3):
+        runtime.post_event("tick")
+    runtime.post_event("invalidConfiguration", error=True)
+    sim.run()
+    log_slot = next(
+        i for i, s in enumerate(runtime.instance.image.slots) if s.is_array
+    )
+    entries = [v for v in runtime.instance.array(log_slot) if v]
+    # The error (9) was dispatched before the queued ticks (1).
+    assert entries[0] == 9
+    assert entries[1:] == [1, 1, 1]
+
+
+def test_uart_timeout_error_resets_driver_state():
+    from repro.drivers.catalog import CATALOG
+
+    sim = Simulator()
+    router = EventRouter(sim)
+    manager = DriverManager(sim, router)
+    image = compile_source(CATALOG["id20la"].dsl_source(), 0xBE03AF0E)
+    manager.install(image)
+    bus = UartBus(sim)
+    runtime = manager.activate(0, 0xBE03AF0E, bus)
+    sim.run()
+    pending = []
+    runtime.request_read(pending.append)
+    sim.run()
+    # Listing 1's timeOut handler: busy = false; idx = 0.
+    runtime.post_event("timeOut", error=True)
+    sim.run()
+    busy_slot = next(
+        i for i, s in enumerate(image.slots)
+        if not s.is_array and s.type.name == "bool"
+    )
+    assert runtime.instance.scalar(busy_slot) == 0
+    # The driver accepts a new read afterwards (busy was cleared).
+    assert runtime.request_read(pending.append)
+    sim.run()
+    assert not router.stats.traps

@@ -1,0 +1,128 @@
+"""Integration tests for the §9 extensions in the full system."""
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import TMP36_ID, make_peripheral_board, populate_registry
+from repro.net.network import Network
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+
+def zoned_world(seed=31):
+    """Two Things with TMP36s in different zones + one client."""
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    kitchen = Thing(sim, net, 0, rng=rng.fork("kitchen"), zone=1)
+    garage = Thing(sim, net, 1, rng=rng.fork("garage"), zone=2)
+    client = Client(sim, net, 2)
+    manager = Manager(sim, net, 3, registry)
+    for a in range(4):
+        for b in range(a + 1, 4):
+            net.connect(a, b)
+    net.build_dodag(3)
+    kitchen.plug(make_peripheral_board("tmp36", rng=rng.stream("m1")))
+    garage.plug(make_peripheral_board("tmp36", rng=rng.stream("m2")))
+    sim.run_for(ns_from_s(4.0))
+    return sim, net, kitchen, garage, client
+
+
+def test_zoned_things_join_location_groups():
+    sim, net, kitchen, garage, client = zoned_world()
+    from repro.net.multicast import location_group
+
+    assert net.group_members(location_group(net.prefix48, TMP36_ID, 1)) == {0}
+    assert net.group_members(location_group(net.prefix48, TMP36_ID, 2)) == {1}
+    assert kitchen.events_of("location-group-joined")
+
+
+def test_zone_scoped_discovery_filters_by_location():
+    sim, net, kitchen, garage, client = zoned_world()
+    found_kitchen, found_garage, found_all = [], [], []
+    client.discover(TMP36_ID, lambda r: found_kitchen.extend(r), zone=1)
+    sim.run_for(ns_from_s(2.0))
+    client.discover(TMP36_ID, lambda r: found_garage.extend(r), zone=2)
+    sim.run_for(ns_from_s(2.0))
+    client.discover(TMP36_ID, lambda r: found_all.extend(r))
+    sim.run_for(ns_from_s(2.0))
+    assert [f.thing for f in found_kitchen] == [kitchen.address]
+    assert [f.thing for f in found_garage] == [garage.address]
+    assert {f.thing for f in found_all} == {kitchen.address, garage.address}
+
+
+def test_discovery_in_empty_zone_finds_nothing():
+    sim, net, kitchen, garage, client = zoned_world()
+    found = []
+    client.discover(TMP36_ID, lambda r: found.extend(r), zone=7)
+    sim.run_for(ns_from_s(2.0))
+    assert found == []
+
+
+def test_unplug_leaves_location_group():
+    sim, net, kitchen, garage, client = zoned_world()
+    from repro.net.multicast import location_group
+
+    kitchen.unplug(0)
+    sim.run_for(ns_from_s(2.0))
+    assert net.group_members(location_group(net.prefix48, TMP36_ID, 1)) == set()
+
+
+def test_structured_id_end_to_end():
+    """A vendor allocates a structured id; the whole pipeline runs on it."""
+    from repro.core.namespace import DeviceClass, VendorRegistry
+    from repro.hw.connector import BusKind
+    from repro.hw.peripheral_board import PeripheralBoard
+    from repro.peripherals.tmp36 import Tmp36
+
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(8))
+    rng = RngRegistry(8)
+    registry = Registry()
+    vendors = VendorRegistry()
+    vendor = vendors.register_vendor("Example Sensing Co.")
+    structured = vendors.allocate_product(vendor, DeviceClass.TEMPERATURE)
+    device_id = structured.to_device_id()
+
+    record = registry.request_address(
+        name="SM-300", organization="Example Sensing Co.",
+        email="dev@example.test", url="https://example.test/sm300",
+        bus=BusKind.ADC, preferred_id=device_id,
+    )
+    registry.upload_driver(device_id, (
+        "import adc;\nbool busy;\n"
+        "event init():\n"
+        "    signal adc.init(ADC_RES_10BIT, ADC_REF_VDD);\n"
+        "    busy = false;\n"
+        "event destroy():\n    signal adc.reset();\n"
+        "event read():\n"
+        "    if !busy:\n        busy = true;\n        signal adc.read();\n"
+        "event data(uint16_t counts):\n"
+        "    busy = false;\n"
+        "    return counts * 3300 / 1023 - 500;\n"
+    ))
+
+    thing = Thing(sim, net, 0, rng=rng.fork("t"))
+    client = Client(sim, net, 1)
+    manager = Manager(sim, net, 2, registry)
+    for a, b in ((0, 1), (0, 2), (1, 2)):
+        net.connect(a, b)
+    net.build_dodag(2)
+
+    from repro.peripherals.base import Environment
+
+    board = PeripheralBoard.manufacture(
+        device_id, BusKind.ADC, device=Tmp36(env=Environment(temperature_c=19.0)),
+        rng=rng.stream("mfg"),
+    )
+    thing.plug(board)
+    sim.run_for(ns_from_s(3.0))
+    values = []
+    client.read(thing.address, device_id, values.append)
+    sim.run_for(ns_from_s(2.0))
+    assert values[0].value == pytest.approx(190, abs=6)

@@ -1,0 +1,98 @@
+"""Integration: hardware-level fault injection at the identification layer.
+
+Also documents a real limitation of passive-component identification:
+with the default guard band (0.5 bins, i.e. guards tiling the whole
+log-space), a resistor drifted by exactly one E96 step decodes
+*silently* to the neighbouring identifier — detection of mis-stuffed
+boards requires either out-of-range faults or a tighter guard.
+"""
+
+import random
+
+import pytest
+
+from repro.hw.components import Resistor
+from repro.hw.connector import BusKind
+from repro.hw.control_board import ControlBoard
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import CodecParams, DEFAULT_CODEC, resistor_set_for_id
+from repro.hw.peripheral_board import PeripheralBoard
+
+DEVICE = DeviceId(0x11223344)
+
+
+def board_with_fault(factor: float, *, stage: int = 2, seed: int = 3):
+    """A board whose stage-*stage* resistor is scaled by *factor*."""
+    rng = random.Random(seed)
+    nominal = resistor_set_for_id(DEVICE)
+    parts = []
+    for index, ohms in enumerate(nominal):
+        if index == stage:
+            broken = ohms * factor
+            parts.append(Resistor(broken, tolerance=0.99, actual_ohms=broken))
+        else:
+            parts.append(Resistor.manufacture(ohms, 0.005, rng))
+    return PeripheralBoard(DEVICE, BusKind.ADC, tuple(parts), label="damaged")
+
+
+def test_out_of_range_fault_is_rejected_not_misidentified():
+    """A resistor hundreds of times out of band exceeds the last bin's guard: the
+    decoder rejects the channel instead of inventing an identifier."""
+    board = ControlBoard(rng=random.Random(1))
+    channel = board.connect(board_with_fault(500.0))
+    report = board.run_identification()
+    assert channel not in report.identified()
+    assert channel in report.errors()
+    assert "bins away" in report.errors()[channel]
+
+
+def test_one_bin_drift_silently_misidentifies():
+    """Documented limitation: with guards tiling the space, a one-E96-step
+    drift decodes to the adjacent byte — a plausible-but-wrong id."""
+    board = ControlBoard(rng=random.Random(2))
+    one_step = (DEFAULT_CODEC.resistance_for_byte(0x34)
+                / DEFAULT_CODEC.resistance_for_byte(0x33))
+    channel = board.connect(board_with_fault(one_step))
+    report = board.run_identification()
+    decoded = report.identified().get(channel)
+    assert decoded is not None
+    assert decoded != DEVICE
+    assert decoded == DeviceId(0x11223444)  # third byte off by one
+
+
+def test_tighter_guard_detects_the_same_drift():
+    """Halving the guard creates a dead zone mid-bin: a half-step drift
+    is then *rejected* instead of silently accepted."""
+    params = CodecParams(guard_fraction=0.25)
+    board = ControlBoard(params=params, rng=random.Random(3))
+    half_step = (DEFAULT_CODEC.resistance_for_byte(0x34)
+                 / DEFAULT_CODEC.resistance_for_byte(0x33)) ** 0.5
+    channel = board.connect(board_with_fault(half_step))
+    report = board.run_identification()
+    assert channel not in report.identified()
+    assert channel in report.errors()
+
+
+def test_thing_ignores_rejected_peripheral():
+    from tests.integration.conftest import build_world
+
+    world = build_world(seed=17)
+    world.thing.board.connect(board_with_fault(500.0))
+    world.run(3.0)
+    assert world.thing.events_of("identification")
+    assert not world.thing.events_of("identified")
+    assert world.thing.drivers.active_channels() == {}
+
+
+def test_healthy_neighbor_unaffected_by_damaged_board():
+    from repro.drivers.catalog import TMP36_ID, make_peripheral_board
+    from tests.integration.conftest import build_world
+
+    world = build_world(seed=18)
+    world.thing.board.connect(board_with_fault(500.0), channel=1)
+    world.thing.plug(make_peripheral_board("tmp36",
+                                           rng=world.rng.stream("m")),
+                     channel=0)
+    world.run(3.0)
+    assert world.thing.connected_peripherals() == {0: TMP36_ID}
+    assert list(world.thing.drivers.active_channels()) == [0]

@@ -1,0 +1,131 @@
+"""Integration: multi-hop topologies, packet loss and fault behaviour."""
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import TMP36_ID, make_peripheral_board, populate_registry
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.peripherals import Environment
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+
+def line_world(hops=3, loss=0.0, seed=11):
+    """manager(0) - relay nodes ... - thing(last); client hangs off root."""
+    sim = Simulator()
+    net = Network(sim, link=LinkModel(loss_probability=loss),
+                  rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    manager = Manager(sim, net, 0, registry)
+    client = Client(sim, net, 1)
+    net.connect(0, 1)
+    things = []
+    previous = 0
+    for index in range(hops):
+        node_id = 2 + index
+        things.append(Thing(sim, net, node_id, rng=rng.fork(f"t{node_id}")))
+        net.connect(previous, node_id)
+        previous = node_id
+    net.build_dodag(0)
+    return sim, net, registry, manager, client, things, rng
+
+
+def test_ota_install_across_multiple_hops():
+    sim, net, registry, manager, client, things, rng = line_world(hops=3)
+    far_thing = things[-1]  # 3 hops from the manager
+    far_thing.plug(make_peripheral_board("tmp36", rng=rng.stream("m")))
+    sim.run_for(ns_from_s(6.0))
+    assert far_thing.drivers.has_driver(TMP36_ID)
+    assert far_thing.events_of("driver-activated")
+
+
+def test_multihop_install_slower_than_one_hop():
+    def request_duration(hops):
+        sim, net, registry, manager, client, things, rng = line_world(hops=hops)
+        thing = things[-1]
+        thing.plug(make_peripheral_board("tmp36", rng=rng.stream("m")))
+        sim.run_for(ns_from_s(8.0))
+        requested = thing.events_of("driver-requested")[0].time_s
+        received = thing.events_of("driver-upload-received")[0].time_s
+        return received - requested
+
+    assert request_duration(3) > request_duration(1)
+
+
+def test_multicast_discovery_across_hops():
+    sim, net, registry, manager, client, things, rng = line_world(hops=3)
+    things[-1].plug(make_peripheral_board("tmp36", rng=rng.stream("m")))
+    sim.run_for(ns_from_s(6.0))
+    found = []
+    client.discover(TMP36_ID, lambda res: found.extend(res), timeout_s=2.0)
+    sim.run_for(ns_from_s(4.0))
+    assert [f.thing for f in found] == [things[-1].address]
+
+
+def test_advertisements_travel_down_the_tree_to_clients():
+    sim, net, registry, manager, client, things, rng = line_world(hops=2)
+    adverts = []
+    client.on_advertisement(lambda src, entries: adverts.append(src))
+    things[-1].plug(make_peripheral_board("tmp36", rng=rng.stream("m")))
+    sim.run_for(ns_from_s(6.0))
+    assert adverts == [things[-1].address]
+
+
+def test_total_packet_loss_driver_never_arrives():
+    sim, net, registry, manager, client, things, rng = line_world(
+        hops=1, loss=1.0
+    )
+    thing = things[0]
+    thing.plug(make_peripheral_board("tmp36", rng=rng.stream("m")))
+    sim.run_for(ns_from_s(5.0))
+    assert thing.events_of("driver-requested")  # the Thing tried
+    assert not thing.drivers.has_driver(TMP36_ID)
+    assert net.stats.frames_lost > 0
+
+
+def test_moderate_loss_read_eventually_times_out_or_succeeds():
+    sim, net, registry, manager, client, things, rng = line_world(
+        hops=1, loss=0.3, seed=13
+    )
+    thing = things[0]
+    env = Environment(temperature_c=20.0)
+    thing.plug(make_peripheral_board("tmp36", env, rng=rng.stream("m")))
+    sim.run_for(ns_from_s(8.0))
+    outcomes = []
+    for _ in range(5):
+        client.read(thing.address, TMP36_ID, outcomes.append, timeout_s=1.5)
+        sim.run_for(ns_from_s(2.0))
+    assert len(outcomes) == 5  # every request resolved: reply or timeout
+    successes = [o for o in outcomes if o is not None and o.ok]
+    if thing.drivers.has_driver(TMP36_ID):
+        assert successes  # when the driver made it, some reads succeed
+
+
+def test_corrupted_driver_image_rejected(world):
+    """A manager serving a corrupted image must not crash the Thing."""
+    from repro.protocol.messages import DriverUpload
+    from repro.net.packets import UPNP_PORT
+
+    world.run(0.2)
+    bad = DriverUpload(1, TMP36_ID, b"\xde\xad\xbe\xef" * 10)
+    world.manager.stack.sendto(world.thing.address, UPNP_PORT, bad.encode(),
+                               src_port=UPNP_PORT)
+    world.run(2.0)
+    assert world.thing.events_of("driver-rejected")
+    assert not world.thing.drivers.has_driver(TMP36_ID)
+
+
+def test_garbage_datagram_ignored(world):
+    from repro.net.packets import UPNP_PORT
+
+    world.run(0.2)
+    world.client.stack.sendto(world.thing.address, UPNP_PORT,
+                              b"\xff\x00garbage", src_port=UPNP_PORT)
+    world.run(1.0)
+    assert world.thing.events_of("bad-message")

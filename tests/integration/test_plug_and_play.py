@@ -1,0 +1,129 @@
+"""Integration: the full plug-and-play pipeline of the paper."""
+
+import pytest
+
+from repro.drivers.catalog import TMP36_ID, make_peripheral_board
+from repro.peripherals import Environment
+
+PIPELINE = (
+    "identification",
+    "identified",
+    "group-generated",
+    "group-joined",
+    "driver-requested",
+    "driver-upload-received",
+    "driver-installed",
+    "driver-activated",
+    "advertised",
+)
+
+
+def plug_tmp36(world, temperature=21.0):
+    env = Environment(temperature_c=temperature)
+    board = make_peripheral_board("tmp36", env, rng=world.rng.stream("mfg"))
+    channel = world.thing.plug(board)
+    return board, channel, env
+
+
+def test_pipeline_event_order(world):
+    plug_tmp36(world)
+    world.run(3.0)
+    kinds = [e.kind for e in world.thing.events]
+    assert kinds == list(PIPELINE)
+    times = [e.time_s for e in world.thing.events]
+    assert times == sorted(times)
+
+
+def test_identification_lands_in_paper_band(world):
+    plug_tmp36(world)
+    world.run(3.0)
+    report_ms = float(world.thing.events_of("identification")[0].detail[:-2])
+    assert 90 <= report_ms <= 330  # §6.1: the paper band is 220-300 ms
+
+
+def test_driver_comes_from_manager(world):
+    plug_tmp36(world)
+    world.run(3.0)
+    assert world.manager.stats.install_requests == 1
+    assert world.manager.stats.uploads == 1
+    assert world.thing.drivers.has_driver(TMP36_ID)
+
+
+def test_thing_joins_peripheral_group(world):
+    from repro.net.multicast import peripheral_group
+
+    plug_tmp36(world)
+    world.run(3.0)
+    group = peripheral_group(world.network.prefix48, TMP36_ID)
+    assert world.network.group_members(group) == {0}
+
+
+def test_client_sees_unsolicited_advertisement(world):
+    adverts = []
+    world.client.on_advertisement(lambda src, entries: adverts.append(entries))
+    plug_tmp36(world)
+    world.run(3.0)
+    assert len(adverts) == 1
+    assert adverts[0][0].device_id == TMP36_ID
+
+
+def test_replug_reuses_cached_driver(world):
+    _, channel, _ = plug_tmp36(world)
+    world.run(3.0)
+    world.thing.unplug(channel)
+    world.run(2.0)
+    requests_before = world.manager.stats.install_requests
+    plug_tmp36(world)
+    world.run(3.0)
+    # The driver is already in the local repository: no second request.
+    assert world.manager.stats.install_requests == requests_before
+    assert world.thing.events_of("driver-activated")
+
+
+def test_unplug_tears_down_and_advertises(world):
+    from repro.net.multicast import peripheral_group
+
+    adverts = []
+    world.client.on_advertisement(lambda src, entries: adverts.append(entries))
+    _, channel, _ = plug_tmp36(world)
+    world.run(3.0)
+    world.thing.unplug(channel)
+    world.run(2.0)
+    assert adverts[-1] == []  # departure advertised with an empty list
+    group = peripheral_group(world.network.prefix48, TMP36_ID)
+    assert world.network.group_members(group) == set()
+    assert world.thing.drivers.active_channels() == {}
+
+
+def test_three_peripherals_on_one_thing(world):
+    for kind in ("tmp36", "bmp180", "id20la"):
+        board = make_peripheral_board(kind, rng=world.rng.stream("mfg"))
+        world.thing.plug(board)
+    world.run(6.0)
+    assert len(world.thing.connected_peripherals()) == 3
+    assert len(world.thing.drivers.active_channels()) == 3
+    assert not world.thing.router.stats.traps
+
+
+def test_unknown_peripheral_without_driver_stays_pending(world):
+    from repro.hw.connector import BusKind
+    from repro.hw.device_id import DeviceId
+    from repro.hw.peripheral_board import PeripheralBoard
+
+    board = PeripheralBoard.manufacture(
+        DeviceId(0x71717171), BusKind.ADC, rng=world.rng.stream("mfg")
+    )
+    world.thing.plug(board)
+    world.run(3.0)
+    assert world.manager.stats.unknown_driver_requests == 1
+    assert world.thing.drivers.active_channels() == {}
+    assert not world.thing.events_of("driver-activated")
+
+
+def test_energy_is_metered_per_category(world):
+    plug_tmp36(world)
+    world.run(3.0)
+    categories = world.thing.meter.by_category()
+    assert categories["identification"] > 0
+    assert categories["mcu"] > 0
+    assert categories["net-cpu"] > 0

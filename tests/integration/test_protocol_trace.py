@@ -1,0 +1,81 @@
+"""Integration: the traced message flows match Figures 10 and 11."""
+
+import pytest
+
+from repro.drivers.catalog import RELAY_ID, TMP36_ID, make_peripheral_board
+from repro.protocol.messages import MsgType
+from repro.protocol.trace import ProtocolTracer
+
+
+def test_figure11_driver_management_flow(world):
+    """Plug-in drives messages (4) request, (5) upload, (1) advertisement."""
+    tracer = ProtocolTracer(world.network)
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    assert tracer.numbers() == [4, 5, 1]
+    request, upload, advert = tracer.messages
+    assert request.addressing == "unicast"         # to the manager anycast
+    assert upload.addressing == "unicast"
+    assert advert.addressing == "multicast/all-clients"
+    # Sequence numbers associate the request and its upload (§5.2).
+    assert upload.message.seq == request.message.seq
+
+
+def test_figure10_discovery_flow(world):
+    """Discovery: (2) multicast to the peripheral group, (3) unicast back."""
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    tracer = ProtocolTracer(world.network)
+    found = []
+    world.client.discover(TMP36_ID, found.extend)
+    world.run(2.0)
+    assert tracer.numbers() == [2, 3]
+    discovery, solicited = tracer.messages
+    assert discovery.addressing == "multicast/peripheral"
+    assert solicited.addressing == "unicast"
+    assert solicited.dst == world.client.address
+    assert solicited.message.seq == discovery.message.seq
+
+
+def test_figure11_read_and_write_flows(world):
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("a")))
+    world.thing.plug(make_peripheral_board("relay", rng=world.rng.stream("b")))
+    world.run(4.0)
+    tracer = ProtocolTracer(world.network)
+    world.client.read(world.thing.address, TMP36_ID, lambda r: None)
+    world.run(2.0)
+    world.client.write(world.thing.address, RELAY_ID, 1, lambda s: None)
+    world.run(2.0)
+    assert tracer.numbers() == [10, 11, 16, 17]
+    assert all(t.addressing == "unicast" for t in tracer.messages)
+
+
+def test_figure11_stream_flow(world):
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    tracer = ProtocolTracer(world.network)
+    handles = []
+    world.client.stream(world.thing.address, TMP36_ID, lambda s: None,
+                        interval_ms=1000, on_established=handles.append)
+    world.run(3.3)
+    world.thing.unplug(0)
+    world.run(2.0)
+    numbers = tracer.numbers()
+    # (12) stream request, (13) established, (14)xN data, ..., (15) closed.
+    assert numbers[0] == 12
+    assert numbers[1] == 13
+    assert numbers.count(14) >= 2
+    assert 15 in numbers
+    established = tracer.of_type(MsgType.STREAM_ESTABLISHED)[0]
+    data = tracer.of_type(MsgType.STREAM_DATA)[0]
+    assert data.dst == established.message.group  # data goes to the group
+
+
+def test_trace_render_is_readable(world):
+    tracer = ProtocolTracer(world.network)
+    world.thing.plug(make_peripheral_board("tmp36", rng=world.rng.stream("m")))
+    world.run(3.0)
+    text = tracer.render(title="Figure 11 flow")
+    assert "Driver installation request" in text
+    assert "Unsolicited peripheral advertisement" in text
+    assert "multicast/all-clients" in text

@@ -1,0 +1,256 @@
+"""Integration: discovery, read, write and stream over the network."""
+
+import pytest
+
+from repro.drivers.catalog import (
+    BMP180_ID,
+    HIH4030_ID,
+    ID20LA_ID,
+    RELAY_ID,
+    TMP36_ID,
+    make_peripheral_board,
+)
+from repro.hw.device_id import ALL_PERIPHERALS, DeviceId
+from repro.peripherals import Environment
+
+
+def plug(world, kind, env=None):
+    board = make_peripheral_board(kind, env, rng=world.rng.stream("mfg"))
+    world.thing.plug(board)
+    return board
+
+
+# ------------------------------------------------------------------ discovery
+def test_discovery_finds_matching_peripheral(world):
+    plug(world, "tmp36")
+    world.run(3.0)
+    found = []
+    world.client.discover(TMP36_ID, lambda res: found.extend(res))
+    world.run(2.0)
+    assert [f.device_id for f in found] == [TMP36_ID]
+    assert found[0].thing == world.thing.address
+
+
+def test_discovery_is_filtered_by_peripheral_type(world):
+    plug(world, "tmp36")
+    world.run(3.0)
+    found = []
+    # Nobody carries a BMP180, so its group has no members -> silence.
+    world.client.discover(BMP180_ID, lambda res: found.extend(res))
+    world.run(2.0)
+    assert found == []
+
+
+def test_discovery_of_all_peripherals_group(world):
+    plug(world, "tmp36")
+    plug(world, "bmp180")
+    world.run(4.0)
+    # Join the all-peripherals group on the Thing side is not part of the
+    # paper; discovery of ALL uses the reserved id against a known Thing.
+    found = []
+    world.client.discover(DeviceId(ALL_PERIPHERALS),
+                          lambda res: found.extend(res))
+    world.run(2.0)
+    # No Thing joined the reserved group, so multicast reaches nobody.
+    assert found == []
+
+
+def test_discovery_tlvs_carry_channel_and_label(world):
+    from repro.protocol.tlv import TlvType, find
+
+    plug(world, "tmp36")
+    world.run(3.0)
+    found = []
+    world.client.discover(TMP36_ID, lambda res: found.extend(res))
+    world.run(2.0)
+    tlvs = list(found[0].entry.tlvs)
+    assert find(tlvs, TlvType.CHANNEL) is not None
+    assert "TMP36" in find(tlvs, TlvType.LABEL).as_text()
+
+
+# ----------------------------------------------------------------- read/write
+def test_remote_read_returns_sensor_value(world):
+    env = Environment(temperature_c=30.0)
+    plug(world, "tmp36", env)
+    world.run(3.0)
+    results = []
+    world.client.read(world.thing.address, TMP36_ID, results.append)
+    world.run(2.0)
+    assert results[0].value == pytest.approx(300, abs=6)
+
+
+def test_remote_read_bmp180_full_pipeline(world):
+    env = Environment(temperature_c=21.0, pressure_pa=99_000.0)
+    plug(world, "bmp180", env)
+    world.run(3.0)
+    results = []
+    world.client.read(world.thing.address, BMP180_ID, results.append)
+    world.run(3.0)
+    assert results[0].value == pytest.approx(99_000, abs=10)
+
+
+def test_remote_read_humidity(world):
+    env = Environment(humidity_rh=62.0, temperature_c=25.0)
+    plug(world, "hih4030", env)
+    world.run(3.0)
+    results = []
+    world.client.read(world.thing.address, HIH4030_ID, results.append)
+    world.run(2.0)
+    assert results[0].value / 10 == pytest.approx(62.0, abs=1.5)
+
+
+def test_remote_read_rfid_array(world):
+    board = plug(world, "id20la")
+    world.run(3.0)
+    results = []
+    world.client.read(world.thing.address, ID20LA_ID, results.append,
+                      timeout_s=10.0)
+    world.run(0.5)
+    board.device.present_card("0123456789")
+    world.run(3.0)
+    assert results[0].is_array
+    assert bytes(results[0].payload)[:10].decode() == "0123456789"
+
+
+def test_read_unknown_device_fails_cleanly(world):
+    plug(world, "tmp36")
+    world.run(3.0)
+    results = []
+    world.client.read(world.thing.address, BMP180_ID, results.append)
+    world.run(2.0)
+    assert results[0] is not None and not results[0].ok
+
+
+def test_read_timeout_when_thing_unreachable(world):
+    from repro.net.ipv6 import Ipv6Address
+
+    results = []
+    world.client.read(Ipv6Address.parse("2001:db8::77"), TMP36_ID,
+                      results.append, timeout_s=0.5)
+    world.run(2.0)
+    assert results == [None]
+
+
+def test_remote_write_actuates_relay(world):
+    board = plug(world, "relay")
+    world.run(3.0)
+    acks = []
+    world.client.write(world.thing.address, RELAY_ID, 1, acks.append)
+    world.run(2.0)
+    assert acks == [0]
+    assert board.device.state
+    world.client.write(world.thing.address, RELAY_ID, 0, acks.append)
+    world.run(2.0)
+    assert acks == [0, 0]
+    assert not board.device.state
+
+
+def test_write_to_sensor_without_write_handler_nacks(world):
+    plug(world, "tmp36")
+    world.run(3.0)
+    acks = []
+    world.client.write(world.thing.address, TMP36_ID, 5, acks.append)
+    world.run(2.0)
+    assert acks == [1]  # status 1 = failed
+
+
+def test_relay_read_back(world):
+    plug(world, "relay")
+    world.run(3.0)
+    acks, values = [], []
+    world.client.write(world.thing.address, RELAY_ID, 1, acks.append)
+    world.run(2.0)
+    world.client.read(world.thing.address, RELAY_ID, values.append)
+    world.run(2.0)
+    assert values[0].value == 1
+
+
+# -------------------------------------------------------------------- streams
+def test_stream_lifecycle(world):
+    env = Environment(temperature_c=25.0)
+    plug(world, "tmp36", env)
+    world.run(3.0)
+    samples = []
+    handles = []
+    world.client.stream(
+        world.thing.address, TMP36_ID, samples.append,
+        interval_ms=1000, on_established=handles.append,
+    )
+    world.run(5.5)
+    assert handles and handles[0] is not None
+    assert 4 <= len(samples) <= 6
+    assert all(s.value == pytest.approx(250, abs=6) for s in samples)
+
+    handles[0].cancel()
+    world.run(1.0)
+    count = len(samples)
+    world.run(4.0)
+    assert len(samples) == count  # no samples after unsubscribe
+
+
+def test_stream_closed_when_peripheral_unplugged(world):
+    env = Environment(temperature_c=25.0)
+    board = plug(world, "tmp36", env)
+    world.run(3.0)
+    closed = []
+    samples = []
+    world.client.stream(world.thing.address, TMP36_ID, samples.append,
+                        interval_ms=1000, on_closed=lambda: closed.append(True))
+    world.run(3.5)
+    assert samples
+    world.thing.unplug(0)
+    world.run(3.0)
+    assert closed == [True]
+
+
+def test_stream_to_missing_peripheral_times_out(world):
+    plug(world, "tmp36")
+    world.run(3.0)
+    outcomes = []
+    world.client.stream(world.thing.address, BMP180_ID,
+                        lambda s: None, interval_ms=500,
+                        on_established=outcomes.append, timeout_s=1.0)
+    world.run(3.0)
+    assert outcomes == [None]
+
+
+def test_stream_refcounting_two_subscribers(world):
+    """Two clients share one stream; the Thing closes it only when the
+    last subscriber leaves (messages 12-15 refcount semantics)."""
+    from repro.core.client import Client
+
+    env = Environment(temperature_c=25.0)
+    plug(world, "tmp36", env)
+    world.run(3.0)
+    second = Client(world.sim, world.network, 9)
+    world.network.connect(9, 0)
+    world.network.connect(9, 2)
+    world.network.build_dodag(2)
+
+    first_samples, second_samples = [], []
+    handles = {}
+    world.client.stream(world.thing.address, TMP36_ID, first_samples.append,
+                        interval_ms=1000,
+                        on_established=lambda h: handles.setdefault("a", h))
+    second.stream(world.thing.address, TMP36_ID, second_samples.append,
+                  interval_ms=1000,
+                  on_established=lambda h: handles.setdefault("b", h))
+    world.run(4.0)
+    assert first_samples and second_samples
+
+    # First subscriber leaves: the stream keeps flowing for the second.
+    handles["a"].cancel()
+    world.run(1.0)
+    first_count = len(first_samples)
+    second_count = len(second_samples)
+    world.run(3.0)
+    assert len(first_samples) == first_count
+    assert len(second_samples) > second_count
+
+    # Last subscriber leaves: the Thing stops the stream entirely.
+    handles["b"].cancel()
+    world.run(1.0)
+    final = len(second_samples)
+    world.run(3.0)
+    assert len(second_samples) == final
+    assert world.thing.events_of("stream-stopped")

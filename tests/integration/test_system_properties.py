@@ -1,0 +1,168 @@
+"""Integration: cross-cutting system properties — determinism, driver
+hot-update, concurrent clients, energy accounting consistency."""
+
+import pytest
+
+from repro.drivers.catalog import RELAY_ID, TMP36_ID, make_peripheral_board
+from repro.peripherals import Environment
+from tests.integration.conftest import build_world
+
+
+# ---------------------------------------------------------------- determinism
+def _run_scenario(seed):
+    world = build_world(seed=seed)
+    env = Environment(temperature_c=24.0)
+    board = make_peripheral_board("tmp36", env, rng=world.rng.stream("mfg"))
+    world.thing.plug(board)
+    world.run(3.0)
+    values = []
+    world.client.read(world.thing.address, TMP36_ID,
+                      lambda r: values.append(r.value if r else None))
+    world.run(2.0)
+    events = [(e.time_s, e.kind) for e in world.thing.events]
+    return events, values, world.sim.now_ns
+
+
+def test_same_seed_is_bit_for_bit_reproducible():
+    first = _run_scenario(123)
+    second = _run_scenario(123)
+    assert first == second
+
+
+def test_different_seeds_differ_in_timing():
+    events_a, _, _ = _run_scenario(123)
+    events_b, _, _ = _run_scenario(124)
+    # Same pipeline, different tolerance/jitter draws.
+    assert [k for _, k in events_a] == [k for _, k in events_b]
+    assert [t for t, _ in events_a] != [t for t, _ in events_b]
+
+
+# ------------------------------------------------------------ driver updates
+def test_driver_hot_update_reactivates_live_instances(world):
+    env = Environment(temperature_c=25.0)
+    board = make_peripheral_board("tmp36", env, rng=world.rng.stream("m"))
+    world.thing.plug(board)
+    world.run(3.0)
+
+    # Vendor ships an updated driver: returns hundredths of a degree.
+    updated = (
+        "import adc;\nbool busy;\n"
+        "event init():\n"
+        "    signal adc.init(ADC_RES_10BIT, ADC_REF_VDD);\n"
+        "    busy = false;\n"
+        "event destroy():\n    signal adc.reset();\n"
+        "event read():\n"
+        "    if !busy:\n        busy = true;\n        signal adc.read();\n"
+        "event data(uint16_t counts):\n"
+        "    busy = false;\n"
+        "    return (counts * 3300 / 1023 - 500) * 10;\n"
+    )
+    world.registry.upload_driver(TMP36_ID, updated)
+    assert world.manager.push_driver(world.thing.address, TMP36_ID)
+    world.run(2.0)
+
+    values = []
+    world.client.read(world.thing.address, TMP36_ID,
+                      lambda r: values.append(r.value))
+    world.run(2.0)
+    assert values[0] == pytest.approx(2500, abs=60)  # hundredths now
+    # Still exactly one active driver on the channel.
+    assert list(world.thing.drivers.active_channels().values()) == [TMP36_ID.value]
+
+
+# ---------------------------------------------------------- concurrent access
+def test_two_clients_share_one_peripheral(world):
+    from repro.core.client import Client
+
+    env = Environment(temperature_c=23.0)
+    world.thing.plug(make_peripheral_board("tmp36", env,
+                                           rng=world.rng.stream("m")))
+    world.run(3.0)
+    second = Client(world.sim, world.network, 9)
+    world.network.connect(9, 0)
+    world.network.connect(9, 2)
+    world.network.build_dodag(2)
+
+    from repro.sim.kernel import ns_from_s
+
+    results = {}
+    world.client.read(world.thing.address, TMP36_ID,
+                      lambda r: results.setdefault("first", r.value))
+    # Spaced past the first request's completion: the Listing-1-style
+    # driver serialises itself with a busy flag (see the test below).
+    world.sim.schedule(
+        ns_from_s(0.5),
+        lambda: second.read(world.thing.address, TMP36_ID,
+                            lambda r: results.setdefault("second", r.value)),
+    )
+    world.run(3.0)
+    assert set(results) == {"first", "second"}
+    for value in results.values():
+        assert value == pytest.approx(230, abs=6)
+
+
+def test_simultaneous_reads_one_drops_on_busy_guard(world):
+    """Listing-1-style drivers guard themselves with a busy flag: a
+    request arriving mid-conversion is silently dropped and the client
+    times out — the retry burden is the client's (§4.1 semantics)."""
+    env = Environment(temperature_c=23.0)
+    world.thing.plug(make_peripheral_board("tmp36", env,
+                                           rng=world.rng.stream("m")))
+    world.run(3.0)
+    outcomes = []
+    # Two requests from the same client in the same instant: the second
+    # read event reaches the driver while busy is still set.
+    world.client.read(world.thing.address, TMP36_ID, outcomes.append,
+                      timeout_s=2.0)
+    world.client.read(world.thing.address, TMP36_ID, outcomes.append,
+                      timeout_s=2.0)
+    world.run(5.0)
+    values = [r.value for r in outcomes if r is not None and r.ok]
+    timeouts = [r for r in outcomes if r is None]
+    assert len(outcomes) == 2
+    assert len(values) >= 1  # at least one read succeeds
+    # Whatever was dropped surfaced as a clean timeout, not a hang.
+    assert len(values) + len(timeouts) == 2
+
+
+def test_interleaved_read_and_write_on_two_peripherals(world):
+    env = Environment(temperature_c=20.0)
+    world.thing.plug(make_peripheral_board("tmp36", env,
+                                           rng=world.rng.stream("a")))
+    relay_board = make_peripheral_board("relay", rng=world.rng.stream("b"))
+    world.thing.plug(relay_board)
+    world.run(4.0)
+
+    outcomes = []
+    world.client.read(world.thing.address, TMP36_ID,
+                      lambda r: outcomes.append(("t", r.value)))
+    world.client.write(world.thing.address, RELAY_ID, 1,
+                       lambda s: outcomes.append(("w", s)))
+    world.run(3.0)
+    assert ("w", 0) in outcomes
+    assert any(k == "t" and v == pytest.approx(200, abs=6)
+               for k, v in outcomes)
+    assert relay_board.device.state
+
+
+# ------------------------------------------------------------------- energy
+def test_energy_scales_with_plug_events(world):
+    board = make_peripheral_board("tmp36", rng=world.rng.stream("m"))
+    world.thing.plug(board)
+    world.run(3.0)
+    after_one = world.thing.meter.get("identification")
+    world.thing.unplug(0)
+    world.run(2.0)
+    world.thing.plug(make_peripheral_board("tmp36",
+                                           rng=world.rng.stream("m2")))
+    world.run(3.0)
+    after_three = world.thing.meter.get("identification")
+    # Three identification rounds ran (plug, unplug, plug): ~3x one round.
+    assert after_three > 2.5 * after_one / 1.0 * 0.8
+    assert world.thing.controller.rounds_run == 3
+
+
+def test_radio_silence_costs_nothing(world):
+    """With no peripherals and no traffic, the Thing's meter stays ~0."""
+    world.run(5.0)
+    assert world.thing.meter.total() < 1e-6

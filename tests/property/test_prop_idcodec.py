@@ -1,0 +1,74 @@
+"""Property tests: hardware identification is correct under tolerance.
+
+The central hardware claim of §3: *any* 32-bit identifier encoded as
+four E96 resistors survives manufacturing tolerance, capacitor error
+and trigger jitter, and decodes back to exactly the same identifier.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.control_board import ControlBoard
+from repro.hw.connector import BusKind
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import CodecParams, PulseDecoder
+from repro.hw.peripheral_board import PeripheralBoard
+
+device_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(device_ids, seeds)
+@settings(max_examples=150, deadline=None)
+def test_any_id_roundtrips_through_the_control_board(value, seed):
+    rng = random.Random(seed)
+    board = ControlBoard(num_channels=1, rng=rng)
+    peripheral = PeripheralBoard.manufacture(
+        DeviceId(value), BusKind.ADC, rng=rng
+    )
+    board.connect(peripheral)
+    report = board.run_identification()
+    assert report.identified() == {0: DeviceId(value)}
+    assert report.errors() == {}
+
+
+@given(device_ids, seeds)
+@settings(max_examples=100, deadline=None)
+def test_decode_under_worst_case_tolerance_corners(value, seed):
+    """Adversarial corners: every resistor at a tolerance-band edge,
+    jitter pinned to an extreme — still inside the guard band."""
+    params = CodecParams()
+    decoder = PulseDecoder(params)
+    rng = random.Random(seed)
+    reference_skew = 1 + rng.choice([-1, 1]) * params.reference_resistor_tolerance
+    jitter_ref = 1 + rng.choice([-1, 1]) * params.trigger_jitter_rel
+    references = [
+        params.nominal_pulse_seconds(0) * reference_skew * jitter_ref
+    ] * 4
+    pulses = []
+    for byte in DeviceId(value).to_bytes():
+        resistor_skew = 1 + rng.choice([-1, 1]) * params.peripheral_resistor_tolerance
+        jitter = 1 + rng.choice([-1, 1]) * params.trigger_jitter_rel
+        pulses.append(
+            params.nominal_pulse_seconds(byte) * resistor_skew * jitter
+        )
+    assert decoder.decode_id(pulses, references) == DeviceId(value)
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=50, deadline=None)
+def test_resistance_monotonic_and_distinct(byte):
+    params = CodecParams()
+    if byte > 0:
+        assert params.resistance_for_byte(byte) > params.resistance_for_byte(byte - 1)
+
+
+@given(device_ids)
+@settings(max_examples=100, deadline=None)
+def test_resistor_tool_output_is_preferred_series(value):
+    from repro.hw import eseries
+    from repro.hw.idcodec import resistor_set_for_id
+
+    for ohms in resistor_set_for_id(DeviceId(value)):
+        assert eseries.is_preferred_value(ohms, "E96", rel_tol=1e-6)

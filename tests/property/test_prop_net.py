@@ -1,0 +1,121 @@
+"""Property tests: IPv6 text form, multicast schema, TLV/message codecs,
+6LoWPAN fragmentation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import Ipv6Address
+from repro.net.lowpan import (
+    FRAG1_HEADER_BYTES,
+    FRAGN_HEADER_BYTES,
+    LowpanModel,
+)
+from repro.net.link import MAC_PAYLOAD_LIMIT
+from repro.net.multicast import parse_group, peripheral_group
+from repro.protocol.messages import (
+    Data,
+    DriverUpload,
+    PeripheralDiscovery,
+    PeripheralEntry,
+    UnsolicitedAdvertisement,
+    decode_message,
+)
+from repro.protocol.tlv import Tlv, decode_tlvs, encode_tlvs
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+device_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefixes = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+@given(addresses)
+@settings(max_examples=300)
+def test_ipv6_text_roundtrip(value):
+    address = Ipv6Address(value)
+    assert Ipv6Address.parse(str(address)) == address
+
+
+@given(addresses)
+@settings(max_examples=200)
+def test_rfc5952_never_compresses_single_zero_group(value):
+    text = str(Ipv6Address(value))
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        present = len([g for g in (head.split(":") if head else [])]) + \
+            len([g for g in (tail.split(":") if tail else [])])
+        assert 8 - present >= 2  # the run replaced by '::' is >= 2 groups
+
+
+@given(addresses)
+@settings(max_examples=200)
+def test_ipv6_packed_roundtrip(value):
+    address = Ipv6Address(value)
+    assert Ipv6Address.from_bytes(address.packed()) == address
+
+
+@given(prefixes, device_ids)
+@settings(max_examples=200)
+def test_multicast_schema_roundtrip(prefix, device):
+    group = peripheral_group(prefix, device)
+    info = parse_group(group)
+    assert info is not None
+    assert info.network_prefix48 == prefix
+    assert info.peripheral_id == device
+
+
+tlv_lists = st.lists(
+    st.builds(
+        Tlv,
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=40),
+    ),
+    max_size=8,
+)
+
+
+@given(tlv_lists)
+@settings(max_examples=200)
+def test_tlv_roundtrip(tlvs):
+    decoded, offset = decode_tlvs(encode_tlvs(tlvs))
+    assert decoded == tlvs
+
+
+@given(st.integers(0, 0xFFFF), device_ids, st.binary(max_size=200))
+@settings(max_examples=150)
+def test_driver_upload_roundtrip(seq, device, image):
+    message = DriverUpload(seq, DeviceId(device), image)
+    assert decode_message(message.encode()) == message
+
+
+@given(st.integers(0, 0xFFFF), device_ids, st.binary(max_size=100),
+       st.booleans())
+@settings(max_examples=150)
+def test_data_message_roundtrip(seq, device, payload, is_array):
+    message = Data(seq, DeviceId(device), payload, is_array)
+    assert decode_message(message.encode()) == message
+
+
+@given(st.integers(0, 0xFFFF),
+       st.lists(st.tuples(device_ids, tlv_lists), max_size=4))
+@settings(max_examples=100)
+def test_advertisement_roundtrip(seq, entries):
+    message = UnsolicitedAdvertisement(
+        seq,
+        tuple(PeripheralEntry(DeviceId(d), tuple(tlvs)) for d, tlvs in entries),
+    )
+    assert decode_message(message.encode()) == message
+
+
+@given(st.integers(min_value=0, max_value=2000))
+@settings(max_examples=300)
+def test_lowpan_fragmentation_invariants(payload):
+    model = LowpanModel()
+    sizes = model.frame_payload_sizes(payload)
+    datagram = model.header_bytes + payload
+    assert all(1 <= size <= MAC_PAYLOAD_LIMIT for size in sizes)
+    if len(sizes) == 1:
+        assert sizes[0] == datagram
+    else:
+        carried = (sizes[0] - FRAG1_HEADER_BYTES) + sum(
+            size - FRAGN_HEADER_BYTES for size in sizes[1:]
+        )
+        assert carried == datagram

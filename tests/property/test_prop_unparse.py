@@ -1,0 +1,85 @@
+"""Property tests: the unparser round-trips to identical driver images."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.drivers.catalog import CATALOG
+from repro.dsl.compiler import compile_source
+from repro.dsl.parser import parse
+from repro.dsl.unparse import unparse, unparse_expr
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_drivers_roundtrip_to_identical_images(key):
+    """parse -> unparse -> parse -> compile produces the same bytes."""
+    source = CATALOG[key].dsl_source()
+    original = compile_source(source, 1)
+    normalised = unparse(parse(source))
+    again = compile_source(normalised, 1)
+    assert again.code == original.code
+    assert again.handlers == original.handlers
+    assert again.slots == original.slots
+    # Unparsing is idempotent once normalised.
+    assert unparse(parse(normalised)) == normalised
+
+
+def test_unparse_preserves_else_and_loops():
+    source = (
+        "int32_t x;\n"
+        "event init():\n"
+        "    while x < 10:\n"
+        "        if x == 5:\n"
+        "            break;\n"
+        "        else:\n"
+        "            x++;\n"
+        "        continue;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    normalised = unparse(parse(source))
+    assert compile_source(normalised, 1).code == compile_source(source, 1).code
+
+
+def test_unparse_keeps_right_associative_parens():
+    source = (
+        "int32_t x;\n"
+        "event init():\n    x = 100 - (10 - 1);\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    normalised = unparse(parse(source))
+    assert "100 - (10 - 1)" in normalised
+    assert compile_source(normalised, 1).code == compile_source(source, 1).code
+
+
+# ---------------------------------------------------- random expression trees
+literals = st.integers(min_value=-1000, max_value=1000)
+
+
+def expr_sources(depth=3):
+    if depth == 0:
+        return literals.map(lambda v: str(v) if v >= 0 else f"(0 - {abs(v)})")
+    sub = expr_sources(depth - 1)
+    binary = st.tuples(
+        st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                         "==", "!=", "<", "<=", ">", ">=", "and", "or"]),
+        sub, sub,
+    ).map(lambda t: f"({t[1]} {t[0]} {t[2]})")
+    unary = st.tuples(st.sampled_from(["-", "~", "!"]), sub).map(
+        lambda t: f"({t[0]}{t[1]})"
+    )
+    return st.one_of(sub, binary, unary)
+
+
+TEMPLATE = (
+    "int32_t out;\n"
+    "event init():\n    out = {expr};\n"
+    "event destroy():\n    out = 0;\n"
+)
+
+
+@given(expr_sources())
+@settings(max_examples=200, deadline=None)
+def test_random_expressions_roundtrip(expr_text):
+    source = TEMPLATE.format(expr=expr_text)
+    original = compile_source(source, 1)
+    normalised = unparse(parse(source))
+    assert compile_source(normalised, 1).code == original.code

@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harnesses: every paper claim's *shape*."""
+
+import pytest
+
+from repro.analysis.drivers import PAPER_TABLE3, summarize_table3
+from repro.analysis.energy import (
+    Figure12Model,
+    identification_energy_samples,
+    transaction_energy_joules,
+)
+from repro.analysis.footprint import PAPER_TABLE2
+from repro.analysis.identification import run_study
+from repro.analysis.network import run_table4
+from repro.analysis.report import render_table
+from repro.analysis.vmperf import (
+    measure_instructions,
+    measure_router_event_us,
+    router_scaling_series,
+)
+from repro.hw.connector import BusKind
+
+
+# ----------------------------------------------------------------- rendering
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-name" in text
+
+
+# ----------------------------------------------------------- §6.1 / Figure 12
+def test_identification_energy_in_paper_band():
+    samples = identification_energy_samples(trials=10)
+    assert all(1e-3 < s < 10e-3 for s in samples)  # paper: 2.48-6.756 mJ
+
+
+def test_transaction_energy_ordering():
+    """ADC conversions are cheapest; UART frames are the most expensive —
+    that ordering produces Figure 12's divergence at low change rates."""
+    adc = transaction_energy_joules(BusKind.ADC)
+    i2c = transaction_energy_joules(BusKind.I2C)
+    uart = transaction_energy_joules(BusKind.UART)
+    assert adc < i2c < uart
+
+
+def test_figure12_shape():
+    model = Figure12Model(identification_trials=8)
+    series = model.all_series(intervals_min=(1, 60, 10_000, 1_000_000))
+    usb = [p.mean_joules for p in series["USB host"]]
+    upnp_adc = [p.mean_joules for p in series["uPnP+ADC"]]
+    upnp_uart = [p.mean_joules for p in series["uPnP+UART"]]
+    # USB is flat (idle-dominated); µPnP decreases with fewer changes.
+    assert max(usb) / min(usb) < 1.2
+    assert upnp_adc == sorted(upnp_adc, reverse=True)
+    # µPnP beats USB by >= 4 orders of magnitude at hourly changes (§6.1).
+    assert usb[1] / upnp_adc[1] > 1e4
+    # Interconnect curves diverge at the communication floor.
+    assert upnp_uart[-1] / upnp_adc[-1] > 10
+
+
+def test_figure12_error_bars_from_resistor_selection():
+    model = Figure12Model(identification_trials=12)
+    point = model.upnp_series(BusKind.ADC, [1])[0]
+    assert point.std_joules > 0
+    assert point.min_joules < point.mean_joules < point.max_joules
+
+
+# ------------------------------------------------------------------ §6.1 study
+def test_identification_study_overlaps_paper_band():
+    study = run_study(repeats=2)
+    assert study.decode_failures == 0
+    assert study.duration_s.maximum > 0.220  # reaches into the paper band
+    assert study.duration_s.minimum < 0.300
+    assert 1e-3 < study.energy_j.minimum < study.energy_j.maximum < 10e-3
+
+
+# -------------------------------------------------------------------- Table 3
+def test_table3_headline_claims():
+    summary = summarize_table3()
+    assert 0.35 <= summary.average_sloc_saving <= 0.7   # paper: 52%
+    assert 0.7 <= summary.average_bytes_saving <= 0.97  # paper: 94%
+    # The DSL wins SLoC on every single driver.
+    for row in summary.rows:
+        assert row.dsl_sloc < row.native_sloc
+
+
+def test_table3_paper_reference_is_complete():
+    assert set(PAPER_TABLE3) == {"tmp36", "hih4030", "id20la", "bmp180"}
+
+
+# ----------------------------------------------------------------------- §6.2
+def test_instruction_measurement_matches_calibration():
+    timings = measure_instructions(repeats=30)
+    mean_us = sum(t.seconds for t in timings) / len(timings) * 1e6
+    assert mean_us == pytest.approx(39.7, abs=0.5)
+
+
+def test_router_event_cost_and_linear_scaling():
+    assert measure_router_event_us(events=50) == pytest.approx(77.79, abs=0.5)
+    series = router_scaling_series(counts=(10, 100, 200))
+    per_event = [total_ms / count for count, total_ms in series]
+    assert max(per_event) / min(per_event) < 1.01  # linear
+
+
+# -------------------------------------------------------------------- Table 4
+def test_table4_rows_within_ten_percent_of_paper():
+    result = run_table4(trials=5)
+    paper = {
+        "Generate Multicast Address": 2.59e-3,
+        "Join Multicast Group": 5.44e-3,
+        "Request driver": 53.91e-3,
+        "Install Driver": 59.50e-3,
+        "Advertise Peripheral": 45.37e-3,
+    }
+    for name, expected in paper.items():
+        assert result.rows[name].mean == pytest.approx(expected, rel=0.10)
+
+
+def test_table2_reference_totals():
+    assert PAPER_TABLE2["Total"] == (14231, 1518)

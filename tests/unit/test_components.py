@@ -1,0 +1,60 @@
+"""Unit tests for passive component models."""
+
+import random
+
+import pytest
+
+from repro.hw.components import Capacitor, ComponentError, Resistor
+
+
+def test_resistor_defaults_actual_to_nominal():
+    r = Resistor(1000.0)
+    assert r.actual_ohms == 1000.0
+
+
+def test_resistor_bounds():
+    r = Resistor(1000.0, tolerance=0.05)
+    assert r.bounds() == (950.0, 1050.0)
+
+
+def test_actual_outside_tolerance_rejected():
+    with pytest.raises(ComponentError):
+        Resistor(1000.0, tolerance=0.01, actual_ohms=1020.0)
+
+
+def test_nonpositive_value_rejected():
+    with pytest.raises(ComponentError):
+        Resistor(0.0)
+    with pytest.raises(ComponentError):
+        Capacitor(-1e-9)
+
+
+def test_bad_tolerance_rejected():
+    with pytest.raises(ComponentError):
+        Resistor(100.0, tolerance=1.0)
+
+
+def test_manufacture_stays_in_band():
+    rng = random.Random(3)
+    for _ in range(200):
+        r = Resistor.manufacture(4700.0, 0.01, rng)
+        lo, hi = r.bounds()
+        assert lo <= r.actual_ohms <= hi
+
+
+def test_manufacture_is_deterministic_for_seeded_rng():
+    a = Resistor.manufacture(1e4, 0.01, random.Random(7)).actual_ohms
+    b = Resistor.manufacture(1e4, 0.01, random.Random(7)).actual_ohms
+    assert a == b
+
+
+def test_preferred_snaps_to_series():
+    r = Resistor.preferred(9111.0, "E96", rng=random.Random(1))
+    assert r.nominal_ohms == pytest.approx(9090.0)
+    assert r.tolerance == 0.01  # E96 convention
+
+
+def test_capacitor_manufacture():
+    c = Capacitor.manufacture(10e-9, 0.05, random.Random(2))
+    lo, hi = c.bounds()
+    assert lo <= c.actual_farads <= hi

@@ -1,0 +1,38 @@
+"""Unit tests for the CSMA congestion model (uncongested vs busy medium)."""
+
+import random
+
+import pytest
+
+from repro.net.link import LinkModel
+
+
+def _mean_delay(link, samples=400, seed=5):
+    rng = random.Random(seed)
+    return sum(link.csma_delay_s(rng) for _ in range(samples)) / samples
+
+
+def test_zero_congestion_stays_in_base_window():
+    link = LinkModel()
+    rng = random.Random(1)
+    for _ in range(200):
+        assert link.csma_min_s <= link.csma_delay_s(rng) <= link.csma_max_s
+
+
+def test_congestion_increases_mean_backoff():
+    idle = _mean_delay(LinkModel(busy_probability=0.0))
+    busy = _mean_delay(LinkModel(busy_probability=0.6))
+    saturated = _mean_delay(LinkModel(busy_probability=0.95))
+    assert idle < busy < saturated
+
+
+def test_backoff_is_bounded_by_max_backoffs():
+    link = LinkModel(busy_probability=1.0, max_backoffs=3)
+    rng = random.Random(2)
+    worst_window = link.csma_max_s * (1 + 2 + 4 + 8)
+    for _ in range(200):
+        assert link.csma_delay_s(rng) <= worst_window + link.csma_max_s
+
+
+def test_congestion_defaults_off():
+    assert LinkModel().busy_probability == 0.0

@@ -1,0 +1,149 @@
+"""Unit tests for the multivibrator chain and the control board."""
+
+import random
+
+import pytest
+
+from repro.hw.components import Resistor
+from repro.hw.connector import BusKind
+from repro.hw.control_board import ChannelError, ControlBoard
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import DEFAULT_CODEC
+from repro.hw.multivibrator import Multivibrator, MultivibratorChain
+from repro.hw.peripheral_board import PeripheralBoard
+
+
+def _board(num_channels=3, seed=1):
+    return ControlBoard(num_channels, rng=random.Random(seed))
+
+
+def _peripheral(hex_id="0xad1cbe01", seed=2):
+    return PeripheralBoard.manufacture(
+        DeviceId.from_hex(hex_id), BusKind.ADC, rng=random.Random(seed)
+    )
+
+
+# -------------------------------------------------------------- multivibrator
+def test_pulse_length_follows_t_equals_krc():
+    from repro.hw.components import Capacitor
+
+    stage = Multivibrator(Capacitor(10e-9), k=1.1, jitter_rel=0.0)
+    resistor = Resistor(100_000.0)
+    assert stage.pulse_seconds(resistor) == pytest.approx(1.1e-3)
+
+
+def test_chain_needs_four_stages():
+    with pytest.raises(ValueError):
+        MultivibratorChain([])
+
+
+def test_chain_burst_produces_four_pulses():
+    chain = MultivibratorChain.build(10e-9, rng=random.Random(0))
+    resistors = [Resistor(10_000.0)] * 4
+    burst = chain.burst_seconds(resistors, random.Random(1))
+    assert len(burst) == 4
+    assert all(p > 0 for p in burst)
+
+
+# ------------------------------------------------------------- control board
+def test_connect_and_identify_single_peripheral():
+    board = _board()
+    peripheral = _peripheral()
+    channel = board.connect(peripheral)
+    assert channel == 0
+    report = board.run_identification()
+    assert report.identified() == {0: peripheral.device_id}
+    assert report.errors() == {}
+
+
+def test_identification_reports_all_channels():
+    board = _board()
+    report = board.run_identification()
+    assert len(report.channels) == 3
+    assert all(not c.occupied for c in report.channels)
+    assert report.identified() == {}
+
+
+def test_empty_channels_cost_the_timeout():
+    board = _board()
+    report = board.run_identification()
+    timeout = DEFAULT_CODEC.empty_channel_timeout_seconds
+    for channel in report.channels:
+        assert channel.duration_s == pytest.approx(timeout)
+
+
+def test_identification_energy_follows_duration():
+    board = _board()
+    board.connect(_peripheral())
+    report = board.run_identification()
+    expected = board.active_draw.energy_joules(report.total_seconds)
+    assert report.energy_joules == pytest.approx(expected)
+    assert board.meter.get("identification") == pytest.approx(expected)
+
+
+def test_multiple_peripherals_identified_on_their_channels():
+    board = _board()
+    first = _peripheral("0xad1cbe01", seed=3)
+    second = _peripheral("0x0a0bbf03", seed=4)
+    board.connect(first, channel=2)
+    board.connect(second, channel=0)
+    report = board.run_identification()
+    assert report.identified() == {2: first.device_id, 0: second.device_id}
+
+
+def test_connect_occupied_channel_rejected():
+    board = _board()
+    board.connect(_peripheral(), channel=1)
+    with pytest.raises(ChannelError):
+        board.connect(_peripheral("0x00000001", seed=9), channel=1)
+
+
+def test_connect_when_full_rejected():
+    board = _board(num_channels=1)
+    board.connect(_peripheral())
+    with pytest.raises(ChannelError):
+        board.connect(_peripheral("0x00000002", seed=8))
+
+
+def test_disconnect_empty_channel_rejected():
+    board = _board()
+    with pytest.raises(ChannelError):
+        board.disconnect(0)
+
+
+def test_channel_out_of_range_rejected():
+    board = _board()
+    with pytest.raises(ChannelError):
+        board.board_at(7)
+
+
+def test_interrupt_fires_on_connect_and_disconnect():
+    board = _board()
+    seen = []
+    board.on_interrupt(lambda channel, connected: seen.append((channel, connected)))
+    channel = board.connect(_peripheral())
+    board.disconnect(channel)
+    assert seen == [(channel, True), (channel, False)]
+
+
+def test_free_channel_tracking():
+    board = _board(num_channels=2)
+    assert board.free_channel() == 0
+    board.connect(_peripheral(), channel=0)
+    assert board.free_channel() == 1
+    board.connect(_peripheral("0x01020304", seed=6), channel=1)
+    assert board.free_channel() is None
+    assert board.occupied_channels() == [0, 1]
+
+
+def test_needs_at_least_one_channel():
+    with pytest.raises(ChannelError):
+        ControlBoard(0)
+
+
+def test_identification_is_repeatable_for_same_board():
+    board = _board()
+    board.connect(_peripheral())
+    first = board.run_identification().identified()
+    second = board.run_identification().identified()
+    assert first == second

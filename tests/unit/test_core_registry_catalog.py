@@ -1,0 +1,169 @@
+"""Unit tests for the global address space and the driver catalogue."""
+
+import pytest
+
+from repro.core.registry import AddressStatus, Registry, RegistryError
+from repro.drivers.catalog import (
+    CATALOG,
+    TABLE3_DRIVERS,
+    make_peripheral_board,
+    populate_registry,
+    spec_for_id,
+)
+from repro.drivers.native_model import estimate_native_bytes, uses_float
+from repro.hw.connector import BusKind
+from repro.hw.device_id import DeviceId
+
+GOOD_DRIVER = """\
+int32_t x;
+event init():
+    x = 1;
+event destroy():
+    x = 0;
+"""
+
+REQUEST = dict(
+    name="Widget",
+    organization="ACME",
+    email="dev@acme.test",
+    url="https://acme.test/widget",
+    bus=BusKind.ADC,
+)
+
+
+# ------------------------------------------------------------------- registry
+def test_allocation_is_provisional_until_driver_upload():
+    registry = Registry()
+    record = registry.request_address(**REQUEST)
+    assert record.status is AddressStatus.PROVISIONAL
+    registry.upload_driver(record.device_id, GOOD_DRIVER)
+    assert registry.record(record.device_id).status is AddressStatus.PERMANENT
+    assert registry.driver_image(record.device_id) is not None
+    assert registry.permanent_ids() == [record.device_id]
+
+
+def test_allocation_is_deterministic():
+    a = Registry().request_address(**REQUEST).device_id
+    b = Registry().request_address(**REQUEST).device_id
+    assert a == b
+
+
+def test_missing_fields_rejected():
+    registry = Registry()
+    with pytest.raises(RegistryError):
+        registry.request_address("", "o", "e", "u", bus=BusKind.ADC)
+
+
+def test_preferred_id_collision_rejected():
+    registry = Registry()
+    record = registry.request_address(**REQUEST)
+    with pytest.raises(RegistryError):
+        registry.request_address(
+            name="Other", organization="o", email="e", url="u",
+            bus=BusKind.I2C, preferred_id=record.device_id,
+        )
+
+
+def test_reserved_ids_never_allocated():
+    registry = Registry()
+    with pytest.raises(RegistryError):
+        registry.request_address(
+            name="Bad", organization="o", email="e", url="u",
+            bus=BusKind.ADC, preferred_id=DeviceId(0xFFFFFFFF),
+        )
+
+
+def test_invalid_driver_rejected_and_stays_provisional():
+    registry = Registry()
+    record = registry.request_address(**REQUEST)
+    with pytest.raises(RegistryError, match="driver rejected"):
+        registry.upload_driver(record.device_id, "event init():\n    x = ;\n")
+    assert registry.record(record.device_id).status is AddressStatus.PROVISIONAL
+
+
+def test_upload_for_unallocated_id_rejected():
+    with pytest.raises(RegistryError):
+        Registry().upload_driver(DeviceId(0x12345678), GOOD_DRIVER)
+
+
+def test_resistor_set_requires_allocation():
+    registry = Registry()
+    with pytest.raises(RegistryError):
+        registry.resistor_set_for(DeviceId(0x01020304))
+    record = registry.request_address(**REQUEST)
+    resistors = registry.resistor_set_for(record.device_id)
+    assert len(list(resistors)) == 4
+
+
+def test_registry_persistence_roundtrip(tmp_path):
+    registry = Registry()
+    record = registry.request_address(**REQUEST)
+    registry.upload_driver(record.device_id, GOOD_DRIVER)
+    path = tmp_path / "registry.json"
+    registry.save(path)
+    loaded = Registry.load(path)
+    assert loaded.record(record.device_id).status is AddressStatus.PERMANENT
+    assert loaded.driver_image(record.device_id).device_id == record.device_id.value
+
+
+# ------------------------------------------------------------------ catalogue
+def test_catalog_covers_paper_prototypes():
+    assert set(TABLE3_DRIVERS) <= set(CATALOG)
+    assert len(CATALOG) >= 5  # four prototypes + relay actuator
+
+
+def test_all_catalog_drivers_compile_with_their_ids():
+    for key, spec in CATALOG.items():
+        image = spec.compile()
+        assert image.device_id == spec.device_id.value
+        assert image.image_size > 0
+        assert spec.dsl_sloc() > 0
+
+
+def test_spec_for_id_lookup():
+    spec = CATALOG["tmp36"]
+    assert spec_for_id(spec.device_id) is spec
+    assert spec_for_id(0x00000000) is None
+
+
+def test_populate_registry_uploads_everything():
+    registry = Registry()
+    populate_registry(registry)
+    for spec in CATALOG.values():
+        assert registry.driver_image(spec.device_id) is not None
+        assert registry.record(spec.device_id).status is AddressStatus.PERMANENT
+    # Idempotent.
+    populate_registry(registry)
+
+
+def test_make_peripheral_board_wires_device():
+    board = make_peripheral_board("bmp180")
+    assert board.device_id == CATALOG["bmp180"].device_id
+    assert board.bus is BusKind.I2C
+    assert board.device is not None
+
+
+def test_unknown_board_key_rejected():
+    with pytest.raises(KeyError):
+        make_peripheral_board("nonexistent")
+
+
+# ----------------------------------------------------------------- size model
+def test_float_detection_ignores_comments():
+    assert uses_float("float x = 1.5f;")
+    assert not uses_float("/* 0.5 volts */ int x; // 2.5 mA\n")
+
+
+def test_softfloat_penalty_dominates():
+    with_float = estimate_native_bytes("float f;", 50)
+    without = estimate_native_bytes("int f;", 50)
+    assert with_float.flash_bytes - without.flash_bytes > 2000
+
+
+def test_catalog_native_estimates_match_paper_shape():
+    """Float ADC drivers are several KB; integer bus drivers are <1 KB."""
+    tmp36 = CATALOG["tmp36"].native_estimate().flash_bytes
+    bmp180 = CATALOG["bmp180"].native_estimate().flash_bytes
+    assert tmp36 > 2500
+    assert bmp180 < 1000
+    assert CATALOG["relay"].native_estimate() is None

@@ -1,0 +1,49 @@
+"""Unit tests for 32-bit µPnP device identifiers."""
+
+import pytest
+
+from repro.hw.device_id import ALL_CLIENTS, ALL_PERIPHERALS, DeviceId
+
+
+def test_bytes_roundtrip():
+    device = DeviceId.from_bytes((0xAD, 0x1C, 0xBE, 0x01))
+    assert device.value == 0xAD1CBE01
+    assert device.to_bytes() == (0xAD, 0x1C, 0xBE, 0x01)
+
+
+def test_hex_parsing_and_str():
+    device = DeviceId.from_hex("0xed3f0ac1")
+    assert str(device) == "0xed3f0ac1"
+    assert DeviceId.from_hex("ed3f0ac1") == device
+
+
+def test_wire_roundtrip():
+    device = DeviceId(0x12345678)
+    assert DeviceId.unpack(device.packed()) == device
+    assert device.packed() == b"\x12\x34\x56\x78"
+
+
+def test_reserved_addresses():
+    assert DeviceId(ALL_PERIPHERALS).is_reserved
+    assert DeviceId(ALL_CLIENTS).is_reserved
+    assert not DeviceId(0xAD1CBE01).is_reserved
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        DeviceId(1 << 32)
+    with pytest.raises(ValueError):
+        DeviceId(-1)
+
+
+def test_bad_byte_count_rejected():
+    with pytest.raises(ValueError):
+        DeviceId.from_bytes((1, 2, 3))
+    with pytest.raises(ValueError):
+        DeviceId.from_bytes((1, 2, 3, 300))
+    with pytest.raises(ValueError):
+        DeviceId.unpack(b"\x01\x02")
+
+
+def test_ordering_is_by_value():
+    assert DeviceId(1) < DeviceId(2)

@@ -1,0 +1,146 @@
+"""Unit tests: disassembler coverage over the full catalogue, DSL value
+types, and driver-image invariants shared by every shipped driver."""
+
+import pytest
+
+from repro.drivers.catalog import CATALOG
+from repro.dsl.bytecode import HANDLER_KIND_EVENT, Op, decode
+from repro.dsl.disassembler import disassemble
+from repro.dsl.symbols import (
+    NATIVE_LIBS,
+    WELL_KNOWN_NAMES,
+    name_for_id,
+    well_known_id,
+)
+from repro.dsl.types import (
+    BOOL,
+    BY_CODE,
+    BY_NAME,
+    INT8,
+    INT16,
+    INT32,
+    UINT8,
+    UINT16,
+    UINT32,
+    type_named,
+    wrap32,
+)
+
+
+# ------------------------------------------------------------------ DSL types
+@pytest.mark.parametrize("vtype,value,expected", [
+    (UINT8, 256, 0),
+    (UINT8, -1, 255),
+    (INT8, 128, -128),
+    (INT8, -129, 127),
+    (UINT16, 65536, 0),
+    (INT16, 40000, 40000 - 65536),
+    (UINT32, -1, 0xFFFFFFFF),
+    (INT32, 2**31, -(2**31)),
+    (BOOL, 3, 3),  # bool stores as a byte; nonzero is truthy
+])
+def test_truncation_c_semantics(vtype, value, expected):
+    assert vtype.truncate(value) == expected
+
+
+def test_type_ranges():
+    assert (INT8.min_value, INT8.max_value) == (-128, 127)
+    assert (UINT16.min_value, UINT16.max_value) == (0, 65535)
+    assert (INT32.min_value, INT32.max_value) == (-(2**31), 2**31 - 1)
+
+
+def test_type_lookup_tables_consistent():
+    for name, vtype in BY_NAME.items():
+        assert type_named(name) is vtype
+        assert BY_CODE[vtype.code] is vtype
+    with pytest.raises(ValueError):
+        type_named("float64_t")
+
+
+def test_wrap32():
+    assert wrap32(2**31) == -(2**31)
+    assert wrap32(-(2**31) - 1) == 2**31 - 1
+    assert wrap32(42) == 42
+
+
+# --------------------------------------------------------------- symbol names
+def test_well_known_names_are_stable_and_unique():
+    assert len(set(WELL_KNOWN_NAMES)) == len(WELL_KNOWN_NAMES)
+    assert well_known_id("init") == 0
+    assert well_known_id("destroy") == 1
+    assert well_known_id("somethingCustom") is None
+
+
+def test_name_for_id_resolves_local_names():
+    assert name_for_id(0) == "init"
+    assert name_for_id(128, ("phaseTwo",)) == "phaseTwo"
+    assert name_for_id(200) == "name_200"
+
+
+def test_native_lib_ids_unique_and_stable():
+    ids = [lib.lib_id for lib in NATIVE_LIBS.values()]
+    assert sorted(ids) == [1, 2, 3, 4]
+    assert NATIVE_LIBS["uart"].lib_id == 1
+    assert NATIVE_LIBS["adc"].lib_id == 2
+
+
+# ----------------------------------------------- catalogue-wide image checks
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_driver_disassembles_fully(key):
+    image = CATALOG[key].compile()
+    text = disassemble(image)
+    # Every instruction appears in the listing; handlers are labelled.
+    assert len(text.splitlines()) > len(image.handlers)
+    assert f"{image.device_id:#010x}" in text
+    for handler in image.handlers:
+        kind = "error" if handler.kind else "event"
+        assert f"{kind} " in text
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_driver_code_is_well_formed(key):
+    image = CATALOG[key].compile()
+    instructions = list(decode(image.code))
+    # Instruction stream tiles the code exactly.
+    assert instructions[0].offset == 0
+    end = instructions[-1].offset + instructions[-1].size
+    assert end == len(image.code)
+    # Every handler offset is an instruction boundary.
+    boundaries = {i.offset for i in instructions}
+    for handler in image.handlers:
+        assert handler.offset in boundaries
+    # Every handler's reachable tail terminates in RET.
+    assert instructions[-1].op == Op.RET
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_driver_declares_init_and_destroy(key):
+    image = CATALOG[key].compile()
+    assert image.find_handler(HANDLER_KIND_EVENT, well_known_id("init"))
+    assert image.find_handler(HANDLER_KIND_EVENT, well_known_id("destroy"))
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_driver_jumps_stay_in_code(key):
+    image = CATALOG[key].compile()
+    size = len(image.code)
+    for instruction in image.instructions():
+        if instruction.op in (Op.JMP, Op.JZ, Op.JNZ, Op.JMPS, Op.JZS, Op.JNZS):
+            target = instruction.offset + instruction.size + instruction.args[0]
+            assert 0 <= target < size
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_driver_slot_operands_valid(key):
+    image = CATALOG[key].compile()
+    n_slots = len(image.slots)
+    for instruction in image.instructions():
+        if instruction.op in (Op.LDG, Op.STG, Op.INCG, Op.DECG):
+            assert instruction.args[0] < n_slots
+            assert not image.slots[instruction.args[0]].is_array
+        elif instruction.op in (Op.LDE, Op.STE, Op.RETA):
+            assert image.slots[instruction.args[0]].is_array
+        elif instruction.op == Op.LDEI:
+            slot, index = instruction.args
+            assert image.slots[slot].is_array
+            assert index < image.slots[slot].length

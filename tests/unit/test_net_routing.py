@@ -1,0 +1,148 @@
+"""Unit tests for topology, RPL DODAG construction and SMRF planning."""
+
+import pytest
+
+from repro.net.rpl import Dodag, MIN_HOP_RANK_INCREASE, ROOT_RANK, RplError
+from repro.net.smrf import plan
+from repro.net.topology import Topology, TopologyError
+
+
+def line_topology(n=5):
+    return Topology.line(range(n))
+
+
+# ------------------------------------------------------------------- topology
+def test_builders():
+    mesh = Topology.full_mesh(range(4))
+    assert all(mesh.are_neighbors(a, b)
+               for a in range(4) for b in range(4) if a != b)
+    star = Topology.star(0, [1, 2, 3])
+    assert star.are_neighbors(0, 2)
+    assert not star.are_neighbors(1, 2)
+
+
+def test_from_positions_unit_disk():
+    topo = Topology.from_positions(
+        {0: (0, 0), 1: (5, 0), 2: (11, 0)}, radio_range=6.0
+    )
+    assert topo.are_neighbors(0, 1)
+    assert topo.are_neighbors(1, 2)
+    assert not topo.are_neighbors(0, 2)
+
+
+def test_shortest_path_bfs():
+    topo = line_topology()
+    assert topo.shortest_path(0, 4) == [0, 1, 2, 3, 4]
+    assert topo.hop_distance(0, 4) == 4
+    assert topo.shortest_path(2, 2) == [2]
+
+
+def test_disconnected_path_is_none():
+    topo = Topology()
+    topo.add_node(0)
+    topo.add_node(1)
+    assert topo.shortest_path(0, 1) is None
+
+
+def test_self_link_rejected():
+    with pytest.raises(TopologyError):
+        Topology().connect(3, 3)
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(TopologyError):
+        line_topology().neighbors(99)
+
+
+# ------------------------------------------------------------------------ RPL
+def test_dodag_ranks_increase_per_hop():
+    dodag = Dodag.build(line_topology(), root=0)
+    assert dodag.rank[0] == ROOT_RANK
+    for node in range(1, 5):
+        assert dodag.rank[node] == ROOT_RANK + node * MIN_HOP_RANK_INCREASE
+        assert dodag.parent[node] == node - 1
+
+
+def test_dodag_path_to_root():
+    dodag = Dodag.build(line_topology(), root=0)
+    assert dodag.path_to_root(4) == [4, 3, 2, 1, 0]
+    assert dodag.depth(4) == 4
+    assert dodag.depth(0) == 0
+
+
+def test_dodag_subtree():
+    topo = Topology.star(0, [1, 2])
+    topo.connect(2, 3)
+    dodag = Dodag.build(topo, root=0)
+    assert dodag.subtree(2) == {2, 3}
+    assert dodag.subtree(0) == {0, 1, 2, 3}
+
+
+def test_dodag_route_via_common_ancestor():
+    topo = Topology.star(0, [1, 2])
+    topo.connect(1, 3)
+    topo.connect(2, 4)
+    dodag = Dodag.build(topo, root=0)
+    assert dodag.route(3, 4) == [3, 1, 0, 2, 4]
+    assert dodag.hop_count(3, 4) == 4
+    assert dodag.route(3, 3) == [3]
+
+
+def test_dodag_requires_known_root():
+    with pytest.raises(RplError):
+        Dodag.build(line_topology(), root=42)
+
+
+def test_dodag_unjoined_node_rejected():
+    topo = Topology()
+    topo.connect(0, 1)
+    topo.add_node(9)  # isolated: never joins
+    dodag = Dodag.build(topo, root=0)
+    assert not dodag.joined(9)
+    with pytest.raises(RplError):
+        dodag.path_to_root(9)
+
+
+# ----------------------------------------------------------------------- SMRF
+def test_plan_from_root_floods_only_member_subtrees():
+    topo = Topology.star(0, [1, 2, 3])
+    topo.connect(2, 4)
+    dodag = Dodag.build(topo, root=0)
+    result = plan(dodag, sender=0, members={4})
+    assert result.uplink == ()
+    assert result.downlinks == ((0, 2), (2, 4))
+    assert result.receivers == (4,)
+    assert result.transmissions == 2
+
+
+def test_plan_from_leaf_goes_up_then_down():
+    topo = Topology.star(0, [1, 2])
+    dodag = Dodag.build(topo, root=0)
+    result = plan(dodag, sender=1, members={2})
+    assert result.uplink == (1, 0)
+    assert result.downlinks == ((0, 2),)
+    assert result.transmissions == 2
+
+
+def test_plan_skips_memberless_subtrees():
+    topo = Topology.star(0, [1, 2, 3])
+    dodag = Dodag.build(topo, root=0)
+    result = plan(dodag, sender=0, members={3})
+    assert (0, 1) not in result.downlinks
+    assert (0, 2) not in result.downlinks
+
+
+def test_root_membership_counts_as_receiver():
+    topo = Topology.star(0, [1])
+    dodag = Dodag.build(topo, root=0)
+    result = plan(dodag, sender=1, members={0})
+    assert result.receivers == (0,)
+    assert result.downlinks == ()
+
+
+def test_no_members_means_uplink_only():
+    topo = Topology.star(0, [1])
+    dodag = Dodag.build(topo, root=0)
+    result = plan(dodag, sender=1, members=set())
+    assert result.receivers == ()
+    assert result.transmissions == 1  # still climbs to the root

@@ -1,0 +1,182 @@
+"""Unit tests for the per-node network stack + network data plane."""
+
+import pytest
+
+from repro.net.ipv6 import Ipv6Address
+from repro.net.link import LinkModel
+from repro.net.multicast import peripheral_group
+from repro.net.network import Network, NetworkError
+from repro.net.stack import NetworkStack, StackError
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+
+def three_node_net(loss=0.0):
+    sim = Simulator()
+    net = Network(sim, link=LinkModel(loss_probability=loss),
+                  rng=RngRegistry(1))
+    stacks = [NetworkStack(net, i) for i in range(3)]
+    net.connect(0, 1)
+    net.connect(1, 2)
+    net.build_dodag(1)
+    return sim, net, stacks
+
+
+def test_addresses_derive_from_prefix_and_iid():
+    sim, net, stacks = three_node_net()
+    assert str(stacks[0].address) == "2001:db8::1"
+    assert str(stacks[2].address) == "2001:db8::3"
+
+
+def test_unicast_delivery_one_hop():
+    sim, net, stacks = three_node_net()
+    got = []
+    stacks[1].bind(6030, lambda d: got.append(d))
+    stacks[0].sendto(stacks[1].address, 6030, b"ping", src_port=6030)
+    sim.run()
+    assert len(got) == 1
+    assert got[0].payload == b"ping"
+    assert got[0].src == stacks[0].address
+    assert net.stats.datagrams_delivered == 1
+
+
+def test_unicast_multi_hop_takes_longer():
+    sim, net, stacks = three_node_net()
+    times = {}
+    stacks[1].bind(6030, lambda d: times.setdefault("one", sim.now_s))
+    stacks[2].bind(6030, lambda d: times.setdefault("two", sim.now_s))
+    stacks[0].sendto(stacks[1].address, 6030, b"x", src_port=6030)
+    sim.run()
+    start = sim.now_ns
+    stacks[0].sendto(stacks[2].address, 6030, b"x", src_port=6030)
+    sim.run()
+    assert times["two"] - times["one"] > 0  # crude: 2 hops cost more
+
+
+def test_unknown_destination_counted_undeliverable():
+    sim, net, stacks = three_node_net()
+    stacks[0].sendto(Ipv6Address.parse("2001:db8::dead"), 6030, b"?",
+                     src_port=6030)
+    sim.run()
+    assert net.stats.datagrams_undeliverable == 1
+
+
+def test_loopback_to_self():
+    sim, net, stacks = three_node_net()
+    got = []
+    stacks[0].bind(7000, lambda d: got.append(d.payload))
+    stacks[0].sendto(stacks[0].address, 7000, b"me", src_port=7000)
+    sim.run()
+    assert got == [b"me"]
+
+
+def test_multicast_reaches_all_members():
+    sim, net, stacks = three_node_net()
+    group = peripheral_group(net.prefix48, 0xAD1CBE01)
+    got = []
+    for stack in stacks[1:]:
+        stack.bind(6030, lambda d, s=stack: got.append(s.node_id))
+        stack.join_group(group)
+    sim.run()
+    stacks[0].sendto(group, 6030, b"mc", src_port=6030)
+    sim.run()
+    assert sorted(got) == [1, 2]
+    assert net.stats.multicast_transmissions >= 2
+
+
+def test_multicast_does_not_echo_to_sender():
+    sim, net, stacks = three_node_net()
+    group = peripheral_group(net.prefix48, 0x01020304)
+    got = []
+    stacks[0].bind(6030, lambda d: got.append("self"))
+    stacks[0].join_group(group)
+    sim.run()
+    stacks[0].sendto(group, 6030, b"mc", src_port=6030)
+    sim.run()
+    assert got == []
+
+
+def test_multicast_requires_dodag():
+    sim = Simulator()
+    net = Network(sim)
+    stack = NetworkStack(net, 0)
+    group = peripheral_group(net.prefix48, 1)
+    stack.sendto(group, 6030, b"x", src_port=6030)
+    with pytest.raises(NetworkError):
+        sim.run()
+
+
+def test_anycast_routes_to_nearest_member():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(2))
+    stacks = [NetworkStack(net, i) for i in range(4)]
+    # line: 0 - 1 - 2 - 3 ; anycast members at 1 and 3.
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        net.connect(a, b)
+    net.build_dodag(0)
+    anycast = Ipv6Address.parse("2001:db8:aaaa::1")
+    got = []
+    for node in (1, 3):
+        stacks[node].join_anycast(anycast)
+        stacks[node].bind(6030, lambda d, n=node: got.append(n))
+    stacks[0].sendto(anycast, 6030, b"hi", src_port=6030)
+    sim.run()
+    assert got == [1]  # nearest instance wins
+
+
+def test_packet_loss_drops_datagrams():
+    sim, net, stacks = three_node_net(loss=1.0)
+    got = []
+    stacks[1].bind(6030, lambda d: got.append(d))
+    stacks[0].sendto(stacks[1].address, 6030, b"gone", src_port=6030)
+    sim.run()
+    assert got == []
+    assert net.stats.frames_lost >= 1
+
+
+def test_double_bind_rejected():
+    sim, net, stacks = three_node_net()
+    stacks[0].bind(6030, lambda d: None)
+    with pytest.raises(StackError):
+        stacks[0].bind(6030, lambda d: None)
+
+
+def test_unbound_port_counts_no_socket():
+    sim, net, stacks = three_node_net()
+    stacks[0].sendto(stacks[1].address, 4444, b"x", src_port=4444)
+    sim.run()
+    assert stacks[1].stats.no_socket == 1
+
+
+def test_group_join_takes_measured_time():
+    sim, net, stacks = three_node_net()
+    group = peripheral_group(net.prefix48, 5)
+    done = []
+    start = sim.now_s
+    stacks[0].join_group(group, lambda: done.append(sim.now_s - start))
+    sim.run()
+    assert done[0] == pytest.approx(5.44e-3, abs=0.1e-3)
+    assert group in stacks[0].groups()
+    stacks[0].leave_group(group)
+    assert group not in stacks[0].groups()
+    assert net.group_members(group) == set()
+
+
+def test_generate_group_address_takes_measured_time():
+    sim, net, stacks = three_node_net()
+    results = []
+    start = sim.now_s
+    stacks[0].generate_group_address(0xED3F0AC1,
+                                     lambda g: results.append((g, sim.now_s - start)))
+    sim.run()
+    group, elapsed = results[0]
+    assert group == peripheral_group(net.prefix48, 0xED3F0AC1)
+    assert elapsed == pytest.approx(2.59e-3, abs=0.2e-3)
+
+
+def test_duplicate_node_id_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    NetworkStack(net, 0)
+    with pytest.raises(NetworkError):
+        NetworkStack(net, 0)

@@ -1,0 +1,250 @@
+"""Unit tests for the behavioural peripheral models."""
+
+import pytest
+
+from repro.interconnect.uart import UartBus
+from repro.peripherals.base import Environment, UartDevice
+from repro.peripherals.bmp180 import (
+    Bmp180,
+    CMD_PRESSURE_BASE,
+    CMD_TEMPERATURE,
+    Calibration,
+    REG_CHIP_ID,
+    REG_CTRL_MEAS,
+    REG_OUT_MSB,
+    REG_SOFT_RESET,
+    compensate_pressure,
+    compensate_temperature,
+    uncompensated_pressure,
+    uncompensated_temperature,
+)
+from repro.peripherals.hih4030 import Hih4030
+from repro.peripherals.id20la import (
+    Id20La,
+    build_frame,
+    checksum,
+    verify_frame_payload,
+)
+from repro.peripherals.relay import Relay
+from repro.peripherals.tmp36 import Tmp36
+from repro.sim.kernel import Simulator
+
+
+# ---------------------------------------------------------------- environment
+def test_environment_defaults():
+    env = Environment()
+    assert env.current_temperature_c() == 21.0
+    assert env.current_humidity_rh() == 45.0
+
+
+def test_environment_diurnal_drift():
+    clock = {"t": 0.0}
+    env = Environment(temperature_c=20.0, diurnal_temp_amplitude_c=4.0,
+                      clock=lambda: clock["t"])
+    clock["t"] = Environment.SECONDS_PER_DAY / 4  # peak of the sine
+    assert env.current_temperature_c() == pytest.approx(24.0)
+    clock["t"] = 3 * Environment.SECONDS_PER_DAY / 4
+    assert env.current_temperature_c() == pytest.approx(16.0)
+
+
+def test_environment_clamps_humidity():
+    assert Environment(humidity_rh=150.0).current_humidity_rh() == 100.0
+    assert Environment(humidity_rh=-5.0).current_humidity_rh() == 0.0
+
+
+# ---------------------------------------------------------------------- TMP36
+def test_tmp36_transfer_function():
+    env = Environment(temperature_c=25.0)
+    assert Tmp36(env=env).voltage_v() == pytest.approx(0.75)
+    env.temperature_c = 0.0
+    assert Tmp36(env=env).voltage_v() == pytest.approx(0.5)
+
+
+def test_tmp36_clamps_to_rated_range():
+    assert Tmp36(env=Environment(temperature_c=500.0)).voltage_v() == \
+        pytest.approx(0.5 + 0.01 * 125)
+
+
+def test_tmp36_fixed_point_helper():
+    assert Tmp36.millivolts_to_decidegrees(750) == 250
+
+
+# -------------------------------------------------------------------- HIH4030
+def test_hih4030_monotonic_in_humidity():
+    env = Environment(humidity_rh=20.0)
+    dry = Hih4030(env=env).voltage_v()
+    env.humidity_rh = 80.0
+    wet = Hih4030(env=env).voltage_v()
+    assert wet > dry
+
+
+def test_hih4030_fixed_point_matches_float_within_1pct():
+    env = Environment(humidity_rh=55.0, temperature_c=25.0)
+    sensor = Hih4030(env=env)
+    mv = round(sensor.voltage_v() * 1000)
+    tenths = Hih4030.millivolts_to_rh_tenths(mv)
+    assert tenths / 10 == pytest.approx(55.0, abs=1.0)
+
+
+# -------------------------------------------------------------------- ID-20LA
+def test_id20la_checksum_is_xor_of_data_bytes():
+    assert checksum("0A1B2C3D4E") == 0x0A ^ 0x1B ^ 0x2C ^ 0x3D ^ 0x4E
+
+
+def test_id20la_frame_layout():
+    frame = build_frame("0A1B2C3D4E")
+    assert len(frame) == 16
+    assert frame[0] == 0x02 and frame[-1] == 0x03
+    assert frame[13:15] == b"\r\n"
+    assert frame[1:13].decode() == "0A1B2C3D4E4E"
+
+
+def test_id20la_verify_payload():
+    frame = build_frame("DEADBEEF00")
+    assert verify_frame_payload(frame[1:13].decode())
+    assert not verify_frame_payload("DEADBEEF0000")
+    assert not verify_frame_payload("short")
+
+
+def test_id20la_rejects_bad_card_ids():
+    with pytest.raises(ValueError):
+        build_frame("XYZ")
+    with pytest.raises(ValueError):
+        checksum("0A1B")
+
+
+def test_id20la_requires_bus_binding():
+    reader = Id20La()
+    with pytest.raises(RuntimeError):
+        reader.present_card("0A1B2C3D4E")
+
+
+def test_id20la_transmits_frame_over_uart():
+    sim = Simulator()
+    bus = UartBus(sim, rx_fifo_size=32)
+    reader = Id20La()
+    bus.attach(reader)
+    reader.bind(bus)
+    received = []
+    bus.set_rx_handler(received.append)
+    reader.present_card("0a1b2c3d4e")
+    sim.run()
+    assert bytes(received) == build_frame("0A1B2C3D4E")
+    assert reader.frames_sent == 1
+    assert reader.history == ["0A1B2C3D4E"]
+
+
+# ---------------------------------------------------------------------- relay
+def test_relay_write_and_read():
+    relay = Relay()
+    relay.handle_write(bytes([0x00, 1]))
+    assert relay.state
+    assert relay.handle_read(1) == b"\x01"
+    relay.handle_write(bytes([0x00, 0]))
+    assert not relay.state
+    assert relay.switch_count == 2
+
+
+def test_relay_same_state_write_does_not_count_switch():
+    relay = Relay()
+    relay.handle_write(bytes([0x00, 0]))
+    assert relay.switch_count == 0
+
+
+# --------------------------------------------------------------------- BMP180
+def test_bmp180_datasheet_example():
+    cal = Calibration()
+    temperature, b5 = compensate_temperature(27898, cal)
+    assert temperature == 150
+    assert compensate_pressure(23843, b5, 0, cal) == 69964
+
+
+def test_bmp180_inverse_roundtrip_all_oss():
+    cal = Calibration()
+    ut = uncompensated_temperature(21.0, cal)
+    temperature, b5 = compensate_temperature(ut, cal)
+    assert temperature == pytest.approx(210, abs=1)
+    for oss in range(4):
+        up = uncompensated_pressure(101_325.0, b5, oss, cal)
+        assert compensate_pressure(up, b5, oss, cal) == pytest.approx(
+            101_325, abs=3
+        )
+
+
+def test_bmp180_eeprom_roundtrip():
+    cal = Calibration()
+    assert Calibration.from_eeprom(cal.to_eeprom()) == cal
+    with pytest.raises(ValueError):
+        Calibration.from_eeprom(b"\x00" * 5)
+
+
+def test_bmp180_chip_id_and_calibration_registers():
+    device = Bmp180()
+    device.handle_write(bytes([REG_CHIP_ID]))
+    assert device.handle_read(1) == b"\x55"
+    device.handle_write(bytes([0xAA]))
+    assert device.handle_read(22) == Calibration().to_eeprom()
+
+
+def test_bmp180_conversion_respects_time():
+    clock = {"t": 0.0}
+    env = Environment(temperature_c=25.0)
+    device = Bmp180(env=env, clock=lambda: clock["t"])
+    device.handle_write(bytes([REG_CTRL_MEAS, CMD_TEMPERATURE]))
+    # Sco bit reads 1 while the conversion is pending.
+    device.handle_write(bytes([REG_CTRL_MEAS]))
+    assert device.handle_read(1)[0] & 0x20
+    clock["t"] = 0.005  # past the 4.5 ms conversion
+    assert not device.handle_read(1)[0] & 0x20
+    device.handle_write(bytes([REG_OUT_MSB]))
+    msb, lsb = device.handle_read(2)
+    ut = (msb << 8) | lsb
+    temperature, _ = compensate_temperature(ut, device.cal)
+    assert temperature == pytest.approx(250, abs=1)
+
+
+def test_bmp180_pressure_measurement_path():
+    clock = {"t": 0.0}
+    env = Environment(temperature_c=21.0, pressure_pa=98_000.0)
+    device = Bmp180(env=env, clock=lambda: clock["t"])
+    # Temperature first (establishes B5) ...
+    device.handle_write(bytes([REG_CTRL_MEAS, CMD_TEMPERATURE]))
+    clock["t"] = 0.005
+    device.handle_write(bytes([REG_OUT_MSB]))
+    msb, lsb = device.handle_read(2)
+    _, b5 = compensate_temperature((msb << 8) | lsb, device.cal)
+    # ... then pressure at oss=1.
+    command = CMD_PRESSURE_BASE | (1 << 6)
+    device.handle_write(bytes([REG_CTRL_MEAS, command]))
+    clock["t"] = 0.020
+    device.handle_write(bytes([REG_OUT_MSB]))
+    b0, b1, b2 = device.handle_read(3)
+    up = ((b0 << 16) | (b1 << 8) | b2) >> (8 - 1)
+    assert compensate_pressure(up, b5, 1, device.cal) == pytest.approx(
+        98_000, abs=5
+    )
+
+
+def test_bmp180_soft_reset_clears_output():
+    device = Bmp180()
+    device.handle_write(bytes([REG_CTRL_MEAS, CMD_TEMPERATURE]))
+    device.handle_write(bytes([REG_SOFT_RESET, 0xB6]))
+    device.handle_write(bytes([REG_OUT_MSB]))
+    assert device.handle_read(3) == b"\x00\x00\x00"
+
+
+def test_bmp180_conversion_time_table():
+    device = Bmp180()
+    assert device.conversion_time_s(CMD_TEMPERATURE) == pytest.approx(4.5e-3)
+    assert device.conversion_time_s(CMD_PRESSURE_BASE | (3 << 6)) == \
+        pytest.approx(25.5e-3)
+    with pytest.raises(ValueError):
+        device.conversion_time_s(0x00)
+
+
+# ------------------------------------------------------------------ UART base
+def test_uart_device_bind_lifecycle():
+    device = UartDevice()
+    assert not device.bound
+    with pytest.raises(RuntimeError):
+        device.transmit(b"x")

@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plot import MARKERS, ascii_plot, figure12_ascii
+
+
+def test_single_series_renders_with_axes():
+    text = ascii_plot({"s": [(1, 1), (10, 100)]}, title="T")
+    assert "T" in text
+    assert "legend: * s" in text
+    assert "+" + "-" * 10 in text  # the x axis
+
+
+def test_log_axes_reject_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0, 1)]})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(1, -1)]})
+
+
+def test_linear_axes_allow_zero():
+    text = ascii_plot({"s": [(0, 0), (5, 5)]}, log_x=False, log_y=False)
+    assert "legend" in text
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": []})
+
+
+def test_multiple_series_get_distinct_markers():
+    series = {f"s{i}": [(1, 10 ** (i + 1)), (10, 10 ** (i + 1))]
+              for i in range(3)}
+    text = ascii_plot(series)
+    for index in range(3):
+        assert MARKERS[index] in text
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_plot({"flat": [(1, 5), (100, 5)]})
+    assert "flat" in text
+
+
+def test_figure12_ascii_shows_all_four_curves():
+    text = figure12_ascii()
+    for label in ("USB host", "uPnP+ADC", "uPnP+I2C", "uPnP+UART"):
+        assert label in text
+    assert "Figure 12" in text

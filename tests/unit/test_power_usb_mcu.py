@@ -1,0 +1,109 @@
+"""Unit tests for energy metering, the USB baseline and the MCU model."""
+
+import pytest
+
+from repro.hw.power import EnergyMeter, PowerDraw
+from repro.hw.usb_baseline import SECONDS_PER_YEAR, UsbHostModel
+from repro.mcu.footprint import DEFAULT_FOOTPRINT, FootprintModel
+from repro.mcu.spec import ATMEGA128RFA1
+
+
+def test_power_draw_energy():
+    draw = PowerDraw(current_a=7e-3, voltage_v=3.3)
+    assert draw.watts == pytest.approx(23.1e-3)
+    assert draw.energy_joules(2.0) == pytest.approx(46.2e-3)
+
+
+def test_power_draw_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        PowerDraw(1e-3).energy_joules(-1.0)
+
+
+def test_meter_accumulates_by_category():
+    meter = EnergyMeter()
+    meter.add("a", 1.0)
+    meter.add("a", 2.0)
+    meter.add("b", 0.5)
+    assert meter.get("a") == 3.0
+    assert meter.total() == 3.5
+    assert meter.by_category() == {"a": 3.0, "b": 0.5}
+    meter.reset()
+    assert meter.total() == 0.0
+
+
+def test_meter_rejects_negative():
+    with pytest.raises(ValueError):
+        EnergyMeter().add("x", -1.0)
+
+
+# ------------------------------------------------------------------ USB host
+def test_usb_idle_dominates_annual_energy():
+    usb = UsbHostModel()
+    yearly = usb.annual_energy_joules(60.0)
+    idle_only = usb.idle_draw.energy_joules(SECONDS_PER_YEAR)
+    assert yearly > idle_only
+    assert yearly < idle_only * 1.1  # enumerations are a small correction
+    # The paper's Figure 12 puts USB at ~1e6 J/year.
+    assert 5e5 < yearly < 2e6
+
+
+def test_usb_energy_validates_inputs():
+    usb = UsbHostModel()
+    with pytest.raises(ValueError):
+        usb.annual_energy_joules(0)
+    with pytest.raises(ValueError):
+        usb.energy_joules(-1.0)
+
+
+# ----------------------------------------------------------------------- MCU
+def test_cycles_and_seconds_convert():
+    assert ATMEGA128RFA1.cycles_to_seconds(16_000_000) == pytest.approx(1.0)
+    assert ATMEGA128RFA1.seconds_to_cycles(1e-6) == 16
+
+
+def test_mcu_resource_fractions():
+    assert ATMEGA128RFA1.flash_bytes == 131072
+    assert ATMEGA128RFA1.ram_bytes == 16384
+    assert ATMEGA128RFA1.flash_fraction(14231) == pytest.approx(0.1086, abs=1e-3)
+
+
+# --------------------------------------------------------------- Table 2 model
+def test_footprint_matches_paper_within_tolerance():
+    """Every Table 2 row within 5%; totals within 1%."""
+    paper = {
+        "Peripheral Controller": (2243, 465),
+        "µPnP Virtual Machine": (7028, 450),
+        "ADC Native Library": (2034, 268),
+        "UART Native Library": (466, 15),
+        "I2C Native Library": (436, 18),
+        "µPnP Network Stack": (2024, 302),
+    }
+    for row in DEFAULT_FOOTPRINT.breakdown():
+        flash, ram = paper[row.name]
+        assert row.flash_bytes == pytest.approx(flash, rel=0.05)
+        assert row.ram_bytes == pytest.approx(ram, rel=0.05)
+    totals = DEFAULT_FOOTPRINT.totals()
+    assert totals.flash_bytes == pytest.approx(14231, rel=0.01)
+    assert totals.ram_bytes == pytest.approx(1518, rel=0.01)
+
+
+def test_footprint_responds_to_design_changes():
+    """The model is structural: growing a buffer grows the footprint."""
+    bigger_stack = FootprintModel(operand_stack_slots=64)
+    assert (bigger_stack.virtual_machine().ram_bytes
+            > DEFAULT_FOOTPRINT.virtual_machine().ram_bytes)
+    more_messages = FootprintModel(message_types=20)
+    assert (more_messages.network_stack().flash_bytes
+            > DEFAULT_FOOTPRINT.network_stack().flash_bytes)
+
+
+def test_footprint_total_fits_the_mcu():
+    totals = DEFAULT_FOOTPRINT.totals()
+    assert totals.flash_bytes < ATMEGA128RFA1.flash_bytes
+    assert totals.ram_bytes < ATMEGA128RFA1.ram_bytes
+
+
+def test_render_table_mentions_all_components():
+    text = DEFAULT_FOOTPRINT.render_table()
+    for name in ("Peripheral Controller", "Virtual Machine", "Total"):
+        assert name in text

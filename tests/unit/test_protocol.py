@@ -1,0 +1,156 @@
+"""Unit tests for TLV encoding and the 17 protocol messages."""
+
+import pytest
+
+from repro.hw.device_id import DeviceId
+from repro.net.ipv6 import Ipv6Address
+from repro.protocol.messages import (
+    Data,
+    DriverAdvertisement,
+    DriverDiscovery,
+    DriverInstallRequest,
+    DriverRemovalAck,
+    DriverRemovalRequest,
+    DriverUpload,
+    MsgType,
+    PeripheralDiscovery,
+    PeripheralEntry,
+    ProtocolError,
+    ReadRequest,
+    SequenceCounter,
+    SolicitedAdvertisement,
+    StreamClosed,
+    StreamData,
+    StreamEstablished,
+    StreamRequest,
+    UnsolicitedAdvertisement,
+    WriteAck,
+    WriteRequest,
+    decode_message,
+)
+from repro.protocol.tlv import Tlv, TlvError, TlvType, decode_tlvs, encode_tlvs, find
+
+
+# ------------------------------------------------------------------------ TLV
+def test_tlv_roundtrip():
+    tlvs = [Tlv.text(TlvType.LABEL, "TMP36"), Tlv.byte(TlvType.CHANNEL, 2)]
+    blob = encode_tlvs(tlvs)
+    decoded, offset = decode_tlvs(blob)
+    assert decoded == tlvs
+    assert offset == len(blob)
+
+
+def test_tlv_accessors():
+    assert Tlv.text(1, "abc").as_text() == "abc"
+    assert Tlv.byte(2, 7).as_byte() == 7
+    with pytest.raises(TlvError):
+        Tlv(1, b"ab").as_byte()
+
+
+def test_tlv_find():
+    tlvs = [Tlv.byte(TlvType.CHANNEL, 1), Tlv.byte(TlvType.BUS, 0)]
+    assert find(tlvs, TlvType.BUS).as_byte() == 0
+    assert find(tlvs, TlvType.VENDOR) is None
+
+
+def test_tlv_truncation_rejected():
+    with pytest.raises(TlvError):
+        decode_tlvs(b"\x01\x05")       # header cut short
+    with pytest.raises(TlvError):
+        decode_tlvs(b"\x01\x05\x08ab")  # value cut short
+    with pytest.raises(TlvError):
+        decode_tlvs(b"")                # no count byte
+
+
+def test_tlv_limits():
+    with pytest.raises(TlvError):
+        Tlv(300, b"")
+    with pytest.raises(TlvError):
+        Tlv(1, b"x" * 300)
+
+
+# ------------------------------------------------------------------- messages
+DEVICE = DeviceId(0xAD1CBE01)
+
+ALL_MESSAGES = [
+    UnsolicitedAdvertisement(1, (PeripheralEntry(DEVICE, (Tlv.byte(3, 1),)),)),
+    PeripheralDiscovery(2, DEVICE, (Tlv.text(1, "any"),)),
+    SolicitedAdvertisement(3, (PeripheralEntry(DEVICE),)),
+    DriverInstallRequest(4, DEVICE),
+    DriverUpload(5, DEVICE, b"\x01" * 80),
+    DriverDiscovery(6),
+    DriverAdvertisement(7, (DEVICE, DeviceId(7))),
+    DriverRemovalRequest(8, DEVICE),
+    DriverRemovalAck(9, DEVICE, 0),
+    ReadRequest(10, DEVICE),
+    Data(11, DEVICE, b"\x00\x00\x00\xe1", False),
+    StreamRequest(12, DEVICE, 2000),
+    StreamEstablished(13, DEVICE, Ipv6Address.parse("ff3e:30:2001:db8::1")),
+    StreamData(14, DEVICE, b"ABC", True),
+    StreamClosed(15, DEVICE),
+    WriteRequest(16, DEVICE, -5),
+    WriteAck(17, DEVICE, 1),
+]
+
+
+@pytest.mark.parametrize("message", ALL_MESSAGES,
+                         ids=[type(m).__name__ for m in ALL_MESSAGES])
+def test_every_message_roundtrips(message):
+    assert decode_message(message.encode()) == message
+
+
+def test_message_numbering_matches_paper():
+    """Types (1)..(17) in the order of Figures 10 and 11."""
+    assert MsgType.UNSOLICITED_ADVERTISEMENT == 1
+    assert MsgType.PERIPHERAL_DISCOVERY == 2
+    assert MsgType.SOLICITED_ADVERTISEMENT == 3
+    assert MsgType.DRIVER_INSTALL_REQUEST == 4
+    assert MsgType.DRIVER_UPLOAD == 5
+    assert MsgType.DRIVER_DISCOVERY == 6
+    assert MsgType.DRIVER_ADVERTISEMENT == 7
+    assert MsgType.DRIVER_REMOVAL_REQUEST == 8
+    assert MsgType.DRIVER_REMOVAL_ACK == 9
+    assert MsgType.READ_REQUEST == 10
+    assert MsgType.DATA == 11
+    assert MsgType.STREAM_REQUEST == 12
+    assert MsgType.STREAM_ESTABLISHED == 13
+    assert MsgType.STREAM_DATA == 14
+    assert MsgType.STREAM_CLOSED == 15
+    assert MsgType.WRITE_REQUEST == 16
+    assert MsgType.WRITE_ACK == 17
+    assert len(MsgType) == 17
+
+
+def test_data_scalar_value_signed():
+    message = Data(1, DEVICE, (-42).to_bytes(4, "big", signed=True), False)
+    assert message.scalar_value() == -42
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        decode_message(b"")
+    with pytest.raises(ProtocolError):
+        decode_message(b"\x63\x00\x01")  # unknown type 99
+    with pytest.raises(ProtocolError):
+        decode_message(ReadRequest(1, DEVICE).encode() + b"\x00")  # trailing
+
+
+def test_decode_rejects_truncated_bodies():
+    blob = DriverUpload(5, DEVICE, b"x" * 10).encode()
+    with pytest.raises(ProtocolError):
+        decode_message(blob[:-3])
+
+
+def test_sequence_numbers_wrap():
+    counter = SequenceCounter(0xFFFE)
+    assert [counter.next() for _ in range(3)] == [0xFFFE, 0xFFFF, 0x0000]
+
+
+def test_seq_out_of_range_rejected():
+    with pytest.raises(ProtocolError):
+        ReadRequest(70000, DEVICE)
+
+
+def test_advertisement_device_ids_helper():
+    message = ALL_MESSAGES[0]
+    assert message.device_ids() == [DEVICE]

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    NS_PER_MS,
+    NS_PER_S,
+    SimulationError,
+    Simulator,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, lambda: fired.append("c"))
+    sim.schedule(10, lambda: fired.append("a"))
+    sim.schedule(20, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for name in "abcd":
+        sim.schedule(5, lambda n=name: fired.append(n))
+    sim.run()
+    assert fired == list("abcd")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7 * NS_PER_MS, lambda: seen.append(sim.now_ns))
+    sim.run()
+    assert seen == [7 * NS_PER_MS]
+    assert sim.now_ms == 7.0
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now_ns))
+        sim.schedule(5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now_ns))
+
+    sim.schedule(10, outer)
+    sim.run()
+    assert fired == [("outer", 10), ("inner", 15)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, lambda: fired.append("x"))
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_run_until_executes_boundary_event_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(20, lambda: fired.append(20))
+    sim.schedule(30, lambda: fired.append(30))
+    sim.run_until(20)
+    assert fired == [10, 20]
+    assert sim.now_ns == 20
+    sim.run()
+    assert fired == [10, 20, 30]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run_until(100)
+    fired = []
+    sim.schedule(50, lambda: fired.append(sim.now_ns))
+    sim.run_for(50)
+    assert fired == [150]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.run_until(50)
+
+
+def test_call_soon_runs_at_current_instant_after_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: (fired.append("first"),
+                              sim.call_soon(lambda: fired.append("soon"))))
+    sim.schedule(10, lambda: fired.append("second"))
+    sim.run()
+    assert fired == ["first", "second", "soon"]
+    assert sim.now_ns == 10
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending_count() == 6
+
+
+def test_trace_hook_sees_names():
+    sim = Simulator()
+    traced = []
+    sim.add_trace_hook(lambda t, name: traced.append((t, name)))
+    sim.schedule(5, lambda: None, name="hello")
+    sim.run()
+    assert traced == [(5, "hello")]
+
+
+def test_drain_cancels_everything():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.drain()
+    assert sim.pending_count() == 0
+    assert sim.run() == 0
+
+
+def test_unit_conversions():
+    assert ns_from_us(1.5) == 1_500
+    assert ns_from_ms(2.5) == 2_500_000
+    assert ns_from_s(0.001) == NS_PER_MS
+    assert ns_from_s(1) == NS_PER_S

@@ -1,0 +1,67 @@
+"""Unit tests for RNG streams and the statistics helpers."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import percentile, summarize
+
+
+def test_streams_are_deterministic_per_seed_and_name():
+    a = RngRegistry(seed=1).stream("x").random()
+    b = RngRegistry(seed=1).stream("x").random()
+    assert a == b
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(seed=1)
+    xs = [reg.stream("x").random() for _ in range(3)]
+    reg2 = RngRegistry(seed=1)
+    reg2.stream("y").random()  # consuming another stream ...
+    xs2 = [reg2.stream("x").random() for _ in range(3)]
+    assert xs == xs2  # ... does not perturb this one
+
+
+def test_same_stream_object_returned():
+    reg = RngRegistry(seed=5)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_fork_derives_distinct_deterministic_children():
+    reg = RngRegistry(seed=9)
+    child1 = reg.fork("node1").stream("s").random()
+    child2 = reg.fork("node2").stream("s").random()
+    assert child1 != child2
+    assert RngRegistry(seed=9).fork("node1").stream("s").random() == child1
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    assert s.stdev == pytest.approx(1.2909944, rel=1e-6)
+
+
+def test_summarize_single_value_has_zero_stdev():
+    s = summarize([7.0])
+    assert s.stdev == 0.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_percentile_interpolates():
+    data = [0.0, 10.0, 20.0, 30.0]
+    assert percentile(data, 0) == 0.0
+    assert percentile(data, 100) == 30.0
+    assert percentile(data, 50) == 15.0
+
+
+def test_percentile_validates():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)

@@ -1,0 +1,299 @@
+"""Unit tests for native bindings, driver manager and peripheral controller."""
+
+import random
+
+import pytest
+
+from repro.dsl.compiler import compile_source
+from repro.hw.connector import BusKind
+from repro.hw.control_board import ControlBoard
+from repro.hw.device_id import DeviceId
+from repro.hw.peripheral_board import PeripheralBoard
+from repro.interconnect.adc import AdcBus
+from repro.interconnect.i2c import I2cBus
+from repro.interconnect.spi import SpiBus
+from repro.interconnect.uart import UartBus
+from repro.peripherals.relay import Relay
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.vm.driver_manager import DriverManager, DriverManagerError
+from repro.vm.machine import VirtualMachine
+from repro.vm.native.bindings import (
+    AdcBinding,
+    I2cBinding,
+    SpiBinding,
+    UartBinding,
+    binding_for,
+)
+from repro.vm.peripheral_controller import PeripheralController
+from repro.vm.router import EventRouter
+from repro.vm.runtime import DriverRuntime
+
+
+class FakeRuntime:
+    """Captures events a binding posts toward its driver."""
+
+    def __init__(self):
+        self.events = []
+
+    def post_event(self, name, args=(), *, error=False, after=None):
+        self.events.append((name, tuple(args), error))
+        if after:
+            after()
+
+
+class Volts:
+    def __init__(self, v):
+        self.v = v
+
+    def voltage_v(self):
+        return self.v
+
+
+# ------------------------------------------------------------------- bindings
+def test_binding_factory_matches_lib_to_bus():
+    sim = Simulator()
+    assert isinstance(binding_for(1, sim, UartBus(sim)), UartBinding)
+    assert isinstance(binding_for(2, sim, AdcBus()), AdcBinding)
+    assert isinstance(binding_for(3, sim, I2cBus()), I2cBinding)
+    assert isinstance(binding_for(4, sim, SpiBus()), SpiBinding)
+    assert binding_for(2, sim, UartBus(sim)) is None  # mismatched bus
+
+
+def test_adc_binding_read_emits_data_later():
+    sim = Simulator()
+    bus = AdcBus(noise_lsb=0.0, rng=random.Random(0))
+    bus.attach(Volts(3.3))
+    binding = AdcBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(2, ())  # read
+    assert runtime.events == []  # split-phase: nothing yet
+    sim.run()
+    assert runtime.events == [("data", (1023,), False)]
+
+
+def test_adc_binding_bad_config_emits_error():
+    sim = Simulator()
+    binding = AdcBinding(sim, AdcBus())
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(0, (13, 3300))  # bad resolution
+    sim.run()
+    assert runtime.events == [("invalidConfiguration", (), True)]
+
+
+def test_adc_binding_busy_rejects_second_read():
+    sim = Simulator()
+    bus = AdcBus(noise_lsb=0.0, rng=random.Random(0))
+    bus.attach(Volts(1.0))
+    binding = AdcBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(2, ())
+    binding.invoke(2, ())  # second before completion
+    sim.run()
+    names = [n for n, _, _ in runtime.events]
+    assert names.count("busInUse") == 1
+    assert names.count("data") == 1
+
+
+def test_i2c_binding_read_emits_bytes_then_done():
+    sim = Simulator()
+    bus = I2cBus()
+    bus.attach(Relay())
+    binding = I2cBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(list(binding.spec.commands).index("read"), (0x20, 1))
+    sim.run()
+    assert runtime.events == [("newdata", (0,), False), ("readDone", (), False)]
+
+
+def test_i2c_binding_nack_for_wrong_address():
+    sim = Simulator()
+    bus = I2cBus()
+    bus.attach(Relay())
+    binding = I2cBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(list(binding.spec.commands).index("write1"), (0x55, 1))
+    sim.run()
+    assert runtime.events == [("nack", (), True)]
+
+
+def test_uart_binding_write_emits_write_done():
+    sim = Simulator()
+    bus = UartBus(sim)
+
+    class Sink:
+        def on_host_write(self, data):
+            pass
+
+    bus.attach(Sink())
+    binding = UartBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(list(binding.spec.commands).index("write"), (0x41,))
+    sim.run()
+    assert runtime.events == [("writeDone", (), False)]
+
+
+def test_uart_binding_read_is_idempotent():
+    sim = Simulator()
+    bus = UartBus(sim)
+    binding = UartBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    read_index = list(binding.spec.commands).index("read")
+    binding.invoke(read_index, ())
+    binding.invoke(read_index, ())
+    bus.device_transmit(b"z")
+    sim.run()
+    assert runtime.events == [("newdata", (0x7A,), False)]
+
+
+def test_release_disarms_emission():
+    sim = Simulator()
+    bus = AdcBus(noise_lsb=0.0, rng=random.Random(0))
+    bus.attach(Volts(1.0))
+    binding = AdcBinding(sim, bus)
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(2, ())
+    binding.release()  # driver unplugged while conversion in flight
+    sim.run()
+    assert runtime.events == []
+
+
+def test_invalid_command_index_emits_error():
+    sim = Simulator()
+    binding = SpiBinding(sim, SpiBus())
+    runtime = FakeRuntime()
+    binding.claim(runtime)
+    binding.invoke(99, ())
+    sim.run()
+    assert runtime.events == [("invalidConfiguration", (), True)]
+
+
+# ------------------------------------------------------------- driver manager
+from repro.drivers.catalog import CATALOG
+
+RELAY_DRIVER = CATALOG["relay"].dsl_source()
+
+
+def manager_fixture():
+    sim = Simulator()
+    router = EventRouter(sim)
+    manager = DriverManager(sim, router, VirtualMachine())
+    image = compile_source(RELAY_DRIVER, device_id=0xED3FBDA1)
+    manager.install(image)
+    bus = I2cBus()
+    relay = Relay()
+    bus.attach(relay)
+    return sim, manager, bus, relay
+
+
+def test_install_and_activate_lifecycle():
+    sim, manager, bus, relay = manager_fixture()
+    assert manager.has_driver(0xED3FBDA1)
+    runtime = manager.activate(0, 0xED3FBDA1, bus)
+    sim.run()
+    assert runtime.active
+    assert manager.active_channels() == {0: 0xED3FBDA1}
+    assert manager.runtime_for(0xED3FBDA1) is runtime
+    assert manager.deactivate(0)
+    assert manager.active_channels() == {}
+
+
+def test_activate_without_driver_raises():
+    sim, manager, bus, _ = manager_fixture()
+    with pytest.raises(DriverManagerError):
+        manager.activate(0, 0xDEADBEEF, bus)
+
+
+def test_activate_occupied_channel_raises():
+    sim, manager, bus, _ = manager_fixture()
+    manager.activate(0, 0xED3FBDA1, bus)
+    with pytest.raises(DriverManagerError):
+        manager.activate(0, 0xED3FBDA1, bus)
+
+
+def test_write_reaches_the_actuator():
+    sim, manager, bus, relay = manager_fixture()
+    manager.activate(0, 0xED3FBDA1, bus)
+    sim.run()
+    acks = []
+    assert manager.write(0xED3FBDA1, 1, acks.append)
+    sim.run()
+    assert relay.state
+    assert len(acks) == 1
+
+
+def test_remove_deactivates_first():
+    sim, manager, bus, _ = manager_fixture()
+    manager.activate(0, 0xED3FBDA1, bus)
+    sim.run()
+    assert manager.remove(0xED3FBDA1)
+    assert manager.active_channels() == {}
+    assert not manager.has_driver(0xED3FBDA1)
+    assert not manager.remove(0xED3FBDA1)  # second removal is a no-op
+
+
+def test_failed_requests_counted():
+    sim, manager, bus, _ = manager_fixture()
+    assert not manager.read(0x12345678, lambda rv: None)
+    assert manager.stats.failed_requests == 1
+
+
+# ------------------------------------------------------ peripheral controller
+def test_controller_reports_added_and_removed():
+    sim = Simulator()
+    board = ControlBoard(rng=random.Random(1))
+    controller = PeripheralController(sim, board)
+    outcomes = []
+    controller.on_change(outcomes.append)
+    peripheral = PeripheralBoard.manufacture(
+        DeviceId.from_hex("0xad1cbe01"), BusKind.ADC, rng=random.Random(2)
+    )
+    channel = board.connect(peripheral)
+    sim.run()
+    assert outcomes[-1].added == {channel: peripheral.device_id}
+    board.disconnect(channel)
+    sim.run()
+    assert outcomes[-1].removed == {channel: peripheral.device_id}
+    assert outcomes[-1].connected == {}
+
+
+def test_interrupts_during_identification_coalesce():
+    sim = Simulator()
+    board = ControlBoard(rng=random.Random(1))
+    controller = PeripheralController(sim, board)
+    outcomes = []
+    controller.on_change(outcomes.append)
+    first = PeripheralBoard.manufacture(
+        DeviceId.from_hex("0x01020304"), BusKind.ADC, rng=random.Random(3)
+    )
+    second = PeripheralBoard.manufacture(
+        DeviceId.from_hex("0x0a0b0c0d"), BusKind.I2C, rng=random.Random(4)
+    )
+    board.connect(first)   # starts a round
+    board.connect(second)  # arrives mid-round -> coalesced follow-up
+    sim.run()
+    assert controller.rounds_run == 2
+    assert len(outcomes[-1].connected) == 2
+
+
+def test_boot_trigger_scans_preconnected_peripherals():
+    sim = Simulator()
+    board = ControlBoard(rng=random.Random(1))
+    peripheral = PeripheralBoard.manufacture(
+        DeviceId.from_hex("0xbe03af0e"), BusKind.UART, rng=random.Random(5)
+    )
+    # Connected before the controller existed (no interrupt seen).
+    board.connect(peripheral)
+    controller = PeripheralController(sim, board)
+    outcomes = []
+    controller.on_change(outcomes.append)
+    controller.trigger()
+    sim.run()
+    assert outcomes[-1].connected == {0: peripheral.device_id}

@@ -1,0 +1,259 @@
+"""Unit tests for the virtual machine: semantics and fault behaviour."""
+
+import pytest
+
+from repro.dsl.bytecode import (
+    DriverImage,
+    HANDLER_KIND_EVENT,
+    HandlerDef,
+    Instruction,
+    Op,
+    SlotDef,
+)
+from repro.dsl.compiler import compile_source
+from repro.dsl.symbols import well_known_id
+from repro.dsl.types import INT8, INT32, UINT8
+from repro.vm.machine import (
+    DriverInstance,
+    ReturnValue,
+    VirtualMachine,
+    VmTrap,
+)
+
+
+def build_image(code_instructions, slots=(SlotDef(INT32), SlotDef(UINT8, 4)),
+                n_params=1):
+    out = bytearray()
+    for op, args in code_instructions:
+        out += Instruction(len(out), op, tuple(args)).encode()
+    out += Instruction(len(out), Op.RET, ()).encode()
+    return DriverImage(
+        device_id=0,
+        slots=tuple(slots),
+        imports=(),
+        handlers=(HandlerDef(HANDLER_KIND_EVENT, 0, 0, n_params),),
+        code=bytes(out),
+    )
+
+
+def run(code, slots=(SlotDef(INT32), SlotDef(UINT8, 4)), args=(0,),
+        signal_sink=None, return_sink=None):
+    image = build_image(code, slots)
+    instance = DriverInstance(image)
+    vm = VirtualMachine()
+    result = vm.execute(instance, image.handlers[0], args,
+                        signal_sink=signal_sink, return_sink=return_sink)
+    return instance, result
+
+
+# -------------------------------------------------------------- driver source
+def compile_and_run_read(source, device_id=1, event="read", args=()):
+    """Compile real DSL source and execute one handler, capturing returns."""
+    image = compile_source(source, device_id)
+    instance = DriverInstance(image)
+    vm = VirtualMachine()
+    returned = []
+    init = image.find_handler(HANDLER_KIND_EVENT, well_known_id("init"))
+    vm.execute(instance, init, (), signal_sink=lambda *a: None)
+    handler = image.find_handler(HANDLER_KIND_EVENT, well_known_id(event))
+    vm.execute(instance, handler, args,
+               signal_sink=lambda *a: None, return_sink=returned.append)
+    return instance, returned
+
+
+DRIVER_TEMPLATE = """\
+int32_t x;
+event init():
+    x = 0;
+event destroy():
+    x = 0;
+event read():
+    return {expr};
+"""
+
+
+@pytest.mark.parametrize("expr,expected", [
+    ("7 + 3", 10),
+    ("7 - 13", -6),
+    ("6 * -7", -42),
+    ("7 / 2", 3),
+    ("-7 / 2", -3),          # C truncation toward zero
+    ("7 % -2", 1),           # sign follows the dividend
+    ("-7 % 2", -1),
+    ("1 << 10", 1024),
+    ("-16 >> 2", -4),        # arithmetic shift
+    ("12 & 10", 8),
+    ("12 | 3", 15),
+    ("12 ^ 10", 6),
+    ("~0", -1),
+    ("!0", 1),
+    ("!5", 0),
+    ("3 < 4", 1),
+    ("4 <= 3", 0),
+    ("4 == 4", 1),
+    ("4 != 4", 0),
+    ("1 and 2", 1),
+    ("0 or 3", 1),
+    ("0 and 1", 0),
+    ("2147483647 + 1", -2147483648),  # 32-bit wraparound
+])
+def test_expression_semantics(expr, expected):
+    _, returned = compile_and_run_read(DRIVER_TEMPLATE.format(expr=expr))
+    assert returned == [ReturnValue(scalar=expected)]
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(VmTrap, match="division by zero"):
+        compile_and_run_read(DRIVER_TEMPLATE.format(expr="1 / 0"))
+
+
+def test_store_truncates_to_declared_type():
+    source = (
+        "uint8_t small;\nint8_t signed8;\n"
+        "event init():\n    small = 300;\n    signed8 = 200;\n"
+        "event destroy():\n    small = 0;\n"
+    )
+    image = compile_source(source)
+    instance = DriverInstance(image)
+    vm = VirtualMachine()
+    vm.execute(instance, image.find_handler(0, well_known_id("init")), ())
+    checked_values = sorted(
+        instance.scalar(slot) for slot in range(len(image.slots))
+    )
+    assert checked_values == [-56, 44]  # 200 as int8, 300 as uint8
+
+
+def test_postfix_increment_yields_old_value_and_stores_new():
+    source = (
+        "int32_t x;\nuint8_t buf[4];\n"
+        "event init():\n    x = 7;\n    buf[x++ - 7] = 9;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    image = compile_source(source)
+    instance = DriverInstance(image)
+    vm = VirtualMachine()
+    vm.execute(instance, image.find_handler(0, well_known_id("init")), ())
+    x_slot = next(i for i, s in enumerate(image.slots) if not s.is_array)
+    buf_slot = next(i for i, s in enumerate(image.slots) if s.is_array)
+    assert instance.scalar(x_slot) == 8
+    assert instance.array(buf_slot) == (9, 0, 0, 0)
+
+
+def test_while_loop_executes():
+    source = (
+        "int32_t x, n;\n"
+        "event init():\n"
+        "    n = 0;\n"
+        "    x = 0;\n"
+        "    while n < 5:\n"
+        "        x = x + n;\n"
+        "        n++;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    image = compile_source(source)
+    instance = DriverInstance(image)
+    VirtualMachine().execute(instance, image.find_handler(0, 0), ())
+    values = {instance.scalar(i) for i in range(2)}
+    assert 10 in values  # 0+1+2+3+4
+
+
+def test_signal_sink_receives_args_in_order():
+    signals = []
+    run([(Op.PUSH8, (1,)), (Op.PUSH8, (2,)), (Op.SIG, (3, 4, 2))],
+        signal_sink=lambda t, s, a: signals.append((t, s, a)))
+    assert signals == [(3, 4, (1, 2))]
+
+
+def test_return_array_payload():
+    source = (
+        "uint8_t buf[3];\n"
+        "event init():\n    buf[0] = 65;\n    buf[1] = 66;\n    buf[2] = 67;\n"
+        "event destroy():\n    buf[0] = 0;\n"
+        "event read():\n    return buf;\n"
+    )
+    _, returned = compile_and_run_read(source)
+    assert returned[0].is_array
+    assert returned[0].to_payload() == b"ABC"
+
+
+def test_return_value_payload_roundtrip():
+    value = ReturnValue(scalar=-1234)
+    assert ReturnValue.from_payload(value.to_payload(), as_array=False) == value
+
+
+# ------------------------------------------------------------------ trapping
+def test_stack_overflow_traps():
+    code = [(Op.PUSH1, ())] * 40
+    with pytest.raises(VmTrap, match="overflow"):
+        run(code)
+
+
+def test_stack_underflow_traps():
+    with pytest.raises(VmTrap, match="underflow"):
+        run([(Op.DROP, ())])
+
+
+def test_array_index_out_of_bounds_traps():
+    with pytest.raises(VmTrap, match="out of bounds"):
+        run([(Op.PUSH8, (9,)), (Op.LDE, (1,))])
+
+
+def test_scalar_array_slot_confusion_traps():
+    with pytest.raises(VmTrap, match="is an array"):
+        run([(Op.LDG, (1,))])
+    with pytest.raises(VmTrap, match="not an array"):
+        run([(Op.PUSH0, ()), (Op.LDE, (0,))])
+
+
+def test_runaway_handler_traps():
+    # JMPS -2 jumps back onto itself forever.
+    code = [(Op.JMPS, (-2,))]
+    vm = VirtualMachine(step_limit=1000)
+    image = build_image(code)
+    with pytest.raises(VmTrap, match="step limit"):
+        vm.execute(DriverInstance(image), image.handlers[0], (0,))
+
+
+def test_wrong_arg_count_traps():
+    image = build_image([(Op.LDP, (0,))], n_params=1)
+    with pytest.raises(VmTrap, match="expects 1 args"):
+        VirtualMachine().execute(DriverInstance(image), image.handlers[0], ())
+
+
+def test_param_out_of_range_traps():
+    image = build_image([(Op.LDP, (3,))], n_params=1)
+    with pytest.raises(VmTrap, match="parameter"):
+        VirtualMachine().execute(DriverInstance(image), image.handlers[0], (1,))
+
+
+def test_pc_off_end_traps():
+    image = DriverImage(
+        device_id=0, slots=(), imports=(),
+        handlers=(HandlerDef(HANDLER_KIND_EVENT, 0, 0, 0),),
+        code=Instruction(0, Op.NOP, ()).encode(),  # no RET
+    )
+    with pytest.raises(VmTrap, match="ran off"):
+        VirtualMachine().execute(DriverInstance(image), image.handlers[0], ())
+
+
+def test_instance_reset_zeroes_state():
+    source = MIN = (
+        "int32_t x;\nuint8_t a[2];\n"
+        "event init():\n    x = 5;\n    a[0] = 7;\n"
+        "event destroy():\n    x = 0;\n"
+    )
+    image = compile_source(source)
+    instance = DriverInstance(image)
+    VirtualMachine().execute(instance, image.find_handler(0, 0), ())
+    instance.reset()
+    assert all(
+        (v == 0 if not isinstance(v, list) else all(e == 0 for e in v))
+        for v in instance.globals
+    )
+
+
+def test_execution_result_reports_cycles_and_seconds():
+    _, result = run([(Op.PUSH1, ())])
+    assert result.steps == 2  # PUSH1 + RET
+    assert result.cycles > 0
+    assert result.seconds() == pytest.approx(result.cycles / 16e6)
