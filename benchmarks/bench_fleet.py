@@ -1,0 +1,118 @@
+"""Engineering bench: fleet-scale scenario engine throughput and scaling.
+
+Not a paper result — this seeds the repo's perf trajectory for the
+fleet workload.  Sweeps node count x worker count over the metro
+scenario, reporting wall-clock, simulated events per second and the
+parallel speedup versus one worker, then writes ``BENCH_fleet.json``.
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--fast] [--out PATH]
+
+Merged metrics are also cross-checked between worker counts: the fleet
+guarantees bit-identical results for any ``--workers`` setting, so a
+mismatch here is a correctness failure, not a perf number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.runner import run_scenario  # noqa: E402
+from repro.fleet.scenario import SCENARIOS  # noqa: E402
+
+NODE_SWEEP = (10, 50, 200)
+WORKER_SWEEP = (1, 4, 8)
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def bench_point(nodes: int, workers: int, *, duration_s: float, seed: int) -> dict:
+    scenario = SCENARIOS["metro"].scaled(
+        name=f"metro-{nodes}", things=nodes, duration_s=duration_s, seed=seed,
+    )
+    result = run_scenario(scenario, workers=workers)
+    return {
+        "nodes": nodes,
+        "workers": workers,
+        "shards": scenario.shard_count,
+        "wall_s": round(result.wall_s, 4),
+        "sim_events": result.sim_events,
+        "events_per_s": round(result.events_per_s, 1),
+        "identifications": result.counter("identifications"),
+        "used_processes": result.used_processes,
+        "merged_digest": _digest(result.merged),
+    }
+
+
+def _digest(merged: dict) -> str:
+    import hashlib
+
+    blob = json.dumps(merged, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="shorter simulated duration (quick smoke)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="where to write BENCH_fleet.json")
+    args = parser.parse_args(argv)
+    duration_s = 10.0 if args.fast else 30.0
+
+    sweep = []
+    for nodes in NODE_SWEEP:
+        baseline_wall = None
+        baseline_digest = None
+        for workers in WORKER_SWEEP:
+            point = bench_point(nodes, workers,
+                                duration_s=duration_s, seed=args.seed)
+            if workers == 1:
+                baseline_wall = point["wall_s"]
+                baseline_digest = point["merged_digest"]
+            point["speedup_vs_1_worker"] = (
+                round(baseline_wall / point["wall_s"], 3)
+                if point["wall_s"] > 0 else None
+            )
+            if point["merged_digest"] != baseline_digest:
+                print(f"FATAL: merged metrics differ between workers=1 and "
+                      f"workers={workers} at nodes={nodes}", file=sys.stderr)
+                return 1
+            sweep.append(point)
+            print(f"nodes={nodes:<4} workers={workers}  "
+                  f"wall={point['wall_s']:>7.2f}s  "
+                  f"events/s={point['events_per_s']:>10,.0f}  "
+                  f"speedup={point['speedup_vs_1_worker']}")
+
+    best_200 = max(
+        (p for p in sweep if p["nodes"] == 200 and p["workers"] > 1),
+        key=lambda p: p["speedup_vs_1_worker"],
+        default=None,
+    )
+    document = {
+        "bench": "fleet",
+        "scenario": "metro",
+        "duration_s": duration_s,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep,
+        "best_200_node_speedup": (
+            best_200["speedup_vs_1_worker"] if best_200 else None
+        ),
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if best_200 is not None:
+        print(f"best 200-node speedup: {best_200['speedup_vs_1_worker']}x "
+              f"at {best_200['workers']} workers "
+              f"({os.cpu_count()} CPUs visible)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

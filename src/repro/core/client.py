@@ -72,12 +72,27 @@ class StreamHandle:
             self._client._cancel_stream(self)
 
 
+@dataclass(frozen=True)
+class ClientEvent:
+    """One observable client-side operation, timestamped for experiments.
+
+    ``latency_s`` is filled for response events (time since the request
+    that they answer was sent).
+    """
+
+    time_s: float
+    kind: str
+    latency_s: Optional[float] = None
+    detail: str = ""
+
+
 @dataclass
 class _Pending:
     kind: str
     callback: Callable
     timeout: Optional[EventHandle] = None
     collected: List[DiscoveredPeripheral] = field(default_factory=list)
+    sent_ns: int = 0
 
 
 class Client:
@@ -102,6 +117,8 @@ class Client:
         self._advertisement_listeners: List[
             Callable[[Ipv6Address, List[proto.PeripheralEntry]], None]
         ] = []
+        self.events: List[ClientEvent] = []
+        self._event_listeners: List[Callable[[ClientEvent], None]] = []
         # Clients listen on the all-clients group for unsolicited
         # advertisements (§5.2.1, Figure 10).
         self.stack.join_group(all_clients_group(network.prefix48))
@@ -117,6 +134,20 @@ class Client:
     ) -> None:
         """Subscribe to unsolicited peripheral advertisements."""
         self._advertisement_listeners.append(listener)
+
+    def add_listener(self, listener: Callable[[ClientEvent], None]) -> None:
+        """Observe client operations as they happen (fleet metrics hook)."""
+        self._event_listeners.append(listener)
+
+    def _log(self, kind: str, *, latency_s: Optional[float] = None,
+             detail: str = "") -> None:
+        event = ClientEvent(self.sim.now_s, kind, latency_s, detail)
+        self.events.append(event)
+        for listener in self._event_listeners:
+            listener(event)
+
+    def _latency_of(self, pending: _Pending) -> float:
+        return (self.sim.now_ns - pending.sent_ns) / 1e9
 
     def discover(
         self,
@@ -135,8 +166,9 @@ class Client:
         """
         device_id = DeviceId(int(getattr(device_id, "value", device_id)))
         seq = self._seq.next()
-        pending = _Pending("discover", callback)
+        pending = _Pending("discover", callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._log("discover-sent", detail=str(device_id))
         if zone is None:
             group = peripheral_group(self.stack.network.prefix48, device_id)
         else:
@@ -152,6 +184,9 @@ class Client:
     def _finish_discovery(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            self._log("discover-complete",
+                      latency_s=self._latency_of(pending),
+                      detail=f"{len(pending.collected)} found")
             pending.callback(list(pending.collected))
 
     def read(
@@ -184,8 +219,9 @@ class Client:
         """
         device_id = DeviceId(int(getattr(device_id, "value", device_id)))
         seq = self._seq.next()
-        pending = _Pending("write", callback)
+        pending = _Pending("write", callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._log("write-sent", detail=str(device_id))
         message = proto.WriteRequest(seq, device_id, value)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
         pending.timeout = self._arm_timeout(seq, timeout_s)
@@ -211,8 +247,9 @@ class Client:
             if on_established is not None:
                 on_established(handle)
 
-        pending = _Pending("stream", established)
+        pending = _Pending("stream", established, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._log("stream-sent", detail=str(device_id))
         message = proto.StreamRequest(seq, device_id, interval_ms)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
         pending.timeout = self._arm_timeout(seq, timeout_s)
@@ -221,8 +258,9 @@ class Client:
     def _send_unicast(self, thing, msg_cls, device_id, kind, callback,
                       timeout_s) -> int:
         seq = self._seq.next()
-        pending = _Pending(kind, callback)
+        pending = _Pending(kind, callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._log(f"{kind}-sent", detail=str(device_id))
         message = msg_cls(seq, device_id)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
         pending.timeout = self._arm_timeout(seq, timeout_s)
@@ -239,6 +277,8 @@ class Client:
     def _fire_timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            self._log(f"{pending.kind}-timeout",
+                      latency_s=self._latency_of(pending))
             pending.callback(None)
 
     def _cancel_stream(self, handle: StreamHandle) -> None:
@@ -263,6 +303,11 @@ class Client:
         if isinstance(message, proto.SolicitedAdvertisement):
             pending = self._pending.get(message.seq)
             if pending is not None and pending.kind == "discover":
+                if not pending.collected:
+                    # Discovery latency proper: request to first answer
+                    # (the collection window always runs to its timeout).
+                    self._log("discover-first-response",
+                              latency_s=self._latency_of(pending))
                 pending.collected.extend(
                     DiscoveredPeripheral(datagram.src, entry)
                     for entry in message.peripherals
@@ -271,6 +316,7 @@ class Client:
         if isinstance(message, proto.StreamData):
             callbacks = self._stream_callbacks.get(datagram.dst.value)
             if callbacks is not None:
+                self._log("stream-data", detail=str(message.device_id))
                 callbacks[0](
                     ReadResult(message.device_id, message.payload, message.is_array)
                 )
@@ -291,12 +337,15 @@ class Client:
         if pending.timeout is not None:
             pending.timeout.cancel()
         if isinstance(message, proto.Data) and pending.kind == "read":
+            self._log("read-reply", latency_s=self._latency_of(pending))
             pending.callback(
                 ReadResult(message.device_id, message.payload, message.is_array)
             )
         elif isinstance(message, proto.WriteAck) and pending.kind == "write":
+            self._log("write-ack", latency_s=self._latency_of(pending))
             pending.callback(message.status)
         elif isinstance(message, proto.StreamEstablished) and pending.kind == "stream":
+            self._log("stream-established", latency_s=self._latency_of(pending))
             handle = StreamHandle(
                 self, datagram.src, message.device_id, message.group
             )
@@ -309,4 +358,5 @@ class Client:
             pending.callback(None)
 
 
-__all__ = ["Client", "DiscoveredPeripheral", "ReadResult", "StreamHandle"]
+__all__ = ["Client", "ClientEvent", "DiscoveredPeripheral", "ReadResult",
+           "StreamHandle"]

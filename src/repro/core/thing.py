@@ -122,6 +122,7 @@ class Thing:
         self._pending_driver: Dict[int, Set[int]] = {}
         self._streams: Dict[int, _StreamState] = {}
         self.events: List[ThingEvent] = []
+        self._listeners: List[Callable[[ThingEvent], None]] = []
 
     # ----------------------------------------------------------- conveniences
     @property
@@ -134,7 +135,14 @@ class Thing:
 
     def log(self, kind: str, device_id: Optional[DeviceId] = None,
             detail: str = "") -> None:
-        self.events.append(ThingEvent(self.sim.now_s, kind, device_id, detail))
+        event = ThingEvent(self.sim.now_s, kind, device_id, detail)
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def add_listener(self, listener: Callable[[ThingEvent], None]) -> None:
+        """Observe pipeline events as they happen (fleet metrics hook)."""
+        self._listeners.append(listener)
 
     def events_of(self, kind: str) -> List[ThingEvent]:
         return [e for e in self.events if e.kind == kind]

@@ -1,0 +1,39 @@
+"""repro.fleet — sharded fleet-scale scenario engine with a metrics core.
+
+Opens the many-node workload: declarative :class:`FleetScenario`
+deployments of µPnP gateways/Things under stochastic churn, partitioned
+into independent shards, executed serially or across worker processes,
+with counters/gauges/histograms merged deterministically across shards.
+
+    from repro.fleet import FleetScenario, run_scenario
+    result = run_scenario(FleetScenario(things=200), workers=4)
+    print(result.counter("identifications"))
+"""
+
+from repro.fleet.deployment import ShardDeployment
+from repro.fleet.metrics import Counter, Gauge, Metrics
+from repro.fleet.report import render_report, result_to_json, write_json
+from repro.fleet.runner import FleetResult, run_scenario, run_shard
+from repro.fleet.scenario import (
+    SCENARIOS,
+    ChurnProfile,
+    FleetScenario,
+    ShardSpec,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ChurnProfile",
+    "Counter",
+    "FleetResult",
+    "FleetScenario",
+    "Gauge",
+    "Metrics",
+    "ShardDeployment",
+    "ShardSpec",
+    "render_report",
+    "result_to_json",
+    "run_scenario",
+    "run_shard",
+    "write_json",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point for fleet-scale scenario runs.
+
+    python -m repro.fleet --nodes 200 --workers 4 --seed 1
+    python -m repro.fleet --scenario dense --json fleet.json
+    python -m repro.fleet --list
+
+Runs a named (or parameter-overridden) :class:`FleetScenario` across
+worker processes and prints the merged metrics report, optionally also
+writing the full JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Run a fleet-scale uPnP scenario and report metrics.",
+    )
+    parser.add_argument("--scenario", default="metro",
+                        help="named scenario to start from (see --list)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the number of Things in the fleet")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="override Things per gateway shard")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override simulated duration (seconds)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the master seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for shard execution")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full result as JSON")
+    parser.add_argument("--list", action="store_true",
+                        help="list named scenarios and exit")
+    args = parser.parse_args(argv)
+
+    from repro.fleet.report import render_report, write_json
+    from repro.fleet.runner import run_scenario
+    from repro.fleet.scenario import SCENARIOS
+
+    if args.list:
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name:<8} {scenario.things:>5} things, "
+                  f"{scenario.shard_count} shards, "
+                  f"{scenario.duration_s:g} s simulated")
+        return 0
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario '{args.scenario}'; try --list",
+              file=sys.stderr)
+        return 2
+    scenario = SCENARIOS[args.scenario]
+    overrides = {}
+    if args.nodes is not None:
+        overrides["things"] = args.nodes
+        overrides["name"] = f"{scenario.name}-{args.nodes}"
+    if args.shard_size is not None:
+        overrides["shard_size"] = args.shard_size
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        try:
+            scenario = scenario.scaled(**overrides)
+        except ValueError as exc:
+            print(f"invalid scenario parameters: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_scenario(scenario, workers=args.workers)
+    print(render_report(result))
+    if args.json:
+        try:
+            write_json(result, args.json)
+        except OSError as exc:
+            print(f"cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

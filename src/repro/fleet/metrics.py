@@ -1,0 +1,146 @@
+"""The fleet metrics core: counters, gauges and mergeable histograms.
+
+Every shard of a fleet run records into its own :class:`Metrics`
+instance while simulating, then exports a JSON-able *snapshot*.  The
+runner merges the per-shard snapshots — counters and gauges add,
+histograms add bucket-wise (see :class:`repro.sim.stats.Histogram`) —
+in shard-index order, so the merged result is byte-identical no matter
+how many worker processes executed the shards.
+
+Latency distributions report p50/p95/p99 through the same percentile
+conventions as :func:`repro.sim.stats.percentile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.stats import Histogram
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A per-shard scalar (e.g. joules of energy); shards merge by sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, value: float) -> None:
+        self.value += float(value)
+
+
+#: Default histogram bounds for latency metrics (seconds).  Chosen once
+#: here so every shard builds identically-shaped (hence mergeable)
+#: histograms.
+LATENCY_BOUNDS: Tuple[float, float] = (1e-4, 100.0)
+
+
+class Metrics:
+    """A registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- recording
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        lo: float = LATENCY_BOUNDS[0],
+        hi: float = LATENCY_BOUNDS[1],
+        buckets_per_decade: int = 16,
+    ) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(lo, hi, buckets_per_decade)
+        return hist
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> dict:
+        """A JSON-able, pickle-safe view of everything recorded."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_json() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def merge(snapshots: Iterable[dict]) -> dict:
+        """Merge per-shard snapshots (counters/gauges add, histograms
+        add bucket-wise).  Merging in shard order keeps float sums
+        deterministic regardless of worker count."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Histogram] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                gauges[name] = gauges.get(name, 0.0) + value
+            for name, data in snap.get("histograms", {}).items():
+                hist = Histogram.from_json(data)
+                histograms[name] = (
+                    histograms[name].merge(hist) if name in histograms else hist
+                )
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": {
+                k: histograms[k].to_json() for k in sorted(histograms)
+            },
+        }
+
+    @staticmethod
+    def histogram_from(merged: dict, name: str) -> Optional[Histogram]:
+        data = merged.get("histograms", {}).get(name)
+        return None if data is None else Histogram.from_json(data)
+
+    @staticmethod
+    def percentiles(
+        merged: dict, name: str, qs: Iterable[float] = (50, 95, 99)
+    ) -> Optional[List[float]]:
+        """p50/p95/p99 (by default) of a merged latency histogram."""
+        hist = Metrics.histogram_from(merged, name)
+        if hist is None or hist.count == 0:
+            return None
+        return [hist.percentile(q) for q in qs]
+
+
+__all__ = ["Counter", "Gauge", "Metrics", "LATENCY_BOUNDS"]

@@ -1,0 +1,107 @@
+"""The shard runner: fleet scenarios across worker processes.
+
+A fleet run partitions its scenario into independent gateway shards
+(:meth:`FleetScenario.shards`), executes each shard's deployment on its
+own :class:`~repro.sim.kernel.Simulator`, and merges the per-shard
+metric snapshots.  Shards cross process boundaries as pickle-safe
+:class:`ShardSpec` values and come back as plain snapshot dicts, so the
+parallel path works under any multiprocessing start method.
+
+The merge happens in shard-index order whether shards ran serially or
+on a :class:`~concurrent.futures.ProcessPoolExecutor`, which makes the
+merged metrics a pure function of ``(scenario, seed)`` — identical for
+any ``workers`` setting.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fleet.deployment import ShardDeployment
+from repro.fleet.metrics import Metrics
+from repro.fleet.scenario import FleetScenario, ShardSpec
+
+
+def run_shard(spec: ShardSpec) -> dict:
+    """Execute one shard; module-level so worker processes can pickle it."""
+    deployment = ShardDeployment(spec)
+    return deployment.run().snapshot()
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of a fleet run, plus execution metadata.
+
+    ``merged`` is deterministic for a given scenario; the wall-clock
+    fields describe this particular execution and are kept out of the
+    metrics so determinism checks compare apples to apples.
+    """
+
+    scenario: FleetScenario
+    merged: dict
+    shard_snapshots: List[dict] = field(repr=False, default_factory=list)
+    workers: int = 1
+    wall_s: float = 0.0
+    used_processes: bool = False
+
+    @property
+    def sim_events(self) -> int:
+        return self.merged.get("counters", {}).get("sim.events", 0)
+
+    @property
+    def events_per_s(self) -> float:
+        return self.sim_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def counter(self, name: str) -> int:
+        return self.merged.get("counters", {}).get(name, 0)
+
+    def percentiles(self, name: str, qs=(50, 95, 99)) -> Optional[List[float]]:
+        return Metrics.percentiles(self.merged, name, qs)
+
+
+def run_scenario(
+    scenario: FleetScenario,
+    *,
+    workers: int = 1,
+) -> FleetResult:
+    """Run every shard of *scenario* and merge their metrics.
+
+    ``workers > 1`` fans shards out over a process pool (falling back
+    to the serial path if the pool cannot be created or dies); shard
+    results are always merged in shard-index order.
+    """
+    specs = scenario.shards()
+    workers = max(1, int(workers))
+    started = time.perf_counter()
+    used_processes = False
+    if workers == 1 or len(specs) == 1:
+        snapshots = [run_shard(spec) for spec in specs]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(specs))
+            ) as pool:
+                # Executor.map preserves input order regardless of
+                # completion order — merge order stays deterministic.
+                snapshots = list(pool.map(run_shard, specs))
+            used_processes = True
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Environments without working process spawning (sandboxes,
+            # restricted containers) still get correct, serial results.
+            snapshots = [run_shard(spec) for spec in specs]
+    wall = time.perf_counter() - started
+    return FleetResult(
+        scenario=scenario,
+        merged=Metrics.merge(snapshots),
+        shard_snapshots=snapshots,
+        workers=workers,
+        wall_s=wall,
+        used_processes=used_processes,
+    )
+
+
+__all__ = ["run_shard", "run_scenario", "FleetResult"]

@@ -39,6 +39,7 @@ class NetworkStats:
     datagrams_delivered: int = 0
     datagrams_undeliverable: int = 0
     multicast_transmissions: int = 0
+    bytes_sent: int = 0
 
 
 class Network:
@@ -153,6 +154,7 @@ class Network:
         CPU time; this method accounts link delays and remote CPU.
         """
         self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += datagram.size
         for monitor in self._monitors:
             monitor(src_id, datagram)
         if datagram.dst.is_multicast:

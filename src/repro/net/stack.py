@@ -32,6 +32,8 @@ class StackStats:
     sent: int = 0
     received: int = 0
     no_socket: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
 
 class NetworkStack:
@@ -100,6 +102,7 @@ class NetworkStack:
         cpu = self._network.timing.packet_cpu_s(datagram.size, receive=False)
         self._charge_cpu(cpu)
         self.stats.sent += 1
+        self.stats.bytes_sent += datagram.size
 
         def _transmit() -> None:
             self._network.send(self._node_id, datagram)
@@ -121,6 +124,7 @@ class NetworkStack:
                 self.stats.no_socket += 1
                 return
             self.stats.received += 1
+            self.stats.bytes_received += datagram.size
             handler(datagram)
 
         self.sim.schedule(ns_from_s(cpu), _dispatch, name="stack-recv")

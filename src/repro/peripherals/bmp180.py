@@ -172,11 +172,24 @@ def uncompensated_temperature(temp_c: float, cal: Calibration) -> int:
 
 def uncompensated_pressure(pressure_pa: float, b5: int, oss: int,
                            cal: Calibration) -> int:
-    """Invert the pressure compensation: Pa -> UP for a given B5/oss."""
-    target = round(pressure_pa)
+    """Invert the pressure compensation: Pa -> UP for a given B5/oss.
+
+    The compensated output is quantised (one UP step is ~3 Pa at
+    oss=0), so after bisecting to the first UP at or above the target
+    the lower neighbour may be strictly closer; pick whichever lands
+    nearest the true pressure.
+    """
     hi = (1 << (16 + oss)) - 1
-    up = _bisect_int(0, hi, lambda u: compensate_pressure(u, b5, oss, cal) >= target)
-    return max(0, min(hi, up))
+    up = _bisect_int(
+        0, hi, lambda u: compensate_pressure(u, b5, oss, cal) >= pressure_pa
+    )
+    up = max(0, min(hi, up))
+    if up > 0:
+        above = compensate_pressure(up, b5, oss, cal)
+        below = compensate_pressure(up - 1, b5, oss, cal)
+        if abs(below - pressure_pa) < abs(above - pressure_pa):
+            up -= 1
+    return up
 
 
 @dataclass

@@ -12,7 +12,7 @@ from repro.sim.kernel import (
     ns_from_us,
 )
 from repro.sim.rng import RngRegistry
-from repro.sim.stats import Summary, percentile, summarize
+from repro.sim.stats import Histogram, Summary, percentile, summarize
 
 __all__ = [
     "NS_PER_MS",
@@ -25,6 +25,7 @@ __all__ = [
     "ns_from_s",
     "ns_from_us",
     "RngRegistry",
+    "Histogram",
     "Summary",
     "percentile",
     "summarize",

@@ -30,15 +30,19 @@ class _ScheduledEvent:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: True once the event has left the heap (fired or discarded); a
+    #: late cancel() must not touch the simulator's tombstone counter.
+    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time_ns(self) -> int:
@@ -50,7 +54,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.popped:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -68,6 +77,10 @@ class Simulator:
         self._now_ns = 0
         self._seq = 0
         self._queue: list[_ScheduledEvent] = []
+        #: Cancelled events still sitting in the heap.  Kept exact so
+        #: :meth:`pending_count` is O(1) and so churn-heavy runs can
+        #: compact the heap once tombstones outnumber live events.
+        self._tombstones = 0
         self._running = False
         self._trace_hooks: list[Callable[[int, str], None]] = []
 
@@ -119,7 +132,7 @@ class Simulator:
         event = _ScheduledEvent(time_ns, self._seq, callback, name)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def call_soon(self, callback: Callable[[], None], *, name: str = "") -> EventHandle:
         """Schedule *callback* at the current instant (after pending events
@@ -131,7 +144,9 @@ class Simulator:
         """Run the single next event.  Returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now_ns = event.time_ns
             for hook in self._trace_hooks:
@@ -162,6 +177,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.popped = True
+                self._tombstones -= 1
                 continue
             if head.time_ns > time_ns:
                 break
@@ -182,15 +199,43 @@ class Simulator:
         self._trace_hooks.append(hook)
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._tombstones
 
     def drain(self, names: Iterable[str] = ()) -> None:
         """Cancel every queued event (optionally only those matching *names*)."""
         names = set(names)
         for event in self._queue:
+            if event.cancelled:
+                continue
             if not names or event.name in names:
                 event.cancelled = True
+                self._tombstones += 1
+        self._maybe_compact()
+
+    # ------------------------------------------------------------ tombstones
+    def _note_cancelled(self) -> None:
+        """A queued event was just cancelled via its handle."""
+        self._tombstones += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones.
+
+        Long churn-heavy runs (fleet scenarios cancelling timers and
+        stream ticks) would otherwise accumulate tombstones forever,
+        growing memory and slowing every ``heappush``.  Amortised O(1)
+        per cancellation.
+        """
+        if self._tombstones * 2 <= len(self._queue):
+            return
+        live = [e for e in self._queue if not e.cancelled]
+        for event in self._queue:
+            if event.cancelled:
+                event.popped = True
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._tombstones = 0
 
 
 def ns_from_us(us: float) -> int:

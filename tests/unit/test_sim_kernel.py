@@ -156,6 +156,99 @@ def test_drain_cancels_everything():
     assert sim.run() == 0
 
 
+def test_run_until_with_cancelled_head_event():
+    """A cancelled event at the head of the queue must not block or
+    mis-advance run_until."""
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(5, lambda: fired.append("head"))
+    sim.schedule(10, lambda: fired.append("tail"))
+    head.cancel()
+    assert sim.run_until(10) == 1
+    assert fired == ["tail"]
+    assert sim.now_ns == 10
+
+
+def test_run_until_all_heads_cancelled_advances_clock():
+    sim = Simulator()
+    handles = [sim.schedule(i, lambda: None) for i in range(1, 4)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.run_until(50) == 0
+    assert sim.now_ns == 50
+    assert sim.pending_count() == 0
+
+
+def test_drain_names_selectivity():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, lambda: fired.append("keep"), name="keep")
+    sim.schedule(2, lambda: fired.append("drop-a"), name="drop")
+    sim.schedule(3, lambda: fired.append("drop-b"), name="drop")
+    sim.schedule(4, lambda: fired.append("other"), name="other")
+    sim.drain(names=["drop"])
+    assert sim.pending_count() == 2
+    sim.run()
+    assert fired == ["keep", "other"]
+
+
+def test_drain_is_idempotent_and_counts_once():
+    sim = Simulator()
+    sim.schedule(1, lambda: None, name="x")
+    sim.drain(names=["x"])
+    sim.drain(names=["x"])  # same tombstone must not be counted twice
+    assert sim.pending_count() == 0
+    assert sim.run() == 0
+
+
+def test_fifo_tie_break_survives_cancellation():
+    """Equal-timestamp FIFO order is preserved when a middle event in
+    the tie group is cancelled."""
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(7, lambda n=n: fired.append(n)) for n in "abcd"]
+    handles[1].cancel()
+    sim.run()
+    assert fired == ["a", "c", "d"]
+
+
+def test_pending_count_is_live_event_count():
+    sim = Simulator()
+    handles = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+    assert sim.pending_count() == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sim.pending_count() == 6
+    handles[0].cancel()  # double-cancel must not double-count
+    assert sim.pending_count() == 6
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_cancellation_compacts_the_heap():
+    """Tombstones are reclaimed lazily once they outnumber live events."""
+    sim = Simulator()
+    handles = [sim.schedule(1000 + i, lambda: None) for i in range(1000)]
+    for handle in handles[:900]:
+        handle.cancel()
+    assert sim.pending_count() == 100
+    # Compaction kicked in: the heap cannot still hold all 900 tombstones.
+    assert len(sim._queue) < 300
+    assert sim.run() == 100
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    handle = sim.schedule(1, lambda: None)
+    other = sim.schedule(2, lambda: None)
+    sim.run()
+    handle.cancel()  # late cancel of an already-fired event
+    assert sim.pending_count() == 0
+    sim.schedule(5, lambda: None)
+    assert sim.pending_count() == 1
+    del other
+
+
 def test_unit_conversions():
     assert ns_from_us(1.5) == 1_500
     assert ns_from_ms(2.5) == 2_500_000

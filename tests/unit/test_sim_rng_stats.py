@@ -1,9 +1,11 @@
 """Unit tests for RNG streams and the statistics helpers."""
 
+import random
+
 import pytest
 
 from repro.sim.rng import RngRegistry
-from repro.sim.stats import percentile, summarize
+from repro.sim.stats import Histogram, percentile, summarize
 
 
 def test_streams_are_deterministic_per_seed_and_name():
@@ -65,3 +67,128 @@ def test_percentile_validates():
         percentile([], 50)
     with pytest.raises(ValueError):
         percentile([1.0], 101)
+
+
+def test_fork_streams_are_independent_of_parent_consumption():
+    """Draining parent streams must not shift a fork's sequences, and
+    vice versa — the fleet relies on this for shard determinism."""
+    reg = RngRegistry(seed=3)
+    baseline = RngRegistry(seed=3).fork("node").stream("churn").random()
+    for _ in range(100):
+        reg.stream("network").random()
+    assert reg.fork("node").stream("churn").random() == baseline
+    # And forking first does not perturb the parent's own streams.
+    lhs = RngRegistry(seed=3)
+    lhs.fork("node")
+    rhs = RngRegistry(seed=3)
+    assert lhs.stream("x").random() == rhs.stream("x").random()
+
+
+def test_nested_forks_are_deterministic():
+    a = RngRegistry(seed=7).fork("shard-0").fork("thing-3").stream("mfg")
+    b = RngRegistry(seed=7).fork("shard-0").fork("thing-3").stream("mfg")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_summary_percentile_reuses_percentile_convention():
+    s = summarize([0.0, 10.0, 20.0, 30.0])
+    assert s.percentile(50) == percentile([0.0, 10.0, 20.0, 30.0], 50)
+    assert s.percentile(0) == 0.0
+    assert s.percentile(100) == 30.0
+
+
+def test_summary_percentile_without_sample_raises():
+    from repro.sim.stats import Summary
+
+    bare = Summary(n=1, mean=1.0, stdev=0.0, minimum=1.0, maximum=1.0)
+    with pytest.raises(ValueError):
+        bare.percentile(50)
+
+
+# ------------------------------------------------------------------ Histogram
+def _filled(values, lo=1e-3, hi=10.0):
+    hist = Histogram(lo, hi)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def test_histogram_counts_sum_and_extrema():
+    hist = _filled([0.01, 0.1, 1.0, 5.0])
+    assert hist.count == 4
+    assert hist.total == pytest.approx(6.11)
+    assert hist.minimum == 0.01
+    assert hist.maximum == 5.0
+    assert hist.mean == pytest.approx(6.11 / 4)
+
+
+def test_histogram_under_and_overflow_buckets():
+    hist = _filled([1e-6, 50.0], lo=1e-3, hi=10.0)
+    assert hist.counts[0] == 1       # underflow
+    assert hist.counts[-1] == 1      # overflow
+    assert hist.percentile(0) == 1e-6
+    assert hist.percentile(100) == 50.0
+
+
+def test_histogram_merge_is_associative_and_commutative():
+    rng = random.Random(11)
+    parts = []
+    for _ in range(3):
+        parts.append(_filled([rng.lognormvariate(0.0, 1.0) * 0.05
+                              for _ in range(500)]))
+    a, b, c = parts
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+    assert a.merge(b) == b.merge(a)
+    assert a.merge(b).merge(c).count == 1500
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    with pytest.raises(ValueError):
+        Histogram(1e-3, 10.0).merge(Histogram(1e-3, 100.0))
+
+
+def test_histogram_merge_identity_with_empty():
+    hist = _filled([0.5, 0.7])
+    empty = Histogram(1e-3, 10.0)
+    assert hist.merge(empty) == hist
+    assert empty.merge(hist) == hist
+
+
+def test_histogram_percentile_tracks_exact_percentile():
+    rng = random.Random(4)
+    values = [rng.lognormvariate(0.0, 0.8) * 0.02 for _ in range(4000)]
+    hist = _filled(values, lo=1e-4, hi=10.0)
+    for q in (50, 90, 95, 99):
+        exact = percentile(values, q)
+        assert hist.percentile(q) == pytest.approx(exact, rel=0.35)
+
+
+def test_histogram_empty_and_invalid_inputs():
+    empty = Histogram(1e-3, 10.0)
+    assert empty.count == 0
+    with pytest.raises(ValueError):
+        empty.percentile(50)
+    with pytest.raises(ValueError):
+        empty.mean
+    with pytest.raises(ValueError):
+        Histogram(0.0, 1.0)
+    with pytest.raises(ValueError):
+        _filled([1.0]).percentile(101)
+
+
+def test_histogram_single_value():
+    hist = _filled([0.25])
+    assert hist.percentile(50) == pytest.approx(0.25, rel=1e-9)
+    assert hist.percentile(0) == 0.25
+    assert hist.percentile(100) == 0.25
+
+
+def test_histogram_json_roundtrip():
+    import json
+
+    hist = _filled([0.001, 0.02, 0.3, 4.0, 100.0])
+    data = json.loads(json.dumps(hist.to_json()))
+    assert Histogram.from_json(data) == hist
+    assert Histogram.from_json(json.loads(
+        json.dumps(Histogram(1e-3, 10.0).to_json())
+    )).count == 0
