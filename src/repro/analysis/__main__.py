@@ -22,6 +22,9 @@ def main(argv=None) -> int:
                         help="fewer trials (quick smoke run)")
     parser.add_argument("--skip-extensions", action="store_true",
                         help="only the paper's own tables/figures")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also run the traced-read scenario and write "
+                             "its Perfetto JSON (see python -m repro.obs)")
     args = parser.parse_args(argv)
 
     from repro.analysis.drivers import render_table3
@@ -52,6 +55,18 @@ def main(argv=None) -> int:
         sections.append(render_multihop_study())
 
     print(("\n\n" + "-" * 72 + "\n\n").join(sections))
+    if args.trace:
+        from repro.obs.export import write_trace
+        from repro.obs.smoke import traced_read
+
+        document, info = traced_read()
+        try:
+            write_trace(args.trace, document)
+        except OSError as exc:
+            print(f"cannot write {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nwrote traced read (layers: "
+              f"{', '.join(sorted(info['layers']))}) to {args.trace}")
     return 0
 
 

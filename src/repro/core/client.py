@@ -93,6 +93,7 @@ class _Pending:
     timeout: Optional[EventHandle] = None
     collected: List[DiscoveredPeripheral] = field(default_factory=list)
     sent_ns: int = 0
+    trace_id: Optional[int] = None
 
 
 class Client:
@@ -109,6 +110,7 @@ class Client:
         self.sim = sim
         self.stack = NetworkStack(network, node_id)
         self.stack.bind(UPNP_PORT, self._on_datagram)
+        self._obs_track = f"client-{node_id} core"
         self._seq = SequenceCounter(node_id * 4099)
         self._default_timeout_s = default_timeout_s
         self._pending: Dict[int, _Pending] = {}
@@ -149,6 +151,38 @@ class Client:
     def _latency_of(self, pending: _Pending) -> float:
         return (self.sim.now_ns - pending.sent_ns) / 1e9
 
+    def _trace_begin(self, kind: str, seq: int, pending: _Pending,
+                     device_id) -> None:
+        """Open a causal trace for one request/reply operation.
+
+        The new trace id becomes the scheduler's current context before
+        the request is sent, so every downstream hop inherits it; the
+        seq binding lets receivers re-adopt it if the chain is severed.
+        """
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled_for("core"):
+            trace_id = tracer.new_trace()
+            pending.trace_id = trace_id
+            tracer.current = trace_id
+            tracer.bind_seq(seq, trace_id)
+            tracer.async_begin(
+                f"client.{kind}", "core", trace_id,
+                track=tracer.track(self._obs_track),
+                args={"seq": seq, "device_id": str(device_id)},
+            )
+
+    def _trace_end(self, pending: _Pending, *, timeout: bool = False) -> None:
+        tracer = self.sim.tracer
+        if (tracer is not None and pending.trace_id is not None
+                and tracer.enabled_for("core")):
+            args = {"latency_s": self._latency_of(pending)}
+            if timeout:
+                args["timeout"] = True
+            tracer.async_end(
+                f"client.{pending.kind}", "core", pending.trace_id,
+                track=tracer.track(self._obs_track), args=args,
+            )
+
     def discover(
         self,
         device_id: DeviceId | int,
@@ -168,6 +202,7 @@ class Client:
         seq = self._seq.next()
         pending = _Pending("discover", callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._trace_begin("discover", seq, pending, device_id)
         self._log("discover-sent", detail=str(device_id))
         if zone is None:
             group = peripheral_group(self.stack.network.prefix48, device_id)
@@ -184,6 +219,7 @@ class Client:
     def _finish_discovery(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            self._trace_end(pending)
             self._log("discover-complete",
                       latency_s=self._latency_of(pending),
                       detail=f"{len(pending.collected)} found")
@@ -221,6 +257,7 @@ class Client:
         seq = self._seq.next()
         pending = _Pending("write", callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._trace_begin("write", seq, pending, device_id)
         self._log("write-sent", detail=str(device_id))
         message = proto.WriteRequest(seq, device_id, value)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
@@ -249,6 +286,7 @@ class Client:
 
         pending = _Pending("stream", established, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._trace_begin("stream", seq, pending, device_id)
         self._log("stream-sent", detail=str(device_id))
         message = proto.StreamRequest(seq, device_id, interval_ms)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
@@ -260,6 +298,7 @@ class Client:
         seq = self._seq.next()
         pending = _Pending(kind, callback, sent_ns=self.sim.now_ns)
         self._pending[seq] = pending
+        self._trace_begin(kind, seq, pending, device_id)
         self._log(f"{kind}-sent", detail=str(device_id))
         message = msg_cls(seq, device_id)
         self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
@@ -277,6 +316,7 @@ class Client:
     def _fire_timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            self._trace_end(pending, timeout=True)
             self._log(f"{pending.kind}-timeout",
                       latency_s=self._latency_of(pending))
             pending.callback(None)
@@ -336,6 +376,7 @@ class Client:
             return
         if pending.timeout is not None:
             pending.timeout.cancel()
+        self._trace_end(pending)
         if isinstance(message, proto.Data) and pending.kind == "read":
             self._log("read-reply", latency_s=self._latency_of(pending))
             pending.callback(

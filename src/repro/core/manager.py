@@ -74,6 +74,15 @@ class Manager:
             message = decode_message(datagram.payload)
         except proto.ProtocolError:
             return
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled_for("core"):
+            if tracer.current is None:
+                tracer.current = tracer.trace_for_seq(message.seq)
+            tracer.instant(
+                f"manager.rx {type(message).__name__}", "core",
+                tracer.track("manager core"),
+                args={"seq": message.seq, "from": str(datagram.src)},
+            )
         if isinstance(message, proto.DriverInstallRequest):
             self._serve_install(message, datagram)
             return
@@ -100,6 +109,11 @@ class Manager:
             self.stats.unknown_driver_requests += 1
             return
         lookup = self.stack.network.timing.manager_lookup_cpu_s
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.current is not None:
+            # The upload reuses the request's seq; keep the binding so
+            # the Thing can re-adopt the install trace on receipt.
+            tracer.bind_seq(message.seq, tracer.current)
 
         def upload() -> None:
             reply = proto.DriverUpload(message.seq, message.device_id, image.pack())

@@ -106,7 +106,7 @@ class Thing:
             rng=rng.stream("board"),
             meter=self.meter,
         )
-        self.router = EventRouter(sim, meter=self.meter)
+        self.router = EventRouter(sim, meter=self.meter, label=self.label)
         self.drivers = DriverManager(sim, self.router)
         self.controller = PeripheralController(sim, self.board, meter=self.meter)
         self.stack = NetworkStack(network, node_id, meter=self.meter)
@@ -121,6 +121,7 @@ class Thing:
         self._groups: Dict[int, Ipv6Address] = {}
         self._pending_driver: Dict[int, Set[int]] = {}
         self._streams: Dict[int, _StreamState] = {}
+        self._install_traces: Dict[int, int] = {}
         self.events: List[ThingEvent] = []
         self._listeners: List[Callable[[ThingEvent], None]] = []
 
@@ -212,6 +213,18 @@ class Thing:
         waiting.add(channel)
         if first_request:
             request = proto.DriverInstallRequest(self._seq.next(), device_id)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled_for("core"):
+                trace_id = (tracer.current if tracer.current is not None
+                            else tracer.new_trace())
+                self._install_traces[device_id.value] = trace_id
+                tracer.current = trace_id
+                tracer.bind_seq(request.seq, trace_id)
+                tracer.async_begin(
+                    "driver.install", "core", trace_id,
+                    track=tracer.track(f"{self.label} core"),
+                    args={"device_id": f"{device_id.value:#010x}"},
+                )
             self.stack.sendto(
                 self._manager_address, UPNP_PORT, request.encode(),
                 src_port=UPNP_PORT,
@@ -311,6 +324,17 @@ class Thing:
         except proto.ProtocolError:
             self.log("bad-message")
             return
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled_for("core"):
+            if tracer.current is None:
+                # Causal context usually rides the scheduler; the seq
+                # binding re-adopts it when a hop severed the chain.
+                tracer.current = tracer.trace_for_seq(message.seq)
+            tracer.instant(
+                f"thing.rx {type(message).__name__}", "core",
+                tracer.track(f"{self.label} core"),
+                args={"seq": message.seq, "from": str(datagram.src)},
+            )
         if isinstance(message, proto.PeripheralDiscovery):
             self._handle_discovery(message, datagram)
         elif isinstance(message, proto.ReadRequest):
@@ -466,6 +490,11 @@ class Thing:
             from repro.dsl.bytecode import DriverImage
             from repro.dsl.errors import CompileError
 
+            tracer = self.sim.tracer
+            install_trace = self._install_traces.pop(
+                message.device_id.value, None)
+            if tracer is not None and tracer.current is None:
+                tracer.current = install_trace
             try:
                 image = DriverImage.unpack(message.image)
             except CompileError as exc:
@@ -491,6 +520,13 @@ class Thing:
             waiting = self._pending_driver.pop(message.device_id.value, set())
             for channel in sorted(set(waiting) | set(active)):
                 self._activate_channel(channel, message.device_id)
+            if (tracer is not None and install_trace is not None
+                    and tracer.enabled_for("core")):
+                tracer.async_end(
+                    "driver.install", "core", install_trace,
+                    track=tracer.track(f"{self.label} core"),
+                    args={"bytes": len(message.image)},
+                )
 
         self.sim.schedule(ns_from_s(flash_delay), finish_install, name="flash-write")
 

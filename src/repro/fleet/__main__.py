@@ -34,6 +34,11 @@ def main(argv=None) -> int:
                         help="worker processes for shard execution")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full result as JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a cross-layer trace on every shard and "
+                             "write the merged Perfetto JSON here")
+    parser.add_argument("--trace-limit", type=int, default=None,
+                        help="per-shard trace ring-buffer bound")
     parser.add_argument("--list", action="store_true",
                         help="list named scenarios and exit")
     args = parser.parse_args(argv)
@@ -64,6 +69,10 @@ def main(argv=None) -> int:
         overrides["duration_s"] = args.duration
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.trace is not None:
+        overrides["trace"] = True
+    if args.trace_limit is not None:
+        overrides["trace_limit"] = args.trace_limit
     if overrides:
         try:
             scenario = scenario.scaled(**overrides)
@@ -73,6 +82,18 @@ def main(argv=None) -> int:
 
     result = run_scenario(scenario, workers=args.workers)
     print(render_report(result))
+    if args.trace:
+        from repro.obs.export import write_trace
+
+        document = result.trace_document()
+        try:
+            write_trace(args.trace, document)
+        except OSError as exc:
+            print(f"cannot write {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {len(document['traceEvents'])} trace events to "
+              f"{args.trace} (load in https://ui.perfetto.dev, or run "
+              f"'python -m repro.obs report {args.trace}')")
     if args.json:
         try:
             write_json(result, args.json)

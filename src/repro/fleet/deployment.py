@@ -44,6 +44,17 @@ class ShardDeployment:
         self.scenario = spec.scenario
         self.metrics = metrics or Metrics()
         self.sim = Simulator()
+        if self.scenario.trace:
+            from repro.obs.tracer import install_tracer
+
+            # The id base keeps trace ids globally unique across the
+            # fleet, so the shard-order merge never collides traces.
+            install_tracer(
+                self.sim,
+                limit=self.scenario.trace_limit,
+                trace_id_base=(spec.index + 1) << 32,
+                label=f"shard-{spec.index}",
+            )
         # The per-shard registry root: every stochastic decision in this
         # shard forks from here, never from global state.
         self.rng = RngRegistry(self.scenario.seed).fork(f"shard-{spec.index}")

@@ -55,6 +55,15 @@ def render_report(result: FleetResult) -> str:
             f"  {label:<16}{p50:>9.2f} {p95:>9.2f} {p99:>9.2f} "
             f"{hist.count:>9,}"
         )
+    traces = [t for t in result.shard_traces if t]
+    if traces:
+        events = sum(len(t.get("events", ())) for t in traces)
+        dropped = sum(t.get("dropped", 0) for t in traces)
+        line = (f"trace: {events:,} events from {len(traces)} shard tracer(s)")
+        if dropped:
+            line += f", {dropped:,} dropped (ring full)"
+        lines.append("")
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -29,7 +29,13 @@ from repro.fleet.scenario import FleetScenario, ShardSpec
 def run_shard(spec: ShardSpec) -> dict:
     """Execute one shard; module-level so worker processes can pickle it."""
     deployment = ShardDeployment(spec)
-    return deployment.run().snapshot()
+    snapshot = deployment.run().snapshot()
+    tracer = deployment.sim.tracer
+    if tracer is not None:
+        # Rides the metrics snapshot across the process boundary;
+        # Metrics.merge ignores the extra key.
+        snapshot["trace"] = tracer.snapshot()
+    return snapshot
 
 
 @dataclass
@@ -61,6 +67,18 @@ class FleetResult:
 
     def percentiles(self, name: str, qs=(50, 95, 99)) -> Optional[List[float]]:
         return Metrics.percentiles(self.merged, name, qs)
+
+    @property
+    def shard_traces(self) -> List[Optional[dict]]:
+        """Per-shard tracer snapshots, in shard-index order (None where
+        the shard did not trace)."""
+        return [snap.get("trace") for snap in self.shard_snapshots]
+
+    def trace_document(self) -> dict:
+        """The merged Chrome trace JSON document (Perfetto-loadable)."""
+        from repro.obs.export import merge_traces
+
+        return merge_traces(self.shard_traces)
 
 
 def run_scenario(

@@ -86,6 +86,10 @@ class FleetScenario:
     seed: int = 1
     peripheral_mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
     churn: ChurnProfile = field(default_factory=ChurnProfile)
+    #: Record a cross-layer trace (:mod:`repro.obs`) on every shard.
+    trace: bool = False
+    #: Per-shard tracer ring-buffer bound when tracing.
+    trace_limit: int = 100_000
 
     def __post_init__(self) -> None:
         if self.things < 1:

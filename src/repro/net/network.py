@@ -122,8 +122,15 @@ class Network:
 
     def add_monitor(self, monitor) -> None:
         """Observe every datagram entering the network: monitor(src_id,
-        datagram).  Used by the protocol tracer; never mutates traffic."""
+        datagram).  Never mutates traffic."""
         self._monitors.append(monitor)
+
+    def remove_monitor(self, monitor) -> None:
+        """Detach a monitor added with :meth:`add_monitor`.  Idempotent."""
+        try:
+            self._monitors.remove(monitor)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------ membership
     def join_group(self, node_id: int, group: Ipv6Address) -> None:
@@ -157,6 +164,16 @@ class Network:
         self.stats.bytes_sent += datagram.size
         for monitor in self._monitors:
             monitor(src_id, datagram)
+        tracer = self._sim.tracer
+        if tracer is not None and tracer.enabled_for("proto"):
+            # The protocol event stream: one instant per datagram, with
+            # the raw payload so ProtocolTracer can decode lazily.
+            tracer.instant("proto.send", "proto", tracer.track("protocol"),
+                           args={"src_id": src_id,
+                                 "src": str(datagram.src),
+                                 "dst": str(datagram.dst),
+                                 "size": datagram.size,
+                                 "payload": datagram.payload})
         if datagram.dst.is_multicast:
             self._send_multicast(src_id, datagram)
         elif self.is_anycast(datagram.dst):
@@ -184,10 +201,16 @@ class Network:
         if path is None:
             self.stats.datagrams_undeliverable += 1
             return
+        tracer = self._sim.tracer
+        trace_net = tracer is not None and tracer.enabled_for("net")
         delay = 0.0
         lost = False
         for hop_index in range(len(path) - 1):
-            delay += self._hop_delay(datagram.size, path[hop_index], path[hop_index + 1])
+            a, b = path[hop_index], path[hop_index + 1]
+            hop = self._hop_delay(datagram.size, a, b)
+            if trace_net:
+                self._trace_hop(tracer, a, b, delay, hop, datagram.size)
+            delay += hop
             if self._frames_lost(datagram.size):
                 lost = True
                 break
@@ -203,25 +226,25 @@ class Network:
             raise NetworkError("multicast requires a converged DODAG")
         members = self.group_members(datagram.dst)
         forwarding = smrf_plan(self.dodag, src_id, members)
+        tracer = self._sim.tracer
+        trace_net = tracer is not None and tracer.enabled_for("net")
         arrival: Dict[int, float] = {src_id: 0.0}
         # Uplink: sender -> root along preferred parents.
         uplink = forwarding.uplink
         for a, b in zip(uplink, uplink[1:]):
             self.stats.multicast_transmissions += 1
-            arrival[b] = (
-                arrival[a]
-                + self._hop_delay(datagram.size, a, b)
-                + self._timing.forward_cpu_s
-            )
+            hop = self._hop_delay(datagram.size, a, b)
+            if trace_net:
+                self._trace_hop(tracer, a, b, arrival[a], hop, datagram.size)
+            arrival[b] = arrival[a] + hop + self._timing.forward_cpu_s
         # Downward flood along the member-bearing tree edges.
         for a, b in forwarding.downlinks:
             self.stats.multicast_transmissions += 1
             base = arrival.get(a, 0.0)
-            arrival[b] = (
-                base
-                + self._hop_delay(datagram.size, a, b)
-                + self._timing.forward_cpu_s
-            )
+            hop = self._hop_delay(datagram.size, a, b)
+            if trace_net:
+                self._trace_hop(tracer, a, b, base, hop, datagram.size)
+            arrival[b] = base + hop + self._timing.forward_cpu_s
         for receiver in forwarding.receivers:
             if receiver == src_id:
                 continue  # the sender does not loop its own datagram back
@@ -233,6 +256,15 @@ class Network:
             self._schedule_delivery(src_id, datagram, 0.0)
 
     # --------------------------------------------------------------- helpers
+    def _trace_hop(self, tracer, a: int, b: int, offset_s: float,
+                   hop_s: float, size: int) -> None:
+        """Record one link traversal as a slice on the link's track."""
+        tracer.complete(
+            "net.hop", "net", tracer.track(f"net {a}->{b}"),
+            ns_from_s(hop_s), ts_ns=self._sim.now_ns + ns_from_s(offset_s),
+            args={"from": a, "to": b, "bytes": size},
+        )
+
     def _hop_delay(self, payload_bytes: int, a: int, b: int) -> float:
         """Delay for all fragments of one datagram across one link."""
         del a, b  # links are homogeneous in this model

@@ -103,6 +103,7 @@ class NetworkStack:
         self._charge_cpu(cpu)
         self.stats.sent += 1
         self.stats.bytes_sent += datagram.size
+        self._trace_cpu("stack.send", cpu, datagram.size)
 
         def _transmit() -> None:
             self._network.send(self._node_id, datagram)
@@ -117,6 +118,7 @@ class NetworkStack:
         """Called by the network when frames for us finish arriving."""
         cpu = self._network.timing.packet_cpu_s(datagram.size, receive=True)
         self._charge_cpu(cpu)
+        self._trace_cpu("stack.recv", cpu, datagram.size)
 
         def _dispatch() -> None:
             handler = self._sockets.get(datagram.dst_port)
@@ -180,6 +182,15 @@ class NetworkStack:
         self._network.join_anycast(self._node_id, address)
 
     # --------------------------------------------------------------- helpers
+    def _trace_cpu(self, name: str, cpu_s: float, size: int) -> None:
+        """Record this node's send/receive-path CPU as a slice."""
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled_for("net"):
+            tracer.complete(
+                name, "net", tracer.track(f"node-{self._node_id} stack"),
+                ns_from_s(cpu_s), args={"bytes": size},
+            )
+
     def _rng(self):
         return self._network._rng  # shared deterministic stream
 

@@ -1,0 +1,90 @@
+"""Command-line entry: ``python -m repro.obs <command>``.
+
+``report``
+    Summarise an exported Chrome trace JSON file: slowest traces and
+    the critical path of the slowest (or of ``--trace-id``).
+
+``smoke``
+    Run the built-in traced scenario (one client read across a line
+    topology), write the Perfetto-loadable JSON and verify the read's
+    trace crosses the expected layers.  Exits nonzero if it does not —
+    this is the CI tracing smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import load_trace, write_trace
+from repro.obs.report import collect_traces, render_summary, render_trace
+from repro.obs.smoke import traced_read
+from repro.obs.tracer import DEFAULT_LIMIT
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    document = load_trace(args.path)
+    if args.trace_id is not None:
+        summary = collect_traces(document).get(args.trace_id)
+        if summary is None:
+            print(f"no trace {args.trace_id} in {args.path}", file=sys.stderr)
+            return 1
+        print(render_trace(summary))
+        return 0
+    print(render_summary(document, top=args.top))
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    document, info = traced_read(hops=args.hops, limit=args.limit)
+    if args.out:
+        write_trace(args.out, document)
+        print(f"wrote {len(document['traceEvents'])} events to {args.out}")
+    layers = info["layers"]
+    print(f"client.read trace {info['read_trace_id']} crossed layers: "
+          f"{', '.join(sorted(layers)) or '(none)'}")
+    if info["result"] is None or not getattr(info["result"], "ok", False):
+        print("smoke FAILED: the traced read returned no data", file=sys.stderr)
+        return 1
+    required = {"net", "vm", "interconnect"}
+    if not required <= layers:
+        print(f"smoke FAILED: trace missing layers {sorted(required - layers)}",
+              file=sys.stderr)
+        return 1
+    summary = collect_traces(document).get(info["read_trace_id"])
+    if summary is not None:
+        print()
+        print(render_trace(summary))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and exercise the cross-layer tracing subsystem.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="summarise an exported trace")
+    report.add_argument("path", help="Chrome trace JSON file")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows in the slowest-traces table")
+    report.add_argument("--trace-id", type=int, default=None,
+                        help="render one trace's critical path")
+    report.set_defaults(func=_cmd_report)
+
+    smoke = sub.add_parser("smoke", help="run the built-in traced scenario")
+    smoke.add_argument("--out", default="",
+                       help="write the Perfetto JSON here")
+    smoke.add_argument("--hops", type=int, default=2,
+                       help="relay hops between client and Thing")
+    smoke.add_argument("--limit", type=int, default=DEFAULT_LIMIT,
+                       help="tracer ring-buffer bound")
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Converts tracer snapshots into the Trace Event Format's JSON object
+form: ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  Each fleet
+shard becomes one Perfetto *process* (pid = shard index) and each
+tracer track one *thread*, named via ``M`` metadata events.  Slices of
+one causal trace are stitched together with flow events (``s``/``t``
+arrows) keyed by the trace id, so a client read renders as a connected
+tree: client span -> net hops -> VM dispatches -> bus transactions.
+
+Timestamps convert from integer simulation nanoseconds to the format's
+microseconds; the conversion (division by 1000) is exact for the
+integer-ns kernel clock, so exports are byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+#: Category given to the derived flow (arrow) events.
+FLOW_CAT = "trace"
+
+
+def _sanitize(value):
+    """Make an args value JSON-safe (payload bytes become hex)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+def _ts_us(time_ns: int) -> float:
+    return time_ns / 1000.0
+
+
+def chrome_events(snapshot: dict, *, pid: int = 0) -> List[dict]:
+    """One tracer snapshot -> a list of Chrome trace-event dicts.
+
+    Emits process/thread naming metadata, the recorded events, and
+    derived flow events connecting every ``X`` slice of a trace in
+    timestamp order (``s`` at the first slice, ``t`` steps after).
+    """
+    out: List[dict] = []
+    label = snapshot.get("label") or f"shard-{pid}"
+    out.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": label}})
+    tracks: Dict[str, int] = snapshot.get("tracks", {})
+    for name, tid in sorted(tracks.items(), key=lambda item: item[1]):
+        out.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": name}})
+    flows_started: set = set()
+    for record in snapshot.get("events", ()):
+        phase = record["ph"]
+        event = {
+            "ph": phase,
+            "name": record["name"],
+            "cat": record["cat"],
+            "pid": pid,
+            "tid": record["tid"],
+            "ts": _ts_us(record["ts"]),
+        }
+        trace_id = record.get("id")
+        args = _sanitize(record.get("args") or {})
+        if trace_id is not None:
+            args.setdefault("trace_id", trace_id)
+        if phase == "X":
+            event["dur"] = _ts_us(record.get("dur", 0))
+        if phase in ("b", "e"):
+            # Async (request-level) spans are keyed by the trace id.
+            event["id"] = f"{trace_id:#x}" if trace_id is not None else "0x0"
+        if phase == "I":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        out.append(event)
+        if phase == "X" and trace_id is not None:
+            # Flow arrows stitch the trace across tracks/processes.
+            flow_phase = "t" if trace_id in flows_started else "s"
+            flows_started.add(trace_id)
+            out.append({
+                "ph": flow_phase, "name": FLOW_CAT, "cat": FLOW_CAT,
+                "pid": pid, "tid": record["tid"], "ts": event["ts"],
+                "id": f"{trace_id:#x}",
+            })
+    return out
+
+
+def merge_traces(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Merge per-shard snapshots into one Chrome trace JSON document.
+
+    Shards are merged in iteration (= shard-index) order and pids are
+    assigned from that order, so the merged document is a deterministic
+    function of the scenario — identical for any worker count.  ``None``
+    entries (shards that did not trace) keep their pid reserved.
+    """
+    events: List[dict] = []
+    for pid, snapshot in enumerate(snapshots):
+        if snapshot is None:
+            continue
+        events.extend(chrome_events(snapshot, pid=pid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str, document: dict) -> None:
+    """Write a trace document produced by :func:`merge_traces`."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = ["chrome_events", "merge_traces", "write_trace", "load_trace",
+           "FLOW_CAT"]

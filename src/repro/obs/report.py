@@ -1,0 +1,158 @@
+"""Plain-text critical-path summaries of exported traces.
+
+Works on the Chrome trace JSON written by :mod:`repro.obs.export`
+(it round-trips our own ``trace_id`` annotations).  The *critical path*
+of a trace is the timestamp-ordered chain of slices that advances the
+trace's completion frontier; gaps between chain slices are reported as
+waits (queueing, radio propagation, timers) — the answer to "why was
+this read's p99 40 ms?" without opening Perfetto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report needs about one causal trace."""
+
+    trace_id: int
+    label: str = ""
+    start_us: float = 0.0
+    end_us: float = 0.0
+    #: X slices: (ts_us, dur_us, name, cat, pid, tid).
+    slices: List[Tuple[float, float, str, str, int, int]] = field(
+        default_factory=list)
+    instants: int = 0
+    by_cat_us: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+def _trace_id_of(event: dict) -> Optional[int]:
+    args = event.get("args") or {}
+    trace_id = args.get("trace_id")
+    if trace_id is not None:
+        return int(trace_id)
+    raw = event.get("id")
+    if raw is None or event.get("cat") == "trace":
+        return None
+    return int(raw, 16) if isinstance(raw, str) else int(raw)
+
+
+def collect_traces(document: dict) -> Dict[int, TraceSummary]:
+    """Group a trace document's events into per-trace summaries."""
+    traces: Dict[int, TraceSummary] = {}
+    for event in document.get("traceEvents", ()):
+        phase = event.get("ph")
+        if phase not in ("X", "I", "b", "e"):
+            continue
+        trace_id = _trace_id_of(event)
+        if trace_id is None:
+            continue
+        summary = traces.get(trace_id)
+        if summary is None:
+            summary = traces[trace_id] = TraceSummary(trace_id)
+        ts = float(event.get("ts", 0.0))
+        end = ts
+        if phase == "b" and not summary.label:
+            summary.label = event.get("name", "")
+        if phase == "X":
+            dur = float(event.get("dur", 0.0))
+            end = ts + dur
+            cat = event.get("cat", "")
+            summary.slices.append(
+                (ts, dur, event.get("name", ""), cat,
+                 event.get("pid", 0), event.get("tid", 0)))
+            summary.by_cat_us[cat] = summary.by_cat_us.get(cat, 0.0) + dur
+        elif phase == "I":
+            summary.instants += 1
+        if not summary.slices and summary.instants == 0 and phase == "b":
+            summary.start_us = ts
+        if summary.start_us == 0.0 and summary.end_us == 0.0:
+            summary.start_us = ts
+            summary.end_us = end
+        else:
+            summary.start_us = min(summary.start_us, ts)
+            summary.end_us = max(summary.end_us, end)
+    for summary in traces.values():
+        summary.slices.sort()
+        if not summary.label and summary.slices:
+            summary.label = summary.slices[0][2]
+    return traces
+
+
+def critical_path(
+    summary: TraceSummary,
+) -> List[Tuple[float, float, str, str]]:
+    """The frontier-advancing chain of slices: (ts, dur, name, cat).
+
+    Walk slices in start order; a slice joins the path iff it pushes
+    the completion frontier forward.  Time not covered by any chain
+    slice is wait time (queueing / propagation / timers).
+    """
+    path: List[Tuple[float, float, str, str]] = []
+    frontier = summary.start_us
+    for ts, dur, name, cat, _pid, _tid in summary.slices:
+        if ts + dur > frontier:
+            path.append((ts, dur, name, cat))
+            frontier = ts + dur
+    return path
+
+
+def render_trace(summary: TraceSummary) -> str:
+    """Detailed critical-path rendering of one trace."""
+    lines = [
+        f"trace {summary.trace_id}  {summary.label or '(unlabelled)'}  "
+        f"start {summary.start_us / 1e3:.3f} ms  "
+        f"span {summary.duration_us / 1e3:.3f} ms  "
+        f"({len(summary.slices)} slices, {summary.instants} instants)"
+    ]
+    if summary.by_cat_us:
+        parts = [f"{cat} {us / 1e3:.3f} ms"
+                 for cat, us in sorted(summary.by_cat_us.items(),
+                                       key=lambda item: -item[1])]
+        lines.append("  busy by layer: " + ", ".join(parts))
+    lines.append("  critical path:")
+    cursor = summary.start_us
+    for ts, dur, name, cat in critical_path(summary):
+        if ts > cursor + 1e-9:
+            lines.append(
+                f"    [{cursor - summary.start_us:9.1f} us] "
+                f"(wait {ts - cursor:9.1f} us)")
+        lines.append(
+            f"    [{ts - summary.start_us:9.1f} us] {name:<32} "
+            f"{cat:<12} {dur:9.1f} us")
+        cursor = max(cursor, ts + dur)
+    if summary.end_us > cursor + 1e-9:
+        lines.append(
+            f"    [{cursor - summary.start_us:9.1f} us] "
+            f"(wait {summary.end_us - cursor:9.1f} us)")
+    return "\n".join(lines)
+
+
+def render_summary(document: dict, *, top: int = 10) -> str:
+    """Slowest-traces table plus the critical path of the slowest."""
+    traces = collect_traces(document)
+    if not traces:
+        return "(no traced operations in this document)"
+    ranked = sorted(traces.values(),
+                    key=lambda s: (-s.duration_us, s.trace_id))
+    lines = [f"{len(traces)} traces; slowest {min(top, len(ranked))}:"]
+    lines.append(f"  {'trace':>12} {'operation':<28} {'span(ms)':>10} "
+                 f"{'slices':>7}")
+    for summary in ranked[:top]:
+        lines.append(
+            f"  {summary.trace_id:>12} {summary.label[:28]:<28} "
+            f"{summary.duration_us / 1e3:>10.3f} {len(summary.slices):>7}")
+    lines.append("")
+    lines.append(render_trace(ranked[0]))
+    return "\n".join(lines)
+
+
+__all__ = ["TraceSummary", "collect_traces", "critical_path",
+           "render_trace", "render_summary"]

@@ -1,0 +1,92 @@
+"""A self-contained traced scenario: one client read over a line topology.
+
+Used by ``python -m repro.obs smoke``, the CI tracing smoke and the
+walkthrough in EXPERIMENTS.md.  It builds manager—client—things in a
+line, installs the TMP36 driver over the air, issues exactly one
+networked read and returns the exported Chrome trace document — the
+smallest world in which a single trace crosses the client, network,
+VM and interconnect layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.obs.export import merge_traces
+from repro.obs.report import collect_traces
+from repro.obs.tracer import DEFAULT_LIMIT, install_tracer
+from repro.sim.kernel import ns_from_s
+
+
+def traced_read(
+    hops: int = 2,
+    seed: int = 7,
+    *,
+    limit: int = DEFAULT_LIMIT,
+) -> Tuple[dict, dict]:
+    """Run the scenario; returns ``(trace_document, info)``.
+
+    ``info`` carries the read result, the trace id of the client read
+    and the set of categories its slices crossed.
+    """
+    from repro.core.client import Client
+    from repro.core.manager import Manager
+    from repro.core.registry import Registry
+    from repro.core.thing import Thing
+    from repro.drivers.catalog import (
+        TMP36_ID,
+        make_peripheral_board,
+        populate_registry,
+    )
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    tracer = install_tracer(sim, limit=limit, label="smoke")
+    network = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    Manager(sim, network, 0, registry)
+    client = Client(sim, network, 1)
+    network.connect(0, 1)
+    things = []
+    previous = 0
+    for index in range(hops):
+        node_id = 2 + index
+        things.append(Thing(sim, network, node_id, rng=rng.fork(f"t{node_id}")))
+        network.connect(previous, node_id)
+        previous = node_id
+    network.build_dodag(0)
+
+    thing = things[-1]
+    thing.plug(make_peripheral_board("tmp36", rng=rng.stream("periph")))
+    sim.run_for(ns_from_s(8.0))
+    # Keep the read's trace tree free of plug-in pipeline noise.
+    tracer.clear()
+
+    results: list = []
+    client.read(thing.address, TMP36_ID, results.append)
+    sim.run_for(ns_from_s(4.0))
+
+    document = merge_traces([tracer.snapshot()])
+    trace_id, layers = read_trace_layers(document)
+    info = {
+        "result": results[0] if results else None,
+        "read_trace_id": trace_id,
+        "layers": layers,
+        "hops": hops,
+    }
+    return document, info
+
+
+def read_trace_layers(document: dict) -> Tuple[Optional[int], Set[str]]:
+    """Find the ``client.read`` trace; return (trace_id, slice categories)."""
+    for summary in collect_traces(document).values():
+        if summary.label == "client.read":
+            return summary.trace_id, set(summary.by_cat_us)
+    return None, set()
+
+
+__all__ = ["traced_read", "read_trace_layers"]

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.net.ipv6 import Ipv6Address
 from repro.net.multicast import parse_group, parse_location_group
 from repro.net.network import Network
-from repro.net.packets import UdpDatagram
 from repro.protocol.messages import Message, MsgType, ProtocolError, decode_message
 
 #: Figure 10/11 captions for each message number.
@@ -78,27 +77,78 @@ class TracedMessage:
 
 
 class ProtocolTracer:
-    """Records the µPnP message flow on a network."""
+    """Records the µPnP message flow on a network.
+
+    Folded over the :mod:`repro.obs` event stream: the network emits a
+    ``proto.send`` instant (with the raw payload) for every datagram,
+    and this class listens for those, decodes them and keeps the
+    Figure 10/11 view.  If the simulator has no tracer yet, one is
+    installed recording only the ``proto`` category; :meth:`close`
+    (or use as a context manager) undoes whatever was set up.
+    """
 
     def __init__(self, network: Network) -> None:
         self._network = network
         self.messages: List[TracedMessage] = []
-        network.add_monitor(self._observe)
+        sim = network.sim
+        self._tracer = sim.tracer
+        self._installed = False
+        self._enabled_proto = False
+        self._closed = False
+        if self._tracer is None:
+            from repro.obs.tracer import install_tracer
 
-    def _observe(self, src_id: int, datagram: UdpDatagram) -> None:
-        del src_id
+            self._tracer = install_tracer(
+                sim, limit=1024, categories=("proto",),
+                label="protocol-tracer",
+            )
+            self._installed = True
+        else:
+            self._enabled_proto = self._tracer.enable_category("proto")
+        self._tracer.add_listener(self._on_event)
+
+    def _on_event(self, event) -> None:
+        if event.phase != "I" or event.name != "proto.send":
+            return
+        args = event.args or {}
+        payload = args.get("payload")
+        if payload is None:
+            return
         try:
-            message = decode_message(datagram.payload)
+            message = decode_message(payload)
         except ProtocolError:
             return  # non-µPnP traffic stays out of the trace
         self.messages.append(
             TracedMessage(
-                time_s=self._network.sim.now_s,
-                src=datagram.src,
-                dst=datagram.dst,
+                time_s=event.time_ns / 1e9,
+                src=Ipv6Address.parse(args["src"]),
+                dst=Ipv6Address.parse(args["dst"]),
                 message=message,
             )
         )
+
+    # --------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Detach from the event stream and undo tracer state we created.
+
+        Idempotent.  A tracer installed by this class is uninstalled; a
+        ``proto`` category this class enabled on a pre-existing tracer
+        is disabled again.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._tracer.remove_listener(self._on_event)
+        if self._installed and self._network.sim.tracer is self._tracer:
+            self._network.sim.detach_tracer()
+        elif self._enabled_proto:
+            self._tracer.disable_category("proto")
+
+    def __enter__(self) -> "ProtocolTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- queries
     def numbers(self) -> List[int]:

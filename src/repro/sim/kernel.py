@@ -33,6 +33,9 @@ class _ScheduledEvent:
     #: True once the event has left the heap (fired or discarded); a
     #: late cancel() must not touch the simulator's tombstone counter.
     popped: bool = field(compare=False, default=False)
+    # The traced scheduling path (attach_tracer) additionally sets a
+    # ``trace_id`` attribute dynamically; it is not a declared field so
+    # untraced simulations pay nothing for it.
 
 
 class EventHandle:
@@ -83,6 +86,12 @@ class Simulator:
         self._tombstones = 0
         self._running = False
         self._trace_hooks: list[Callable[[int, str], None]] = []
+        #: Optional :class:`repro.obs.Tracer`.  None (the default)
+        #: keeps every instrumentation point in the stack down to a
+        #: single attribute check; the kernel's own hot paths carry no
+        #: tracer branches at all until :meth:`attach_tracer` swaps the
+        #: traced copies in.
+        self.tracer = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -192,6 +201,78 @@ class Simulator:
     def run_for(self, duration_ns: int, *, max_events: Optional[int] = None) -> int:
         """Run for ``duration_ns`` of simulated time from now."""
         return self.run_until(self._now_ns + int(duration_ns), max_events=max_events)
+
+    # ---------------------------------------------------------------- tracing
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer`; swaps in the traced paths.
+
+        The traced copies of :meth:`step` / :meth:`schedule_at` shadow
+        the class methods on this instance only, so every simulator
+        without a tracer keeps running the branch-free originals —
+        disabled-mode tracing overhead in the kernel is exactly zero.
+        """
+        self.tracer = tracer
+        self.schedule_at = self._traced_schedule_at  # type: ignore[method-assign]
+        self.step = self._traced_step  # type: ignore[method-assign]
+
+    def detach_tracer(self) -> None:
+        """Remove the tracer and restore the branch-free kernel paths."""
+        self.tracer = None
+        self.__dict__.pop("schedule_at", None)
+        self.__dict__.pop("step", None)
+
+    def _traced_schedule_at(
+        self,
+        time_ns: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+    ) -> EventHandle:
+        """:meth:`schedule_at`, plus causal-context capture.
+
+        The tracer's *current* trace id (if any) is stamped onto the
+        event, so causality follows every split-phase hop — stack CPU
+        delays, radio frames, router dispatches, bus completions —
+        with no per-layer plumbing.
+        """
+        time_ns = int(time_ns)
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule in the past: {time_ns} < {self._now_ns}"
+            )
+        event = _ScheduledEvent(time_ns, self._seq, callback, name)
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            event.trace_id = tracer.current
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event, self)
+
+    def _traced_step(self) -> bool:
+        """:meth:`step`, plus causal-context restore around callbacks."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            event.popped = True
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            self._now_ns = event.time_ns
+            for hook in self._trace_hooks:
+                hook(event.time_ns, event.name)
+            tracer = self.tracer
+            if tracer is None:  # detached mid-run
+                event.callback()
+                return True
+            trace_id = getattr(event, "trace_id", None)
+            tracer.current = trace_id
+            if event.name and tracer.enabled_for("kernel"):
+                tracer.instant(event.name, "kernel", trace_id=trace_id)
+            try:
+                event.callback()
+            finally:
+                tracer.current = None
+            return True
+        return False
 
     # ----------------------------------------------------------------- extras
     def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:

@@ -58,6 +58,22 @@ class NativeBinding:
     def _on_release(self) -> None:
         """Subclasses restore bus defaults here."""
 
+    # --------------------------------------------------------------- tracing
+    def _trace_transaction(self, name: str, transaction, **extra) -> None:
+        """Record one bus transaction as a slice on this library's track."""
+        tracer = self._sim.tracer
+        if tracer is not None and tracer.enabled_for("interconnect"):
+            owner = self._owner
+            label = owner.label if owner is not None else "bus"
+            args = {"duration_us": transaction.duration_s * 1e6,
+                    "energy_uj": transaction.energy_j * 1e6}
+            args.update(extra)
+            tracer.complete(
+                name, "interconnect",
+                tracer.track(f"{label} {self.spec.name}"),
+                ns_from_s(transaction.duration_s), args=args,
+            )
+
     # -------------------------------------------------------------- dispatch
     def invoke(self, command_index: int, args: Tuple[int, ...]) -> int:
         """Run command *command_index* (order of spec.commands)."""
@@ -149,6 +165,7 @@ class UartBinding(NativeBinding):
         except BusError:
             self.emit_error("timeOut")
             return
+        self._trace_transaction("uart.write", transaction, bytes=1)
         self.emit("writeDone", delay_s=transaction.duration_s)
 
 
@@ -184,6 +201,8 @@ class AdcBinding(NativeBinding):
             self.emit_error("timeOut")
             return
         self._busy = True
+        self._trace_transaction("adc.sample", transaction,
+                                value=transaction.value)
 
         def _complete() -> None:
             self._busy = False
@@ -247,6 +266,8 @@ class I2cBinding(NativeBinding):
             self._busy = False
             self.emit_error("timeOut")
             return
+        self._trace_transaction("i2c.write", transaction,
+                                address=address & 0x7F, bytes=len(payload))
         self._finish(transaction.duration_s, lambda: self.emit("writeDone"))
 
     def _cmd_read(self, address: int, count: int) -> None:
@@ -262,6 +283,8 @@ class I2cBinding(NativeBinding):
             self._busy = False
             self.emit_error("timeOut")
             return
+        self._trace_transaction("i2c.read", transaction,
+                                address=address & 0x7F, bytes=count)
         data = transaction.value
 
         def _deliver() -> None:
@@ -296,6 +319,7 @@ class SpiBinding(NativeBinding):
         except BusError:
             self.emit_error("busInUse")
             return
+        self._trace_transaction("spi.transfer", transaction, bytes=1)
         self.emit("data", (transaction.value[0],), delay_s=transaction.duration_s)
 
 

@@ -71,6 +71,7 @@ class EventRouter:
         profile: VmCostProfile = DEFAULT_COST,
         meter: Optional[EnergyMeter] = None,
         queue_limit: int = 64,
+        label: str = "",
     ) -> None:
         self._sim = sim
         self._profile = profile
@@ -79,6 +80,8 @@ class EventRouter:
         self._fifo: Deque[Delivery] = deque()
         self._priority: Deque[Delivery] = deque()
         self._busy = False
+        #: Owning node's label; names this router's trace track.
+        self.label = label
         self.stats = RouterStats()
         self.dropped = 0
 
@@ -108,6 +111,12 @@ class EventRouter:
             self._priority.append(delivery)
         else:
             self._fifo.append(delivery)
+        tracer = self._sim.tracer
+        if tracer is not None and tracer.current is not None:
+            # Remember which causal trace queued this delivery; the
+            # dispatch event fires under whatever context scheduled the
+            # previous _done, so the delivery carries its own.
+            delivery._obs_trace = tracer.current  # type: ignore[attr-defined]
         self.stats.posted += 1
         self._pump()
         return True
@@ -126,16 +135,32 @@ class EventRouter:
         from_priority = bool(self._priority)
         delivery = self._priority.popleft() if from_priority else self._fifo.popleft()
 
+        tracer = self._sim.tracer
+        if tracer is not None:
+            tracer.current = getattr(delivery, "_obs_trace", None)
+
         cycles = self._profile.router_dispatch_cycles
         try:
-            cycles += delivery.execute()
+            handler_cycles = delivery.execute()
+            cycles += handler_cycles
         except VmTrap as trap:
+            handler_cycles = 0
             self.stats.traps.append(f"{delivery.describe()}: {trap}")
         self.stats.dispatched += 1
         if from_priority:
             self.stats.errors_dispatched += 1
 
         duration_s = self._profile.mcu.cycles_to_seconds(cycles)
+        if tracer is not None and tracer.enabled_for("vm"):
+            tracer.complete(
+                delivery.describe(), "vm",
+                tracer.track(f"{self.label or 'router'} vm"),
+                ns_from_s(duration_s),
+                args={"cycles": cycles,
+                      "router_cycles": self._profile.router_dispatch_cycles,
+                      "handler_cycles": handler_cycles,
+                      "priority": from_priority},
+            )
         self.stats.busy_seconds += duration_s
         if self._meter is not None:
             self._meter.add_draw("mcu", self._profile.mcu.active_draw, duration_s)
