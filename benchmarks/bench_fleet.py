@@ -65,6 +65,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     duration_s = 10.0 if args.fast else 30.0
 
+    # Carry forward the previous run's numbers so the written file
+    # records before/after for the same (nodes, workers) points — the
+    # repo's perf trajectory in one artifact.
+    previous = {}
+    out_path = Path(args.out)
+    if out_path.exists():
+        try:
+            for point in json.loads(out_path.read_text()).get("sweep", []):
+                key = (point["nodes"], point["workers"])
+                previous[key] = point["events_per_s"]
+        except (ValueError, KeyError):
+            previous = {}
+
     sweep = []
     for nodes in NODE_SWEEP:
         baseline_wall = None
@@ -83,6 +96,11 @@ def main(argv=None) -> int:
                 print(f"FATAL: merged metrics differ between workers=1 and "
                       f"workers={workers} at nodes={nodes}", file=sys.stderr)
                 return 1
+            prior = previous.get((nodes, workers))
+            if prior:
+                point["previous_events_per_s"] = prior
+                point["speedup_vs_previous"] = round(
+                    point["events_per_s"] / prior, 2)
             sweep.append(point)
             print(f"nodes={nodes:<4} workers={workers}  "
                   f"wall={point['wall_s']:>7.2f}s  "

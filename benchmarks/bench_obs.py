@@ -59,14 +59,14 @@ MAX_DISABLED_OVERHEAD = 0.02
 
 def _baseline_step(self) -> bool:
     while self._queue:
-        event = heapq.heappop(self._queue)
+        time_ns, _, event = heapq.heappop(self._queue)
         event.popped = True
         if event.cancelled:
             self._tombstones -= 1
             continue
-        self._now_ns = event.time_ns
+        self._now_ns = time_ns
         for hook in self._trace_hooks:
-            hook(event.time_ns, event.name)
+            hook(time_ns, event.name)
         event.callback()
         return True
     return False
@@ -79,8 +79,8 @@ def _baseline_schedule_at(self, time_ns, callback, *, name=""):
             f"cannot schedule in the past: {time_ns} < {self._now_ns}"
         )
     event = _ScheduledEvent(time_ns, self._seq, callback, name)
+    heapq.heappush(self._queue, (time_ns, self._seq, event))
     self._seq += 1
-    heapq.heappush(self._queue, event)
     return EventHandle(event, self)
 
 

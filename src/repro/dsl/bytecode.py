@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dsl.errors import CompileError
@@ -278,7 +279,19 @@ class DriverImage:
 
     @classmethod
     def unpack(cls, blob: bytes) -> "DriverImage":
-        """Parse an over-the-air image; raises CompileError when malformed."""
+        """Parse an over-the-air image; raises CompileError when malformed.
+
+        Memoized on the blob bytes: driver installs and hot-updates
+        re-ship identical images across a fleet, the parse + full
+        instruction-stream validation is pure, and the image is frozen —
+        so every node sharing one blob shares one image object (which
+        also lets the VM fastpath share one translation per image).
+        Malformed blobs are not cached; they re-raise on every call.
+        """
+        return _unpack_cached(bytes(blob))
+
+    @classmethod
+    def _unpack(cls, blob: bytes) -> "DriverImage":
         if len(blob) < 10 or blob[:2] != IMAGE_MAGIC:
             raise CompileError("not a µPnP driver image")
         if blob[2] != IMAGE_VERSION:
@@ -325,6 +338,11 @@ class DriverImage:
         image = cls(device_id, tuple(slots), imports, tuple(handlers), code)
         list(decode(code))  # validate instruction stream
         return image
+
+
+@lru_cache(maxsize=512)
+def _unpack_cached(blob: bytes) -> "DriverImage":
+    return DriverImage._unpack(blob)
 
 
 __all__ = [

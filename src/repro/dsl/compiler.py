@@ -14,6 +14,7 @@ clever optimisation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dsl import ast_nodes as ast
@@ -97,8 +98,22 @@ def compile_source(
     device_id: int = 0,
     options: CompilerOptions = DEFAULT_OPTIONS,
 ) -> DriverImage:
-    """Compile DSL *source* text into an installable driver image."""
+    """Compile DSL *source* text into an installable driver image.
+
+    Compilations with the default options are memoized: the fleet
+    engine uploads the same catalog sources once per shard, and the
+    resulting :class:`DriverImage` is immutable, so recompiling is pure
+    waste on the scenario hot path.  Sharing one image object across
+    shards also lets the VM fastpath reuse a single translation.
+    """
+    if options is DEFAULT_OPTIONS:
+        return _compile_source_default(source, device_id)
     return compile_checked(check(parse(source)), device_id, options)
+
+
+@lru_cache(maxsize=256)
+def _compile_source_default(source: str, device_id: int) -> DriverImage:
+    return compile_checked(check(parse(source)), device_id, DEFAULT_OPTIONS)
 
 
 def compile_checked(

@@ -31,7 +31,8 @@ Rules:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set
+from functools import lru_cache
+from typing import List, Sequence, Set, Tuple
 
 from repro.dsl import ast_nodes as ast
 from repro.dsl.bytecode import HANDLER_KIND_ERROR, HANDLER_KIND_EVENT
@@ -64,8 +65,18 @@ class LintWarning:
 
 
 def lint_source(source: str) -> List[LintWarning]:
-    """Parse + check + lint *source*; checker errors propagate."""
-    return lint(check(parse(source)))
+    """Parse + check + lint *source*; checker errors propagate.
+
+    Memoized: the registry lints every upload, and fleet shards upload
+    the same catalog sources over and over.  Warnings are immutable, so
+    the cached tuple is shared and a fresh list returned per call.
+    """
+    return list(_lint_source_cached(source))
+
+
+@lru_cache(maxsize=256)
+def _lint_source_cached(source: str) -> Tuple[LintWarning, ...]:
+    return tuple(lint(check(parse(source))))
 
 
 def lint(checked: CheckedProgram) -> List[LintWarning]:

@@ -10,9 +10,13 @@ from repro.net.ipv6 import Ipv6Address
 UPNP_PORT = 6030
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpDatagram:
-    """One UDP datagram in flight."""
+    """One UDP datagram in flight.
+
+    ``slots=True`` because fleets allocate one of these per simulated
+    frame; slotted instances are smaller and faster to construct.
+    """
 
     src: Ipv6Address
     src_port: int
@@ -21,9 +25,10 @@ class UdpDatagram:
     payload: bytes
 
     def __post_init__(self) -> None:
-        for port in (self.src_port, self.dst_port):
-            if not 0 < port <= 0xFFFF:
-                raise ValueError(f"invalid UDP port {port}")
+        if not 0 < self.src_port <= 0xFFFF:
+            raise ValueError(f"invalid UDP port {self.src_port}")
+        if not 0 < self.dst_port <= 0xFFFF:
+            raise ValueError(f"invalid UDP port {self.dst_port}")
 
     @property
     def size(self) -> int:

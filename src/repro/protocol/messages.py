@@ -46,16 +46,21 @@ class MsgType(enum.IntEnum):
 
 
 _HEADER = struct.Struct(">BH")  # type, sequence
+# Pre-compiled codecs for the fixed-width fields below; parsing the
+# format string per call is measurable on beacon/stream hot paths.
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
 
 
 def _pack_id(device_id: DeviceId | int) -> bytes:
-    return int(getattr(device_id, "value", device_id)).to_bytes(4, "big")
+    return _U32.pack(int(getattr(device_id, "value", device_id)))
 
 
 def _unpack_id(data: bytes, offset: int) -> Tuple[DeviceId, int]:
     if offset + 4 > len(data):
         raise ProtocolError("truncated device id")
-    return DeviceId(int.from_bytes(data[offset : offset + 4], "big")), offset + 4
+    return DeviceId(_U32.unpack_from(data, offset)[0]), offset + 4
 
 
 @dataclass(frozen=True)
@@ -202,14 +207,14 @@ class DriverUpload(Message):
     def _body(self) -> bytes:
         if len(self.image) > 0xFFFF:
             raise ProtocolError("driver image too large")
-        return _pack_id(self.device_id) + struct.pack(">H", len(self.image)) + self.image
+        return _pack_id(self.device_id) + _U16.pack(len(self.image)) + self.image
 
     @classmethod
     def _parse(cls, seq: int, body: bytes) -> "Message":
         device_id, offset = _unpack_id(body, 0)
         if offset + 2 > len(body):
             raise ProtocolError("truncated driver length")
-        (length,) = struct.unpack_from(">H", body, offset)
+        (length,) = _U16.unpack_from(body, offset)
         offset += 2
         image = body[offset : offset + length]
         if len(image) != length or offset + length != len(body):
@@ -339,14 +344,14 @@ class StreamRequest(Message):
     interval_ms: int = 0  # 0 = Thing's default sampling interval
 
     def _body(self) -> bytes:
-        return _pack_id(self.device_id) + struct.pack(">H", self.interval_ms)
+        return _pack_id(self.device_id) + _U16.pack(self.interval_ms)
 
     @classmethod
     def _parse(cls, seq: int, body: bytes) -> "Message":
         device_id, offset = _unpack_id(body, 0)
         if offset + 2 != len(body):
             raise ProtocolError("bad stream request body")
-        (interval_ms,) = struct.unpack_from(">H", body, offset)
+        (interval_ms,) = _U16.unpack_from(body, offset)
         return cls(seq, device_id, interval_ms)
 
 
@@ -392,14 +397,14 @@ class WriteRequest(Message):
     value: int = 0
 
     def _body(self) -> bytes:
-        return _pack_id(self.device_id) + struct.pack(">i", self.value)
+        return _pack_id(self.device_id) + _I32.pack(self.value)
 
     @classmethod
     def _parse(cls, seq: int, body: bytes) -> "Message":
         device_id, offset = _unpack_id(body, 0)
         if offset + 4 != len(body):
             raise ProtocolError("bad write request body")
-        (value,) = struct.unpack_from(">i", body, offset)
+        (value,) = _I32.unpack_from(body, offset)
         return cls(seq, device_id, value)
 
 

@@ -41,7 +41,14 @@ class Tlv:
             raise TlvError(f"TLV value too long: {len(self.value)} bytes")
 
     def encode(self) -> bytes:
-        return bytes([self.type, len(self.value)]) + self.value
+        # Memoized on the (frozen) instance: advertisement TLVs are
+        # built once per peripheral and re-encoded on every periodic
+        # beacon, so the header concatenation is pure repeat work.
+        cached = self.__dict__.get("_encoded")
+        if cached is None:
+            cached = bytes([self.type, len(self.value)]) + self.value
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     @classmethod
     def text(cls, tlv_type: int, text: str) -> "Tlv":

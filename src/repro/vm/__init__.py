@@ -6,6 +6,7 @@ manager and peripheral controller.
 
 from repro.vm.cost import DEFAULT_COST, VmCostProfile
 from repro.vm.driver_manager import DriverManager, DriverManagerError
+from repro.vm.fastpath import Translation, shared_translation, translate
 from repro.vm.machine import (
     DriverInstance,
     ExecutionResult,
@@ -30,6 +31,9 @@ __all__ = [
     "ReturnValue",
     "VirtualMachine",
     "VmTrap",
+    "Translation",
+    "translate",
+    "shared_translation",
     "IdentificationOutcome",
     "PeripheralController",
     "CallbackDelivery",

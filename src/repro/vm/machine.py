@@ -15,12 +15,17 @@ Side effects leave the VM through two sinks:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.dsl.bytecode import DriverImage, HandlerDef, Op, decode
+from repro.dsl.bytecode import DriverImage, HandlerDef, Op, decode, operand_size
 from repro.dsl.types import wrap32
 from repro.vm.cost import DEFAULT_COST, VmCostProfile
+
+#: Pre-computed operand widths so the reference loop can reject truncated
+#: instruction tails without a per-step operand_size() call.
+_OPERAND_SIZE: Dict[Op, int] = {op: operand_size(op) for op in Op}
 
 
 class VmTrap(Exception):
@@ -75,17 +80,23 @@ class DriverInstance:
 
     # ------------------------------------------------------------- accessors
     def scalar(self, slot: int) -> int:
+        if slot >= len(self.globals):
+            raise VmTrap(f"slot {slot} out of range")
         value = self.globals[slot]
         if isinstance(value, list):
             raise VmTrap(f"slot {slot} is an array")
         return value
 
     def set_scalar(self, slot: int, value: int) -> None:
+        if slot >= len(self.globals):
+            raise VmTrap(f"slot {slot} out of range")
         if isinstance(self.globals[slot], list):
             raise VmTrap(f"slot {slot} is an array")
         self.globals[slot] = self.image.slots[slot].type.truncate(wrap32(value))
 
     def element(self, slot: int, index: int) -> int:
+        if slot >= len(self.globals):
+            raise VmTrap(f"slot {slot} out of range")
         array = self.globals[slot]
         if not isinstance(array, list):
             raise VmTrap(f"slot {slot} is not an array")
@@ -94,6 +105,8 @@ class DriverInstance:
         return array[index]
 
     def set_element(self, slot: int, index: int, value: int) -> None:
+        if slot >= len(self.globals):
+            raise VmTrap(f"slot {slot} out of range")
         array = self.globals[slot]
         if not isinstance(array, list):
             raise VmTrap(f"slot {slot} is not an array")
@@ -102,6 +115,8 @@ class DriverInstance:
         array[index] = self.image.slots[slot].type.truncate(wrap32(value))
 
     def array(self, slot: int) -> Tuple[int, ...]:
+        if slot >= len(self.globals):
+            raise VmTrap(f"slot {slot} out of range")
         array = self.globals[slot]
         if not isinstance(array, list):
             raise VmTrap(f"slot {slot} is not an array")
@@ -137,7 +152,20 @@ def _cmod(a: int, b: int) -> int:
 
 
 class VirtualMachine:
-    """Interprets driver bytecode with a bounded operand stack."""
+    """Interprets driver bytecode with a bounded operand stack.
+
+    Two interchangeable execution engines share one semantics:
+
+    * ``mode="fast"`` (the default) runs the pre-decoded threaded
+      dispatch from :mod:`repro.vm.fastpath` — bytecode is translated
+      once per image and cached, then executed with no per-step decode.
+    * ``mode="reference"`` runs the original decode-as-you-go
+      interpreter below; it is the executable specification the
+      differential test checks the fastpath against.
+
+    The ``REPRO_VM_MODE`` environment variable overrides the default
+    for whole-process runs (fleet workers inherit it).
+    """
 
     def __init__(
         self,
@@ -145,14 +173,31 @@ class VirtualMachine:
         *,
         stack_limit: int = 32,
         step_limit: int = 200_000,
+        mode: Optional[str] = None,
     ) -> None:
+        if mode is None:
+            mode = os.environ.get("REPRO_VM_MODE", "fast")
+        if mode not in ("fast", "reference"):
+            raise ValueError(f"unknown VM mode: {mode!r}")
         self._profile = profile
         self._stack_limit = stack_limit
         self._step_limit = step_limit
+        self._mode = mode
+        #: id(image) -> (image, Translation); identity-guarded fast map
+        #: in front of the module-level shared translation cache.
+        self._translations: Dict[int, tuple] = {}
+        if mode == "fast":
+            from repro.vm import fastpath
+
+            self._execute_fast = fastpath.execute_fast
 
     @property
     def profile(self) -> VmCostProfile:
         return self._profile
+
+    @property
+    def mode(self) -> str:
+        return self._mode
 
     def execute(
         self,
@@ -167,6 +212,10 @@ class VirtualMachine:
         if len(args) != handler.n_params:
             raise VmTrap(
                 f"handler expects {handler.n_params} args, got {len(args)}"
+            )
+        if self._mode == "fast":
+            return self._execute_fast(
+                self, instance, handler, args, signal_sink, return_sink
             )
         code = instance.image.code
         params = [wrap32(int(a)) for a in args]
@@ -187,12 +236,19 @@ class VirtualMachine:
             return stack.pop()
 
         while True:
-            if pc >= len(code):
+            if pc < 0 or pc >= len(code):
                 raise VmTrap(f"pc {pc} ran off the end of code")
             steps += 1
             if steps > self._step_limit:
                 raise VmTrap("step limit exceeded (runaway handler)")
-            op = Op(code[pc])
+            try:
+                op = Op(code[pc])
+            except ValueError:
+                raise VmTrap(
+                    f"invalid opcode {code[pc]:#04x} at pc {pc}"
+                ) from None
+            if pc + 1 + _OPERAND_SIZE[op] > len(code):
+                raise VmTrap(f"truncated operands for {op.name} at pc {pc}")
             cycles += cost[op]
             operand_start = pc + 1
 

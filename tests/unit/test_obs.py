@@ -153,7 +153,7 @@ def test_untraced_simulator_events_carry_no_trace_attribute():
     sim = Simulator()
     fired = []
     sim.schedule(5, lambda: fired.append(True))
-    event = sim._queue[0]
+    event = sim._queue[0][2]
     assert not hasattr(event, "trace_id")
     sim.run()
     assert fired == [True]

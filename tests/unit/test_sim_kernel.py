@@ -249,6 +249,45 @@ def test_cancel_after_fire_is_harmless():
     del other
 
 
+def test_heap_entries_are_plain_key_tuples():
+    """The heap stores ``(time_ns, seq, event)`` so ordering is decided
+    by integer comparison alone — the event object itself must never be
+    compared (``seq`` is unique per event)."""
+    sim = Simulator()
+    sim.schedule(5, lambda: None, name="a")
+    sim.schedule(5, lambda: None, name="b")
+    for entry in sim._queue:
+        time_ns, seq, event = entry
+        assert entry[:2] == (time_ns, seq) == (event.time_ns, event.seq)
+    (_, seq_a, _), (_, seq_b, _) = sorted(sim._queue)
+    assert seq_a < seq_b  # FIFO tie-break still encoded in the key
+
+
+def test_scheduled_event_has_no_dict():
+    """__slots__ keeps per-event memory flat at fleet scale."""
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    event = sim._queue[0][2]
+    assert not hasattr(event, "__dict__")
+
+
+def test_compaction_preserves_fifo_ties_and_exact_counts():
+    """Heap rebuild after heavy cancellation must keep equal-timestamp
+    FIFO order and an exact tombstone count."""
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(50, lambda n=n: fired.append(n)) for n in range(4)]
+    doomed = [sim.schedule(10 + i, lambda: fired.append("x"))
+              for i in range(40)]
+    for handle in doomed:
+        handle.cancel()  # triggers compaction (tombstones > live)
+    assert sim._tombstones == 0  # compaction reset the counter exactly
+    assert sim.pending_count() == 4
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    del keep
+
+
 def test_unit_conversions():
     assert ns_from_us(1.5) == 1_500
     assert ns_from_ms(2.5) == 2_500_000
