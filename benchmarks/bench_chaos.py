@@ -1,0 +1,155 @@
+"""Engineering bench: reliability-layer overhead + chaos campaign cost.
+
+Two questions, answered on the same machine in the same run:
+
+1. What does the reliability layer (retransmission timers, duplicate
+   caches, reply memoisation) cost on a *lossless* network, where none
+   of it ever fires?  The gate: fleet events/s with reliability on must
+   stay within 10% of the same scenario with it off.
+2. How expensive is a chaos campaign (fault injector on the datagram
+   path, drain window, invariant sweep) in wall-clock terms?
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--smoke] [--out PATH]
+
+Writes ``BENCH_chaos.json``; exits non-zero when the overhead gate
+fails, so CI can run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos.campaign import CAMPAIGNS, run_campaign  # noqa: E402
+from repro.fleet.runner import run_scenario  # noqa: E402
+from repro.fleet.scenario import SCENARIOS  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+#: Lossless fleet events/s with reliability on must stay >= this
+#: fraction of the reliability-off run (i.e. overhead < 10%).
+OVERHEAD_GATE = 0.90
+
+
+def bench_reliability_overhead(*, things: int, duration_s: float,
+                               seed: int, repeats: int = 3) -> dict:
+    """A/B the identical lossless scenario with reliability on/off.
+
+    One unmeasured warm-up run absorbs import and allocator start-up
+    costs; each arm then keeps the best of *repeats* measured runs so
+    the comparison reflects steady-state throughput, not cold caches.
+    """
+    base = SCENARIOS["metro"].scaled(
+        name="chaos-ab", things=things, duration_s=duration_s, seed=seed,
+    )
+    run_scenario(base.scaled(things=min(things, 10), duration_s=5.0),
+                 workers=1)  # warm-up, discarded
+    points = {}
+    for label, reliability in (("off", False), ("on", True)):
+        best = None
+        for _ in range(repeats):
+            result = run_scenario(base.scaled(reliability=reliability),
+                                  workers=1)
+            if best is None or result.events_per_s > best.events_per_s:
+                best = result
+        points[label] = {
+            "wall_s": round(best.wall_s, 4),
+            "sim_events": best.sim_events,
+            "events_per_s": round(best.events_per_s, 1),
+        }
+    off_rate = points["off"]["events_per_s"]
+    on_rate = points["on"]["events_per_s"]
+    ratio = round(on_rate / off_rate, 4) if off_rate else None
+    return {
+        "things": things,
+        "duration_s": duration_s,
+        "reliability_off": points["off"],
+        "reliability_on": points["on"],
+        "on_vs_off_ratio": ratio,
+        "gate": OVERHEAD_GATE,
+        "gate_passed": ratio is not None and ratio >= OVERHEAD_GATE,
+    }
+
+
+def bench_campaigns(seeds) -> list:
+    """Wall-clock + verdict summary for every named campaign."""
+    rows = []
+    for name in sorted(CAMPAIGNS):
+        campaign = CAMPAIGNS[name]
+        for seed in seeds:
+            started = time.perf_counter()
+            result = run_campaign(campaign, seed)
+            wall = time.perf_counter() - started
+            verdict = result.verdict
+            rows.append({
+                "campaign": name,
+                "seed": seed,
+                "wall_s": round(wall, 4),
+                "faults_injected": verdict["faults"]["injected"]["total"],
+                "retransmits": verdict["recoveries"]["retransmits"],
+                "read_completion": round(
+                    verdict["recoveries"]["read_completion"], 4),
+                "violations": verdict["violations"],
+                "digest": verdict["digest"],
+            })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenario, one campaign seed (CI)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="where to write BENCH_chaos.json")
+    args = parser.parse_args(argv)
+
+    things = 20 if args.smoke else 50
+    duration_s = 10.0 if args.smoke else 30.0
+    seeds = (args.seed,) if args.smoke else (args.seed, args.seed + 1)
+
+    overhead = bench_reliability_overhead(
+        things=things, duration_s=duration_s, seed=args.seed,
+    )
+    print(f"reliability off: {overhead['reliability_off']['events_per_s']:>12,.0f} events/s")
+    print(f"reliability on : {overhead['reliability_on']['events_per_s']:>12,.0f} events/s")
+    print(f"on/off ratio   : {overhead['on_vs_off_ratio']} "
+          f"(gate >= {OVERHEAD_GATE})")
+
+    campaigns = bench_campaigns(seeds)
+    for row in campaigns:
+        print(f"campaign {row['campaign']:<8} seed={row['seed']} "
+              f"wall={row['wall_s']:.3f}s faults={row['faults_injected']} "
+              f"violations={row['violations']}")
+
+    document = {
+        "bench": "chaos",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "reliability_overhead": overhead,
+        "campaigns": campaigns,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not overhead["gate_passed"]:
+        print(f"FATAL: reliability overhead gate failed "
+              f"(ratio {overhead['on_vs_off_ratio']} < {OVERHEAD_GATE})",
+              file=sys.stderr)
+        return 1
+    if any(row["violations"] for row in campaigns):
+        print("FATAL: campaign reported invariant violations",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

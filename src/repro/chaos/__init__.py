@@ -1,0 +1,61 @@
+"""repro.chaos: deterministic fault-injection campaigns.
+
+µPnP's evaluation network (§6.4) is a lossy multi-hop 802.15.4 mesh;
+IoTNetSim-style end-to-end credibility requires modelling failures of
+links and nodes, not just the happy path.  This package turns that into
+a first-class, seed-reproducible layer:
+
+* :mod:`repro.chaos.plan` — declarative :class:`FaultPlan` objects:
+  link loss/corruption/duplication/reordering bursts, node crash +
+  reboot with state loss, peripheral hot-unplug mid-transaction, and
+  clock skew;
+* :mod:`repro.chaos.engine` — the :class:`ChaosEngine` that arms a plan
+  against one fleet shard, injecting datagram faults through the
+  :meth:`repro.net.network.Network.set_fault_injector` hook and
+  scheduled faults through kernel time, each one emitted as an ``obs``
+  trace event in the ``chaos`` category;
+* :mod:`repro.chaos.invariants` — system invariants checked after every
+  campaign (bounded pending tables, request accounting, no duplicated
+  driver-install side effects);
+* :mod:`repro.chaos.campaign` — named campaigns over fleet scenarios,
+  producing byte-identical JSON verdicts for identical (seed, plan);
+* ``python -m repro.chaos`` — the campaign CLI (and the CI
+  ``--smoke`` gate).
+
+Everything is deterministic: fault decisions draw from the shard's
+forked RNG registry, never from wall-clock or global state, so a
+campaign verdict is a pure function of (campaign, seed).
+"""
+
+from repro.chaos.campaign import (
+    CAMPAIGNS,
+    Campaign,
+    CampaignResult,
+    run_campaign,
+)
+from repro.chaos.engine import ChaosEngine, ChaosStats, FaultRecord
+from repro.chaos.invariants import InvariantReport, check_all
+from repro.chaos.plan import (
+    ClockSkew,
+    FaultPlan,
+    HotUnplug,
+    LinkBurst,
+    NodeCrash,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "ChaosEngine",
+    "ChaosStats",
+    "ClockSkew",
+    "FaultPlan",
+    "FaultRecord",
+    "HotUnplug",
+    "InvariantReport",
+    "LinkBurst",
+    "NodeCrash",
+    "check_all",
+    "run_campaign",
+]

@@ -1,0 +1,123 @@
+"""CLI for chaos campaigns: ``python -m repro.chaos``.
+
+Examples::
+
+    python -m repro.chaos --list
+    python -m repro.chaos --campaign lossy --seed 7
+    python -m repro.chaos --campaign mayhem --seed 3 --json verdict.json
+    python -m repro.chaos --smoke        # the CI gate: 3 seeds x 2
+                                         # campaigns, zero violations
+
+Exit status is non-zero when any invariant was violated, which is what
+lets CI gate directly on the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.chaos.campaign import CAMPAIGNS, run_campaign
+
+SMOKE_SEEDS = (1, 2, 3)
+
+
+def _print_summary(result) -> None:
+    verdict = result.verdict
+    rec = verdict["recoveries"]
+    injected = verdict["faults"]["injected"]
+    print(f"campaign   : {verdict['campaign']} (seed {verdict['seed']})")
+    print(f"faults     : {injected['total']} injected "
+          f"(drops {injected['drops']}, corruptions {injected['corruptions']}, "
+          f"duplicates {injected['duplicates']}, reorders {injected['reorders']}, "
+          f"crashes {injected['crashes']}, unplugs {injected['unplugs']})")
+    print(f"reads      : {rec['reads_ok']}/{rec['reads_sent']} ok "
+          f"({rec['read_completion']:.1%}), {rec['reads_timeout']} timed out")
+    print(f"installs   : {rec['driver_installs']} of {rec['driver_requests']} "
+          f"requested, {rec['driver_request_failures']} gave up")
+    print(f"reliability: {rec['retransmits']} retransmits, "
+          f"{rec['dups_suppressed']} duplicates suppressed")
+    for name, report in sorted(verdict["invariants"].items()):
+        mark = "ok" if report["ok"] else "VIOLATED"
+        print(f"invariant  : {name}: {mark}")
+        for violation in report["violations"]:
+            print(f"             - {violation}")
+    print(f"verdict    : {verdict['violations']} violations, "
+          f"digest {verdict['digest']}")
+
+
+def _run_smoke(trace: bool) -> int:
+    """3 seeds x every campaign; gate on zero invariant violations."""
+    started = time.monotonic()
+    failures: List[str] = []
+    for name in sorted(CAMPAIGNS):
+        campaign = CAMPAIGNS[name]
+        for seed in SMOKE_SEEDS:
+            result = run_campaign(campaign, seed, trace=trace)
+            verdict = result.verdict
+            status = "ok" if verdict["violations"] == 0 else "FAIL"
+            rec = verdict["recoveries"]
+            print(f"{name} seed={seed}: {status} "
+                  f"faults={verdict['faults']['injected']['total']} "
+                  f"reads={rec['reads_ok']}/{rec['reads_sent']} "
+                  f"retransmits={rec['retransmits']} "
+                  f"digest={verdict['digest']}")
+            if verdict["violations"]:
+                failures.append(f"{name} seed={seed}")
+                for report in verdict["invariants"].values():
+                    for violation in report["violations"]:
+                        print(f"  - {violation}")
+    elapsed = time.monotonic() - started
+    print(f"smoke: {len(CAMPAIGNS) * len(SMOKE_SEEDS)} runs "
+          f"in {elapsed:.1f}s wall")
+    if failures:
+        print(f"smoke FAILED: invariant violations in {', '.join(failures)}")
+        return 1
+    print("smoke passed: zero invariant violations")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="deterministic fault-injection campaigns",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list named campaigns and exit")
+    parser.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                        help="campaign to run")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default 1)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the canonical verdict JSON here")
+    parser.add_argument("--trace", action="store_true",
+                        help="record obs traces (adds trace_digest)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: 3 seeds x every campaign, "
+                             "zero violations required")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(CAMPAIGNS):
+            campaign = CAMPAIGNS[name]
+            print(f"{name:10s} {campaign.description}")
+        return 0
+    if args.smoke:
+        return _run_smoke(args.trace)
+    if args.campaign is None:
+        parser.error("one of --list, --campaign or --smoke is required")
+
+    result = run_campaign(CAMPAIGNS[args.campaign], args.seed,
+                          trace=args.trace)
+    _print_summary(result)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        print(f"verdict written to {args.json}")
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""Named chaos campaigns over fleet scenarios, with JSON verdicts.
+
+A :class:`Campaign` pairs a small :class:`~repro.fleet.scenario.FleetScenario`
+with a fault-plan builder and a drain window.  :func:`run_campaign`
+executes every shard sequentially — churn for ``duration_s``, then the
+open-loop load is cancelled and the clock runs ``grace_s`` longer so
+every in-flight request either completes or surfaces its timeout — and
+folds metrics, chaos stats and invariant reports into a verdict dict.
+
+The verdict is a pure function of ``(campaign, seed)``: no wall-clock,
+no global state, canonical JSON with sorted keys.  Its ``digest`` field
+(sha256 of the verdict minus the digest itself) is what the differential
+tests compare between replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.invariants import InvariantReport, check_all
+from repro.chaos.plan import (
+    ClockSkew,
+    FaultPlan,
+    HotUnplug,
+    LinkBurst,
+    NodeCrash,
+)
+from repro.fleet.deployment import ShardDeployment
+from repro.fleet.metrics import Metrics
+from repro.fleet.scenario import ChurnProfile, FleetScenario, ShardSpec
+from repro.protocol import messages as proto
+from repro.protocol.reliability import RetryPolicy
+from repro.sim.kernel import ns_from_s
+
+PlanBuilder = Callable[[ShardSpec, float], FaultPlan]
+
+#: Client/manager retry schedule for lossy campaigns: nine attempts
+#: survive 30% datagram loss (per round-trip success 0.49, residual
+#: failure 0.51^9 ≈ 0.23%) while the capped backoff keeps the worst
+#: retransmission span (≈14 s with jitter) under the 15 s request
+#: timeout.
+LOSSY_RETRY = RetryPolicy(
+    max_attempts=9, base_backoff_s=0.4, multiplier=1.6,
+    max_backoff_s=2.0, jitter_frac=0.2,
+)
+
+#: Install retry schedule for lossy campaigns (request + upload each
+#: cross the lossy link; ten attempts leave ≈0.1% residual failure).
+LOSSY_INSTALL_RETRY = RetryPolicy(
+    max_attempts=10, base_backoff_s=0.8, multiplier=1.3,
+    max_backoff_s=3.0, jitter_frac=0.2,
+)
+
+_CHAOS_CHURN = ChurnProfile(
+    read_timeout_s=15.0,
+    read_interval_s=0.5,
+    churn_interval_s=10.0,
+    hot_update_interval_s=10.0,
+)
+
+_CHAOS_SCENARIO = FleetScenario(
+    name="chaos",
+    things=6,
+    shard_size=6,
+    channels=2,
+    duration_s=30.0,
+    churn=_CHAOS_CHURN,
+    retry=LOSSY_RETRY,
+    install_retry=LOSSY_INSTALL_RETRY,
+)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One named chaos campaign: scenario + plan + drain window."""
+
+    name: str
+    description: str
+    scenario: FleetScenario
+    build_plan: PlanBuilder
+    #: Extra simulated time after churn stops, long enough for every
+    #: outstanding request to complete or expire.
+    grace_s: float = 30.0
+
+
+def _lossy_plan(spec: ShardSpec, horizon_s: float) -> FaultPlan:
+    """30% datagram loss for the whole campaign, nothing else."""
+    del spec
+    return FaultPlan(
+        name="lossy",
+        bursts=(
+            LinkBurst(start_s=0.0, end_s=horizon_s, drop_probability=0.30),
+        ),
+    )
+
+
+def _mayhem_plan(spec: ShardSpec, horizon_s: float) -> FaultPlan:
+    """Everything at once: loss, corruption, duplication, reordering,
+    a crash + reboot, a hot-unplug + replug and a skewed clock."""
+    duration = spec.scenario.duration_s
+    crashes = []
+    unplugs = []
+    skews = []
+    if spec.things >= 1:
+        crashes.append(NodeCrash(
+            thing=0, at_s=duration * 0.3, reboot_at_s=duration * 0.6,
+        ))
+    if spec.things >= 2:
+        unplugs.append(HotUnplug(
+            thing=1, channel=0, at_s=duration * 0.4,
+            replug_at_s=duration * 0.7,
+        ))
+    if spec.things >= 3:
+        skews.append(ClockSkew(thing=2, at_s=duration * 0.2, scale=1.3))
+    return FaultPlan(
+        name="mayhem",
+        bursts=(
+            LinkBurst(
+                start_s=0.0, end_s=horizon_s,
+                drop_probability=0.10,
+                corrupt_probability=0.03,
+                duplicate_probability=0.08,
+                reorder_probability=0.08,
+            ),
+        ),
+        crashes=tuple(crashes),
+        unplugs=tuple(unplugs),
+        skews=tuple(skews),
+    )
+
+
+#: Campaigns runnable via ``python -m repro.chaos --campaign``.
+CAMPAIGNS: Dict[str, Campaign] = {
+    "lossy": Campaign(
+        name="lossy",
+        description="30% datagram loss; retransmission must carry "
+                    ">=99% of reads and installs to completion",
+        scenario=_CHAOS_SCENARIO,
+        build_plan=_lossy_plan,
+    ),
+    "mayhem": Campaign(
+        name="mayhem",
+        description="loss + corruption + duplication + reordering + "
+                    "crash/reboot + hot-unplug + clock skew, together",
+        scenario=_CHAOS_SCENARIO,
+        build_plan=_mayhem_plan,
+    ),
+}
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced (verdict + live objects)."""
+
+    verdict: dict
+    deployments: List[ShardDeployment]
+    engines: List[ChaosEngine]
+    invariants: List[InvariantReport]
+
+    @property
+    def digest(self) -> str:
+        return self.verdict["digest"]
+
+    @property
+    def violations(self) -> int:
+        return self.verdict["violations"]
+
+    def to_json(self) -> str:
+        """The canonical byte-exact verdict encoding."""
+        return json.dumps(self.verdict, sort_keys=True, indent=2,
+                          default=repr) + "\n"
+
+
+def _watch_uploads(
+    deployment: ShardDeployment,
+) -> Dict[int, Set[Tuple[int, int, int]]]:
+    """Collect distinct driver-upload identities per Thing, on the wire.
+
+    Feeds the no-duplicate-install invariant: retransmitted or
+    network-duplicated uploads share a ``(src, seq, device)`` identity.
+    """
+    distinct: Dict[int, Set[Tuple[int, int, int]]] = {}
+    addr_to_node = {
+        thing.address: thing.stack.node_id for thing in deployment.things
+    }
+    upload_type = proto.MsgType.DRIVER_UPLOAD.value
+
+    def monitor(src_id: int, datagram) -> None:
+        del src_id
+        payload = datagram.payload
+        if not payload or payload[0] != upload_type:
+            return
+        node = addr_to_node.get(datagram.dst)
+        if node is None:
+            return
+        try:
+            message = proto.decode_message(payload)
+        except proto.ProtocolError:
+            return
+        distinct.setdefault(node, set()).add(
+            (datagram.src.value, message.seq, message.device_id.value)
+        )
+
+    deployment.network.add_monitor(monitor)
+    return distinct
+
+
+def _shard_trace_digest(deployment: ShardDeployment) -> Optional[str]:
+    tracer = deployment.sim.tracer
+    if tracer is None:
+        return None
+    blob = json.dumps(tracer.snapshot(), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def run_campaign(
+    campaign: Campaign,
+    seed: int,
+    *,
+    trace: bool = False,
+) -> CampaignResult:
+    """Run *campaign* with *seed*; deterministic verdict, see module doc."""
+    scenario = campaign.scenario.scaled(seed=seed, trace=trace)
+    horizon_s = scenario.duration_s + campaign.grace_s
+    deployments: List[ShardDeployment] = []
+    engines: List[ChaosEngine] = []
+    snapshots: List[dict] = []
+    fault_records: List[dict] = []
+    reports_by_name: Dict[str, List[str]] = {}
+    chaos_totals: Dict[str, int] = {}
+    trace_digests: List[str] = []
+    plan_summary: Optional[dict] = None
+
+    for spec in scenario.shards():
+        deployment = ShardDeployment(spec)
+        plan = campaign.build_plan(spec, horizon_s)
+        if plan_summary is None:
+            plan_summary = plan.describe()
+        engine = ChaosEngine(
+            deployment.sim, deployment.network, deployment.things,
+            deployment.rng.fork("chaos").stream("inject"),
+        )
+        distinct_uploads = _watch_uploads(deployment)
+        engine.arm(plan)
+        deployment.start()
+        deployment.sim.run_until(ns_from_s(scenario.duration_s))
+        # Stop the open-loop load; let in-flight requests drain so every
+        # one of them completes or surfaces its timeout error.
+        deployment.sim.drain(ShardDeployment.CHURN_EVENT_NAMES)
+        deployment.sim.run_until(ns_from_s(horizon_s))
+        deployment.finalize()
+        engine.disarm()
+
+        for key, value in engine.stats.as_dict().items():
+            chaos_totals[key] = chaos_totals.get(key, 0) + value
+        fault_records.extend(
+            {"t": round(r.time_s, 9), "kind": r.kind, "detail": r.detail}
+            for r in engine.records
+            if r.kind not in ("drop", "corrupt", "duplicate", "reorder")
+        )
+        for report in check_all(deployment, distinct_uploads):
+            reports_by_name.setdefault(report.name, []).extend(
+                f"shard {spec.index}: {v}" for v in report.violations
+            )
+        digest = _shard_trace_digest(deployment)
+        if digest is not None:
+            trace_digests.append(digest)
+        snapshots.append(deployment.metrics.snapshot())
+        deployments.append(deployment)
+        engines.append(engine)
+
+    merged = Metrics.merge(snapshots)
+    counters = merged["counters"]
+    invariants = [
+        InvariantReport(name, violations)
+        for name, violations in sorted(reports_by_name.items())
+    ]
+    violations = sum(len(r.violations) for r in invariants)
+
+    reads_sent = counters.get("reads.sent", 0)
+    reads_ok = counters.get("reads.ok", 0)
+    installs = counters.get("driver.installs", 0)
+    requests = counters.get("driver.requests", 0)
+    verdict = {
+        "campaign": campaign.name,
+        "seed": seed,
+        "scenario": {
+            "things": scenario.things,
+            "shards": scenario.shard_count,
+            "duration_s": scenario.duration_s,
+            "grace_s": campaign.grace_s,
+        },
+        "plan": plan_summary or {},
+        "faults": {
+            "injected": chaos_totals,
+            "events": fault_records,
+        },
+        "recoveries": {
+            "retransmits": counters.get("reliability.retransmits", 0),
+            "dups_suppressed": counters.get("reliability.dups_suppressed", 0),
+            "duplicate_install_requests": counters.get(
+                "manager.duplicate_install_requests", 0),
+            "reads_sent": reads_sent,
+            "reads_ok": reads_ok,
+            "reads_timeout": counters.get("reads.timeout", 0),
+            "read_completion": (reads_ok / reads_sent) if reads_sent else 1.0,
+            "driver_requests": requests,
+            "driver_installs": installs,
+            "driver_request_failures": counters.get(
+                "driver.request_failures", 0),
+            "crashes": counters.get("chaos.crashes", 0),
+            "reboots": counters.get("chaos.reboots", 0),
+        },
+        "metrics": {"counters": counters, "gauges": merged["gauges"]},
+        "invariants": {r.name: r.as_dict() for r in invariants},
+        "violations": violations,
+    }
+    if trace_digests:
+        verdict["trace_digest"] = hashlib.sha256(
+            "".join(trace_digests).encode()
+        ).hexdigest()[:16]
+    blob = json.dumps(verdict, sort_keys=True, default=repr)
+    verdict["digest"] = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return CampaignResult(verdict, deployments, engines, invariants)
+
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "LOSSY_RETRY",
+    "LOSSY_INSTALL_RETRY",
+    "run_campaign",
+]

@@ -1,0 +1,256 @@
+"""The chaos engine: arms a :class:`FaultPlan` against one shard.
+
+Datagram faults ride the :meth:`repro.net.network.Network.set_fault_injector`
+hook — for every datagram entering the network the engine decides
+(deterministically, from the shard's forked RNG) whether to drop,
+corrupt, duplicate or hold it back.  Scheduled faults (crash, reboot,
+hot-unplug, replug, clock skew) are plain kernel events.  Every injected
+fault is appended to :attr:`ChaosEngine.records` and, when a tracer is
+installed, emitted as an instant in the ``chaos`` category, so Perfetto
+timelines show exactly which fault preceded which recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.plan import FaultPlan, HotUnplug, LinkBurst
+from repro.core.thing import Thing
+from repro.net.network import Network
+from repro.net.packets import UdpDatagram
+from repro.sim.kernel import Simulator, ns_from_s
+
+
+@dataclass
+class ChaosStats:
+    """Counters for every fault the engine actually injected."""
+
+    drops: int = 0
+    corruptions: int = 0
+    duplicates: int = 0
+    reorders: int = 0
+    crashes: int = 0
+    reboots: int = 0
+    unplugs: int = 0
+    unplugs_skipped: int = 0
+    replugs: int = 0
+    replugs_skipped: int = 0
+    skews: int = 0
+
+    def total(self) -> int:
+        return (self.drops + self.corruptions + self.duplicates
+                + self.reorders + self.crashes + self.reboots
+                + self.unplugs + self.replugs + self.skews)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "duplicates": self.duplicates,
+            "reorders": self.reorders,
+            "crashes": self.crashes,
+            "reboots": self.reboots,
+            "unplugs": self.unplugs,
+            "unplugs_skipped": self.unplugs_skipped,
+            "replugs": self.replugs,
+            "replugs_skipped": self.replugs_skipped,
+            "skews": self.skews,
+            "total": self.total(),
+        }
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, timestamped in simulation time."""
+
+    time_s: float
+    kind: str
+    detail: str = ""
+
+
+class ChaosEngine:
+    """Injects one plan's faults into one shard's simulated world."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        things: Sequence[Thing],
+        rng: random.Random,
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self._things = list(things)
+        self._rng = rng
+        self._plan: Optional[FaultPlan] = None
+        self._bursts: Tuple[LinkBurst, ...] = ()
+        #: Boards pulled by hot-unplug faults, held for their replug.
+        self._pulled: Dict[Tuple[int, int], object] = {}
+        self.stats = ChaosStats()
+        self.records: List[FaultRecord] = []
+
+    # ----------------------------------------------------------------- arming
+    def arm(self, plan: FaultPlan) -> None:
+        """Install the datagram hook and schedule every timed fault."""
+        if self._plan is not None:
+            raise RuntimeError("engine is already armed")
+        self._plan = plan
+        self._bursts = plan.bursts
+        if plan.bursts:
+            self._network.set_fault_injector(self._inject)
+        for crash in plan.crashes:
+            self._sim.schedule(
+                ns_from_s(crash.at_s),
+                lambda c=crash: self._apply_crash(c),
+                name="chaos-crash",
+            )
+            if crash.reboot_at_s is not None:
+                self._sim.schedule(
+                    ns_from_s(crash.reboot_at_s),
+                    lambda c=crash: self._apply_reboot(c),
+                    name="chaos-reboot",
+                )
+        for unplug in plan.unplugs:
+            self._sim.schedule(
+                ns_from_s(unplug.at_s),
+                lambda u=unplug: self._apply_unplug(u),
+                name="chaos-unplug",
+            )
+            if unplug.replug_at_s is not None:
+                self._sim.schedule(
+                    ns_from_s(unplug.replug_at_s),
+                    lambda u=unplug: self._apply_replug(u),
+                    name="chaos-replug",
+                )
+        for skew in plan.skews:
+            self._sim.schedule(
+                ns_from_s(skew.at_s),
+                lambda s=skew: self._apply_skew(s),
+                name="chaos-skew",
+            )
+
+    def disarm(self) -> None:
+        """Remove the datagram hook (scheduled faults already fired)."""
+        self._network.set_fault_injector(None)
+
+    # ---------------------------------------------------------- datagram hook
+    def _active_burst(self) -> Optional[LinkBurst]:
+        now = self._sim.now_s
+        for burst in self._bursts:
+            if burst.active_at(now):
+                return burst
+        return None
+
+    def _inject(
+        self, src_id: int, datagram: UdpDatagram
+    ) -> List[Tuple[float, UdpDatagram]]:
+        burst = self._active_burst()
+        if burst is None:
+            return [(0.0, datagram)]
+        rng = self._rng
+        if (burst.drop_probability > 0.0
+                and rng.random() < burst.drop_probability):
+            self.stats.drops += 1
+            self._record("drop", f"src={src_id} dst={datagram.dst} "
+                                 f"size={datagram.size}")
+            return []
+        if (burst.corrupt_probability > 0.0
+                and rng.random() < burst.corrupt_probability):
+            # Mangle the message-type byte to an invalid value: the
+            # receiver's decoder rejects it (bad-message), mirroring a
+            # frame whose CRC failed.  Corruption never silently turns
+            # one valid request into a different one.
+            datagram = UdpDatagram(
+                datagram.src, datagram.src_port,
+                datagram.dst, datagram.dst_port,
+                b"\xff" + datagram.payload[1:],
+            )
+            self.stats.corruptions += 1
+            self._record("corrupt", f"src={src_id} dst={datagram.dst}")
+        delay = 0.0
+        if (burst.reorder_probability > 0.0
+                and rng.random() < burst.reorder_probability):
+            delay = burst.reorder_delay_s
+            self.stats.reorders += 1
+            self._record("reorder", f"src={src_id} delay={delay}")
+        copies = [(delay, datagram)]
+        if (burst.duplicate_probability > 0.0
+                and rng.random() < burst.duplicate_probability):
+            copies.append((delay + burst.duplicate_delay_s, datagram))
+            self.stats.duplicates += 1
+            self._record("duplicate", f"src={src_id} dst={datagram.dst}")
+        return copies
+
+    # ------------------------------------------------------- scheduled faults
+    def _thing(self, index: int) -> Optional[Thing]:
+        if 0 <= index < len(self._things):
+            return self._things[index]
+        return None
+
+    def _apply_crash(self, fault) -> None:
+        thing = self._thing(fault.thing)
+        if thing is None or thing.crashed:
+            return
+        thing.crash()
+        self.stats.crashes += 1
+        self._record("crash", f"thing={fault.thing}")
+
+    def _apply_reboot(self, fault) -> None:
+        thing = self._thing(fault.thing)
+        if thing is None or not thing.crashed:
+            return
+        thing.reboot()
+        self.stats.reboots += 1
+        self._record("reboot", f"thing={fault.thing}")
+
+    def _apply_unplug(self, fault: HotUnplug) -> None:
+        thing = self._thing(fault.thing)
+        if thing is None or thing.crashed:
+            self.stats.unplugs_skipped += 1
+            self._record("unplug-skipped", f"thing={fault.thing} (crashed)")
+            return
+        if thing.board.board_at(fault.channel) is None:
+            self.stats.unplugs_skipped += 1
+            self._record("unplug-skipped",
+                         f"thing={fault.thing} ch={fault.channel} (empty)")
+            return
+        board = thing.unplug(fault.channel)
+        self._pulled[(fault.thing, fault.channel)] = board
+        self.stats.unplugs += 1
+        self._record("unplug", f"thing={fault.thing} ch={fault.channel}")
+
+    def _apply_replug(self, fault: HotUnplug) -> None:
+        thing = self._thing(fault.thing)
+        board = self._pulled.pop((fault.thing, fault.channel), None)
+        if (thing is None or board is None or thing.crashed
+                or thing.board.board_at(fault.channel) is not None):
+            self.stats.replugs_skipped += 1
+            self._record("replug-skipped",
+                         f"thing={fault.thing} ch={fault.channel}")
+            return
+        thing.plug(board, fault.channel)
+        self.stats.replugs += 1
+        self._record("replug", f"thing={fault.thing} ch={fault.channel}")
+
+    def _apply_skew(self, fault) -> None:
+        thing = self._thing(fault.thing)
+        if thing is None:
+            return
+        thing.set_timer_scale(fault.scale)
+        self.stats.skews += 1
+        self._record("skew", f"thing={fault.thing} scale={fault.scale}")
+
+    # ---------------------------------------------------------------- plumbing
+    def _record(self, kind: str, detail: str = "") -> None:
+        self.records.append(FaultRecord(self._sim.now_s, kind, detail))
+        tracer = self._sim.tracer
+        if tracer is not None and tracer.enabled_for("chaos"):
+            tracer.instant(
+                f"chaos.{kind}", "chaos", tracer.track("chaos"),
+                args={"detail": detail},
+            )
+
+
+__all__ = ["ChaosEngine", "ChaosStats", "FaultRecord"]

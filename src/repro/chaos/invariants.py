@@ -1,0 +1,122 @@
+"""System invariants every chaos campaign must preserve.
+
+These are checked after the campaign's drain window, when all in-flight
+work has either completed or surfaced an error:
+
+* **bounded-pending** — no pending-request table leaks: every request
+  the client/manager sent was answered or expired through its timeout,
+  and every Thing's install bookkeeping is empty.
+* **request-accounting** — no silent loss: each client read/write/stream
+  request produced exactly one outcome (reply or timeout error), never
+  zero (lost without notice) and never two (duplicated callback).
+* **no-duplicate-install** — at-most-once side effects: a Thing never
+  flashed more driver installs than the number of *distinct* uploads
+  addressed to it (retransmitted and network-duplicated uploads fold).
+
+Each check returns an :class:`InvariantReport`; a campaign's verdict is
+the union of the reports' violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one invariant check."""
+
+    name: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {"ok": self.ok, "violations": list(self.violations)}
+
+
+def check_bounded_pending(deployment) -> InvariantReport:
+    """No request table retains entries once the drain window closed."""
+    report = InvariantReport("bounded-pending")
+    pending = deployment.client.pending_count()
+    if pending:
+        report.violations.append(f"client retains {pending} pending requests")
+    pending = deployment.manager.pending_count()
+    if pending:
+        report.violations.append(f"manager retains {pending} pending requests")
+    for index, thing in enumerate(deployment.things):
+        pending = thing.pending_installs()
+        if pending:
+            report.violations.append(
+                f"thing {index} retains {pending} pending driver requests"
+            )
+    return report
+
+
+def check_request_accounting(deployment) -> InvariantReport:
+    """Every unicast client request has exactly one outcome event."""
+    report = InvariantReport("request-accounting")
+    events = deployment.client.events
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    for kind, outcomes in (
+        ("read", ("read-reply",)),
+        ("write", ("write-ack",)),
+        ("stream", ("stream-established",)),
+    ):
+        sent = counts.get(f"{kind}-sent", 0)
+        done = sum(counts.get(o, 0) for o in outcomes)
+        timed_out = counts.get(f"{kind}-timeout", 0)
+        if done + timed_out != sent:
+            report.violations.append(
+                f"{kind}: {sent} sent but {done} completed + "
+                f"{timed_out} timed out"
+            )
+    return report
+
+
+def check_no_duplicate_install(
+    deployment, distinct_uploads: Dict[int, Set[Tuple[int, int, int]]]
+) -> InvariantReport:
+    """Installs flashed ≤ distinct uploads addressed, per Thing.
+
+    *distinct_uploads* maps a thing's node id to the set of unique
+    ``(src, seq, device)`` upload identities observed on the wire (the
+    campaign's network monitor collects it).  Retransmissions and
+    duplicated datagrams share an identity, so any Thing that flashed
+    more installs than identities executed a duplicate side effect.
+    """
+    report = InvariantReport("no-duplicate-install")
+    for index, thing in enumerate(deployment.things):
+        installs = len(thing.events_of("driver-installed"))
+        uploads = len(distinct_uploads.get(thing.stack.node_id, set()))
+        if installs > uploads:
+            report.violations.append(
+                f"thing {index}: {installs} installs from only "
+                f"{uploads} distinct uploads"
+            )
+    return report
+
+
+def check_all(
+    deployment, distinct_uploads: Dict[int, Set[Tuple[int, int, int]]]
+) -> List[InvariantReport]:
+    """Run every invariant; order is fixed for verdict stability."""
+    return [
+        check_bounded_pending(deployment),
+        check_request_accounting(deployment),
+        check_no_duplicate_install(deployment, distinct_uploads),
+    ]
+
+
+__all__ = [
+    "InvariantReport",
+    "check_bounded_pending",
+    "check_request_accounting",
+    "check_no_duplicate_install",
+    "check_all",
+]

@@ -1,0 +1,150 @@
+"""Declarative fault plans: what goes wrong, when, to whom.
+
+A :class:`FaultPlan` is a frozen value object listing every fault a
+campaign injects into one shard.  Times are simulation seconds from the
+shard's epoch; Things are addressed by shard-local index (0-based, the
+order :class:`repro.fleet.deployment.ShardDeployment` builds them).
+Plans carry no randomness of their own — probabilistic faults (link
+bursts) state probabilities, and the engine draws the actual outcomes
+from the shard's seeded RNG, which is what keeps a campaign a pure
+function of (plan, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkBurst:
+    """A window of datagram-level link misbehaviour.
+
+    During ``[start_s, end_s)`` every datagram entering the network is
+    independently subjected to, in order: drop, corruption, duplication
+    and reordering, each with its stated probability.  Corruption
+    models the real mesh's CRC-failing frames: the payload is mangled
+    so the receiver's decoder rejects it (a ``bad-message`` event), not
+    silently mutated into a different valid request.
+    """
+
+    start_s: float
+    end_s: float
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    #: Extra latency applied to the duplicate copy (it trails the
+    #: original, as a re-forwarded frame would).
+    duplicate_delay_s: float = 0.05
+    reorder_probability: float = 0.0
+    #: Extra latency applied to a reordered datagram (later traffic
+    #: overtakes it).
+    reorder_delay_s: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("burst must have positive duration")
+        for name in ("drop_probability", "corrupt_probability",
+                     "duplicate_probability", "reorder_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    def active_at(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash Thing *thing* at ``at_s``; optionally reboot it later.
+
+    A crash is a power failure: volatile state (active drivers, streams,
+    pending requests, caches, group memberships) is lost, the radio goes
+    silent, and flash-resident driver images survive.  ``reboot_at_s``
+    of ``None`` leaves the node dead for the rest of the campaign.
+    """
+
+    thing: int
+    at_s: float
+    reboot_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.reboot_at_s is not None and self.reboot_at_s <= self.at_s:
+            raise ValueError("reboot must come after the crash")
+
+
+@dataclass(frozen=True)
+class HotUnplug:
+    """Yank the board in *channel* of Thing *thing* mid-whatever.
+
+    If the channel is empty when the fault fires, the unplug is recorded
+    as skipped (churn may have emptied it first) — the plan stays
+    deterministic either way.  ``replug_at_s`` re-inserts the same board
+    into the same channel if it is still free.
+    """
+
+    thing: int
+    channel: int
+    at_s: float
+    replug_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.replug_at_s is not None and self.replug_at_s <= self.at_s:
+            raise ValueError("replug must come after the unplug")
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Scale Thing *thing*'s protocol timers by *scale* from ``at_s`` on.
+
+    ``scale > 1`` models a slow oscillator (timers fire late), ``< 1``
+    a fast one.  Only timers armed after the fault are affected, as a
+    real drifting clock would.
+    """
+
+    thing: int
+    at_s: float
+    scale: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a campaign injects into one shard, declaratively."""
+
+    name: str = "empty"
+    bursts: Tuple[LinkBurst, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
+    unplugs: Tuple[HotUnplug, ...] = ()
+    skews: Tuple[ClockSkew, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.bursts or self.crashes or self.unplugs or self.skews)
+
+    def scheduled_fault_count(self) -> int:
+        """Faults with a fixed firing time (bursts are windows, not
+        events, so they are not counted here)."""
+        count = len(self.unplugs) + len(self.skews)
+        for crash in self.crashes:
+            count += 1 if crash.reboot_at_s is None else 2
+        for unplug in self.unplugs:
+            if unplug.replug_at_s is not None:
+                count += 1
+        return count
+
+    def describe(self) -> dict:
+        """A JSON-able summary (embedded in campaign verdicts)."""
+        return {
+            "name": self.name,
+            "bursts": len(self.bursts),
+            "crashes": len(self.crashes),
+            "unplugs": len(self.unplugs),
+            "skews": len(self.skews),
+        }
+
+
+__all__ = ["LinkBurst", "NodeCrash", "HotUnplug", "ClockSkew", "FaultPlan"]

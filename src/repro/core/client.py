@@ -3,12 +3,17 @@
 Clients run "on both embedded IoT devices and standard computing
 platforms"; this implementation exposes callback-based discover / read
 / write / stream operations over the simulated network.  Every request
-carries a sequence number matched against the reply, with timeouts for
-lost or unanswered messages.
+carries a sequence number matched against the reply; unicast requests
+are retransmitted with exponential backoff (see
+:mod:`repro.protocol.reliability`) until answered or until the request
+deadline surfaces a timeout error, and re-delivered datagrams
+(retransmitted replies, network-duplicated frames) are suppressed by a
+bounded seq cache so no callback fires twice.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -17,6 +22,7 @@ from repro.net.ipv6 import Ipv6Address
 from repro.net.multicast import all_clients_group, location_group, peripheral_group
 from repro.net.network import Network
 from repro.net.packets import UPNP_PORT, UdpDatagram
+from repro.protocol.reliability import DEFAULT_RETRY, DuplicateCache, RetryPolicy
 from repro.net.stack import NetworkStack
 from repro.protocol import messages as proto
 from repro.protocol.messages import SequenceCounter, decode_message
@@ -94,6 +100,17 @@ class _Pending:
     collected: List[DiscoveredPeripheral] = field(default_factory=list)
     sent_ns: int = 0
     trace_id: Optional[int] = None
+    #: Wire bytes + destination, kept for retransmission.
+    message: bytes = b""
+    dst: Optional[Ipv6Address] = None
+    attempts: int = 1
+    retransmit: Optional[EventHandle] = None
+
+    def cancel_timers(self) -> None:
+        if self.timeout is not None:
+            self.timeout.cancel()
+        if self.retransmit is not None:
+            self.retransmit.cancel()
 
 
 class Client:
@@ -106,6 +123,7 @@ class Client:
         node_id: int,
         *,
         default_timeout_s: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.stack = NetworkStack(network, node_id)
@@ -113,6 +131,15 @@ class Client:
         self._obs_track = f"client-{node_id} core"
         self._seq = SequenceCounter(node_id * 4099)
         self._default_timeout_s = default_timeout_s
+        self._retry = retry if retry is not None else DEFAULT_RETRY
+        #: Deterministic per-node jitter source (never touches the
+        #: shared network stream, so arming retransmit timers does not
+        #: perturb link-delay draws).
+        self._rng = random.Random(0x9E3779B1 * (node_id + 1) & 0xFFFFFFFF)
+        #: Protocol-timer scale: chaos clock-skew faults stretch or
+        #: shrink this node's timeout/backoff clock (1.0 = nominal).
+        self.timer_scale = 1.0
+        self._dups = DuplicateCache(512)
         self._pending: Dict[int, _Pending] = {}
         self._streams: Dict[int, StreamHandle] = {}          # group.value -> handle
         self._stream_callbacks: Dict[int, Tuple[Callable, Optional[Callable]]] = {}
@@ -129,6 +156,16 @@ class Client:
     @property
     def address(self) -> Ipv6Address:
         return self.stack.address
+
+    def pending_count(self) -> int:
+        """Outstanding requests (bounded: every entry expires by timeout)."""
+        return len(self._pending)
+
+    def set_timer_scale(self, scale: float) -> None:
+        """Scale every future protocol timer (chaos clock-skew hook)."""
+        if scale <= 0:
+            raise ValueError("timer scale must be positive")
+        self.timer_scale = scale
 
     def on_advertisement(
         self,
@@ -211,7 +248,7 @@ class Client:
         message = proto.PeripheralDiscovery(seq, device_id)
         self.stack.sendto(group, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
         pending.timeout = self.sim.schedule(
-            ns_from_s(timeout_s),
+            ns_from_s(timeout_s * self.timer_scale),
             lambda: self._finish_discovery(seq),
             name="discover-timeout",
         )
@@ -219,6 +256,7 @@ class Client:
     def _finish_discovery(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            pending.cancel_timers()
             self._trace_end(pending)
             self._log("discover-complete",
                       latency_s=self._latency_of(pending),
@@ -260,8 +298,9 @@ class Client:
         self._trace_begin("write", seq, pending, device_id)
         self._log("write-sent", detail=str(device_id))
         message = proto.WriteRequest(seq, device_id, value)
-        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        self._transmit(pending, thing, message.encode())
         pending.timeout = self._arm_timeout(seq, timeout_s)
+        self._arm_retransmit(seq, pending)
 
     def stream(
         self,
@@ -289,8 +328,9 @@ class Client:
         self._trace_begin("stream", seq, pending, device_id)
         self._log("stream-sent", detail=str(device_id))
         message = proto.StreamRequest(seq, device_id, interval_ms)
-        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        self._transmit(pending, thing, message.encode())
         pending.timeout = self._arm_timeout(seq, timeout_s)
+        self._arm_retransmit(seq, pending)
 
     # --------------------------------------------------------------- plumbing
     def _send_unicast(self, thing, msg_cls, device_id, kind, callback,
@@ -301,24 +341,57 @@ class Client:
         self._trace_begin(kind, seq, pending, device_id)
         self._log(f"{kind}-sent", detail=str(device_id))
         message = msg_cls(seq, device_id)
-        self.stack.sendto(thing, UPNP_PORT, message.encode(), src_port=UPNP_PORT)
+        self._transmit(pending, thing, message.encode())
         pending.timeout = self._arm_timeout(seq, timeout_s)
+        self._arm_retransmit(seq, pending)
         return seq
+
+    def _transmit(self, pending: _Pending, dst: Ipv6Address,
+                  encoded: bytes) -> None:
+        pending.message = encoded
+        pending.dst = dst
+        self.stack.sendto(dst, UPNP_PORT, encoded, src_port=UPNP_PORT)
 
     def _arm_timeout(self, seq: int, timeout_s: Optional[float]) -> EventHandle:
         duration = self._default_timeout_s if timeout_s is None else timeout_s
         return self.sim.schedule(
-            ns_from_s(duration),
+            ns_from_s(duration * self.timer_scale),
             lambda: self._fire_timeout(seq),
             name="request-timeout",
         )
 
+    def _arm_retransmit(self, seq: int, pending: _Pending) -> None:
+        """Schedule the next retransmission, if the policy allows one."""
+        policy = self._retry
+        if pending.attempts >= policy.max_attempts:
+            pending.retransmit = None
+            return
+        delay = policy.backoff_s(pending.attempts, self._rng) * self.timer_scale
+        pending.retransmit = self.sim.schedule(
+            ns_from_s(delay),
+            lambda: self._retransmit(seq),
+            name="client-retransmit",
+        )
+
+    def _retransmit(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None or pending.dst is None:
+            return
+        pending.attempts += 1
+        self._log(f"{pending.kind}-retransmit",
+                  detail=f"attempt {pending.attempts}")
+        self.stack.sendto(pending.dst, UPNP_PORT, pending.message,
+                          src_port=UPNP_PORT)
+        self._arm_retransmit(seq, pending)
+
     def _fire_timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
+            pending.cancel_timers()
             self._trace_end(pending, timeout=True)
             self._log(f"{pending.kind}-timeout",
-                      latency_s=self._latency_of(pending))
+                      latency_s=self._latency_of(pending),
+                      detail=f"after {pending.attempts} attempts")
             pending.callback(None)
 
     def _cancel_stream(self, handle: StreamHandle) -> None:
@@ -335,7 +408,22 @@ class Client:
         try:
             message = decode_message(datagram.payload)
         except proto.ProtocolError:
+            self._log("bad-message")
             return
+        if isinstance(message, (proto.UnsolicitedAdvertisement,
+                                proto.SolicitedAdvertisement,
+                                proto.StreamData)):
+            # These fire callbacks without a pending-table pop, so a
+            # re-delivered datagram (network duplicate, or a reply to a
+            # retransmitted request) must be folded here.  The key
+            # includes the device id because per-stream seq counters
+            # restart from zero.
+            key = (datagram.src.value, message.TYPE.value, message.seq,
+                   getattr(message, "device_id", DeviceId(0)).value)
+            if self._dups.seen(key):
+                self._log("dup-suppressed",
+                          detail=type(message).__name__)
+                return
         if isinstance(message, proto.UnsolicitedAdvertisement):
             for listener in list(self._advertisement_listeners):
                 listener(datagram.src, list(message.peripherals))
@@ -370,12 +458,12 @@ class Client:
             if callbacks is not None and callbacks[1] is not None:
                 callbacks[1]()
             return
-        # Sequence-matched unicast replies.
+        # Sequence-matched unicast replies.  Duplicates self-suppress:
+        # the second pop finds nothing.
         pending = self._pending.pop(message.seq, None)
         if pending is None:
             return
-        if pending.timeout is not None:
-            pending.timeout.cancel()
+        pending.cancel_timers()
         self._trace_end(pending)
         if isinstance(message, proto.Data) and pending.kind == "read":
             self._log("read-reply", latency_s=self._latency_of(pending))

@@ -43,6 +43,14 @@ from repro.net.stack import NetworkStack
 from repro.peripherals.base import UartDevice
 from repro.protocol import messages as proto
 from repro.protocol.messages import SequenceCounter, decode_message
+from repro.protocol.reliability import (
+    DEFAULT_INSTALL_RETRY,
+    MISS,
+    DuplicateCache,
+    ReplyCache,
+    RetryPolicy,
+    request_key,
+)
 from repro.protocol.tlv import Tlv, TlvType
 from repro.sim.kernel import EventHandle, Simulator, ns_from_s
 from repro.sim.rng import RngRegistry
@@ -66,6 +74,21 @@ class ThingEvent:
     kind: str
     device_id: Optional[DeviceId] = None
     detail: str = ""
+
+
+@dataclass
+class _InstallRequest:
+    """One in-flight driver install request (retransmitted until served)."""
+
+    device_id: DeviceId
+    seq: int
+    message: bytes
+    attempts: int = 1
+    timer: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
 
 
 @dataclass
@@ -94,6 +117,7 @@ class Thing:
         default_stream_interval_s: float = 10.0,
         zone: Optional[int] = None,
         label: str = "",
+        install_retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.label = label or f"thing-{node_id}"
@@ -122,6 +146,22 @@ class Thing:
         self._pending_driver: Dict[int, Set[int]] = {}
         self._streams: Dict[int, _StreamState] = {}
         self._install_traces: Dict[int, int] = {}
+        self._install_retry = (
+            install_retry if install_retry is not None else DEFAULT_INSTALL_RETRY
+        )
+        self._retry_rng = rng.stream("install-retry")
+        #: Protocol-timer scale (chaos clock-skew hook; 1.0 = nominal).
+        self.timer_scale = 1.0
+        #: In-flight install requests, keyed by device id (bounded: every
+        #: entry either completes or expires after the retry schedule).
+        self._install_requests: Dict[int, _InstallRequest] = {}
+        #: Request → reply memo: a retransmitted read/write/discovery is
+        #: answered from cache, never re-executed (at-most-once).
+        self._replies = ReplyCache(512)
+        #: Seen driver uploads; a duplicated upload never flashes twice.
+        self._upload_dups = DuplicateCache(256)
+        self._crashed = False
+        self._boot_advertise = False
         self.events: List[ThingEvent] = []
         self._listeners: List[Callable[[ThingEvent], None]] = []
 
@@ -147,6 +187,81 @@ class Thing:
 
     def events_of(self, kind: str) -> List[ThingEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    def pending_installs(self) -> int:
+        """In-flight driver requests (bounded: each expires by policy)."""
+        return len(self._install_requests)
+
+    def set_timer_scale(self, scale: float) -> None:
+        """Scale every future protocol timer (chaos clock-skew hook)."""
+        if scale <= 0:
+            raise ValueError("timer scale must be positive")
+        self.timer_scale = scale
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # ------------------------------------------------------------ crash/reboot
+    def crash(self) -> None:
+        """Sudden power loss: volatile state gone, radio silent.
+
+        Installed driver images persist (they live in flash, §4.2); the
+        RAM side — active channel bindings, streams, pending requests,
+        reply caches, group memberships — is lost.  The network stack is
+        downed first so nothing (including stream-closed notifications a
+        live unplug would send) escapes the dying node.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.log("crashed")
+        self.stack.set_down(True)
+        for channel in list(self.drivers.active_channels()):
+            self.drivers.deactivate(channel)
+        for bus in self._buses.values():
+            if bus.device is not None:
+                device = bus.detach()
+                if isinstance(device, UartDevice):
+                    device.unbind()
+        self._buses.clear()
+        for value, group in self._groups.items():
+            self.stack.leave_group(group)
+            if self.zone is not None:
+                self.stack.leave_group(
+                    location_group(self.network.prefix48, DeviceId(value),
+                                   self.zone)
+                )
+        self._groups.clear()
+        for state in self._streams.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._streams.clear()
+        for request in self._install_requests.values():
+            request.cancel()
+        self._install_requests.clear()
+        self._pending_driver.clear()
+        self._install_traces.clear()
+        self._replies = ReplyCache(self._replies.capacity)
+        self._upload_dups = DuplicateCache(self._upload_dups.capacity)
+        self.controller.reset()
+
+    def reboot(self) -> None:
+        """Power back on: re-identify attached boards and re-advertise.
+
+        Peripheral boards that stayed physically plugged through the
+        outage are re-identified from scratch (the controller's knowledge
+        was volatile), re-joined to their groups and re-activated — their
+        drivers are still in flash, so no install round-trip is needed —
+        ending in a fresh unsolicited advertisement.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.stack.set_down(False)
+        self.log("rebooted")
+        self._boot_advertise = True
+        self.controller.trigger()
 
     # ------------------------------------------------------------ plug/unplug
     def plug(self, board: PeripheralBoard, channel: Optional[int] = None) -> int:
@@ -179,16 +294,26 @@ class Thing:
             # Departures advertise immediately; arrivals advertise at the
             # end of their setup pipeline.
             self._advertise_unsolicited()
+        if self._boot_advertise:
+            self._boot_advertise = False
+            if not outcome.added:
+                # Boot scan found nothing new (e.g. no boards survived the
+                # outage): still announce we are back.
+                self._advertise_unsolicited()
 
     def _setup_channel(self, channel: int, device_id: DeviceId) -> None:
         self.log("identified", device_id, detail=f"channel {channel}")
 
         def after_group(group: Ipv6Address) -> None:
+            if self._crashed:
+                return  # power died while the address was being derived
             self._groups[device_id.value] = group
             self.log("group-generated", device_id, detail=str(group))
             self.stack.join_group(group, lambda: after_join())
 
         def after_join() -> None:
+            if self._crashed:
+                return
             self.log("group-joined", device_id)
             if self.zone is not None:
                 zoned = location_group(self.network.prefix48, device_id,
@@ -225,11 +350,64 @@ class Thing:
                     track=tracer.track(f"{self.label} core"),
                     args={"device_id": f"{device_id.value:#010x}"},
                 )
+            encoded = request.encode()
+            state = _InstallRequest(device_id, request.seq, encoded)
+            self._install_requests[device_id.value] = state
             self.stack.sendto(
-                self._manager_address, UPNP_PORT, request.encode(),
+                self._manager_address, UPNP_PORT, encoded,
                 src_port=UPNP_PORT,
             )
             self.log("driver-requested", device_id)
+            self._arm_install_retry(state)
+
+    def _arm_install_retry(self, state: _InstallRequest) -> None:
+        policy = self._install_retry
+        delay = policy.backoff_s(state.attempts, self._retry_rng) * self.timer_scale
+        if state.attempts >= policy.max_attempts:
+            # Out of attempts: one more backoff of grace, then give up.
+            state.timer = self.sim.schedule(
+                ns_from_s(delay),
+                lambda: self._install_give_up(state.device_id),
+                name="driver-request-expire",
+            )
+            return
+        state.timer = self.sim.schedule(
+            ns_from_s(delay),
+            lambda: self._retry_install(state.device_id),
+            name="driver-request-retry",
+        )
+
+    def _retry_install(self, device_id: DeviceId) -> None:
+        state = self._install_requests.get(device_id.value)
+        if state is None:
+            return
+        state.attempts += 1
+        self.log("driver-request-retransmit", state.device_id,
+                 detail=f"attempt {state.attempts}")
+        # Same seq as the original: if the manager already served it, the
+        # retransmission hits its reply cache and the upload is re-sent
+        # without a second registry serve.
+        self.stack.sendto(
+            self._manager_address, UPNP_PORT, state.message, src_port=UPNP_PORT,
+        )
+        self._arm_install_retry(state)
+
+    def _install_give_up(self, device_id: DeviceId) -> None:
+        state = self._install_requests.pop(device_id.value, None)
+        if state is None:
+            return
+        self._pending_driver.pop(device_id.value, None)
+        trace_id = self._install_traces.pop(device_id.value, None)
+        self.log("driver-request-failed", device_id,
+                 detail=f"after {state.attempts} attempts")
+        tracer = self.sim.tracer
+        if (tracer is not None and trace_id is not None
+                and tracer.enabled_for("core")):
+            tracer.async_end(
+                "driver.install", "core", trace_id,
+                track=tracer.track(f"{self.label} core"),
+                args={"error": "timeout"},
+            )
 
     def _activate_channel(self, channel: int, device_id: DeviceId) -> None:
         board = self.board.board_at(channel)
@@ -243,6 +421,8 @@ class Thing:
         activation_s = max(0.0, timing.driver_activation_cpu_s + jitter)
 
         def do_activate() -> None:
+            if self._crashed:
+                return  # power died during the activation delay
             current = self.board.board_at(channel)
             if current is not board:
                 return
@@ -284,7 +464,18 @@ class Thing:
             device = bus.detach()
             if isinstance(device, UartDevice):
                 device.unbind()
-        self._pending_driver.get(device_id.value, set()).discard(channel)
+        waiting = self._pending_driver.get(device_id.value)
+        if waiting is not None:
+            waiting.discard(channel)
+            if not waiting:
+                # Nobody waits for this driver any more: stop
+                # retransmitting and drop the bookkeeping (hot-unplug
+                # mid-install must not leak pending state).
+                self._pending_driver.pop(device_id.value, None)
+                request = self._install_requests.pop(device_id.value, None)
+                if request is not None:
+                    request.cancel()
+                self._install_traces.pop(device_id.value, None)
         still_present = device_id in self.connected_peripherals().values()
         if not still_present:
             group = self._groups.pop(device_id.value, None)
@@ -335,6 +526,25 @@ class Thing:
                 tracer.track(f"{self.label} core"),
                 args={"seq": message.seq, "from": str(datagram.src)},
             )
+        if isinstance(message, (proto.ReadRequest, proto.WriteRequest,
+                                proto.StreamRequest, proto.DriverDiscovery,
+                                proto.DriverRemovalRequest)):
+            # Requests with side effects or unicast replies go through the
+            # reply cache: a retransmission is answered from cache (the
+            # reply was probably lost), an in-flight duplicate is dropped.
+            # Either way the request body executes at most once.
+            key = request_key(datagram.src.value, datagram.src_port,
+                              message.seq)
+            cached = self._replies.lookup(key)
+            if cached is not MISS:
+                self.log("dup-request-suppressed",
+                         detail=type(message).__name__)
+                if cached is not None:
+                    address, port = datagram.reply_to()
+                    self.stack.sendto(address, port, cached,
+                                      src_port=UPNP_PORT)
+                return
+            self._replies.begin(key)
         if isinstance(message, proto.PeripheralDiscovery):
             self._handle_discovery(message, datagram)
         elif isinstance(message, proto.ReadRequest):
@@ -351,8 +561,13 @@ class Thing:
             self._handle_driver_upload(message, datagram)
 
     def _reply(self, datagram: UdpDatagram, message: proto.Message) -> None:
+        encoded = message.encode()
+        self._replies.complete(
+            request_key(datagram.src.value, datagram.src_port, message.seq),
+            encoded,
+        )
         address, port = datagram.reply_to()
-        self.stack.sendto(address, port, message.encode(), src_port=UPNP_PORT)
+        self.stack.sendto(address, port, encoded, src_port=UPNP_PORT)
 
     def _handle_discovery(
         self, message: proto.PeripheralDiscovery, datagram: UdpDatagram
@@ -480,13 +695,25 @@ class Thing:
     def _handle_driver_upload(
         self, message: proto.DriverUpload, datagram: UdpDatagram
     ) -> None:
-        del datagram
+        if self._upload_dups.seen(
+            (datagram.src.value, message.seq, message.device_id.value)
+        ):
+            # The manager re-sent a cached upload (our retransmitted
+            # request crossed its reply) or the network duplicated the
+            # frame; the first copy is already flashing.  Never twice.
+            self.log("dup-upload-suppressed", message.device_id)
+            return
+        request = self._install_requests.pop(message.device_id.value, None)
+        if request is not None:
+            request.cancel()
         self.log("driver-upload-received", message.device_id,
                  detail=f"{len(message.image)} bytes")
         timing = self.network.timing
         flash_delay = timing.flash_write_per_byte_s * len(message.image)
 
         def finish_install() -> None:
+            if self._crashed:
+                return  # power died mid-flash; the image is lost
             from repro.dsl.bytecode import DriverImage
             from repro.dsl.errors import CompileError
 

@@ -27,6 +27,11 @@ from repro.fleet.metrics import Metrics
 from repro.fleet.scenario import ShardSpec
 from repro.hw.device_id import DeviceId
 from repro.net.network import Network
+from repro.protocol.reliability import (
+    DEFAULT_INSTALL_RETRY,
+    DEFAULT_RETRY,
+    NO_RETRY,
+)
 from repro.sim.kernel import Simulator, ns_from_s
 from repro.sim.rng import RngRegistry
 
@@ -61,10 +66,17 @@ class ShardDeployment:
         self.network = Network(self.sim, rng=self.rng.fork("network"))
         self.registry = Registry()
         populate_registry(self.registry)
-        self.manager = Manager(self.sim, self.network, GATEWAY_NODE, self.registry)
+        if self.scenario.reliability:
+            retry = self.scenario.retry or DEFAULT_RETRY
+            install_retry = self.scenario.install_retry or DEFAULT_INSTALL_RETRY
+        else:
+            retry = install_retry = NO_RETRY
+        self.manager = Manager(self.sim, self.network, GATEWAY_NODE,
+                               self.registry, retry=retry)
         self.client = Client(
             self.sim, self.network, CLIENT_NODE,
             default_timeout_s=self.scenario.churn.discovery_timeout_s * 4,
+            retry=retry,
         )
         self.things: List[Thing] = []
         self._thing_rngs: List[RngRegistry] = []
@@ -76,6 +88,7 @@ class ShardDeployment:
                 channels=self.scenario.channels,
                 rng=node_rng,
                 label=f"thing-{global_id}",
+                install_retry=install_retry,
             )
             self.things.append(thing)
             self._thing_rngs.append(node_rng)
@@ -100,6 +113,7 @@ class ShardDeployment:
                 lambda event, t=thing: self._on_thing_event(t, event)
             )
         self.client.add_listener(self._on_client_event)
+        self.manager.add_listener(self._on_manager_event)
 
     def _on_sim_event(self, time_ns: int, name: str) -> None:
         del time_ns, name
@@ -133,6 +147,16 @@ class ShardDeployment:
             self.metrics.inc("advertisements")
         elif kind == "removed":
             self.metrics.inc("removals")
+        elif kind == "driver-request-retransmit":
+            self.metrics.inc("reliability.retransmits")
+        elif kind == "driver-request-failed":
+            self.metrics.inc("driver.request_failures")
+        elif kind in ("dup-upload-suppressed", "dup-request-suppressed"):
+            self.metrics.inc("reliability.dups_suppressed")
+        elif kind == "crashed":
+            self.metrics.inc("chaos.crashes")
+        elif kind == "rebooted":
+            self.metrics.inc("chaos.reboots")
 
     def _on_client_event(self, event: ClientEvent) -> None:
         kind = event.kind
@@ -153,6 +177,17 @@ class ShardDeployment:
             self.metrics.inc("streams.established")
         elif kind == "stream-data":
             self.metrics.inc("stream.data")
+        elif kind.endswith("-retransmit"):
+            self.metrics.inc("reliability.retransmits")
+        elif kind == "dup-suppressed":
+            self.metrics.inc("reliability.dups_suppressed")
+
+    def _on_manager_event(self, event) -> None:
+        kind = event.kind
+        if kind.endswith("-retransmit"):
+            self.metrics.inc("reliability.retransmits")
+        elif kind.endswith("-timeout"):
+            self.metrics.inc("manager.timeouts")
 
     # ----------------------------------------------------------- churn drive
     def _pick_peripheral(self, rng: random.Random) -> str:
@@ -233,7 +268,7 @@ class ShardDeployment:
             if self._known:
                 thing_addr, device_id = read_rng.choice(self._known)
                 self.client.read(thing_addr, device_id, lambda result: None,
-                                 timeout_s=2.0)
+                                 timeout_s=churn.read_timeout_s)
             self.sim.schedule(
                 ns_from_s(read_rng.expovariate(1.0 / churn.read_interval_s)),
                 read_tick, name="fleet-read",
@@ -284,15 +319,33 @@ class ShardDeployment:
         )
 
     # ---------------------------------------------------------------- running
-    def run(self) -> Metrics:
-        """Drive the shard for the scenario duration; return its metrics."""
+    #: Event names driving the open-loop load; cancelling them (between
+    #: :meth:`start` and :meth:`finalize`) lets in-flight work drain.
+    CHURN_EVENT_NAMES = ("fleet-churn", "fleet-discover", "fleet-read",
+                        "fleet-hot-update")
+
+    def start(self) -> None:
+        """Launch the churn/traffic processes without running the clock.
+
+        Callers (e.g. chaos campaigns) that need to interleave their own
+        scheduling use ``start()`` + ``sim.run_until(...)`` +
+        :meth:`finalize` instead of :meth:`run`.
+        """
         for local in range(len(self.things)):
             self._start_thing_churn(local)
         self._start_client_traffic()
         self._start_hot_updates()
-        self.sim.run_until(ns_from_s(self.scenario.duration_s))
+
+    def finalize(self) -> Metrics:
+        """Fold end-of-run counters into the metrics and return them."""
         self._collect_final()
         return self.metrics
+
+    def run(self) -> Metrics:
+        """Drive the shard for the scenario duration; return its metrics."""
+        self.start()
+        self.sim.run_until(ns_from_s(self.scenario.duration_s))
+        return self.finalize()
 
     def _collect_final(self) -> None:
         """Fold end-of-run counters from every layer into the metrics."""
@@ -318,6 +371,12 @@ class ShardDeployment:
         self.metrics.inc("manager.install_requests",
                          self.manager.stats.install_requests)
         self.metrics.inc("manager.uploads", self.manager.stats.uploads)
+        self.metrics.inc("manager.duplicate_install_requests",
+                         self.manager.stats.duplicate_install_requests)
+        net_faults = (net.faults_dropped + net.faults_duplicated
+                      + net.faults_delayed)
+        if net_faults:
+            self.metrics.inc("chaos.datagram_faults", net_faults)
 
 
 __all__ = ["ShardDeployment", "GATEWAY_NODE", "CLIENT_NODE", "FIRST_THING_NODE"]

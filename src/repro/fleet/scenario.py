@@ -16,7 +16,9 @@ never on which worker process executes it or how many workers exist.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocol.reliability import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,9 @@ class ChurnProfile:
     #: Cancel each stream after roughly this long (exercises timer
     #: cancellation, i.e. kernel tombstones).
     stream_lifetime_s: float = 6.0
+    #: Per-read request timeout.  Under fault campaigns this must cover
+    #: the retry policy's worst-case retransmission span.
+    read_timeout_s: float = 2.0
 
 
 #: Relative weights of catalogue peripherals in the deployed population.
@@ -90,6 +95,15 @@ class FleetScenario:
     trace: bool = False
     #: Per-shard tracer ring-buffer bound when tracing.
     trace_limit: int = 100_000
+    #: Endpoint reliability layer (retransmission + duplicate control).
+    #: Off reproduces the pre-reliability protocol for A/B benchmarks.
+    reliability: bool = True
+    #: Client/manager request retry schedule (``None`` = library default).
+    #: :class:`~repro.protocol.reliability.RetryPolicy` is a frozen
+    #: dataclass of primitives, so scenarios stay pickle-safe.
+    retry: Optional[RetryPolicy] = None
+    #: Thing driver-install retry schedule (``None`` = library default).
+    install_retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.things < 1:

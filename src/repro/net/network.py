@@ -40,6 +40,12 @@ class NetworkStats:
     datagrams_undeliverable: int = 0
     multicast_transmissions: int = 0
     bytes_sent: int = 0
+    #: Datagrams swallowed by an installed fault injector.
+    faults_dropped: int = 0
+    #: Extra datagram copies a fault injector put on the air.
+    faults_duplicated: int = 0
+    #: Datagrams a fault injector held back before routing (reordering).
+    faults_delayed: int = 0
 
 
 class Network:
@@ -70,6 +76,7 @@ class Network:
         self.dodag: Optional[Dodag] = None
         self.stats = NetworkStats()
         self._monitors: List = []
+        self._fault_injector = None
 
     # ----------------------------------------------------------- composition
     @property
@@ -132,6 +139,19 @@ class Network:
         except ValueError:
             pass
 
+    def set_fault_injector(self, injector) -> None:
+        """Install (or with ``None``, remove) the datagram fault hook.
+
+        *injector* is called as ``injector(src_id, datagram)`` for every
+        datagram entering the network and returns the list of
+        ``(extra_delay_s, datagram)`` copies to actually route: ``[]``
+        drops it, one zero-delay entry passes it through, several entries
+        duplicate it, a positive delay holds a copy back (reordering),
+        and a rewritten datagram models in-flight corruption.  The chaos
+        engine (:mod:`repro.chaos`) is the canonical implementation.
+        """
+        self._fault_injector = injector
+
     # ------------------------------------------------------------ membership
     def join_group(self, node_id: int, group: Ipv6Address) -> None:
         self._groups.setdefault(group, set()).add(node_id)
@@ -174,6 +194,28 @@ class Network:
                                  "dst": str(datagram.dst),
                                  "size": datagram.size,
                                  "payload": datagram.payload})
+        if self._fault_injector is None:
+            self._route(src_id, datagram)
+            return
+        copies = self._fault_injector(src_id, datagram)
+        if not copies:
+            self.stats.faults_dropped += 1
+            return
+        if len(copies) > 1:
+            self.stats.faults_duplicated += len(copies) - 1
+        for extra_delay_s, copy in copies:
+            if extra_delay_s <= 0.0:
+                self._route(src_id, copy)
+            else:
+                self.stats.faults_delayed += 1
+                self._sim.schedule(
+                    ns_from_s(extra_delay_s),
+                    lambda c=copy: self._route(src_id, c),
+                    name="chaos-delay",
+                )
+
+    def _route(self, src_id: int, datagram: UdpDatagram) -> None:
+        """Route one (possibly fault-rewritten) datagram copy."""
         if datagram.dst.is_multicast:
             self._send_multicast(src_id, datagram)
         elif self.is_anycast(datagram.dst):

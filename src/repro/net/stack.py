@@ -34,6 +34,8 @@ class StackStats:
     no_socket: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Datagrams silently discarded because the node was down (crashed).
+    dropped_down: int = 0
 
 
 class NetworkStack:
@@ -54,6 +56,7 @@ class NetworkStack:
         self._sockets: Dict[int, SocketHandler] = {}
         self._groups: Set[Ipv6Address] = set()
         self._meter = meter
+        self._down = False
         self.stats = StackStats()
         network.register(self)
 
@@ -73,6 +76,18 @@ class NetworkStack:
     @property
     def sim(self):
         return self._network.sim
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def set_down(self, down: bool) -> None:
+        """Take the node off the air (crash) or bring it back (reboot).
+
+        While down, outbound sends and inbound deliveries are silently
+        discarded — a powered-off radio neither transmits nor hears.
+        """
+        self._down = down
 
     # -------------------------------------------------------------- sockets
     def bind(self, port: int, handler: SocketHandler) -> None:
@@ -99,6 +114,9 @@ class NetworkStack:
         hit the air; *after* (if given) fires at that point.
         """
         datagram = UdpDatagram(self._address, src_port, dst, dst_port, bytes(payload))
+        if self._down:
+            self.stats.dropped_down += 1
+            return datagram
         cpu = self._network.timing.packet_cpu_s(datagram.size, receive=False)
         self._charge_cpu(cpu)
         self.stats.sent += 1
@@ -116,6 +134,9 @@ class NetworkStack:
     # --------------------------------------------------------------- receive
     def deliver(self, datagram: UdpDatagram) -> None:
         """Called by the network when frames for us finish arriving."""
+        if self._down:
+            self.stats.dropped_down += 1
+            return
         cpu = self._network.timing.packet_cpu_s(datagram.size, receive=True)
         self._charge_cpu(cpu)
         self._trace_cpu("stack.recv", cpu, datagram.size)

@@ -1,0 +1,212 @@
+"""Protocol reliability primitives: retry policies and duplicate control.
+
+µPnP's evaluation network (§6.4) is a lossy 802.15.4 mesh, yet the
+request/reply protocol of §5 carries no transport: a lost datagram is a
+lost operation.  This module supplies the three mechanisms the endpoints
+(:mod:`repro.core.client`, :mod:`repro.core.manager`,
+:mod:`repro.core.thing`) compose into a reliable request layer:
+
+* :class:`RetryPolicy` — per-request retransmission with exponential
+  backoff, a multiplicative cap and deterministic jitter;
+* :class:`DuplicateCache` — bounded seq-based suppression of re-delivered
+  datagrams (retransmissions and network-duplicated frames look alike to
+  a receiver, so both are folded by the same cache);
+* :class:`ReplyCache` — bounded request/reply memoisation so a
+  retransmitted request is answered from cache instead of re-executing
+  its side effect (at-most-once execution, at-least-once delivery).
+
+Everything here is deterministic: jitter draws come from the caller's
+seeded :class:`random.Random`, caches evict in FIFO insertion order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retransmission schedule for one request.
+
+    Attempt *n* (1-based; attempt 1 is the original transmission) is
+    followed, if unanswered, by a retransmission after
+    ``min(base_backoff_s * multiplier**(n-1), max_backoff_s)`` seconds,
+    plus/minus uniform jitter of ``jitter_frac`` of the delay.  After
+    ``max_attempts`` transmissions the requester gives up and surfaces a
+    timeout error.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_s: float = 8.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s <= 0:
+            raise ValueError("base_backoff_s must be positive")
+        if not 0 <= self.jitter_frac < 1:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    @property
+    def retransmits(self) -> bool:
+        return self.max_attempts > 1
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before the retransmission following transmission *attempt*."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        delay = min(
+            self.base_backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if rng is not None and self.jitter_frac > 0:
+            delay *= 1.0 + rng.uniform(-self.jitter_frac, self.jitter_frac)
+        return delay
+
+    def worst_case_span_s(self) -> float:
+        """Upper bound on time from first transmission to giving up."""
+        total = 0.0
+        for attempt in range(1, self.max_attempts):
+            total += self.backoff_s(attempt) * (1.0 + self.jitter_frac)
+        return total
+
+
+#: Retransmission disabled: a single attempt, timeout-only semantics
+#: (the pre-reliability protocol behaviour, kept for A/B benchmarks).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: Default endpoint policy.  The base backoff clears the worst one-hop
+#: RTT of Table 4 by an order of magnitude, so lossless deployments
+#: never retransmit spuriously.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Driver installs traverse a request, a manager lookup, a fragmented
+#: upload and a flash write; their backoff starts above that whole
+#: pipeline's worst case.
+DEFAULT_INSTALL_RETRY = RetryPolicy(
+    max_attempts=5, base_backoff_s=2.0, multiplier=1.6, max_backoff_s=6.0,
+)
+
+
+class DuplicateCache:
+    """Bounded FIFO set of recently seen datagram identities.
+
+    ``seen(key)`` returns True (and does not re-insert) when *key* was
+    observed within the last *capacity* distinct keys.  Keys are
+    typically ``(src, msg_type, seq, ...)`` tuples; 16-bit sequence
+    numbers wrap, so the bound doubles as correctness: a wrapped seq
+    is long evicted by the time it recurs.
+    """
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def seen(self, key: Hashable) -> bool:
+        """Record *key*; True when it was already present (a duplicate)."""
+        if key in self._entries:
+            return True
+        self._entries[key] = None
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return False
+
+
+class _Miss:
+    __repr__ = lambda self: "MISS"  # noqa: E731 - sentinel
+
+
+#: Sentinel distinguishing "never seen" from "seen, reply pending".
+MISS = _Miss()
+
+
+class ReplyCache:
+    """Bounded request → reply memo for at-most-once execution.
+
+    The responder calls :meth:`begin` when it starts executing a
+    request, :meth:`complete` when the reply leaves, and
+    :meth:`lookup` on every arriving request:
+
+    * :data:`MISS` — never seen: execute it;
+    * ``None`` — execution in flight (split-phase handler): drop the
+      duplicate, the original will answer;
+    * ``bytes`` — already answered: re-send the cached reply verbatim,
+      do **not** re-execute the side effect.
+    """
+
+    __slots__ = ("_capacity", "_entries", "hits")
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Optional[bytes]]" = OrderedDict()
+        #: Duplicate requests answered (or absorbed) from the cache.
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def lookup(self, key: Hashable):
+        entry = self._entries.get(key, MISS)
+        if entry is not MISS:
+            self.hits += 1
+        return entry
+
+    def begin(self, key: Hashable) -> None:
+        """Mark *key* as executing (reply not yet produced)."""
+        if key not in self._entries:
+            self._entries[key] = None
+            self._evict()
+
+    def complete(self, key: Hashable, reply: bytes) -> None:
+        """Record the reply bytes for *key* (re-sent on duplicates)."""
+        self._entries[key] = reply
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+
+def request_key(src_value: int, src_port: int, seq: int) -> Tuple[int, int, int]:
+    """Identity of one request as seen by a responder.
+
+    Sequence numbers are per-requester (§5.2: "used to associate request
+    and reply messages"), so ``(source address, source port, seq)``
+    uniquely names a request within the cache's eviction horizon.
+    """
+    return (src_value, src_port, seq)
+
+
+__all__ = [
+    "RetryPolicy",
+    "DuplicateCache",
+    "ReplyCache",
+    "MISS",
+    "request_key",
+    "NO_RETRY",
+    "DEFAULT_RETRY",
+    "DEFAULT_INSTALL_RETRY",
+]

@@ -54,6 +54,7 @@ class PeripheralController:
         self._listeners: List[ChangeListener] = []
         self._identifying = False
         self._rerun_needed = False
+        self._epoch = 0
         self.rounds_run = 0
         board.on_interrupt(self._on_interrupt)
 
@@ -84,8 +85,24 @@ class PeripheralController:
         else:
             self._start_round()
 
+    def reset(self) -> None:
+        """Forget every identified peripheral (power loss wipes RAM).
+
+        No removal callbacks fire — the node is dead, nobody is
+        listening.  The next round (boot :meth:`trigger`) reports every
+        still-attached board as newly added, replaying the full plug
+        pipeline from scratch.
+        """
+        self._known = {}
+        self._rerun_needed = False
+        self._identifying = False
+        # Invalidate any round already in flight: its completion event
+        # belongs to the pre-crash epoch and must report nothing.
+        self._epoch += 1
+
     def _start_round(self) -> None:
         self._identifying = True
+        epoch = self._epoch
         report = self._board.run_identification()
         self.rounds_run += 1
         if self._meter is not None:
@@ -93,11 +110,13 @@ class PeripheralController:
             self._meter.add_draw("mcu", self._mcu.active_draw, report.total_seconds)
         self._sim.schedule(
             ns_from_s(report.total_seconds),
-            lambda: self._finish_round(report),
+            lambda: self._finish_round(report, epoch),
             name="identification-done",
         )
 
-    def _finish_round(self, report: IdentificationReport) -> None:
+    def _finish_round(self, report: IdentificationReport, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # round predates a reset (power loss); results are void
         current = report.identified()
         added = {
             ch: dev for ch, dev in current.items()

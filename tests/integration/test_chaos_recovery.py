@@ -1,0 +1,161 @@
+"""Integration: chaos campaigns, graceful degradation, differential replay.
+
+Covers the PR's acceptance criteria end to end: under the 30% loss
+campaign at least 99% of client reads and driver installs complete via
+retransmission with zero duplicate side effects, a crashed mote leaves
+its neighbours unaffected and re-advertises after reboot, and the same
+(campaign, seed) replays to a byte-identical verdict.
+"""
+
+import pytest
+
+from repro.chaos.__main__ import SMOKE_SEEDS
+from repro.chaos.campaign import CAMPAIGNS, run_campaign
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import TMP36_ID, make_peripheral_board, populate_registry
+from repro.net.network import Network
+from repro.peripherals import Environment
+from repro.protocol.reliability import RetryPolicy
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+# ------------------------------------------------- acceptance: 30% loss
+
+
+def test_lossy_campaign_meets_99_percent_completion():
+    """Aggregated over the smoke seeds: >=99% reads and installs land."""
+    reads_sent = reads_ok = requests = installs = failures = 0
+    for seed in SMOKE_SEEDS:
+        result = run_campaign(CAMPAIGNS["lossy"], seed)
+        assert result.violations == 0, result.verdict["invariants"]
+        rec = result.verdict["recoveries"]
+        assert rec["retransmits"] > 0  # recovery really went through retry
+        reads_sent += rec["reads_sent"]
+        reads_ok += rec["reads_ok"]
+        requests += rec["driver_requests"]
+        installs += rec["driver_installs"]
+        failures += rec["driver_request_failures"]
+    assert reads_sent > 0 and requests > 0
+    assert reads_ok / reads_sent >= 0.99
+    assert installs >= requests - failures
+    assert failures / requests <= 0.01
+
+
+def test_mayhem_campaign_recovers_from_compound_faults():
+    result = run_campaign(CAMPAIGNS["mayhem"], 1)
+    assert result.violations == 0, result.verdict["invariants"]
+    injected = result.verdict["faults"]["injected"]
+    assert injected["crashes"] == injected["reboots"] == 1
+    assert injected["drops"] > 0
+    rec = result.verdict["recoveries"]
+    assert rec["reads_ok"] > 0
+    # The crashed mote (shard-local thing 0) came back and re-advertised.
+    thing = result.deployments[0].things[0]
+    kinds = [e.kind for e in thing.events]
+    assert "crashed" in kinds and "rebooted" in kinds
+    reboot_s = thing.events_of("rebooted")[0].time_s
+    assert any(e.kind == "advertised" and e.time_s > reboot_s
+               for e in thing.events)
+
+
+# ------------------------------------------------- differential replay
+
+
+def test_campaign_replay_is_byte_identical():
+    first = run_campaign(CAMPAIGNS["lossy"], 7, trace=True)
+    second = run_campaign(CAMPAIGNS["lossy"], 7, trace=True)
+    assert first.to_json() == second.to_json()
+    assert first.digest == second.digest
+    assert first.verdict["trace_digest"] == second.verdict["trace_digest"]
+
+
+def test_different_seeds_diverge():
+    a = run_campaign(CAMPAIGNS["lossy"], 1)
+    b = run_campaign(CAMPAIGNS["lossy"], 2)
+    assert a.digest != b.digest
+
+
+# --------------------------------------------- graceful degradation
+
+
+def _two_thing_world(seed=42):
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    retry = RetryPolicy(max_attempts=2, base_backoff_s=0.4, multiplier=2.0,
+                        max_backoff_s=1.0, jitter_frac=0.0)
+    things = [
+        Thing(sim, network, node, rng=rng.fork(f"thing{node}"))
+        for node in (0, 1)
+    ]
+    client = Client(sim, network, 2, retry=retry)
+    manager = Manager(sim, network, 3, registry)
+    nodes = [0, 1, 2, 3]
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            network.connect(a, b)
+    network.build_dodag(3)
+    for index, thing in enumerate(things):
+        board = make_peripheral_board(
+            "tmp36", Environment(temperature_c=20.0 + index),
+            rng=rng.fork(f"mfg{index}").stream("mfg"),
+        )
+        thing.plug(board)
+    sim.run_until(ns_from_s(3.0))  # both pipelines complete
+    return sim, network, things, client, manager
+
+
+def test_crashed_mote_does_not_disturb_neighbours():
+    sim, network, things, client, manager = _two_thing_world()
+    assert all(t.drivers.has_driver(TMP36_ID) for t in things)
+    things[0].crash()
+
+    healthy, dead = [], []
+    client.read(things[1].address, TMP36_ID, healthy.append, timeout_s=2.0)
+    client.read(things[0].address, TMP36_ID, dead.append, timeout_s=2.0)
+    sim.run_until(ns_from_s(8.0))
+
+    assert len(healthy) == 1 and healthy[0] is not None and healthy[0].ok
+    assert dead == [None]  # surfaced as a timeout, not silence
+    assert client.pending_count() == 0
+
+
+def test_reboot_restores_service_with_fresh_advertisement():
+    sim, network, things, client, manager = _two_thing_world()
+    advertisements = []
+    client.on_advertisement(
+        lambda source, entries: advertisements.append((source, entries)))
+    things[0].crash()
+    sim.run_until(ns_from_s(5.0))
+
+    things[0].reboot()
+    sim.run_until(ns_from_s(10.0))
+    # Re-identification found the still-attached board and re-advertised.
+    sources = [source for source, _ in advertisements]
+    assert things[0].address in sources
+    entries = [e for source, es in advertisements
+               if source == things[0].address for e in es]
+    assert any(entry.device_id == TMP36_ID for entry in entries)
+
+    # Service is actually restored, driver reloaded from flash.
+    results = []
+    client.read(things[0].address, TMP36_ID, results.append, timeout_s=2.0)
+    sim.run_until(ns_from_s(15.0))
+    assert len(results) == 1 and results[0] is not None and results[0].ok
+
+
+def test_crash_during_outage_drops_requests_silently_until_timeout():
+    sim, network, things, client, manager = _two_thing_world()
+    things[0].crash()
+    outcomes = []
+    manager.discover_drivers(things[0].address, outcomes.append,
+                             timeout_s=1.0)
+    sim.run_until(ns_from_s(6.0))
+    assert outcomes == [None]
+    assert manager.pending_count() == 0
+    assert things[0].stack.stats.dropped_down > 0

@@ -1,0 +1,190 @@
+"""Property tests: reliability primitives and chaos-campaign invariants.
+
+The campaign-level properties execute a miniature fleet under a
+hypothesis-drawn fault plan and assert the chaos invariants hold for
+*any* plan: every request resolves (reply or surfaced timeout), no
+retransmitted install executes twice, pending tables drain to empty,
+and a replay of the same (plan, seed) produces a byte-identical digest.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.campaign import (
+    Campaign,
+    LOSSY_INSTALL_RETRY,
+    LOSSY_RETRY,
+    run_campaign,
+)
+from repro.chaos.plan import FaultPlan, LinkBurst, NodeCrash
+from repro.protocol.reliability import (
+    MISS,
+    DuplicateCache,
+    ReplyCache,
+    RetryPolicy,
+)
+from repro.fleet.scenario import ChurnProfile, FleetScenario
+
+# ----------------------------------------------------------- primitives
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_backoff_s=st.floats(min_value=0.01, max_value=4.0),
+    multiplier=st.floats(min_value=1.0, max_value=3.0),
+    max_backoff_s=st.floats(min_value=0.01, max_value=16.0),
+    jitter_frac=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@given(policies, st.integers(min_value=1, max_value=12),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=200)
+def test_backoff_capped_and_jitter_bounded(policy, attempt, seed):
+    base = policy.backoff_s(attempt)
+    assert base <= policy.max_backoff_s
+    jittered = policy.backoff_s(attempt, random.Random(seed))
+    assert jittered >= base * (1.0 - policy.jitter_frac)
+    assert jittered <= base * (1.0 + policy.jitter_frac)
+
+
+@given(policies)
+@settings(max_examples=200)
+def test_worst_case_span_dominates_every_schedule(policy):
+    rng = random.Random(7)
+    span = sum(
+        policy.backoff_s(attempt, rng)
+        for attempt in range(1, policy.max_attempts)
+    )
+    assert span <= policy.worst_case_span_s() + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.lists(st.integers(min_value=0, max_value=300), max_size=400))
+@settings(max_examples=200)
+def test_duplicate_cache_bounded_and_detects_recent_repeats(capacity, keys):
+    cache = DuplicateCache(capacity)
+    window = []
+    for key in keys:
+        was_recent = key in window
+        assert cache.seen(key) == was_recent
+        assert len(cache) <= capacity
+        if not was_recent:
+            window.append(key)
+            if len(window) > capacity:
+                window.pop(0)
+
+
+@given(st.integers(min_value=1, max_value=32),
+       st.lists(st.tuples(st.integers(0, 100),
+                          st.sampled_from(["begin", "complete"])),
+                max_size=200))
+@settings(max_examples=200)
+def test_reply_cache_bounded_and_at_most_once(capacity, ops):
+    cache = ReplyCache(capacity)
+    for key, op in ops:
+        if op == "begin":
+            before = cache.lookup(key)
+            cache.begin(key)
+            if before is not MISS and isinstance(before, bytes):
+                # begin() never downgrades a completed entry to in-flight
+                assert cache.lookup(key) == before
+        else:
+            cache.complete(key, bytes([key % 256]))
+            assert cache.lookup(key) == bytes([key % 256])
+        assert len(cache) <= capacity
+
+
+# ------------------------------------------------------------ campaigns
+
+_PROP_CHURN = ChurnProfile(
+    read_timeout_s=15.0,
+    read_interval_s=1.0,
+    churn_interval_s=6.0,
+    hot_update_interval_s=8.0,
+)
+
+_PROP_SCENARIO = FleetScenario(
+    name="prop-chaos",
+    things=3,
+    shard_size=3,
+    channels=2,
+    duration_s=8.0,
+    churn=_PROP_CHURN,
+    retry=LOSSY_RETRY,
+    install_retry=LOSSY_INSTALL_RETRY,
+)
+
+plans = st.builds(
+    lambda drop, corrupt, duplicate, reorder, crash: FaultPlan(
+        name="prop",
+        bursts=(
+            LinkBurst(
+                start_s=0.0, end_s=1e9,
+                drop_probability=drop,
+                corrupt_probability=corrupt,
+                duplicate_probability=duplicate,
+                reorder_probability=reorder,
+            ),
+        ),
+        crashes=(
+            (NodeCrash(thing=0, at_s=3.0, reboot_at_s=5.5),)
+            if crash else ()
+        ),
+    ),
+    drop=st.floats(min_value=0.0, max_value=0.4),
+    corrupt=st.floats(min_value=0.0, max_value=0.1),
+    duplicate=st.floats(min_value=0.0, max_value=0.15),
+    reorder=st.floats(min_value=0.0, max_value=0.15),
+    crash=st.booleans(),
+)
+
+
+def _campaign_for(plan: FaultPlan) -> Campaign:
+    return Campaign(
+        name="prop",
+        description="hypothesis-drawn plan",
+        scenario=_PROP_SCENARIO,
+        build_plan=lambda spec, horizon_s: plan,
+        grace_s=20.0,
+    )
+
+
+@given(plans, st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=12, deadline=None)
+def test_invariants_hold_under_any_plan(plan, seed):
+    """No lost-without-timeout request, no duplicate install side
+    effect, no pending-table leak — for arbitrary fault plans."""
+    result = run_campaign(_campaign_for(plan), seed)
+    assert result.violations == 0, result.verdict["invariants"]
+    rec = result.verdict["recoveries"]
+    # Every read resolved one way or the other.
+    assert rec["reads_ok"] + rec["reads_timeout"] == rec["reads_sent"]
+
+
+@given(plans, st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=6, deadline=None)
+def test_replay_same_seed_same_plan_identical_digest(plan, seed):
+    campaign = _campaign_for(plan)
+    first = run_campaign(campaign, seed)
+    second = run_campaign(campaign, seed)
+    assert first.digest == second.digest
+    assert first.to_json() == second.to_json()
+
+
+@given(st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=8, deadline=None)
+def test_lossy_retransmission_never_duplicates_installs(seed):
+    """30% loss + duplication: retransmitted installs fold to one flash."""
+    plan = FaultPlan(
+        name="prop-lossy",
+        bursts=(
+            LinkBurst(start_s=0.0, end_s=1e9,
+                      drop_probability=0.3, duplicate_probability=0.2),
+        ),
+    )
+    result = run_campaign(_campaign_for(plan), seed)
+    assert result.violations == 0, result.verdict["invariants"]
+    report = result.verdict["invariants"]["no-duplicate-install"]
+    assert report["ok"]

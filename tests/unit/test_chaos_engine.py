@@ -1,0 +1,201 @@
+"""Unit tests: fault-plan validation and the chaos engine's injector."""
+
+import random
+
+import pytest
+
+from repro.chaos.engine import ChaosEngine, ChaosStats
+from repro.chaos.plan import (
+    ClockSkew,
+    FaultPlan,
+    HotUnplug,
+    LinkBurst,
+    NodeCrash,
+)
+from repro.core.thing import Thing
+from repro.drivers.catalog import make_peripheral_board
+from repro.net.ipv6 import Ipv6Address
+from repro.net.network import Network
+from repro.net.packets import UdpDatagram
+from repro.peripherals import Environment
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+# ------------------------------------------------------------ validation
+
+
+def test_burst_validation():
+    with pytest.raises(ValueError):
+        LinkBurst(start_s=2.0, end_s=2.0)
+    with pytest.raises(ValueError):
+        LinkBurst(start_s=0.0, end_s=1.0, drop_probability=1.5)
+    with pytest.raises(ValueError):
+        LinkBurst(start_s=0.0, end_s=1.0, corrupt_probability=-0.1)
+
+
+def test_scheduled_fault_validation():
+    with pytest.raises(ValueError):
+        NodeCrash(thing=0, at_s=5.0, reboot_at_s=5.0)
+    with pytest.raises(ValueError):
+        HotUnplug(thing=0, channel=0, at_s=5.0, replug_at_s=4.0)
+    with pytest.raises(ValueError):
+        ClockSkew(thing=0, at_s=1.0, scale=0.0)
+
+
+def test_plan_summary():
+    plan = FaultPlan(
+        name="p",
+        bursts=(LinkBurst(start_s=0.0, end_s=1.0),),
+        crashes=(NodeCrash(thing=0, at_s=1.0, reboot_at_s=2.0),
+                 NodeCrash(thing=1, at_s=1.0)),
+        unplugs=(HotUnplug(thing=0, channel=0, at_s=1.0, replug_at_s=2.0),),
+        skews=(ClockSkew(thing=0, at_s=1.0),),
+    )
+    assert not plan.is_empty
+    assert FaultPlan().is_empty
+    # crash+reboot (2) + crash (1) + unplug+replug (2) + skew (1)
+    assert plan.scheduled_fault_count() == 6
+    assert plan.describe() == {
+        "name": "p", "bursts": 1, "crashes": 2, "unplugs": 1, "skews": 1,
+    }
+
+
+# -------------------------------------------------------------- injector
+
+
+def _engine(plan=None, things=(), seed=1):
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed))
+    engine = ChaosEngine(sim, network, things, random.Random(seed))
+    if plan is not None:
+        engine.arm(plan)
+    return sim, network, engine
+
+
+def _datagram(payload=b"\x01hello"):
+    return UdpDatagram(Ipv6Address(1), 9999, Ipv6Address(2), 9999, payload)
+
+
+def _burst_plan(**kwargs):
+    return FaultPlan(name="unit",
+                     bursts=(LinkBurst(start_s=0.0, end_s=100.0, **kwargs),))
+
+
+def test_drop_probability_one_drops_everything():
+    sim, network, engine = _engine(_burst_plan(drop_probability=1.0))
+    assert engine._inject(1, _datagram()) == []
+    assert engine.stats.drops == 1
+    assert [r.kind for r in engine.records] == ["drop"]
+
+
+def test_corruption_mangles_type_byte_only():
+    sim, network, engine = _engine(_burst_plan(corrupt_probability=1.0))
+    copies = engine._inject(1, _datagram(b"\x05abc"))
+    assert len(copies) == 1
+    delay, mangled = copies[0]
+    assert delay == 0.0
+    assert mangled.payload == b"\xffabc"  # decoder must reject, not mutate
+    assert engine.stats.corruptions == 1
+
+
+def test_duplicate_emits_trailing_copy():
+    plan = _burst_plan(duplicate_probability=1.0, duplicate_delay_s=0.07)
+    sim, network, engine = _engine(plan)
+    copies = engine._inject(1, _datagram())
+    assert [delay for delay, _ in copies] == [0.0, 0.07]
+    assert copies[0][1] is copies[1][1]
+    assert engine.stats.duplicates == 1
+
+
+def test_reorder_delays_the_datagram():
+    plan = _burst_plan(reorder_probability=1.0, reorder_delay_s=0.09)
+    sim, network, engine = _engine(plan)
+    copies = engine._inject(1, _datagram())
+    assert copies == [(0.09, copies[0][1])]
+    assert engine.stats.reorders == 1
+
+
+def test_outside_burst_window_passes_through():
+    plan = FaultPlan(name="late", bursts=(
+        LinkBurst(start_s=50.0, end_s=60.0, drop_probability=1.0),))
+    sim, network, engine = _engine(plan)
+    datagram = _datagram()
+    assert engine._inject(1, datagram) == [(0.0, datagram)]
+    assert engine.stats.total() == 0
+
+
+def test_arm_twice_raises():
+    sim, network, engine = _engine(_burst_plan(drop_probability=0.5))
+    with pytest.raises(RuntimeError):
+        engine.arm(_burst_plan(drop_probability=0.5))
+
+
+def test_stats_total_counts_every_kind():
+    stats = ChaosStats(drops=1, corruptions=2, duplicates=3, reorders=4,
+                       crashes=5, reboots=6, unplugs=7, replugs=8, skews=9)
+    assert stats.total() == 45
+    assert stats.as_dict()["total"] == 45
+    assert stats.as_dict()["unplugs_skipped"] == 0
+
+
+# ------------------------------------------------------ scheduled faults
+
+
+def _thing_world(seed=11):
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    thing = Thing(sim, network, 0, rng=rng.fork("thing"))
+    network.connect(0, 1)
+    network.build_dodag(0)
+    return sim, network, thing
+
+
+def test_crash_reboot_and_skew_fire_on_schedule():
+    sim, network, thing = _thing_world()
+    engine = ChaosEngine(sim, network, [thing], random.Random(1))
+    engine.arm(FaultPlan(
+        name="crash",
+        crashes=(NodeCrash(thing=0, at_s=1.0, reboot_at_s=2.0),),
+        skews=(ClockSkew(thing=0, at_s=3.0, scale=1.5),),
+    ))
+    sim.run_until(ns_from_s(1.5))
+    assert thing.crashed
+    sim.run_until(ns_from_s(2.5))
+    assert not thing.crashed
+    sim.run_until(ns_from_s(3.5))
+    assert thing.timer_scale == 1.5
+    assert [r.kind for r in engine.records] == ["crash", "reboot", "skew"]
+    assert engine.stats.crashes == engine.stats.reboots == 1
+
+
+def test_unplug_of_empty_channel_is_recorded_as_skipped():
+    sim, network, thing = _thing_world()
+    engine = ChaosEngine(sim, network, [thing], random.Random(1))
+    engine.arm(FaultPlan(
+        name="unplug",
+        unplugs=(HotUnplug(thing=0, channel=0, at_s=1.0, replug_at_s=2.0),),
+    ))
+    sim.run_until(ns_from_s(3.0))
+    assert engine.stats.unplugs == 0
+    assert engine.stats.unplugs_skipped == 1
+    assert engine.stats.replugs_skipped == 1
+
+
+def test_unplug_and_replug_round_trip():
+    sim, network, thing = _thing_world()
+    env = Environment(temperature_c=20.0)
+    board = make_peripheral_board("tmp36", env,
+                                  rng=RngRegistry(5).stream("mfg"))
+    channel = thing.plug(board)
+    engine = ChaosEngine(sim, network, [thing], random.Random(1))
+    engine.arm(FaultPlan(
+        name="unplug",
+        unplugs=(HotUnplug(thing=0, channel=channel, at_s=1.0,
+                           replug_at_s=2.0),),
+    ))
+    sim.run_until(ns_from_s(1.5))
+    assert thing.board.board_at(channel) is None
+    sim.run_until(ns_from_s(2.5))
+    assert thing.board.board_at(channel) is board
+    assert engine.stats.unplugs == engine.stats.replugs == 1

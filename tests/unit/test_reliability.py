@@ -1,0 +1,204 @@
+"""Unit tests: reliability primitives + bounded pending tables.
+
+The bounded-table tests exercise the latent-leak fix: a request whose
+reply never arrives must expire through its timeout, run its callback
+exactly once with None, and leave the endpoint's pending dict empty.
+"""
+
+import random
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.manager import Manager
+from repro.core.registry import Registry
+from repro.core.thing import Thing
+from repro.drivers.catalog import TMP36_ID, make_peripheral_board, populate_registry
+from repro.net.network import Network
+from repro.peripherals import Environment
+from repro.protocol.reliability import (
+    DEFAULT_INSTALL_RETRY,
+    DEFAULT_RETRY,
+    MISS,
+    NO_RETRY,
+    DuplicateCache,
+    ReplyCache,
+    RetryPolicy,
+    request_key,
+)
+from repro.sim.kernel import Simulator, ns_from_s
+from repro.sim.rng import RngRegistry
+
+# ----------------------------------------------------------- RetryPolicy
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(max_attempts=6, base_backoff_s=0.5, multiplier=2.0,
+                         max_backoff_s=3.0, jitter_frac=0.0)
+    assert [policy.backoff_s(n) for n in range(1, 6)] == \
+        [0.5, 1.0, 2.0, 3.0, 3.0]
+
+
+def test_backoff_jitter_stays_within_fraction():
+    policy = RetryPolicy(base_backoff_s=1.0, multiplier=1.0, jitter_frac=0.2)
+    rng = random.Random(3)
+    for _ in range(100):
+        delay = policy.backoff_s(1, rng)
+        assert 0.8 <= delay <= 1.2
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff_s=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_frac=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_s(0)
+
+
+def test_canned_policies():
+    assert not NO_RETRY.retransmits
+    assert DEFAULT_RETRY.retransmits
+    assert DEFAULT_INSTALL_RETRY.base_backoff_s > DEFAULT_RETRY.base_backoff_s
+    assert NO_RETRY.worst_case_span_s() == 0.0
+
+
+def test_worst_case_span_sums_jittered_backoffs():
+    policy = RetryPolicy(max_attempts=3, base_backoff_s=1.0, multiplier=2.0,
+                         max_backoff_s=10.0, jitter_frac=0.1)
+    assert policy.worst_case_span_s() == pytest.approx((1.0 + 2.0) * 1.1)
+
+
+# ------------------------------------------------------- DuplicateCache
+
+
+def test_duplicate_cache_detects_and_bounds():
+    cache = DuplicateCache(3)
+    assert not cache.seen("a")
+    assert cache.seen("a")
+    assert not cache.seen("b")
+    assert not cache.seen("c")
+    assert not cache.seen("d")  # evicts "a" (FIFO)
+    assert len(cache) == 3
+    assert not cache.seen("a")  # wrapped seq: long evicted, fresh again
+    with pytest.raises(ValueError):
+        DuplicateCache(0)
+
+
+# ----------------------------------------------------------- ReplyCache
+
+
+def test_reply_cache_at_most_once_protocol():
+    cache = ReplyCache(8)
+    key = request_key(1, 9999, 42)
+    assert cache.lookup(key) is MISS
+    cache.begin(key)
+    assert cache.lookup(key) is None       # in flight: drop the duplicate
+    cache.complete(key, b"reply")
+    assert cache.lookup(key) == b"reply"   # answered: re-send, no re-execute
+    assert cache.hits == 2
+
+
+def test_reply_cache_begin_never_downgrades_completed_entry():
+    cache = ReplyCache(8)
+    cache.complete("k", b"done")
+    cache.begin("k")
+    assert cache.lookup("k") == b"done"
+
+
+def test_reply_cache_evicts_fifo():
+    cache = ReplyCache(2)
+    cache.complete("a", b"1")
+    cache.complete("b", b"2")
+    cache.complete("c", b"3")
+    assert cache.lookup("a") is MISS
+    assert cache.lookup("c") == b"3"
+
+
+# ------------------------------------------------ bounded pending tables
+
+
+def _world(*, with_manager=True, client_retry=None, manager_retry=None,
+           install_retry=None, seed=42):
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed))
+    rng = RngRegistry(seed)
+    registry = Registry()
+    populate_registry(registry)
+    thing = Thing(sim, network, 0, rng=rng.fork("thing"),
+                  install_retry=install_retry)
+    client = Client(sim, network, 1, retry=client_retry)
+    nodes = [0, 1]
+    manager = None
+    if with_manager:
+        manager = Manager(sim, network, 2, registry, retry=manager_retry)
+        nodes.append(2)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            network.connect(a, b)
+    network.build_dodag(nodes[-1])
+    return sim, network, thing, client, manager
+
+
+def test_client_pending_table_drains_on_timeout():
+    retry = RetryPolicy(max_attempts=3, base_backoff_s=0.2, multiplier=2.0,
+                        max_backoff_s=1.0, jitter_frac=0.0)
+    sim, network, thing, client, _ = _world(with_manager=False,
+                                            client_retry=retry)
+    thing.stack.set_down(True)  # the reply can never arrive
+    outcomes = []
+    client.read(thing.address, TMP36_ID, outcomes.append, timeout_s=2.0)
+    assert client.pending_count() == 1
+    sim.run_until(ns_from_s(10.0))
+    assert outcomes == [None]  # exactly one surfaced timeout
+    assert client.pending_count() == 0
+    kinds = [e.kind for e in client.events]
+    assert kinds.count("read-retransmit") == retry.max_attempts - 1
+    assert kinds.count("read-timeout") == 1
+
+
+def test_manager_pending_table_drains_on_timeout():
+    sim, network, thing, client, manager = _world(
+        manager_retry=RetryPolicy(max_attempts=2, base_backoff_s=0.3,
+                                  multiplier=1.0, jitter_frac=0.0))
+    thing.stack.set_down(True)
+    outcomes = []
+    manager.discover_drivers(thing.address, outcomes.append, timeout_s=1.5)
+    assert manager.pending_count() == 1
+    sim.run_until(ns_from_s(10.0))
+    assert outcomes == [None]
+    assert manager.pending_count() == 0
+    assert manager.stats.timeouts == 1
+    assert manager.stats.retransmits == 1
+
+
+def test_thing_install_bookkeeping_drains_on_give_up():
+    retry = RetryPolicy(max_attempts=2, base_backoff_s=0.3, multiplier=2.0,
+                        max_backoff_s=1.0, jitter_frac=0.0)
+    sim, network, thing, client, _ = _world(with_manager=False,
+                                            install_retry=retry)
+    env = Environment(temperature_c=21.0)
+    board = make_peripheral_board("tmp36", env,
+                                  rng=RngRegistry(7).stream("mfg"))
+    thing.plug(board)  # no manager exists: the request can never be served
+    sim.run_until(ns_from_s(10.0))
+    assert thing.pending_installs() == 0
+    kinds = [e.kind for e in thing.events]
+    assert "driver-request-failed" in kinds
+    assert kinds.count("driver-request-retransmit") == retry.max_attempts - 1
+    assert not thing.drivers.has_driver(TMP36_ID)
+
+
+def test_no_retry_policy_sends_exactly_once():
+    sim, network, thing, client, _ = _world(with_manager=False,
+                                            client_retry=NO_RETRY)
+    thing.stack.set_down(True)
+    outcomes = []
+    client.read(thing.address, TMP36_ID, outcomes.append, timeout_s=1.0)
+    sim.run_until(ns_from_s(5.0))
+    assert outcomes == [None]
+    kinds = [e.kind for e in client.events]
+    assert kinds.count("read-retransmit") == 0
+    assert client.pending_count() == 0
