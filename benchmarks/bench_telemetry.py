@@ -1,0 +1,259 @@
+"""Engineering bench: telemetry overhead in disabled and enabled modes.
+
+The telemetry layer promises a near-free disabled mode: a scenario
+without a :class:`TelemetryConfig` constructs no collector, schedules
+no sampling ticks, and leaves the kernel untouched.  The only additions
+that live on always-hot paths are two integer accumulations — the
+network's ``mac_payload_bytes`` (one ``+=`` per 802.15.4 frame, which
+is what makes exact airtime a closed form) and the event router's
+``stats.cycles`` (one ``+=`` per VM dispatch) — plus an empty-list
+check for delivery monitors.
+
+This bench verifies the promise:
+
+1. **Disabled-mode gate.**  The full fleet smoke workload, telemetry
+   off, timed against a baseline with pre-telemetry method copies
+   monkeypatched in (``_hop_delay`` without the payload accumulation,
+   ``_dispatch_next`` without the cycle accumulation).  Rounds
+   alternate modes so machine drift hits both equally; min-of-N
+   discards stalls.  **Fails (exit 1) if overhead exceeds 3%.**
+
+2. **Enabled mode (reported).**  The same workload with 1 Hz sampling,
+   plus cross-checks: enabled-mode merged metrics equal disabled-mode
+   metrics except ``sim.events`` (the sampling ticks), and the merged
+   telemetry document is byte-identical across worker counts.
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py [--fast] [--out PATH]
+
+Writes ``BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.runner import run_scenario  # noqa: E402
+from repro.fleet.scenario import SCENARIOS  # noqa: E402
+from repro.net.network import Network  # noqa: E402
+from repro.sim.kernel import ns_from_s  # noqa: E402
+from repro.telemetry.config import TelemetryConfig  # noqa: E402
+from repro.vm.router import EventRouter, VmTrap  # noqa: E402
+
+DEFAULT_OUT = (Path(__file__).resolve().parent.parent
+               / "BENCH_telemetry.json")
+
+#: The acceptance gate: telemetry-disabled fleet runs must stay within
+#: 3% of the pre-telemetry baseline.
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+# --------------------------------------------------------------- baseline
+# Copies of the two hot-path methods exactly as they stood before the
+# telemetry counters were added.  Patched in for the baseline mode.
+
+def _baseline_hop_delay(self, payload_bytes, a, b):
+    del a, b
+    delay = 0.0
+    for frame_payload in self._lowpan.frame_payload_sizes(payload_bytes):
+        self.stats.frames_sent += 1
+        delay += self._link.frame_delay_s(frame_payload, self._rng)
+    return delay
+
+
+def _baseline_dispatch_next(self):
+    if self.queue_depth == 0:  # pragma: no cover - defensive
+        self._busy = False
+        return
+    from_priority = bool(self._priority)
+    delivery = (self._priority.popleft() if from_priority
+                else self._fifo.popleft())
+    tracer = self._sim.tracer
+    if tracer is not None:
+        tracer.current = getattr(delivery, "_obs_trace", None)
+    cycles = self._profile.router_dispatch_cycles
+    try:
+        handler_cycles = delivery.execute()
+        cycles += handler_cycles
+    except VmTrap as trap:
+        handler_cycles = 0
+        self.stats.traps.append(f"{delivery.describe()}: {trap}")
+    self.stats.dispatched += 1
+    if from_priority:
+        self.stats.errors_dispatched += 1
+    duration_s = self._profile.mcu.cycles_to_seconds(cycles)
+    if tracer is not None and tracer.enabled_for("vm"):
+        tracer.complete(
+            delivery.describe(), "vm",
+            tracer.track(f"{self.label or 'router'} vm"),
+            ns_from_s(duration_s),
+            args={"cycles": cycles,
+                  "router_cycles": self._profile.router_dispatch_cycles,
+                  "handler_cycles": handler_cycles,
+                  "priority": from_priority},
+        )
+    self.stats.busy_seconds += duration_s
+    if self._meter is not None:
+        self._meter.add_draw("mcu", self._profile.mcu.active_draw,
+                             duration_s)
+
+    def _done() -> None:
+        self._busy = False
+        self._pump()
+
+    self._sim.schedule(ns_from_s(duration_s), _done, name="router-done")
+
+
+@contextmanager
+def pre_telemetry_paths():
+    saved = (Network._hop_delay, EventRouter._dispatch_next)
+    Network._hop_delay = _baseline_hop_delay
+    EventRouter._dispatch_next = _baseline_dispatch_next
+    try:
+        yield
+    finally:
+        Network._hop_delay, EventRouter._dispatch_next = saved
+
+
+# ------------------------------------------------------ fleet workload
+def _scenario(things, duration_s, seed, telemetry):
+    return SCENARIOS["smoke"].scaled(
+        things=things, duration_s=duration_s, seed=seed,
+        telemetry=telemetry,
+    )
+
+
+def fleet_bench(things, duration_s, seed, rounds):
+    config = TelemetryConfig(cadence_s=1.0)
+
+    def run(telemetry):
+        return run_scenario(
+            _scenario(things, duration_s, seed, telemetry), workers=1)
+
+    best = {"baseline": None, "disabled": None, "enabled": None}
+    merged = {}
+    run(None)  # warm-up
+    for _ in range(rounds):
+        with pre_telemetry_paths():
+            started = time.perf_counter()
+            result = run(None)
+            wall = time.perf_counter() - started
+        if best["baseline"] is None or wall < best["baseline"]:
+            best["baseline"] = wall
+        merged["baseline"] = result.merged
+        for mode, telemetry in (("disabled", None), ("enabled", config)):
+            started = time.perf_counter()
+            result = run(telemetry)
+            wall = time.perf_counter() - started
+            if best[mode] is None or wall < best[mode]:
+                best[mode] = wall
+            merged[mode] = result.merged
+    return best, merged
+
+
+def counters_equal_except_sampling(disabled, enabled):
+    """Enabled-mode counters must equal disabled-mode counters except
+    ``sim.events`` (each sampling tick is one kernel event)."""
+    off = dict(disabled["counters"])
+    on = dict(enabled["counters"])
+    if on.pop("sim.events") <= off.pop("sim.events"):
+        return False
+    return (on == off
+            and disabled["gauges"] == enabled["gauges"]
+            and disabled["histograms"] == enabled["histograms"])
+
+
+def merge_determinism(things, duration_s, seed):
+    """Merged telemetry must be byte-identical for any worker count."""
+    blobs = set()
+    scenario = _scenario(things, duration_s, seed,
+                         TelemetryConfig(cadence_s=1.0))
+    for workers in (1, 2):
+        result = run_scenario(scenario, workers=workers)
+        blobs.add(json.dumps(result.telemetry_document(),
+                             sort_keys=True))
+    return len(blobs) == 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer rounds / smaller workloads")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="where to write BENCH_telemetry.json")
+    args = parser.parse_args(argv)
+    # The effect under test is well under 1%, so each timed run must be
+    # long enough that scheduler noise doesn't swamp it.
+    rounds = 3 if args.fast else 7
+    things = 10 if args.fast else 60
+    duration_s = 10.0 if args.fast else 60.0
+
+    best, merged = fleet_bench(things, duration_s, args.seed, rounds)
+    disabled_overhead = (
+        (best["disabled"] - best["baseline"]) / best["baseline"])
+    enabled_overhead = (
+        (best["enabled"] - best["baseline"]) / best["baseline"])
+    print(f"fleet workload ({things} things, {duration_s:g}s simulated, "
+          f"min of {rounds} alternating rounds):")
+    print(f"  baseline (pre-telemetry): {best['baseline']:7.3f} s")
+    print(f"  disabled (no config):     {best['disabled']:7.3f} s  "
+          f"overhead {disabled_overhead * 100:+.2f}%")
+    print(f"  enabled (1 Hz sampling):  {best['enabled']:7.3f} s  "
+          f"overhead {enabled_overhead * 100:+.2f}%")
+
+    workload_clean = counters_equal_except_sampling(
+        merged["disabled"], merged["enabled"])
+    deterministic = merge_determinism(things, duration_s, args.seed)
+    print(f"  workload unperturbed (counters equal except sim.events): "
+          f"{'yes' if workload_clean else 'NO'}")
+    print(f"  merged telemetry worker-count independent: "
+          f"{'yes' if deterministic else 'NO'}")
+
+    passed = (disabled_overhead <= MAX_DISABLED_OVERHEAD
+              and workload_clean and deterministic)
+    document = {
+        "bench": "telemetry",
+        "seed": args.seed,
+        "fleet": {
+            "things": things,
+            "duration_s": duration_s,
+            "rounds": rounds,
+            "baseline_wall_s": round(best["baseline"], 4),
+            "disabled_wall_s": round(best["disabled"], 4),
+            "enabled_wall_s": round(best["enabled"], 4),
+        },
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "workload_unperturbed": workload_clean,
+        "merge_deterministic": deterministic,
+        "passed": passed,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if disabled_overhead > MAX_DISABLED_OVERHEAD:
+        print(f"FAIL: disabled-mode overhead "
+              f"{disabled_overhead * 100:.2f}% exceeds the "
+              f"{MAX_DISABLED_OVERHEAD * 100:.0f}% budget",
+              file=sys.stderr)
+        return 1
+    if not workload_clean:
+        print("FAIL: telemetry perturbed the simulated workload",
+              file=sys.stderr)
+        return 1
+    if not deterministic:
+        print("FAIL: merged telemetry depends on worker count",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

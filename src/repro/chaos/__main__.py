@@ -44,6 +44,16 @@ def _print_summary(result) -> None:
         print(f"invariant  : {name}: {mark}")
         for violation in report["violations"]:
             print(f"             - {violation}")
+    health = verdict.get("health")
+    if health:
+        print(f"health     : {health['status']}")
+        for rule_name, rule in sorted(health["rules"].items()):
+            windows = " ".join(
+                f"[{w['t0_s']:.0f}s {'ok' if w['ok'] else 'BAD'} "
+                f"{w['value']:.2f}]"
+                for w in rule["windows"]
+            )
+            print(f"             {rule_name} ({rule['status']}): {windows}")
     print(f"verdict    : {verdict['violations']} violations, "
           f"digest {verdict['digest']}")
 
@@ -59,10 +69,12 @@ def _run_smoke(trace: bool) -> int:
             verdict = result.verdict
             status = "ok" if verdict["violations"] == 0 else "FAIL"
             rec = verdict["recoveries"]
+            health = verdict.get("health", {}).get("status", "-")
             print(f"{name} seed={seed}: {status} "
                   f"faults={verdict['faults']['injected']['total']} "
                   f"reads={rec['reads_ok']}/{rec['reads_sent']} "
                   f"retransmits={rec['retransmits']} "
+                  f"health={health} "
                   f"digest={verdict['digest']}")
             if verdict["violations"]:
                 failures.append(f"{name} seed={seed}")

@@ -35,6 +35,9 @@ from repro.fleet.scenario import ChurnProfile, FleetScenario, ShardSpec
 from repro.protocol import messages as proto
 from repro.protocol.reliability import RetryPolicy
 from repro.sim.kernel import ns_from_s
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.health import SloRule, evaluate
+from repro.telemetry.series import SeriesBank
 
 PlanBuilder = Callable[[ShardSpec, float], FaultPlan]
 
@@ -71,6 +74,19 @@ _CHAOS_SCENARIO = FleetScenario(
     churn=_CHAOS_CHURN,
     retry=LOSSY_RETRY,
     install_retry=LOSSY_INSTALL_RETRY,
+    telemetry=TelemetryConfig(cadence_s=1.0),
+)
+
+#: Health rules judged over campaign telemetry.  Windowed read
+#: completion is what separates *degraded-then-recovered* from
+#: *broken*: a mid-run loss burst craters one window's completion and
+#: the backlog completes in later windows (ratios above 1.0 pass).
+#: Windows where no read traffic moved are skipped, so the drain grace
+#: period neither fakes health nor masks a stuck fleet.
+CHAOS_HEALTH_RULES: Tuple[SloRule, ...] = (
+    SloRule("read_completion", "reads_ok_total", aggregate="delta",
+            ratio_to="reads_sent_total", op=">=", threshold=0.90,
+            window_s=5.0),
 )
 
 
@@ -133,6 +149,25 @@ def _mayhem_plan(spec: ShardSpec, horizon_s: float) -> FaultPlan:
     )
 
 
+def _burst_plan(spec: ShardSpec, horizon_s: float) -> FaultPlan:
+    """A mid-run loss storm: 80% datagram loss for roughly the middle
+    third of the churn phase, clean air before and after.  The fleet
+    must visibly degrade during the burst and visibly recover after —
+    the telemetry health verdict distinguishes exactly that."""
+    del horizon_s
+    duration = spec.scenario.duration_s
+    return FaultPlan(
+        name="burst",
+        bursts=(
+            LinkBurst(
+                start_s=duration / 3.0,
+                end_s=duration * 0.6,
+                drop_probability=0.80,
+            ),
+        ),
+    )
+
+
 #: Campaigns runnable via ``python -m repro.chaos --campaign``.
 CAMPAIGNS: Dict[str, Campaign] = {
     "lossy": Campaign(
@@ -149,6 +184,13 @@ CAMPAIGNS: Dict[str, Campaign] = {
         scenario=_CHAOS_SCENARIO,
         build_plan=_mayhem_plan,
     ),
+    "burst": Campaign(
+        name="burst",
+        description="80% loss storm mid-run; telemetry health must show "
+                    "degraded windows during the burst and recovery after",
+        scenario=_CHAOS_SCENARIO,
+        build_plan=_burst_plan,
+    ),
 }
 
 
@@ -160,6 +202,8 @@ class CampaignResult:
     deployments: List[ShardDeployment]
     engines: List[ChaosEngine]
     invariants: List[InvariantReport]
+    #: Merged time-series document (None when telemetry was off).
+    telemetry_document: Optional[dict] = None
 
     @property
     def digest(self) -> str:
@@ -233,6 +277,7 @@ def run_campaign(
     reports_by_name: Dict[str, List[str]] = {}
     chaos_totals: Dict[str, int] = {}
     trace_digests: List[str] = []
+    telemetry_snapshots: List[Optional[dict]] = []
     plan_summary: Optional[dict] = None
 
     for spec in scenario.shards():
@@ -270,6 +315,10 @@ def run_campaign(
         if digest is not None:
             trace_digests.append(digest)
         snapshots.append(deployment.metrics.snapshot())
+        telemetry_snapshots.append(
+            deployment.telemetry.snapshot()
+            if deployment.telemetry is not None else None
+        )
         deployments.append(deployment)
         engines.append(engine)
 
@@ -319,17 +368,24 @@ def run_campaign(
         "invariants": {r.name: r.as_dict() for r in invariants},
         "violations": violations,
     }
+    telemetry_document: Optional[dict] = None
+    if any(telemetry_snapshots):
+        telemetry_document = SeriesBank.merge(telemetry_snapshots)
+        health = evaluate(CHAOS_HEALTH_RULES, telemetry_document)
+        verdict["health"] = health.as_dict()
     if trace_digests:
         verdict["trace_digest"] = hashlib.sha256(
             "".join(trace_digests).encode()
         ).hexdigest()[:16]
     blob = json.dumps(verdict, sort_keys=True, default=repr)
     verdict["digest"] = hashlib.sha256(blob.encode()).hexdigest()[:16]
-    return CampaignResult(verdict, deployments, engines, invariants)
+    return CampaignResult(verdict, deployments, engines, invariants,
+                          telemetry_document)
 
 
 __all__ = [
     "CAMPAIGNS",
+    "CHAOS_HEALTH_RULES",
     "Campaign",
     "CampaignResult",
     "LOSSY_RETRY",

@@ -158,6 +158,9 @@ class Thing:
         #: Request → reply memo: a retransmitted read/write/discovery is
         #: answered from cache, never re-executed (at-most-once).
         self._replies = ReplyCache(512)
+        #: Reply-cache hits from caches discarded by crashes (the
+        #: telemetry total is monotonic even though the cache is not).
+        self._reply_cache_hits = 0
         #: Seen driver uploads; a duplicated upload never flashes twice.
         self._upload_dups = DuplicateCache(256)
         self._crashed = False
@@ -191,6 +194,16 @@ class Thing:
     def pending_installs(self) -> int:
         """In-flight driver requests (bounded: each expires by policy)."""
         return len(self._install_requests)
+
+    @property
+    def reply_cache_hits(self) -> int:
+        """Duplicate requests served (or absorbed) by the reply cache.
+
+        Survives crash/reboot cycles: the live cache is replaced on
+        crash (volatile RAM), but the running total is telemetry's and
+        must not reset with it.
+        """
+        return self._reply_cache_hits + self._replies.hits
 
     def set_timer_scale(self, scale: float) -> None:
         """Scale every future protocol timer (chaos clock-skew hook)."""
@@ -242,6 +255,7 @@ class Thing:
         self._install_requests.clear()
         self._pending_driver.clear()
         self._install_traces.clear()
+        self._reply_cache_hits += self._replies.hits
         self._replies = ReplyCache(self._replies.capacity)
         self._upload_dups = DuplicateCache(self._upload_dups.capacity)
         self.controller.reset()

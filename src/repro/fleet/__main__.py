@@ -39,6 +39,16 @@ def main(argv=None) -> int:
                              "write the merged Perfetto JSON here")
     parser.add_argument("--trace-limit", type=int, default=None,
                         help="per-shard trace ring-buffer bound")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="sample fleet-wide time series on every shard "
+                             "and print the telemetry dashboard")
+    parser.add_argument("--telemetry-cadence", type=float, default=None,
+                        metavar="SECONDS",
+                        help="sim-time sampling cadence (implies "
+                             "--telemetry)")
+    parser.add_argument("--openmetrics", metavar="PATH", default=None,
+                        help="write merged telemetry as OpenMetrics text "
+                             "(implies --telemetry)")
     parser.add_argument("--list", action="store_true",
                         help="list named scenarios and exit")
     args = parser.parse_args(argv)
@@ -73,6 +83,11 @@ def main(argv=None) -> int:
         overrides["trace"] = True
     if args.trace_limit is not None:
         overrides["trace_limit"] = args.trace_limit
+    if args.telemetry or args.telemetry_cadence or args.openmetrics:
+        from repro.telemetry.config import TelemetryConfig
+
+        cadence = args.telemetry_cadence or 1.0
+        overrides["telemetry"] = TelemetryConfig(cadence_s=cadence)
     if overrides:
         try:
             scenario = scenario.scaled(**overrides)
@@ -82,6 +97,23 @@ def main(argv=None) -> int:
 
     result = run_scenario(scenario, workers=args.workers)
     print(render_report(result))
+    if scenario.telemetry is not None:
+        from repro.telemetry.report import dashboard
+
+        document = result.telemetry_document()
+        print("\ntelemetry:")
+        print(dashboard(document))
+        if args.openmetrics:
+            from repro.telemetry.export import to_openmetrics
+
+            try:
+                with open(args.openmetrics, "w", encoding="utf-8") as fh:
+                    fh.write(to_openmetrics(document, history=True))
+            except OSError as exc:
+                print(f"cannot write {args.openmetrics}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"\nwrote {args.openmetrics}")
     if args.trace:
         from repro.obs.export import write_trace
 

@@ -26,6 +26,7 @@ from repro.drivers.catalog import CATALOG, make_peripheral_board, populate_regis
 from repro.fleet.metrics import Metrics
 from repro.fleet.scenario import ShardSpec
 from repro.hw.device_id import DeviceId
+from repro.hw.power import EnergyMeter
 from repro.net.network import Network
 from repro.protocol.reliability import (
     DEFAULT_INSTALL_RETRY,
@@ -104,6 +105,15 @@ class ShardDeployment:
         self._catalog_weights = [w for _, w in self.scenario.peripheral_mix]
 
         self._wire_instrumentation()
+
+        #: Time-series collector, present only when the scenario asks —
+        #: a telemetry-less deployment constructs nothing and keeps the
+        #: kernel/network hot paths untouched.
+        self.telemetry = None
+        if self.scenario.telemetry is not None:
+            from repro.telemetry.collector import ShardTelemetry
+
+            self.telemetry = ShardTelemetry(self, self.scenario.telemetry)
 
     # ------------------------------------------------------- instrumentation
     def _wire_instrumentation(self) -> None:
@@ -338,6 +348,11 @@ class ShardDeployment:
 
     def finalize(self) -> Metrics:
         """Fold end-of-run counters into the metrics and return them."""
+        if self.telemetry is not None:
+            # Closing sample (skipped if a tick already sampled "now"),
+            # then stop so a subsequent sim.run() can terminate.
+            self.telemetry.sample()
+            self.telemetry.stop()
         self._collect_final()
         return self.metrics
 
@@ -358,16 +373,20 @@ class ShardDeployment:
                          net.multicast_transmissions)
         stack_bytes = 0
         vm_dispatched = 0
-        energy = 0.0
         for thing in self.things:
             stack_bytes += thing.stack.stats.bytes_sent
             vm_dispatched += thing.router.stats.dispatched
-            energy += thing.meter.total()
         stack_bytes += self.client.stack.stats.bytes_sent
         stack_bytes += self.manager.stack.stats.bytes_sent
         self.metrics.inc("net.stack_bytes_sent", stack_bytes)
         self.metrics.inc("vm.events_dispatched", vm_dispatched)
-        self.metrics.gauge("energy.things_joules").add(energy)
+        by_category = EnergyMeter.merge(
+            thing.meter.snapshot() for thing in self.things
+        )
+        self.metrics.gauge("energy.things_joules").add(
+            sum(by_category.values()))
+        for category, joules in by_category.items():
+            self.metrics.gauge(f"energy.{category}_joules").add(joules)
         self.metrics.inc("manager.install_requests",
                          self.manager.stats.install_requests)
         self.metrics.inc("manager.uploads", self.manager.stats.uploads)

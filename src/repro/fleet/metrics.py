@@ -30,13 +30,31 @@ class Counter:
         self.value += n
 
 
+#: Legal gauge merge modes (how shard values combine into the fleet
+#: value): ``sum`` for additive quantities (joules, bytes), ``max`` for
+#: level-style gauges where the fleet cares about the worst shard
+#: (queue depth, pending-table size), ``last`` for configuration-like
+#: values every shard reports identically.
+GAUGE_MERGE_MODES = ("sum", "max", "last")
+
+
 class Gauge:
-    """A per-shard scalar (e.g. joules of energy); shards merge by sum."""
+    """A per-shard scalar (e.g. joules of energy).
 
-    __slots__ = ("value",)
+    ``mode`` declares how shards merge: additive gauges sum, level
+    gauges take the max across shards, and ``last`` keeps the value of
+    the highest-indexed shard.  Summing a queue depth across shards
+    would invent a fleet-wide queue that never existed — which is why
+    the mode is explicit per gauge rather than a blanket sum.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("value", "mode")
+
+    def __init__(self, mode: str = "sum") -> None:
+        if mode not in GAUGE_MERGE_MODES:
+            raise ValueError(f"unknown gauge merge mode: {mode!r}")
         self.value = 0.0
+        self.mode = mode
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -66,10 +84,15 @@ class Metrics:
             counter = self._counters[name] = Counter()
         return counter
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, mode: str = "sum") -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge()
+            gauge = self._gauges[name] = Gauge(mode)
+        elif gauge.mode != mode:
+            raise ValueError(
+                f"gauge {name!r} registered with mode {gauge.mode!r}, "
+                f"requested {mode!r}"
+            )
         return gauge
 
     def histogram(
@@ -93,39 +116,66 @@ class Metrics:
     # -------------------------------------------------------------- snapshots
     def snapshot(self) -> dict:
         """A JSON-able, pickle-safe view of everything recorded."""
-        return {
+        snap = {
             "counters": {k: c.value for k, c in sorted(self._counters.items())},
             "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
             "histograms": {
                 k: h.to_json() for k, h in sorted(self._histograms.items())
             },
         }
+        modes = {
+            k: g.mode for k, g in sorted(self._gauges.items())
+            if g.mode != "sum"
+        }
+        if modes:
+            # Only non-default modes travel, keeping old snapshots (and
+            # their merge behaviour) byte-identical.
+            snap["gauge_modes"] = modes
+        return snap
 
     @staticmethod
     def merge(snapshots: Iterable[dict]) -> dict:
-        """Merge per-shard snapshots (counters/gauges add, histograms
-        add bucket-wise).  Merging in shard order keeps float sums
-        deterministic regardless of worker count."""
+        """Merge per-shard snapshots (counters add, gauges combine by
+        their declared mode, histograms add bucket-wise).  Merging in
+        shard order keeps float sums deterministic regardless of worker
+        count."""
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
+        gauge_modes: Dict[str, str] = {}
         histograms: Dict[str, Histogram] = {}
         for snap in snapshots:
             for name, value in snap.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + value
+            modes = snap.get("gauge_modes", {})
             for name, value in snap.get("gauges", {}).items():
-                gauges[name] = gauges.get(name, 0.0) + value
+                mode = modes.get(name, "sum")
+                gauge_modes.setdefault(name, mode)
+                if name not in gauges:
+                    gauges[name] = value
+                elif mode == "sum":
+                    gauges[name] += value
+                elif mode == "max":
+                    gauges[name] = max(gauges[name], value)
+                else:  # "last": highest shard index wins (shard order)
+                    gauges[name] = value
             for name, data in snap.get("histograms", {}).items():
                 hist = Histogram.from_json(data)
                 histograms[name] = (
                     histograms[name].merge(hist) if name in histograms else hist
                 )
-        return {
+        merged = {
             "counters": dict(sorted(counters.items())),
             "gauges": dict(sorted(gauges.items())),
             "histograms": {
                 k: histograms[k].to_json() for k in sorted(histograms)
             },
         }
+        modes_out = {
+            k: m for k, m in sorted(gauge_modes.items()) if m != "sum"
+        }
+        if modes_out:
+            merged["gauge_modes"] = modes_out
+        return merged
 
     @staticmethod
     def histogram_from(merged: dict, name: str) -> Optional[Histogram]:
@@ -143,4 +193,5 @@ class Metrics:
         return [hist.percentile(q) for q in qs]
 
 
-__all__ = ["Counter", "Gauge", "Metrics", "LATENCY_BOUNDS"]
+__all__ = ["Counter", "Gauge", "Metrics", "GAUGE_MERGE_MODES",
+           "LATENCY_BOUNDS"]

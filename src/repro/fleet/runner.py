@@ -35,6 +35,8 @@ def run_shard(spec: ShardSpec) -> dict:
         # Rides the metrics snapshot across the process boundary;
         # Metrics.merge ignores the extra key.
         snapshot["trace"] = tracer.snapshot()
+    if deployment.telemetry is not None:
+        snapshot["telemetry"] = deployment.telemetry.snapshot()
     return snapshot
 
 
@@ -79,6 +81,19 @@ class FleetResult:
         from repro.obs.export import merge_traces
 
         return merge_traces(self.shard_traces)
+
+    @property
+    def telemetry_snapshots(self) -> List[Optional[dict]]:
+        """Per-shard telemetry snapshots, in shard-index order (None
+        where the shard did not collect)."""
+        return [snap.get("telemetry") for snap in self.shard_snapshots]
+
+    def telemetry_document(self) -> dict:
+        """The merged time-series document (shard-order merge — a pure
+        function of ``(scenario, seed)`` for any worker count)."""
+        from repro.telemetry.series import SeriesBank
+
+        return SeriesBank.merge(self.telemetry_snapshots)
 
 
 def run_scenario(

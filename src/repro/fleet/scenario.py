@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.protocol.reliability import RetryPolicy
+from repro.telemetry.config import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,10 @@ class FleetScenario:
     retry: Optional[RetryPolicy] = None
     #: Thing driver-install retry schedule (``None`` = library default).
     install_retry: Optional[RetryPolicy] = None
+    #: Sample fleet-wide time series (:mod:`repro.telemetry`) on every
+    #: shard.  ``None`` (the default) attaches nothing — the disabled
+    #: mode costs zero on the hot paths.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.things < 1:

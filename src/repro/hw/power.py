@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,29 @@ class EnergyMeter:
 
     def reset(self) -> None:
         self._by_category.clear()
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON/pickle-safe category → joules view, sorted by category.
+
+        The sort makes snapshots byte-stable under JSON encoding, which
+        is what lets fleet shards ship meter state across process
+        boundaries and still merge deterministically.
+        """
+        return {k: self._by_category[k] for k in sorted(self._by_category)}
+
+    @staticmethod
+    def merge(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
+        """Sum per-category snapshots (energy is additive across nodes).
+
+        Merging in a fixed order (callers pass node/shard order) keeps
+        float sums deterministic regardless of worker count.
+        """
+        merged: Dict[str, float] = {}
+        for snap in snapshots:
+            for category, joules in snap.items():
+                merged[category] = merged.get(category, 0.0) + joules
+        return {k: merged[k] for k in sorted(merged)}
 
 
 __all__ = ["PowerDraw", "EnergyMeter"]

@@ -40,6 +40,13 @@ class NetworkStats:
     datagrams_undeliverable: int = 0
     multicast_transmissions: int = 0
     bytes_sent: int = 0
+    #: MAC-layer payload bytes actually framed onto the air (datagram
+    #: payload plus 6LoWPAN fragmentation headers).  Together with
+    #: ``frames_sent`` this makes exact radio airtime — hence duty
+    #: cycle — a closed-form function of the stats (airtime is linear
+    #: in frame payload), so the hot path pays one integer add instead
+    #: of a float airtime accumulation.
+    mac_payload_bytes: int = 0
     #: Datagrams swallowed by an installed fault injector.
     faults_dropped: int = 0
     #: Extra datagram copies a fault injector put on the air.
@@ -76,6 +83,7 @@ class Network:
         self.dodag: Optional[Dodag] = None
         self.stats = NetworkStats()
         self._monitors: List = []
+        self._delivery_monitors: List = []
         self._fault_injector = None
 
     # ----------------------------------------------------------- composition
@@ -136,6 +144,24 @@ class Network:
         """Detach a monitor added with :meth:`add_monitor`.  Idempotent."""
         try:
             self._monitors.remove(monitor)
+        except ValueError:
+            pass
+
+    def add_delivery_monitor(self, monitor) -> None:
+        """Observe every datagram the network hands to a stack:
+        monitor(dst_node_id, datagram).
+
+        Fires when delivery is *committed* (loss, faults and routing
+        already resolved, per-hop delay not yet elapsed).  This is the
+        delivered-datagram log the telemetry accuracy tests reconcile
+        reliability counters against.  Never mutates traffic.
+        """
+        self._delivery_monitors.append(monitor)
+
+    def remove_delivery_monitor(self, monitor) -> None:
+        """Detach a monitor added with :meth:`add_delivery_monitor`."""
+        try:
+            self._delivery_monitors.remove(monitor)
         except ValueError:
             pass
 
@@ -313,8 +339,24 @@ class Network:
         delay = 0.0
         for frame_payload in self._lowpan.frame_payload_sizes(payload_bytes):
             self.stats.frames_sent += 1
+            self.stats.mac_payload_bytes += frame_payload
             delay += self._link.frame_delay_s(frame_payload, self._rng)
         return delay
+
+    def airtime_s(self) -> float:
+        """Cumulative radio time-on-air implied by the frame counters.
+
+        Airtime per frame is ``(overhead + payload) * 8 / bitrate``
+        (see :meth:`LinkModel.airtime_s`), which is linear in payload —
+        so the exact total falls out of two integers kept on the send
+        path.  Telemetry samples this to derive the radio duty cycle.
+        """
+        from repro.net.link import MAC_OVERHEAD_BYTES, PHY_OVERHEAD_BYTES
+
+        overhead = PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES
+        total_bytes = (self.stats.frames_sent * overhead
+                       + self.stats.mac_payload_bytes)
+        return total_bytes * 8.0 / self._link.bitrate_bps
 
     def _frames_lost(self, payload_bytes: int) -> bool:
         if self._link.loss_probability <= 0:
@@ -342,6 +384,9 @@ class Network:
     ) -> None:
         stack = self._stacks[node_id]
         self.stats.datagrams_delivered += 1
+        if self._delivery_monitors:
+            for monitor in self._delivery_monitors:
+                monitor(node_id, datagram)
         self._sim.schedule(
             ns_from_s(delay_s),
             lambda: stack.deliver(datagram),
@@ -349,6 +394,9 @@ class Network:
         )
 
     def _deliver(self, node_id: int, datagram: UdpDatagram) -> None:
+        if self._delivery_monitors:
+            for monitor in self._delivery_monitors:
+                monitor(node_id, datagram)
         self._stacks[node_id].deliver(datagram)
 
 

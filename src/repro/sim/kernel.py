@@ -84,6 +84,53 @@ class EventHandle:
             self._sim._note_cancelled()
 
 
+class PeriodicHandle:
+    """Handle for a repeating callback registered via :meth:`Simulator.every`.
+
+    The underlying events reschedule themselves after each firing, so a
+    periodic task never drains the queue on its own; drivers that use
+    :meth:`Simulator.run` (rather than ``run_until``) must :meth:`cancel`
+    their periodic tasks or the run will not terminate.
+    """
+
+    __slots__ = ("_sim", "_interval_ns", "_callback", "_name", "_handle",
+                 "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval_ns: int,
+                 callback: Callable[[], None], name: str) -> None:
+        self._sim = sim
+        self._interval_ns = interval_ns
+        self._callback = callback
+        self._name = name
+        self._cancelled = False
+        self._handle = sim.schedule(interval_ns, self._fire, name=name)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def interval_ns(self) -> int:
+        return self._interval_ns
+
+    def _fire(self) -> None:
+        if self._cancelled:  # pragma: no cover - cancel() kills the event
+            return
+        # Reschedule before the callback so a callback that raises does
+        # not silently kill the period, and so the callback observes the
+        # queue as it will stand for the rest of this instant.
+        self._handle = self._sim.schedule(
+            self._interval_ns, self._fire, name=self._name)
+        self._callback()
+
+    def cancel(self) -> None:
+        """Stop firing.  Idempotent."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._handle.cancel()
+
+
 class Simulator:
     """A single-threaded discrete-event simulator.
 
@@ -168,6 +215,25 @@ class Simulator:
         """Schedule *callback* at the current instant (after pending events
         already scheduled for this instant)."""
         return self.schedule(0, callback, name=name)
+
+    def every(
+        self,
+        interval_ns: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+    ) -> PeriodicHandle:
+        """Run *callback* every ``interval_ns`` nanoseconds until cancelled.
+
+        The first firing is one interval from now.  This is the sampling
+        hook the telemetry layer builds on: a periodic task is ordinary
+        scheduled work, so an un-registered sampler costs the kernel
+        nothing at all.
+        """
+        interval_ns = int(interval_ns)
+        if interval_ns <= 0:
+            raise SimulationError(f"non-positive period: {interval_ns}")
+        return PeriodicHandle(self, interval_ns, callback, name)
 
     # ---------------------------------------------------------------- running
     def step(self) -> bool:

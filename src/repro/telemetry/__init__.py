@@ -1,0 +1,58 @@
+"""repro.telemetry — fleet-wide time-series telemetry and health.
+
+The layer above :mod:`repro.fleet.metrics` (end-of-run scalars) and
+:mod:`repro.obs` (per-operation causal traces): sim-time-sampled
+*trajectories* of every layer's vitals, merged deterministically across
+shards, exported as OpenMetrics/JSON-lines/CSV, and judged by a
+declarative health/SLO engine that can tell "degraded but recovering"
+from "broken".
+
+Enable by giving a scenario a :class:`TelemetryConfig`::
+
+    from repro.fleet.scenario import SCENARIOS
+    from repro.telemetry import TelemetryConfig
+
+    scenario = SCENARIOS["smoke"].scaled(telemetry=TelemetryConfig())
+    result = run_scenario(scenario, workers=4)
+    document = result.telemetry_document()
+
+or from the CLI: ``python -m repro.telemetry run --scenario smoke``.
+"""
+
+from repro.telemetry.config import DEFAULT_TELEMETRY, TelemetryConfig
+from repro.telemetry.collector import ShardTelemetry, install_telemetry
+from repro.telemetry.export import (
+    to_csv,
+    to_jsonl,
+    to_openmetrics,
+    validate_openmetrics,
+)
+from repro.telemetry.health import (
+    DEFAULT_RULES,
+    HealthReport,
+    RuleResult,
+    SloRule,
+    evaluate,
+    evaluate_rule,
+)
+from repro.telemetry.series import SeriesBank, TimeSeries, iter_series
+
+__all__ = [
+    "TelemetryConfig",
+    "DEFAULT_TELEMETRY",
+    "ShardTelemetry",
+    "install_telemetry",
+    "SeriesBank",
+    "TimeSeries",
+    "iter_series",
+    "to_openmetrics",
+    "to_jsonl",
+    "to_csv",
+    "validate_openmetrics",
+    "SloRule",
+    "RuleResult",
+    "HealthReport",
+    "evaluate",
+    "evaluate_rule",
+    "DEFAULT_RULES",
+]

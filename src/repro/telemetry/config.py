@@ -1,0 +1,45 @@
+"""Telemetry configuration: a frozen dataclass of primitives.
+
+Lives in its own module so :mod:`repro.fleet.scenario` can embed a
+config in pickle-safe :class:`FleetScenario` values without importing
+the collector (and its transitive deps) at scenario-build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """How a fleet run samples its time series.
+
+    The config is inert data: a scenario carrying one costs nothing
+    until a :class:`~repro.fleet.deployment.ShardDeployment` attaches a
+    collector for it, and a scenario without one (the default) skips
+    the telemetry layer entirely — the disabled mode is attach-time
+    zero-overhead, like :mod:`repro.obs.tracer`.
+    """
+
+    #: Simulated seconds between samples.
+    cadence_s: float = 1.0
+    #: Ring-buffer bound per series (oldest samples evicted first).
+    capacity: int = 4096
+    #: Also record per-node series (energy, TX bytes per Thing) —
+    #: higher resolution, proportionally more samples.
+    per_node: bool = False
+    #: Attach obs trace ids as exemplars to counter samples whose
+    #: interval saw a traced operation (no-op unless the shard traces).
+    exemplars: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cadence_s <= 0:
+            raise ValueError("cadence_s must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+
+#: Default config used by CLIs when telemetry is switched on.
+DEFAULT_TELEMETRY = TelemetryConfig()
+
+__all__ = ["TelemetryConfig", "DEFAULT_TELEMETRY"]

@@ -1,0 +1,253 @@
+"""Telemetry exporters: OpenMetrics text exposition, JSON-lines, CSV.
+
+The OpenMetrics exporter emits a spec-conforming exposition document —
+``# TYPE`` / ``# UNIT`` / ``# HELP`` metadata lines, sanitised metric
+and label names, escaped label values and help text, a single ``# EOF``
+terminator — so the output of ``python -m repro.telemetry`` is directly
+scrapeable by a real Prometheus.  By default each series exposes its
+latest sample (what a scraper sees); ``history=True`` emits every
+timestamped sample, which stays within the grammar and is what the
+EXPERIMENTS walkthrough plots.
+
+Counter samples that coincided with a traced operation carry the obs
+trace id as an OpenMetrics exemplar
+(``... # {trace_id="42"} <value> <timestamp>``), linking a scraped
+number back to the causal trace that produced it.
+
+:func:`validate_openmetrics` is a small independent grammar checker
+used by the unit tests and the smoke gate; it validates structure
+(metadata ordering, name charset, sample syntax, EOF) rather than
+re-implementing the full spec.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.series import iter_series
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str, *, prefix: str = "") -> str:
+    """Coerce *name* into the OpenMetrics metric-name charset."""
+    out = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        out = f"{prefix}_{out}"
+    if not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    """Shortest exact decimal form (repr keeps round-trip fidelity)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_NAME_RE.match(k) and k or sanitize_name(k)}='
+        f'"{_escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_openmetrics(
+    document: dict,
+    *,
+    prefix: str = "repro",
+    history: bool = False,
+) -> str:
+    """Render a merged telemetry document as OpenMetrics text."""
+    # Group series by family (metric name); one metadata block each.
+    families: Dict[str, List[dict]] = {}
+    for data in iter_series(document):
+        families.setdefault(data["name"], []).append(data)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        group = families[name]
+        kind = group[0].get("kind", "gauge")
+        unit = group[0].get("unit", "")
+        help_text = group[0].get("help", "")
+        metric = sanitize_name(name, prefix=prefix)
+        # A counter family's name must not carry the _total suffix; the
+        # sample lines do.
+        family = metric[:-6] if (kind == "counter"
+                                 and metric.endswith("_total")) else metric
+        lines.append(f"# TYPE {family} {kind}")
+        if unit and family.endswith(f"_{unit}"):
+            lines.append(f"# UNIT {family} {unit}")
+        if help_text:
+            lines.append(f"# HELP {family} {_escape(help_text)}")
+        sample_name = family + "_total" if kind == "counter" else family
+        for data in group:
+            labels = _labels_text(data.get("labels", {}))
+            samples = data["samples"]
+            if not samples:
+                continue
+            if not history:
+                samples = samples[-1:]
+            exemplar = ""
+            if kind == "counter" and data.get("exemplars"):
+                t, v, trace_id = data["exemplars"][-1]
+                exemplar = (f' # {{trace_id="{trace_id}"}} '
+                            f"{_format_value(v)} {t / 1e9:.9f}")
+            for index, (t, v) in enumerate(samples):
+                # The exemplar (one per series) rides the final sample.
+                tail = exemplar if index == len(samples) - 1 else ""
+                lines.append(
+                    f"{sample_name}{labels} {_format_value(v)} "
+                    f"{t / 1e9:.9f}{tail}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------ validator
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>-?(?:[0-9.eE+-]+|NaN|Inf|\+Inf|-Inf))"
+    r"(?: (?P<ts>-?[0-9]+(?:\.[0-9]+)?))?"
+    r"(?P<exemplar> # \{[^{}]*\} -?[0-9.eE+-]+"
+    r"(?: -?[0-9]+(?:\.[0-9]+)?)?)?$"
+)
+_LABEL_ITEM_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$'
+)
+_METADATA_RE = re.compile(
+    r"^# (?P<kw>TYPE|UNIT|HELP) (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<rest>.*)$"
+)
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Check *text* against the exposition-format grammar.
+
+    Returns a list of human-readable problems (empty = valid).  Checks
+    the structural rules a scraper depends on: metric/label name
+    charset, metadata syntax and placement, sample line syntax, exactly
+    one ``# EOF`` as the final line.
+    """
+    errors: List[str] = []
+    if not text.endswith("\n"):
+        errors.append("document must end with a newline")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("final line must be '# EOF'")
+    typed: Dict[str, str] = {}
+    seen_eof = False
+    for lineno, line in enumerate(lines, 1):
+        if seen_eof:
+            errors.append(f"line {lineno}: content after # EOF")
+            break
+        if line == "# EOF":
+            seen_eof = True
+            continue
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            meta = _METADATA_RE.match(line)
+            if meta is None:
+                errors.append(f"line {lineno}: malformed metadata: {line!r}")
+                continue
+            if meta.group("kw") == "TYPE":
+                family = meta.group("name")
+                if family in typed:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {family}")
+                typed[family] = meta.group("rest")
+                if meta.group("rest") not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "unknown", "info", "stateset", "gaugehistogram"):
+                    errors.append(
+                        f"line {lineno}: unknown type {meta.group('rest')!r}")
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if sample is None:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        labels = sample.group("labels")
+        if labels:
+            for item in _split_labels(labels[1:-1]):
+                if item and not _LABEL_ITEM_RE.match(item):
+                    errors.append(
+                        f"line {lineno}: malformed label item: {item!r}")
+        name = sample.group("name")
+        family = name[:-6] if name.endswith("_total") else name
+        if family not in typed and name not in typed:
+            errors.append(
+                f"line {lineno}: sample {name!r} precedes its TYPE line")
+    if not seen_eof:
+        errors.append("missing # EOF terminator")
+    return errors
+
+
+def _split_labels(inner: str) -> List[str]:
+    """Split label pairs on commas outside quoted values."""
+    items, depth, current = [], False, []
+    for ch in inner:
+        if ch == '"':
+            depth = not depth
+            current.append(ch)
+        elif ch == "," and not depth:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        items.append("".join(current))
+    return items
+
+
+# ----------------------------------------------------------- jsonl / csv
+def to_jsonl(document: dict) -> str:
+    """One JSON object per sample — the full trajectory, stream-ready."""
+    lines = []
+    for data in iter_series(document):
+        base = {
+            "name": data["name"],
+            "labels": data.get("labels", {}),
+            "kind": data.get("kind", "gauge"),
+        }
+        for t, v in data["samples"]:
+            row = dict(base)
+            row["t_s"] = t / 1e9
+            row["value"] = v
+            lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_csv(document: dict) -> str:
+    """``name,labels,t_s,value`` rows for spreadsheet-style tooling."""
+    lines = ["name,labels,t_s,value"]
+    for data in iter_series(document):
+        labels = ";".join(f"{k}={v}" for k, v in
+                          sorted(data.get("labels", {}).items()))
+        for t, v in data["samples"]:
+            lines.append(f"{data['name']},{labels},{t / 1e9:.9f},{v!r}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["to_openmetrics", "to_jsonl", "to_csv", "validate_openmetrics",
+           "sanitize_name"]

@@ -1,0 +1,117 @@
+"""Terminal rendering of telemetry documents and health reports.
+
+Pure text generation — callers print the returned strings.  The
+dashboard shows each series as a unicode sparkline of its trajectory
+plus the latest value, and the health table shows per-rule status with
+the degraded-window count, so a chaos run reads at a glance as
+"degraded between t=10s and t=20s, recovered by the end".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.series import iter_series
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+_STATUS_BADGE = {
+    "ok": "OK ",
+    "recovered": "REC",
+    "degraded": "BAD",
+    "no-data": "---",
+}
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Map *values* onto ▁..█ glyphs, downsampled to *width* columns."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket means keep the shape without aliasing single spikes.
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))])
+            / max(1, int((i + 1) * step) - int(i * step))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   int((v - lo) / span * len(_SPARK)))]
+        for v in values
+    )
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    return f"{value:.4g}"
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def dashboard(document: dict, *, width: int = 24,
+              names: Optional[Sequence[str]] = None) -> str:
+    """Render every series (or the *names* subset) as sparkline rows."""
+    rows: List[Tuple[str, str, str]] = []
+    for data in iter_series(document):
+        if names is not None and data["name"] not in names:
+            continue
+        samples = data.get("samples", [])
+        if not samples:
+            continue
+        label = data["name"] + _label_suffix(data.get("labels", {}))
+        spark = sparkline([v for _, v in samples], width)
+        rows.append((label, spark, _format_number(samples[-1][1])))
+    if not rows:
+        return "(no telemetry series)"
+    name_w = max(len(r[0]) for r in rows)
+    value_w = max(len(r[2]) for r in rows)
+    lines = [
+        f"{label:<{name_w}}  {spark:<{width}}  {value:>{value_w}}"
+        for label, spark, value in rows
+    ]
+    return "\n".join(lines)
+
+
+def health_table(report_dict: dict) -> str:
+    """Render an ``evaluate(...)``/``HealthReport.as_dict()`` result."""
+    rules = report_dict.get("rules", {})
+    if not rules:
+        return "(no health rules evaluated)"
+    lines = [f"health: {report_dict.get('status', '?')}"]
+    name_w = max(len(name) for name in rules)
+    for name in rules:
+        rule = rules[name]
+        badge = _STATUS_BADGE.get(rule.get("status", ""), "?? ")
+        windows = rule.get("windows", [])
+        degraded = rule.get("degraded", 0)
+        detail = f"{len(windows)} windows"
+        if degraded:
+            bad = [w for w in windows if not w["ok"]]
+            detail += (f", {degraded} degraded "
+                       f"(t={bad[0]['t0_s']:.0f}s..{bad[-1]['t1_s']:.0f}s)")
+        last = windows[-1]["value"] if windows else float("nan")
+        lines.append(
+            f"  [{badge}] {name:<{name_w}}  "
+            f"{rule.get('series', '')}"
+            f"{'/' + rule['ratio_to'] if rule.get('ratio_to') else ''}"
+            f" {rule.get('op', '')} {rule.get('threshold', '')}"
+            f"  last={_format_number(last)}  ({detail})"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["dashboard", "health_table", "sparkline"]

@@ -59,6 +59,8 @@ class RouterStats:
     errors_dispatched: int = 0
     traps: List[str] = field(default_factory=list)
     busy_seconds: float = 0.0
+    #: Total VM + router cycles retired by dispatched deliveries.
+    cycles: int = 0
 
 
 class EventRouter:
@@ -147,6 +149,7 @@ class EventRouter:
             handler_cycles = 0
             self.stats.traps.append(f"{delivery.describe()}: {trap}")
         self.stats.dispatched += 1
+        self.stats.cycles += cycles
         if from_priority:
             self.stats.errors_dispatched += 1
 

@@ -1,0 +1,232 @@
+"""Integration tests: telemetry across fleet shards, chaos and the wire.
+
+Covers the tentpole acceptance criteria: merged series byte-identical
+across 1, 2 and 8 workers; a mid-run loss burst producing degraded
+*and* recovered health windows; and reliability counters cross-checked
+against the network's own delivered-datagram log on seeded lossy runs.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.chaos.campaign import CAMPAIGNS, run_campaign
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import FaultPlan, LinkBurst
+from repro.fleet.deployment import ShardDeployment
+from repro.fleet.runner import run_scenario
+from repro.fleet.scenario import ChurnProfile, FleetScenario
+from repro.protocol import messages as proto
+from repro.sim.kernel import ns_from_s
+from repro.telemetry import (
+    TelemetryConfig,
+    evaluate,
+    DEFAULT_RULES,
+    to_openmetrics,
+    validate_openmetrics,
+)
+
+#: Small fleet, several shards — enough parallelism to catch any
+#: worker-count dependence in the merge.
+SCENARIO = FleetScenario(
+    name="telemetry-it", things=8, shard_size=2, duration_s=6.0, seed=11,
+    churn=ChurnProfile(churn_interval_s=2.0, discovery_interval_s=1.0,
+                       hot_update_interval_s=3.0, read_interval_s=1.0),
+    telemetry=TelemetryConfig(cadence_s=1.0),
+)
+
+
+# ----------------------------------------------------------- merge determinism
+def test_merged_series_byte_identical_across_1_2_8_workers():
+    blobs = {}
+    for workers in (1, 2, 8):
+        result = run_scenario(SCENARIO, workers=workers)
+        blobs[workers] = json.dumps(result.telemetry_document(),
+                                    sort_keys=True)
+    assert blobs[1] == blobs[2] == blobs[8]
+
+
+def test_telemetry_does_not_change_workload_counters():
+    """Sampling is read-only: the enabled run's merged metrics equal the
+    disabled run's except ``sim.events`` (the sampling ticks)."""
+    with_telemetry = run_scenario(SCENARIO, workers=1).merged
+    disabled = SCENARIO.scaled(telemetry=None)
+    without = run_scenario(disabled, workers=1).merged
+    on = dict(with_telemetry["counters"])
+    off = dict(without["counters"])
+    assert on.pop("sim.events") > off.pop("sim.events")
+    assert on == off
+    assert with_telemetry["gauges"] == without["gauges"]
+    assert with_telemetry["histograms"] == without["histograms"]
+
+
+def test_disabled_mode_attaches_nothing():
+    spec = SCENARIO.scaled(telemetry=None).shards()[0]
+    deployment = ShardDeployment(spec)
+    assert deployment.telemetry is None
+    snapshot = deployment.run().snapshot()
+    assert "telemetry" not in snapshot
+
+
+# ------------------------------------------------------------- document shape
+def test_document_covers_every_layer_and_validates():
+    result = run_scenario(SCENARIO, workers=1)
+    document = result.telemetry_document()
+    names = {series["name"] for series in document["series"]}
+    assert {"energy_joules_total", "energy_category_joules_total",
+            "radio_tx_bytes_total", "radio_rx_bytes_total",
+            "radio_duty_cycle", "reads_sent_total",
+            "reliability_retransmits_total", "pending_requests",
+            "kernel_queue_depth", "vm_queue_depth",
+            "vm_cycles_total", "sim_events_total"} <= names
+    # Level gauges keep per-shard trajectories for every shard.
+    shards = {series["labels"].get("shard")
+              for series in document["series"]
+              if series["name"] == "kernel_queue_depth"}
+    assert shards == {"0", "1", "2", "3"}
+    assert validate_openmetrics(
+        to_openmetrics(document, history=True)) == []
+
+
+def test_per_node_series_and_energy_consistency():
+    scenario = SCENARIO.scaled(
+        telemetry=TelemetryConfig(cadence_s=1.0, per_node=True))
+    result = run_scenario(scenario, workers=1)
+    document = result.telemetry_document()
+    node_series = [series for series in document["series"]
+                   if series["name"] == "node_energy_joules_total"]
+    assert len(node_series) == scenario.things
+    # Per-node energies sum to the fleet total at the final timestamp.
+    fleet = next(series for series in document["series"]
+                 if series["name"] == "energy_joules_total")
+    total = sum(series["samples"][-1][1] for series in node_series)
+    assert total == pytest.approx(fleet["samples"][-1][1])
+    # And the final telemetry sample agrees with the end-of-run gauge.
+    assert fleet["samples"][-1][1] == pytest.approx(
+        result.merged["gauges"]["energy.things_joules"])
+
+
+def test_trace_exemplars_attach_to_advancing_counters():
+    scenario = SCENARIO.scaled(trace=True)
+    result = run_scenario(scenario, workers=1)
+    document = result.telemetry_document()
+    exemplars = [series for series in document["series"]
+                 if series.get("exemplars")]
+    assert exemplars, "traced run should attach exemplars"
+    text = to_openmetrics(document, history=True)
+    assert "trace_id" in text
+    assert validate_openmetrics(text) == []
+
+
+# -------------------------------------------------------------- chaos + health
+def test_burst_campaign_shows_degradation_then_recovery():
+    result = run_campaign(CAMPAIGNS["burst"], seed=1)
+    health = result.verdict["health"]
+    rule = health["rules"]["read_completion"]
+    assert rule["degraded"] >= 1, "loss burst must crater a window"
+    assert rule["status"] == "recovered"
+    assert health["status"] == "recovered"
+    assert result.violations == 0
+    # The degraded windows overlap the burst (t in [10s, 18s]).
+    bad = [w for w in rule["windows"] if not w["ok"]]
+    assert any(w["t0_s"] < 18.0 and w["t1_s"] > 10.0 for w in bad)
+
+
+def test_campaign_verdict_health_is_seed_reproducible():
+    a = run_campaign(CAMPAIGNS["burst"], seed=2).verdict
+    b = run_campaign(CAMPAIGNS["burst"], seed=2).verdict
+    assert a["digest"] == b["digest"]
+    assert a["health"] == b["health"]
+
+
+# ------------------------------------------- reliability counters vs the wire
+def _request_identity(datagram):
+    """(src, dst, type, seq) for reliability-carrying messages."""
+    payload = datagram.payload
+    if not payload:
+        return None
+    try:
+        message = proto.decode_message(payload)
+    except proto.ProtocolError:
+        return None
+    seq = getattr(message, "seq", None)
+    if seq is None:
+        return None
+    return (datagram.src.value, str(datagram.dst), payload[0], seq)
+
+
+#: Message types (re)transmitted by the reliability layer's sender side:
+#: client reads/streams, Thing install requests, manager uploads.
+_REQUEST_TYPES = {
+    proto.MsgType.READ_REQUEST.value,
+    proto.MsgType.STREAM_REQUEST.value,
+    proto.MsgType.DRIVER_INSTALL_REQUEST.value,
+    proto.MsgType.DRIVER_UPLOAD.value,
+}
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_reliability_counters_match_delivered_datagram_log(seed):
+    """On a loss-only plan, every wire-level duplicate of a request-type
+    datagram is either a reliability retransmission or the manager
+    re-answering a duplicate install request — the counters must account
+    for the wire log exactly, and the telemetry series must agree with
+    the metrics counter."""
+    campaign = CAMPAIGNS["lossy"]
+    spec = campaign.scenario.scaled(seed=seed).shards()[0]
+    deployment = ShardDeployment(spec)
+    engine = ChaosEngine(
+        deployment.sim, deployment.network, deployment.things,
+        deployment.rng.fork("chaos").stream("inject"),
+    )
+    sent = Counter()
+    delivered = Counter()
+
+    def on_sent(src_id, datagram):
+        del src_id
+        identity = _request_identity(datagram)
+        if identity is not None:
+            sent[identity] += 1
+
+    def on_delivered(node_id, datagram):
+        del node_id
+        identity = _request_identity(datagram)
+        if identity is not None:
+            delivered[identity] += 1
+
+    deployment.network.add_monitor(on_sent)
+    deployment.network.add_delivery_monitor(on_delivered)
+    horizon_s = spec.scenario.duration_s + campaign.grace_s
+    engine.arm(FaultPlan(name="loss", bursts=(
+        LinkBurst(start_s=0.0, end_s=horizon_s, drop_probability=0.30),
+    )))
+    deployment.start()
+    deployment.sim.run_until(ns_from_s(spec.scenario.duration_s))
+    deployment.sim.drain(ShardDeployment.CHURN_EVENT_NAMES)
+    deployment.sim.run_until(ns_from_s(horizon_s))
+    deployment.finalize()
+    engine.disarm()
+
+    counters = deployment.metrics.snapshot()["counters"]
+    retransmits = counters.get("reliability.retransmits", 0)
+    dup_installs = counters.get("manager.duplicate_install_requests", 0)
+    assert retransmits > 0, "30% loss must force retransmissions"
+
+    # Loss never invents datagrams: for unicast request traffic,
+    # deliveries <= transmissions, identity by identity.  (Multicast
+    # discoveries legitimately deliver one send to many nodes.)
+    for identity, count in delivered.items():
+        if identity[2] in _REQUEST_TYPES:
+            assert count <= sent[identity]
+
+    wire_duplicates = sum(
+        count - 1 for identity, count in sent.items()
+        if count > 1 and identity[2] in _REQUEST_TYPES
+    )
+    assert wire_duplicates == retransmits + dup_installs
+
+    # The telemetry trajectory's final value agrees with the counter.
+    series = deployment.telemetry.bank.get("reliability_retransmits_total")
+    assert series is not None
+    assert series.last[1] == retransmits

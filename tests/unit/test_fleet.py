@@ -157,3 +157,54 @@ def test_cli_list_and_unknown(capsys):
     assert main(["--list"]) == 0
     assert "smoke" in capsys.readouterr().out
     assert main(["--scenario", "nope"]) == 2
+
+
+# ---------------------------------------------------------------- gauge modes
+def test_gauge_modes_merge_sum_max_last():
+    snaps = []
+    for value in (3.0, 7.0, 5.0):
+        m = Metrics()
+        m.gauge("s").add(value)
+        m.gauge("peak", mode="max").add(value)
+        m.gauge("cfg", mode="last").add(value)
+        snaps.append(m.snapshot())
+    merged = Metrics.merge(snaps)
+    assert merged["gauges"]["s"] == 15.0
+    assert merged["gauges"]["peak"] == 7.0
+    assert merged["gauges"]["cfg"] == 5.0  # highest shard index wins
+    assert merged["gauge_modes"] == {"cfg": "last", "peak": "max"}
+
+
+def test_gauge_mode_conflict_raises():
+    m = Metrics()
+    m.gauge("g", mode="max")
+    with pytest.raises(ValueError):
+        m.gauge("g", mode="sum")
+    # Re-requesting with the same mode is fine.
+    assert m.gauge("g", mode="max") is m.gauge("g", mode="max")
+
+
+def test_gauge_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        Metrics().gauge("g", mode="median")
+
+
+def test_snapshot_omits_gauge_modes_when_all_sum():
+    """Back-compat: sum-only snapshots keep the pre-mode shape, so old
+    merged documents and their digests are unchanged."""
+    m = Metrics()
+    m.inc("c")
+    m.gauge("g").add(1.0)
+    snap = m.snapshot()
+    assert "gauge_modes" not in snap
+    merged = Metrics.merge([snap])
+    assert "gauge_modes" not in merged
+
+
+def test_merge_defaults_unlabelled_gauges_to_sum():
+    """Snapshots from older code (no gauge_modes key) still sum."""
+    merged = Metrics.merge([
+        {"counters": {}, "gauges": {"g": 1.0}, "histograms": {}},
+        {"counters": {}, "gauges": {"g": 2.0}, "histograms": {}},
+    ])
+    assert merged["gauges"]["g"] == 3.0

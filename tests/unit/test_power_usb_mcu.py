@@ -107,3 +107,42 @@ def test_render_table_mentions_all_components():
     text = DEFAULT_FOOTPRINT.render_table()
     for name in ("Peripheral Controller", "Virtual Machine", "Total"):
         assert name in text
+
+
+# ------------------------------------------------------- snapshots and merging
+def test_energy_meter_snapshot_is_sorted_and_detached():
+    meter = EnergyMeter()
+    meter.add("net", 2.0)
+    meter.add("mcu", 1.0)
+    snap = meter.snapshot()
+    assert list(snap) == ["mcu", "net"]
+    snap["mcu"] = 99.0
+    assert meter.by_category()["mcu"] == 1.0
+
+
+def test_energy_meter_merge_sums_categories():
+    a = EnergyMeter()
+    a.add("mcu", 1.0)
+    a.add("net", 0.5)
+    b = EnergyMeter()
+    b.add("mcu", 2.0)
+    b.add("bus", 0.25)
+    merged = EnergyMeter.merge([a.snapshot(), b.snapshot()])
+    assert merged == {"bus": 0.25, "mcu": 3.0, "net": 0.5}
+    assert list(merged) == ["bus", "mcu", "net"]
+
+
+def test_energy_meter_merge_total_matches_sum_of_totals():
+    meters = []
+    for i in range(3):
+        meter = EnergyMeter()
+        meter.add("mcu", 0.1 * (i + 1))
+        meter.add(f"cat{i}", 1.0)
+        meters.append(meter)
+    merged = EnergyMeter.merge(m.snapshot() for m in meters)
+    assert sum(merged.values()) == pytest.approx(
+        sum(m.total() for m in meters))
+
+
+def test_energy_meter_merge_empty_iterable():
+    assert EnergyMeter.merge([]) == {}

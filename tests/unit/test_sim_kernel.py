@@ -293,3 +293,46 @@ def test_unit_conversions():
     assert ns_from_ms(2.5) == 2_500_000
     assert ns_from_s(0.001) == NS_PER_MS
     assert ns_from_s(1) == NS_PER_S
+
+
+# ------------------------------------------------------------------- periodic
+def test_every_fires_on_cadence_and_cancels():
+    sim = Simulator()
+    fired = []
+    handle = sim.every(ns_from_s(1.0), lambda: fired.append(sim.now_ns),
+                       name="tick")
+    sim.run_until(ns_from_s(3.5))
+    assert fired == [ns_from_s(1.0), ns_from_s(2.0), ns_from_s(3.0)]
+    handle.cancel()
+    sim.run_until(ns_from_s(10.0))
+    assert len(fired) == 3
+    handle.cancel()  # idempotent
+
+
+def test_every_reschedules_before_callback_runs():
+    """A callback that inspects the queue sees its own next tick — the
+    periodic keeps itself alive without a trailing gap."""
+    sim = Simulator()
+    depths = []
+    sim.every(ns_from_s(1.0), lambda: depths.append(sim.pending_count()),
+              name="tick")
+    sim.run_until(ns_from_s(2.0))
+    assert all(depth >= 1 for depth in depths)
+
+
+def test_every_rejects_non_positive_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.every(-5, lambda: None)
+
+
+def test_every_cancel_lets_run_terminate():
+    sim = Simulator()
+    handle = sim.every(ns_from_s(1.0), lambda: None, name="tick")
+    sim.run_until(ns_from_s(2.0))
+    handle.cancel()
+    # With the periodic cancelled the queue drains completely.
+    sim.run()
+    assert sim.pending_count() == 0

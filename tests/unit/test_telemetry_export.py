@@ -1,0 +1,148 @@
+"""Unit tests for telemetry exporters, incl. the OpenMetrics grammar."""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry.series import SeriesBank
+from repro.telemetry.export import (
+    sanitize_name,
+    to_csv,
+    to_jsonl,
+    to_openmetrics,
+    validate_openmetrics,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _document():
+    bank = SeriesBank()
+    c = bank.series("reads_ok_total", kind="counter",
+                    help="Completed reads", unit="")
+    c.record(0, 0.0)
+    c.record(1_000_000_000, 3.0, trace_id=42)
+    g = bank.series("queue_depth", kind="gauge",
+                    labels={"shard": "0"}, help="Depth")
+    g.record(0, 2.0)
+    g.record(1_000_000_000, 5.0)
+    e = bank.series("energy_joules_total", kind="counter", unit="joules",
+                    labels={"category": "mcu"})
+    e.record(0, 0.125)
+    return bank.snapshot()
+
+
+# ------------------------------------------------------------ exposition text
+def test_openmetrics_passes_own_validator():
+    text = to_openmetrics(_document(), history=True)
+    assert validate_openmetrics(text) == []
+
+
+def test_openmetrics_structure_names_help_type_eof():
+    text = to_openmetrics(_document(), history=True)
+    lines = text.splitlines()
+    # Terminates with exactly one EOF, as the final line.
+    assert lines[-1] == "# EOF"
+    assert lines.count("# EOF") == 1
+    # Every metric name satisfies the exposition charset.
+    for line in lines:
+        if line.startswith("#"):
+            keyword, name = line.split(" ")[1:3] if line != "# EOF" \
+                else (None, None)
+            if keyword in ("TYPE", "UNIT", "HELP"):
+                assert _METRIC_NAME.match(name), name
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        assert _METRIC_NAME.match(name), name
+    # Counters: TYPE on the bare family, samples carry _total.
+    assert "# TYPE repro_reads_ok counter" in lines
+    assert any(l.startswith("repro_reads_ok_total ") for l in lines)
+    # HELP present for the documented series.
+    assert "# HELP repro_reads_ok Completed reads" in lines
+    # Gauges keep their name and labels.
+    assert any(l.startswith('repro_queue_depth{shard="0"}')
+               for l in lines)
+    # UNIT emitted when the name carries the unit suffix.
+    assert "# UNIT repro_energy_joules joules" in lines
+
+
+def test_openmetrics_exemplar_rides_last_counter_sample():
+    text = to_openmetrics(_document(), history=True)
+    exemplar_lines = [l for l in text.splitlines() if "trace_id" in l]
+    assert len(exemplar_lines) == 1
+    assert exemplar_lines[0].startswith("repro_reads_ok_total ")
+    assert '# {trace_id="42"}' in exemplar_lines[0]
+
+
+def test_openmetrics_latest_only_by_default():
+    text = to_openmetrics(_document())
+    sample_lines = [l for l in text.splitlines()
+                    if not l.startswith("#")]
+    # One sample per series, at the newest timestamp.
+    assert len(sample_lines) == 3
+    assert validate_openmetrics(text) == []
+
+
+def test_openmetrics_escapes_label_values():
+    bank = SeriesBank()
+    bank.series("x", labels={"path": 'a"b\\c\nd'}).record(0, 1.0)
+    text = to_openmetrics(bank.snapshot(), history=True)
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    assert validate_openmetrics(text) == []
+
+
+def test_sanitize_name_coerces_charset():
+    assert sanitize_name("reads.ok-total") == "reads_ok_total"
+    assert _METRIC_NAME.match(sanitize_name("9lives"))
+    assert sanitize_name("x", prefix="repro") == "repro_x"
+
+
+# ------------------------------------------------------------------ validator
+def test_validator_rejects_missing_eof():
+    assert validate_openmetrics("# TYPE x gauge\nx 1 0\n")
+
+
+def test_validator_rejects_content_after_eof():
+    errors = validate_openmetrics("# TYPE x gauge\nx 1 0\n# EOF\nx 2 1\n")
+    assert any("after # EOF" in e for e in errors)
+
+
+def test_validator_rejects_bad_metric_name():
+    errors = validate_openmetrics("# TYPE x gauge\n9bad 1 0\n# EOF\n")
+    assert any("malformed sample" in e for e in errors)
+
+
+def test_validator_rejects_sample_without_type():
+    errors = validate_openmetrics("orphan 1 0\n# EOF\n")
+    assert any("precedes its TYPE" in e for e in errors)
+
+
+def test_validator_rejects_malformed_metadata_and_labels():
+    errors = validate_openmetrics("# TIPO x gauge\n# EOF\n")
+    assert any("malformed metadata" in e for e in errors)
+    errors = validate_openmetrics(
+        '# TYPE x gauge\nx{9bad="v"} 1 0\n# EOF\n')
+    assert any("label" in e for e in errors)
+
+
+def test_validator_accepts_minimal_valid_document():
+    assert validate_openmetrics(
+        "# TYPE up gauge\nup 1 0\n# EOF\n") == []
+
+
+# ----------------------------------------------------------------- jsonl, csv
+def test_jsonl_one_object_per_sample():
+    text = to_jsonl(_document())
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert len(rows) == 5
+    assert {"name", "labels", "kind", "t_s", "value"} <= set(rows[0])
+    assert any(r["labels"] == {"shard": "0"} for r in rows)
+
+
+def test_csv_header_and_rows():
+    text = to_csv(_document())
+    lines = text.splitlines()
+    assert lines[0] == "name,labels,t_s,value"
+    assert len(lines) == 6
+    assert any(line.startswith("queue_depth,shard=0,") for line in lines)

@@ -1,0 +1,169 @@
+"""Unit tests for the declarative health/SLO engine."""
+
+import json
+
+import pytest
+
+from repro.telemetry.series import SeriesBank
+from repro.telemetry.health import (
+    DEFAULT_RULES,
+    HealthReport,
+    SloRule,
+    evaluate,
+    evaluate_rule,
+    horizon_ns,
+)
+
+NS = 1_000_000_000
+
+
+def _doc(samples, name="m", kind="gauge", labels=None, extra=()):
+    bank = SeriesBank()
+    ts = bank.series(name, kind=kind, labels=labels)
+    for t_s, v in samples:
+        ts.record(int(t_s * NS), v)
+    for other_name, other_samples in extra:
+        other = bank.series(other_name, kind="counter")
+        for t_s, v in other_samples:
+            other.record(int(t_s * NS), v)
+    return bank.snapshot()
+
+
+# --------------------------------------------------------------------- SloRule
+def test_rule_validates_fields():
+    with pytest.raises(ValueError):
+        SloRule("r", "m", aggregate="median")
+    with pytest.raises(ValueError):
+        SloRule("r", "m", op="!=")
+    with pytest.raises(ValueError):
+        SloRule("r", "m", window_s=0)
+
+
+def test_rule_parse_grammar():
+    rule = SloRule.parse("duty: radio_duty_cycle.p95 < 1% window=10")
+    assert rule.name == "duty"
+    assert rule.series == "radio_duty_cycle"
+    assert rule.aggregate == "p95"
+    assert rule.op == "<"
+    assert rule.threshold == pytest.approx(0.01)
+    assert rule.window_s == 10.0
+
+    ratio = SloRule.parse("done: ok_total/sent_total >= 99%")
+    assert ratio.ratio_to == "sent_total"
+    assert ratio.aggregate == "delta"
+    assert ratio.threshold == pytest.approx(0.99)
+
+    plain = SloRule.parse("q: depth.max < 5000")
+    assert plain.aggregate == "max"
+    assert plain.threshold == 5000.0
+    assert plain.window_s == 10.0  # default
+
+    with pytest.raises(ValueError):
+        SloRule.parse("not a rule")
+
+
+# ------------------------------------------------------------------ aggregates
+def test_last_aggregate_judges_worst_label_set():
+    bank = SeriesBank()
+    bank.series("q", labels={"shard": "0"}).record(NS, 1.0)
+    bank.series("q", labels={"shard": "1"}).record(NS, 9.0)
+    doc = bank.snapshot()
+    # op "<" judges the max across label sets (worst case).
+    rule = SloRule("r", "q", aggregate="last", op="<", threshold=5.0,
+                   window_s=10.0)
+    result = evaluate_rule(rule, doc)
+    assert result.windows[0].value == 9.0
+    assert not result.ok
+    # op ">" judges the min across label sets.
+    rule = SloRule("r", "q", aggregate="last", op=">", threshold=0.5,
+                   window_s=10.0)
+    assert evaluate_rule(rule, doc).windows[0].value == 1.0
+
+
+def test_percentile_and_mean_aggregates():
+    doc = _doc([(i, float(i)) for i in range(10)])
+    rule = SloRule("r", "m", aggregate="p95", op="<", threshold=100.0,
+                   window_s=20.0)
+    result = evaluate_rule(rule, doc)
+    assert result.windows[0].value == pytest.approx(8.55)
+    rule = SloRule("r", "m", aggregate="mean", op="<", threshold=100.0,
+                   window_s=20.0)
+    assert evaluate_rule(rule, doc).windows[0].value == pytest.approx(4.5)
+
+
+def test_delta_aggregate_is_windowed_counter_increase():
+    doc = _doc([(0, 0.0), (5, 10.0), (15, 25.0)], kind="counter")
+    rule = SloRule("r", "m", aggregate="delta", op=">=", threshold=0.0,
+                   window_s=10.0)
+    result = evaluate_rule(rule, doc)
+    # Window [0,10): 10-0; window [10,15]: 25-10.
+    assert [w.value for w in result.windows] == [10.0, 15.0]
+
+
+def test_ratio_skips_windows_with_zero_denominator():
+    doc = _doc(
+        [(0, 0.0), (5, 8.0), (15, 8.0), (25, 8.0)], name="ok",
+        kind="counter",
+        extra=[("sent", [(0, 0.0), (5, 10.0), (15, 10.0), (25, 10.0)])],
+    )
+    rule = SloRule("r", "ok", ratio_to="sent", op=">=", threshold=0.9,
+                   window_s=10.0)
+    result = evaluate_rule(rule, doc)
+    # Only the first window moved traffic; later windows are skipped,
+    # not counted as healthy.
+    assert len(result.windows) == 1
+    assert result.windows[0].value == pytest.approx(0.8)
+    assert result.status == "degraded"
+
+
+def test_scale_multiplies_before_comparison():
+    doc = _doc([(0, 0.0), (9, 2.0)], kind="counter")
+    rule = SloRule("r", "m", aggregate="delta", op="<", threshold=1.0,
+                   window_s=10.0, scale=0.25)
+    result = evaluate_rule(rule, doc)
+    assert result.windows[0].value == pytest.approx(0.5)
+    assert result.ok
+
+
+# -------------------------------------------------------------------- statuses
+def test_status_ok_degraded_recovered_no_data():
+    rule = SloRule("r", "m", aggregate="last", op="<", threshold=5.0,
+                   window_s=10.0)
+    ok = evaluate_rule(rule, _doc([(5, 1.0), (15, 2.0)]))
+    assert ok.status == "ok" and ok.ok
+
+    degraded = evaluate_rule(rule, _doc([(5, 1.0), (15, 9.0)]))
+    assert degraded.status == "degraded" and not degraded.ok
+    assert len(degraded.degraded_windows) == 1
+
+    recovered = evaluate_rule(rule, _doc([(5, 9.0), (15, 1.0)]))
+    assert recovered.status == "recovered" and not recovered.ok
+
+    empty = evaluate_rule(rule, {"series": []})
+    assert empty.status == "no-data"
+
+
+def test_report_status_is_worst_and_dict_is_json_safe():
+    doc = _doc([(5, 9.0), (15, 9.0)])
+    rules = (
+        SloRule("good", "m", aggregate="last", op=">", threshold=0.0),
+        SloRule("bad", "m", aggregate="last", op="<", threshold=5.0),
+    )
+    report = evaluate(rules, doc)
+    assert isinstance(report, HealthReport)
+    assert report.status == "degraded"
+    assert not report.ok
+    data = report.as_dict()
+    json.dumps(data)
+    assert set(data["rules"]) == {"good", "bad"}
+    assert data["rules"]["bad"]["status"] == "degraded"
+
+
+def test_horizon_is_latest_sample():
+    assert horizon_ns(_doc([(3, 1.0), (7, 1.0)])) == 7 * NS
+    assert horizon_ns({"series": []}) == 0
+
+
+def test_default_rules_parseable_and_evaluate_empty():
+    report = evaluate(DEFAULT_RULES, {"series": []})
+    assert report.status == "no-data"

@@ -1,0 +1,108 @@
+"""Unit tests for the BENCH_*.json regression sentinel."""
+
+import pytest
+
+from repro.telemetry.sentinel import (
+    DEFAULT_SENTINEL_RULES,
+    SentinelRule,
+    compare,
+    flatten,
+    report_lines,
+)
+
+
+def test_flatten_nested_dicts_and_lists():
+    flat = flatten({"a": {"b": 1}, "c": [10, {"d": 2}]})
+    assert flat == {"a.b": 1, "c.0": 10, "c.1.d": 2}
+
+
+def test_rule_validation_and_matching():
+    with pytest.raises(ValueError):
+        SentinelRule("*", direction="sideways")
+    with pytest.raises(ValueError):
+        SentinelRule("*", tolerance=-0.1)
+    rule = SentinelRule("*wall_s")
+    assert rule.matches("sweep.0.wall_s")
+    assert not rule.matches("sweep.0.events")
+
+
+def test_lower_is_better_flags_increase_beyond_tolerance():
+    rules = [SentinelRule("*wall_s", direction="lower", tolerance=0.10)]
+    findings = compare({"wall_s": 1.0}, {"wall_s": 1.05}, rules)
+    assert not findings[0].regression  # within tolerance
+    findings = compare({"wall_s": 1.0}, {"wall_s": 1.2}, rules)
+    assert findings[0].regression
+    assert findings[0].change == pytest.approx(0.2)
+    # Improvement never flags.
+    findings = compare({"wall_s": 1.0}, {"wall_s": 0.5}, rules)
+    assert not findings[0].regression
+
+
+def test_higher_is_better_flags_decrease():
+    rules = [SentinelRule("*rate", direction="higher", tolerance=0.10)]
+    assert compare({"rate": 100}, {"rate": 80}, rules)[0].regression
+    assert not compare({"rate": 100}, {"rate": 95}, rules)[0].regression
+    assert not compare({"rate": 100}, {"rate": 200}, rules)[0].regression
+
+
+def test_equal_mode_flags_any_change_even_non_numeric():
+    rules = [SentinelRule("*digest", direction="equal")]
+    findings = compare({"digest": "abc"}, {"digest": "abc"}, rules)
+    assert not findings[0].regression
+    findings = compare({"digest": "abc"}, {"digest": "xyz"}, rules)
+    assert findings[0].regression
+    assert findings[0].change is None
+
+
+def test_unmatched_and_one_sided_leaves_are_skipped():
+    rules = [SentinelRule("*wall_s")]
+    findings = compare(
+        {"wall_s": 1.0, "other": 5, "gone": 1},
+        {"wall_s": 1.0, "other": 9, "new": 2},
+        rules,
+    )
+    assert [f.path for f in findings] == ["wall_s"]
+
+
+def test_first_matching_rule_wins():
+    rules = [
+        SentinelRule("special.wall_s", direction="lower", tolerance=1.0),
+        SentinelRule("*wall_s", direction="lower", tolerance=0.0),
+    ]
+    findings = compare({"special": {"wall_s": 1.0}},
+                       {"special": {"wall_s": 1.5}}, rules)
+    assert not findings[0].regression  # loose specific rule applied
+
+
+def test_zero_baseline_handled():
+    rules = [SentinelRule("*wall_s", direction="lower", tolerance=0.1)]
+    findings = compare({"wall_s": 0}, {"wall_s": 0}, rules)
+    assert not findings[0].regression
+    findings = compare({"wall_s": 0}, {"wall_s": 1.0}, rules)
+    assert findings[0].regression
+
+
+def test_default_rules_judge_real_scorecard_shape():
+    base = {
+        "sweep": [{"wall_s": 1.0, "events_per_s": 1000.0,
+                   "merged_digest": "aa"}],
+        "gate_passed": True,
+    }
+    current = {
+        "sweep": [{"wall_s": 1.1, "events_per_s": 500.0,
+                   "merged_digest": "bb"}],
+        "gate_passed": True,
+    }
+    findings = compare(base, current, DEFAULT_SENTINEL_RULES)
+    by_path = {f.path: f for f in findings}
+    assert by_path["sweep.0.events_per_s"].regression  # halved
+    assert by_path["sweep.0.merged_digest"].regression  # changed
+    assert not by_path["sweep.0.wall_s"].regression  # within 25%
+    assert not by_path["gate_passed"].regression
+
+
+def test_report_lines_put_regressions_first():
+    rules = [SentinelRule("*", direction="lower", tolerance=0.0)]
+    findings = compare({"a": 1.0, "b": 1.0}, {"a": 1.0, "b": 2.0}, rules)
+    lines = report_lines(findings)
+    assert "REGRESS" in lines[0] and " b" in lines[0].split(":")[0]

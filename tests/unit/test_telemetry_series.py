@@ -1,0 +1,161 @@
+"""Unit tests for telemetry time series and the shard-order merge."""
+
+import json
+
+import pytest
+
+from repro.telemetry.series import (
+    EXEMPLAR_LIMIT,
+    SeriesBank,
+    TimeSeries,
+    iter_series,
+    series_key,
+)
+
+
+# ----------------------------------------------------------------- TimeSeries
+def test_series_records_and_reads_back():
+    ts = TimeSeries("x", kind="counter")
+    ts.record(0, 1.0)
+    ts.record(1_000_000_000, 2.5)
+    assert len(ts) == 2
+    assert ts.samples == ((0, 1.0), (1_000_000_000, 2.5))
+    assert ts.last == (1_000_000_000, 2.5)
+
+
+def test_series_ring_bound_evicts_oldest_and_counts_drops():
+    ts = TimeSeries("x", capacity=3)
+    for i in range(5):
+        ts.record(i, float(i))
+    assert ts.samples == ((2, 2.0), (3, 3.0), (4, 4.0))
+    assert ts.dropped == 2
+
+
+def test_series_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TimeSeries("x", kind="histogram")
+    with pytest.raises(ValueError):
+        TimeSeries("x", merge="avg")
+    with pytest.raises(ValueError):
+        TimeSeries("x", capacity=0)
+
+
+def test_series_exemplars_capped():
+    ts = TimeSeries("x")
+    for i in range(EXEMPLAR_LIMIT + 10):
+        ts.record(i, float(i), trace_id=i)
+    assert len(ts.exemplars) == EXEMPLAR_LIMIT
+    # Oldest evicted first.
+    assert ts.exemplars[0][2] == 10
+    assert ts.exemplars[-1][2] == EXEMPLAR_LIMIT + 9
+
+
+def test_series_key_is_label_order_independent():
+    assert series_key("x", {"a": "1", "b": "2"}) == \
+        series_key("x", {"b": "2", "a": "1"})
+    assert series_key("x", None) == ("x",)
+    assert series_key("x", {}) == ("x",)
+
+
+# ------------------------------------------------------------------ SeriesBank
+def test_bank_get_or_create_is_stable():
+    bank = SeriesBank()
+    a = bank.series("x", kind="counter")
+    b = bank.series("x")
+    assert a is b
+    c = bank.series("x", labels={"shard": "1"})
+    assert c is not a
+    assert len(bank) == 2
+    assert bank.get("x") is a
+    assert bank.get("x", {"shard": "1"}) is c
+    assert bank.get("missing") is None
+
+
+def test_bank_snapshot_sorted_and_json_safe():
+    bank = SeriesBank()
+    bank.series("b").record(0, 1.0)
+    bank.series("a", labels={"k": "v"}).record(0, 2.0)
+    snap = bank.snapshot()
+    names = [s["name"] for s in snap["series"]]
+    assert names == ["a", "b"]
+    json.dumps(snap)  # must not raise
+
+
+def _snap(*records, name="x", merge="sum", labels=None):
+    bank = SeriesBank()
+    ts = bank.series(name, kind="counter", merge=merge, labels=labels)
+    for t, v in records:
+        ts.record(t, v)
+    return bank.snapshot()
+
+
+def test_merge_sum_aligns_timestamps_pointwise():
+    merged = SeriesBank.merge([
+        _snap((0, 1.0), (1, 2.0)),
+        _snap((0, 10.0), (1, 20.0)),
+    ])
+    (series,) = merged["series"]
+    assert series["samples"] == [[0, 11.0], [1, 22.0]]
+
+
+def test_merge_max_and_last_modes():
+    merged = SeriesBank.merge([
+        _snap((0, 5.0), merge="max"),
+        _snap((0, 3.0), merge="max"),
+    ])
+    assert merged["series"][0]["samples"] == [[0, 5.0]]
+    merged = SeriesBank.merge([
+        _snap((0, 5.0), merge="last"),
+        _snap((0, 3.0), merge="last"),
+    ])
+    assert merged["series"][0]["samples"] == [[0, 3.0]]
+
+
+def test_merge_unions_disjoint_timestamps_in_order():
+    merged = SeriesBank.merge([
+        _snap((0, 1.0), (2, 3.0)),
+        _snap((1, 10.0)),
+    ])
+    assert merged["series"][0]["samples"] == [[0, 1.0], [1, 10.0],
+                                             [2, 3.0]]
+
+
+def test_merge_keeps_labelled_series_separate():
+    merged = SeriesBank.merge([
+        _snap((0, 1.0), labels={"shard": "0"}),
+        _snap((0, 2.0), labels={"shard": "1"}),
+    ])
+    assert len(merged["series"]) == 2
+    values = {tuple(s["labels"].items()): s["samples"][0][1]
+              for s in merged["series"]}
+    assert values == {(("shard", "0"),): 1.0, (("shard", "1"),): 2.0}
+
+
+def test_merge_skips_none_snapshots_and_sums_dropped():
+    a = _snap((0, 1.0))
+    a["series"][0]["dropped"] = 3
+    b = _snap((0, 1.0))
+    b["series"][0]["dropped"] = 4
+    merged = SeriesBank.merge([None, a, None, b])
+    assert merged["series"][0]["dropped"] == 7
+
+
+def test_merge_is_associative_with_shard_order():
+    """Merging [a, b, c] equals merge([merge([a, b]), c]) — the
+    property process pools rely on."""
+    snaps = [_snap((0, float(i)), (1, float(i * 2))) for i in range(3)]
+    all_at_once = SeriesBank.merge(snaps)
+    staged = SeriesBank.merge([SeriesBank.merge(snaps[:2]), snaps[2]])
+    assert json.dumps(all_at_once, sort_keys=True) == \
+        json.dumps(staged, sort_keys=True)
+
+
+def test_iter_series_filters_by_name():
+    bank = SeriesBank()
+    bank.series("a").record(0, 1.0)
+    bank.series("b", labels={"x": "1"}).record(0, 2.0)
+    bank.series("b", labels={"x": "2"}).record(0, 3.0)
+    doc = bank.snapshot()
+    assert len(list(iter_series(doc))) == 3
+    assert len(list(iter_series(doc, "b"))) == 2
+    assert list(iter_series(doc, "missing")) == []
