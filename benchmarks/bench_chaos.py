@@ -84,7 +84,9 @@ def bench_campaigns(seeds) -> list:
         campaign = CAMPAIGNS[name]
         for seed in seeds:
             started = time.perf_counter()
-            result = run_campaign(campaign, seed)
+            # snapshot_check off: the overhead gate measures the
+            # campaign itself, not the checkpoint round-trip.
+            result = run_campaign(campaign, seed, snapshot_check=False)
             wall = time.perf_counter() - started
             verdict = result.verdict
             rows.append({

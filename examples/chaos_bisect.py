@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Time-travel bisection: what exactly does the burst fault window do?
+
+The `burst` chaos campaign drops 80% of datagrams between t=10s and
+t=18s.  Instead of rerunning the whole campaign and staring at
+end-of-run totals, checkpoint the live shard *just before* the fault
+window opens, then restore it twice and run both worlds to mid-burst:
+
+* arm A keeps the loss storm armed (what actually happened);
+* arm B disarms the fault injector after restore (the what-if world).
+
+Both worlds share every byte of pre-window state — same heap, same RNG
+streams, same in-flight requests — so the structural diff of their
+summaries isolates exactly the state the storm perturbed, layer by
+layer.  This is the workflow EXPERIMENTS.md describes; the same diff
+works from the CLI on saved checkpoints:
+
+    python -m repro.snapshot diff ckpt-before ckpt-after
+
+Run:  PYTHONPATH=src python examples/chaos_bisect.py
+"""
+
+from repro.chaos.campaign import CAMPAIGNS
+from repro.chaos.engine import ChaosEngine
+from repro.fleet.deployment import ShardDeployment
+from repro.sim.kernel import ns_from_s
+from repro.snapshot.codec import dumps_state, loads_state
+from repro.snapshot.diff import diff_lines
+from repro.snapshot.state import shard_summary
+
+SEED = 1
+CHECKPOINT_S = 9.5   # just before the storm opens at t=10s
+PROBE_S = 15.0       # mid-storm
+
+
+def main() -> None:
+    campaign = CAMPAIGNS["burst"]
+    scenario = campaign.scenario.scaled(seed=SEED)
+    spec = scenario.shards()[0]
+
+    deployment = ShardDeployment(spec)
+    plan = campaign.build_plan(
+        spec, scenario.duration_s + campaign.grace_s)
+    engine = ChaosEngine(
+        deployment.sim, deployment.network, deployment.things,
+        deployment.rng.fork("chaos").stream("inject"),
+    )
+    engine.arm(plan)
+    deployment.start()
+    deployment.sim.run_until(ns_from_s(CHECKPOINT_S))
+    blob = dumps_state((deployment, engine))
+    print(f"checkpointed shard at t={CHECKPOINT_S}s "
+          f"({len(blob):,} bytes), storm opens at t=10s")
+
+    # Arm A: the storm happens (this is the campaign as-run).
+    storm_dep, storm_eng = loads_state(blob)
+    storm_dep.sim.run_until(ns_from_s(PROBE_S))
+    del storm_eng
+
+    # Arm B: same world, but the fault injector is disarmed before the
+    # window opens — clean air for the same traffic.
+    calm_dep, calm_eng = loads_state(blob)
+    calm_eng.disarm()
+    calm_dep.sim.run_until(ns_from_s(PROBE_S))
+
+    lines = diff_lines(shard_summary(calm_dep), shard_summary(storm_dep))
+    interesting = [line for line in lines
+                   if not line.startswith(("~ sim.", "- sim.", "+ sim."))]
+    print(f"\nmid-storm (t={PROBE_S}s) vs the storm-free what-if — "
+          f"{len(lines)} divergent paths, non-kernel ones:")
+    for line in interesting:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

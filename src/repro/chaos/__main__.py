@@ -106,6 +106,9 @@ def main(argv=None) -> int:
                         help="write the canonical verdict JSON here")
     parser.add_argument("--trace", action="store_true",
                         help="record obs traces (adds trace_digest)")
+    parser.add_argument("--no-snapshot-check", action="store_true",
+                        help="skip the mid-campaign checkpoint "
+                             "round-trip invariant")
     parser.add_argument("--smoke", action="store_true",
                         help="CI gate: 3 seeds x every campaign, "
                              "zero violations required")
@@ -122,7 +125,8 @@ def main(argv=None) -> int:
         parser.error("one of --list, --campaign or --smoke is required")
 
     result = run_campaign(CAMPAIGNS[args.campaign], args.seed,
-                          trace=args.trace)
+                          trace=args.trace,
+                          snapshot_check=not args.no_snapshot_check)
     _print_summary(result)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -266,8 +266,18 @@ def run_campaign(
     seed: int,
     *,
     trace: bool = False,
+    snapshot_check: bool = True,
 ) -> CampaignResult:
-    """Run *campaign* with *seed*; deterministic verdict, see module doc."""
+    """Run *campaign* with *seed*; deterministic verdict, see module doc.
+
+    With ``snapshot_check`` (the default) every shard is checkpointed
+    mid-campaign, restored, audited, and — crucially — the campaign
+    *continues on the restored world*: the ``checkpoint-roundtrip``
+    invariant in the verdict proves the snapshot subsystem carries live
+    chaos state (armed fault plans, in-flight requests, skewed clocks)
+    without perturbing the outcome.  Benchmarks measuring campaign cost
+    pass ``snapshot_check=False`` to keep their overhead gates honest.
+    """
     scenario = campaign.scenario.scaled(seed=seed, trace=trace)
     horizon_s = scenario.duration_s + campaign.grace_s
     deployments: List[ShardDeployment] = []
@@ -292,6 +302,28 @@ def run_campaign(
         distinct_uploads = _watch_uploads(deployment)
         engine.arm(plan)
         deployment.start()
+        if snapshot_check:
+            # Mid-campaign round-trip: dump, restore, audit, and swap —
+            # the rest of the campaign runs on the restored world, so a
+            # restore bug changes the verdict digest and fails loudly.
+            from repro.snapshot.checkpoint import digest_document
+            from repro.snapshot.codec import dumps_state, loads_state
+            from repro.snapshot.state import shard_summary
+
+            deployment.sim.run_until(ns_from_s(scenario.duration_s * 0.5))
+            before = digest_document(shard_summary(deployment))
+            blob = dumps_state((deployment, engine, distinct_uploads))
+            restored_dep, restored_eng, restored_up = loads_state(blob)
+            after = digest_document(shard_summary(restored_dep))
+            if after != before:
+                reports_by_name.setdefault("checkpoint-roundtrip", []).append(
+                    f"shard {spec.index}: restored summary digest "
+                    f"{after} != saved {before}"
+                )
+            else:
+                reports_by_name.setdefault("checkpoint-roundtrip", [])
+                deployment, engine, distinct_uploads = (
+                    restored_dep, restored_eng, restored_up)
         deployment.sim.run_until(ns_from_s(scenario.duration_s))
         # Stop the open-loop load; let in-flight requests drain so every
         # one of them completes or surfaces its timeout error.

@@ -116,6 +116,30 @@ class _Pending:
 class Client:
     """A µPnP client endpoint."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "core",
+        "version": 1,
+        "fields": ("sim", "stack", "_seq", "_retry", "_rng", "timer_scale",
+                   "_dups", "_pending", "_streams", "events"),
+    }
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
+
     def __init__(
         self,
         sim: Simulator,
@@ -124,6 +148,7 @@ class Client:
         *,
         default_timeout_s: float = 5.0,
         retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.sim = sim
         self.stack = NetworkStack(network, node_id)
@@ -134,8 +159,11 @@ class Client:
         self._retry = retry if retry is not None else DEFAULT_RETRY
         #: Deterministic per-node jitter source (never touches the
         #: shared network stream, so arming retransmit timers does not
-        #: perturb link-delay draws).
-        self._rng = random.Random(0x9E3779B1 * (node_id + 1) & 0xFFFFFFFF)
+        #: perturb link-delay draws).  Callers that checkpoint should
+        #: inject a registered :mod:`repro.sim.rng` stream; the ad-hoc
+        #: default keeps standalone construction seed-stable.
+        self._rng = rng if rng is not None else random.Random(
+            0x9E3779B1 * (node_id + 1) & 0xFFFFFFFF)
         #: Protocol-timer scale: chaos clock-skew faults stretch or
         #: shrink this node's timeout/backoff clock (1.0 = nominal).
         self.timer_scale = 1.0

@@ -83,6 +83,31 @@ class _Pending:
 class Manager:
     """A µPnP manager instance backed by the global registry."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "core",
+        "version": 1,
+        "fields": ("sim", "registry", "stack", "_seq", "_retry", "_rng",
+                   "timer_scale", "_pending", "_install_cache", "stats",
+                   "events", "known_inventories"),
+    }
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
+
     def __init__(
         self,
         sim: Simulator,
@@ -93,6 +118,7 @@ class Manager:
         anycast: str = DEFAULT_MANAGER_ANYCAST,
         default_timeout_s: float = 5.0,
         retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.sim = sim
         self.registry = registry
@@ -103,7 +129,10 @@ class Manager:
         self._seq = SequenceCounter(node_id * 7919)
         self._default_timeout_s = default_timeout_s
         self._retry = retry if retry is not None else DEFAULT_RETRY
-        self._rng = random.Random(0x7F4A7C15 * (node_id + 1) & 0xFFFFFFFF)
+        #: Backoff-jitter source; inject a registered stream when the
+        #: deployment is checkpointable (see :mod:`repro.sim.rng`).
+        self._rng = rng if rng is not None else random.Random(
+            0x7F4A7C15 * (node_id + 1) & 0xFFFFFFFF)
         #: Protocol-timer scale (chaos clock-skew hook; 1.0 = nominal).
         self.timer_scale = 1.0
         self._pending: Dict[int, _Pending] = {}

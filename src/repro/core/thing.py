@@ -104,6 +104,33 @@ class _StreamState:
 class Thing:
     """One embedded IoT device running the full µPnP stack."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "core",
+        "version": 1,
+        "fields": ("sim", "label", "meter", "_rng", "board", "router",
+                   "drivers", "controller", "stack", "_seq", "_buses",
+                   "_groups", "_pending_driver", "_streams",
+                   "_install_requests", "_replies", "_upload_dups",
+                   "_crashed", "timer_scale", "events"),
+    }
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
+
     def __init__(
         self,
         sim: Simulator,

@@ -49,12 +49,31 @@ def main(argv=None) -> int:
     parser.add_argument("--openmetrics", metavar="PATH", default=None,
                         help="write merged telemetry as OpenMetrics text "
                              "(implies --telemetry)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="write shard checkpoints into DIR "
+                             "(resumable with --resume DIR)")
+    parser.add_argument("--checkpoint-at", type=float, default=None,
+                        metavar="SECONDS",
+                        help="checkpoint instant in simulated seconds "
+                             "(default: the run midpoint)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="SECONDS",
+                        help="rolling checkpoint cadence in simulated "
+                             "seconds (the last one wins)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="restore a fleet checkpoint and continue "
+                             "(ignores scenario flags; uses the saved "
+                             "scenario)")
+    parser.add_argument("--resume-to", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --resume: run to this horizon instead "
+                             "of the scenario's original duration")
     parser.add_argument("--list", action="store_true",
                         help="list named scenarios and exit")
     args = parser.parse_args(argv)
 
     from repro.fleet.report import render_report, write_json
-    from repro.fleet.runner import run_scenario
+    from repro.fleet.runner import CheckpointPlan, resume_scenario, run_scenario
     from repro.fleet.scenario import SCENARIOS
 
     if args.list:
@@ -62,6 +81,27 @@ def main(argv=None) -> int:
             print(f"{name:<8} {scenario.things:>5} things, "
                   f"{scenario.shard_count} shards, "
                   f"{scenario.duration_s:g} s simulated")
+        return 0
+
+    if args.resume:
+        from repro.snapshot.checkpoint import CheckpointError
+
+        try:
+            result = resume_scenario(
+                args.resume, workers=args.workers, run_to_s=args.resume_to,
+            )
+        except CheckpointError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed {result.scenario.name} from {args.resume}\n")
+        print(render_report(result))
+        if args.json:
+            try:
+                write_json(result, args.json)
+            except OSError as exc:
+                print(f"cannot write {args.json}: {exc}", file=sys.stderr)
+                return 1
+            print(f"\nwrote {args.json}")
         return 0
 
     if args.scenario not in SCENARIOS:
@@ -95,7 +135,18 @@ def main(argv=None) -> int:
             print(f"invalid scenario parameters: {exc}", file=sys.stderr)
             return 2
 
-    result = run_scenario(scenario, workers=args.workers)
+    plan = None
+    if args.checkpoint_dir:
+        plan = CheckpointPlan(
+            directory=args.checkpoint_dir,
+            at_s=args.checkpoint_at,
+            every_s=args.checkpoint_every,
+        )
+    result = run_scenario(scenario, workers=args.workers, checkpoint=plan)
+    if plan is not None:
+        print(f"checkpoints in {plan.directory}/ "
+              f"(resume: python -m repro.fleet --resume "
+              f"{plan.directory})\n")
     print(render_report(result))
     if scenario.telemetry is not None:
         from repro.telemetry.report import dashboard

@@ -72,12 +72,18 @@ class ShardDeployment:
             install_retry = self.scenario.install_retry or DEFAULT_INSTALL_RETRY
         else:
             retry = install_retry = NO_RETRY
+        # Backoff jitter draws from registered streams (not ad-hoc
+        # Randoms) so the whole shard's entropy lives in self.rng and
+        # checkpoints capture it; fork() caching means these are the
+        # same registries the traffic drivers fork later.
         self.manager = Manager(self.sim, self.network, GATEWAY_NODE,
-                               self.registry, retry=retry)
+                               self.registry, retry=retry,
+                               rng=self.rng.fork("manager").stream("jitter"))
         self.client = Client(
             self.sim, self.network, CLIENT_NODE,
             default_timeout_s=self.scenario.churn.discovery_timeout_s * 4,
             retry=retry,
+            rng=self.rng.fork("client").stream("jitter"),
         )
         self.things: List[Thing] = []
         self._thing_rngs: List[RngRegistry] = []

@@ -24,12 +24,41 @@ from typing import List, Optional
 from repro.fleet.deployment import ShardDeployment
 from repro.fleet.metrics import Metrics
 from repro.fleet.scenario import FleetScenario, ShardSpec
+from repro.sim.kernel import ns_from_s
 
 
-def run_shard(spec: ShardSpec) -> dict:
-    """Execute one shard; module-level so worker processes can pickle it."""
-    deployment = ShardDeployment(spec)
-    snapshot = deployment.run().snapshot()
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Where and when a fleet run writes checkpoints.
+
+    ``at_s`` is the checkpoint instant in simulated seconds; ``None``
+    with a positive ``every_s`` checkpoints periodically instead.  The
+    plan is a frozen dataclass of primitives so it crosses process
+    boundaries inside :func:`run_shard` arguments.
+    """
+
+    directory: str
+    at_s: Optional[float] = None
+    every_s: Optional[float] = None
+    label: str = ""
+
+    def instants_s(self, duration_s: float) -> List[float]:
+        """The checkpoint instants this plan produces for one run."""
+        if self.at_s is not None:
+            return [min(float(self.at_s), duration_s)]
+        if self.every_s and self.every_s > 0:
+            out, t = [], self.every_s
+            while t < duration_s:
+                out.append(t)
+                t += self.every_s
+            return out
+        # Default: one checkpoint at the midpoint.
+        return [duration_s / 2.0]
+
+
+def _finish_shard(deployment: ShardDeployment) -> dict:
+    """Finalize and package one shard's results for the merge."""
+    snapshot = deployment.finalize().snapshot()
     tracer = deployment.sim.tracer
     if tracer is not None:
         # Rides the metrics snapshot across the process boundary;
@@ -38,6 +67,44 @@ def run_shard(spec: ShardSpec) -> dict:
     if deployment.telemetry is not None:
         snapshot["telemetry"] = deployment.telemetry.snapshot()
     return snapshot
+
+
+def run_shard(spec: ShardSpec, plan: Optional[CheckpointPlan] = None) -> dict:
+    """Execute one shard; module-level so worker processes can pickle it.
+
+    With a :class:`CheckpointPlan`, the shard pauses at each planned
+    instant and writes a checkpoint directory before continuing — the
+    saved state is exactly the state the run itself continues from, so
+    resuming reproduces the uninterrupted run byte-for-byte.
+    """
+    deployment = ShardDeployment(spec)
+    duration_s = spec.scenario.duration_s
+    if plan is None:
+        deployment.start()
+        deployment.sim.run_until(ns_from_s(duration_s))
+        return _finish_shard(deployment)
+    from repro.snapshot.checkpoint import save_shard, shard_dir_name
+    from pathlib import Path
+
+    deployment.start()
+    for at_s in plan.instants_s(duration_s):
+        deployment.sim.run_until(ns_from_s(at_s))
+        save_shard(
+            deployment,
+            Path(plan.directory) / shard_dir_name(spec.index),
+            label=plan.label or f"t={at_s:g}s",
+        )
+    deployment.sim.run_until(ns_from_s(duration_s))
+    return _finish_shard(deployment)
+
+
+def resume_shard(directory, run_to_s: float) -> dict:
+    """Restore one shard checkpoint and run it to *run_to_s*."""
+    from repro.snapshot.checkpoint import load_shard
+
+    deployment = load_shard(directory).deployment
+    deployment.sim.run_until(ns_from_s(run_to_s))
+    return _finish_shard(deployment)
 
 
 @dataclass
@@ -96,36 +163,58 @@ class FleetResult:
         return SeriesBank.merge(self.telemetry_snapshots)
 
 
+def _fan_out(tasks, workers: int):
+    """Run ``(fn, arg)`` pairs serially or on a process pool, preserving
+    order; returns (results, used_processes)."""
+    if workers == 1 or len(tasks) == 1:
+        return [fn(arg) for fn, arg in tasks], False
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks))
+        ) as pool:
+            # Executor.map preserves input order regardless of
+            # completion order — merge order stays deterministic.
+            futures = [pool.submit(fn, arg) for fn, arg in tasks]
+            return [future.result() for future in futures], True
+    except (BrokenProcessPool, OSError, PermissionError):
+        # Environments without working process spawning (sandboxes,
+        # restricted containers) still get correct, serial results.
+        return [fn(arg) for fn, arg in tasks], False
+
+
 def run_scenario(
     scenario: FleetScenario,
     *,
     workers: int = 1,
+    checkpoint: Optional[CheckpointPlan] = None,
 ) -> FleetResult:
     """Run every shard of *scenario* and merge their metrics.
 
     ``workers > 1`` fans shards out over a process pool (falling back
     to the serial path if the pool cannot be created or dies); shard
-    results are always merged in shard-index order.
+    results are always merged in shard-index order.  A
+    :class:`CheckpointPlan` makes every shard write checkpoints at the
+    planned instants; the fleet-level metadata lands next to them so
+    :func:`resume_scenario` can rebuild the whole fleet.
     """
+    import functools
+
     specs = scenario.shards()
     workers = max(1, int(workers))
     started = time.perf_counter()
-    used_processes = False
-    if workers == 1 or len(specs) == 1:
-        snapshots = [run_shard(spec) for spec in specs]
-    else:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(specs))
-            ) as pool:
-                # Executor.map preserves input order regardless of
-                # completion order — merge order stays deterministic.
-                snapshots = list(pool.map(run_shard, specs))
-            used_processes = True
-        except (BrokenProcessPool, OSError, PermissionError):
-            # Environments without working process spawning (sandboxes,
-            # restricted containers) still get correct, serial results.
-            snapshots = [run_shard(spec) for spec in specs]
+    worker = run_shard if checkpoint is None else functools.partial(
+        run_shard, plan=checkpoint)
+    snapshots, used_processes = _fan_out(
+        [(worker, spec) for spec in specs], workers)
+    if checkpoint is not None:
+        from repro.snapshot.checkpoint import save_fleet_meta
+
+        instants = checkpoint.instants_s(scenario.duration_s)
+        save_fleet_meta(
+            checkpoint.directory, scenario,
+            sim_time_ns=ns_from_s(instants[-1]) if instants else 0,
+            shards=len(specs), label=checkpoint.label,
+        )
     wall = time.perf_counter() - started
     return FleetResult(
         scenario=scenario,
@@ -137,4 +226,58 @@ def run_scenario(
     )
 
 
-__all__ = ["run_shard", "run_scenario", "FleetResult"]
+def resume_scenario(
+    checkpoint_dir,
+    *,
+    workers: int = 1,
+    run_to_s: Optional[float] = None,
+) -> FleetResult:
+    """Restore a fleet checkpoint and run every shard to completion.
+
+    ``run_to_s`` overrides the scenario's original horizon (must not be
+    before the checkpoint instant).  Results merge in shard-index order
+    exactly like :func:`run_scenario`, so a resumed run's merged
+    metrics are byte-identical to the uninterrupted run's.
+    """
+    import functools
+
+    from repro.snapshot.checkpoint import (
+        CheckpointError,
+        fleet_checkpoint_dirs,
+        load_fleet_meta,
+        scenario_from_dict,
+    )
+
+    meta = load_fleet_meta(checkpoint_dir)
+    scenario = scenario_from_dict(meta["scenario"])
+    horizon_s = scenario.duration_s if run_to_s is None else float(run_to_s)
+    if ns_from_s(horizon_s) < int(meta["sim_time_ns"]):
+        raise CheckpointError(
+            f"cannot run to {horizon_s:g}s: checkpoint was taken at "
+            f"{meta['sim_time_ns'] / 1e9:g}s"
+        )
+    shard_dirs = fleet_checkpoint_dirs(checkpoint_dir)
+    workers = max(1, int(workers))
+    started = time.perf_counter()
+    worker = functools.partial(resume_shard, run_to_s=horizon_s)
+    snapshots, used_processes = _fan_out(
+        [(worker, str(path)) for path in shard_dirs], workers)
+    wall = time.perf_counter() - started
+    return FleetResult(
+        scenario=scenario,
+        merged=Metrics.merge(snapshots),
+        shard_snapshots=snapshots,
+        workers=workers,
+        wall_s=wall,
+        used_processes=used_processes,
+    )
+
+
+__all__ = [
+    "CheckpointPlan",
+    "FleetResult",
+    "resume_scenario",
+    "resume_shard",
+    "run_scenario",
+    "run_shard",
+]

@@ -33,8 +33,31 @@ class PowerDraw:
 class EnergyMeter:
     """Accumulates energy per named category (joules)."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "hw",
+        "version": 1,
+        "fields": ("_by_category",),
+    }
+
     def __init__(self) -> None:
         self._by_category: Dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        return {
+            "_schema": self.SNAPSHOT_SCHEMA["version"],
+            "by_category": self.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = upgrade_state(type(self), state)
+        self._by_category = defaultdict(float)
+        self._by_category.update(state["by_category"])
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     def add(self, category: str, joules: float) -> None:
         if joules < 0:

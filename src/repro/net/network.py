@@ -58,6 +58,32 @@ class NetworkStats:
 class Network:
     """A single µPnP network (one 48-bit prefix, one RPL instance)."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "net",
+        "version": 1,
+        "fields": ("_sim", "_link", "_lowpan", "_timing", "_rng",
+                   "_prefix", "_prefix48", "_stacks", "_by_address",
+                   "_groups", "_anycast", "topology", "dodag", "stats",
+                   "_monitors", "_delivery_monitors", "_fault_injector"),
+    }
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
+
     def __init__(
         self,
         sim: Simulator,

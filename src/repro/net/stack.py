@@ -41,6 +41,30 @@ class StackStats:
 class NetworkStack:
     """One node's IPv6/UDP endpoint in a simulated µPnP network."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "net",
+        "version": 1,
+        "fields": ("_network", "_node_id", "_iid", "_address", "_sockets",
+                   "_groups", "_meter", "_down", "stats"),
+    }
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
+
     def __init__(
         self,
         network: Network,

@@ -106,6 +106,12 @@ class DuplicateCache:
 
     __slots__ = ("_capacity", "_entries")
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "protocol",
+        "version": 1,
+        "fields": ("_capacity", "_entries"),
+    }
+
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -118,6 +124,26 @@ class DuplicateCache:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        return {
+            "_schema": self.SNAPSHOT_SCHEMA["version"],
+            "capacity": self._capacity,
+            # Insertion (eviction) order is the cache's semantics; an
+            # ordered item list round-trips it exactly.
+            "entries": list(self._entries),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = upgrade_state(type(self), state)
+        self._capacity = int(state["capacity"])
+        self._entries = OrderedDict((key, None) for key in state["entries"])
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     def seen(self, key: Hashable) -> bool:
         """Record *key*; True when it was already present (a duplicate)."""
@@ -153,6 +179,12 @@ class ReplyCache:
 
     __slots__ = ("_capacity", "_entries", "hits")
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "protocol",
+        "version": 1,
+        "fields": ("_capacity", "_entries", "hits"),
+    }
+
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -167,6 +199,26 @@ class ReplyCache:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        return {
+            "_schema": self.SNAPSHOT_SCHEMA["version"],
+            "capacity": self._capacity,
+            "entries": list(self._entries.items()),
+            "hits": self.hits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = upgrade_state(type(self), state)
+        self._capacity = int(state["capacity"])
+        self._entries = OrderedDict(state["entries"])
+        self.hits = int(state["hits"])
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     def lookup(self, key: Hashable):
         entry = self._entries.get(key, MISS)

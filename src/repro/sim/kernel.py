@@ -142,6 +142,16 @@ class Simulator:
     True
     """
 
+    #: Checkpoint contract (see :mod:`repro.snapshot.state`): bump
+    #: ``version`` and register a migration whenever the restorable
+    #: attribute set changes shape.
+    SNAPSHOT_SCHEMA = {
+        "layer": "sim",
+        "version": 1,
+        "fields": ("_now_ns", "_seq", "_queue", "_tombstones", "_running",
+                   "_trace_hooks", "tracer"),
+    }
+
     def __init__(self) -> None:
         self._now_ns = 0
         self._seq = 0
@@ -360,6 +370,35 @@ class Simulator:
                 tracer.current = None
             return True
         return False
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        """Complete restorable kernel state (the heap travels as-is:
+        ``(time_ns, seq, event)`` tuples keep their ordering keys, and
+        tombstoned events keep their ``cancelled`` flags)."""
+        state = dict(self.__dict__)
+        # The traced fast paths are bound methods shadowing the class
+        # ones on this instance; restore_state re-binds them, so the
+        # checkpoint never carries method objects.
+        state.pop("schedule_at", None)
+        state.pop("step", None)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+        if self.tracer is not None:
+            # Re-shadow the traced paths exactly as attach_tracer does.
+            self.schedule_at = self._traced_schedule_at  # type: ignore[method-assign]
+            self.step = self._traced_step  # type: ignore[method-assign]
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     # ----------------------------------------------------------------- extras
     def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:

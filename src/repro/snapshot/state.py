@@ -1,0 +1,219 @@
+"""The Checkpointable protocol, layer schema registry and summaries.
+
+**Protocol.**  A class participates in checkpoints by implementing
+
+* ``snapshot_state() -> dict`` — its complete restorable state, stamped
+  with a ``"_schema"`` version int.  The dict may reference live
+  objects (callbacks, other layers); the snapshot codec serializes the
+  whole graph with shared identity intact.  Anything derivable is
+  *excluded* and rebuilt on restore — e.g. the fastpath VM's
+  translation tables.
+* ``restore_state(state) -> None`` — applies a state dict, first
+  routing it through :func:`repro.snapshot.migrate.upgrade_state` so
+  old-schema states are upgraded (or cleanly rejected).
+
+Classes alias ``__getstate__``/``__setstate__`` to these methods, so
+the codec picks them up with no registry indirection, and standalone
+layer round-trips (``cls.__new__(cls).restore_state(s)``) work in
+tests.  Each class declares a ``SNAPSHOT_SCHEMA`` dict
+(``layer``/``version``/``fields``) whose hash lands in every
+checkpoint manifest — a checkpoint written before a layer's state
+shape changed is detectable *before* unpickling.
+
+**Summaries.**  :func:`shard_summary` renders a live shard deployment
+into a plain-data tree (JSON-safe, deterministic): kernel heap
+metadata, RNG stream digests, per-layer counters and cache shapes.
+Summaries power ``python -m repro.snapshot diff`` (structural diff of
+two checkpoints, for chaos bisection), the post-restore audit (a
+restored shard must summarize byte-identically to the shard that was
+saved), and the chaos checkpoint-roundtrip invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Anything that can hand over and re-adopt its complete state."""
+
+    SNAPSHOT_SCHEMA: dict
+
+    def snapshot_state(self) -> dict:  # pragma: no cover - protocol
+        ...
+
+    def restore_state(self, state: dict) -> None:  # pragma: no cover
+        ...
+
+
+def schema_hash(cls) -> str:
+    """Stable 16-hex digest of a Checkpointable class's declared schema."""
+    schema = cls.SNAPSHOT_SCHEMA
+    blob = json.dumps(
+        {"layer": schema["layer"], "version": schema["version"],
+         "fields": list(schema["fields"])},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _checkpointable_classes() -> List[type]:
+    """Every layer class participating in checkpoints.
+
+    Imported lazily: the layers must not depend on this module at
+    import time, and this module must not drag every layer in just to
+    define the protocol.
+    """
+    from repro.core.client import Client
+    from repro.core.manager import Manager
+    from repro.core.thing import Thing
+    from repro.hw.power import EnergyMeter
+    from repro.net.network import Network
+    from repro.net.stack import NetworkStack
+    from repro.protocol.reliability import DuplicateCache, ReplyCache
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.telemetry.series import SeriesBank
+    from repro.vm.machine import VirtualMachine
+
+    return [
+        Simulator, RngRegistry,                 # sim
+        VirtualMachine,                         # vm
+        Network, NetworkStack,                  # net
+        DuplicateCache, ReplyCache,             # protocol
+        EnergyMeter,                            # hw
+        Client, Manager, Thing,                 # core
+        SeriesBank,                             # telemetry
+    ]
+
+
+def layer_schemas() -> Dict[str, Dict[str, dict]]:
+    """Manifest view: layer -> class -> {version, schema hash}."""
+    out: Dict[str, Dict[str, dict]] = {}
+    for cls in _checkpointable_classes():
+        schema = cls.SNAPSHOT_SCHEMA
+        out.setdefault(schema["layer"], {})[cls.__name__] = {
+            "version": schema["version"],
+            "hash": schema_hash(cls),
+        }
+    return out
+
+
+# --------------------------------------------------------------- summaries
+def _digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+#: Heap events listed verbatim in a summary before truncating to a
+#: digest-only tail (diffs stay readable; summaries stay bounded).
+_EVENT_DETAIL_LIMIT = 4096
+
+
+def _sim_summary(sim) -> dict:
+    events = [
+        [time_ns, seq, event.name, bool(event.cancelled)]
+        for time_ns, seq, event in sim._queue
+    ]
+    by_name: Dict[str, int] = {}
+    for _, _, name, cancelled in events:
+        if not cancelled:
+            by_name[name or "<unnamed>"] = by_name.get(name or "<unnamed>", 0) + 1
+    out = {
+        "now_ns": sim.now_ns,
+        "seq": sim._seq,
+        "tombstones": sim._tombstones,
+        "pending": sim.pending_count(),
+        "events_digest": _digest(events),
+        "events_by_name": dict(sorted(by_name.items())),
+        "events": events[:_EVENT_DETAIL_LIMIT],
+    }
+    if len(events) > _EVENT_DETAIL_LIMIT:
+        out["events_truncated"] = len(events) - _EVENT_DETAIL_LIMIT
+    return out
+
+
+def _rng_summary(registry, prefix: str = "") -> Dict[str, str]:
+    """Flat ``path -> state digest`` map over a registry tree."""
+    out: Dict[str, str] = {}
+    for name, stream in sorted(registry.streams().items()):
+        out[f"{prefix}{name}"] = _digest(repr(stream.getstate()))
+    for name, child in sorted(registry.children().items()):
+        out.update(_rng_summary(child, prefix=f"{prefix}{name}/"))
+    return out
+
+
+def _endpoint_summary(endpoint) -> dict:
+    """Shared shape for client/manager protocol endpoints."""
+    pending = getattr(endpoint, "_pending", {})
+    out = {
+        "pending": sorted(repr(key) for key in pending),
+        "stack": dict(vars(endpoint.stack.stats)),
+        "timer_scale": getattr(endpoint, "timer_scale", 1.0),
+    }
+    dups = getattr(endpoint, "_dups", None)
+    if dups is not None:
+        out["dup_cache"] = {"len": len(dups), "digest": _digest(dups.snapshot_state())}
+    return out
+
+
+def _thing_summary(thing) -> dict:
+    return {
+        "label": thing.label,
+        "pending_installs": thing.pending_installs(),
+        "reply_cache_hits": thing.reply_cache_hits,
+        "stack": dict(vars(thing.stack.stats)),
+        "router": {
+            "queue_depth": thing.router.queue_depth,
+            "stats": dict(vars(thing.router.stats)),
+        },
+        "energy": thing.meter.snapshot(),
+        "channels": {
+            str(channel): f"{device_id.value:08x}"
+            for channel, device_id in sorted(thing.connected_peripherals().items())
+        },
+    }
+
+
+def shard_summary(deployment) -> dict:
+    """Deterministic plain-data summary of one live shard deployment.
+
+    A pure function of simulation state: saving it, restoring the
+    checkpoint and summarizing again must produce byte-identical JSON —
+    that equality is the post-restore audit, and its violation is what
+    ``diff`` renders for bisection.
+    """
+    summary = {
+        "shard": deployment.spec.index,
+        "scenario": deployment.scenario.name,
+        "seed": deployment.scenario.seed,
+        "sim": _sim_summary(deployment.sim),
+        "rng": _rng_summary(deployment.rng),
+        "metrics": deployment.metrics.snapshot(),
+        "net": dict(vars(deployment.network.stats)),
+        "client": _endpoint_summary(deployment.client),
+        "manager": _endpoint_summary(deployment.manager),
+        "things": [_thing_summary(thing) for thing in deployment.things],
+    }
+    if deployment.telemetry is not None:
+        bank = deployment.telemetry.bank
+        summary["telemetry"] = {
+            "series": len(bank.snapshot().get("series", [])),
+            "digest": _digest(bank.snapshot()),
+        }
+    tracer = deployment.sim.tracer
+    if tracer is not None:
+        events = [event.to_dict() for event in tracer.events]
+        summary["trace"] = {"events": len(events), "digest": _digest(events)}
+    return summary
+
+
+__all__ = [
+    "Checkpointable",
+    "layer_schemas",
+    "schema_hash",
+    "shard_summary",
+]

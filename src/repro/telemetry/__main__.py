@@ -168,6 +168,7 @@ def _cmd_sentinel(args) -> int:
         SentinelRule,
         compare,
         load_baseline,
+        load_baseline_status,
         report_lines,
     )
 
@@ -185,11 +186,24 @@ def _cmd_sentinel(args) -> int:
     for path in args.scorecards:
         try:
             current = load_baseline(path)
-            baseline = load_baseline(path, ref=args.ref) if args.ref \
-                else load_baseline(args.baseline)
         except (OSError, FileNotFoundError, json.JSONDecodeError) as exc:
-            print(f"{path}: cannot load: {exc}", file=sys.stderr)
+            # The *current* scorecard is this run's own output — if it
+            # is unreadable, the invocation itself is broken.
+            print(f"{path}: cannot load current scorecard: {exc}",
+                  file=sys.stderr)
             return 2
+        if args.ref:
+            status, baseline = load_baseline_status(path, ref=args.ref)
+            origin = f"{args.ref}:{path}"
+        else:
+            status, baseline = load_baseline_status(args.baseline)
+            origin = args.baseline
+        if status != "ok":
+            # First run on a branch (or a mangled baseline): nothing to
+            # judge against is a status, not a crash.
+            print(f"== {path}: no baseline ({status}: {origin}) — "
+                  f"nothing to compare, treating as clean")
+            continue
         findings = compare(baseline, current, rules)
         flagged = [f for f in findings if f.regression]
         regressions += len(flagged)

@@ -74,6 +74,9 @@ DEFAULT_SENTINEL_RULES: Tuple[SentinelRule, ...] = (
     SentinelRule("*gate_passed", direction="equal"),
     SentinelRule("*read_completion", direction="higher", tolerance=0.02),
     SentinelRule("*overhead*ratio", direction="lower", tolerance=0.05),
+    SentinelRule("*bytes_per_node", direction="lower", tolerance=0.25),
+    SentinelRule("*resume_speedup", direction="higher", tolerance=0.25),
+    SentinelRule("*parity", direction="equal"),
 )
 
 
@@ -158,6 +161,30 @@ def load_baseline(path: str, ref: Optional[str] = None,
     return json.loads(out.stdout)
 
 
+def load_baseline_status(
+    path: str, ref: Optional[str] = None,
+    repo_root: Optional[str] = None,
+) -> Tuple[str, Optional[dict]]:
+    """Like :func:`load_baseline`, but first-run friendly.
+
+    Returns ``(status, document)`` where status is ``"ok"`` (document
+    loaded), ``"missing"`` (no baseline at that path/ref — the normal
+    state of a fresh branch) or ``"malformed"`` (the file exists but is
+    not valid JSON, or is JSON that is not an object).  Never raises
+    for those cases, so callers can report "no baseline" instead of a
+    stack trace.
+    """
+    try:
+        document = load_baseline(path, ref, repo_root)
+    except (FileNotFoundError, OSError):
+        return "missing", None
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return "malformed", None
+    if not isinstance(document, dict):
+        return "malformed", None
+    return "ok", document
+
+
 def report_lines(findings: Sequence[Finding]) -> List[str]:
     """Human-readable one-liners, regressions first."""
     lines: List[str] = []
@@ -178,4 +205,5 @@ def report_lines(findings: Sequence[Finding]) -> List[str]:
 
 
 __all__ = ["SentinelRule", "Finding", "compare", "flatten",
-           "load_baseline", "report_lines", "DEFAULT_SENTINEL_RULES"]
+           "load_baseline", "load_baseline_status", "report_lines",
+           "DEFAULT_SENTINEL_RULES"]

@@ -131,9 +131,32 @@ class TimeSeries:
 class SeriesBank:
     """A registry of named series; one per shard while collecting."""
 
+    SNAPSHOT_SCHEMA = {
+        "layer": "telemetry",
+        "version": 1,
+        "fields": ("_capacity", "_series"),
+    }
+
     def __init__(self, *, capacity: int = 4096) -> None:
         self._capacity = capacity
         self._series: Dict[Tuple, TimeSeries] = {}
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        state = dict(self.__dict__)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     def series(
         self,

@@ -167,6 +167,14 @@ class VirtualMachine:
     for whole-process runs (fleet workers inherit it).
     """
 
+    #: Checkpoint contract: the id-keyed translation map is derived
+    #: state and is rebuilt lazily after restore, never serialized.
+    SNAPSHOT_SCHEMA = {
+        "layer": "vm",
+        "version": 1,
+        "fields": ("_profile", "_stack_limit", "_step_limit", "_mode"),
+    }
+
     def __init__(
         self,
         profile: VmCostProfile = DEFAULT_COST,
@@ -198,6 +206,37 @@ class VirtualMachine:
     @property
     def mode(self) -> str:
         return self._mode
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot_state(self) -> dict:
+        """Restorable VM state: configuration and engine choice only.
+
+        ``_translations`` is an ``id()``-keyed cache — meaningless in a
+        new process — and ``_execute_fast`` is a module function both of
+        which restore_state rebuilds, so checkpoints stay engine-portable
+        and never go stale against the shared translation cache.
+        """
+        state = dict(self.__dict__)
+        state.pop("_translations", None)
+        state.pop("_execute_fast", None)
+        state["_schema"] = self.SNAPSHOT_SCHEMA["version"]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.snapshot.migrate import upgrade_state
+
+        state = dict(upgrade_state(type(self), state))
+        state.pop("_schema", None)
+        self.__dict__.clear()
+        self.__dict__.update(state)
+        self._translations = {}
+        if self._mode == "fast":
+            from repro.vm import fastpath
+
+            self._execute_fast = fastpath.execute_fast
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state
 
     def execute(
         self,

@@ -1,0 +1,227 @@
+"""Unit tests for checkpoint manifests, migrations, diff and fork."""
+
+import json
+
+import pytest
+
+from repro.fleet.deployment import ShardDeployment
+from repro.fleet.scenario import SCENARIOS
+from repro.sim.kernel import ns_from_s
+from repro.sim.rng import RngRegistry
+from repro.snapshot.checkpoint import (
+    FORMAT_VERSION,
+    CheckpointError,
+    digest_document,
+    load_shard,
+    read_manifest,
+    read_summary,
+    save_shard,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.snapshot.diff import diff_documents, diff_lines
+from repro.snapshot.migrate import register_state_migration, upgrade_state
+from repro.snapshot.state import layer_schemas, schema_hash, shard_summary
+
+
+def _small_deployment():
+    scenario = SCENARIOS["smoke"].scaled(
+        things=4, shard_size=4, duration_s=2.0)
+    deployment = ShardDeployment(scenario.shards()[0])
+    deployment.start()
+    deployment.sim.run_until(ns_from_s(1.0))
+    return deployment
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ckpt") / "shard-0000"
+    deployment = _small_deployment()
+    manifest = save_shard(deployment, directory, label="unit")
+    return directory, deployment, manifest
+
+
+def test_manifest_carries_format_version_and_schema_hashes(saved):
+    directory, _, manifest = saved
+    on_disk = json.loads((directory / "manifest.json").read_text())
+    assert on_disk["format_version"] == FORMAT_VERSION
+    assert on_disk["label"] == "unit"
+    assert on_disk["layer_schemas"] == layer_schemas()
+    # Every Checkpointable layer is represented with a content hash of
+    # its schema, so any schema drift shows up in the manifest.
+    assert {"sim", "vm", "net", "protocol", "hw", "core",
+            "telemetry"} <= set(on_disk["layer_schemas"])
+    for classes in on_disk["layer_schemas"].values():
+        for entry in classes.values():
+            assert len(entry["hash"]) == 16
+
+
+def test_schema_hash_tracks_schema_content():
+    class A:
+        SNAPSHOT_SCHEMA = {"layer": "x", "version": 1, "fields": ("a",)}
+
+    class B:
+        SNAPSHOT_SCHEMA = {"layer": "x", "version": 2, "fields": ("a",)}
+
+    assert schema_hash(A) != schema_hash(B)
+    B.SNAPSHOT_SCHEMA = dict(A.SNAPSHOT_SCHEMA)
+    assert schema_hash(A) == schema_hash(B)
+
+
+def test_load_restores_equivalent_summary(saved):
+    directory, deployment, _ = saved
+    restored = load_shard(directory)
+    assert digest_document(shard_summary(restored.deployment)) == \
+        digest_document(shard_summary(deployment))
+    assert restored.sim_time_ns == deployment.sim.now_ns
+
+
+def test_corrupted_payload_is_rejected(saved, tmp_path):
+    directory, _, _ = saved
+    copy = tmp_path / "mangled"
+    copy.mkdir()
+    for name in ("manifest.json", "summary.json", "state.bin"):
+        (copy / name).write_bytes((directory / name).read_bytes())
+    blob = bytearray((copy / "state.bin").read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    (copy / "state.bin").write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError):
+        load_shard(copy)
+
+
+def test_future_format_version_is_rejected(saved, tmp_path):
+    directory, _, _ = saved
+    copy = tmp_path / "future"
+    copy.mkdir()
+    for name in ("manifest.json", "summary.json", "state.bin"):
+        (copy / name).write_bytes((directory / name).read_bytes())
+    manifest = json.loads((copy / "manifest.json").read_text())
+    manifest["format_version"] = FORMAT_VERSION + 1
+    (copy / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError):
+        read_manifest(copy)
+
+
+def test_v1_manifest_migrates(saved, tmp_path):
+    directory, _, _ = saved
+    copy = tmp_path / "v1"
+    copy.mkdir()
+    for name in ("manifest.json", "summary.json", "state.bin"):
+        (copy / name).write_bytes((directory / name).read_bytes())
+    manifest = json.loads((copy / "manifest.json").read_text())
+    manifest["format_version"] = 1
+    manifest["time_ns"] = manifest.pop("sim_time_ns")
+    manifest.pop("label", None)
+    (copy / "manifest.json").write_text(json.dumps(manifest))
+    migrated = read_manifest(copy)
+    assert migrated["format_version"] == FORMAT_VERSION
+    assert "sim_time_ns" in migrated
+    assert migrated["label"] == ""
+
+
+def test_state_migration_hooks_chain():
+    class Widget:
+        SNAPSHOT_SCHEMA = {"layer": "test", "version": 3,
+                           "fields": ("value",)}
+
+    @register_state_migration(Widget, 1)
+    def _v1_to_v2(state):
+        state = dict(state)
+        state["value"] = state.pop("val")
+        return state
+
+    @register_state_migration(Widget, 2)
+    def _v2_to_v3(state):
+        state = dict(state)
+        state["value"] *= 10
+        return state
+
+    upgraded = upgrade_state(Widget, {"_schema": 1, "val": 4})
+    assert upgraded["value"] == 40
+    assert upgraded["_schema"] == 3
+    # Current-version state passes through untouched.
+    same = upgrade_state(Widget, {"_schema": 3, "value": 5})
+    assert same["value"] == 5
+    # State newer than the class is rejected, never silently loaded.
+    with pytest.raises(CheckpointError):
+        upgrade_state(Widget, {"_schema": 4, "value": 5})
+
+
+def test_missing_migration_step_is_an_error():
+    class Gadget:
+        SNAPSHOT_SCHEMA = {"layer": "test", "version": 2,
+                           "fields": ("value",)}
+
+    with pytest.raises(CheckpointError):
+        upgrade_state(Gadget, {"_schema": 1, "value": 1})
+
+
+def test_scenario_round_trips_through_dict():
+    scenario = SCENARIOS["smoke"].scaled(things=6, shard_size=3, seed=9)
+    rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+    assert rebuilt == scenario
+
+
+def test_diff_documents_buckets_changes():
+    old = {"a": 1, "b": {"c": 2}, "gone": 3}
+    new = {"a": 1, "b": {"c": 5}, "fresh": 4}
+    diff = diff_documents(old, new)
+    assert diff["changed"] == {"b.c": {"old": 2, "new": 5}}
+    assert diff["removed"] == {"gone": 3}
+    assert diff["added"] == {"fresh": 4}
+    assert diff_documents(old, old) == {}
+
+
+def test_diff_lines_are_bounded():
+    old = {f"k{i}": i for i in range(50)}
+    new = {f"k{i}": i + 1 for i in range(50)}
+    lines = diff_lines(old, new, limit=5)
+    assert len(lines) == 6  # 5 diffs + the overflow marker
+    assert "more" in lines[-1]
+
+
+def test_rng_registry_state_round_trip():
+    reg = RngRegistry(seed=11)
+    reg.stream("noise").random()
+    child = reg.fork("node")
+    child.stream("jitter").random()
+    state = reg.snapshot_state()
+    expected = reg.stream("noise").random()
+
+    other = RngRegistry(seed=0)
+    other.restore_state(state)
+    assert other.stream("noise").random() == expected
+    assert "node" in other.children()
+
+
+def test_rng_restore_preserves_stream_identity():
+    reg = RngRegistry(seed=3)
+    stream = reg.stream("csma")
+    stream.random()
+    state = reg.snapshot_state()
+    stream.random()  # advance past the snapshot
+    reg.restore_state(state)
+    # The registry rewound the *same object* — held references rewind.
+    assert reg.stream("csma") is stream
+
+
+def test_fork_is_cached():
+    reg = RngRegistry(seed=5)
+    assert reg.fork("client") is reg.fork("client")
+
+
+def test_perturb_is_deterministic_and_divergent():
+    def fresh():
+        reg = RngRegistry(seed=21)
+        reg.stream("a").random()
+        reg.fork("kid").stream("b").random()
+        return reg
+
+    one, two, three = fresh(), fresh(), fresh()
+    one.perturb("variant-0")
+    two.perturb("variant-0")
+    three.perturb("variant-1")
+    assert one.stream("a").random() == two.stream("a").random()
+    assert one.fork("kid").stream("b").random() == \
+        two.fork("kid").stream("b").random()
+    assert one.stream("a").random() != three.stream("a").random()

@@ -1,0 +1,95 @@
+"""Snapshot round-trips of the kernel event heap — the edge cases.
+
+Tombstoned (cancelled-but-queued) events, cancelled periodic handles
+and FIFO tie-breaks at identical timestamps are the places a naive
+serializer would silently reorder or resurrect work, so each gets an
+explicit round-trip test.  Callbacks append to a log that travels in
+the same pickle as the simulator, so the restored closures write to
+the restored log.
+"""
+
+from repro.sim.kernel import NS_PER_MS, Simulator
+from repro.snapshot.codec import dumps_state, loads_state
+
+
+def _roundtrip(sim, log):
+    return loads_state(dumps_state((sim, log)))
+
+
+def test_pending_events_fire_in_original_order_after_restore():
+    sim, log = Simulator(), []
+    sim.schedule(3 * NS_PER_MS, lambda: log.append("c"))
+    sim.schedule(1 * NS_PER_MS, lambda: log.append("a"))
+    sim.schedule(2 * NS_PER_MS, lambda: log.append("b"))
+    restored_sim, restored_log = _roundtrip(sim, log)
+    restored_sim.run()
+    assert restored_log == ["a", "b", "c"]
+    assert log == []  # the original world is untouched
+
+
+def test_same_time_events_keep_seq_fifo_order():
+    sim, log = Simulator(), []
+    for name in "abcdef":
+        sim.schedule(5 * NS_PER_MS, lambda n=name: log.append(n))
+    restored_sim, restored_log = _roundtrip(sim, log)
+    restored_sim.run()
+    assert restored_log == list("abcdef")
+
+
+def test_seq_counter_survives_so_new_events_sort_after_old():
+    sim, log = Simulator(), []
+    sim.schedule(5 * NS_PER_MS, lambda: log.append("old"))
+    restored_sim, restored_log = _roundtrip(sim, log)
+    # A post-restore event at the same instant must fire *after* the
+    # checkpointed one — the seq counter must not restart at zero.
+    restored_sim.schedule(5 * NS_PER_MS, lambda: restored_log.append("new"))
+    restored_sim.run()
+    assert restored_log == ["old", "new"]
+
+
+def test_tombstoned_events_stay_cancelled_after_restore():
+    sim, log = Simulator(), []
+    keep = []
+    for name in "abc":
+        keep.append(sim.schedule(NS_PER_MS, lambda n=name: log.append(n)))
+    keep[1].cancel()
+    assert sim._tombstones == 1
+    restored_sim, restored_log = _roundtrip(sim, log)
+    assert restored_sim._tombstones == 1
+    assert restored_sim.pending_count() == 2
+    restored_sim.run()
+    assert restored_log == ["a", "c"]
+
+
+def test_cancelled_periodic_handle_never_fires_after_restore():
+    sim, log = Simulator(), []
+    handle = sim.every(NS_PER_MS, lambda: log.append("tick"))
+    sim.schedule(5 * NS_PER_MS, lambda: log.append("end"))
+    handle.cancel()
+    restored_sim, restored_log = _roundtrip(sim, log)
+    restored_sim.run()
+    assert restored_log == ["end"]
+
+
+def test_live_periodic_handle_keeps_ticking_after_restore():
+    sim, log = Simulator(), []
+    sim.every(NS_PER_MS, lambda: log.append(sim.now_ns))
+    sim.run_until(2 * NS_PER_MS)
+    restored_sim, restored_log = _roundtrip(sim, log)
+    restored_sim.run_until(4 * NS_PER_MS)
+    # Two pre-checkpoint ticks, two post-restore ticks — but the
+    # post-restore closure still reads the *restored* sim's clock
+    # because the whole (sim, log, closure) graph restored together.
+    assert restored_log == [NS_PER_MS, 2 * NS_PER_MS,
+                            3 * NS_PER_MS, 4 * NS_PER_MS]
+    assert log == [NS_PER_MS, 2 * NS_PER_MS]
+
+
+def test_clock_and_drained_queue_round_trip():
+    sim, log = Simulator(), []
+    sim.schedule(7 * NS_PER_MS, lambda: log.append("x"))
+    sim.run()
+    restored_sim, restored_log = _roundtrip(sim, log)
+    assert restored_sim.now_ns == 7 * NS_PER_MS
+    assert restored_sim.pending_count() == 0
+    assert restored_log == ["x"]

@@ -7,6 +7,7 @@ from repro.telemetry.sentinel import (
     SentinelRule,
     compare,
     flatten,
+    load_baseline_status,
     report_lines,
 )
 
@@ -106,3 +107,66 @@ def test_report_lines_put_regressions_first():
     findings = compare({"a": 1.0, "b": 1.0}, {"a": 1.0, "b": 2.0}, rules)
     lines = report_lines(findings)
     assert "REGRESS" in lines[0] and " b" in lines[0].split(":")[0]
+
+
+def test_baseline_status_ok(tmp_path):
+    scorecard = tmp_path / "BENCH_x.json"
+    scorecard.write_text('{"wall_s": 1.0}')
+    status, document = load_baseline_status(str(scorecard))
+    assert status == "ok"
+    assert document == {"wall_s": 1.0}
+
+
+def test_baseline_status_missing_file(tmp_path):
+    status, document = load_baseline_status(str(tmp_path / "nope.json"))
+    assert status == "missing"
+    assert document is None
+
+
+def test_baseline_status_missing_git_ref(tmp_path):
+    # A ref/path that git cannot show is "missing", not a crash —
+    # the normal state of the first run on a fresh branch.
+    status, document = load_baseline_status(
+        "BENCH_does_not_exist.json", ref="HEAD")
+    assert status == "missing"
+    assert document is None
+
+
+@pytest.mark.parametrize("payload", [
+    "not json at all {{{",
+    '"a bare string"',
+    "[1, 2, 3]",
+])
+def test_baseline_status_malformed(tmp_path, payload):
+    scorecard = tmp_path / "BENCH_bad.json"
+    scorecard.write_text(payload)
+    status, document = load_baseline_status(str(scorecard))
+    assert status == "malformed"
+    assert document is None
+
+
+def test_sentinel_cli_treats_no_baseline_as_clean(tmp_path, capsys):
+    from repro.telemetry.__main__ import main
+
+    scorecard = tmp_path / "BENCH_fresh.json"
+    scorecard.write_text('{"wall_s": 1.0}')
+    code = main(["sentinel", str(scorecard),
+                 "--baseline", str(tmp_path / "absent.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no baseline" in out
+    assert "missing" in out
+
+
+def test_sentinel_cli_flags_malformed_baseline_as_no_baseline(tmp_path,
+                                                              capsys):
+    from repro.telemetry.__main__ import main
+
+    scorecard = tmp_path / "BENCH_fresh.json"
+    scorecard.write_text('{"wall_s": 1.0}')
+    broken = tmp_path / "broken.json"
+    broken.write_text("{{{")
+    code = main(["sentinel", str(scorecard), "--baseline", str(broken)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "malformed" in out
