@@ -1,0 +1,285 @@
+"""Engineering bench: profiler overhead, determinism and idle-gap yield.
+
+The profiler promises a zero-cost disabled mode: a scenario without a
+:class:`ProfileConfig` attaches nothing, so the kernel keeps running
+the branch-free original ``step``/``schedule_at`` (attach-time method
+shadowing, as with tracing) and the fast VM engine stays the
+uninstrumented :func:`repro.vm.fastpath.execute_fast`.  The single
+always-hot addition lives in the *reference* interpreter: one
+``if hits is not None`` per executed step (plus a per-invocation
+recorder check).
+
+This bench verifies the promise:
+
+1. **Structural check (fast engine, the fleet default).**  A disabled
+   deployment must carry no kernel shadows and the plain fastpath —
+   the disabled hot paths are literally the pre-profile code objects.
+
+2. **Disabled-mode gate (reference engine).**  The fleet smoke
+   workload under ``REPRO_VM_MODE=reference``, profile off, timed
+   against a baseline running a pre-profile ``execute`` (recorder
+   lines stripped from the current source — the strip asserts the
+   lines exist, so drift fails loudly).  Rounds alternate modes so
+   machine drift hits both equally; min-of-N discards stalls.
+   **Fails (exit 1) if overhead exceeds 3%.**
+
+3. **Enabled mode (reported).**  The ``default`` scenario fully
+   profiled: enabled overhead, merged-profile digest identical across
+   worker counts, workload byte-identical to the unprofiled run, and
+   the idle-gap report's skippable fraction — the fast-forward
+   opportunity number the roadmap's analytic-skip item builds on.
+
+    PYTHONPATH=src python benchmarks/bench_profile.py [--fast] [--out PATH]
+
+Writes ``BENCH_profile.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+import textwrap
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.deployment import ShardDeployment  # noqa: E402
+from repro.fleet.runner import run_scenario  # noqa: E402
+from repro.fleet.scenario import SCENARIOS  # noqa: E402
+from repro.profile.collector import profile_digest  # noqa: E402
+from repro.profile.config import DEFAULT_PROFILE  # noqa: E402
+from repro.profile.report import idle_report  # noqa: E402
+from repro.vm import machine  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_profile.json"
+
+#: The acceptance gate: profiler-disabled runs must stay within 3% of
+#: the pre-profile baseline.
+MAX_DISABLED_OVERHEAD = 0.03
+
+#: The recorder lines this PR added to the reference interpreter, with
+#: their in-class indentation.  Stripping them from the live source
+#: reconstructs the pre-profile ``execute`` byte-for-byte.
+_RECORDER_LINES = (
+    "        recorder = self._hit_recorder\n",
+    "        hits = None\n",
+    "        if recorder is not None:\n"
+    "            recorder.executions += 1\n"
+    "            hits = recorder.hits_for(instance.image)\n",
+    "            if hits is not None:\n"
+    "                hits[pc] += 1\n",
+)
+
+
+def pre_profile_execute():
+    """The reference ``execute`` as it stood before hit recording."""
+    source = inspect.getsource(machine.VirtualMachine.execute)
+    for lines in _RECORDER_LINES:
+        if lines not in source:
+            raise SystemExit(
+                "bench_profile: VirtualMachine.execute drifted; update "
+                f"_RECORDER_LINES (missing {lines.splitlines()[0]!r})")
+        source = source.replace(lines, "", 1)
+    namespace = vars(machine).copy()
+    exec(compile(textwrap.dedent(source), "<pre-profile execute>", "exec"),
+         namespace)
+    return namespace["execute"]
+
+
+@contextmanager
+def patched(attribute, value):
+    saved = getattr(machine.VirtualMachine, attribute)
+    setattr(machine.VirtualMachine, attribute, value)
+    try:
+        yield
+    finally:
+        setattr(machine.VirtualMachine, attribute, saved)
+
+
+@contextmanager
+def reference_engine():
+    saved = os.environ.get("REPRO_VM_MODE")
+    os.environ["REPRO_VM_MODE"] = "reference"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["REPRO_VM_MODE"]
+        else:
+            os.environ["REPRO_VM_MODE"] = saved
+
+
+# ------------------------------------------------------ structural check
+def disabled_fast_is_structurally_identical() -> bool:
+    """Disabled profiling leaves the fast hot paths untouched."""
+    from repro.vm import fastpath
+
+    scenario = SCENARIOS["smoke"].scaled(things=2, shard_size=2,
+                                         duration_s=1.0)
+    deployment = ShardDeployment(scenario.shards()[0])
+    sim_clean = ("step" not in deployment.sim.__dict__
+                 and "schedule_at" not in deployment.sim.__dict__
+                 and deployment.sim.profiler is None)
+    vms_clean = all(
+        thing.drivers.vm._hit_recorder is None
+        and thing.drivers.vm._execute_fast is fastpath.execute_fast
+        for thing in deployment.things
+    )
+    return sim_clean and vms_clean
+
+
+# ------------------------------------------------------- timed workloads
+def _timed(scenario):
+    started = time.perf_counter()
+    result = run_scenario(scenario, workers=1)
+    return time.perf_counter() - started, result
+
+
+def reference_gate(things, duration_s, seed, rounds):
+    """Min-of-N alternating A/B: pre-profile vs current, profile off."""
+    scenario = SCENARIOS["smoke"].scaled(
+        things=things, duration_s=duration_s, seed=seed)
+    baseline_execute = pre_profile_execute()
+    best = {"baseline": None, "disabled": None}
+    with reference_engine():
+        _timed(scenario)  # warm-up (translation/import costs)
+        for _ in range(rounds):
+            with patched("execute", baseline_execute):
+                wall, _ = _timed(scenario)
+            if best["baseline"] is None or wall < best["baseline"]:
+                best["baseline"] = wall
+            wall, _ = _timed(scenario)
+            if best["disabled"] is None or wall < best["disabled"]:
+                best["disabled"] = wall
+    return best
+
+
+def enabled_stats(scenario):
+    """Profile the default scenario; report overhead + idle yield."""
+    wall_off, result_off = _timed(scenario.scaled(profile=None))
+    wall_on, result_on = _timed(scenario)
+    merged = result_on.profile_document()
+    report = idle_report(merged)
+    unperturbed = (
+        json.dumps(result_on.merged, sort_keys=True, default=str)
+        == json.dumps(result_off.merged, sort_keys=True, default=str))
+    digests = set()
+    for workers in (1, 2):
+        result = run_scenario(scenario, workers=workers)
+        digests.add(profile_digest(result.profile_document()))
+    return {
+        "wall_off": wall_off,
+        "wall_on": wall_on,
+        "overhead": (wall_on - wall_off) / wall_off if wall_off else 0.0,
+        "idle": report,
+        "unperturbed": unperturbed,
+        "deterministic": len(digests) == 1,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer rounds / smaller workloads")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="where to write BENCH_profile.json")
+    args = parser.parse_args(argv)
+    rounds = 3 if args.fast else 7
+    things = 8 if args.fast else 40
+    duration_s = 8.0 if args.fast else 40.0
+
+    structural = disabled_fast_is_structurally_identical()
+    print(f"disabled fast engine structurally identical to pre-profile: "
+          f"{'yes' if structural else 'NO'}")
+
+    best = reference_gate(things, duration_s, args.seed, rounds)
+    disabled_overhead = (
+        (best["disabled"] - best["baseline"]) / best["baseline"])
+    print(f"reference-engine workload ({things} things, {duration_s:g}s "
+          f"simulated, min of {rounds} alternating rounds):")
+    print(f"  baseline (pre-profile execute): {best['baseline']:7.3f} s")
+    print(f"  disabled (recorder check, off): {best['disabled']:7.3f} s  "
+          f"overhead {disabled_overhead * 100:+.2f}%")
+
+    scenario = SCENARIOS["default"].scaled(
+        seed=args.seed, profile=DEFAULT_PROFILE,
+        **({"duration_s": 8.0, "things": 8, "shard_size": 4}
+           if args.fast else {}))
+    enabled = enabled_stats(scenario)
+    idle = enabled["idle"]
+    print(f"default scenario, fully profiled "
+          f"({scenario.things} things, {scenario.duration_s:g}s):")
+    print(f"  enabled overhead:   {enabled['overhead'] * 100:+.2f}% "
+          f"({enabled['wall_off']:.3f} s -> {enabled['wall_on']:.3f} s)")
+    print(f"  idle fraction:      {idle['idle_fraction']:.1%}")
+    print(f"  skippable fraction: {idle['skippable_fraction']:.1%} "
+          f"(projected fast-forward speedup "
+          f"{idle['projected_speedup']:.2f}x)")
+    print(f"  workload unperturbed: "
+          f"{'yes' if enabled['unperturbed'] else 'NO'}")
+    print(f"  merged profile worker-count independent: "
+          f"{'yes' if enabled['deterministic'] else 'NO'}")
+
+    passed = (structural
+              and disabled_overhead <= MAX_DISABLED_OVERHEAD
+              and enabled["unperturbed"]
+              and enabled["deterministic"])
+    document = {
+        "bench": "profile",
+        "seed": args.seed,
+        "reference_engine": {
+            "things": things,
+            "duration_s": duration_s,
+            "rounds": rounds,
+            "baseline_wall_s": round(best["baseline"], 4),
+            "disabled_wall_s": round(best["disabled"], 4),
+        },
+        "disabled_overhead": round(disabled_overhead, 4),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "disabled_fast_structural": structural,
+        "enabled": {
+            "scenario": scenario.name,
+            "things": scenario.things,
+            "duration_s": scenario.duration_s,
+            "wall_off_s": round(enabled["wall_off"], 4),
+            "wall_on_s": round(enabled["wall_on"], 4),
+            "overhead": round(enabled["overhead"], 4),
+        },
+        "idle_fraction": round(idle["idle_fraction"], 4),
+        "skippable_fraction": round(idle["skippable_fraction"], 4),
+        "projected_speedup": round(idle["projected_speedup"], 4),
+        "workload_unperturbed": enabled["unperturbed"],
+        "merge_deterministic": enabled["deterministic"],
+        "passed": passed,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not structural:
+        print("FAIL: disabled fast engine is not the pre-profile code",
+              file=sys.stderr)
+        return 1
+    if disabled_overhead > MAX_DISABLED_OVERHEAD:
+        print(f"FAIL: disabled-mode overhead "
+              f"{disabled_overhead * 100:.2f}% exceeds the "
+              f"{MAX_DISABLED_OVERHEAD * 100:.0f}% budget",
+              file=sys.stderr)
+        return 1
+    if not enabled["unperturbed"]:
+        print("FAIL: profiling perturbed the simulated workload",
+              file=sys.stderr)
+        return 1
+    if not enabled["deterministic"]:
+        print("FAIL: merged profile depends on worker count",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

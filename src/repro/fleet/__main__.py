@@ -49,6 +49,13 @@ def main(argv=None) -> int:
     parser.add_argument("--openmetrics", metavar="PATH", default=None,
                         help="write merged telemetry as OpenMetrics text "
                              "(implies --telemetry)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile every shard (per-event cost, opcode "
+                             "heat, idle gaps) and print the profile report")
+    parser.add_argument("--profile-out", metavar="DIR", default=None,
+                        help="also write profile.json + collapsed-stack + "
+                             "speedscope exports into DIR (implies "
+                             "--profile)")
     parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                         help="write shard checkpoints into DIR "
                              "(resumable with --resume DIR)")
@@ -59,7 +66,13 @@ def main(argv=None) -> int:
     parser.add_argument("--checkpoint-every", type=float, default=None,
                         metavar="SECONDS",
                         help="rolling checkpoint cadence in simulated "
-                             "seconds (the last one wins)")
+                             "seconds (the last one wins unless "
+                             "--checkpoint-keep retains more)")
+    parser.add_argument("--checkpoint-keep", type=int, default=None,
+                        metavar="N",
+                        help="with --checkpoint-every: retain the last N "
+                             "checkpoint instants (at-<ns> subdirectories) "
+                             "and garbage-collect older ones")
     parser.add_argument("--resume", metavar="DIR", default=None,
                         help="restore a fleet checkpoint and continue "
                              "(ignores scenario flags; uses the saved "
@@ -128,6 +141,10 @@ def main(argv=None) -> int:
 
         cadence = args.telemetry_cadence or 1.0
         overrides["telemetry"] = TelemetryConfig(cadence_s=cadence)
+    if args.profile or args.profile_out:
+        from repro.profile.config import DEFAULT_PROFILE
+
+        overrides["profile"] = DEFAULT_PROFILE
     if overrides:
         try:
             scenario = scenario.scaled(**overrides)
@@ -135,12 +152,16 @@ def main(argv=None) -> int:
             print(f"invalid scenario parameters: {exc}", file=sys.stderr)
             return 2
 
+    if args.checkpoint_keep is not None and args.checkpoint_keep < 1:
+        print("--checkpoint-keep must be >= 1", file=sys.stderr)
+        return 2
     plan = None
     if args.checkpoint_dir:
         plan = CheckpointPlan(
             directory=args.checkpoint_dir,
             at_s=args.checkpoint_at,
             every_s=args.checkpoint_every,
+            keep=args.checkpoint_keep,
         )
     result = run_scenario(scenario, workers=args.workers, checkpoint=plan)
     if plan is not None:
@@ -165,6 +186,42 @@ def main(argv=None) -> int:
                       file=sys.stderr)
                 return 1
             print(f"\nwrote {args.openmetrics}")
+    if scenario.profile is not None:
+        from repro.profile.collector import profile_digest
+        from repro.profile.report import render_report
+
+        merged = result.profile_document()
+        digest = profile_digest(merged)
+        print("\nprofile:")
+        print(render_report({
+            "scenario": scenario.name, "seed": scenario.seed,
+            "merged": merged, "digest": digest,
+        }))
+        if args.profile_out:
+            import json as _json
+            from pathlib import Path
+
+            from repro.profile.export import write_collapsed, write_speedscope
+
+            out_dir = Path(args.profile_out)
+            try:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / "profile.json").write_text(_json.dumps(
+                    {"scenario": scenario.name, "seed": scenario.seed,
+                     "workers": result.workers, "merged": merged,
+                     "digest": digest,
+                     "shards": result.profile_snapshots},
+                    indent=1, sort_keys=True) + "\n")
+                write_collapsed(str(out_dir / "profile.collapsed"),
+                                result.profile_snapshots)
+                write_speedscope(str(out_dir / "profile.speedscope.json"),
+                                 result.profile_snapshots)
+            except OSError as exc:
+                print(f"cannot write {args.profile_out}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"\nwrote {out_dir}/profile.json, profile.collapsed, "
+                  f"profile.speedscope.json")
     if args.trace:
         from repro.obs.export import write_trace
 

@@ -121,6 +121,14 @@ class ShardDeployment:
 
             self.telemetry = ShardTelemetry(self, self.scenario.telemetry)
 
+        #: Cross-layer profiler, present only when the scenario asks —
+        #: same zero-cost-when-absent contract as tracer/telemetry.
+        self.profiler = None
+        if self.scenario.profile is not None:
+            from repro.profile.collector import ShardProfiler
+
+            self.profiler = ShardProfiler(self, self.scenario.profile)
+
     # ------------------------------------------------------- instrumentation
     def _wire_instrumentation(self) -> None:
         self.sim.add_trace_hook(self._on_sim_event)

@@ -41,6 +41,11 @@ class CheckpointPlan:
     at_s: Optional[float] = None
     every_s: Optional[float] = None
     label: str = ""
+    #: Rolling retention: keep only the last N checkpoint instants,
+    #: each in its own ``at-<ns>`` subdirectory; older instants are
+    #: garbage-collected as the run advances.  ``None`` keeps the flat
+    #: single-instant layout ("the last one wins" overwriting).
+    keep: Optional[int] = None
 
     def instants_s(self, duration_s: float) -> List[float]:
         """The checkpoint instants this plan produces for one run."""
@@ -66,6 +71,8 @@ def _finish_shard(deployment: ShardDeployment) -> dict:
         snapshot["trace"] = tracer.snapshot()
     if deployment.telemetry is not None:
         snapshot["telemetry"] = deployment.telemetry.snapshot()
+    if deployment.profiler is not None:
+        snapshot["profile"] = deployment.profiler.snapshot()
     return snapshot
 
 
@@ -83,17 +90,34 @@ def run_shard(spec: ShardSpec, plan: Optional[CheckpointPlan] = None) -> dict:
         deployment.start()
         deployment.sim.run_until(ns_from_s(duration_s))
         return _finish_shard(deployment)
-    from repro.snapshot.checkpoint import save_shard, shard_dir_name
+    import shutil
     from pathlib import Path
 
+    from repro.snapshot.checkpoint import (
+        instant_dir_name,
+        save_shard,
+        shard_dir_name,
+    )
+
     deployment.start()
-    for at_s in plan.instants_s(duration_s):
+    instants = plan.instants_s(duration_s)
+    for number, at_s in enumerate(instants):
         deployment.sim.run_until(ns_from_s(at_s))
-        save_shard(
-            deployment,
-            Path(plan.directory) / shard_dir_name(spec.index),
-            label=plan.label or f"t={at_s:g}s",
-        )
+        if plan.keep is None:
+            target = Path(plan.directory) / shard_dir_name(spec.index)
+        else:
+            target = (Path(plan.directory)
+                      / instant_dir_name(ns_from_s(at_s))
+                      / shard_dir_name(spec.index))
+        save_shard(deployment, target, label=plan.label or f"t={at_s:g}s")
+        if plan.keep is not None and number >= plan.keep:
+            # Rolling GC: this shard's copy under the instant that just
+            # fell off the window (fleet-level meta GC happens once in
+            # run_scenario, after all shards finish).
+            expired = (Path(plan.directory)
+                       / instant_dir_name(ns_from_s(instants[number - plan.keep]))
+                       / shard_dir_name(spec.index))
+            shutil.rmtree(expired, ignore_errors=True)
     deployment.sim.run_until(ns_from_s(duration_s))
     return _finish_shard(deployment)
 
@@ -144,10 +168,19 @@ class FleetResult:
         return [snap.get("trace") for snap in self.shard_snapshots]
 
     def trace_document(self) -> dict:
-        """The merged Chrome trace JSON document (Perfetto-loadable)."""
+        """The merged Chrome trace JSON document (Perfetto-loadable).
+
+        Shards that also sampled telemetry contribute their series as
+        Chrome counter ("C") events, so Perfetto draws the fleet's
+        gauges as tracks right above the event timeline.
+        """
         from repro.obs.export import merge_traces
 
-        return merge_traces(self.shard_traces)
+        telemetry = self.telemetry_snapshots
+        return merge_traces(
+            self.shard_traces,
+            telemetry=telemetry if any(t for t in telemetry) else None,
+        )
 
     @property
     def telemetry_snapshots(self) -> List[Optional[dict]]:
@@ -161,6 +194,20 @@ class FleetResult:
         from repro.telemetry.series import SeriesBank
 
         return SeriesBank.merge(self.telemetry_snapshots)
+
+    @property
+    def profile_snapshots(self) -> List[Optional[dict]]:
+        """Per-shard profile snapshots, in shard-index order (None
+        where the shard did not profile)."""
+        return [snap.get("profile") for snap in self.shard_snapshots]
+
+    def profile_document(self) -> dict:
+        """The merged profile (shard-order merge; the deterministic
+        plane is a pure function of ``(scenario, seed)`` for any
+        worker count)."""
+        from repro.profile.collector import merge_profiles
+
+        return merge_profiles(self.profile_snapshots)
 
 
 def _fan_out(tasks, workers: int):
@@ -210,11 +257,36 @@ def run_scenario(
         from repro.snapshot.checkpoint import save_fleet_meta
 
         instants = checkpoint.instants_s(scenario.duration_s)
-        save_fleet_meta(
-            checkpoint.directory, scenario,
-            sim_time_ns=ns_from_s(instants[-1]) if instants else 0,
-            shards=len(specs), label=checkpoint.label,
-        )
+        if checkpoint.keep is None:
+            save_fleet_meta(
+                checkpoint.directory, scenario,
+                sim_time_ns=ns_from_s(instants[-1]) if instants else 0,
+                shards=len(specs), label=checkpoint.label,
+            )
+        else:
+            import shutil
+            from pathlib import Path
+
+            from repro.snapshot.checkpoint import instant_dir_name
+
+            retained = instants[-checkpoint.keep:]
+            for at_s in retained:
+                save_fleet_meta(
+                    Path(checkpoint.directory)
+                    / instant_dir_name(ns_from_s(at_s)),
+                    scenario, sim_time_ns=ns_from_s(at_s),
+                    shards=len(specs), label=checkpoint.label,
+                )
+            # GC instants outside the retention window (shards already
+            # removed their own copies incrementally; this sweeps the
+            # directories themselves plus any stale leftovers).
+            keep_names = {instant_dir_name(ns_from_s(at_s))
+                          for at_s in retained}
+            root = Path(checkpoint.directory)
+            for child in root.iterdir():
+                if (child.is_dir() and child.name.startswith("at-")
+                        and child.name not in keep_names):
+                    shutil.rmtree(child, ignore_errors=True)
     wall = time.perf_counter() - started
     return FleetResult(
         scenario=scenario,
@@ -245,9 +317,13 @@ def resume_scenario(
         CheckpointError,
         fleet_checkpoint_dirs,
         load_fleet_meta,
+        resolve_fleet_dir,
         scenario_from_dict,
     )
 
+    # Rolling-retention runs nest one fleet checkpoint per retained
+    # instant; resolve to the latest so --resume works on both layouts.
+    checkpoint_dir = resolve_fleet_dir(checkpoint_dir)
     meta = load_fleet_meta(checkpoint_dir)
     scenario = scenario_from_dict(meta["scenario"])
     horizon_s = scenario.duration_s if run_to_s is None else float(run_to_s)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.profile.config import ProfileConfig
 from repro.protocol.reliability import RetryPolicy
 from repro.telemetry.config import TelemetryConfig
 
@@ -109,6 +110,10 @@ class FleetScenario:
     #: shard.  ``None`` (the default) attaches nothing — the disabled
     #: mode costs zero on the hot paths.
     telemetry: Optional[TelemetryConfig] = None
+    #: Profile every shard (:mod:`repro.profile`): per-event cost,
+    #: opcode heat, idle-gap analysis.  Same zero-cost-when-``None``
+    #: contract as ``trace`` and ``telemetry``.
+    profile: Optional[ProfileConfig] = None
 
     def __post_init__(self) -> None:
         if self.things < 1:
@@ -167,6 +172,17 @@ SCENARIOS: Dict[str, FleetScenario] = {
     "dense": FleetScenario(
         name="dense", things=200, shard_size=25, duration_s=30.0,
         churn=ChurnProfile(churn_interval_s=8.0, discovery_interval_s=1.5),
+    ),
+    # The duty-cycled profiling reference: sparse churn and slow reads
+    # leave long inter-event gaps, so the idle-gap analyzer has real
+    # fast-forward opportunity to quantify.
+    "default": FleetScenario(
+        name="default", things=20, shard_size=10, duration_s=20.0,
+        churn=ChurnProfile(
+            churn_interval_s=30.0, discovery_interval_s=5.0,
+            read_interval_s=4.0, hot_update_interval_s=40.0,
+            stream_probability=0.15,
+        ),
     ),
 }
 

@@ -89,19 +89,55 @@ def chrome_events(snapshot: dict, *, pid: int = 0) -> List[dict]:
     return out
 
 
-def merge_traces(snapshots: Iterable[Optional[dict]]) -> dict:
+def counter_events(snapshot: dict, *, pid: int = 0) -> List[dict]:
+    """One telemetry snapshot -> Chrome counter ("C") events.
+
+    Each :class:`~repro.telemetry.series.SeriesBank` series becomes a
+    Perfetto counter track on the shard's process: one ``C`` event per
+    sample, carrying the value under the series' short name.  Label
+    sets distinguish tracks (``name{key=value}``), matching the
+    OpenMetrics exposition names.
+    """
+    out: List[dict] = []
+    for series in snapshot.get("series", ()):
+        labels = series.get("labels") or {}
+        name = series["name"]
+        if labels:
+            decorated = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name = f"{name}{{{decorated}}}"
+        short = series["name"].rsplit(".", 1)[-1]
+        for time_ns, value in series.get("samples", ()):
+            out.append({
+                "ph": "C", "name": name, "cat": "telemetry",
+                "pid": pid, "tid": 0, "ts": _ts_us(time_ns),
+                "args": {short: value},
+            })
+    return out
+
+
+def merge_traces(snapshots: Iterable[Optional[dict]],
+                 telemetry: Optional[Iterable[Optional[dict]]] = None) -> dict:
     """Merge per-shard snapshots into one Chrome trace JSON document.
 
     Shards are merged in iteration (= shard-index) order and pids are
     assigned from that order, so the merged document is a deterministic
     function of the scenario — identical for any worker count.  ``None``
     entries (shards that did not trace) keep their pid reserved.
+
+    *telemetry* optionally supplies per-shard
+    :class:`~repro.telemetry.series.SeriesBank` snapshots (same order);
+    their series ride along as counter tracks on the same pids.
     """
     events: List[dict] = []
     for pid, snapshot in enumerate(snapshots):
         if snapshot is None:
             continue
         events.extend(chrome_events(snapshot, pid=pid))
+    if telemetry is not None:
+        for pid, snapshot in enumerate(telemetry):
+            if snapshot is None:
+                continue
+            events.extend(counter_events(snapshot, pid=pid))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -117,5 +153,5 @@ def load_trace(path: str) -> dict:
         return json.load(handle)
 
 
-__all__ = ["chrome_events", "merge_traces", "write_trace", "load_trace",
-           "FLOW_CAT"]
+__all__ = ["chrome_events", "counter_events", "merge_traces", "write_trace",
+           "load_trace", "FLOW_CAT"]

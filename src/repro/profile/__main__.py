@@ -1,0 +1,222 @@
+"""Command-line entry point for the cross-layer profiler.
+
+    python -m repro.profile run --scenario default --seed 1 --out prof/
+    python -m repro.profile report prof/profile.json
+    python -m repro.profile diff a/profile.json b/profile.json
+    python -m repro.profile smoke
+
+``run`` profiles a fleet scenario and writes the profile document plus
+flame-graph exports; ``report`` re-renders a saved document; ``diff``
+compares two; ``smoke`` is the CI determinism gate (merged profile
+digests must be byte-identical across worker counts, for several
+seeds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _build_document(result, scenario) -> dict:
+    from repro.profile.collector import merge_profiles, profile_digest
+
+    merged = merge_profiles(result.profile_snapshots)
+    return {
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "workers": result.workers,
+        "merged": merged,
+        "digest": profile_digest(merged),
+        "shards": result.profile_snapshots,
+    }
+
+
+def _write_outputs(document: dict, out_dir: Path, weight: str) -> None:
+    from repro.profile.export import write_collapsed, write_speedscope
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "profile.json").write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n")
+    write_collapsed(str(out_dir / "profile.collapsed"),
+                    document["shards"], weight=weight)
+    write_speedscope(str(out_dir / "profile.speedscope.json"),
+                     document["shards"], weight=weight)
+
+
+def _profiled_scenario(args):
+    from repro.fleet.scenario import SCENARIOS
+    from repro.profile.config import DEFAULT_PROFILE
+
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario '{args.scenario}' "
+            f"(known: {', '.join(sorted(SCENARIOS))})")
+    scenario = SCENARIOS[args.scenario]
+    overrides = {"profile": DEFAULT_PROFILE}
+    if args.nodes is not None:
+        overrides["things"] = args.nodes
+    if args.shard_size is not None:
+        overrides["shard_size"] = args.shard_size
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return scenario.scaled(**overrides)
+
+
+def _cmd_run(args) -> int:
+    from repro.fleet.runner import run_scenario
+    from repro.profile.report import render_report
+
+    scenario = _profiled_scenario(args)
+    result = run_scenario(scenario, workers=args.workers)
+    document = _build_document(result, scenario)
+    print(render_report(document, top=args.top))
+    if args.out:
+        try:
+            _write_outputs(document, Path(args.out), args.weight)
+        except OSError as exc:
+            print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.out}/profile.json, profile.collapsed, "
+              f"profile.speedscope.json")
+    return 0
+
+
+def _load_document(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read profile {path}: {exc}")
+
+
+def _cmd_report(args) -> int:
+    from repro.profile.report import render_report
+
+    print(render_report(_load_document(args.path), top=args.top))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.profile.diff import diff_profiles
+    from repro.profile.report import render_diff
+
+    diff = diff_profiles(_load_document(args.path_a),
+                         _load_document(args.path_b))
+    print(render_diff(diff, top=args.top))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    """The CI gate: worker-count determinism plus export sanity."""
+    from repro.fleet.runner import run_scenario
+    from repro.fleet.scenario import SCENARIOS
+    from repro.profile.config import DEFAULT_PROFILE
+    from repro.profile.collector import merge_profiles, profile_digest
+    from repro.profile.export import collapsed_stacks, speedscope_document
+    from repro.profile.report import idle_report
+
+    base = SCENARIOS["smoke"].scaled(
+        things=4, shard_size=2, duration_s=float(args.duration or 5.0),
+        profile=DEFAULT_PROFILE,
+    )
+    seeds = [1, 2, 3][: args.seeds]
+    failures = []
+    for seed in seeds:
+        scenario = base.scaled(seed=seed)
+        digests = {}
+        snapshots_by_workers = {}
+        for workers in (1, 2):
+            result = run_scenario(scenario, workers=workers)
+            merged = merge_profiles(result.profile_snapshots)
+            digests[workers] = profile_digest(merged)
+            snapshots_by_workers[workers] = result.profile_snapshots
+        ok = digests[1] == digests[2]
+        if not ok:
+            failures.append(f"seed {seed}: digest mismatch across workers "
+                            f"({digests[1]} != {digests[2]})")
+        # Export sanity: deterministic-plane exports must also agree.
+        collapsed = {
+            w: collapsed_stacks(snaps, weight="count")
+            for w, snaps in snapshots_by_workers.items()
+        }
+        if collapsed[1] != collapsed[2]:
+            failures.append(f"seed {seed}: collapsed-stack (count) exports "
+                            f"differ across workers")
+        doc = speedscope_document(snapshots_by_workers[1], weight="count")
+        if not doc["profiles"][0]["samples"]:
+            failures.append(f"seed {seed}: speedscope export has no samples")
+        merged = merge_profiles(snapshots_by_workers[1])
+        idle = idle_report(merged)
+        print(f"seed {seed}: digest {digests[1][:16]} "
+              f"{'==' if ok else '!='} {digests[2][:16]}  "
+              f"idle {idle['idle_fraction']:.1%}  "
+              f"skippable {idle['skippable_fraction']:.1%}")
+        if args.out:
+            out_dir = Path(args.out) / f"seed-{seed}"
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / "profile.json").write_text(json.dumps(
+                {"scenario": scenario.name, "seed": seed,
+                 "merged": merged, "digest": digests[1],
+                 "shards": snapshots_by_workers[1]},
+                indent=1, sort_keys=True) + "\n")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"profile smoke passed: {len(seeds)} seed(s), workers 1 == 2")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description="Profile fleet runs: flame graphs, opcode heat, "
+                    "idle-gap analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="profile one fleet scenario")
+    run_p.add_argument("--scenario", default="default")
+    run_p.add_argument("--nodes", type=int, default=None)
+    run_p.add_argument("--shard-size", type=int, default=None)
+    run_p.add_argument("--duration", type=float, default=None)
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--workers", type=int, default=1)
+    run_p.add_argument("--top", type=int, default=10)
+    run_p.add_argument("--weight", choices=("wall", "count", "sim"),
+                       default="wall",
+                       help="weight plane for the flame-graph exports")
+    run_p.add_argument("--out", metavar="DIR", default=None,
+                       help="write profile.json + exports into DIR")
+    run_p.set_defaults(func=_cmd_run)
+
+    report_p = sub.add_parser("report", help="render a saved profile")
+    report_p.add_argument("path")
+    report_p.add_argument("--top", type=int, default=10)
+    report_p.set_defaults(func=_cmd_report)
+
+    diff_p = sub.add_parser("diff", help="compare two saved profiles")
+    diff_p.add_argument("path_a")
+    diff_p.add_argument("path_b")
+    diff_p.add_argument("--top", type=int, default=10)
+    diff_p.set_defaults(func=_cmd_diff)
+
+    smoke_p = sub.add_parser(
+        "smoke", help="CI determinism gate (digests across worker counts)")
+    smoke_p.add_argument("--seeds", type=int, default=3,
+                         help="how many seeds to check (max 3)")
+    smoke_p.add_argument("--duration", type=float, default=None)
+    smoke_p.add_argument("--out", metavar="DIR", default=None,
+                         help="write per-seed profile artifacts into DIR")
+    smoke_p.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Profiler configuration: a frozen dataclass of primitives.
+
+Lives in its own module so :mod:`repro.fleet.scenario` can embed a
+config in pickle-safe :class:`FleetScenario` values without importing
+the collectors (and their transitive deps) at scenario-build time —
+the same arrangement as :mod:`repro.telemetry.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """What a fleet run's profiler collects.
+
+    The config is inert data: a scenario carrying one costs nothing
+    until a :class:`~repro.fleet.deployment.ShardDeployment` attaches a
+    :class:`~repro.profile.collector.ShardProfiler` for it.  A scenario
+    without one (the default) leaves the kernel and VM hot paths
+    completely untouched — disabled-mode overhead is attach-time zero,
+    exactly like :mod:`repro.obs.tracer` and :mod:`repro.telemetry`.
+    """
+
+    #: Record per-event-kind wall-clock and simulated-time cost.
+    events: bool = True
+    #: Record per-opcode execution heat on every Thing's VM.
+    vm: bool = True
+    #: Histogram inter-event gaps and classify fast-forward windows.
+    idle: bool = True
+    #: Gaps at or above this are counted as idle windows (default 1 ms
+    #: of simulated time — far above back-to-back protocol activity,
+    #: far below duty-cycle sleep).
+    idle_threshold_ns: int = 1_000_000
+    #: A schedule name with at most this many distinct delays (and at
+    #: least :attr:`periodic_min_count` firings) classifies as periodic.
+    periodic_max_delays: int = 4
+    #: Minimum firings before a name can classify as periodic.
+    periodic_min_count: int = 4
+
+    def __post_init__(self) -> None:
+        if self.idle_threshold_ns <= 0:
+            raise ValueError("idle_threshold_ns must be positive")
+        if self.periodic_max_delays < 1:
+            raise ValueError("periodic_max_delays must be >= 1")
+        if self.periodic_min_count < 1:
+            raise ValueError("periodic_min_count must be >= 1")
+        if not (self.events or self.vm or self.idle):
+            raise ValueError("at least one collector must be enabled")
+
+
+#: Default config used by CLIs when profiling is switched on.
+DEFAULT_PROFILE = ProfileConfig()
+
+__all__ = ["ProfileConfig", "DEFAULT_PROFILE"]

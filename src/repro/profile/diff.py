@@ -1,0 +1,88 @@
+"""Profile diffing: what moved between two runs.
+
+Diffs compare the deterministic plane (event counts, opcode steps,
+idle fractions) plus wall time — wall numbers are shown but never
+decide ordering alone, so a diff between two runs of the same
+(scenario, seed) on the deterministic planes is empty regardless of
+host noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.profile.report import idle_report
+from repro.profile.vmheat import opcode_totals
+
+
+def _merged(document: dict) -> dict:
+    """Accept either a full profile document or a bare merged doc."""
+    return document.get("merged", document)
+
+
+def _label(document: dict, fallback: str) -> str:
+    scenario = document.get("scenario")
+    if scenario:
+        seed = document.get("seed")
+        return f"{scenario}/seed={seed}" if seed is not None else scenario
+    return fallback
+
+
+def diff_profiles(document_a: dict, document_b: dict, *,
+                  label_a: str = "a", label_b: str = "b") -> dict:
+    """Structured diff consumed by :func:`repro.profile.report.render_diff`.
+
+    Event rows are ranked by absolute count movement (then wall
+    movement, then name); rows identical on both planes are dropped.
+    """
+    merged_a, merged_b = _merged(document_a), _merged(document_b)
+    events_a: Dict[str, dict] = merged_a.get("events", {})
+    events_b: Dict[str, dict] = merged_b.get("events", {})
+    rows: List[dict] = []
+    for name in sorted(set(events_a) | set(events_b)):
+        rec_a = events_a.get(name, {"count": 0, "wall_ns": 0})
+        rec_b = events_b.get(name, {"count": 0, "wall_ns": 0})
+        if rec_a["count"] == rec_b["count"] and \
+                rec_a["wall_ns"] == rec_b["wall_ns"]:
+            continue
+        rows.append({
+            "name": name,
+            "count_a": rec_a["count"], "count_b": rec_b["count"],
+            "wall_ns_a": rec_a["wall_ns"], "wall_ns_b": rec_b["wall_ns"],
+        })
+    rows.sort(key=lambda r: (-abs(r["count_b"] - r["count_a"]),
+                             -abs(r["wall_ns_b"] - r["wall_ns_a"]),
+                             r["name"]))
+
+    ops_a = opcode_totals(merged_a.get("vm", {"images": {}}))
+    ops_b = opcode_totals(merged_b.get("vm", {"images": {}}))
+    op_rows: List[dict] = []
+    for name in sorted(set(ops_a) | set(ops_b)):
+        steps_a, steps_b = ops_a.get(name, 0), ops_b.get(name, 0)
+        if steps_a == steps_b:
+            continue
+        op_rows.append({"name": name, "steps_a": steps_a,
+                        "steps_b": steps_b})
+    op_rows.sort(key=lambda r: (-abs(r["steps_b"] - r["steps_a"]),
+                                r["name"]))
+
+    idle = None
+    if merged_a.get("idle") and merged_b.get("idle"):
+        report_a, report_b = idle_report(merged_a), idle_report(merged_b)
+        idle = {
+            "idle_fraction_a": report_a["idle_fraction"],
+            "idle_fraction_b": report_b["idle_fraction"],
+            "skippable_fraction_a": report_a["skippable_fraction"],
+            "skippable_fraction_b": report_b["skippable_fraction"],
+        }
+
+    return {
+        "label_a": _label(document_a, label_a),
+        "label_b": _label(document_b, label_b),
+        "events": rows,
+        "opcodes": op_rows,
+        "idle": idle,
+    }
+
+
+__all__ = ["diff_profiles"]

@@ -1,0 +1,120 @@
+"""Profile exports: collapsed stacks and speedscope JSON.
+
+Collapsed-stack output is the ``frame;frame;frame weight`` line format
+``flamegraph.pl`` (and most flame-graph tooling) consumes; speedscope
+output is the https://speedscope.app sampled-profile schema.  Both are
+built from per-shard profile snapshots so stacks keep their shard
+frame: ``shard-3;workload;fleet-read 128431``.
+
+Three weight planes are exportable:
+
+* ``wall`` (default) — host nanoseconds per event kind: the real
+  "where does the simulator spend its time" flame graph;
+* ``count`` — events executed: deterministic, diffable across runs;
+* ``sim`` — simulated nanoseconds attributed to the event kind that
+  ended each inter-event gap: the fast-forward opportunity view.
+
+The deterministic planes produce byte-identical exports for any worker
+count (snapshots are consumed in shard-index order).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.profile.collector import layer_for
+
+_WEIGHT_FIELDS = {"wall": "wall_ns", "count": "count", "sim": "sim_gap_ns"}
+_WEIGHT_UNITS = {"wall": "nanoseconds", "count": "none",
+                 "sim": "nanoseconds"}
+
+
+def _stacks(snapshots: Iterable[Optional[dict]],
+            weight: str) -> List[Tuple[Tuple[str, ...], int]]:
+    """(frame tuple, weight) pairs in deterministic order."""
+    try:
+        field = _WEIGHT_FIELDS[weight]
+    except KeyError:
+        raise ValueError(f"unknown weight plane: {weight!r}") from None
+    out: List[Tuple[Tuple[str, ...], int]] = []
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        shard = f"shard-{snapshot['shard']}"
+        for name, record in sorted(snapshot["events"].items()):
+            value = record[field]
+            if value:
+                out.append(((shard, layer_for(name), name), value))
+        for node, record in sorted(snapshot["vm"]["nodes"].items()):
+            if record["steps"] and weight == "count":
+                out.append(((shard, "vm", node, "steps"), record["steps"]))
+    return out
+
+
+def collapsed_stacks(snapshots: Iterable[Optional[dict]],
+                     *, weight: str = "wall") -> str:
+    """The flamegraph.pl collapsed format: one ``a;b;c N`` line each."""
+    lines = [f"{';'.join(frames)} {value}"
+             for frames, value in _stacks(snapshots, weight)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_document(snapshots: Iterable[Optional[dict]], *,
+                        weight: str = "wall",
+                        name: str = "repro.profile") -> dict:
+    """A speedscope "sampled" profile over the chosen weight plane."""
+    stacks = _stacks(list(snapshots), weight)
+    frames: List[dict] = []
+    frame_index: Dict[str, int] = {}
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for frame_names, value in stacks:
+        sample = []
+        for frame in frame_names:
+            index = frame_index.get(frame)
+            if index is None:
+                index = frame_index[frame] = len(frames)
+                frames.append({"name": frame})
+            sample.append(index)
+        samples.append(sample)
+        weights.append(value)
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "sampled",
+            "name": f"{name} ({weight})",
+            "unit": _WEIGHT_UNITS[weight],
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        }],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro.profile",
+    }
+
+
+def write_collapsed(path: str, snapshots: Iterable[Optional[dict]], *,
+                    weight: str = "wall") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(collapsed_stacks(snapshots, weight=weight))
+
+
+def write_speedscope(path: str, snapshots: Iterable[Optional[dict]], *,
+                     weight: str = "wall") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(speedscope_document(snapshots, weight=weight), handle,
+                  indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = [
+    "collapsed_stacks",
+    "speedscope_document",
+    "write_collapsed",
+    "write_speedscope",
+]

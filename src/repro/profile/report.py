@@ -1,0 +1,182 @@
+"""Terminal rendering of profile documents: top-N, idle, heat, diff."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.profile.collector import layer_for, merged_periodic_names
+from repro.profile.vmheat import hot_blocks, opcode_totals
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def idle_report(merged: dict) -> dict:
+    """The fast-forward opportunity numbers, as plain data.
+
+    ``idle_fraction`` is the share of simulated time inside gaps at or
+    above the threshold; ``skippable_fraction`` restricts that to gaps
+    ended by a periodic / known-cost event — windows a fast-forward
+    engine could close analytically.  ``projected_speedup`` assumes
+    skippable windows cost zero host time.
+    """
+    idle = merged["idle"]
+    sim_now = idle.get("sim_time_total_ns") or idle["sim_now_ns"]
+    periodic = merged_periodic_names(merged)
+    idle_ns = sum(record["idle_ns"] for record in idle["by_name"].values())
+    skippable_ns = sum(
+        record["idle_ns"] for name, record in idle["by_name"].items()
+        if name in periodic
+    )
+    idle_fraction = idle_ns / sim_now if sim_now else 0.0
+    skippable_fraction = skippable_ns / sim_now if sim_now else 0.0
+    projected = (1.0 / (1.0 - skippable_fraction)
+                 if skippable_fraction < 1.0 else float("inf"))
+    return {
+        "threshold_ns": idle["threshold_ns"],
+        "sim_total_ns": sim_now,
+        "idle_ns": idle_ns,
+        "idle_fraction": idle_fraction,
+        "skippable_ns": skippable_ns,
+        "skippable_fraction": skippable_fraction,
+        "projected_speedup": projected,
+        "periodic_names": periodic,
+        "windows": idle["gap_count"],
+    }
+
+
+def render_idle(merged: dict) -> str:
+    report = idle_report(merged)
+    idle = merged["idle"]
+    lines = [
+        "idle-gap analysis (fast-forward opportunity)",
+        f"  simulated time        {_fmt_ns(report['sim_total_ns'])} "
+        f"across {len(merged.get('shards') or [])} shard(s)",
+        f"  idle threshold        {_fmt_ns(report['threshold_ns'])}",
+        f"  idle time             {_fmt_ns(report['idle_ns'])} "
+        f"({report['idle_fraction']:.1%} of sim time)",
+        f"  skippable (periodic)  {_fmt_ns(report['skippable_ns'])} "
+        f"({report['skippable_fraction']:.1%} of sim time)",
+        f"  projected speedup     {report['projected_speedup']:.2f}x "
+        f"(analytic fast-forward of skippable windows)",
+        f"  periodic names        "
+        f"{', '.join(report['periodic_names']) or '(none)'}",
+    ]
+    ranked = sorted(idle["by_name"].items(),
+                    key=lambda kv: (-kv[1]["idle_ns"], kv[0]))[:8]
+    if ranked:
+        lines.append("  idle windows by terminating event:")
+        for name, record in ranked:
+            lines.append(
+                f"    {name:<24} {record['windows']:>8} windows  "
+                f"{_fmt_ns(record['idle_ns'])}")
+    return "\n".join(lines)
+
+
+def render_events(merged: dict, *, top: int = 10) -> str:
+    """Top-N event kinds by host wall time."""
+    rows = sorted(merged["events"].items(),
+                  key=lambda kv: (-kv[1]["wall_ns"], kv[0]))[:top]
+    total_wall = sum(r["wall_ns"] for r in merged["events"].values()) or 1
+    lines = [
+        "hottest event kinds (host wall clock)",
+        f"  {'event':<24} {'layer':<9} {'count':>9} {'wall':>9} "
+        f"{'mean':>9} {'share':>6}",
+    ]
+    for name, record in rows:
+        mean = record["wall_ns"] / record["count"] if record["count"] else 0
+        lines.append(
+            f"  {name:<24} {layer_for(name):<9} {record['count']:>9} "
+            f"{_fmt_ns(record['wall_ns']):>9} {_fmt_ns(mean):>9} "
+            f"{record['wall_ns'] / total_wall:>6.1%}")
+    return "\n".join(lines)
+
+
+def render_vm(merged: dict, *, top: int = 8) -> str:
+    """Opcode totals and hot basic blocks."""
+    heat = merged["vm"]
+    totals = opcode_totals(heat)
+    total_steps = sum(totals.values())
+    lines = [
+        f"vm heat: {heat['executions']} handler executions, "
+        f"{total_steps} steps retired",
+    ]
+    if totals:
+        lines.append(f"  {'opcode':<10} {'steps':>10} {'share':>6}")
+        for name, count in list(totals.items())[:top]:
+            lines.append(f"  {name:<10} {count:>10} "
+                         f"{count / total_steps:>6.1%}")
+    blocks = hot_blocks(heat, top=5)
+    if blocks:
+        lines.append("  hot blocks (superinstruction candidates):")
+        for block in blocks:
+            ops = " ".join(block["ops"][:6])
+            if len(block["ops"]) > 6:
+                ops += " ..."
+            lines.append(
+                f"    {block['image']}+{block['offset']:<4} "
+                f"x{block['count']:<8} {ops}")
+    return "\n".join(lines)
+
+
+def render_report(document: dict, *, top: int = 10) -> str:
+    """Full terminal report for a profile document (CLI ``report``)."""
+    merged = document.get("merged", document)
+    sections: List[str] = []
+    header = []
+    if document.get("scenario"):
+        header.append(f"profile: scenario={document['scenario']} "
+                      f"seed={document.get('seed')}")
+    if document.get("digest"):
+        header.append(f"digest:  {document['digest']}")
+    if header:
+        sections.append("\n".join(header))
+    if merged.get("events"):
+        sections.append(render_events(merged, top=top))
+    if merged.get("vm", {}).get("images"):
+        sections.append(render_vm(merged))
+    if merged.get("idle"):
+        sections.append(render_idle(merged))
+    return "\n\n".join(sections)
+
+
+def render_diff(diff: dict, *, top: int = 10) -> str:
+    """Human-readable profile diff (see :mod:`repro.profile.diff`)."""
+    lines = [f"profile diff: {diff['label_a']} -> {diff['label_b']}"]
+    movers = diff["events"][:top]
+    if movers:
+        lines.append(f"  {'event':<24} {'count':>14} {'wall':>16}")
+        for row in movers:
+            lines.append(
+                f"  {row['name']:<24} "
+                f"{row['count_a']:>6} -> {row['count_b']:<6} "
+                f"{_fmt_ns(row['wall_ns_a']):>7} -> "
+                f"{_fmt_ns(row['wall_ns_b']):<8}")
+    ops = diff["opcodes"][:top]
+    if ops:
+        lines.append(f"  {'opcode':<10} {'steps':>18}")
+        for row in ops:
+            lines.append(f"  {row['name']:<10} "
+                         f"{row['steps_a']:>8} -> {row['steps_b']:<8}")
+    idle = diff.get("idle")
+    if idle:
+        lines.append(
+            f"  idle fraction      {idle['idle_fraction_a']:.1%} -> "
+            f"{idle['idle_fraction_b']:.1%}")
+        lines.append(
+            f"  skippable fraction {idle['skippable_fraction_a']:.1%} -> "
+            f"{idle['skippable_fraction_b']:.1%}")
+    if not (movers or ops):
+        lines.append("  (no differences on the compared planes)")
+    return "\n".join(lines)
+
+
+__all__ = ["idle_report", "render_diff", "render_events", "render_idle",
+           "render_report", "render_vm"]

@@ -11,6 +11,7 @@ sequence number).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, Iterable, Optional
 
 NS_PER_US = 1_000
@@ -147,9 +148,9 @@ class Simulator:
     #: attribute set changes shape.
     SNAPSHOT_SCHEMA = {
         "layer": "sim",
-        "version": 1,
+        "version": 2,
         "fields": ("_now_ns", "_seq", "_queue", "_tombstones", "_running",
-                   "_trace_hooks", "tracer"),
+                   "_trace_hooks", "tracer", "profiler"),
     }
 
     def __init__(self) -> None:
@@ -170,6 +171,10 @@ class Simulator:
         #: tracer branches at all until :meth:`attach_tracer` swaps the
         #: traced copies in.
         self.tracer = None
+        #: Optional :class:`repro.profile.ShardProfiler`.  Same
+        #: attach-time shadowing contract as ``tracer``: a simulator
+        #: without a profiler runs the branch-free original paths.
+        self.profiler = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -270,14 +275,24 @@ class Simulator:
                 break
         return count
 
-    def run_until(self, time_ns: int, *, max_events: Optional[int] = None) -> int:
+    def run_until(self, time_ns: int, *, max_events: Optional[int] = None,
+                  strict: bool = True) -> int:
         """Run events with timestamps <= ``time_ns``; advance clock to it.
 
-        Events scheduled exactly at ``time_ns`` do fire.
+        Events scheduled exactly at ``time_ns`` do fire.  A target
+        before the current time raises :class:`SimulationError`; with
+        ``strict=False`` it clamps to now instead (runs nothing,
+        returns 0) — convenient for replay drivers that feed
+        already-passed instants.
         """
         time_ns = int(time_ns)
         if time_ns < self._now_ns:
-            raise SimulationError("run_until target is in the past")
+            if strict:
+                raise SimulationError(
+                    f"run_until target {time_ns} ns is in the past "
+                    f"(now {self._now_ns} ns)"
+                )
+            return 0
         count = 0
         while self._queue:
             head_time, _, head = self._queue[0]
@@ -309,14 +324,41 @@ class Simulator:
         disabled-mode tracing overhead in the kernel is exactly zero.
         """
         self.tracer = tracer
-        self.schedule_at = self._traced_schedule_at  # type: ignore[method-assign]
-        self.step = self._traced_step  # type: ignore[method-assign]
+        self._reshadow()
 
     def detach_tracer(self) -> None:
         """Remove the tracer and restore the branch-free kernel paths."""
         self.tracer = None
+        self._reshadow()
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.profile.ShardProfiler`.
+
+        Swaps in the profiled :meth:`step` / :meth:`schedule_at` copies
+        — the same instance-shadowing scheme as :meth:`attach_tracer`,
+        so disabled-mode profiling overhead in the kernel is exactly
+        zero.  The profiled paths handle an attached tracer inline, so
+        profiling and tracing compose without a fourth method pair.
+        """
+        self.profiler = profiler
+        self._reshadow()
+
+    def detach_profiler(self) -> None:
+        """Remove the profiler; restore traced or plain paths as needed."""
+        self.profiler = None
+        self._reshadow()
+
+    def _reshadow(self) -> None:
+        """Bind the step/schedule_at variants the attached instrumentation
+        needs (profiled > traced > branch-free originals)."""
         self.__dict__.pop("schedule_at", None)
         self.__dict__.pop("step", None)
+        if self.profiler is not None:
+            self.schedule_at = self._profiled_schedule_at  # type: ignore[method-assign]
+            self.step = self._profiled_step  # type: ignore[method-assign]
+        elif self.tracer is not None:
+            self.schedule_at = self._traced_schedule_at  # type: ignore[method-assign]
+            self.step = self._traced_step  # type: ignore[method-assign]
 
     def _traced_schedule_at(
         self,
@@ -371,6 +413,74 @@ class Simulator:
             return True
         return False
 
+    # -------------------------------------------------------------- profiling
+    def _profiled_schedule_at(
+        self,
+        time_ns: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+    ) -> EventHandle:
+        """:meth:`schedule_at`, plus schedule-delay capture.
+
+        The profiler records every named event's distinct scheduling
+        delays — the signature its idle-gap analyzer uses to classify
+        periodic (analytically fast-forwardable) work offline.  Tracer
+        causal-context stamping is folded in so profiled+traced runs
+        behave exactly like traced runs.
+        """
+        time_ns = int(time_ns)
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule in the past: {time_ns} < {self._now_ns}"
+            )
+        event = _ScheduledEvent(time_ns, self._seq, callback, name)
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            event.trace_id = tracer.current
+        if name:
+            self.profiler.on_schedule(name, time_ns - self._now_ns)
+        heapq.heappush(self._queue, (time_ns, self._seq, event))
+        self._seq += 1
+        return EventHandle(event, self)
+
+    def _profiled_step(self) -> bool:
+        """:meth:`step`, plus wall-clock and sim-gap attribution.
+
+        Each event's host cost (``perf_counter_ns`` around the
+        callback) and the simulated-time gap it closed are reported to
+        the profiler keyed by event name.  Tracer handling is inlined
+        so the profiled path covers both the plain and traced cases.
+        """
+        while self._queue:
+            time_ns, _, event = heapq.heappop(self._queue)
+            event.popped = True
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            prev_ns = self._now_ns
+            self._now_ns = time_ns
+            for hook in self._trace_hooks:
+                hook(time_ns, event.name)
+            tracer = self.tracer
+            started = perf_counter_ns()
+            if tracer is None:
+                event.callback()
+            else:
+                trace_id = getattr(event, "trace_id", None)
+                tracer.current = trace_id
+                if event.name and tracer.enabled_for("kernel"):
+                    tracer.instant(event.name, "kernel", trace_id=trace_id)
+                try:
+                    event.callback()
+                finally:
+                    tracer.current = None
+            self.profiler.on_event(
+                event.name, prev_ns, time_ns, perf_counter_ns() - started
+            )
+            return True
+        return False
+
     # ------------------------------------------------------------ checkpoint
     def snapshot_state(self) -> dict:
         """Complete restorable kernel state (the heap travels as-is:
@@ -392,10 +502,8 @@ class Simulator:
         state.pop("_schema", None)
         self.__dict__.clear()
         self.__dict__.update(state)
-        if self.tracer is not None:
-            # Re-shadow the traced paths exactly as attach_tracer does.
-            self.schedule_at = self._traced_schedule_at  # type: ignore[method-assign]
-            self.step = self._traced_step  # type: ignore[method-assign]
+        # Re-shadow instrumented paths exactly as the attach_* calls do.
+        self._reshadow()
 
     __getstate__ = snapshot_state
     __setstate__ = restore_state

@@ -88,6 +88,10 @@ def scenario_from_dict(data: dict):
             data[key] = RetryPolicy(**data[key])
     if data.get("telemetry") is not None:
         data["telemetry"] = TelemetryConfig(**data["telemetry"])
+    if data.get("profile") is not None:
+        from repro.profile.config import ProfileConfig
+
+        data["profile"] = ProfileConfig(**data["profile"])
     return FleetScenario(**data)
 
 
@@ -207,6 +211,40 @@ def shard_dir_name(index: int) -> str:
     return f"shard-{index:04d}"
 
 
+def instant_dir_name(sim_time_ns: int) -> str:
+    """Directory name for one retained checkpoint instant.
+
+    Zero-padded so lexicographic order is chronological order — the
+    rolling-retention GC and :func:`resolve_fleet_dir` both rely on a
+    plain sorted listing.
+    """
+    return f"at-{int(sim_time_ns):015d}"
+
+
+def resolve_fleet_dir(directory) -> Path:
+    """The directory actually holding ``fleet.json``.
+
+    A plain fleet checkpoint resolves to itself.  A rolling-retention
+    run (``--checkpoint-keep``) nests one fleet checkpoint per retained
+    instant in ``at-<ns>`` subdirectories; resolving picks the latest,
+    so ``--resume`` keeps working on either layout unchanged.
+    """
+    directory = Path(directory)
+    if (directory / _FLEET_META).is_file():
+        return directory
+    instants = sorted(
+        child for child in directory.iterdir()
+        if child.is_dir() and child.name.startswith("at-")
+        and (child / _FLEET_META).is_file()
+    ) if directory.is_dir() else []
+    if not instants:
+        raise CheckpointError(
+            f"not a fleet checkpoint: {directory} has no {_FLEET_META} "
+            f"and no retained at-* instants"
+        )
+    return instants[-1]
+
+
 def save_fleet_meta(
     directory, scenario, *, sim_time_ns: int, shards: int, label: str = ""
 ) -> Path:
@@ -253,10 +291,12 @@ __all__ = [
     "RestoredShard",
     "digest_document",
     "fleet_checkpoint_dirs",
+    "instant_dir_name",
     "load_fleet_meta",
     "load_shard",
     "read_manifest",
     "read_summary",
+    "resolve_fleet_dir",
     "save_fleet_meta",
     "save_shard",
     "scenario_from_dict",

@@ -144,6 +144,23 @@ def _manifest_v1_to_v2(manifest: dict) -> dict:
     return manifest
 
 
+# Layer migrations register by qualified name (no imports needed, and
+# they keep working even if a class moves or is retired later).
+
+@register_state_migration("repro.sim.kernel.Simulator", 1)
+def _simulator_v1_to_v2(state: dict) -> dict:
+    """Sim schema v2 added the attach-time ``profiler`` slot."""
+    state.setdefault("profiler", None)
+    return state
+
+
+@register_state_migration("repro.vm.machine.VirtualMachine", 1)
+def _vm_v1_to_v2(state: dict) -> dict:
+    """VM schema v2 added the optional ``_hit_recorder``."""
+    state.setdefault("_hit_recorder", None)
+    return state
+
+
 __all__ = [
     "register_manifest_migration",
     "register_state_migration",

@@ -73,6 +73,7 @@ def _checkpointable_classes() -> List[type]:
     from repro.hw.power import EnergyMeter
     from repro.net.network import Network
     from repro.net.stack import NetworkStack
+    from repro.profile.collector import ShardProfiler
     from repro.protocol.reliability import DuplicateCache, ReplyCache
     from repro.sim.kernel import Simulator
     from repro.sim.rng import RngRegistry
@@ -87,6 +88,7 @@ def _checkpointable_classes() -> List[type]:
         EnergyMeter,                            # hw
         Client, Manager, Thing,                 # core
         SeriesBank,                             # telemetry
+        ShardProfiler,                          # profile
     ]
 
 
@@ -208,6 +210,17 @@ def shard_summary(deployment) -> dict:
     if tracer is not None:
         events = [event.to_dict() for event in tracer.events]
         summary["trace"] = {"events": len(events), "digest": _digest(events)}
+    profiler = getattr(deployment, "profiler", None)
+    if profiler is not None:
+        from repro.profile.collector import deterministic_view
+
+        # Wall-clock numbers differ between the saving and the restored
+        # process, so the audit digests the deterministic plane only.
+        snapshot = deterministic_view(profiler.snapshot())
+        summary["profile"] = {
+            "events": len(snapshot.get("events", {})),
+            "digest": _digest(snapshot),
+        }
     return summary
 
 

@@ -77,6 +77,9 @@ DEFAULT_SENTINEL_RULES: Tuple[SentinelRule, ...] = (
     SentinelRule("*bytes_per_node", direction="lower", tolerance=0.25),
     SentinelRule("*resume_speedup", direction="higher", tolerance=0.25),
     SentinelRule("*parity", direction="equal"),
+    SentinelRule("*deterministic", direction="equal"),
+    SentinelRule("*idle_fraction", direction="higher", tolerance=0.25),
+    SentinelRule("*skippable_fraction", direction="higher", tolerance=0.25),
 )
 
 

@@ -50,6 +50,11 @@ class DriverManager:
         self._active: Dict[int, DriverRuntime] = {}  # channel -> runtime
         self.stats = ManagerStats()
 
+    @property
+    def vm(self) -> VirtualMachine:
+        """The VM running this manager's drivers (profiler attach point)."""
+        return self._vm
+
     # ------------------------------------------------------------ repository
     def install(self, image: DriverImage) -> None:
         """Add (or update) a driver image in the local repository."""

@@ -169,10 +169,12 @@ class VirtualMachine:
 
     #: Checkpoint contract: the id-keyed translation map is derived
     #: state and is rebuilt lazily after restore, never serialized.
+    #: v2 added the optional ``_hit_recorder`` (opcode heat profiling).
     SNAPSHOT_SCHEMA = {
         "layer": "vm",
-        "version": 1,
-        "fields": ("_profile", "_stack_limit", "_step_limit", "_mode"),
+        "version": 2,
+        "fields": ("_profile", "_stack_limit", "_step_limit", "_mode",
+                   "_hit_recorder"),
     }
 
     def __init__(
@@ -191,6 +193,11 @@ class VirtualMachine:
         self._stack_limit = stack_limit
         self._step_limit = step_limit
         self._mode = mode
+        #: Optional :class:`repro.profile.vmheat.OpcodeHeatRecorder`.
+        #: None (the default) keeps both engines recorder-free: the
+        #: reference loop skips its counting lines and the fast engine
+        #: stays the uninstrumented :func:`fastpath.execute_fast`.
+        self._hit_recorder = None
         #: id(image) -> (image, Translation); identity-guarded fast map
         #: in front of the module-level shared translation cache.
         self._translations: Dict[int, tuple] = {}
@@ -206,6 +213,31 @@ class VirtualMachine:
     @property
     def mode(self) -> str:
         return self._mode
+
+    # -------------------------------------------------------------- profiling
+    def attach_hit_recorder(self, recorder) -> None:
+        """Count executed opcodes into *recorder* (opcode heat maps).
+
+        In fast mode this swaps the execution engine for the counting
+        copy of the threaded-dispatch loop; in reference mode the
+        interpreter checks ``_hit_recorder`` per invocation.  Both
+        engines increment at the same point of the step (after the
+        step-limit check, before dispatch), so fast and reference
+        counts agree trap-for-trap.
+        """
+        self._hit_recorder = recorder
+        if self._mode == "fast":
+            from repro.profile.vmheat import execute_fast_counting
+
+            self._execute_fast = execute_fast_counting
+
+    def detach_hit_recorder(self) -> None:
+        """Stop counting; restore the uninstrumented engine."""
+        self._hit_recorder = None
+        if self._mode == "fast":
+            from repro.vm import fastpath
+
+            self._execute_fast = fastpath.execute_fast
 
     # ------------------------------------------------------------ checkpoint
     def snapshot_state(self) -> dict:
@@ -231,9 +263,14 @@ class VirtualMachine:
         self.__dict__.update(state)
         self._translations = {}
         if self._mode == "fast":
-            from repro.vm import fastpath
+            if self._hit_recorder is not None:
+                from repro.profile.vmheat import execute_fast_counting
 
-            self._execute_fast = fastpath.execute_fast
+                self._execute_fast = execute_fast_counting
+            else:
+                from repro.vm import fastpath
+
+                self._execute_fast = fastpath.execute_fast
 
     __getstate__ = snapshot_state
     __setstate__ = restore_state
@@ -263,6 +300,11 @@ class VirtualMachine:
         cycles = 0
         steps = 0
         cost = self._profile.table
+        recorder = self._hit_recorder
+        hits = None
+        if recorder is not None:
+            recorder.executions += 1
+            hits = recorder.hits_for(instance.image)
 
         def push(value: int) -> None:
             if len(stack) >= self._stack_limit:
@@ -280,6 +322,8 @@ class VirtualMachine:
             steps += 1
             if steps > self._step_limit:
                 raise VmTrap("step limit exceeded (runaway handler)")
+            if hits is not None:
+                hits[pc] += 1
             try:
                 op = Op(code[pc])
             except ValueError:

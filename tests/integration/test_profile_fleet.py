@@ -1,0 +1,142 @@
+"""Integration tests: the cross-layer profiler over real fleet runs.
+
+Covers the tentpole acceptance criteria end to end: merged profile
+digests byte-identical across worker counts for several seeds, the
+idle-gap report stable across a checkpoint/restore round-trip, the
+profiler leaving workload counters untouched, and the ``repro.profile``
+/ ``repro.fleet --profile`` CLIs producing the promised artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.runner import CheckpointPlan, resume_scenario, run_scenario
+from repro.fleet.scenario import ChurnProfile, FleetScenario
+from repro.profile import (
+    DEFAULT_PROFILE,
+    deterministic_view,
+    idle_report,
+    merge_profiles,
+    profile_digest,
+)
+
+#: Small fleet, several shards — enough parallelism to catch any
+#: worker-count dependence in the merge.
+SCENARIO = FleetScenario(
+    name="profile-it", things=8, shard_size=2, duration_s=5.0, seed=21,
+    churn=ChurnProfile(churn_interval_s=2.0, discovery_interval_s=1.0,
+                       hot_update_interval_s=3.0, read_interval_s=1.0),
+    profile=DEFAULT_PROFILE,
+)
+
+
+# ----------------------------------------------------------- determinism
+@pytest.mark.parametrize("seed", [1, 7, 21])
+def test_profile_digest_byte_identical_across_worker_counts(seed):
+    scenario = SCENARIO.scaled(seed=seed)
+    digests = {}
+    for workers in (1, 2):
+        result = run_scenario(scenario, workers=workers)
+        digests[workers] = profile_digest(result.profile_document())
+    assert digests[1] == digests[2]
+
+
+def test_profile_collects_all_three_layers():
+    result = run_scenario(SCENARIO, workers=1)
+    merged = result.profile_document()
+    assert merged["shards"] == [0, 1, 2, 3]
+    assert merged["events"]  # kernel events recorded
+    assert merged["vm"]["executions"] > 0  # opcode heat recorded
+    assert merged["vm"]["images"]
+    report = idle_report(merged)
+    assert report["windows"] > 0
+    assert 0.0 < report["idle_fraction"] <= 1.0
+    assert report["periodic_names"]  # discovery/read timers classify
+
+
+def test_profiling_does_not_change_workload_counters():
+    """Profiling is read-only: enabled and disabled runs produce the
+    same merged workload metrics, byte for byte."""
+    enabled = run_scenario(SCENARIO, workers=1).merged
+    disabled = run_scenario(SCENARIO.scaled(profile=None), workers=1).merged
+    assert json.dumps(enabled, sort_keys=True, default=str) == \
+        json.dumps(disabled, sort_keys=True, default=str)
+
+
+# ------------------------------------------------------------ checkpoint
+def test_idle_gap_report_stable_across_checkpoint_restore(tmp_path):
+    baseline = run_scenario(SCENARIO, workers=1)
+    run_scenario(SCENARIO, workers=1,
+                 checkpoint=CheckpointPlan(directory=str(tmp_path),
+                                           at_s=2.5))
+    resumed = resume_scenario(tmp_path, workers=1)
+    merged_a = baseline.profile_document()
+    merged_b = resumed.profile_document()
+    assert profile_digest(merged_a) == profile_digest(merged_b)
+    assert idle_report(merged_a) == idle_report(merged_b)
+    # The full deterministic plane survives, not just the digest.
+    assert deterministic_view(merged_a) == deterministic_view(merged_b)
+
+
+def test_profile_survives_rolling_retention_resume(tmp_path):
+    baseline = run_scenario(SCENARIO, workers=2)
+    run_scenario(SCENARIO, workers=2,
+                 checkpoint=CheckpointPlan(directory=str(tmp_path),
+                                           every_s=1.0, keep=2))
+    resumed = resume_scenario(tmp_path, workers=2)
+    assert profile_digest(resumed.profile_document()) == \
+        profile_digest(baseline.profile_document())
+
+
+# ------------------------------------------------------------------ CLIs
+def test_profile_cli_run_writes_all_artifacts(tmp_path, capsys):
+    from repro.profile.__main__ import main
+
+    out = tmp_path / "prof"
+    rc = main(["run", "--scenario", "smoke", "--nodes", "4",
+               "--shard-size", "2", "--duration", "3", "--seed", "5",
+               "--out", str(out), "--weight", "count"])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "hottest event kinds" in stdout
+    assert "idle-gap analysis" in stdout
+    document = json.loads((out / "profile.json").read_text())
+    assert document["digest"] == profile_digest(document["merged"])
+    assert (out / "profile.collapsed").read_text().strip()
+    speedscope = json.loads((out / "profile.speedscope.json").read_text())
+    assert speedscope["profiles"][0]["samples"]
+
+    # report / diff subcommands re-render saved documents.
+    assert main(["report", str(out / "profile.json")]) == 0
+    assert main(["diff", str(out / "profile.json"),
+                 str(out / "profile.json")]) == 0
+    stdout = capsys.readouterr().out
+    assert "profile diff" in stdout
+
+
+def test_profile_cli_smoke_gate_passes(capsys):
+    from repro.profile.__main__ import main
+
+    assert main(["smoke", "--seeds", "1", "--duration", "3"]) == 0
+    stdout = capsys.readouterr().out
+    assert "profile smoke passed" in stdout
+
+
+def test_fleet_cli_profile_flag_prints_report_and_writes_out(
+        tmp_path, capsys):
+    from repro.fleet.__main__ import main
+
+    out = tmp_path / "prof"
+    rc = main(["--scenario", "smoke", "--nodes", "4", "--shard-size", "2",
+               "--duration", "3", "--seed", "5", "--profile",
+               "--profile-out", str(out)])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "profile:" in stdout
+    assert "digest:" in stdout
+    assert (out / "profile.json").exists()
+    assert (out / "profile.collapsed").exists()
+    assert (out / "profile.speedscope.json").exists()

@@ -1,0 +1,107 @@
+"""Unit tests: rolling checkpoint retention (``CheckpointPlan.keep``).
+
+With ``keep=N`` a periodic-checkpoint run keeps only the newest N
+checkpoint instants — each a self-contained ``at-<ns>/`` fleet
+directory — and garbage-collects older ones as the run advances.
+``resolve_fleet_dir`` makes resume pick the newest instant without the
+caller naming it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.runner import CheckpointPlan, resume_scenario, run_scenario
+from repro.fleet.scenario import SCENARIOS
+from repro.snapshot.checkpoint import (
+    CheckpointError,
+    digest_document,
+    instant_dir_name,
+    resolve_fleet_dir,
+)
+
+
+def _scenario(seed=9):
+    return SCENARIOS["smoke"].scaled(
+        things=4, shard_size=2, duration_s=4.0, seed=seed)
+
+
+def _at_dirs(root):
+    return sorted(child.name for child in root.iterdir()
+                  if child.is_dir() and child.name.startswith("at-"))
+
+
+# ------------------------------------------------------------ dir naming
+def test_instant_dir_names_sort_lexicographically_as_chronologically():
+    times = [9, 1_000_000_000, 42_000, 123_456_789_012_345]
+    names = [instant_dir_name(t) for t in times]
+    assert sorted(names) == [instant_dir_name(t) for t in sorted(times)]
+    assert instant_dir_name(1_000_000_000) == "at-000001000000000"
+
+
+# -------------------------------------------------------------- retention
+def test_keep_retains_only_the_last_n_instants(tmp_path):
+    plan = CheckpointPlan(directory=str(tmp_path), every_s=1.0, keep=2)
+    run_scenario(_scenario(), workers=1, checkpoint=plan)
+    names = _at_dirs(tmp_path)
+    assert len(names) == 2
+    # The two newest instants of {1s, 2s, 3s} (instants stay strictly
+    # inside the run: every_s=1.0 over 4s checkpoints at 1, 2 and 3).
+    assert names == [instant_dir_name(2_000_000_000),
+                     instant_dir_name(3_000_000_000)]
+    for name in names:
+        instant = tmp_path / name
+        assert (instant / "fleet.json").exists()
+        shard_dirs = sorted(p.name for p in instant.iterdir()
+                            if p.is_dir())
+        assert shard_dirs == ["shard-0000", "shard-0001"]
+    # No flat shard dirs at the root: everything lives under instants.
+    assert not (tmp_path / "shard-0000").exists()
+
+
+def test_keep_larger_than_instant_count_keeps_everything(tmp_path):
+    plan = CheckpointPlan(directory=str(tmp_path), every_s=1.0, keep=10)
+    run_scenario(_scenario(), workers=1, checkpoint=plan)
+    assert len(_at_dirs(tmp_path)) == 3  # instants at 1s, 2s and 3s
+
+
+# ---------------------------------------------------------------- resolve
+def test_resolve_fleet_dir_prefers_self_then_latest_instant(tmp_path):
+    plan = CheckpointPlan(directory=str(tmp_path), every_s=1.0, keep=2)
+    run_scenario(_scenario(), workers=1, checkpoint=plan)
+    latest = tmp_path / instant_dir_name(3_000_000_000)
+    assert resolve_fleet_dir(tmp_path) == latest
+    # An instant dir resolves to itself.
+    assert resolve_fleet_dir(latest) == latest
+
+
+def test_resolve_fleet_dir_rejects_a_directory_without_checkpoints(
+        tmp_path):
+    with pytest.raises(CheckpointError):
+        resolve_fleet_dir(tmp_path)
+
+
+# ----------------------------------------------------------------- resume
+@pytest.mark.parametrize("workers", [1, 2])
+def test_resume_from_rolling_retention_matches_uninterrupted(
+        tmp_path, workers):
+    scenario = _scenario(11)
+    baseline = run_scenario(scenario, workers=workers)
+    plan = CheckpointPlan(directory=str(tmp_path), every_s=1.0, keep=2)
+    run_scenario(scenario, workers=workers, checkpoint=plan)
+    # resume_scenario resolves the newest instant (3s) and finishes
+    # the run from there.
+    resumed = resume_scenario(tmp_path, workers=workers)
+    assert digest_document(resumed.merged) == \
+        digest_document(baseline.merged)
+
+
+def test_resume_from_an_explicit_older_instant(tmp_path):
+    scenario = _scenario(13)
+    baseline = run_scenario(scenario, workers=1)
+    plan = CheckpointPlan(directory=str(tmp_path), every_s=1.0, keep=3)
+    run_scenario(scenario, workers=1, checkpoint=plan)
+    older = tmp_path / instant_dir_name(2_000_000_000)
+    resumed = resume_scenario(older, workers=1)
+    assert digest_document(resumed.merged) == \
+        digest_document(baseline.merged)

@@ -207,6 +207,42 @@ def test_merge_preserves_shard_order_and_reserves_missing_pids():
     assert pids == {2}
 
 
+_TELEMETRY_SNAP = {
+    "series": [
+        {"name": "fleet.reads_ok", "labels": {}, "kind": "counter",
+         "unit": "", "help": "", "samples": [[1_000_000, 1.0],
+                                             [2_000_000, 3.0]]},
+        {"name": "fleet.energy_joules", "labels": {"node": "thing-0"},
+         "kind": "gauge", "unit": "J", "help": "",
+         "samples": [[1_000_000, 0.5]]},
+    ],
+}
+
+
+def test_counter_events_render_telemetry_series_as_chrome_counters():
+    from repro.obs.export import counter_events
+
+    events = counter_events(_TELEMETRY_SNAP, pid=3)
+    assert all(e["ph"] == "C" and e["pid"] == 3 for e in events)
+    reads = [e for e in events if e["name"] == "fleet.reads_ok"]
+    assert [e["ts"] for e in reads] == [1000.0, 2000.0]  # ns -> us
+    assert [e["args"]["reads_ok"] for e in reads] == [1.0, 3.0]
+    # Label sets decorate the track name (OpenMetrics style).
+    labeled = [e for e in events if "{" in e["name"]]
+    assert labeled and labeled[0]["name"] == \
+        "fleet.energy_joules{node=thing-0}"
+
+
+def test_merge_traces_embeds_telemetry_counters_on_the_shard_pid():
+    snap = make_tracer(label="s0").snapshot()
+    document = merge_traces([snap], telemetry=[_TELEMETRY_SNAP])
+    counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 3
+    assert {e["pid"] for e in counters} == {0}
+    # Tracer events are untouched alongside.
+    assert any(e["ph"] != "C" for e in document["traceEvents"])
+
+
 # --------------------------------------------------------------------- report
 def test_collect_traces_and_critical_path_reports_waits():
     document = _golden_session()

@@ -1,0 +1,166 @@
+"""Unit tests: profile exports (collapsed / speedscope), reports, diffs.
+
+Built over small synthetic profile snapshots so every export line can
+be asserted byte-for-byte; determinism across shard input order is the
+contract the CI smoke gate leans on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.profile.collector import merge_profiles
+from repro.profile.diff import diff_profiles
+from repro.profile.export import (
+    collapsed_stacks,
+    speedscope_document,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.profile.report import (
+    idle_report,
+    render_diff,
+    render_report,
+)
+from repro.profile.config import ProfileConfig
+from repro.sim.kernel import NS_PER_MS, Simulator
+
+
+def _snapshot(shard: int, *, events: int = 3,
+              interval_ns: int = 2 * NS_PER_MS) -> dict:
+    """A real ShardProfiler snapshot from a tiny scripted workload."""
+    from repro.profile.collector import ShardProfiler
+
+    class _Spec:
+        index = shard
+
+    class _Deployment:
+        def __init__(self) -> None:
+            self.sim = Simulator()
+            self.spec = _Spec()
+            self.things = []
+
+    deployment = _Deployment()
+    profiler = ShardProfiler(deployment, ProfileConfig())
+    sim = deployment.sim
+    for index in range(events):
+        sim.schedule((index + 1) * interval_ns, lambda: None,
+                     name="fleet-read")
+    sim.schedule(1, lambda: None, name="uart-tx")
+    sim.run()
+    return profiler.snapshot()
+
+
+# ---------------------------------------------------------- collapsed
+def test_collapsed_stacks_emit_shard_layer_name_lines():
+    text = collapsed_stacks([_snapshot(0)], weight="count")
+    lines = text.splitlines()
+    assert "shard-0;workload;fleet-read 3" in lines
+    assert "shard-0;hw;uart-tx 1" in lines
+    assert text.endswith("\n")
+
+
+def test_collapsed_stacks_count_plane_is_input_order_deterministic():
+    a, b = _snapshot(0), _snapshot(1)
+    assert collapsed_stacks([a, b], weight="count") == \
+        collapsed_stacks([_snapshot(0), _snapshot(1)], weight="count")
+    # Shard frames keep shards distinguishable in the merged graph.
+    text = collapsed_stacks([a, b], weight="count")
+    assert "shard-0;" in text and "shard-1;" in text
+
+
+def test_collapsed_stacks_sim_plane_weights_are_gap_attributed():
+    text = collapsed_stacks([_snapshot(0)], weight="sim")
+    # First fleet-read gap is 2ms - 1ns (after uart-tx at t=1).
+    line = next(l for l in text.splitlines() if "fleet-read" in l)
+    assert int(line.rsplit(" ", 1)[1]) == 6 * NS_PER_MS - 1
+
+
+def test_unknown_weight_plane_is_rejected():
+    with pytest.raises(ValueError, match="unknown weight plane"):
+        collapsed_stacks([_snapshot(0)], weight="bogus")
+
+
+def test_none_shards_are_skipped_and_empty_export_is_empty():
+    assert collapsed_stacks([None, None]) == ""
+
+
+# ---------------------------------------------------------- speedscope
+def test_speedscope_document_is_schema_shaped_and_weights_sum():
+    document = speedscope_document([_snapshot(0)], weight="count")
+    profile = document["profiles"][0]
+    assert document["$schema"].startswith("https://www.speedscope.app")
+    assert profile["type"] == "sampled"
+    assert profile["unit"] == "none"
+    assert len(profile["samples"]) == len(profile["weights"])
+    assert profile["endValue"] == sum(profile["weights"]) == 4
+    # Samples index into the shared frame table.
+    n_frames = len(document["shared"]["frames"])
+    assert all(0 <= i < n_frames
+               for sample in profile["samples"] for i in sample)
+
+
+def test_write_helpers_round_trip_through_files(tmp_path):
+    snapshot = _snapshot(0)
+    collapsed = tmp_path / "p.collapsed"
+    speedscope = tmp_path / "p.speedscope.json"
+    write_collapsed(str(collapsed), [snapshot], weight="count")
+    write_speedscope(str(speedscope), [snapshot], weight="count")
+    assert collapsed.read_text() == \
+        collapsed_stacks([snapshot], weight="count")
+    assert json.loads(speedscope.read_text()) == \
+        speedscope_document([snapshot], weight="count")
+
+
+# -------------------------------------------------------------- report
+def test_render_report_covers_all_sections():
+    merged = merge_profiles([_snapshot(0), _snapshot(1)])
+    document = {"scenario": "smoke", "seed": 7, "digest": "d" * 64,
+                "merged": merged, "shards": []}
+    text = render_report(document)
+    assert "scenario=smoke seed=7" in text
+    assert "digest:" in text
+    assert "hottest event kinds" in text
+    assert "fleet-read" in text
+    assert "idle-gap analysis" in text
+
+
+def test_idle_report_sums_sim_time_across_shards():
+    merged = merge_profiles([_snapshot(0), _snapshot(1)])
+    report = idle_report(merged)
+    # Two shards, each 6 ms of simulated time.
+    assert report["sim_total_ns"] == 12 * NS_PER_MS
+    assert report["windows"] == merged["idle"]["gap_count"]
+    assert 0.0 <= report["skippable_fraction"] <= \
+        report["idle_fraction"] <= 1.0
+    assert report["projected_speedup"] >= 1.0
+
+
+# ---------------------------------------------------------------- diff
+def test_diff_of_identical_deterministic_planes_can_still_be_rendered():
+    merged = merge_profiles([_snapshot(0)])
+    diff = diff_profiles(merged, merged)
+    assert diff["events"] == []  # same doc: nothing moved at all
+    assert diff["opcodes"] == []
+    assert diff["idle"]["idle_fraction_a"] == \
+        diff["idle"]["idle_fraction_b"]
+    assert "(no differences" in render_diff(diff)
+
+
+def test_diff_ranks_events_by_count_movement_and_labels_documents():
+    doc_a = {"scenario": "smoke", "seed": 1,
+             "merged": merge_profiles([_snapshot(0, events=3)])}
+    doc_b = {"scenario": "smoke", "seed": 2,
+             "merged": merge_profiles([_snapshot(0, events=8)])}
+    diff = diff_profiles(doc_a, doc_b)
+    assert diff["label_a"] == "smoke/seed=1"
+    assert diff["label_b"] == "smoke/seed=2"
+    top = diff["events"][0]
+    assert top["name"] == "fleet-read"
+    assert (top["count_a"], top["count_b"]) == (3, 8)
+    text = render_diff(diff)
+    assert "smoke/seed=1 -> smoke/seed=2" in text
+    assert "fleet-read" in text
+    assert "idle fraction" in text

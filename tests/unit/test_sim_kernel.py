@@ -119,6 +119,24 @@ def test_run_until_past_raises():
         sim.run_until(50)
 
 
+def test_run_until_past_error_names_target_and_current_time():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SimulationError, match=r"50 ns.*now 100 ns"):
+        sim.run_until(50)
+
+
+def test_run_until_past_non_strict_clamps_instead_of_raising():
+    sim = Simulator()
+    fired = []
+    sim.schedule(200, lambda: fired.append(sim.now_ns))
+    sim.run_until(100)
+    assert sim.run_until(50, strict=False) == 0
+    assert sim.now_ns == 100  # clock never moves backwards
+    sim.run_until(200)
+    assert fired == [200]  # queue untouched by the clamped call
+
+
 def test_call_soon_runs_at_current_instant_after_pending():
     sim = Simulator()
     fired = []
