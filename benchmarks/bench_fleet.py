@@ -3,13 +3,25 @@
 Not a paper result — this seeds the repo's perf trajectory for the
 fleet workload.  Sweeps node count x worker count over the metro
 scenario, reporting wall-clock, simulated events per second and the
-parallel speedup versus one worker, then writes ``BENCH_fleet.json``.
+parallel speedup versus one worker, then runs the duty-cycled
+fast-forward section (FF off/on x 1/2 workers, digest-checked), then
+writes ``BENCH_fleet.json``.
 
     PYTHONPATH=src python benchmarks/bench_fleet.py [--fast] [--out PATH]
 
-Merged metrics are also cross-checked between worker counts: the fleet
-guarantees bit-identical results for any ``--workers`` setting, so a
-mismatch here is a correctness failure, not a perf number.
+Merged metrics are also cross-checked between worker counts and between
+fast-forward off/on: the fleet guarantees bit-identical results for any
+``--workers`` setting and any ``fast_forward`` setting, so a mismatch
+here is a correctness failure, not a perf number.
+
+Noise control: one warmup run absorbs cold costs (driver catalogue
+compile/lint caches, interpreter warm-up) before anything is timed, and
+every point is re-run until it has accumulated ``MIN_WALL_S`` of
+measured work (capped at ``MAX_REPEATS``), keeping the best run.
+Points whose best wall time still sits under the floor are flagged
+``below_work_floor`` — their speedup ratios are dominated by fixed
+per-run costs (process-pool spin-up, pickling) and must not be read as
+regressions.
 """
 
 from __future__ import annotations
@@ -23,23 +35,55 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.fleet.runner import run_scenario  # noqa: E402
+from repro.fleet.sampling import SamplingConfig  # noqa: E402
 from repro.fleet.scenario import SCENARIOS  # noqa: E402
 
 NODE_SWEEP = (10, 50, 200)
 WORKER_SWEEP = (1, 4, 8)
+#: A point must accumulate this much measured wall time before its
+#: throughput number is trusted; re-run (keeping the best) until it
+#: does, up to MAX_REPEATS runs.
+MIN_WALL_S = 0.75
+MAX_REPEATS = 5
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
 
-def bench_point(nodes: int, workers: int, *, duration_s: float, seed: int) -> dict:
+def _digest(merged: dict) -> str:
+    import hashlib
+
+    blob = json.dumps(merged, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _run_floored(scenario, workers: int) -> tuple:
+    """Run until MIN_WALL_S of work is accumulated; keep the best run."""
+    best = None
+    accumulated = 0.0
+    repeats = 0
+    while repeats < MAX_REPEATS:
+        result = run_scenario(scenario, workers=workers)
+        repeats += 1
+        accumulated += result.wall_s
+        if best is None or result.wall_s < best.wall_s:
+            best = result
+        if accumulated >= MIN_WALL_S:
+            break
+    return best, repeats
+
+
+def bench_point(nodes: int, workers: int, *, duration_s: float,
+                seed: int) -> dict:
     scenario = SCENARIOS["metro"].scaled(
         name=f"metro-{nodes}", things=nodes, duration_s=duration_s, seed=seed,
     )
-    result = run_scenario(scenario, workers=workers)
+    result, repeats = _run_floored(scenario, workers)
     return {
         "nodes": nodes,
         "workers": workers,
         "shards": scenario.shard_count,
         "wall_s": round(result.wall_s, 4),
+        "repeats": repeats,
+        "below_work_floor": result.wall_s < MIN_WALL_S,
         "sim_events": result.sim_events,
         "events_per_s": round(result.events_per_s, 1),
         "identifications": result.counter("identifications"),
@@ -48,11 +92,62 @@ def bench_point(nodes: int, workers: int, *, duration_s: float, seed: int) -> di
     }
 
 
-def _digest(merged: dict) -> str:
-    import hashlib
+def bench_fastforward(*, duration_s: float, seed: int) -> dict:
+    """The duty-cycled fast-forward section.
 
-    blob = json.dumps(merged, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()[:16]
+    Runs the ``duty`` scenario (and a sampler-dense variant) with the
+    kernel's closed-form idle fast-forward off and on, across 1 and 2
+    workers, asserting the four merged digests are byte-identical.
+    """
+    points = []
+    variants = (
+        ("duty", SCENARIOS["duty"].scaled(duration_s=duration_s, seed=seed)),
+        # Sampler-dense: 2/4 ms cadences make certified windows dominate
+        # utterly — the point that tracks the roadmap's 10x target.
+        ("duty-dense", SCENARIOS["duty"].scaled(
+            name="duty-dense", duration_s=duration_s, seed=seed,
+            sampling=SamplingConfig(sensor_interval_ms=2,
+                                    baseline_interval_ms=4),
+        )),
+    )
+    for label, base in variants:
+        digests = set()
+        off_events_per_s = None
+        for fast_forward in (False, True):
+            scenario = base.scaled(fast_forward=fast_forward)
+            for workers in (1, 2):
+                result, repeats = _run_floored(scenario, workers)
+                digests.add(_digest(result.merged))
+                point = {
+                    "scenario": label,
+                    "fast_forward": fast_forward,
+                    "workers": workers,
+                    "wall_s": round(result.wall_s, 4),
+                    "repeats": repeats,
+                    "below_work_floor": result.wall_s < MIN_WALL_S,
+                    "sim_events": result.sim_events,
+                    "events_per_s": round(result.events_per_s, 1),
+                    "ff_windows_skipped": result.ff_windows_skipped,
+                    "ff_events_skipped": result.ff_events_skipped,
+                    "merged_digest": _digest(result.merged),
+                }
+                if not fast_forward and workers == 1:
+                    off_events_per_s = point["events_per_s"]
+                if fast_forward:
+                    point["events_per_s_ff"] = point["events_per_s"]
+                    if workers == 1 and off_events_per_s:
+                        point["speedup_vs_ff_off"] = round(
+                            point["events_per_s"] / off_events_per_s, 2)
+                points.append(point)
+                print(f"{label:<11} ff={'on ' if fast_forward else 'off'} "
+                      f"workers={workers}  wall={point['wall_s']:>7.3f}s  "
+                      f"events/s={point['events_per_s']:>12,.0f}  "
+                      f"skipped={point['ff_events_skipped']:,}")
+        if len(digests) != 1:
+            raise SystemExit(
+                f"FATAL: merged metrics differ across fast-forward/workers "
+                f"for {label}: {sorted(digests)}")
+    return {"points": points}
 
 
 def main(argv=None) -> int:
@@ -64,6 +159,10 @@ def main(argv=None) -> int:
                         help="where to write BENCH_fleet.json")
     args = parser.parse_args(argv)
     duration_s = 10.0 if args.fast else 30.0
+
+    # Warmup: absorb cold costs (driver catalogue compile/lint caches)
+    # so the first timed point isn't penalised.
+    run_scenario(SCENARIOS["smoke"].scaled(duration_s=2.0), workers=1)
 
     # Carry forward the previous run's numbers so the written file
     # records before/after for the same (nodes, workers) points — the
@@ -107,6 +206,8 @@ def main(argv=None) -> int:
                   f"events/s={point['events_per_s']:>10,.0f}  "
                   f"speedup={point['speedup_vs_1_worker']}")
 
+    fastforward = bench_fastforward(duration_s=duration_s, seed=args.seed)
+
     best_200 = max(
         (p for p in sweep if p["nodes"] == 200 and p["workers"] > 1),
         key=lambda p: p["speedup_vs_1_worker"],
@@ -118,7 +219,9 @@ def main(argv=None) -> int:
         "duration_s": duration_s,
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
+        "min_wall_s": MIN_WALL_S,
         "sweep": sweep,
+        "fastforward": fastforward,
         "best_200_node_speedup": (
             best_200["speedup_vs_1_worker"] if best_200 else None
         ),

@@ -49,6 +49,14 @@ def main(argv=None) -> int:
     parser.add_argument("--openmetrics", metavar="PATH", default=None,
                         help="write merged telemetry as OpenMetrics text "
                              "(implies --telemetry)")
+    parser.add_argument("--fast-forward", action="store_true",
+                        help="enable the kernel's closed-form idle "
+                             "fast-forward on every shard (digest-neutral; "
+                             "skips certified periodic windows analytically)")
+    parser.add_argument("--sampling", action="store_true",
+                        help="install the duty-cycled sampling load "
+                             "(periodic per-Thing sensor reads + baseline "
+                             "energy accrual) on every shard")
     parser.add_argument("--profile", action="store_true",
                         help="profile every shard (per-event cost, opcode "
                              "heat, idle gaps) and print the profile report")
@@ -145,6 +153,12 @@ def main(argv=None) -> int:
         from repro.profile.config import DEFAULT_PROFILE
 
         overrides["profile"] = DEFAULT_PROFILE
+    if args.fast_forward:
+        overrides["fast_forward"] = True
+    if args.sampling and scenario.sampling is None:
+        from repro.fleet.sampling import SamplingConfig
+
+        overrides["sampling"] = SamplingConfig()
     if overrides:
         try:
             scenario = scenario.scaled(**overrides)

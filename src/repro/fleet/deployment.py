@@ -129,9 +129,25 @@ class ShardDeployment:
 
             self.profiler = ShardProfiler(self, self.scenario.profile)
 
+        #: Duty-cycled sampling load (fast-forward certified), present
+        #: only when the scenario asks.
+        self.samplers: List = []
+        self.baselines: List = []
+        if self.scenario.sampling is not None:
+            from repro.fleet.sampling import install_sampling
+
+            self.samplers, self.baselines = install_sampling(
+                self.sim, self.things, self.scenario.sampling,
+                first_id=spec.first_thing,
+            )
+        if self.scenario.fast_forward:
+            self.sim.enable_fast_forward()
+
     # ------------------------------------------------------- instrumentation
     def _wire_instrumentation(self) -> None:
-        self.sim.add_trace_hook(self._on_sim_event)
+        # The bulk variant keeps the counter identical when a
+        # fast-forward window or batch drain applies n events at once.
+        self.sim.add_trace_hook(self._on_sim_event, bulk=self._on_sim_events)
         for thing in self.things:
             thing.add_listener(
                 lambda event, t=thing: self._on_thing_event(t, event)
@@ -142,6 +158,10 @@ class ShardDeployment:
     def _on_sim_event(self, time_ns: int, name: str) -> None:
         del time_ns, name
         self.metrics.inc("sim.events")
+
+    def _on_sim_events(self, time_ns: int, name: str, n: int) -> None:
+        del time_ns, name
+        self.metrics.inc("sim.events", n)
 
     def _on_thing_event(self, thing: Thing, event: ThingEvent) -> None:
         kind = event.kind
@@ -401,6 +421,15 @@ class ShardDeployment:
             sum(by_category.values()))
         for category, joules in by_category.items():
             self.metrics.gauge(f"energy.{category}_joules").add(joules)
+        if self.samplers:
+            # Folded in Thing order, so shard metrics are independent of
+            # whether ticks ran stepped, batched, or fast-forwarded.
+            self.metrics.inc("sampling.reads",
+                             sum(s.count for s in self.samplers))
+            self.metrics.inc("sampling.sum",
+                             sum(s.total for s in self.samplers))
+            self.metrics.inc("sampling.baseline_ticks",
+                             sum(b.count for b in self.baselines))
         self.metrics.inc("manager.install_requests",
                          self.manager.stats.install_requests)
         self.metrics.inc("manager.uploads", self.manager.stats.uploads)

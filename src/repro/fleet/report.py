@@ -33,6 +33,11 @@ def render_report(result: FleetResult) -> str:
         f"executed with {result.workers} worker(s) [{mode}] in "
         f"{result.wall_s:.2f} s wall ({result.events_per_s:,.0f} sim events/s)"
     )
+    if result.ff_windows_skipped:
+        lines.append(
+            f"fast-forward: {result.ff_events_skipped:,} events applied "
+            f"analytically in {result.ff_windows_skipped:,} windows"
+        )
     lines.append("")
     lines.append("counters")
     for name, value in merged.get("counters", {}).items():

@@ -73,6 +73,15 @@ def _finish_shard(deployment: ShardDeployment) -> dict:
         snapshot["telemetry"] = deployment.telemetry.snapshot()
     if deployment.profiler is not None:
         snapshot["profile"] = deployment.profiler.snapshot()
+    sim = deployment.sim
+    if sim.ff_windows:
+        # Wall-clock-plane stats (how the run executed, not what it
+        # computed) — Metrics.merge ignores the extra key, so they can
+        # never perturb the merged digest.
+        snapshot["fastforward"] = {
+            "windows": sim.ff_windows,
+            "events": sim.ff_events,
+        }
     return snapshot
 
 
@@ -154,6 +163,19 @@ class FleetResult:
     @property
     def events_per_s(self) -> float:
         return self.sim_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def ff_windows_skipped(self) -> int:
+        """Fast-forward windows applied analytically, across shards."""
+        return sum(snap.get("fastforward", {}).get("windows", 0)
+                   for snap in self.shard_snapshots)
+
+    @property
+    def ff_events_skipped(self) -> int:
+        """Events applied inside fast-forward windows (counted in
+        ``sim_events`` but never individually dispatched)."""
+        return sum(snap.get("fastforward", {}).get("events", 0)
+                   for snap in self.shard_snapshots)
 
     def counter(self, name: str) -> int:
         return self.merged.get("counters", {}).get(name, 0)

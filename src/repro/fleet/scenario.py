@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.fleet.sampling import SamplingConfig
 from repro.profile.config import ProfileConfig
 from repro.protocol.reliability import RetryPolicy
 from repro.telemetry.config import TelemetryConfig
@@ -114,6 +115,15 @@ class FleetScenario:
     #: opcode heat, idle-gap analysis.  Same zero-cost-when-``None``
     #: contract as ``trace`` and ``telemetry``.
     profile: Optional[ProfileConfig] = None
+    #: Duty-cycled sampling load (:mod:`repro.fleet.sampling`): periodic
+    #: per-Thing sensor reads and baseline energy accrual.  These events
+    #: are fast-forward certified, so they dominate the idle windows the
+    #: kernel can skip analytically.  ``None`` installs nothing.
+    sampling: Optional["SamplingConfig"] = None
+    #: Enable the kernel's closed-form idle fast-forward on every shard.
+    #: Digest-neutral by construction (the differential suite proves it);
+    #: off by default so existing scenarios run exactly as before.
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         if self.things < 1:
@@ -183,6 +193,20 @@ SCENARIOS: Dict[str, FleetScenario] = {
             read_interval_s=4.0, hot_update_interval_s=40.0,
             stream_probability=0.15,
         ),
+    ),
+    # "default" plus the duty-cycled sampling load: every Thing wakes
+    # every 50 ms to read a sensor and every 100 ms to accrue sleep
+    # energy.  >95% of its events are fast-forward certified, making it
+    # the reference workload for ``--fast-forward`` speedups (and the
+    # scenario the fastforward benchmarks/differential tests run).
+    "duty": FleetScenario(
+        name="duty", things=20, shard_size=10, duration_s=20.0,
+        churn=ChurnProfile(
+            churn_interval_s=30.0, discovery_interval_s=5.0,
+            read_interval_s=4.0, hot_update_interval_s=40.0,
+            stream_probability=0.15,
+        ),
+        sampling=SamplingConfig(),
     ),
 }
 

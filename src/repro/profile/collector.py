@@ -80,10 +80,10 @@ class ShardProfiler:
     #: Checkpoint contract (see :mod:`repro.snapshot.state`).
     SNAPSHOT_SCHEMA = {
         "layer": "profile",
-        "version": 1,
+        "version": 2,
         "fields": ("deployment", "config", "shard", "_events", "_delays",
                    "_idle_by_name", "_gap_hist", "_gap_count",
-                   "_gap_total_ns", "_last_event_ns", "_recorders"),
+                   "_gap_total_ns", "_last_event_ns", "_recorders", "_ff"),
     }
 
     def __init__(self, deployment, config: ProfileConfig) -> None:
@@ -105,6 +105,9 @@ class ShardProfiler:
         #: clock would split the spanning gap in two — breaking the
         #: "idle report identical across checkpoint/restore" contract.
         self._last_event_ns = 0
+        #: name -> [windows, events, sim span ns] applied analytically
+        #: by the kernel's fast-forward tier (deterministic plane).
+        self._ff: Dict[str, list] = {}
         #: (node label, OpcodeHeatRecorder) per Thing, attach order.
         self._recorders: List[tuple] = []
         deployment.sim.attach_profiler(self)
@@ -144,6 +147,26 @@ class ShardProfiler:
                     idle = self._idle_by_name[key] = [0, 0]
                 idle[0] += 1
                 idle[1] += gap
+
+    def on_fast_forward(self, name: str, count: int, first_ns: int,
+                        last_ns: int) -> None:
+        """A fast-forward window applied *count* occurrences of *name*
+        analytically (never individually dispatched).
+
+        The skipped span advances ``_last_event_ns`` so the next
+        stepped event is charged only the genuine gap after the window
+        — the sampler-to-sampler micro-gaps that stepping would have
+        recorded are accounted here instead, under their own layer.
+        """
+        key = name or "<unnamed>"
+        record = self._ff.get(key)
+        if record is None:
+            record = self._ff[key] = [0, 0, 0]
+        record[0] += 1
+        record[1] += count
+        record[2] += last_ns - first_ns
+        if last_ns > self._last_event_ns:
+            self._last_event_ns = last_ns
 
     def on_schedule(self, name: str, delay_ns: int) -> None:
         """An event was scheduled *delay_ns* into the future."""
@@ -207,6 +230,11 @@ class ShardProfiler:
                 for label, recorder in self._recorders
             },
         }
+        fastforward = {
+            name: {"windows": record[0], "events": record[1],
+                   "sim_span_ns": record[2]}
+            for name, record in sorted(self._ff.items())
+        }
         return {
             "shard": self.shard,
             "config": _config_dict(self.config),
@@ -214,6 +242,7 @@ class ShardProfiler:
             "schedule_delays": delays,
             "idle": idle,
             "vm": vm,
+            "fastforward": fastforward,
         }
 
     # ------------------------------------------------------------ checkpoint
@@ -281,6 +310,7 @@ def merge_profiles(snapshots) -> dict:
     heat_parts: List[dict] = []
     nodes: Dict[str, dict] = {}
     executions = 0
+    fastforward: Dict[str, dict] = {}
     for snap in snapshots:
         if snap is None:
             continue
@@ -331,6 +361,14 @@ def merge_profiles(snapshots) -> dict:
             else:
                 merged["windows"] += record["windows"]
                 merged["idle_ns"] += record["idle_ns"]
+        for name, record in snap.get("fastforward", {}).items():
+            merged = fastforward.get(name)
+            if merged is None:
+                fastforward[name] = dict(record)
+            else:
+                merged["windows"] += record["windows"]
+                merged["events"] += record["events"]
+                merged["sim_span_ns"] += record["sim_span_ns"]
         snap_vm = snap["vm"]
         executions += snap_vm["executions"]
         heat_parts.append({"executions": 0, "images": snap_vm["images"]})
@@ -360,6 +398,8 @@ def merge_profiles(snapshots) -> dict:
             "images": merge_heat(heat_parts)["images"],
             "nodes": {label: nodes[label] for label in sorted(nodes)},
         },
+        "fastforward": {name: fastforward[name]
+                        for name in sorted(fastforward)},
     }
 
 

@@ -49,6 +49,16 @@ def _stacks(snapshots: Iterable[Optional[dict]],
         for node, record in sorted(snapshot["vm"]["nodes"].items()):
             if record["steps"] and weight == "count":
                 out.append(((shard, "vm", node, "steps"), record["steps"]))
+        # Fast-forwarded windows never dispatch events, so they carry no
+        # wall time — expose them on the deterministic planes (count =
+        # occurrences applied analytically, sim = skipped sim span) so a
+        # flame graph shows what the kernel *didn't* have to step.
+        for name, record in sorted(snapshot.get("fastforward", {}).items()):
+            if weight == "count" and record["events"]:
+                out.append(((shard, "fastforward", name), record["events"]))
+            elif weight == "sim" and record["sim_span_ns"]:
+                out.append(((shard, "fastforward", name),
+                            record["sim_span_ns"]))
     return out
 
 

@@ -35,7 +35,7 @@ class _ScheduledEvent:
     """
 
     __slots__ = ("time_ns", "seq", "callback", "name", "cancelled",
-                 "popped", "trace_id")
+                 "popped", "trace_id", "ff")
 
     def __init__(
         self,
@@ -52,10 +52,15 @@ class _ScheduledEvent:
         #: True once the event has left the heap (fired or discarded); a
         #: late cancel() must not touch the simulator's tombstone counter.
         self.popped = False
+        self.ff = None
         # ``trace_id`` is declared in __slots__ but deliberately left
         # unassigned: the traced scheduling path (attach_tracer) sets it,
         # and untraced simulations pay nothing for it — hasattr() stays
         # False exactly as with the previous dynamic attribute.
+        # ``ff`` defaults to None and is set only on events owned by a
+        # fast-forward-certified PeriodicHandle, where it points back at
+        # the handle so run_until can recognise analytically skippable
+        # work with a single slot load.
 
 
 class EventHandle:
@@ -95,16 +100,30 @@ class PeriodicHandle:
     """
 
     __slots__ = ("_sim", "_interval_ns", "_callback", "_name", "_handle",
-                 "_cancelled")
+                 "_cancelled", "_ff", "_independent", "_bulk")
 
     def __init__(self, sim: "Simulator", interval_ns: int,
-                 callback: Callable[[], None], name: str) -> None:
+                 callback: Callable[[], None], name: str,
+                 fast_forward: bool = False, independent: bool = True,
+                 bulk: Optional[Callable[[int], None]] = None) -> None:
         self._sim = sim
         self._interval_ns = interval_ns
         self._callback = callback
         self._name = name
         self._cancelled = False
+        #: Fast-forward certification (see Simulator.run_until).  A
+        #: certified handle asserts its callback neither schedules nor
+        #: cancels events; ``independent`` additionally asserts the
+        #: callback touches state disjoint from every other certified
+        #: handle and never reads the kernel clock, so N occurrences can
+        #: be applied out of merged order.  ``bulk``, when given, must
+        #: have the exact cumulative effect of N sequential callbacks.
+        self._ff = bool(fast_forward)
+        self._independent = bool(independent)
+        self._bulk = bulk
         self._handle = sim.schedule(interval_ns, self._fire, name=name)
+        if self._ff:
+            self._handle._event.ff = self
 
     @property
     def cancelled(self) -> bool:
@@ -122,6 +141,8 @@ class PeriodicHandle:
         # queue as it will stand for the rest of this instant.
         self._handle = self._sim.schedule(
             self._interval_ns, self._fire, name=self._name)
+        if self._ff:
+            self._handle._event.ff = self
         self._callback()
 
     def cancel(self) -> None:
@@ -130,6 +151,16 @@ class PeriodicHandle:
             return
         self._cancelled = True
         self._handle.cancel()
+
+    def __setstate__(self, state: tuple) -> None:
+        # Checkpoints written before the fast-forward tier predate the
+        # _ff/_independent/_bulk slots; default them uncertified.
+        _, slots = state
+        self._ff = False
+        self._independent = True
+        self._bulk = None
+        for name, value in (slots or {}).items():
+            setattr(self, name, value)
 
 
 class Simulator:
@@ -148,9 +179,11 @@ class Simulator:
     #: attribute set changes shape.
     SNAPSHOT_SCHEMA = {
         "layer": "sim",
-        "version": 2,
+        "version": 3,
         "fields": ("_now_ns", "_seq", "_queue", "_tombstones", "_running",
-                   "_trace_hooks", "tracer", "profiler"),
+                   "_trace_hooks", "_bulk_hooks", "tracer", "profiler",
+                   "_ff_enabled", "_ff_skip_until", "ff_windows",
+                   "ff_events", "_batch_names"),
     }
 
     def __init__(self) -> None:
@@ -165,6 +198,22 @@ class Simulator:
         self._tombstones = 0
         self._running = False
         self._trace_hooks: list[Callable[[int, str], None]] = []
+        #: Parallel to ``_trace_hooks``: each slot is either None or a
+        #: bulk variant ``hook(time_ns, name, n)`` whose effect must
+        #: equal n sequential per-event calls.  Fast-forward and batch
+        #: draining engage only when every registered hook has one.
+        self._bulk_hooks: list[Optional[Callable[[int, str, int], None]]] = []
+        #: Closed-form idle fast-forward (see :meth:`run_until`).
+        self._ff_enabled = False
+        #: Suppression marker: no fast-forward window is attempted for
+        #: heads before this instant (set after an empty/tiny window so
+        #: the O(queue) barrier scan is not repeated every event).
+        self._ff_skip_until = 0
+        #: Fast-forward statistics (windows applied / events skipped).
+        self.ff_windows = 0
+        self.ff_events = 0
+        #: Event names drained in batches: name -> contiguity slack_ns.
+        self._batch_names: dict[str, int] = {}
         #: Optional :class:`repro.obs.Tracer`.  None (the default)
         #: keeps every instrumentation point in the stack down to a
         #: single attribute check; the kernel's own hot paths carry no
@@ -237,6 +286,9 @@ class Simulator:
         callback: Callable[[], None],
         *,
         name: str = "",
+        fast_forward: bool = False,
+        independent: bool = True,
+        bulk: Optional[Callable[[int], None]] = None,
     ) -> PeriodicHandle:
         """Run *callback* every ``interval_ns`` nanoseconds until cancelled.
 
@@ -244,11 +296,25 @@ class Simulator:
         hook the telemetry layer builds on: a periodic task is ordinary
         scheduled work, so an un-registered sampler costs the kernel
         nothing at all.
+
+        ``fast_forward=True`` certifies the task for closed-form idle
+        fast-forward (the ``FastForwardable`` protocol): the callback
+        must never schedule or cancel events.  ``independent=True``
+        (the default) further asserts the callback's state is disjoint
+        from every other certified task and clock-free, so occurrences
+        may be applied per-handle instead of in merged order; pass
+        ``independent=False`` for readers of shared state (telemetry
+        samplers), which are then fired one-by-one in exact merged
+        order inside the window.  ``bulk(n)``, when given, must have
+        the exact cumulative effect — bitwise, for float accumulators —
+        of ``n`` sequential callbacks.
         """
         interval_ns = int(interval_ns)
         if interval_ns <= 0:
             raise SimulationError(f"non-positive period: {interval_ns}")
-        return PeriodicHandle(self, interval_ns, callback, name)
+        return PeriodicHandle(self, interval_ns, callback, name,
+                              fast_forward=fast_forward,
+                              independent=independent, bulk=bulk)
 
     # ---------------------------------------------------------------- running
     def step(self) -> bool:
@@ -294,21 +360,332 @@ class Simulator:
                 )
             return 0
         count = 0
+        # Fast-forward engages only for unbounded, untraced runs: a
+        # max_events cap would have to split windows, and a tracer's
+        # per-event records cannot be synthesized for skipped work.
+        ff_ok = (self._ff_enabled and max_events is None
+                 and self.tracer is None)
+        # Batch draining preserves per-event hook/callback semantics but
+        # not per-event profiler attribution, so it yields to both
+        # instrumentation modes.
+        batch = self._batch_names if (
+            self._batch_names and self.tracer is None
+            and self.profiler is None) else None
+        bulk_ok: Optional[bool] = None
+        # NOTE: ``self._queue`` must be re-read every iteration — any
+        # callback can cancel events and trip ``_maybe_compact``, which
+        # rebinds the heap to a fresh list.
         while self._queue:
-            head_time, _, head = self._queue[0]
+            queue = self._queue
+            head_time, _, head = queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 head.popped = True
                 self._tombstones -= 1
                 continue
             if head_time > time_ns:
                 break
+            if ff_ok and head_time >= self._ff_skip_until and \
+                    head.ff is not None:
+                if bulk_ok is None:
+                    bulk_ok = all(b is not None for b in self._bulk_hooks)
+                if bulk_ok:
+                    skipped = self._fast_forward_window(time_ns)
+                    if skipped:
+                        count += skipped
+                        continue
+                else:
+                    ff_ok = False
+            if batch is not None and head.name in batch:
+                count += self._drain_batch(
+                    head_time, head.name, batch[head.name], time_ns)
+                continue
             self.step()
             count += 1
             if max_events is not None and count >= max_events:
                 return count
         self._now_ns = max(self._now_ns, time_ns)
         return count
+
+    def _fast_forward_window(self, target_ns: int) -> int:
+        """Apply one certified idle window analytically; 0 = declined.
+
+        The window runs from the queue head to one nanosecond before
+        the earliest live *non-certified* event (the barrier: in-flight
+        packets, chaos faults, protocol timers — anything not owned by
+        a fast-forward-certified periodic handle), clamped to the
+        run_until target so checkpoints taken at instants re-derive
+        rather than replay skipped occurrences.  Ending one ns short of
+        the barrier leaves same-instant tie-breaking to normal
+        stepping.
+
+        Seq allocation is emulated occurrence-by-occurrence in exact
+        merged order (each skipped firing consumes exactly one sequence
+        number, allocated before its callback, matching
+        ``PeriodicHandle._fire``), so the final re-pushed event of
+        every handle carries the identical (time, seq) key it would
+        have had under stepping.  Independent handles' effects are
+        deferred and applied in per-handle bulk; ordered handles
+        (``independent=False``) fire in place after a flush, observing
+        exactly the state they would have seen.
+        """
+        queue = self._queue
+        barrier_t: Optional[int] = None
+        items: list = []  # (first_time, seq, event, handle)
+        for t, s, ev in queue:
+            if ev.cancelled:
+                continue
+            h = ev.ff
+            if h is None:
+                if barrier_t is None or t < barrier_t:
+                    barrier_t = t
+            else:
+                items.append((t, s, ev, h))
+        window_end = target_ns if barrier_t is None \
+            else min(target_ns, barrier_t - 1)
+        total = 0
+        for t, _, _, h in items:
+            if t <= window_end:
+                total += (window_end - t) // h._interval_ns + 1
+        if total < 4:
+            # Not worth the scan; suppress re-attempts until the head
+            # moves past the barrier (stepping remains exact, so a
+            # missed window is only a missed optimization).
+            limit = barrier_t if barrier_t is not None else target_ns
+            self._ff_skip_until = limit + 1
+            return 0
+
+        items.sort(key=lambda it: (it[0], it[1]))
+        n_items = len(items)
+        pending = [0] * n_items
+        counts = [0] * n_items
+        first_t = [0] * n_items
+        last_t = [0] * n_items
+        final: list = [None] * n_items
+        seq = self._seq
+        hooks = self._trace_hooks
+        bulks = self._bulk_hooks
+        push = heapq.heappush
+        pop = heapq.heappop
+        applied = 0
+
+        def flush() -> None:
+            nonlocal seq
+            for j in range(n_items):
+                p = pending[j]
+                if not p:
+                    continue
+                pending[j] = 0
+                hj = items[j][3]
+                t_j = last_t[j]
+                name_j = items[j][2].name
+                for b in bulks:
+                    b(t_j, name_j, p)
+                self._seq = seq
+                bulk_cb = hj._bulk
+                if bulk_cb is not None:
+                    bulk_cb(p)
+                else:
+                    cb = hj._callback
+                    for _ in range(p):
+                        cb()
+                if self._seq != seq:
+                    raise SimulationError(
+                        f"fast-forward applier for '{name_j}' scheduled "
+                        f"new work; certified callbacks must not touch "
+                        f"the event queue")
+
+        cohort_seq = None
+        if all(it[3]._independent for it in items):
+            # No ordered handle in the window: occurrence order among
+            # the remaining (independent) handles is unobservable, so
+            # emulation only has to get seq *accounting* exact — which
+            # cohorts do in one heap transaction per shared-timestamp
+            # round instead of one per occurrence.
+            cohort_seq = self._ff_cohorts(
+                items, window_end, seq, counts, first_t, last_t, final)
+        if cohort_seq is not None:
+            seq = cohort_seq
+            applied = sum(counts)
+            pending[:] = counts
+            flush()
+        else:
+            emu = [(t, s, i) for i, (t, s, ev, h) in enumerate(items)
+                   if t <= window_end]
+            heapq.heapify(emu)
+            while emu:
+                t, s, i = pop(emu)
+                h = items[i][3]
+                if h._cancelled:
+                    # Cancelled mid-window (by an ordered callback): the
+                    # remaining occurrences must not be applied.
+                    continue
+                nseq = seq
+                seq += 1
+                counts[i] += 1
+                if counts[i] == 1:
+                    first_t[i] = t
+                last_t[i] = t
+                applied += 1
+                nt = t + h._interval_ns
+                if nt <= window_end:
+                    push(emu, (nt, nseq, i))
+                else:
+                    final[i] = (nt, nseq)
+                if h._independent:
+                    pending[i] += 1
+                    continue
+                flush()
+                self._now_ns = t
+                self._seq = seq
+                name = items[i][2].name
+                for hook in hooks:
+                    hook(t, name)
+                h._callback()
+                if self._seq != seq:
+                    raise SimulationError(
+                        f"fast-forwarded event '{name}' scheduled new "
+                        f"work; only schedule-free callbacks may be "
+                        f"certified")
+            flush()
+        self._seq = seq
+
+        profiler = self.profiler
+        # Re-read the heap: an ordered callback may have cancelled work
+        # and tripped _maybe_compact, rebinding ``self._queue``.
+        queue = self._queue
+        for i in range(n_items):
+            c = counts[i]
+            if not c:
+                continue
+            t0, s0, ev, h = items[i]
+            if last_t[i] > self._now_ns:
+                self._now_ns = last_t[i]
+            if profiler is not None:
+                profiler.on_fast_forward(ev.name, c, first_t[i], last_t[i])
+            if h._cancelled:
+                # cancel() already tombstoned the placeholder event; no
+                # final occurrence to re-push.
+                continue
+            # Consume the stale placeholder (lazy delete, same contract
+            # as handle cancellation) and re-push the handle's one
+            # post-window event with its emulated (time, seq) key.
+            ev.cancelled = True
+            self._tombstones += 1
+            ft, fs = final[i]
+            nev = _ScheduledEvent(ft, fs, h._fire, ev.name)
+            nev.ff = h
+            push(queue, (ft, fs, nev))
+            h._handle = EventHandle(nev, self)
+        self._maybe_compact()
+        self.ff_windows += 1
+        self.ff_events += applied
+        return applied
+
+    def _ff_cohorts(self, items, window_end: int, seq: int, counts,
+                    first_t, last_t, final) -> Optional[int]:
+        """Cohort-compressed window emulation; None = not applicable.
+
+        A *cohort* is the set of window items sharing (interval, next
+        fire time): its members fire at identical timestamps forever,
+        in a fixed relative order.  When every cohort's current seq
+        set forms a contiguous-block range disjoint from every other
+        cohort's, merged order at any shared timestamp is whole blocks
+        ordered by block base — and each round's allocation hands the
+        firing cohorts fresh consecutive blocks, so disjointness is
+        preserved inductively.  One heap transaction per cohort round
+        then replaces one per occurrence (~20x fewer for fleet-sized
+        shards) while consuming exactly the same number of seqs, so
+        ``_seq`` and every re-pushed (time, seq) key match the
+        per-occurrence path bit for bit.
+
+        Interleaved ranges (typical right after registration, before a
+        first window linearizes them) return None and the exact
+        per-occurrence path runs; the window after that, ranges are
+        blocks and this path engages.
+        """
+        groups: dict = {}
+        for idx, (t, s, ev, h) in enumerate(items):
+            if t > window_end or h._cancelled:
+                continue
+            groups.setdefault((h._interval_ns, t), []).append((s, idx))
+        if not groups:
+            return seq
+        metas = []
+        ranges = []
+        for (interval, t0), members in groups.items():
+            members.sort()
+            # meta: [interval, member idxs in seq order, rounds,
+            #        last allocation base, first fire, last fire]
+            metas.append([interval, [i for _, i in members], 0, 0, 0, 0])
+            ranges.append((members[0][0], members[-1][0],
+                           t0, len(metas) - 1))
+        ranges.sort()
+        prev_hi = -1
+        heap = []
+        for lo, hi, t0, k in ranges:
+            if lo <= prev_hi:
+                return None
+            prev_hi = hi
+            heap.append((t0, lo, k))
+        heapq.heapify(heap)
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            t, _, k = pop(heap)
+            meta = metas[k]
+            base = seq
+            seq += len(meta[1])
+            if meta[2] == 0:
+                meta[4] = t
+            meta[2] += 1
+            meta[3] = base
+            meta[5] = t
+            nt = t + meta[0]
+            if nt <= window_end:
+                push(heap, (nt, base, k))
+        for interval, idxs, rounds, base, ft, lt in metas:
+            if not rounds:
+                continue
+            for j, i in enumerate(idxs):
+                counts[i] = rounds
+                first_t[i] = ft
+                last_t[i] = lt
+                final[i] = (lt + interval, base + j)
+        return seq
+
+    def _drain_batch(self, t0: int, name: str, slack_ns: int,
+                     target_ns: int) -> int:
+        """Pop the run of same-name events at ``t0`` (within
+        ``slack_ns``) in one sweep, then fire them in a tight loop.
+        Hook calls, clock updates and cancellation checks stay
+        per-event, so semantics are identical to stepping."""
+        queue = self._queue
+        run: list[_ScheduledEvent] = []
+        limit = min(t0 + slack_ns, target_ns)
+        while queue:
+            t, _, ev = queue[0]
+            if ev.cancelled:
+                heapq.heappop(queue)
+                ev.popped = True
+                self._tombstones -= 1
+                continue
+            if t > limit or ev.name != name:
+                break
+            heapq.heappop(queue)
+            ev.popped = True
+            run.append(ev)
+        hooks = self._trace_hooks
+        fired = 0
+        for ev in run:
+            if ev.cancelled:  # cancelled by an earlier event in the run
+                continue
+            self._now_ns = ev.time_ns
+            for hook in hooks:
+                hook(ev.time_ns, name)
+            ev.callback()
+            fired += 1
+        return fired
 
     def run_for(self, duration_ns: int, *, max_events: Optional[int] = None) -> int:
         """Run for ``duration_ns`` of simulated time from now."""
@@ -509,9 +886,38 @@ class Simulator:
     __setstate__ = restore_state
 
     # ----------------------------------------------------------------- extras
-    def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
-        """Register a hook called (time_ns, event_name) before each event."""
+    def add_trace_hook(
+        self,
+        hook: Callable[[int, str], None],
+        *,
+        bulk: Optional[Callable[[int, str, int], None]] = None,
+    ) -> None:
+        """Register a hook called (time_ns, event_name) before each event.
+
+        ``bulk(time_ns, name, n)`` is the hook's aggregated variant; it
+        must equal n per-event calls.  Fast-forward windows and batch
+        drains stay disengaged until every registered hook has one.
+        """
         self._trace_hooks.append(hook)
+        self._bulk_hooks.append(bulk)
+
+    def enable_fast_forward(self) -> None:
+        """Allow :meth:`run_until` to apply certified idle windows
+        analytically.  Stepping semantics are unchanged for any window
+        containing a non-certified event."""
+        self._ff_enabled = True
+
+    def disable_fast_forward(self) -> None:
+        self._ff_enabled = False
+
+    def register_batch(self, name: str, *, slack_ns: int = 0) -> None:
+        """Drain runs of queued events named *name* at identical (or,
+        with ``slack_ns``, contiguous) timestamps through one tight
+        loop, amortizing heap and dispatch overhead.  Per-event hook
+        and callback semantics are preserved exactly."""
+        if not name:
+            raise SimulationError("batched events need a non-empty name")
+        self._batch_names[name] = int(slack_ns)
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still queued.  O(1)."""

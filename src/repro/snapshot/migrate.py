@@ -154,10 +154,40 @@ def _simulator_v1_to_v2(state: dict) -> dict:
     return state
 
 
+@register_state_migration("repro.sim.kernel.Simulator", 2)
+def _simulator_v2_to_v3(state: dict) -> dict:
+    """Sim schema v3 added the fast-forward tier: bulk hook slots,
+    the enable flag + suppression marker, skip statistics, and the
+    batch-drain name registry."""
+    state.setdefault("_bulk_hooks",
+                     [None] * len(state.get("_trace_hooks", ())))
+    state.setdefault("_ff_enabled", False)
+    state.setdefault("_ff_skip_until", 0)
+    state.setdefault("ff_windows", 0)
+    state.setdefault("ff_events", 0)
+    state.setdefault("_batch_names", {})
+    return state
+
+
 @register_state_migration("repro.vm.machine.VirtualMachine", 1)
 def _vm_v1_to_v2(state: dict) -> dict:
     """VM schema v2 added the optional ``_hit_recorder``."""
     state.setdefault("_hit_recorder", None)
+    return state
+
+
+@register_state_migration("repro.vm.machine.VirtualMachine", 2)
+def _vm_v2_to_v3(state: dict) -> dict:
+    """VM schema v3 allows mode == "trace" (superinstruction
+    compilation); old states carry "fast"/"reference" and need no
+    value changes."""
+    return state
+
+
+@register_state_migration("repro.profile.collector.ShardProfiler", 1)
+def _profiler_v1_to_v2(state: dict) -> dict:
+    """Profiler schema v2 added fast-forward window attribution."""
+    state.setdefault("_ff", {})
     return state
 
 

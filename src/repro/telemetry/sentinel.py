@@ -80,6 +80,13 @@ DEFAULT_SENTINEL_RULES: Tuple[SentinelRule, ...] = (
     SentinelRule("*deterministic", direction="equal"),
     SentinelRule("*idle_fraction", direction="higher", tolerance=0.25),
     SentinelRule("*skippable_fraction", direction="higher", tolerance=0.25),
+    # Fast-forward / trace-compilation tier: more analytically skipped
+    # work and more compiled traces are better; events_per_s_ff is the
+    # FF-on throughput headline.
+    SentinelRule("*events_per_s_ff", direction="higher", tolerance=0.15),
+    SentinelRule("*ff_windows_skipped", direction="higher", tolerance=0.25),
+    SentinelRule("*ff_events_skipped", direction="higher", tolerance=0.25),
+    SentinelRule("*traces_compiled", direction="higher", tolerance=0.25),
 )
 
 

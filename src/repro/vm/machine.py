@@ -159,20 +159,26 @@ class VirtualMachine:
     * ``mode="fast"`` (the default) runs the pre-decoded threaded
       dispatch from :mod:`repro.vm.fastpath` — bytecode is translated
       once per image and cached, then executed with no per-step decode.
+    * ``mode="trace"`` layers superinstruction compilation from
+      :mod:`repro.vm.tracecomp` on the threaded tables: hot basic
+      blocks run as single fused closures, trap-for-trap identical.
     * ``mode="reference"`` runs the original decode-as-you-go
       interpreter below; it is the executable specification the
-      differential test checks the fastpath against.
+      differential test checks both compiled engines against.
 
     The ``REPRO_VM_MODE`` environment variable overrides the default
-    for whole-process runs (fleet workers inherit it).
+    for whole-process runs (fleet workers inherit it), and
+    ``REPRO_VM_TRACE=1`` promotes the default "fast" engine to
+    "trace" without touching an explicit mode choice.
     """
 
     #: Checkpoint contract: the id-keyed translation map is derived
     #: state and is rebuilt lazily after restore, never serialized.
-    #: v2 added the optional ``_hit_recorder`` (opcode heat profiling).
+    #: v2 added the optional ``_hit_recorder`` (opcode heat profiling);
+    #: v3 admits mode == "trace" (superinstruction compilation).
     SNAPSHOT_SCHEMA = {
         "layer": "vm",
-        "version": 2,
+        "version": 3,
         "fields": ("_profile", "_stack_limit", "_step_limit", "_mode",
                    "_hit_recorder"),
     }
@@ -187,7 +193,9 @@ class VirtualMachine:
     ) -> None:
         if mode is None:
             mode = os.environ.get("REPRO_VM_MODE", "fast")
-        if mode not in ("fast", "reference"):
+            if mode == "fast" and os.environ.get("REPRO_VM_TRACE") == "1":
+                mode = "trace"
+        if mode not in ("fast", "reference", "trace"):
             raise ValueError(f"unknown VM mode: {mode!r}")
         self._profile = profile
         self._stack_limit = stack_limit
@@ -201,7 +209,25 @@ class VirtualMachine:
         #: id(image) -> (image, Translation); identity-guarded fast map
         #: in front of the module-level shared translation cache.
         self._translations: Dict[int, tuple] = {}
-        if mode == "fast":
+        self._bind_engine()
+
+    def _bind_engine(self) -> None:
+        """Select the compiled execution engine for the current mode and
+        instrumentation.  A hit recorder wins over trace compilation:
+        opcode-heat profiling needs per-instruction counts, which fused
+        blocks do not produce, so profiled runs drop back to the
+        counting copy of the plain threaded loop."""
+        if self._mode == "reference":
+            return
+        if self._hit_recorder is not None:
+            from repro.profile.vmheat import execute_fast_counting
+
+            self._execute_fast = execute_fast_counting
+        elif self._mode == "trace":
+            from repro.vm.tracecomp import execute_traced
+
+            self._execute_fast = execute_traced
+        else:
             from repro.vm import fastpath
 
             self._execute_fast = fastpath.execute_fast
@@ -226,18 +252,16 @@ class VirtualMachine:
         counts agree trap-for-trap.
         """
         self._hit_recorder = recorder
-        if self._mode == "fast":
-            from repro.profile.vmheat import execute_fast_counting
-
-            self._execute_fast = execute_fast_counting
+        # The counting engine reads plain translations; drop any traced
+        # tables this VM cached so the swap can never mix entry kinds.
+        self._translations = {}
+        self._bind_engine()
 
     def detach_hit_recorder(self) -> None:
         """Stop counting; restore the uninstrumented engine."""
         self._hit_recorder = None
-        if self._mode == "fast":
-            from repro.vm import fastpath
-
-            self._execute_fast = fastpath.execute_fast
+        self._translations = {}
+        self._bind_engine()
 
     # ------------------------------------------------------------ checkpoint
     def snapshot_state(self) -> dict:
@@ -262,15 +286,7 @@ class VirtualMachine:
         self.__dict__.clear()
         self.__dict__.update(state)
         self._translations = {}
-        if self._mode == "fast":
-            if self._hit_recorder is not None:
-                from repro.profile.vmheat import execute_fast_counting
-
-                self._execute_fast = execute_fast_counting
-            else:
-                from repro.vm import fastpath
-
-                self._execute_fast = fastpath.execute_fast
+        self._bind_engine()
 
     __getstate__ = snapshot_state
     __setstate__ = restore_state
@@ -289,7 +305,7 @@ class VirtualMachine:
             raise VmTrap(
                 f"handler expects {handler.n_params} args, got {len(args)}"
             )
-        if self._mode == "fast":
+        if self._mode != "reference":
             return self._execute_fast(
                 self, instance, handler, args, signal_sink, return_sink
             )

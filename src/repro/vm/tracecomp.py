@@ -1,0 +1,700 @@
+"""Superinstruction (trace) compilation on top of the threaded fastpath.
+
+:mod:`repro.vm.fastpath` removed the per-step *decode* tax; what is
+left in its run loop is per-step *dispatch* tax — a table index, a
+kind test chain, and stack push/pop traffic through list methods for
+every instruction retired.  This module removes most of that too, for
+the straight-line runs that dominate hot driver code: it folds each
+basic block of a translated image into one **fused Python closure**
+(a superinstruction), compiled with :func:`exec` from generated
+source.  Inside a fused block
+
+* the operand stack is *virtualized*: values flow through local
+  temporaries, and the real stack list is only touched for the
+  block's net consumption (pops) and net production (a final
+  ``extend``), not for every intermediate push/pop;
+* constants, slot numbers, and branch targets are baked into the
+  source, so a block executes as straight-line local-variable
+  arithmetic with zero dispatch.
+
+Trap-for-trap parity is preserved by construction:
+
+* A **prologue guard** checks the worst-case stack deficit and growth
+  of the whole block against the entry stack depth *before any side
+  effect*.  If the block would overflow or underflow anywhere, the
+  closure returns ``None`` and the caller re-executes the block
+  per-entry through the original table entries, trapping at exactly
+  the instruction — and with exactly the message — the reference
+  interpreter would.  (The guard is exact, not conservative: the
+  virtual-stack simulation tracks the same depth trajectory the real
+  stack would follow, so the fused path is taken whenever and only
+  whenever no stack trap occurs.)
+* Runtime faults that are *not* stack-shape faults (division by zero,
+  dynamic array indices, parameter range) are raised inline mid-block
+  with the reference messages; earlier side effects stand, exactly as
+  under stepping.
+* The caller checks the block's step count against the remaining step
+  budget first, so step-limit traps also fall back to per-entry
+  execution and fire at the precise instruction.
+
+Fused blocks are keyed into the table as ``K_FUSED`` entries **only at
+basic-block leader offsets** (handler entries and branch targets,
+found by BFS): every other offset keeps its original entry, so jumps
+into block middles — and the per-entry fallback — behave identically
+to the plain fastpath.  A hot self-loop (countdown body ending in
+JNZS) therefore costs one closure call per iteration.
+
+Traced translations are cached alongside the plain ones, keyed by
+``(sha1(code), slots, cost-profile fingerprint)``; the per-block
+closures bake no per-VM state (the stack limit is an argument), so a
+single compilation serves every VM and every fleet shard in process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dsl.bytecode import Op
+from repro.dsl.types import wrap32
+from repro.vm.cost import VmCostProfile
+from repro.vm.fastpath import (
+    K_BIN, K_CMP, K_DROP, K_DUP, K_INCG, K_INCGW, K_JMP, K_JNZ, K_JZ,
+    K_LDE, K_LDEI, K_LDEIW, K_LDEW, K_LDG, K_LDGW, K_LDP, K_PUSH, K_RET,
+    K_RETA, K_RETV, K_SIG, K_STE, K_STG, K_TRAP, K_UN, Translation,
+    _BINARY_FNS, _COMPARE_FNS, _UNARY_FNS, _profile_fingerprint,
+    shared_translation,
+)
+from repro.vm.machine import ExecutionResult, ReturnValue, VmTrap, _cdiv, _cmod
+
+#: Fused-block entry: (K_FUSED, total_cycles, closure, n_steps, original).
+#: ``closure(stack, g, params, nparams, stack_limit)`` returns the next
+#: pc, or None when the prologue guard demands per-entry fallback.
+K_FUSED = 25
+
+#: Fuse only blocks of at least this many instructions; shorter runs
+#: gain nothing over the threaded dispatch they replace.
+MIN_FUSE_LEN = 3
+
+# Source templates for the operator objects the fastpath entries carry.
+_BIN_SRC: Dict[object, str] = {
+    _BINARY_FNS[Op.ADD]: "{a} + {b}",
+    _BINARY_FNS[Op.SUB]: "{a} - {b}",
+    _BINARY_FNS[Op.MUL]: "{a} * {b}",
+    _BINARY_FNS[Op.DIV]: "_cdiv({a}, {b})",
+    _BINARY_FNS[Op.MOD]: "_cmod({a}, {b})",
+    _BINARY_FNS[Op.BAND]: "{a} & {b}",
+    _BINARY_FNS[Op.BOR]: "{a} | {b}",
+    _BINARY_FNS[Op.BXOR]: "{a} ^ {b}",
+    _BINARY_FNS[Op.SHL]: "{a} << ({b} & 31)",
+    _BINARY_FNS[Op.SHR]: "{a} >> ({b} & 31)",
+}
+_CMP_SRC: Dict[object, str] = {
+    _COMPARE_FNS[Op.EQ]: "==",
+    _COMPARE_FNS[Op.NE]: "!=",
+    _COMPARE_FNS[Op.LT]: "<",
+    _COMPARE_FNS[Op.LE]: "<=",
+    _COMPARE_FNS[Op.GT]: ">",
+    _COMPARE_FNS[Op.GE]: ">=",
+}
+_UN_SRC: Dict[object, str] = {
+    _UNARY_FNS[Op.NEG]: "-{a}",
+    _UNARY_FNS[Op.BINV]: "~{a}",
+    _UNARY_FNS[Op.LNOT]: "(0 if {a} != 0 else 1)",
+}
+
+#: Entry kinds a fused block may contain (branch terminators aside).
+_STRAIGHT = frozenset((
+    K_PUSH, K_LDG, K_BIN, K_CMP, K_STG, K_LDP, K_UN, K_INCG, K_LDE,
+    K_STE, K_LDEI, K_DUP, K_DROP, K_LDGW, K_LDEW, K_LDEIW, K_INCGW,
+))
+#: Index of the fall-through/next-pc element per straight-line kind.
+_NEXT_AT = {
+    K_PUSH: 3, K_LDG: 3, K_BIN: 3, K_CMP: 3, K_STG: 4, K_LDP: 3,
+    K_UN: 3, K_INCG: 5, K_LDE: 3, K_STE: 4, K_LDEI: 4, K_DUP: 2,
+    K_DROP: 2, K_LDGW: 3, K_LDEW: 3, K_LDEIW: 4, K_INCGW: 5,
+}
+
+_COMPILE_STATS = {"images": 0, "blocks": 0, "instructions": 0}
+
+
+class _BlockCompiler:
+    """Generates the source of one fused-block closure."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.virt: List[str] = []   # expression strings, bottom -> top
+        self.depth = 0              # net stack height vs block entry
+        self.min_depth = 0
+        self.max_depth = 0
+        self._tmp = 0
+
+    def temp(self) -> str:
+        self._tmp += 1
+        return f"t{self._tmp}"
+
+    def vpush(self, expr: str) -> None:
+        self.virt.append(expr)
+        self.depth += 1
+        if self.depth > self.max_depth:
+            self.max_depth = self.depth
+
+    def vpop(self) -> str:
+        self.depth -= 1
+        if self.depth < self.min_depth:
+            self.min_depth = self.depth
+        if self.virt:
+            return self.virt.pop()
+        t = self.temp()
+        self.lines.append(f"{t} = stack.pop()")
+        return t
+
+    def wrap(self, expr: str) -> str:
+        """Emit the int32 wrap of *expr* into a temp (the fastpath's
+        ``& 0xFFFFFFFF`` + sign-fold sequence)."""
+        t = self.temp()
+        self.lines.append(f"{t} = ({expr}) & 0xFFFFFFFF")
+        self.lines.append(f"if {t} >= 0x80000000: {t} -= 0x100000000")
+        return t
+
+    def signfold(self, expr: str) -> str:
+        """Emit the uint32 load fold (value already in 0..2**32-1)."""
+        t = self.temp()
+        self.lines.append(f"{t} = {expr}")
+        self.lines.append(f"if {t} >= 0x80000000: {t} -= 0x100000000")
+        return t
+
+    def flush(self) -> None:
+        """Push every live virtual value back onto the real stack."""
+        if not self.virt:
+            return
+        if len(self.virt) == 1:
+            self.lines.append(f"stack.append({self.virt[0]})")
+        else:
+            self.lines.append(f"stack.extend(({', '.join(self.virt)}))")
+        self.virt = []
+
+
+def _compile_block(table: List[tuple], leader: int, leaders: frozenset,
+                   consts: Dict[str, object]) -> Optional[tuple]:
+    """Compile the basic block at *leader*; None when too short to fuse.
+
+    Returns the ``K_FUSED`` table entry.  *consts* collects the
+    non-literal objects (per-slot truncate functions) the generated
+    source references by name; it is the exec-namespace of every block
+    in the image, shared so identical slots bind once.
+    """
+    c = _BlockCompiler()
+    pc = leader
+    n_steps = 0
+    cycles = 0
+    tail = ""
+
+    while True:
+        e = table[pc]
+        k = e[0]
+        if k in _STRAIGHT:
+            cycles += e[1]
+            n_steps += 1
+            _emit(c, e, k, consts)
+            pc = e[_NEXT_AT[k]]
+            if pc in leaders or pc < 0 or pc >= len(table):
+                c.flush()
+                tail = f"return {pc}"
+                break
+            continue
+        if k == K_JMP:
+            cycles += e[1]
+            n_steps += 1
+            c.flush()
+            tail = f"return {e[2]}"
+            break
+        if k in (K_JZ, K_JNZ):
+            cycles += e[1]
+            n_steps += 1
+            cond = c.vpop()
+            c.flush()
+            rel = "==" if k == K_JZ else "!="
+            tail = f"return {e[2]} if {cond} {rel} 0 else {e[3]}"
+            break
+        # SIG / RETV / RETA / RET / TRAP (and anything new): end the
+        # block here; the run loop executes the terminator per-entry.
+        c.flush()
+        tail = f"return {pc}"
+        break
+
+    if n_steps < MIN_FUSE_LEN:
+        return None
+
+    deficit = -c.min_depth
+    name = f"_fused_{leader}"
+    src_lines = [f"def {name}(stack, g, params, nparams, limit):",
+                 "    n = len(stack)"]
+    guard = []
+    if deficit:
+        guard.append(f"n < {deficit}")
+    if c.max_depth > 0:
+        guard.append(f"n + {c.max_depth} > limit")
+    if guard:
+        src_lines.append(f"    if {' or '.join(guard)}: return None")
+    src_lines.extend(f"    {line}" for line in c.lines)
+    src_lines.append(f"    {tail}")
+    code = compile("\n".join(src_lines), f"<fused block @{leader}>", "exec")
+    ns = dict(consts)
+    exec(code, ns)
+    return (K_FUSED, cycles, ns[name], n_steps, table[leader])
+
+
+def _const_name(consts: Dict[str, object], obj: object) -> str:
+    """Bind *obj* into the exec namespace, reusing an existing binding."""
+    for known, val in consts.items():
+        if val is obj:
+            return known
+    name = f"C{len(consts)}"
+    consts[name] = obj
+    return name
+
+
+def _emit(c: _BlockCompiler, e: tuple, k: int,
+          consts: Dict[str, object]) -> None:
+    """Emit the source for one straight-line entry (semantics mirror
+    :func:`repro.vm.fastpath.execute_fast` arm for arm)."""
+    if k == K_PUSH:
+        c.vpush(repr(e[2]))
+    elif k == K_LDG:
+        t = c.temp()
+        c.lines.append(f"{t} = g[{e[2]}]")
+        c.vpush(t)
+    elif k == K_LDGW:
+        c.vpush(c.signfold(f"g[{e[2]}]"))
+    elif k == K_BIN:
+        b = c.vpop()
+        a = c.vpop()
+        src = _BIN_SRC[e[2]].format(a=a, b=b)
+        c.vpush(c.wrap(src))
+    elif k == K_CMP:
+        b = c.vpop()
+        a = c.vpop()
+        t = c.temp()
+        c.lines.append(f"{t} = 1 if {a} {_CMP_SRC[e[2]]} {b} else 0")
+        c.vpush(t)
+    elif k == K_STG:
+        v = c.wrap(c.vpop())
+        fn = _const_name(consts, e[3])
+        c.lines.append(f"g[{e[2]}] = {fn}({v})")
+    elif k == K_LDP:
+        p = e[2]
+        c.lines.append(
+            f"if {p} >= nparams: "
+            f"raise VmTrap('parameter {p} out of range')")
+        t = c.temp()
+        c.lines.append(f"{t} = params[{p}]")
+        c.vpush(t)
+    elif k == K_UN:
+        a = c.vpop()
+        c.vpush(c.wrap(_UN_SRC[e[2]].format(a=a)))
+    elif k == K_INCG:
+        slot, fn = e[2], _const_name(consts, e[3])
+        old = c.temp()
+        c.lines.append(f"{old} = g[{slot}]")
+        c.vpush(old)
+        v = c.wrap(f"{old} + {e[4]}")
+        c.lines.append(f"g[{slot}] = {fn}({v})")
+    elif k == K_INCGW:
+        slot, fn = e[2], _const_name(consts, e[3])
+        old = c.temp()
+        c.lines.append(f"{old} = g[{slot}]")
+        c.vpush(c.signfold(old))
+        v = c.temp()
+        c.lines.append(f"{v} = ({old} + {e[4]}) & 0xFFFFFFFF")
+        c.lines.append(f"g[{slot}] = {fn}({v})")
+    elif k in (K_LDE, K_LDEW):
+        slot = e[2]
+        idx = c.vpop()
+        arr = c.temp()
+        c.lines.append(f"{arr} = g[{slot}]")
+        c.lines.append(
+            f"if {idx} < 0 or {idx} >= len({arr}): raise VmTrap("
+            f"'index %s out of bounds for slot {slot}' % ({idx},))")
+        load = f"{arr}[{idx}]"
+        c.vpush(c.signfold(load) if k == K_LDEW else _load(c, load))
+    elif k == K_STE:
+        slot, fn = e[2], _const_name(consts, e[3])
+        v = c.vpop()
+        idx = c.vpop()
+        arr = c.temp()
+        c.lines.append(f"{arr} = g[{slot}]")
+        c.lines.append(
+            f"if {idx} < 0 or {idx} >= len({arr}): raise VmTrap("
+            f"'index %s out of bounds for slot {slot}' % ({idx},))")
+        w = c.wrap(v)
+        c.lines.append(f"{arr}[{idx}] = {fn}({w})")
+    elif k == K_LDEI:
+        c.vpush(_load(c, f"g[{e[2]}][{e[3]}]"))
+    elif k == K_LDEIW:
+        c.vpush(c.signfold(f"g[{e[2]}][{e[3]}]"))
+    elif k == K_DUP:
+        a = c.vpop()
+        c.vpush(a)
+        c.vpush(a)
+    elif k == K_DROP:
+        c.vpop()
+    else:  # pragma: no cover - _STRAIGHT and _emit kept in lockstep
+        raise AssertionError(f"unfusable kind {k}")
+
+
+def _load(c: _BlockCompiler, expr: str) -> str:
+    t = c.temp()
+    c.lines.append(f"{t} = {expr}")
+    return t
+
+
+def compile_traces(translation: Translation, image,
+                   heat: Optional[Sequence[int]] = None,
+                   min_heat: int = 1) -> Translation:
+    """Return a copy of *translation* with fused entries at hot leaders.
+
+    Leaders are handler entry offsets plus every branch target/arm
+    reachable from them (BFS over the threaded table).  With *heat* —
+    a per-byte-offset hit array as recorded by
+    :mod:`repro.profile.vmheat` — only leaders whose counter reaches
+    *min_heat* are fused; without it every eligible leader is, which
+    is the right default when no profile has been captured yet.
+    """
+    table = translation.table
+    n = translation.n
+    leaders = set()
+    seen = set()
+    work = [h.offset for h in image.handlers]
+    for off in work:
+        leaders.add(off)
+    while work:
+        pc = work.pop()
+        while 0 <= pc < n and pc not in seen:
+            seen.add(pc)
+            e = table[pc]
+            k = e[0]
+            if k in _STRAIGHT:
+                pc = e[_NEXT_AT[k]]
+                continue
+            succs = ()
+            if k == K_JMP:
+                succs = (e[2],)
+            elif k in (K_JZ, K_JNZ):
+                succs = (e[2], e[3])
+            elif k == K_SIG:
+                succs = (e[5],)
+            elif k == K_RETV:
+                succs = (e[2],)
+            elif k == K_RETA:
+                succs = (e[3],)
+            # K_RET / K_TRAP end the walk.
+            for s in succs:
+                if 0 <= s < n:
+                    leaders.add(s)
+                    if s not in seen:
+                        work.append(s)
+            break
+
+    frozen = frozenset(leaders)
+    fused_table = list(table)
+    consts: Dict[str, object] = {
+        "VmTrap": VmTrap, "_cdiv": _cdiv, "_cmod": _cmod,
+    }
+    blocks = 0
+    instructions = 0
+    for leader in sorted(frozen):
+        if not 0 <= leader < n:
+            continue
+        if heat is not None and (leader >= len(heat)
+                                 or heat[leader] < min_heat):
+            continue
+        entry = _compile_block(table, leader, frozen, consts)
+        if entry is not None:
+            fused_table[leader] = entry
+            blocks += 1
+            instructions += entry[3]
+    _COMPILE_STATS["images"] += 1
+    _COMPILE_STATS["blocks"] += blocks
+    _COMPILE_STATS["instructions"] += instructions
+    return Translation(fused_table, n)
+
+
+# ------------------------------------------------------------ shared cache
+_TRACED: Dict[tuple, Translation] = {}
+
+
+def shared_traced_translation(image, profile: VmCostProfile) -> Translation:
+    """Cached traced translation, layered on the plain shared cache."""
+    import hashlib
+
+    key = (hashlib.sha1(image.code).digest(), image.slots,
+           _profile_fingerprint(profile))
+    translation = _TRACED.get(key)
+    if translation is None:
+        translation = compile_traces(
+            shared_translation(image, profile), image)
+        _TRACED[key] = translation
+    return translation
+
+
+def trace_stats() -> dict:
+    """Cumulative compilation counters (benchmarks / CI smoke)."""
+    return dict(_COMPILE_STATS, cached=len(_TRACED))
+
+
+def clear_traces() -> None:
+    _TRACED.clear()
+    for k in _COMPILE_STATS:
+        _COMPILE_STATS[k] = 0
+
+
+# --------------------------------------------------------------- execution
+def execute_traced(
+    vm,
+    instance,
+    handler,
+    args: Sequence[int],
+    signal_sink,
+    return_sink,
+) -> ExecutionResult:
+    """Trace-compiled execution; drop-in for ``execute_fast``.
+
+    The dispatch chain below is a verbatim copy of
+    :func:`repro.vm.fastpath.execute_fast`'s (kept in lockstep by the
+    differential suite) with one addition at the loop head: a fused
+    entry runs its whole block in a single closure call when the step
+    budget allows and the prologue guard passes, and otherwise falls
+    back to its original entry so traps fire per-instruction.
+    """
+    image = instance.image
+    cached = vm._translations.get(id(image))
+    if cached is not None and cached[0] is image:
+        translation = cached[1]
+    else:
+        translation = shared_traced_translation(image, vm._profile)
+        vm._translations[id(image)] = (image, translation)
+
+    table = translation.table
+    n = translation.n
+    g = instance.globals
+    params = [wrap32(int(a)) for a in args]
+    nparams = len(params)
+    stack: List[int] = []
+    stack_limit = vm._stack_limit
+    step_limit = vm._step_limit
+    pc = handler.offset
+    cycles = 0
+    steps = 0
+
+    while True:
+        if pc < 0 or pc >= n:
+            raise VmTrap(f"pc {pc} ran off the end of code")
+        e = table[pc]
+        k = e[0]
+        if k == 25:  # fused block
+            if steps + e[3] <= step_limit:
+                npc = e[2](stack, g, params, nparams, stack_limit)
+                if npc is not None:
+                    steps += e[3]
+                    cycles += e[1]
+                    pc = npc
+                    continue
+            e = e[4]
+            k = e[0]
+        steps += 1
+        if steps > step_limit:
+            raise VmTrap("step limit exceeded (runaway handler)")
+        cycles += e[1]
+        if k == 0:  # PUSH const
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(e[2])
+            pc = e[3]
+        elif k == 1:  # LDG
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(g[e[2]])
+            pc = e[3]
+        elif k == 2:  # binary arithmetic
+            if len(stack) < 2:
+                raise VmTrap("operand stack underflow")
+            right = stack.pop()
+            left = stack.pop()
+            v = e[2](left, right) & 0xFFFFFFFF
+            if v >= 0x80000000:
+                v -= 0x100000000
+            stack.append(v)
+            pc = e[3]
+        elif k == 3:  # comparison
+            if len(stack) < 2:
+                raise VmTrap("operand stack underflow")
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(1 if e[2](left, right) else 0)
+            pc = e[3]
+        elif k == 4:  # JZ
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            pc = e[2] if stack.pop() == 0 else e[3]
+        elif k == 5:  # STG
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            v = stack.pop() & 0xFFFFFFFF
+            if v >= 0x80000000:
+                v -= 0x100000000
+            g[e[2]] = e[3](v)
+            pc = e[4]
+        elif k == 6:  # JMP / NOP
+            pc = e[2]
+        elif k == 7:  # JNZ
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            pc = e[2] if stack.pop() != 0 else e[3]
+        elif k == 8:  # LDP
+            p = e[2]
+            if p >= nparams:
+                raise VmTrap(f"parameter {p} out of range")
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(params[p])
+            pc = e[3]
+        elif k == 9:  # unary
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            v = e[2](stack.pop()) & 0xFFFFFFFF
+            if v >= 0x80000000:
+                v -= 0x100000000
+            stack.append(v)
+            pc = e[3]
+        elif k == 10:  # INCG / DECG
+            old = g[e[2]]
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(old)
+            v = (old + e[4]) & 0xFFFFFFFF
+            if v >= 0x80000000:
+                v -= 0x100000000
+            g[e[2]] = e[3](v)
+            pc = e[5]
+        elif k == 11:  # LDE
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            index = stack.pop()
+            arr = g[e[2]]
+            if index < 0 or index >= len(arr):
+                raise VmTrap(f"index {index} out of bounds for slot {e[2]}")
+            stack.append(arr[index])
+            pc = e[3]
+        elif k == 12:  # STE
+            if len(stack) < 2:
+                raise VmTrap("operand stack underflow")
+            v = stack.pop()
+            index = stack.pop()
+            arr = g[e[2]]
+            if index < 0 or index >= len(arr):
+                raise VmTrap(f"index {index} out of bounds for slot {e[2]}")
+            v &= 0xFFFFFFFF
+            if v >= 0x80000000:
+                v -= 0x100000000
+            arr[index] = e[3](v)
+            pc = e[4]
+        elif k == 13:  # LDEI
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(g[e[2]][e[3]])
+            pc = e[4]
+        elif k == 14:  # DUP
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            stack.append(stack[-1])
+            pc = e[2]
+        elif k == 15:  # DROP
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            stack.pop()
+            pc = e[2]
+        elif k == 16:  # SIG
+            argc = e[4]
+            if argc > len(stack):
+                raise VmTrap("SIG argc exceeds stack depth")
+            if argc:
+                sig_args = tuple(stack[len(stack) - argc:])
+                del stack[len(stack) - argc:]
+            else:
+                sig_args = ()
+            if signal_sink is not None:
+                signal_sink(e[2], e[3], sig_args)
+            pc = e[5]
+        elif k == 17:  # RETV
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            v = stack.pop()
+            if return_sink is not None:
+                return_sink(ReturnValue(scalar=v))
+            pc = e[2]
+        elif k == 18:  # RETA
+            if return_sink is not None:
+                return_sink(ReturnValue(array=tuple(g[e[2]])))
+            pc = e[3]
+        elif k == 19:  # RET
+            break
+        elif k == 20:  # statically resolved fault at this offset
+            if len(stack) < e[3]:
+                raise VmTrap("operand stack underflow")
+            raise VmTrap(e[2])
+        elif k == 21:  # LDG, uint32 slot (wrap into compute domain)
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            v = g[e[2]]
+            if v >= 0x80000000:
+                v -= 0x100000000
+            stack.append(v)
+            pc = e[3]
+        elif k == 22:  # LDE, uint32 slot
+            if not stack:
+                raise VmTrap("operand stack underflow")
+            index = stack.pop()
+            arr = g[e[2]]
+            if index < 0 or index >= len(arr):
+                raise VmTrap(f"index {index} out of bounds for slot {e[2]}")
+            v = arr[index]
+            if v >= 0x80000000:
+                v -= 0x100000000
+            stack.append(v)
+            pc = e[3]
+        elif k == 23:  # LDEI, uint32 slot
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            v = g[e[2]][e[3]]
+            if v >= 0x80000000:
+                v -= 0x100000000
+            stack.append(v)
+            pc = e[4]
+        elif k == 24:  # INCG/DECG, uint32 slot
+            old = g[e[2]]
+            if len(stack) >= stack_limit:
+                raise VmTrap("operand stack overflow")
+            pushed = old
+            if pushed >= 0x80000000:
+                pushed -= 0x100000000
+            stack.append(pushed)
+            v = (old + e[4]) & 0xFFFFFFFF
+            g[e[2]] = e[3](v)
+            pc = e[5]
+        else:  # pragma: no cover - every kind handled above
+            raise AssertionError(f"unknown entry kind {k}")
+
+    return ExecutionResult(cycles=cycles, steps=steps)
+
+
+__all__ = [
+    "K_FUSED",
+    "MIN_FUSE_LEN",
+    "compile_traces",
+    "shared_traced_translation",
+    "execute_traced",
+    "trace_stats",
+    "clear_traces",
+]

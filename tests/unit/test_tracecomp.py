@@ -1,0 +1,109 @@
+"""Unit tests for the trace compiler (superinstruction fusion).
+
+Semantic equivalence across every opcode and trap is covered by
+``test_vm_differential.py`` (which runs every differential case under
+"trace" as well); this file tests the compilation machinery itself:
+what fuses, what doesn't, the shared cache, and the env-var plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.vmperf import _encode, _i, _image_for
+from repro.dsl.bytecode import Op
+from repro.vm import fastpath, tracecomp
+from repro.vm.machine import DriverInstance, VirtualMachine, VmTrap
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    fastpath.clear_cache()
+    tracecomp.clear_traces()
+    yield
+    fastpath.clear_cache()
+    tracecomp.clear_traces()
+
+
+def _loop_image(iterations=50):
+    """A countdown loop with a long fusable body (the bench workload)."""
+    body = (
+        _i(Op.LDG, 0), _i(Op.PUSH8, 3), _i(Op.MUL), _i(Op.PUSH8, 7),
+        _i(Op.ADD), _i(Op.LDP, 0), _i(Op.BXOR), _i(Op.STG, 0),
+    )
+    body_code = _encode(*body)
+    code = _encode(
+        _i(Op.PUSH16, iterations), _i(Op.STG, 7),
+        *body,
+        _i(Op.DECG, 7),
+        _i(Op.JNZS, -(len(body_code) + 4)),
+        _i(Op.RET),
+    )
+    return _image_for(code, n_params=1)
+
+
+def _run(mode, image, args=()):
+    vm = VirtualMachine(mode=mode)
+    return vm.execute(DriverInstance(image), image.handlers[0], args)
+
+
+def test_long_blocks_fuse():
+    _run("trace", _loop_image(), (1,))
+    stats = tracecomp.trace_stats()
+    assert stats["images"] == 1
+    assert stats["blocks"] >= 1
+    assert stats["instructions"] >= tracecomp.MIN_FUSE_LEN
+
+
+def test_short_blocks_do_not_fuse():
+    image = _image_for(_encode(_i(Op.PUSH8, 1), _i(Op.RET)), n_params=0)
+    _run("trace", image)
+    assert tracecomp.trace_stats()["blocks"] == 0
+
+
+def test_traced_results_match_reference():
+    image = _loop_image()
+    args = (0x5A5A,)
+    traced = _run("trace", image, args)
+    reference = _run("reference", image, args)
+    assert (traced.cycles, traced.steps) == (reference.cycles,
+                                             reference.steps)
+
+
+def test_trap_parity_division_by_zero():
+    code = _encode(_i(Op.PUSH8, 1), _i(Op.PUSH8, 0), _i(Op.DIV),
+                   _i(Op.STG, 0), _i(Op.RET))
+    image = _image_for(code, n_params=0)
+    messages = {}
+    for mode in ("trace", "reference"):
+        with pytest.raises(VmTrap) as excinfo:
+            _run(mode, image)
+        messages[mode] = str(excinfo.value)
+    assert messages["trace"] == messages["reference"]
+
+
+def test_traced_translation_cached_across_vms_and_instances():
+    image = _loop_image()
+    for _ in range(4):
+        _run("trace", image, (1,))
+    stats = tracecomp.trace_stats()
+    assert stats["images"] == 1
+    assert stats["cached"] == 1
+
+
+def test_env_var_promotes_fast_to_trace(monkeypatch):
+    monkeypatch.setenv("REPRO_VM_TRACE", "1")
+    assert VirtualMachine().mode == "trace"
+    # An explicit mode always wins over the promotion.
+    assert VirtualMachine(mode="fast").mode == "fast"
+    monkeypatch.setenv("REPRO_VM_MODE", "reference")
+    assert VirtualMachine().mode == "reference"
+
+
+def test_clear_traces_resets_stats_and_cache():
+    _run("trace", _loop_image(), (1,))
+    assert tracecomp.trace_stats()["cached"] == 1
+    tracecomp.clear_traces()
+    stats = tracecomp.trace_stats()
+    assert stats == {"images": 0, "blocks": 0, "instructions": 0,
+                     "cached": 0}

@@ -65,6 +65,12 @@ def assert_equivalent(image, args=(), *, stack_limit=32, step_limit=2_000):
         f"fastpath diverged from reference\n  ref:  {ref}\n  fast: {fast}\n"
         f"  code: {image.code.hex()}"
     )
+    traced = run_one("trace", image, args,
+                     stack_limit=stack_limit, step_limit=step_limit)
+    assert traced == ref, (
+        f"trace compilation diverged from reference\n  ref:   {ref}\n"
+        f"  trace: {traced}\n  code: {image.code.hex()}"
+    )
     return ref
 
 
