@@ -206,6 +206,13 @@ class Client:
         """Observe client operations as they happen (fleet metrics hook)."""
         self._event_listeners.append(listener)
 
+    def remove_listener(self, listener: Callable[[ClientEvent], None]) -> None:
+        """Detach a listener added via :meth:`add_listener`.  Idempotent."""
+        try:
+            self._event_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _log(self, kind: str, *, latency_s: Optional[float] = None,
              detail: str = "") -> None:
         event = ClientEvent(self.sim.now_s, kind, latency_s, detail)

@@ -215,6 +215,15 @@ class Thing:
         """Observe pipeline events as they happen (fleet metrics hook)."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: Callable[[ThingEvent], None]) -> None:
+        """Detach a listener added via :meth:`add_listener`.  Idempotent —
+        the gateway's streaming fan-out detaches on close without having
+        to track whether the attach ever happened."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def events_of(self, kind: str) -> List[ThingEvent]:
         return [e for e in self.events if e.kind == kind]
 

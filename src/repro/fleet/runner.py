@@ -131,6 +131,26 @@ def run_shard(spec: ShardSpec, plan: Optional[CheckpointPlan] = None) -> dict:
     return _finish_shard(deployment)
 
 
+def live_shards(scenario: FleetScenario) -> List[ShardDeployment]:
+    """Build and launch every shard of *scenario* without running time.
+
+    This is the hosting hook for the live service layer
+    (:mod:`repro.gateway`): each deployment has its churn/traffic
+    processes scheduled but its clock still at zero, so a caller can
+    interleave its own work (serving requests, injecting reads) with
+    explicit ``sim.run_until`` advances.  The deployments are the same
+    objects :func:`run_shard` drives, built in shard-index order from
+    the same specs — a hosted fleet's behaviour for a given sequence of
+    advances is a pure function of ``(scenario, advances)``.
+    """
+    deployments = []
+    for spec in scenario.shards():
+        deployment = ShardDeployment(spec)
+        deployment.start()
+        deployments.append(deployment)
+    return deployments
+
+
 def resume_shard(directory, run_to_s: float) -> dict:
     """Restore one shard checkpoint and run it to *run_to_s*."""
     from repro.snapshot.checkpoint import load_shard
@@ -374,6 +394,7 @@ def resume_scenario(
 __all__ = [
     "CheckpointPlan",
     "FleetResult",
+    "live_shards",
     "resume_scenario",
     "resume_shard",
     "run_scenario",

@@ -194,6 +194,22 @@ SCENARIOS: Dict[str, FleetScenario] = {
             stream_probability=0.15,
         ),
     ),
+    # The live-service hosting reference (repro.gateway): calm churn
+    # and no client-side stream noise, so most sim events while serving
+    # are the gateway's own bridged reads/actions.  duration_s is only
+    # the default horizon for batch runs — a hosted gateway serves
+    # indefinitely.
+    "gateway": FleetScenario(
+        name="gateway", things=20, shard_size=20, duration_s=60.0,
+        churn=ChurnProfile(
+            churn_interval_s=60.0, discovery_interval_s=10.0,
+            read_interval_s=8.0, hot_update_interval_s=90.0,
+            stream_probability=0.0,
+        ),
+        # Telemetry on by default: the gateway's /stream pushes each
+        # shard's sample ticks to WebSocket subscribers.
+        telemetry=TelemetryConfig(cadence_s=1.0),
+    ),
     # "default" plus the duty-cycled sampling load: every Thing wakes
     # every 50 ms to read a sensor and every 100 ms to accrue sleep
     # energy.  >95% of its events are fast-forward certified, making it

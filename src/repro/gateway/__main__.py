@@ -1,0 +1,191 @@
+"""Command-line entry point for the gateway service.
+
+    python -m repro.gateway serve --scenario duty --nodes 1000
+    python -m repro.gateway load --nodes 1000 --duration 30
+    python -m repro.gateway --smoke
+
+``serve`` hosts a fleet behind HTTP/WS until interrupted (wall-clock
+pacing by default, so the fleet lives while you poke it with curl).
+``load`` boots a gateway in-process, warms the fleet up, runs the
+open-loop load generator and prints the SLO-judged scorecard.
+``--smoke`` is the CI liveness gate: tiny fleet, one of everything,
+replay-determinism check, non-zero exit on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.fleet.scenario import SCENARIOS, FleetScenario
+from repro.gateway.bridge import GatewayBridge, Op
+from repro.gateway.loadgen import LoadConfig, run_load
+from repro.gateway.server import GatewayServer, serve_forever
+
+#: Sim-time warm-up before serving load: lets the initial plug burst
+#: identify peripherals and install drivers so reads have targets.
+WARMUP_NS = 2_000_000_000
+
+
+def _scenario(args) -> FleetScenario:
+    base = SCENARIOS[args.scenario]
+    overrides = {}
+    if args.nodes is not None:
+        overrides["things"] = args.nodes
+        if args.shard_size is None:
+            overrides["shard_size"] = args.nodes  # one shard unless told
+    if args.shard_size is not None:
+        overrides["shard_size"] = args.shard_size
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return base.scaled(**overrides) if overrides else base
+
+
+def _add_fleet_args(parser) -> None:
+    parser.add_argument("--scenario", default="gateway",
+                        choices=sorted(SCENARIOS),
+                        help="named fleet scenario to host")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the number of Things")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="override Things per shard")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the master seed")
+
+
+def cmd_serve(args) -> int:
+    scenario = _scenario(args)
+    bridge = GatewayBridge(scenario, pacing=args.pacing,
+                           wall_speed=args.speed)
+    bridge.execute(Op("advance", value=WARMUP_NS), timeout=300.0)
+    try:
+        asyncio.run(serve_forever(bridge, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    finally:
+        bridge.close()
+    return 0
+
+
+def cmd_load(args) -> int:
+    scenario = _scenario(args)
+    config = LoadConfig(
+        duration_s=args.duration,
+        lookups_per_min=args.lookups_per_min,
+        reads_per_min=args.reads_per_min,
+        connections=args.connections,
+    )
+
+    async def drive() -> dict:
+        bridge = GatewayBridge(scenario)
+        try:
+            async with GatewayServer(bridge, host=args.host) as server:
+                await asyncio.wrap_future(
+                    bridge.submit(Op("advance", value=WARMUP_NS)))
+                result = await run_load(server.host, server.port, config)
+            document = result.as_dict()
+            document["digest"] = bridge.run_on_thread(bridge.digest)
+            document["ops_logged"] = len(bridge.log.entries)
+            return document
+        finally:
+            bridge.close()
+
+    document = asyncio.run(drive())
+    document["scenario"] = {"name": args.scenario,
+                            "things": scenario.things,
+                            "shards": scenario.shard_count}
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(document, fh, indent=1, sort_keys=True)
+    print(json.dumps(document, indent=1, sort_keys=True))
+    slo = document.get("slo", {})
+    return 0 if slo.get("status") in ("ok", "recovered") else 1
+
+
+def cmd_smoke(args) -> int:
+    del args
+    scenario = SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11)
+
+    async def drive() -> None:
+        bridge = GatewayBridge(scenario)
+        async with GatewayServer(bridge) as server:
+            await asyncio.wrap_future(
+                bridge.submit(Op("advance", value=WARMUP_NS)))
+            from repro.gateway.loadgen import HttpPool, discover_targets
+            pool = HttpPool(server.host, server.port, 2)
+            status, directory = await pool.request("GET", "/things")
+            assert status == 200 and len(directory["things"]) == 8, \
+                f"directory: {status} {directory}"
+            targets = await discover_targets(pool, 8)
+            assert targets, "no readable properties after warm-up"
+            thing, prop = targets[0]
+            status, body = await pool.request(
+                "GET", f"/things/{thing}/properties/{prop}")
+            assert status == 200 and "value" in body, f"read: {status}"
+            status, body = await pool.request(
+                "GET", f"/things/{thing}/properties/bogus")
+            assert status == 404, f"expected 404, got {status}"
+            status, body = await pool.request(
+                "POST", f"/things/{thing}/actions/install",
+                body={"driver": "relay"})
+            assert status == 200 and body.get("installed"), \
+                f"install: {status} {body}"
+            await pool.close()
+        digest = bridge.digest()
+        ops = bridge.log.ops()
+        bridge.close()
+        replayed = GatewayBridge.replay(scenario, ops)
+        assert replayed.digest() == digest, "replay digest mismatch"
+        print(f"gateway smoke ok: {len(ops)} ops, "
+              f"digest {digest[:16]} reproducible")
+
+    asyncio.run(drive())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Serve or load-test a simulated fleet over HTTP/WS.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI smoke check and exit")
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="host a fleet behind HTTP/WS")
+    _add_fleet_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--pacing", choices=("free", "wall"),
+                       default="wall",
+                       help="virtual-time policy (wall = fleet tracks "
+                            "wall clock; free = time moves only with "
+                            "requests, digest-reproducible)")
+    serve.add_argument("--speed", type=float, default=1.0,
+                       help="sim seconds per wall second under wall pacing")
+
+    load = sub.add_parser("load", help="run the open-loop load generator")
+    _add_fleet_args(load)
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--duration", type=float, default=30.0)
+    load.add_argument("--reads-per-min", type=float, default=10_000.0)
+    load.add_argument("--lookups-per-min", type=float, default=600.0)
+    load.add_argument("--connections", type=int, default=8)
+    load.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the scorecard as JSON")
+
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return cmd_smoke(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "load":
+        return cmd_load(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

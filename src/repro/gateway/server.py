@@ -1,0 +1,294 @@
+"""The gateway HTTP/WebSocket front-end.
+
+:class:`GatewayServer` owns an ``asyncio.start_server`` listener and a
+:class:`~repro.gateway.bridge.GatewayBridge`.  Request handling is
+thin: parse, route, translate the route into an :class:`Op`, await the
+bridge's future (``asyncio.wrap_future`` crosses from the bridge
+thread back into the event loop), serialize the :class:`OpResult` as
+JSON.  All fleet semantics — admission, timeouts, 404-vs-504 — are the
+bridge's; all transport concerns — keep-alive, malformed requests,
+WebSocket framing — are this module's.
+
+Routes
+------
+
+========  ==================================  =======================
+method    path                                bridged op
+========  ==================================  =======================
+GET       /things                             list (read-only)
+GET       /things/{id}                        td (read-only)
+GET       /things/{id}/properties/{name}      read
+POST      /things/{id}/actions/install        install
+POST      /things/{id}/actions/{name}         write
+GET       /healthz                            none (liveness)
+GET       /stream                             WebSocket subscription
+========  ==================================  =======================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.gateway.bridge import GatewayBridge, Op, OpResult
+from repro.gateway.thing_description import INSTALL_ACTION
+from repro.gateway.wire import (
+    Request,
+    WireError,
+    WS_OP_CLOSE,
+    WS_OP_PING,
+    read_request,
+    response_bytes,
+    split_target,
+    ws_encode,
+    ws_encode_text,
+    ws_handshake_bytes,
+    ws_read,
+    WS_OP_PONG,
+)
+
+#: Per-subscriber buffered events before the slow consumer drops frames.
+STREAM_QUEUE_DEPTH = 1024
+
+
+class GatewayServer:
+    """Serve one bridge over HTTP/WS on ``host:port`` (port 0 = ephemeral)."""
+
+    def __init__(self, bridge: GatewayBridge, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.bridge = bridge
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._streams = 0
+        self.stream_dropped = 0
+        self._connections: set = set()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> "GatewayServer":
+        self.bridge.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Tear down live connections too: handler tasks must not
+        # outlive the server into event-loop close.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        self._connections.clear()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def __aenter__(self) -> "GatewayServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except WireError as exc:
+                    writer.write(response_bytes(
+                        400, {"error": str(exc)}, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if request.wants_websocket:
+                    await self._serve_stream(request, reader, writer)
+                    break
+                keep_alive = (request.header("connection").lower()
+                              != "close")
+                payload = await self._dispatch(request)
+                writer.write(response_bytes(
+                    payload[0], payload[1], keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with this connection mid-read: close quietly.
+            pass
+        finally:
+            # RuntimeError: the event loop already closed under us (a
+            # keep-alive connection GC'd at interpreter/test teardown).
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    # --------------------------------------------------------------- routing
+    async def _dispatch(self, request: Request):
+        """Route one request; returns ``(status, body)``."""
+        path, _params = split_target(request.path)
+        segments = [s for s in path.split("/") if s]
+        try:
+            if request.method == "GET":
+                if segments == ["healthz"]:
+                    return 200, {"status": "ok",
+                                 "things": len(self.bridge._things),
+                                 "pacing": self.bridge.pacing,
+                                 "streams": self._streams}
+                if segments == ["things"]:
+                    return await self._bridged(Op("list"))
+                if len(segments) == 2 and segments[0] == "things":
+                    thing = _thing_id(segments[1])
+                    if thing is None:
+                        return 404, {"error": f"bad thing id: "
+                                              f"{segments[1]!r}"}
+                    return await self._bridged(Op("td", thing=thing))
+                if (len(segments) == 4 and segments[0] == "things"
+                        and segments[2] == "properties"):
+                    thing = _thing_id(segments[1])
+                    if thing is None:
+                        return 404, {"error": f"bad thing id: "
+                                              f"{segments[1]!r}"}
+                    return await self._bridged(
+                        Op("read", thing=thing, name=segments[3]))
+                return 404, {"error": f"no route: GET {path}"}
+            if request.method == "POST":
+                if (len(segments) == 4 and segments[0] == "things"
+                        and segments[2] == "actions"):
+                    thing = _thing_id(segments[1])
+                    if thing is None:
+                        return 404, {"error": f"bad thing id: "
+                                              f"{segments[1]!r}"}
+                    return await self._invoke_action(
+                        thing, segments[3], request)
+                return 404, {"error": f"no route: POST {path}"}
+            return 405, {"error": f"method not allowed: {request.method}"}
+        except WireError as exc:
+            return 400, {"error": str(exc)}
+
+    async def _invoke_action(self, thing: int, action: str,
+                             request: Request):
+        body = request.json()
+        if action == INSTALL_ACTION:
+            driver = body.get("driver")
+            if not isinstance(driver, str):
+                return 400, {"error": "install needs a string 'driver'"}
+            return await self._bridged(
+                Op("install", thing=thing, name=driver))
+        value = body.get("value")
+        if not isinstance(value, int) or isinstance(value, bool):
+            return 400, {"error": f"action {action!r} needs an integer "
+                                  "'value'"}
+        return await self._bridged(
+            Op("write", thing=thing, name=action, value=value))
+
+    async def _bridged(self, op: Op):
+        result: OpResult = await asyncio.wrap_future(self.bridge.submit(op))
+        body = dict(result.body)
+        if result.admitted_ns:
+            body["sim"] = {"admitted_ns": result.admitted_ns,
+                           "latency_ns": result.sim_latency_ns}
+        return result.status, body
+
+    # ------------------------------------------------------------- streaming
+    async def _serve_stream(self, request: Request, reader, writer) -> None:
+        path, _ = split_target(request.path)
+        key = request.header("sec-websocket-key")
+        if path != "/stream" or not key:
+            writer.write(response_bytes(
+                404 if path != "/stream" else 400,
+                {"error": "websocket upgrade only at /stream"},
+                keep_alive=False))
+            await writer.drain()
+            return
+        writer.write(ws_handshake_bytes(key))
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue" = asyncio.Queue(maxsize=STREAM_QUEUE_DEPTH)
+
+        def on_event(message: dict) -> None:
+            # Bridge-thread context: hop onto the loop, drop when the
+            # consumer can't keep up (a live stream must never apply
+            # backpressure to the simulation).
+            def deliver() -> None:
+                try:
+                    events.put_nowait(message)
+                except asyncio.QueueFull:
+                    self.stream_dropped += 1
+
+            loop.call_soon_threadsafe(deliver)
+
+        self.bridge.subscribe(on_event)
+        self._streams += 1
+        try:
+            sender = asyncio.ensure_future(self._pump_events(events, writer))
+            await self._consume_frames(reader, writer)
+        finally:
+            self._streams -= 1
+            self.bridge.unsubscribe(on_event)
+            sender.cancel()
+
+    async def _pump_events(self, events: "asyncio.Queue", writer) -> None:
+        try:
+            while True:
+                message = await events.get()
+                writer.write(ws_encode_text(
+                    json.dumps(message, sort_keys=True)))
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+
+    async def _consume_frames(self, reader, writer) -> None:
+        """Answer pings, exit on close/EOF; inbound text is ignored."""
+        try:
+            while True:
+                opcode, payload = await ws_read(reader)
+                if opcode == WS_OP_CLOSE:
+                    writer.write(ws_encode(payload, WS_OP_CLOSE))
+                    await writer.drain()
+                    return
+                if opcode == WS_OP_PING:
+                    writer.write(ws_encode(payload, WS_OP_PONG))
+                    await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, WireError):
+            return
+
+
+def _thing_id(raw: str) -> Optional[int]:
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+async def serve_forever(bridge: GatewayBridge, *, host: str = "127.0.0.1",
+                        port: int = 0) -> None:
+    """Run a gateway until cancelled (the ``python -m repro.gateway
+    serve`` entry point)."""
+    server = await GatewayServer(bridge, host=host, port=port).start()
+    print(f"gateway listening on {server.base_url} "
+          f"({len(bridge._things)} things, pacing={bridge.pacing})")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.close()
+
+
+__all__ = ["GatewayServer", "serve_forever", "STREAM_QUEUE_DEPTH"]

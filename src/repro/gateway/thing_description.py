@@ -1,0 +1,202 @@
+"""W3C-style Thing Descriptions for simulated µPnP Things.
+
+Every Thing hosted behind the gateway is published as a Thing
+Description (TD): a JSON document advertising the Thing's *interaction
+affordances* — readable properties, invokable actions, observable
+events — each with a ``forms`` entry pointing at the live HTTP/WS
+endpoint that bridges into the simulation.
+
+Affordances are derived, not hand-written: a peripheral contributes a
+property iff its compiled driver exports a ``read`` handler, a write
+action iff it exports ``write``, and a stream event iff it is readable
+(the µPnP runtime provides periodic streaming over any readable
+driver).  That keeps the TD an honest projection of the driver
+catalogue — the same :class:`~repro.drivers.catalog.DriverSpec` the
+manager deploys from — so a TD can never advertise an interaction the
+simulated device would reject.
+
+Determinism contract: TD generation is a pure function of its inputs
+(thing id, plugged peripherals, registry state) and every dict is
+assembled in sorted key order, so ``json.dumps(td, sort_keys=True)``
+is byte-stable across generations and re-serialization round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.registry import Registry
+from repro.drivers.catalog import CATALOG, DriverSpec, spec_for_id
+from repro.dsl.bytecode import HANDLER_KIND_EVENT
+from repro.dsl.symbols import well_known_id
+
+TD_CONTEXT = "https://www.w3.org/2022/wot/td/v1.1"
+
+#: Action name for the manager-driven driver install (every Thing).
+INSTALL_ACTION = "install"
+
+
+def _exports(spec: DriverSpec, name: str) -> bool:
+    """True iff the compiled driver has an event handler for *name*."""
+    name_id = well_known_id(name)
+    if name_id is None:
+        return False
+    image = spec.compile()
+    return image.find_handler(HANDLER_KIND_EVENT, name_id) is not None
+
+
+def driver_affordances(key: str, spec: DriverSpec) -> dict:
+    """The interaction affordances one catalogue driver contributes.
+
+    Returns ``{"properties": {...}, "actions": {...}, "events": {...}}``
+    keyed by affordance name (the catalogue key, suffixed for actions
+    and events).  Forms are filled in later by
+    :func:`thing_description`, which knows the Thing's base href.
+    """
+    readable = _exports(spec, "read")
+    writable = _exports(spec, "write")
+    properties: Dict[str, dict] = {}
+    actions: Dict[str, dict] = {}
+    events: Dict[str, dict] = {}
+    if readable:
+        properties[key] = {
+            "title": spec.name,
+            "type": "integer",
+            "readOnly": not writable,
+            "observable": True,
+            "upnp:deviceId": str(spec.device_id),
+            "upnp:bus": spec.bus.value,
+        }
+        events[f"{key}-stream"] = {
+            "title": f"{spec.name} stream",
+            "data": {"type": "integer"},
+            "upnp:deviceId": str(spec.device_id),
+        }
+    if writable:
+        actions[f"{key}-write"] = {
+            "title": f"Write {spec.name}",
+            "input": {
+                "type": "object",
+                "properties": {"value": {"type": "integer"}},
+                "required": ["value"],
+            },
+            "upnp:deviceId": str(spec.device_id),
+        }
+    return {"properties": properties, "actions": actions, "events": events}
+
+
+def _catalog_key(device_id) -> Optional[str]:
+    spec = spec_for_id(device_id)
+    if spec is None:
+        return None
+    for key, entry in CATALOG.items():
+        if entry is spec:
+            return key
+    return None
+
+
+def thing_description(
+    thing_id: int,
+    peripherals: Iterable[Tuple[int, object]],
+    *,
+    registry: Optional[Registry] = None,
+    base: str = "",
+) -> dict:
+    """Build the TD for one hosted Thing.
+
+    *peripherals* is ``(channel, device_id)`` pairs — exactly what
+    :meth:`Thing.connected_peripherals` yields.  Boards whose device id
+    is not in the catalogue are skipped (they could never serve a
+    bridged interaction).  Two boards of the same type merge into one
+    affordance listing both channels: reads address the device id, not
+    the channel, so the affordance space is per-type.
+    """
+    href = f"/things/{thing_id}"
+    channels_by_key: Dict[str, List[int]] = {}
+    for channel, device_id in sorted(peripherals):
+        key = _catalog_key(device_id)
+        if key is not None:
+            channels_by_key.setdefault(key, []).append(channel)
+
+    properties: Dict[str, dict] = {}
+    actions: Dict[str, dict] = {}
+    events: Dict[str, dict] = {}
+    for key in sorted(channels_by_key):
+        spec = CATALOG[key]
+        contributed = driver_affordances(key, spec)
+        for name in sorted(contributed["properties"]):
+            prop = dict(contributed["properties"][name])
+            prop["upnp:channels"] = list(channels_by_key[key])
+            if registry is not None:
+                record = registry.record(spec.device_id)
+                if record is not None:
+                    prop["upnp:registryStatus"] = record.status.value
+            prop["forms"] = [{
+                "href": f"{base}{href}/properties/{name}",
+                "op": ["readproperty"],
+            }]
+            properties[name] = prop
+        for name in sorted(contributed["actions"]):
+            action = dict(contributed["actions"][name])
+            action["forms"] = [{
+                "href": f"{base}{href}/actions/{name}",
+                "op": ["invokeaction"],
+            }]
+            actions[name] = action
+        for name in sorted(contributed["events"]):
+            event = dict(contributed["events"][name])
+            event["forms"] = [{
+                "href": f"{base}/stream",
+                "subprotocol": "upnp-gateway-stream",
+                "op": ["subscribeevent"],
+            }]
+            events[name] = event
+
+    # Every Thing accepts a manager-driven driver install, plugged or not.
+    actions[INSTALL_ACTION] = {
+        "title": "Install a catalogue driver",
+        "input": {
+            "type": "object",
+            "properties": {
+                "driver": {"type": "string", "enum": sorted(CATALOG)},
+            },
+            "required": ["driver"],
+        },
+        "forms": [{
+            "href": f"{base}{href}/actions/{INSTALL_ACTION}",
+            "op": ["invokeaction"],
+        }],
+    }
+
+    return {
+        "@context": TD_CONTEXT,
+        "id": f"urn:upnp:thing:{thing_id}",
+        "title": f"thing-{thing_id}",
+        "base": base or None,
+        "security": ["nosec_sc"],
+        "securityDefinitions": {"nosec_sc": {"scheme": "nosec"}},
+        "properties": properties,
+        "actions": actions,
+        "events": events,
+        "links": [{"rel": "collection", "href": f"{base}/things"}],
+    }
+
+
+def directory_entry(thing_id: int, n_peripherals: int, *,
+                    base: str = "") -> dict:
+    """One row of the ``GET /things`` directory listing."""
+    return {
+        "id": f"urn:upnp:thing:{thing_id}",
+        "title": f"thing-{thing_id}",
+        "href": f"{base}/things/{thing_id}",
+        "peripherals": n_peripherals,
+    }
+
+
+__all__ = [
+    "TD_CONTEXT",
+    "INSTALL_ACTION",
+    "driver_affordances",
+    "thing_description",
+    "directory_entry",
+]

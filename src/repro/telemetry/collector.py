@@ -74,6 +74,10 @@ class ShardTelemetry:
         #: ``(time_ns, trace_id)`` or None.
         self._last_traced: Optional[Tuple[int, int]] = None
         self._last_sample_ns = -1
+        #: Sample subscribers (gateway streaming hook): called with
+        #: ``(time_ns, collector)`` after every completed sample.
+        #: Subscribers must be read-only, like sampling itself.
+        self._sample_listeners = []
         self._exemplar_listener = None
         tracer = deployment.sim.tracer
         if config.exemplars and tracer is not None:
@@ -104,6 +108,21 @@ class ShardTelemetry:
     def _on_trace_event(self, event) -> None:
         if event.trace_id is not None:
             self._last_traced = (event.time_ns, event.trace_id)
+
+    def add_sample_listener(self, listener) -> None:
+        """Subscribe to sampling ticks: ``listener(time_ns, collector)``
+        fires after each completed sample (the gateway's ``/stream``
+        telemetry push rides this).  Listeners must not mutate
+        simulation state — the read-only sampling contract extends to
+        them."""
+        self._sample_listeners.append(listener)
+
+    def remove_sample_listener(self, listener) -> None:
+        """Detach a sample subscriber.  Idempotent."""
+        try:
+            self._sample_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # --------------------------------------------------------------- sampling
     def _counter(self, name: str, value: float, help: str = "",
@@ -226,6 +245,8 @@ class ShardTelemetry:
                 ).record(self._now_ns, thing.stack.stats.bytes_sent)
 
         self._last_traced = None
+        for listener in self._sample_listeners:
+            listener(now_ns, self)
 
     # --------------------------------------------------------------- exports
     def snapshot(self) -> dict:

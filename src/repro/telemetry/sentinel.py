@@ -87,6 +87,12 @@ DEFAULT_SENTINEL_RULES: Tuple[SentinelRule, ...] = (
     SentinelRule("*ff_windows_skipped", direction="higher", tolerance=0.25),
     SentinelRule("*ff_events_skipped", direction="higher", tolerance=0.25),
     SentinelRule("*traces_compiled", direction="higher", tolerance=0.25),
+    # Gateway service tier: user-facing request throughput up is good,
+    # tail latency and error rate down are good.
+    SentinelRule("*requests_per_s", direction="higher", tolerance=0.20),
+    SentinelRule("*p99_latency_ms", direction="lower", tolerance=0.50),
+    SentinelRule("*p95_latency_ms", direction="lower", tolerance=0.50),
+    SentinelRule("*error_rate", direction="lower", tolerance=0.50),
 )
 
 

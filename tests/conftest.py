@@ -1,0 +1,33 @@
+"""Repo-wide pytest plumbing: stdlib-only asyncio test support.
+
+The container has no pytest-asyncio, so ``async def`` tests marked
+``@pytest.mark.asyncio`` are executed here: each test gets a fresh
+event loop (created, run, closed per test — no loop state leaks
+between tests).  Unmarked async tests fail loudly instead of silently
+returning an un-awaited coroutine.
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    test_fn = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(test_fn):
+        return None
+    if pyfuncitem.get_closest_marker("asyncio") is None:
+        raise pytest.UsageError(
+            f"{pyfuncitem.nodeid} is async but lacks @pytest.mark.asyncio")
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    loop = asyncio.new_event_loop()
+    try:
+        loop.run_until_complete(test_fn(**kwargs))
+    finally:
+        loop.close()
+    return True

@@ -52,3 +52,48 @@ def build_world(seed: int = 42, extra_things: int = 0) -> World:
 @pytest.fixture
 def world() -> World:
     return build_world()
+
+
+@pytest.fixture
+def gateway_scenario():
+    """A small, deterministic fleet for gateway end-to-end tests."""
+    from repro.fleet.scenario import SCENARIOS
+
+    return SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11)
+
+
+@pytest.fixture
+def gateway_server(gateway_scenario):
+    """A started GatewayServer on an ephemeral 127.0.0.1 port.
+
+    Async fixture pattern without pytest-asyncio: yields a factory the
+    (async) test awaits to get the running server; teardown closes the
+    server and bridge on the test's own loop via the returned closer.
+    """
+    from repro.gateway.bridge import GatewayBridge, Op
+    from repro.gateway.server import GatewayServer
+
+    bridge = GatewayBridge(gateway_scenario)
+    server = GatewayServer(bridge)
+
+    async def up(warmup_ns: int = 2_000_000_000) -> GatewayServer:
+        import asyncio
+
+        await server.start()
+        if warmup_ns:
+            await asyncio.wrap_future(
+                bridge.submit(Op("advance", value=warmup_ns)))
+        return server
+
+    try:
+        yield up
+    finally:
+        # Normal tests close the server inside their own loop; this is
+        # the crashed-test path, where best-effort socket close is all
+        # that is still possible (the test's loop is already gone).
+        if server._server is not None:
+            try:
+                server._server.close()
+            except RuntimeError:
+                pass
+        bridge.close()

@@ -276,3 +276,66 @@ def test_periodic_handle_restores_from_pre_ff_checkpoints():
     assert handle._bulk is None
     assert handle._interval_ns == 42
     assert state  # silences the unused-variable lint
+
+def test_stochastic_chains_act_as_ff_barriers():
+    # Pins the fast-forward tier's structural limitation: a plain
+    # (uncertified) self-rescheduling chain — the shape of the fleet's
+    # churn/read/discovery processes, whose RNG draws cannot be
+    # certified — bounds every candidate window.  When such a chain
+    # fires more often than the certified period, no window ever fits
+    # a certified event and the kernel must skip nothing, while still
+    # matching the stepped run exactly.
+    def build(ff: bool):
+        sim = Simulator()
+        sampler = Sampler(31)
+        sim.every(5 * NS_PER_MS, sampler.tick, name="certified",
+                  fast_forward=True, bulk=sampler.apply)
+        state = [77]
+        fires = []
+
+        def stochastic():
+            # LCG-driven pseudo-random gap in [1, 4] ms, like churn.
+            state[0] = (state[0] * 1103515245 + 12345) & 0x7FFFFFFF
+            fires.append(sim.now_ns)
+            gap = NS_PER_MS * (1 + state[0] % 4)
+            sim.schedule(gap, stochastic, name="stochastic")
+
+        sim.schedule(NS_PER_MS, stochastic, name="stochastic")
+        if ff:
+            sim.enable_fast_forward()
+        sim.run_until(1_000 * NS_PER_MS)
+        return sim, sampler, fires
+
+    on_sim, on_sampler, on_fires = build(True)
+    off_sim, off_sampler, off_fires = build(False)
+    assert on_sampler.state() == off_sampler.state()
+    assert on_fires == off_fires
+    assert (on_sim.now_ns, on_sim._seq) == (off_sim.now_ns, off_sim._seq)
+    # The limitation itself: every window is cut short by the next
+    # stochastic event, so nothing was skippable.
+    assert on_sim.ff_windows == 0
+    assert on_sim.ff_events == 0
+
+
+def test_fleet_shard_ff_is_starved_by_churn_processes():
+    # The same limitation observed at fleet scale: a gateway-hosted
+    # shard with fast-forward enabled still executes nearly every event
+    # one at a time, because the churn/discovery/read chains are
+    # uncertified barriers scattered through the timeline.  This is the
+    # measured reason `repro.gateway` free pacing cannot cheaply leap
+    # the fleet between requests — if chain certification ever lands,
+    # this pin should break and be renegotiated.
+    from repro.fleet.scenario import SCENARIOS
+    from repro.fleet.deployment import ShardDeployment
+
+    scenario = SCENARIOS["gateway"].scaled(
+        things=4, shard_size=4, seed=9, fast_forward=True)
+    deployment = ShardDeployment(scenario.shards()[0])
+    deployment.start()
+    sim = deployment.sim
+    assert sim._ff_enabled
+    executed = sim.run_until(5_000 * NS_PER_MS)
+    assert executed > 0
+    # Fewer than 2% of events were analytically skipped: the certified
+    # load (telemetry sampling) is starved of windows by the chains.
+    assert sim.ff_events <= 0.02 * (executed + sim.ff_events)
