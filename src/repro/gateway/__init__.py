@@ -12,13 +12,17 @@ Layers:
   pacing, request log, replay determinism;
 * :mod:`repro.gateway.wire` — stdlib HTTP/1.1 + RFC 6455 primitives;
 * :mod:`repro.gateway.server` — asyncio routing and streaming;
+* :mod:`repro.gateway.obs` — request-scoped observability: latency
+  decomposition, slow-op journal, SLO-triggered flight recorder
+  (DESIGN.md §12);
 * :mod:`repro.gateway.loadgen` — open-loop load generation with
   SLO-judged latency/error measurements.
 """
 
 from repro.gateway.bridge import GatewayBridge, Op, OpResult, RequestLog
 from repro.gateway.loadgen import LoadConfig, LoadResult, run_load
-from repro.gateway.server import GatewayServer
+from repro.gateway.obs import GatewayObsConfig, GatewayObservability
+from repro.gateway.server import GatewayServer, GatewayStats
 from repro.gateway.thing_description import (
     directory_entry,
     driver_affordances,
@@ -27,7 +31,10 @@ from repro.gateway.thing_description import (
 
 __all__ = [
     "GatewayBridge",
+    "GatewayObsConfig",
+    "GatewayObservability",
     "GatewayServer",
+    "GatewayStats",
     "LoadConfig",
     "LoadResult",
     "Op",

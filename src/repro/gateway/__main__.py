@@ -3,6 +3,7 @@
     python -m repro.gateway serve --scenario duty --nodes 1000
     python -m repro.gateway load --nodes 1000 --duration 30
     python -m repro.gateway --smoke
+    python -m repro.gateway obs-smoke
 
 ``serve`` hosts a fleet behind HTTP/WS until interrupted (wall-clock
 pacing by default, so the fleet lives while you poke it with curl).
@@ -10,6 +11,9 @@ pacing by default, so the fleet lives while you poke it with curl).
 open-loop load generator and prints the SLO-judged scorecard.
 ``--smoke`` is the CI liveness gate: tiny fleet, one of everything,
 replay-determinism check, non-zero exit on any failure.
+``obs-smoke`` gates the request-observability layer: request-id →
+trace propagation, /metrics grammar, /debug/ops journal, the
+SLO-triggered flight recorder, and obs-on/off replay digest parity.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import sys
 from repro.fleet.scenario import SCENARIOS, FleetScenario
 from repro.gateway.bridge import GatewayBridge, Op
 from repro.gateway.loadgen import LoadConfig, run_load
+from repro.gateway.obs import GatewayObsConfig
 from repro.gateway.server import GatewayServer, serve_forever
 
 #: Sim-time warm-up before serving load: lets the initial plug burst
@@ -40,7 +45,14 @@ def _scenario(args) -> FleetScenario:
         overrides["shard_size"] = args.shard_size
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "trace", False):
+        overrides["trace"] = True
     return base.scaled(**overrides) if overrides else base
+
+
+def _obs_config(args) -> GatewayObsConfig:
+    return GatewayObsConfig(enabled=not args.no_obs,
+                            flight_dir=args.flight_dir)
 
 
 def _add_fleet_args(parser) -> None:
@@ -53,12 +65,20 @@ def _add_fleet_args(parser) -> None:
                         help="override Things per shard")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the master seed")
+    parser.add_argument("--trace", action="store_true",
+                        help="record obs traces in every shard (request "
+                             "spans stitch into the in-fleet flows)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable gateway request observability")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the flight recorder: dump recent "
+                             "request traces here on SLO degradation")
 
 
 def cmd_serve(args) -> int:
     scenario = _scenario(args)
     bridge = GatewayBridge(scenario, pacing=args.pacing,
-                           wall_speed=args.speed)
+                           wall_speed=args.speed, obs=_obs_config(args))
     bridge.execute(Op("advance", value=WARMUP_NS), timeout=300.0)
     try:
         asyncio.run(serve_forever(bridge, host=args.host, port=args.port))
@@ -79,7 +99,7 @@ def cmd_load(args) -> int:
     )
 
     async def drive() -> dict:
-        bridge = GatewayBridge(scenario)
+        bridge = GatewayBridge(scenario, obs=_obs_config(args))
         try:
             async with GatewayServer(bridge, host=args.host) as server:
                 await asyncio.wrap_future(
@@ -88,6 +108,13 @@ def cmd_load(args) -> int:
             document = result.as_dict()
             document["digest"] = bridge.run_on_thread(bridge.digest)
             document["ops_logged"] = len(bridge.log.entries)
+            if args.trace_out and scenario.trace:
+                from repro.obs.export import merge_traces, write_trace
+                snapshots = bridge.run_on_thread(
+                    lambda: [d.sim.tracer.snapshot()
+                             for d in bridge.deployments])
+                write_trace(args.trace_out, merge_traces(snapshots))
+                document["trace_out"] = args.trace_out
             return document
         finally:
             bridge.close()
@@ -145,6 +172,107 @@ def cmd_smoke(args) -> int:
     return 0
 
 
+def cmd_obs_smoke(args) -> int:
+    """CI gate for the request-observability layer (ISSUE 10)."""
+    del args
+    import tempfile
+    from pathlib import Path
+
+    from repro.gateway.loadgen import HttpPool, discover_targets
+    from repro.obs.export import filter_events, merge_traces
+    from repro.obs.report import request_index
+    from repro.telemetry.export import validate_openmetrics
+
+    scenario = SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11,
+                                           trace=True)
+
+    async def drive() -> tuple:
+        bridge = GatewayBridge(scenario)
+        async with GatewayServer(bridge) as server:
+            await asyncio.wrap_future(
+                bridge.submit(Op("advance", value=WARMUP_NS)))
+            pool = HttpPool(server.host, server.port, 2)
+            targets = await discover_targets(pool, 8, probe=True)
+            assert targets, "no readable properties after warm-up"
+            thing, prop = targets[0]
+            status, headers, body = await pool.request(
+                "GET", f"/things/{thing}/properties/{prop}",
+                headers={"X-Request-Id": "smoke-req-1"}, with_headers=True)
+            assert status == 200, f"read: {status} {body}"
+            assert headers.get("x-request-id") == "smoke-req-1", headers
+            trace_id = body["sim"]["trace_id"]
+            assert trace_id, "traced shard must report a trace id"
+
+            status, _h, text = await pool.request("GET", "/metrics",
+                                                  with_headers=True)
+            assert status == 200
+            assert _h.get("content-type", "").startswith(
+                "application/openmetrics-text"), _h
+            problems = validate_openmetrics(text)
+            assert not problems, f"/metrics invalid: {problems[:3]}"
+            for name in ("gateway_ops_total", "gateway_queue_wait_ms",
+                         "gateway_sim_exec_ms"):
+                assert name in text, f"/metrics missing {name}"
+
+            status, debug = await pool.request("GET", "/debug/ops")
+            assert status == 200, f"/debug/ops: {status}"
+            assert any(r["request_id"] == "smoke-req-1"
+                       for r in debug["slowest"]), debug["slowest"][:2]
+            assert debug["summary"]["kinds"]["read"]["count"] >= 1
+            await pool.close()
+        snapshots = bridge.run_on_thread(
+            lambda: [d.sim.tracer.snapshot()
+                     for d in bridge.deployments])
+        digest = bridge.run_on_thread(bridge.digest)
+        ops = bridge.log.ops()
+        bridge.close()
+        return snapshots, digest, ops, trace_id
+
+    snapshots, digest, ops, trace_id = asyncio.run(drive())
+
+    # Wire -> queue -> sim connectivity: the request id maps to the
+    # trace, whose events span the gateway envelope AND in-fleet layers.
+    merged = merge_traces(snapshots)
+    assert request_index(merged).get("smoke-req-1") == [trace_id], \
+        "request_index must map the X-Request-Id to its trace"
+    cats = {e["cat"] for e in filter_events(merged, trace_id=trace_id)}
+    assert "gateway" in cats, f"no gateway spans in trace: {cats}"
+    assert cats & {"core", "net", "proto"}, \
+        f"trace not connected into the fleet: {cats}"
+
+    # Replay parity: same ops, observability and tracing off.
+    bare = SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11)
+    replayed = GatewayBridge.replay(
+        bare, ops, obs=GatewayObsConfig(enabled=False))
+    assert replayed.digest() == digest, \
+        "digest must be identical with observability on vs off"
+
+    # Flight recorder: an impossible SLO forces a degraded verdict and
+    # the dump must carry the offending requests and their traces.
+    with tempfile.TemporaryDirectory() as tmp:
+        # gateway_sim_latency_ms only exists once sim-affecting ops ran,
+        # so the verdict flips to degraded exactly when the ring holds
+        # traced requests — the ops the dump must incriminate.
+        config = GatewayObsConfig(
+            flight_dir=tmp,
+            slos=("impossible: gateway_sim_latency_ms.p95 < 0.000001 "
+                  "window=1",),
+            slo_check_interval_s=0.0)
+        recorder = GatewayBridge.replay(scenario, ops, obs=config)
+        recorder_status = recorder.obs.last_slo_status
+        dumps = sorted(Path(tmp).glob("flight-*.json"))
+        assert recorder_status == "degraded", recorder_status
+        assert dumps, "degraded SLO must produce a flight dump"
+        flight = json.loads(dumps[0].read_text())
+        assert flight["requests"], "dump carries the request ring"
+        assert flight["traces"], "dump carries the offending traces"
+
+    print(f"gateway obs smoke ok: {len(ops)} ops, request smoke-req-1 -> "
+          f"trace {trace_id}, layers {sorted(cats)}, digest parity, "
+          f"{len(dumps)} flight dump(s)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.gateway",
@@ -175,6 +303,13 @@ def main(argv=None) -> int:
     load.add_argument("--connections", type=int, default=8)
     load.add_argument("--json", metavar="PATH", default=None,
                       help="also write the scorecard as JSON")
+    load.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="with --trace: write the merged Chrome trace "
+                           "of the whole run here")
+
+    sub.add_parser("obs-smoke",
+                   help="CI gate: request tracing, /metrics, /debug/ops, "
+                        "flight recorder, obs-on/off digest parity")
 
     args = parser.parse_args(argv)
     if args.smoke:
@@ -183,6 +318,8 @@ def main(argv=None) -> int:
         return cmd_serve(args)
     if args.command == "load":
         return cmd_load(args)
+    if args.command == "obs-smoke":
+        return cmd_obs_smoke(args)
     parser.print_help()
     return 2
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -55,6 +56,7 @@ from repro.fleet.deployment import ShardDeployment
 from repro.fleet.metrics import Metrics
 from repro.fleet.runner import live_shards
 from repro.fleet.scenario import FleetScenario
+from repro.gateway.obs import GatewayObsConfig, GatewayObservability
 from repro.gateway.thing_description import (
     INSTALL_ACTION,
     directory_entry,
@@ -82,6 +84,11 @@ class Op:
     name: str = ""
     #: Action input (write value, advance horizon in ns).
     value: Optional[int] = None
+    #: Request correlation id (inbound ``X-Request-Id`` or generated
+    #: by the server).  Purely observational: never consulted by any
+    #: handler, so it cannot perturb the determinism contract — but it
+    #: rides the request log, so a replayed op re-labels the same spans.
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
@@ -89,12 +96,14 @@ class Op:
 
     def to_json(self) -> dict:
         return {"kind": self.kind, "thing": self.thing,
-                "name": self.name, "value": self.value}
+                "name": self.name, "value": self.value,
+                "request_id": self.request_id}
 
     @classmethod
     def from_json(cls, data: dict) -> "Op":
         return cls(kind=data["kind"], thing=data.get("thing", -1),
-                   name=data.get("name", ""), value=data.get("value"))
+                   name=data.get("name", ""), value=data.get("value"),
+                   request_id=data.get("request_id", ""))
 
 
 @dataclass
@@ -111,6 +120,12 @@ class OpResult:
     #: Simulated admission instant and completion latency.
     admitted_ns: int = 0
     sim_latency_ns: int = 0
+    #: Obs trace id of the in-fleet spans this op caused (None when the
+    #: owning shard does not trace or the op never touched a sim).
+    trace_id: Optional[int] = None
+    #: The observability ring/journal record for this op (shared dict:
+    #: the server folds reply-write time into it after the drain).
+    record: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -158,6 +173,7 @@ class GatewayBridge:
         quantum_ns: int = DEFAULT_QUANTUM_NS,
         op_timeout_s: float = 5.0,
         wall_speed: float = 1.0,
+        obs: Optional[GatewayObsConfig] = None,
     ) -> None:
         if pacing not in ("free", "wall"):
             raise ValueError(f"unknown pacing policy: {pacing!r}")
@@ -166,6 +182,10 @@ class GatewayBridge:
         self.quantum_ns = int(quantum_ns)
         self.op_timeout_ns = ns_from_s(op_timeout_s)
         self.wall_speed = float(wall_speed)
+        obs_config = obs or GatewayObsConfig()
+        self.obs: Optional[GatewayObservability] = (
+            GatewayObservability(obs_config, op_kinds=OP_KINDS)
+            if obs_config.enabled else None)
         self.deployments: List[ShardDeployment] = live_shards(scenario)
         self.log = RequestLog()
         #: Global id -> (deployment, local index).
@@ -218,9 +238,11 @@ class GatewayBridge:
     # ------------------------------------------------------------ submission
     def submit(self, op: Op) -> "Future[OpResult]":
         """Thread-safe: enqueue *op* for the bridge thread; returns a
-        future the asyncio server awaits via ``asyncio.wrap_future``."""
+        future the asyncio server awaits via ``asyncio.wrap_future``.
+        The enqueue instant rides along so the decomposition can
+        attribute queue-wait separately from sim-drive time."""
         future: "Future[OpResult]" = Future()
-        self._queue.put((op, future))
+        self._queue.put((op, future, time.perf_counter_ns()))
         return future
 
     def execute(self, op: Op, timeout: Optional[float] = 30.0) -> OpResult:
@@ -230,6 +252,22 @@ class GatewayBridge:
             return self._apply(op)
         return self.submit(op).result(timeout=timeout)
 
+    def submit_call(self, fn: Callable[[], object]) -> "Future":
+        """Enqueue *fn* for the bridge thread without blocking.
+
+        Unlogged, like :meth:`run_on_thread` — the server uses it to
+        snapshot telemetry banks without racing the single writer.
+        """
+        future: "Future" = Future()
+        if self._thread is None:
+            try:
+                future.set_result(fn())
+            except Exception as exc:
+                future.set_exception(exc)
+        else:
+            self._queue.put((fn, future, None))
+        return future
+
     def run_on_thread(self, fn: Callable[[], object],
                       timeout: Optional[float] = 30.0):
         """Run *fn* on the bridge thread (chaos/test hook).
@@ -238,35 +276,34 @@ class GatewayBridge:
         does to the fleet is outside the determinism contract, exactly
         like a chaos fault injected behind the service's back.
         """
-        future: "Future" = Future()
-        if self._thread is None:
-            future.set_result(fn())
-        else:
-            self._queue.put((fn, future))
-        return future.result(timeout=timeout)
+        return self.submit_call(fn).result(timeout=timeout)
 
     # ------------------------------------------------------------ the thread
     def _serve_loop(self) -> None:
-        import time as _time
-
-        self._wall_origin = _time.perf_counter()
+        self._wall_origin = time.perf_counter()
         while self._running:
             try:
                 item = self._queue.get(timeout=0.02)
             except queue.Empty:
                 if self.pacing == "wall":
                     self._pace_to_wall()
+                if self.obs is not None:
+                    # Idle SLO sweep: a degraded verdict must still
+                    # produce a flight dump when traffic has stopped.
+                    self.obs.maybe_check_slo(
+                        context=self._flight_context,
+                        trace_lookup=self._trace_events_for)
                 continue
             if item is None:
                 continue
-            op, future = item
+            op, future, enqueued_ns = item
             try:
                 if callable(op):
                     result = op()
                 else:
                     if self.pacing == "wall":
                         self._pace_to_wall()
-                    result = self._apply(op)
+                    result = self._apply(op, enqueued_ns=enqueued_ns)
             except Exception as exc:  # surface, don't kill the thread
                 future.set_exception(exc)
             else:
@@ -274,24 +311,101 @@ class GatewayBridge:
 
     def _pace_to_wall(self) -> None:
         """Advance every shard toward wall-elapsed * speed (wall mode)."""
-        import time as _time
-
-        target_ns = int((_time.perf_counter() - self._wall_origin)
+        target_ns = int((time.perf_counter() - self._wall_origin)
                         * self.wall_speed * 1e9)
         for deployment in self.deployments:
             if deployment.sim.now_ns < target_ns:
                 deployment.sim.run_until(target_ns)
 
     # ------------------------------------------------------------- operations
-    def _apply(self, op: Op) -> OpResult:
+    def _apply(self, op: Op, enqueued_ns: Optional[int] = None) -> OpResult:
         """Apply one operation; runs on the bridge thread (or inline
-        during replay).  Single writer: nothing else touches the sims."""
+        during replay).  Single writer: nothing else touches the sims.
+
+        Decomposition stamps: *enqueued_ns* is the submit instant (None
+        on the inline/replay path → queue_wait 0); dequeue-to-done is
+        measured here.  Recording happens strictly after the handler
+        ran, so observability can never perturb the sims.
+        """
         handler = getattr(self, f"_op_{op.kind}")
         index = self._ops
         self._ops += 1
+        started_ns = time.perf_counter_ns()
         result = handler(op)
+        finished_ns = time.perf_counter_ns()
         self.log.append(index, op, result.admitted_ns)
+        if self.obs is not None:
+            queue_wait_ns = (0 if enqueued_ns is None
+                             else max(0, started_ns - enqueued_ns))
+            result.record = self.obs.record_op(
+                index, op, result,
+                queue_wait_ns=queue_wait_ns,
+                sim_exec_ns=finished_ns - started_ns)
+            self.obs.maybe_check_slo(context=self._flight_context,
+                                     trace_lookup=self._trace_events_for)
         return result
+
+    # --------------------------------------------------------- request tracing
+    def _gateway_tracer(self, deployment: ShardDeployment):
+        """The shard's tracer, when it records the gateway category."""
+        tracer = getattr(deployment.sim, "tracer", None)
+        if tracer is None or not tracer.enabled_for("gateway"):
+            return None
+        return tracer
+
+    def _gw_trace_open(self, tracer, op: Op, trace_id: int,
+                       pre_ns: int, admitted: int) -> int:
+        """Record the request-scoped envelope: an async span named
+        after the op kind plus a back-dated ``gateway.admit`` slice
+        covering the admission advance.  All args are deterministic
+        (request log + sim state only), so traced exports replay
+        byte-identically."""
+        track = tracer.track("gateway")
+        tracer.async_begin(f"gateway.{op.kind}", "gateway", trace_id,
+                           track=track,
+                           args={"request_id": op.request_id,
+                                 "thing": op.thing, "name": op.name,
+                                 "admitted_ns": admitted})
+        tracer.complete("gateway.admit", "gateway", track,
+                        admitted - pre_ns, ts_ns=pre_ns,
+                        trace_id=trace_id,
+                        args={"request_id": op.request_id})
+        return track
+
+    def _gw_trace_close(self, tracer, op: Op, trace_id: int, track: int,
+                        result: OpResult) -> None:
+        tracer.async_end(f"gateway.{op.kind}", "gateway", trace_id,
+                         track=track,
+                         args={"status": result.status,
+                               "sim_latency_ns": result.sim_latency_ns})
+        tracer.current = None
+
+    def _trace_events_for(self, trace_ids: List[int]) -> Dict[str, list]:
+        """Tracer events for the given trace ids, keyed by id — the
+        flight recorder's evidence locker (rare path; linear scan of
+        each shard's ring is fine)."""
+        from repro.obs.export import _sanitize
+
+        wanted = set(trace_ids)
+        out: Dict[str, list] = {}
+        for deployment in self.deployments:
+            tracer = getattr(deployment.sim, "tracer", None)
+            if tracer is None:
+                continue
+            for event in tracer.events:
+                if event.trace_id in wanted:
+                    out.setdefault(str(event.trace_id),
+                                   []).append(_sanitize(event.to_dict()))
+        return out
+
+    def _flight_context(self) -> dict:
+        return {
+            "pacing": self.pacing,
+            "quantum_ns": self.quantum_ns,
+            "ops_logged": self._ops,
+            "admitted": self._admitted,
+            "clocks_ns": [d.sim.now_ns for d in self.deployments],
+        }
 
     def _admit(self, deployment: ShardDeployment) -> int:
         """Advance *deployment* to the next admission instant.
@@ -375,27 +489,47 @@ class GatewayBridge:
                 "error": f"no such property: {op.name!r}",
                 "thing": op.thing,
             })
+        pre_ns = deployment.sim.now_ns
         admitted = self._admit(deployment)
+        tracer = self._gateway_tracer(deployment)
+        if tracer is not None:
+            tracer.current = None
         box: List[object] = []
         deployment.client.read(
             thing.address, device_id, box.append,
             timeout_s=self.op_timeout_ns / 2e9,
         )
+        # The client just allocated the in-fleet trace id and left it
+        # on ``tracer.current``; adopt it as the request's id so the
+        # gateway envelope and the protocol/vm spans stitch into one
+        # flow in the export.
+        trace_id = tracer.current if tracer is not None else None
+        track = 0
+        if trace_id is not None:
+            track = self._gw_trace_open(tracer, op, trace_id,
+                                        pre_ns, admitted)
         self._run_until_done(deployment, admitted, lambda: bool(box))
+        sim_latency = deployment.sim.now_ns - admitted
         if not box or box[0] is None:
-            return OpResult(504, {"error": "read timed out in-fleet",
-                                  "thing": op.thing, "property": op.name},
-                            admitted_ns=admitted,
-                            sim_latency_ns=deployment.sim.now_ns - admitted)
-        result = box[0]
-        return OpResult(200, {
-            "property": op.name,
-            "thing": op.thing,
-            "value": result.value,
-            "ok": result.ok,
-            "device_id": str(result.device_id),
-        }, admitted_ns=admitted,
-           sim_latency_ns=deployment.sim.now_ns - admitted)
+            result = OpResult(504, {"error": "read timed out in-fleet",
+                                    "op": "read",
+                                    "thing": op.thing, "property": op.name,
+                                    "sim_ns_consumed": sim_latency},
+                              admitted_ns=admitted,
+                              sim_latency_ns=sim_latency)
+        else:
+            value = box[0]
+            result = OpResult(200, {
+                "property": op.name,
+                "thing": op.thing,
+                "value": value.value,
+                "ok": value.ok,
+                "device_id": str(value.device_id),
+            }, admitted_ns=admitted, sim_latency_ns=sim_latency)
+        if trace_id is not None:
+            self._gw_trace_close(tracer, op, trace_id, track, result)
+        result.trace_id = trace_id
+        return result
 
     def _op_write(self, op: Op) -> OpResult:
         deployment, thing = self._resolve(op)
@@ -407,21 +541,38 @@ class GatewayBridge:
         device_id = self._property_device(thing, key)
         if device_id is None:
             return OpResult(404, {"error": f"no such action: {op.name!r}"})
+        pre_ns = deployment.sim.now_ns
         admitted = self._admit(deployment)
+        tracer = self._gateway_tracer(deployment)
+        if tracer is not None:
+            tracer.current = None
         box: List[object] = []
         deployment.client.write(
             thing.address, device_id, int(op.value), box.append,
             timeout_s=self.op_timeout_ns / 2e9,
         )
+        trace_id = tracer.current if tracer is not None else None
+        track = 0
+        if trace_id is not None:
+            track = self._gw_trace_open(tracer, op, trace_id,
+                                        pre_ns, admitted)
         self._run_until_done(deployment, admitted, lambda: bool(box))
+        sim_latency = deployment.sim.now_ns - admitted
         if not box or box[0] is None:
-            return OpResult(504, {"error": "write timed out in-fleet"},
-                            admitted_ns=admitted,
-                            sim_latency_ns=deployment.sim.now_ns - admitted)
-        return OpResult(200, {
-            "action": op.name, "thing": op.thing, "status": box[0],
-        }, admitted_ns=admitted,
-           sim_latency_ns=deployment.sim.now_ns - admitted)
+            result = OpResult(504, {"error": "write timed out in-fleet",
+                                    "op": "write",
+                                    "thing": op.thing, "action": op.name,
+                                    "sim_ns_consumed": sim_latency},
+                              admitted_ns=admitted,
+                              sim_latency_ns=sim_latency)
+        else:
+            result = OpResult(200, {
+                "action": op.name, "thing": op.thing, "status": box[0],
+            }, admitted_ns=admitted, sim_latency_ns=sim_latency)
+        if trace_id is not None:
+            self._gw_trace_close(tracer, op, trace_id, track, result)
+        result.trace_id = trace_id
+        return result
 
     def _op_install(self, op: Op) -> OpResult:
         deployment, thing = self._resolve(op)
@@ -430,6 +581,7 @@ class GatewayBridge:
         spec = CATALOG.get(op.name)
         if spec is None:
             return OpResult(404, {"error": f"no such driver: {op.name!r}"})
+        pre_ns = deployment.sim.now_ns
         admitted = self._admit(deployment)
         done = {"hit": False}
         wanted = spec.device_id.value
@@ -440,26 +592,50 @@ class GatewayBridge:
                     and event.device_id.value == wanted):
                 done["hit"] = True
 
+        # push_driver sends straight through the stack without its own
+        # trace allocation, so the gateway mints the request's trace id
+        # and leaves it current: the scheduled send events capture it
+        # and the whole upload chain inherits it.
+        tracer = self._gateway_tracer(deployment)
+        trace_id = None
+        track = 0
+        if tracer is not None:
+            trace_id = tracer.new_trace()
+            tracer.current = trace_id
+            track = self._gw_trace_open(tracer, op, trace_id,
+                                        pre_ns, admitted)
         thing.add_listener(on_event)
         try:
             if not deployment.manager.push_driver(thing.address,
                                                   spec.device_id):
-                return OpResult(404, {
+                result = OpResult(404, {
                     "error": f"registry has no driver for {op.name!r}"})
+                if trace_id is not None:
+                    self._gw_trace_close(tracer, op, trace_id, track,
+                                         result)
+                result.trace_id = trace_id
+                return result
             self._run_until_done(deployment, admitted,
                                  lambda: done["hit"])
         finally:
             thing.remove_listener(on_event)
+        sim_latency = deployment.sim.now_ns - admitted
         if not done["hit"]:
-            return OpResult(504, {"error": "install not confirmed in-fleet",
-                                  "thing": op.thing, "driver": op.name},
-                            admitted_ns=admitted,
-                            sim_latency_ns=deployment.sim.now_ns - admitted)
-        return OpResult(200, {
-            "action": INSTALL_ACTION, "thing": op.thing,
-            "driver": op.name, "installed": True,
-        }, admitted_ns=admitted,
-           sim_latency_ns=deployment.sim.now_ns - admitted)
+            result = OpResult(504, {"error": "install not confirmed in-fleet",
+                                    "op": "install",
+                                    "thing": op.thing, "driver": op.name,
+                                    "sim_ns_consumed": sim_latency},
+                              admitted_ns=admitted,
+                              sim_latency_ns=sim_latency)
+        else:
+            result = OpResult(200, {
+                "action": INSTALL_ACTION, "thing": op.thing,
+                "driver": op.name, "installed": True,
+            }, admitted_ns=admitted, sim_latency_ns=sim_latency)
+        if trace_id is not None:
+            self._gw_trace_close(tracer, op, trace_id, track, result)
+        result.trace_id = trace_id
+        return result
 
     def _op_advance(self, op: Op) -> OpResult:
         """Advance every shard by ``value`` ns (warm-up, tests, replay)."""

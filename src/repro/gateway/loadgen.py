@@ -72,12 +72,16 @@ class HttpPool:
 
     async def request(self, method: str, path: str,
                       body: Optional[dict] = None,
-                      timeout_s: float = 10.0) -> Tuple[int, dict]:
+                      timeout_s: float = 10.0,
+                      headers: Optional[Dict[str, str]] = None,
+                      with_headers: bool = False):
         """Issue one request on a pooled connection.
 
-        Returns ``(status, parsed-json-body)``.  Transport failures
-        raise; HTTP error statuses return normally (the caller decides
-        what counts as an SLO "error").
+        Returns ``(status, parsed-json-body)`` — or ``(status,
+        response-headers, parsed-body)`` with ``with_headers=True``
+        (how tests observe the ``X-Request-Id`` echo).  Transport
+        failures raise; HTTP error statuses return normally (the caller
+        decides what counts as an SLO "error").
         """
         conn = await self._idle.get()
         try:
@@ -85,15 +89,20 @@ class HttpPool:
                 conn = await self._connect()
             try:
                 result = await asyncio.wait_for(
-                    self._roundtrip(conn, method, path, body), timeout_s)
+                    self._roundtrip(conn, method, path, body, headers),
+                    timeout_s)
             except (ConnectionError, asyncio.IncompleteReadError):
                 # Stale keep-alive connection: retry once on a fresh one.
                 conn[1].close()
                 conn = await self._connect()
                 result = await asyncio.wait_for(
-                    self._roundtrip(conn, method, path, body), timeout_s)
+                    self._roundtrip(conn, method, path, body, headers),
+                    timeout_s)
             self._idle.put_nowait(conn)
-            return result
+            status, response_headers, parsed = result
+            if with_headers:
+                return status, response_headers, parsed
+            return status, parsed
         except BaseException:
             if conn is not None:
                 conn[1].close()
@@ -101,13 +110,17 @@ class HttpPool:
             raise
 
     async def _roundtrip(self, conn, method: str, path: str,
-                         body: Optional[dict]) -> Tuple[int, dict]:
+                         body: Optional[dict],
+                         headers: Optional[Dict[str, str]] = None):
         reader, writer = conn
         payload = b"" if body is None else json.dumps(body).encode()
         head = (f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                "Connection: keep-alive\r\n\r\n")
+                "Connection: keep-alive\r\n")
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
         status_line = await reader.readuntil(b"\r\n")
@@ -116,16 +129,24 @@ class HttpPool:
             raise WireError(f"bad status line: {status_line!r}")
         status = int(parts[1])
         length = 0
+        response_headers: Dict[str, str] = {}
         while True:
             line = (await reader.readuntil(b"\r\n")).decode("latin-1")
             if line == "\r\n":
                 break
             name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         raw = await reader.readexactly(length) if length else b""
-        parsed = json.loads(raw) if raw else {}
-        return status, parsed
+        content_type = response_headers.get("content-type", "")
+        if raw and "json" in content_type:
+            parsed = json.loads(raw)
+        elif raw:
+            parsed = raw.decode("utf-8")
+        else:
+            parsed = {}
+        return status, response_headers, parsed
 
     async def close(self) -> None:
         while not self._idle.empty():
@@ -145,6 +166,9 @@ class LoadResult:
     timeouts: int = 0
     latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
     health: Optional[HealthReport] = None
+    #: Server-side diagnostics fetched after the run (/healthz +
+    #: /debug/ops): stream drops and the bridged decomposition.
+    server: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def error_rate(self) -> float:
@@ -186,6 +210,16 @@ class LoadResult:
                 for kind, values in sorted(self.latencies_ms.items())
             },
         }
+        if self.server:
+            health = self.server.get("health", {})
+            summary = self.server.get("ops", {}).get("summary", {})
+            doc["server"] = {
+                "stream_dropped": health.get("stream_dropped", 0),
+                "requests": health.get("requests", 0),
+                "slo_status": summary.get("slo_status"),
+                "flight_dumps": summary.get("flight_dumps", []),
+                "decomposition": summary.get("kinds", {}),
+            }
         if self.health is not None:
             doc["slo"] = {
                 "ok": self.health.ok,
@@ -330,6 +364,22 @@ async def run_load(host: str, port: int,
 
     if pending:
         await asyncio.wait(pending, timeout=config.timeout_s + 5.0)
+
+    # Pull the server's own view of the run: surfaced stream drops and
+    # the per-kind queue_wait/sim_exec/reply_write decomposition that
+    # attributes whatever tail the latency percentiles above measured.
+    try:
+        status, health = await pool.request("GET", "/healthz",
+                                            timeout_s=config.timeout_s)
+        if status == 200:
+            result.server["health"] = health
+        status, ops_doc = await pool.request("GET", "/debug/ops",
+                                             timeout_s=config.timeout_s)
+        if status == 200:
+            result.server["ops"] = ops_doc
+    except (ConnectionError, OSError, WireError, asyncio.TimeoutError,
+            asyncio.IncompleteReadError):
+        pass
     await pool.close()
 
     result.wall_s = time.perf_counter() - origin
@@ -337,7 +387,17 @@ async def run_load(host: str, port: int,
     result.errors = counters["errors"]
     result.timeouts = counters["timeouts"]
     rules = [SloRule.parse(text) for text in config.slos]
-    result.health = evaluate(rules, bank.snapshot())
+    # Judge SLOs over the configured measurement interval only.  The
+    # backlog drain after `duration_s` holds just the requests slow
+    # enough to straddle the boundary (length-biased sampling), so a
+    # partial drain window would read degraded by construction; drain
+    # latencies still count in the aggregate percentiles above.
+    document = bank.snapshot()
+    horizon = int(config.duration_s * 1e9)
+    for series in document["series"]:
+        series["samples"] = [s for s in series["samples"]
+                             if s[0] <= horizon]
+    result.health = evaluate(rules, document)
     return result
 
 

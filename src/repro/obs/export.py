@@ -141,6 +141,27 @@ def merge_traces(snapshots: Iterable[Optional[dict]],
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
+def filter_events(document: dict, *, cat: Optional[str] = None,
+                  trace_id: Optional[int] = None) -> List[dict]:
+    """Events of a merged trace document matching *cat* / *trace_id*.
+
+    Metadata (``M``) and derived flow events are excluded; the result
+    is the recorded-slice view tests and the flight recorder want.
+    """
+    out: List[dict] = []
+    for event in document.get("traceEvents", ()):
+        if event.get("ph") == "M" or event.get("cat") == FLOW_CAT:
+            continue
+        if cat is not None and event.get("cat") != cat:
+            continue
+        if trace_id is not None:
+            args = event.get("args") or {}
+            if args.get("trace_id") != trace_id:
+                continue
+        out.append(event)
+    return out
+
+
 def write_trace(path: str, document: dict) -> None:
     """Write a trace document produced by :func:`merge_traces`."""
     with open(path, "w") as handle:
@@ -153,5 +174,5 @@ def load_trace(path: str) -> dict:
         return json.load(handle)
 
 
-__all__ = ["chrome_events", "counter_events", "merge_traces", "write_trace",
-           "load_trace", "FLOW_CAT"]
+__all__ = ["chrome_events", "counter_events", "filter_events",
+           "merge_traces", "write_trace", "load_trace", "FLOW_CAT"]

@@ -20,6 +20,9 @@ class TraceSummary:
 
     trace_id: int
     label: str = ""
+    #: Gateway request correlation id, when a ``gateway.*`` span named
+    #: one (``X-Request-Id`` threading; see repro.gateway.bridge).
+    request_id: str = ""
     start_us: float = 0.0
     end_us: float = 0.0
     #: X slices: (ts_us, dur_us, name, cat, pid, tid).
@@ -61,6 +64,9 @@ def collect_traces(document: dict) -> Dict[int, TraceSummary]:
         end = ts
         if phase == "b" and not summary.label:
             summary.label = event.get("name", "")
+        if not summary.request_id:
+            summary.request_id = str(
+                (event.get("args") or {}).get("request_id") or "")
         if phase == "X":
             dur = float(event.get("dur", 0.0))
             end = ts + dur
@@ -86,6 +92,23 @@ def collect_traces(document: dict) -> Dict[int, TraceSummary]:
     return traces
 
 
+def request_index(document: dict) -> Dict[str, List[int]]:
+    """Map gateway request ids to the trace ids that served them.
+
+    The inverse lookup an operator starts from: an ``X-Request-Id``
+    out of an access log or a 504 body, into the obs traces to render
+    with :func:`render_trace`.
+    """
+    index: Dict[str, List[int]] = {}
+    for summary in collect_traces(document).values():
+        if summary.request_id:
+            index.setdefault(summary.request_id,
+                             []).append(summary.trace_id)
+    for ids in index.values():
+        ids.sort()
+    return index
+
+
 def critical_path(
     summary: TraceSummary,
 ) -> List[Tuple[float, float, str, str]]:
@@ -106,8 +129,10 @@ def critical_path(
 
 def render_trace(summary: TraceSummary) -> str:
     """Detailed critical-path rendering of one trace."""
+    tag = f"  request {summary.request_id}" if summary.request_id else ""
     lines = [
-        f"trace {summary.trace_id}  {summary.label or '(unlabelled)'}  "
+        f"trace {summary.trace_id}  {summary.label or '(unlabelled)'}"
+        f"{tag}  "
         f"start {summary.start_us / 1e3:.3f} ms  "
         f"span {summary.duration_us / 1e3:.3f} ms  "
         f"({len(summary.slices)} slices, {summary.instants} instants)"
@@ -155,4 +180,4 @@ def render_summary(document: dict, *, top: int = 10) -> str:
 
 
 __all__ = ["TraceSummary", "collect_traces", "critical_path",
-           "render_trace", "render_summary"]
+           "render_trace", "render_summary", "request_index"]

@@ -35,7 +35,10 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 #: Categories recorded by default (fleet ``--trace`` runs).  The
 #: ``kernel`` firehose (one instant per simulator event) is opt-in.
-DEFAULT_CATEGORIES = ("core", "net", "proto", "vm", "interconnect", "chaos")
+#: ``gateway`` carries the request-scoped spans the service bridge
+#: records around bridged ops (see ``repro.gateway.bridge``).
+DEFAULT_CATEGORIES = ("core", "net", "proto", "vm", "interconnect", "chaos",
+                      "gateway")
 
 #: Ring-buffer bound used when callers do not choose one.
 DEFAULT_LIMIT = 200_000

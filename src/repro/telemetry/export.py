@@ -68,6 +68,12 @@ def _labels_text(labels: Dict[str, str]) -> str:
     return "{" + inner + "}"
 
 
+#: The media type scrapers expect for the exposition format (served by
+#: the gateway's ``GET /metrics``).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8")
+
+
 def to_openmetrics(
     document: dict,
     *,
@@ -250,4 +256,4 @@ def to_csv(document: dict) -> str:
 
 
 __all__ = ["to_openmetrics", "to_jsonl", "to_csv", "validate_openmetrics",
-           "sanitize_name"]
+           "sanitize_name", "OPENMETRICS_CONTENT_TYPE"]

@@ -93,6 +93,10 @@ DEFAULT_SENTINEL_RULES: Tuple[SentinelRule, ...] = (
     SentinelRule("*p99_latency_ms", direction="lower", tolerance=0.50),
     SentinelRule("*p95_latency_ms", direction="lower", tolerance=0.50),
     SentinelRule("*error_rate", direction="lower", tolerance=0.50),
+    # Request-obs decomposition: per-kind queue wait and sim execution
+    # p95s out of the gateway latency decomposition (DESIGN.md §12).
+    SentinelRule("*queue_wait_p95_ms", direction="lower", tolerance=0.50),
+    SentinelRule("*sim_exec_p95_ms", direction="lower", tolerance=0.50),
 )
 
 

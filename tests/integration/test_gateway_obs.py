@@ -1,0 +1,341 @@
+"""Integration tests for request-scoped gateway observability.
+
+Covers the ISSUE-10 acceptance surface end to end: ``X-Request-Id``
+threading into a connected wire->queue->sim trace, a golden-file gate
+on the gateway trace envelope, obs-on/off replay-digest parity, 504
+deadline observability, slow-WS-consumer drop accounting, the live
+``/metrics`` exposition, and an induced SLO breach producing a flight
+dump that carries the offending requests' traces.
+"""
+
+import asyncio
+import base64
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.scenario import SCENARIOS
+from repro.gateway.bridge import GatewayBridge, Op
+from repro.gateway.loadgen import HttpPool, discover_targets
+from repro.gateway.obs import GatewayObsConfig
+from repro.gateway.server import GatewayServer
+from repro.gateway.wire import ws_accept
+from repro.obs.export import filter_events, merge_traces
+from repro.obs.report import request_index
+from repro.telemetry.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    validate_openmetrics,
+)
+
+WARMUP_NS = 2_000_000_000
+
+GOLDEN = (Path(__file__).resolve().parent.parent / "data"
+          / "golden_gateway_trace.json")
+
+
+def _traced_scenario():
+    return SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11,
+                                       trace=True)
+
+
+def _trace_snapshots(bridge):
+    return bridge.run_on_thread(
+        lambda: [d.sim.tracer.snapshot() for d in bridge.deployments])
+
+
+async def _up(scenario, **bridge_kwargs):
+    bridge = GatewayBridge(scenario, **bridge_kwargs)
+    server = await GatewayServer(bridge).start()
+    await asyncio.wrap_future(bridge.submit(Op("advance", value=WARMUP_NS)))
+    return bridge, server, HttpPool(server.host, server.port, 2)
+
+
+# --------------------------------------------------------------------- tracing
+@pytest.mark.asyncio
+async def test_request_id_threads_into_connected_trace():
+    """Satellite (c): an inbound X-Request-Id is echoed, lands in the
+    result body's trace id, and the exported trace connects the gateway
+    envelope to in-fleet layers (wire -> queue -> sim)."""
+    bridge, server, pool = await _up(_traced_scenario())
+    try:
+        targets = await discover_targets(pool, 8, probe=True)
+        thing, prop = targets[0]
+        status, headers, body = await pool.request(
+            "GET", f"/things/{thing}/properties/{prop}",
+            headers={"X-Request-Id": "e2e-req-7"}, with_headers=True,
+            timeout_s=60.0)
+        assert status == 200
+        assert headers["x-request-id"] == "e2e-req-7"
+        trace_id = body["sim"]["trace_id"]
+        assert isinstance(trace_id, int)
+
+        merged = merge_traces(_trace_snapshots(bridge))
+        assert request_index(merged).get("e2e-req-7") == [trace_id]
+        events = filter_events(merged, trace_id=trace_id)
+        cats = {e["cat"] for e in events}
+        assert "gateway" in cats, cats
+        assert cats & {"core", "net", "proto"}, (
+            f"gateway trace not connected into the fleet layers: {cats}")
+        names = {e["name"] for e in events if e["cat"] == "gateway"}
+        assert "gateway.read" in names and "gateway.admit" in names
+        await pool.close()
+    finally:
+        await server.close()
+        bridge.close()
+
+
+@pytest.mark.asyncio
+async def test_generated_request_ids_are_unique_and_echoed():
+    bridge, server, pool = await _up(_traced_scenario())
+    try:
+        seen = set()
+        for _ in range(3):
+            status, headers, _ = await pool.request(
+                "GET", "/things", with_headers=True)
+            assert status == 200
+            seen.add(headers["x-request-id"])
+        assert len(seen) == 3
+        await pool.close()
+    finally:
+        await server.close()
+        bridge.close()
+
+
+# ----------------------------------------------------------------- golden file
+def _golden_document():
+    """Gateway-category trace events of a fixed, inline replay.
+
+    Free pacing makes the whole document a pure function of
+    ``(scenario, ops)``: sim timestamps, admission slots and trace ids
+    are all deterministic, so the export can be golden-filed.
+    """
+    scenario = SCENARIOS["gateway"].scaled(things=4, shard_size=2, seed=7,
+                                           trace=True)
+    ops = [
+        Op("advance", value=2_000_000_000),
+        Op("install", thing=0, name="relay", request_id="golden-1"),
+        Op("install", thing=1, name="warp-core", request_id="golden-2"),
+        Op("install", thing=2, name="max6675", request_id="golden-3"),
+        Op("advance", value=500_000_000),
+    ]
+    bridge = GatewayBridge.replay(scenario, ops)
+    snapshots = [d.sim.tracer.snapshot() for d in bridge.deployments]
+    merged = merge_traces(snapshots)
+    return {"gateway": filter_events(merged, cat="gateway")}
+
+
+def test_gateway_trace_envelope_matches_golden_file():
+    document = _golden_document()
+    rendered = json.dumps(document, indent=1, sort_keys=True) + "\n"
+    assert rendered == GOLDEN.read_text(), (
+        "gateway trace envelope drifted from "
+        "tests/data/golden_gateway_trace.json; if the change is "
+        "intentional, regenerate the golden file with "
+        "tests/integration/test_gateway_obs.py::_golden_document")
+
+
+def test_golden_trace_carries_request_ids_and_statuses():
+    document = _golden_document()
+    events = document["gateway"]
+    assert events, "golden replay must produce gateway spans"
+    ids = {(e.get("args") or {}).get("request_id") for e in events}
+    # golden-2 is a catalogue-miss 404: rejected before admission, so
+    # it never touches the sim and correctly emits no gateway span.
+    assert {"golden-1", "golden-3"} <= ids
+    assert "golden-2" not in ids
+    statuses = {(e.get("args") or {}).get("status") for e in events
+                if e["ph"] == "e"}
+    assert statuses == {200}
+
+
+# ------------------------------------------------------------ replay parity
+@pytest.mark.asyncio
+async def test_replay_digest_parity_obs_on_off():
+    """The determinism contract of the tentpole: observability on or
+    off, traced or not, the replayed digest is byte-identical and the
+    sim-plane metrics view is a pure function of the request log."""
+    bridge, server, pool = await _up(_traced_scenario())
+    try:
+        targets = await discover_targets(pool, 8, probe=True)
+        for i in range(6):
+            thing, prop = targets[i % len(targets)]
+            await pool.request(
+                "GET", f"/things/{thing}/properties/{prop}",
+                headers={"X-Request-Id": f"parity-{i}"}, timeout_s=60.0)
+        await pool.close()
+        digest = bridge.run_on_thread(bridge.digest)
+        live_view = bridge.run_on_thread(
+            lambda: json.dumps(bridge.obs.deterministic_view(),
+                               sort_keys=True))
+        ops = bridge.log.ops()
+    finally:
+        await server.close()
+        bridge.close()
+
+    bare = SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11)
+    replay_off = GatewayBridge.replay(
+        bare, ops, obs=GatewayObsConfig(enabled=False))
+    replay_on = GatewayBridge.replay(bare, ops)
+    assert replay_off.obs is None
+    assert replay_off.digest() == digest
+    assert replay_on.digest() == digest
+    assert json.dumps(replay_on.obs.deterministic_view(),
+                      sort_keys=True) == live_view
+
+
+# ------------------------------------------------------- deadline observability
+@pytest.mark.asyncio
+async def test_504_reports_op_target_and_sim_cost():
+    """Satellite (b): an op-deadline 504 names the op and target and
+    reports the simulated nanoseconds burned; the slow-op journal keeps
+    the same request with its decomposition and request id."""
+    bridge, server, pool = await _up(_traced_scenario())
+    try:
+        targets = await discover_targets(pool, 8, probe=True)
+        thing, prop = targets[0]
+        deployment, local = bridge._things[thing]
+        bridge.run_on_thread(
+            lambda: deployment.things[local].stack.set_down(True))
+
+        status, body = await pool.request(
+            "GET", f"/things/{thing}/properties/{prop}",
+            headers={"X-Request-Id": "doomed-1"}, timeout_s=60.0)
+        assert status == 504
+        assert body["op"] == "read"
+        assert body["thing"] == thing
+        assert body["property"] == prop
+        assert body["sim_ns_consumed"] > 0
+
+        status, debug = await pool.request("GET", "/debug/ops")
+        assert status == 200
+        entry = next(r for r in debug["slowest"]
+                     if r["request_id"] == "doomed-1")
+        assert entry["status"] == 504
+        assert entry["sim_latency_ns"] == body["sim_ns_consumed"]
+        assert entry["queue_wait_ms"] is not None
+        await pool.close()
+    finally:
+        await server.close()
+        bridge.close()
+
+
+# ------------------------------------------------------------- stream drops
+@pytest.mark.asyncio
+async def test_slow_ws_consumer_drops_are_counted_and_surfaced():
+    """Satellite (a): a consumer that never reads overflows its
+    depth-1 stream queue; the silent-drop counter surfaces in /healthz,
+    /metrics and the obs summary instead of vanishing."""
+    scenario = SCENARIOS["gateway"].scaled(things=8, shard_size=4, seed=11)
+    bridge = GatewayBridge(scenario)
+    server = await GatewayServer(bridge, stream_queue_depth=1).start()
+    pool = HttpPool(server.host, server.port, 2)
+    try:
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        key = base64.b64encode(b"0123456789abcdef").decode()
+        writer.write(
+            (f"GET /stream HTTP/1.1\r\nHost: {server.host}\r\n"
+             "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+             f"Sec-WebSocket-Key: {key}\r\n"
+             "Sec-WebSocket-Version: 13\r\n\r\n").encode())
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        assert ws_accept(key).encode() in head
+
+        # Never read a frame; burst telemetry through the bridge until
+        # the depth-1 queue overflows.
+        dropped = 0
+        for _ in range(20):
+            await asyncio.wrap_future(
+                bridge.submit(Op("advance", value=2_000_000_000)))
+            status, health = await pool.request("GET", "/healthz")
+            assert status == 200
+            dropped = health["stream_dropped"]
+            if dropped > 0:
+                break
+        assert dropped > 0, "slow consumer never overflowed the queue"
+        assert server.stats.stream_dropped == dropped
+
+        status, _, text = await pool.request(
+            "GET", "/metrics", with_headers=True)
+        assert status == 200
+        assert "gateway_stream_dropped_total" in text
+        status, debug = await pool.request("GET", "/debug/ops")
+        assert debug["summary"]["stream_dropped"] == dropped
+        writer.close()
+        await pool.close()
+    finally:
+        await server.close()
+        bridge.close()
+
+
+# ----------------------------------------------------------------- /metrics
+@pytest.mark.asyncio
+async def test_metrics_endpoint_serves_valid_openmetrics(gateway_server):
+    server = await gateway_server()
+    pool = HttpPool(server.host, server.port, 2)
+    targets = await discover_targets(pool, 8, probe=True)
+    thing, prop = targets[0]
+    await pool.request("GET", f"/things/{thing}/properties/{prop}",
+                       timeout_s=60.0)
+
+    status, headers, text = await pool.request(
+        "GET", "/metrics", with_headers=True)
+    assert status == 200
+    assert headers["content-type"] == OPENMETRICS_CONTENT_TYPE
+    assert isinstance(text, str)
+    assert validate_openmetrics(text) == []
+    # Decomposition series, both planes, plus fleet telemetry ride-along.
+    for name in ("gateway_ops_total", "gateway_queue_wait_ms",
+                 "gateway_sim_exec_ms", "gateway_op_wall_ms",
+                 "gateway_sim_latency_ms"):
+        assert name in text, name
+    await pool.close()
+    await server.close()
+
+
+# ------------------------------------------------------------ flight recorder
+@pytest.mark.asyncio
+async def test_induced_slo_degradation_dumps_flight_with_traces(tmp_path):
+    """Acceptance: degrade the SLO during a live run; the flight dump
+    must exist and carry the offending requests' traces."""
+    config = GatewayObsConfig(
+        flight_dir=str(tmp_path),
+        slos=("impossible: gateway_sim_latency_ms.p95 < 0.000001 "
+              "window=1",),
+        slo_check_interval_s=0.0)
+    bridge, server, pool = await _up(_traced_scenario(), obs=config)
+    try:
+        # Unprobed discovery keeps the victim reads as the first
+        # admitted (sim-touching) ops, so the breach that arms the dump
+        # is attributable to them.
+        targets = await discover_targets(pool, 8)
+        hits = 0
+        for i, (thing, prop) in enumerate(targets):
+            status, _ = await pool.request(
+                "GET", f"/things/{thing}/properties/{prop}",
+                headers={"X-Request-Id": f"victim-{i}"}, timeout_s=60.0)
+            hits += status == 200
+            if hits >= 2:
+                break
+        assert hits, "no readable property in the warm fleet"
+        status, health = await pool.request("GET", "/healthz")
+        assert health["slo"] == "degraded"
+        dumps = sorted(tmp_path.glob("flight-*.json"))
+        assert dumps, "degraded SLO must produce a flight dump"
+        flight = json.loads(dumps[0].read_text())
+        assert flight["reason"] == "slo-degraded"
+        assert flight["slo"]["status"] == "degraded"
+        traced = [r for r in flight["requests"]
+                  if r.get("trace_id") is not None]
+        assert traced, "dump must include the offending requests"
+        assert any(r["request_id"].startswith("victim-") for r in traced)
+        for record in traced:
+            assert flight["traces"].get(str(record["trace_id"])), \
+                "every traced request ships its trace events"
+        assert flight["context"]["pacing"] == "free"
+        await pool.close()
+    finally:
+        await server.close()
+        bridge.close()
